@@ -1,0 +1,80 @@
+"""Ablation — how much of derivative risk is copy lag? (Section 6.1/7)
+
+A counterfactual sweep: rebuild Amazon Linux's history with its copy
+lag scaled from 0.25x to 2x (and incident responses emerging organically
+from the copying, not pinned to the documented dates), then measure
+staleness and the organic Certinomis response.  The conclusion the
+paper gestures at — derivative exposure is dominated by the copy lag,
+a parameter entirely under the derivative's control — drops out
+directly.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, staleness_series
+from repro.simulation.catalog import catalog_by_slug
+from repro.simulation.derivatives import DERIVATIVE_POLICIES, build_derivative_history
+from repro.simulation.incidents import CERTINOMIS
+from repro.store import StoreHistory
+
+_SCALES = (0.25, 0.5, 1.0, 2.0)
+
+
+def _pipeline(corpus, dataset):
+    base_policy = DERIVATIVE_POLICIES["amazonlinux"]
+    specs_by_slug = catalog_by_slug(corpus.specs)
+    nss_history = dataset["nss"]
+    certinomis_fp = corpus.fingerprint("certinomis-root")
+
+    results = {}
+    for scale in _SCALES:
+        policy = replace(
+            base_policy,
+            lag_days=int(base_policy.lag_days * scale),
+            lag_jitter_days=int(base_policy.lag_jitter_days * scale),
+            organic_responses=True,
+        )
+        history = StoreHistory("amazonlinux")
+        for snapshot in build_derivative_history(
+            "amazonlinux", nss_history, specs_by_slug, corpus.mint, policy=policy
+        ):
+            history.add(snapshot)
+        staleness = staleness_series(history, nss_history)
+        until = history.trusted_until(certinomis_fp)
+        organic_lag = (until - CERTINOMIS.nss_removal).days if until else None
+        results[scale] = (staleness.average, organic_lag)
+    return results
+
+
+def test_ablation_copy_lag(benchmark, corpus, dataset, capsys):
+    results = benchmark.pedantic(_pipeline, args=(corpus, dataset), rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"{scale}x",
+            f"{staleness:.2f}",
+            f"{lag}d" if lag is not None else "still trusted",
+        )
+        for scale, (staleness, lag) in results.items()
+    ]
+    table = render_table(
+        ("Copy lag scale", "Avg versions behind", "Organic Certinomis lag"),
+        rows,
+        title="Ablation: Amazon Linux copy lag sweep (organic responses)",
+    )
+    emit(capsys, table)
+
+    staleness_by_scale = {scale: s for scale, (s, _) in results.items()}
+    lag_by_scale = {scale: lag for scale, (_, lag) in results.items()}
+
+    # Staleness rises monotonically with the copy lag.
+    ordered = [staleness_by_scale[s] for s in _SCALES]
+    assert ordered == sorted(ordered)
+    # Halving the lag meaningfully reduces staleness.
+    assert staleness_by_scale[0.5] < staleness_by_scale[1.0] * 0.85
+    # Organic incident response tracks the lag: every scale responds,
+    # and larger lags never respond faster.
+    ordered_lags = [lag_by_scale[s] for s in _SCALES]
+    assert all(lag is not None and lag > 0 for lag in ordered_lags)
+    assert ordered_lags == sorted(ordered_lags)

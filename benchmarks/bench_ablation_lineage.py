@@ -1,0 +1,47 @@
+"""Ablation — lineage matching with and without the no-future constraint.
+
+DESIGN.md's lineage matcher restricts candidates to NSS versions
+released on or before the derivative snapshot (a copy cannot come from
+the future).  This ablation measures how much that constraint matters
+for recovering the simulator's ground-truth version labels.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import lineage_accuracy, match_history, render_table
+from repro.store import NSS_DERIVATIVES
+
+
+def _pipeline(dataset):
+    results = {}
+    for provider in NSS_DERIVATIVES:
+        constrained = match_history(dataset[provider], dataset["nss"], no_future=True)
+        unconstrained = match_history(dataset[provider], dataset["nss"], no_future=False)
+        results[provider] = (
+            lineage_accuracy(constrained),
+            lineage_accuracy(unconstrained),
+        )
+    return results
+
+
+def test_ablation_lineage_no_future(benchmark, dataset, capsys):
+    results = benchmark.pedantic(_pipeline, args=(dataset,), rounds=1, iterations=1)
+
+    rows = [
+        (provider, f"{with_c * 100:.0f}%", f"{without * 100:.0f}%")
+        for provider, (with_c, without) in results.items()
+    ]
+    emit(
+        capsys,
+        render_table(
+            ("Derivative", "Accuracy (no-future)", "Accuracy (unconstrained)"),
+            rows,
+            title="Ablation: lineage matching constraint",
+        ),
+    )
+
+    # The constraint never hurts on aggregate and the tight trackers
+    # (Alpine) stay highly accurate.
+    mean_with = sum(v[0] for v in results.values()) / len(results)
+    mean_without = sum(v[1] for v in results.values()) / len(results)
+    assert mean_with >= mean_without - 0.02
+    assert results["alpine"][0] > 0.8

@@ -1,0 +1,81 @@
+"""Extension — the Certinomis cross-sign resurrection (Section 5.3).
+
+The paper: "Certinomis cross-signed a StartCom root after StartCom had
+been distrusted, effectively creating a new valid trust path for
+StartCom."  This bench mints the cross-sign, validates a StartCom leaf
+through it against dated store snapshots, and measures every store's
+exposure window — which is exactly its Certinomis response lag.
+"""
+
+from datetime import date, datetime, timezone
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.verify import ChainValidator, cross_sign, issue_server_leaf, resurrection_window
+
+_CROSS_SIGNED = date(2018, 3, 1)
+
+
+def _pipeline(corpus, dataset):
+    bridge = cross_sign(
+        corpus.specs_by_slug["startcom-ca"],
+        corpus.specs_by_slug["certinomis-root"],
+        corpus.mint,
+        not_before=_CROSS_SIGNED,
+    )
+    leaf = issue_server_leaf(
+        corpus.specs_by_slug["startcom-ca"], corpus.mint, "resurrected.example",
+        not_before=datetime(2018, 6, 1, tzinfo=timezone.utc), lifetime_days=700,
+    )
+    startcom = [
+        corpus.fingerprint(s) for s in ("startcom-ca", "startcom-ca-g2", "startcom-ca-g3")
+    ]
+    certinomis = corpus.fingerprint("certinomis-root")
+    windows = {
+        provider: resurrection_window(dataset[provider], startcom, certinomis, _CROSS_SIGNED)
+        for provider in ("nss", "nodejs", "alpine", "debian", "android", "amazonlinux", "microsoft")
+        if provider in dataset
+    }
+    return bridge, leaf, windows
+
+
+def test_ext_crosssign_resurrection(benchmark, corpus, dataset, capsys):
+    bridge, leaf, windows = benchmark.pedantic(
+        _pipeline, args=(corpus, dataset), rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            w.provider,
+            w.subject_removed or "still trusted",
+            w.issuer_removed or "still trusted",
+            f"{w.exposure_days}{'+' if w.open_ended else ''}",
+        )
+        for w in sorted(windows.values(), key=lambda w: w.exposure_days)
+    ]
+    table = render_table(
+        ("Root store", "StartCom removed", "Certinomis removed", "Bypass exposure (days)"),
+        rows,
+        title="Certinomis cross-sign: StartCom resurrection exposure",
+    )
+    emit(capsys, table)
+
+    # The cross-signed path genuinely validates while Certinomis is trusted.
+    during = dataset["nss"].at(date(2018, 9, 1))
+    at = datetime(2018, 9, 1, tzinfo=timezone.utc)
+    assert not ChainValidator(store=during).validate(leaf, at).valid
+    assert ChainValidator(store=during, intermediates=[bridge]).validate(leaf, at).valid
+
+    # Exposure follows the Certinomis response lag for stores that
+    # removed StartCom before the cross-sign existed (same start date).
+    assert windows["nss"].exposure_days < windows["nodejs"].exposure_days
+    assert windows["nodejs"].exposure_days < windows["debian"].exposure_days
+    # Every store with both roots was exposed; the window closes only
+    # when the *issuer* is removed.
+    for window in windows.values():
+        assert window.exposure_days > 0
+        if not window.open_ended:
+            start = max(window.cross_signed, window.subject_removed or window.cross_signed)
+            assert window.exposure_days == (window.issuer_removed - start).days
+    # Microsoft never removed Certinomis: open-ended exposure.
+    assert windows["microsoft"].open_ended

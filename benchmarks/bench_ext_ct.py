@@ -1,0 +1,70 @@
+"""Extension — Certificate Transparency presence (Appendix B's evidence).
+
+Appendix B justifies seven Microsoft-exclusive inclusions with "< 100
+leaf certificates in CT".  This bench builds a real RFC 6962 log, has
+every CA in Microsoft's latest store submit its (volume-scaled) leaf
+issuance, verifies the log cryptographically (STH signature, inclusion
+and consistency proofs), and re-derives the low-presence classification
+from the census.
+"""
+
+from datetime import date
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.ct import (
+    CTLog,
+    issuance_census,
+    populate_log,
+    verify_certificate_inclusion,
+    verify_log_consistency,
+)
+
+
+def _pipeline(corpus):
+    ms = corpus.dataset["microsoft"].latest()
+    specs = [
+        spec
+        for entry in ms
+        if (spec := corpus.spec_for_fingerprint(entry.fingerprint)) is not None
+    ]
+    log = CTLog("argon-sim")
+    populate_log(corpus, log, specs)
+    roots = [corpus.mint.certificate_for(spec) for spec in specs]
+    census = issuance_census(log, roots)
+    return log, specs, census
+
+
+def test_ext_ct_presence(benchmark, corpus, capsys):
+    log, specs, census = benchmark.pedantic(_pipeline, args=(corpus,), rounds=1, iterations=1)
+
+    low = [row for row in census if row.low_presence]
+    rows = [(r.common_name, r.leaf_count) for r in low]
+    table = render_table(
+        ("Root CA", "CT leaves"),
+        rows,
+        title=f"CT census: low-presence roots ({len(log)} log entries over {len(specs)} CAs)",
+    )
+    emit(capsys, table)
+
+    # Cryptographic sanity on the log itself.
+    mid = log.signed_tree_head(at=date(2020, 6, 1), size=len(log) // 2)
+    head = log.signed_tree_head(at=date(2021, 3, 1))
+    sample = log.entry(len(log) // 3)
+    verify_certificate_inclusion(
+        sample, log.index_of(sample), head, log.prove_inclusion(sample, head), log.public_key
+    )
+    verify_log_consistency(mid, head, log.prove_consistency(mid, head), log.public_key)
+
+    # The census recovers exactly the catalog's low-CT classifications
+    # (Appendix B's seven "<100/<200 leaves in CT" Microsoft exclusives).
+    expected_low = {
+        corpus.fingerprint(spec.slug) for spec in specs if "CT" in spec.note
+    }
+    measured_low = {row.fingerprint for row in low}
+    assert measured_low == expected_low
+    assert len(expected_low) == 7
+    # Every low-presence root is one of Microsoft's exclusives.
+    for row in low:
+        spec = corpus.spec_for_fingerprint(row.fingerprint)
+        assert spec.has_tag("ms-exclusive"), spec.slug

@@ -1,0 +1,65 @@
+"""Extension — ZLint-style objective root program evaluation (Section 7).
+
+"Prior work such as ZLint is a step towards more objective evaluation."
+This bench runs the BR-lint registry over every program's store at three
+dates and shows the linter independently recovering Table 3's hygiene
+story: NSS and Apple purge weak crypto first; Microsoft carries BR-error
+roots two years longer; Java last.
+"""
+
+from datetime import date
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.lint import lint_programs
+
+_DATES = (date(2014, 6, 1), date(2016, 6, 1), date(2020, 6, 1))
+
+
+def _pipeline(dataset):
+    return {when: lint_programs(dataset, at=when) for when in _DATES}
+
+
+def test_ext_lint_census(benchmark, dataset, capsys):
+    results = benchmark.pedantic(_pipeline, args=(dataset,), rounds=1, iterations=1)
+
+    chunks = []
+    for when, censuses in results.items():
+        rows = []
+        for census in censuses:
+            top = sorted(census.by_lint.items(), key=lambda kv: -kv[1])[:2]
+            rows.append(
+                (
+                    census.provider,
+                    census.roots,
+                    f"{census.error_rate * 100:.1f}%",
+                    f"{census.warning_rate * 100:.1f}%",
+                    ", ".join(f"{lint_id} x{count}" for lint_id, count in top),
+                )
+            )
+        chunks.append(
+            render_table(
+                ("Store", "Roots", "Error rate", "Warn rate", "Top findings"),
+                rows,
+                title=f"BR lint census at {when}",
+            )
+        )
+    emit(capsys, "\n\n".join(chunks))
+
+    by_2016 = {c.provider: c for c in results[date(2016, 6, 1)]}
+    by_2020 = {c.provider: c for c in results[date(2020, 6, 1)]}
+
+    # 2016: NSS and Apple have already purged MD5/1024-bit material;
+    # Microsoft still carries a substantial BR-error population.
+    assert by_2016["nss"].error_rate < 0.05
+    assert by_2016["apple"].error_rate < 0.05
+    assert by_2016["microsoft"].error_rate > 3 * max(
+        by_2016["nss"].error_rate, 0.01
+    )
+    # 2020: everyone is clean except Java, whose 1024-bit purge lands in
+    # its final (2021-02) release.
+    assert by_2020["nss"].error_rate == 0.0
+    assert by_2020["microsoft"].error_rate == 0.0
+    assert by_2020["java"].error_rate > 0.0
+    # The dominant 2016 error is exactly the weak-RSA lint.
+    assert by_2016["microsoft"].by_lint.get("e_rsa_mod_less_than_2048", 0) > 20

@@ -1,0 +1,60 @@
+"""Extension — root store minimization (Section 8 related work).
+
+Reruns the Braun et al. / Smith et al. experiments on the simulated
+ecosystem: with Zipf-concentrated issuance, a small fraction of anchors
+covers 90% of traffic (Braun: "90% of roots went unused"), while the
+long tail makes high-coverage targets expensive (Smith et al.'s 99%).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import coverage_curve, minimal_root_set, render_table, zipf_traffic
+
+
+def _pipeline(dataset):
+    results = {}
+    for provider in ("nss", "apple", "microsoft"):
+        snapshot = dataset[provider].latest()
+        traffic = zipf_traffic(snapshot, seed=f"traffic-{provider}")
+        results[provider] = {
+            target: minimal_root_set(snapshot, traffic, target=target)
+            for target in (0.9, 0.99, 0.999)
+        }
+    curve = coverage_curve(
+        dataset["nss"].latest(), zipf_traffic(dataset["nss"].latest(), seed="traffic-nss")
+    )
+    return results, curve
+
+
+def test_ext_root_store_minimization(benchmark, dataset, capsys):
+    results, curve = benchmark.pedantic(_pipeline, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for provider, by_target in results.items():
+        for target, result in by_target.items():
+            rows.append(
+                (
+                    provider,
+                    f"{target * 100:.1f}%",
+                    f"{result.selected_count}/{result.store_size}",
+                    f"{result.unused_fraction * 100:.0f}%",
+                )
+            )
+    table = render_table(
+        ("Store", "Coverage target", "Roots needed", "Unused"),
+        rows,
+        title="Root store minimization (greedy set cover over Zipf traffic)",
+    )
+    knee = next((count for count, coverage in curve if coverage >= 0.95), None)
+    emit(capsys, f"{table}\n\nNSS coverage curve: 95% of traffic at {knee} roots "
+                 f"of {curve[-1][0]}")
+
+    for provider, by_target in results.items():
+        # Braun et al.: ~90% of shipped roots unused at the 90% target.
+        assert by_target[0.9].unused_fraction > 0.7, provider
+        # Coverage targets are monotone in cost.
+        assert (
+            by_target[0.9].selected_count
+            <= by_target[0.99].selected_count
+            <= by_target[0.999].selected_count
+        )
+        assert by_target[0.99].coverage >= 0.99

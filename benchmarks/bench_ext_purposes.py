@@ -1,0 +1,63 @@
+"""Extension — multi-purpose root store exposure (Sections 6.2 / 7).
+
+Quantifies the paper's "single purpose root stores" argument: bundle
+formats expose every root for every purpose, so derivatives carry
+code-signing trust NSS never granted (the NuGet incident) and, before
+their TLS-only transitions, TLS trust in email-only roots.
+"""
+
+from datetime import date
+
+from benchmarks.conftest import emit
+from repro.analysis import conflation_timeline, purpose_exposure_report, render_table
+
+_PROVIDERS = ("nss", "microsoft", "apple", "debian", "ubuntu", "alpine", "nodejs", "amazonlinux")
+
+
+def _pipeline(dataset):
+    latest = purpose_exposure_report(dataset, _PROVIDERS)
+    historic = purpose_exposure_report(dataset, _PROVIDERS, at=date(2016, 6, 1))
+    debian_timeline = conflation_timeline(dataset, "debian")
+    return latest, historic, debian_timeline
+
+
+def test_ext_purpose_exposure(benchmark, dataset, capsys):
+    latest, historic, debian_timeline = benchmark.pedantic(
+        _pipeline, args=(dataset,), rounds=1, iterations=1
+    )
+
+    def rows(report):
+        return [
+            (r.provider, r.tls_roots, r.code_signing_roots, r.tls_overreach, r.code_signing_overreach)
+            for r in report
+        ]
+
+    table_now = render_table(
+        ("Store", "TLS roots", "Code-sign roots", "TLS overreach", "Code-sign overreach"),
+        rows(latest),
+        title="Purpose exposure (latest snapshots)",
+    )
+    table_2016 = render_table(
+        ("Store", "TLS roots", "Code-sign roots", "TLS overreach", "Code-sign overreach"),
+        rows(historic),
+        title="Purpose exposure (2016-06, pre TLS-only transitions)",
+    )
+    emit(capsys, f"{table_now}\n\n{table_2016}")
+
+    by_now = {r.provider: r for r in latest}
+    by_2016 = {r.provider: r for r in historic}
+
+    # NSS grants no code-signing trust and has zero overreach.
+    assert by_now["nss"].code_signing_roots == 0
+    assert by_now["nss"].tls_overreach == 0
+    # Every bundle-format derivative exposes code signing for its whole store.
+    for provider in ("debian", "alpine", "nodejs", "amazonlinux"):
+        row = by_now[provider]
+        assert row.code_signing_overreach == row.code_signing_roots > 0, provider
+    # Debian's 2016 conflation (19 email-only + non-NSS roots) resolved later.
+    assert by_2016["debian"].tls_overreach > 15
+    assert by_now["debian"].tls_overreach <= 2
+    # The timeline shows the 2017 TLS-only transition.
+    early_peak = max(c for d, c in debian_timeline if d < date(2015, 1, 1))
+    late_peak = max(c for d, c in debian_timeline if d > date(2019, 1, 1))
+    assert early_peak > 15 and late_peak <= 2

@@ -1,0 +1,53 @@
+"""Extension — the root program scorecard (Section 7's capstone).
+
+Composes every measured dimension — hygiene, release agility, incident
+responsiveness, exclusive risk, BR compliance — into one ranked
+scorecard, reproducing the paper's qualitative conclusion ("NSS best,
+followed by Apple, and then Java/Microsoft") from measurements alone.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, scorecard
+
+
+def test_ext_program_scorecard(benchmark, dataset, slug_fingerprints, capsys):
+    scores = benchmark.pedantic(
+        scorecard, args=(dataset, slug_fingerprints), rounds=1, iterations=1
+    )
+
+    rows = []
+    for s in scores:
+        rows.append(
+            (
+                s.program,
+                f"{s.composite:.1f}",
+                s.hygiene_rank,
+                f"{s.substantial_gap_days:.0f}d",
+                f"{s.mean_response_lag:.0f}d" if s.mean_response_lag is not None else "n/a",
+                s.exclusive_roots,
+                f"{s.lint_error_rate * 100:.0f}%",
+            )
+        )
+    table = render_table(
+        ("Program", "Composite rank", "Hygiene", "Subst. cadence", "Mean lag", "Exclusives", "BR errors"),
+        rows,
+        title="Root program scorecard (1 = best on each dimension)",
+    )
+    emit(capsys, table)
+
+    order = [s.program for s in scores]
+    # The paper's qualitative ordering, recovered from measurements.
+    assert order[0] == "nss"
+    assert order[1] == "apple"
+    assert set(order[2:]) == {"java", "microsoft"}
+
+    by = {s.program: s for s in scores}
+    # Microsoft's weak spots: worst hygiene, most exclusive risk,
+    # highest BR error rate.
+    assert by["microsoft"].hygiene_rank == 4
+    assert by["microsoft"].exclusive_roots == 30
+    assert by["microsoft"].lint_error_rate == max(s.lint_error_rate for s in scores)
+    # Apple's standout: proactive incident response (negative mean lag).
+    assert by["apple"].mean_response_lag < 0
+    # Java never responded to a measured incident (no data window).
+    assert by["java"].mean_response_lag is None

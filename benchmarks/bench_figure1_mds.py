@@ -1,0 +1,86 @@
+"""Figure 1 — MDS ordination of root store snapshots (2011-2021).
+
+Paper: four disjoint clusters (Microsoft, NSS-like, Apple, Java) with
+all derivatives inside the NSS cluster, plus Apple/Java transition
+outliers sitting between clusters.
+"""
+
+from datetime import date
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    cluster_families,
+    collect_snapshots,
+    distance_matrix,
+    find_outliers,
+    kruskal_stress,
+    smacof,
+)
+
+
+def _pipeline(dataset):
+    snapshots = collect_snapshots(dataset, since=date(2011, 1, 1))
+    labelled = distance_matrix(snapshots)
+    assignment = cluster_families(labelled)
+    embedding = smacof(labelled.matrix, dims=2)
+    return labelled, assignment, embedding
+
+
+def test_figure1_mds_ordination(benchmark, dataset, capsys):
+    labelled, assignment, embedding = benchmark.pedantic(
+        _pipeline, args=(dataset,), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Figure 1: MDS ordination of root store snapshots (2011-2021)",
+        f"  snapshots embedded : {len(labelled.labels)}",
+        f"  clusters found     : {assignment.cluster_count} "
+        f"(dendrogram cut at {assignment.cut_distance:.2f})",
+    ]
+    for cid in sorted(set(assignment.provider_family.values())):
+        lines.append(f"    {assignment.family_name(cid):10s} {', '.join(assignment.members(cid))}")
+    stress1 = kruskal_stress(labelled.matrix, embedding.embedding)
+    lines.append(f"  SMACOF stress-1    : {stress1:.3f} ({embedding.iterations} iterations)")
+    lines.append("  outlier snapshots  :")
+    outliers = find_outliers(dataset)
+    for outlier in outliers:
+        lines.append(
+            f"    {outlier.provider:8s} {outlier.taken_at}  "
+            f"{outlier.changed}/{outlier.store_size} roots changed"
+        )
+    # Per-family 2-D centroids, the textual analogue of the scatter plot.
+    centroids = {}
+    for cid in sorted(set(assignment.provider_family.values())):
+        members = set(assignment.members(cid))
+        indices = [i for i, p in enumerate(labelled.providers) if p in members]
+        centroids[assignment.family_name(cid)] = embedding.embedding[indices].mean(axis=0)
+    lines.append("  family centroids   :")
+    for family, centroid in centroids.items():
+        lines.append(f"    {family:10s} ({centroid[0]:+.2f}, {centroid[1]:+.2f})")
+    emit(capsys, "\n".join(lines))
+
+    # Shape assertions vs the paper.
+    assert assignment.cluster_count == 4
+    nss_members = {p for p in assignment.providers if assignment.family_of(p) == "nss"}
+    assert nss_members == {"nss", "alpine", "amazonlinux", "android", "debian", "nodejs", "ubuntu"}
+    for loner in ("apple", "microsoft", "java"):
+        assert assignment.members(assignment.provider_family[loner]) == (loner,)
+    # The embedding must be a reasonable 2-D representation.
+    assert stress1 < 0.35
+    # Families must separate in the embedding plane: every pair of
+    # family centroids is distinctly apart (the paper's disjoint
+    # clusters; within-family spread is large because each family's
+    # snapshots span a decade of drift).
+    names = list(centroids)
+    gaps = [
+        np.linalg.norm(centroids[a] - centroids[b])
+        for i, a in enumerate(names)
+        for b in names[i + 1:]
+    ]
+    assert min(gaps) > 0.1
+    # The paper's outliers: Apple's 2014 batch and Java's 2018 churn.
+    keys = {(o.provider, o.taken_at) for o in outliers}
+    assert ("apple", date(2014, 2, 15)) in keys
+    assert ("java", date(2018, 8, 15)) in keys

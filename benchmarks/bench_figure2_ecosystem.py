@@ -1,0 +1,74 @@
+"""Figure 2 — the inverted-pyramid ecosystem.
+
+Paper: hundreds of user agents -> ~a dozen providers -> three root
+programs covering a majority (NSS 34%, Apple 23%, Windows 20%); Java
+anchors no popular user agent.
+"""
+
+from datetime import date
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    build_ecosystem_graph,
+    overlap_matrix,
+    provider_reachability,
+    pyramid_stats,
+    sharing_distribution,
+)
+from repro.useragents import sample_top_200
+
+
+def _pipeline():
+    sample = sample_top_200()
+    graph = build_ecosystem_graph(sample)
+    return graph, pyramid_stats(graph)
+
+
+def test_figure2_inverted_pyramid(benchmark, dataset, capsys):
+    graph, stats = benchmark.pedantic(_pipeline, rounds=3, iterations=1)
+
+    lines = [
+        "Figure 2: the root store ecosystem pyramid",
+        f"  user agents  : {stats.user_agents} ({stats.attributed_user_agents} attributed)",
+        f"  providers    : {stats.providers}",
+        f"  programs     : {stats.programs}",
+        f"  inverted     : {stats.inverted}",
+        "  program shares:",
+    ]
+    for program, count in sorted(stats.program_shares.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {program:10s} {count:4d} UAs ({stats.share(program) * 100:.0f}%)")
+    reach = provider_reachability(graph)
+    lines.append("  provider reach:")
+    for provider, count in sorted(reach.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {provider:12s} {count:4d}")
+    # The condensation evidence: the programs' stores overlap heavily.
+    sharing = sharing_distribution(dataset, at=date(2020, 6, 1))
+    overlap = overlap_matrix(dataset, at=date(2020, 6, 1))
+    lines.append(
+        f"  root sharing (2020-06): {sharing.total_roots} TLS roots total, "
+        f"{sharing.shared_fraction(2) * 100:.0f}% trusted by 2+ programs, "
+        f"{sharing.universally_shared} by all four"
+    )
+    lines.append(
+        f"  containment: {overlap.of('nss', 'microsoft') * 100:.0f}% of NSS "
+        f"inside Microsoft; {overlap.of('microsoft', 'nss') * 100:.0f}% of "
+        f"Microsoft inside NSS"
+    )
+    emit(capsys, "\n".join(lines))
+
+    # Shape assertions vs the paper.
+    assert stats.inverted
+    assert stats.user_agents == 200 and stats.providers == 10 and stats.programs == 4
+    # Paper: NSS 34%, Apple 23%, Windows 20% — ordering and magnitudes.
+    assert stats.program_shares["nss"] > stats.program_shares["apple"] > stats.program_shares["microsoft"]
+    assert abs(stats.share("nss") - 0.34) < 0.03
+    assert abs(stats.share("apple") - 0.23) < 0.05
+    assert abs(stats.share("microsoft") - 0.20) < 0.05
+    # A majority rests on the top three programs; none on Java.
+    covered = sum(stats.program_shares.values())
+    assert covered > stats.user_agents / 2
+    assert "java" not in stats.program_shares
+    assert set(stats.majority_programs()) <= {"nss", "apple", "microsoft"}
+    # Trust concentration: the majority of roots are multi-program.
+    assert sharing.shared_fraction(2) > 0.5
+    assert overlap.of("nss", "microsoft") > overlap.of("microsoft", "nss")

@@ -1,0 +1,56 @@
+"""Figure 3 — NSS-derivative staleness.
+
+Paper: Alpine closest to NSS (0.73 substantial versions behind),
+Debian/Ubuntu 1.96, NodeJS 2.1, Android 3.22, Amazon Linux 4.83 —
+with Amazon Linux and Android *always* behind.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import chart, lineage_accuracy, match_history, render_table, staleness_report
+from repro.store import NSS_DERIVATIVES
+
+
+def test_figure3_staleness(benchmark, dataset, capsys):
+    report = benchmark.pedantic(
+        staleness_report, args=(dataset, NSS_DERIVATIVES), rounds=1, iterations=1
+    )
+
+    rows = []
+    for series in report:
+        accuracy = lineage_accuracy(match_history(dataset[series.provider], dataset["nss"]))
+        rows.append(
+            (
+                series.provider,
+                f"{series.average:.2f}",
+                f"{series.always_behind_fraction * 100:.0f}%",
+                f"{accuracy * 100:.0f}%",
+            )
+        )
+    table = render_table(
+        ("Derivative", "Avg versions behind", "Time behind", "Lineage accuracy"),
+        rows,
+        title="Figure 3: NSS derivative staleness",
+    )
+    figure = chart(
+        [(s.provider, list(s.points)) for s in report],
+        title="versions-behind over time:",
+    )
+    emit(capsys, f"{table}\n\n{figure}")
+
+    averages = {s.provider: s.average for s in report}
+    behinds = {s.provider: s.always_behind_fraction for s in report}
+
+    # Ordering: Alpine least stale, Amazon Linux most (paper's ladder).
+    order = [s.provider for s in report]
+    assert order[0] == "alpine"
+    assert order[-1] == "amazonlinux"
+    assert averages["alpine"] < averages["debian"] <= averages["nodejs"]
+    assert averages["nodejs"] < averages["android"] < averages["amazonlinux"]
+    # Debian and Ubuntu move in lockstep (same ca-certificates package).
+    assert abs(averages["debian"] - averages["ubuntu"]) < 0.5
+    # Paper: Amazon Linux and Android are always stale.
+    assert behinds["amazonlinux"] > 0.95
+    assert behinds["android"] > 0.9
+    # Magnitudes in the paper's band (0.7 .. ~5 versions).
+    assert averages["alpine"] < 2.0
+    assert averages["amazonlinux"] > 3.0

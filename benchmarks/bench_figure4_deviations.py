@@ -1,0 +1,79 @@
+"""Figure 4 — derivative deviations from strict NSS adherence.
+
+Paper: every derivative deviates; Debian/Ubuntu ship non-NSS roots and
+conflate email-only roots into TLS trust, Alpine conflates email roots
+until 2020, Android performs proactive removals, Amazon Linux re-adds
+purged 1024-bit roots, and the Symantec distrust fallout appears in
+Debian/Ubuntu's premature removal + re-add.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    chart,
+    CATEGORY_CUSTOM,
+    CATEGORY_EMAIL,
+    CATEGORY_NON_NSS,
+    CATEGORY_SYMANTEC,
+    corpus_classifier,
+    deviation_report,
+    render_table,
+)
+from repro.store import NSS_DERIVATIVES
+
+
+def test_figure4_derivative_deviations(benchmark, dataset, corpus, capsys):
+    classify = corpus_classifier(corpus)
+    report = benchmark.pedantic(
+        deviation_report, args=(dataset, NSS_DERIVATIVES, classify), rounds=1, iterations=1
+    )
+
+    rows = []
+    for series in report:
+        totals = series.category_totals()
+        rows.append(
+            (
+                series.provider,
+                series.max_added(),
+                series.max_removed(),
+                totals.get(CATEGORY_SYMANTEC, 0),
+                totals.get(CATEGORY_NON_NSS, 0),
+                totals.get(CATEGORY_EMAIL, 0),
+                totals.get(CATEGORY_CUSTOM, 0),
+            )
+        )
+    table = render_table(
+        ("Derivative", "Max +", "Max -", "Symantec", "Non-NSS", "Email", "Custom"),
+        rows,
+        title="Figure 4: derivative deviations from matched NSS versions",
+    )
+    figure = chart(
+        [
+            (s.provider, [(p.taken_at, float(p.total)) for p in s.points])
+            for s in report
+        ],
+        title="total deviation (added + removed roots) over time:",
+    )
+    emit(capsys, f"{table}\n\n{figure}")
+
+    by = {s.provider: s for s in report}
+
+    # Every derivative deviates from strict NSS adherence.
+    for series in report:
+        assert series.ever_deviated(), series.provider
+    # Debian/Ubuntu: large non-NSS and email-conflation components.
+    for provider in ("debian", "ubuntu"):
+        totals = by[provider].category_totals()
+        assert totals.get(CATEGORY_NON_NSS, 0) > 100
+        assert totals.get(CATEGORY_EMAIL, 0) > 100
+        assert totals.get(CATEGORY_SYMANTEC, 0) > 0  # the premature removal episode
+        assert by[provider].max_added() > 20
+    # Alpine: small deviations, dominated by email conflation.
+    assert by["alpine"].max_added() <= 6
+    assert CATEGORY_EMAIL in by["alpine"].category_totals()
+    # Android: removal-dominated (proactive distrust).
+    assert by["android"].max_removed() >= 1
+    assert by["android"].category_totals().get(CATEGORY_NON_NSS, 0) == 0
+    # Amazon Linux: the big custom re-add component.
+    amazon = by["amazonlinux"].category_totals()
+    assert amazon.get(CATEGORY_CUSTOM, 0) > 100
+    assert amazon.get(CATEGORY_NON_NSS, 0) > 0  # the Thawte root

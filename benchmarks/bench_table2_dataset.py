@@ -1,0 +1,60 @@
+"""Table 2 — the root store dataset: ten providers, ~619 snapshots.
+
+The bench times the collection step (publishing the latest snapshots of
+every provider as native artifacts and scraping them back) and prints
+the Table 2 summary measured from the corpus.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.collection import publish_history, scrape_history
+from repro.store import PROVIDERS, StoreHistory
+
+
+def _collect_recent(dataset, per_provider=3):
+    """Publish + scrape the most recent snapshots of every provider."""
+    rebuilt = {}
+    for provider in dataset.providers:
+        sub = StoreHistory(provider)
+        for snapshot in dataset[provider].snapshots[-per_provider:]:
+            sub.add(snapshot)
+        rebuilt[provider] = scrape_history(provider, publish_history(sub))
+    return rebuilt
+
+
+def test_table2_dataset(benchmark, dataset, capsys):
+    rebuilt = benchmark.pedantic(_collect_recent, args=(dataset,), rounds=1, iterations=1)
+
+    rows = []
+    for summary in dataset.summary_rows():
+        provider = PROVIDERS[summary["provider"]]
+        history = dataset[summary["provider"]]
+        distinct_states = len({s.tls_fingerprints() for s in history})
+        rows.append(
+            (
+                provider.display_name,
+                f"{summary['from']:%Y-%m}",
+                f"{summary['to']:%Y-%m}",
+                summary["snapshots"],
+                distinct_states,
+                provider.data_source,
+                str(provider.store_format),
+            )
+        )
+    table = render_table(
+        ("Root store", "From", "To", "# SS", "# Uniq", "Data source", "Details"),
+        rows,
+        title="Table 2: root store dataset",
+    )
+    emit(capsys, f"{table}\n\nTotal snapshots: {dataset.total_snapshots()} (paper: 619)")
+
+    # Shape assertions vs the paper's Table 2.
+    assert len(dataset.providers) == 10
+    assert 580 <= dataset.total_snapshots() <= 700
+    by_provider = {r["provider"]: r for r in dataset.summary_rows()}
+    assert by_provider["nss"]["from"].year == 2000  # longest history
+    assert by_provider["java"]["snapshots"] == 7
+    assert by_provider["nss"]["snapshots"] > by_provider["apple"]["snapshots"] > by_provider["java"]["snapshots"]
+    # Collection round-trip preserved every provider's latest TLS set.
+    for provider, history in rebuilt.items():
+        assert history.latest().tls_fingerprints() == dataset[provider].latest().tls_fingerprints()

@@ -1,0 +1,55 @@
+"""Table 3 — root store hygiene.
+
+Paper values: NSS purges MD5 (2016-02) and 1024-bit RSA (2015-10)
+first, Apple close behind, Microsoft ~2 years later, Java last; average
+expired roots Microsoft 9.9 >> Apple 2.9 > Java 1.3 ~ NSS 1.2; store
+sizes Microsoft 246.6 > Apple 152.9 > NSS 121.8 > Java 89.4.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import hygiene_report, rank_by_hygiene, render_table
+
+
+def test_table3_hygiene(benchmark, dataset, capsys):
+    report = benchmark.pedantic(hygiene_report, args=(dataset,), rounds=3, iterations=1)
+
+    rows = [
+        (
+            r.provider,
+            f"{r.average_size:.1f}",
+            f"{r.average_expired:.1f}",
+            f"{r.md5_removal:%Y-%m}" if r.md5_removal else "still trusted",
+            f"{r.weak_rsa_removal:%Y-%m}" if r.weak_rsa_removal else "still trusted",
+        )
+        for r in report
+    ]
+    table = render_table(
+        ("Root store", "Avg. size", "Avg. expired", "MD5", "1024-bit RSA"),
+        rows,
+        title="Table 3: root store hygiene",
+    )
+    emit(capsys, f"{table}\nBest-to-worst: {' > '.join(rank_by_hygiene(report))}")
+
+    by = {r.provider: r for r in report}
+    # Size ordering (paper: Microsoft > Apple > NSS > Java).
+    assert by["microsoft"].average_size > by["apple"].average_size
+    assert by["apple"].average_size > by["nss"].average_size > by["java"].average_size
+    # Size ratios within a factor-shape of the paper's 2.0x / 1.26x / 0.73x.
+    assert 1.5 < by["microsoft"].average_size / by["nss"].average_size < 2.5
+    assert 1.1 < by["apple"].average_size / by["nss"].average_size < 1.5
+    assert 0.6 < by["java"].average_size / by["nss"].average_size < 0.9
+    # Expired-root ordering (paper: Microsoft 9.9 dominates).
+    assert by["microsoft"].average_expired > 3 * by["apple"].average_expired
+    assert by["nss"].average_expired < 0.5
+    # Purge dates (paper: Apple/NSS 2015-2016, Microsoft +2y, Java last).
+    assert by["nss"].weak_rsa_removal.year == 2015
+    assert by["apple"].weak_rsa_removal.year == 2015
+    assert by["microsoft"].weak_rsa_removal.year == 2017
+    assert by["java"].weak_rsa_removal.year == 2021
+    assert by["nss"].md5_removal.year == 2016
+    assert by["apple"].md5_removal.year == 2016
+    assert by["microsoft"].md5_removal.year == 2018
+    assert by["java"].md5_removal.year == 2019
+    # Qualitative ranking: NSS best, Microsoft worst.
+    ranking = rank_by_hygiene(report)
+    assert ranking[0] == "nss" and ranking[-1] == "microsoft"

@@ -1,0 +1,79 @@
+"""Table 4 — responses to high-severity NSS removals.
+
+Reproduces every lag in the paper's Table 4: DigiNotar (Microsoft -37,
+Apple +6), CNNIC (Apple -758 ... Microsoft +944), StartCom/WoSign
+(Debian -120, Microsoft -53, Android +21, ...), Procert, Certinomis
+(NodeJS +109 ... AmazonLinux +630, Apple revoked-not-removed,
+Microsoft still trusted).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, response_report
+
+
+def test_table4_removal_responses(benchmark, dataset, corpus, slug_fingerprints, capsys):
+    revocations = {corpus.fingerprint(s): d for s, d in corpus.apple_revocations.items()}
+    report = benchmark.pedantic(
+        response_report,
+        args=(dataset, slug_fingerprints),
+        kwargs={"revocations": revocations},
+        rounds=1,
+        iterations=1,
+    )
+
+    chunks = []
+    for incident, rows in report.items():
+        table = render_table(
+            ("Root store", "# certs", "Trusted until", "Lag (days)"),
+            (
+                (
+                    r.provider,
+                    r.certs_ever_trusted,
+                    r.trusted_until or ("revoked" if r.revoked_on else "still trusted"),
+                    r.lag_label(),
+                )
+                for r in rows
+            ),
+            title=f"Table 4 ({incident})",
+        )
+        chunks.append(table)
+    emit(capsys, "\n\n".join(chunks))
+
+    lags = {
+        (incident, row.provider): row
+        for incident, rows in report.items()
+        for row in rows
+    }
+
+    # DigiNotar: swift removals everywhere.
+    assert lags[("diginotar", "microsoft")].lag_days == -37
+    assert lags[("diginotar", "apple")].lag_days == 6
+    assert lags[("diginotar", "debian")].lag_days == 16
+    # CNNIC: Apple preemptive, Microsoft nearly three years late.
+    assert lags[("cnnic", "apple")].lag_days == -758
+    assert lags[("cnnic", "android")].lag_days == 131
+    assert lags[("cnnic", "debian")].lag_days == 256
+    assert lags[("cnnic", "nodejs")].lag_days == 271
+    assert lags[("cnnic", "amazonlinux")].lag_days == 571
+    assert lags[("cnnic", "microsoft")].lag_days == 944
+    # StartCom / WoSign: Debian/Ubuntu removed early; Apple still
+    # trusts one StartCom root; Apple never carried WoSign.
+    assert lags[("startcom", "debian")].lag_days == -120
+    assert lags[("startcom", "microsoft")].lag_days == -53
+    assert lags[("startcom", "android")].lag_days == 21
+    assert lags[("startcom", "amazonlinux")].lag_days == 461
+    assert lags[("startcom", "apple")].still_trusted
+    assert ("wosign", "apple") not in lags
+    assert lags[("wosign", "debian")].lag_days == -120
+    # Procert: never in the other independent programs.
+    assert ("procert", "apple") not in lags
+    assert ("procert", "microsoft") not in lags
+    assert lags[("procert", "nodejs")].lag_days == 161
+    # Certinomis: the paper's full lag ladder.
+    assert lags[("certinomis", "nodejs")].lag_days == 109
+    assert lags[("certinomis", "alpine")].lag_days == 262
+    assert lags[("certinomis", "debian")].lag_days == 332
+    assert lags[("certinomis", "android")].lag_days == 430
+    assert lags[("certinomis", "amazonlinux")].lag_days == 630
+    assert lags[("certinomis", "apple")].lag_label().endswith("*")  # revoked only
+    assert lags[("certinomis", "microsoft")].still_trusted

@@ -1,0 +1,37 @@
+"""Table 5 (Appendix A) — popular OS & TLS software root stores.
+
+Paper: nine OSes all ship stores; of nineteen TLS libraries only NSS,
+JSSE, and NodeJS ship their own; among clients only Firefox, Chrome,
+360Browser, and Electron carry stores.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.useragents import surveyed_counts
+from repro.useragents.software import SOFTWARE, SoftwareKind
+
+
+def test_table5_software_survey(benchmark, capsys):
+    counts = benchmark.pedantic(surveyed_counts, rounds=5, iterations=1)
+
+    rows = [(str(s.kind), s.name, "yes" if s.ships_root_store else "no", s.details) for s in SOFTWARE]
+    table = render_table(
+        ("Kind", "Name", "Root store?", "Details"),
+        rows,
+        title="Table 5: popular OS & TLS software root stores",
+    )
+    summary = "\n".join(
+        f"  {kind}: {shipping}/{total} ship a root store"
+        for kind, (total, shipping) in counts.items()
+    )
+    emit(capsys, f"{table}\n{summary}")
+
+    # Shape assertions vs Appendix A.
+    libraries = [s for s in SOFTWARE if s.kind is SoftwareKind.TLS_LIBRARY]
+    assert len(libraries) >= 19
+    shipping_libraries = {s.name for s in libraries if s.ships_root_store}
+    assert shipping_libraries == {"NSS", "JSSE", "NodeJS"}
+    oses = [s for s in SOFTWARE if s.kind is SoftwareKind.OPERATING_SYSTEM]
+    assert all(s.ships_root_store for s in oses)
+    clients = {s.name for s in SOFTWARE if s.kind is SoftwareKind.TLS_CLIENT and s.ships_root_store}
+    assert {"Firefox", "Chrome", "360Browser", "Electron"} == clients

@@ -1,0 +1,58 @@
+"""Table 6 (Appendix B) — program-exclusive roots.
+
+Paper counts: NSS 1 (a new Microsec ECC root), Java 0, Apple 13
+(6 email-only-elsewhere + 5 Apple-services + 2 distrusted-elsewhere),
+Microsoft 30 (government super-CAs, NSS-denied/abandoned CAs, ...).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import exclusives_report, render_table
+
+
+def test_table6_exclusives(benchmark, dataset, corpus, capsys):
+    def describe(fingerprint: str) -> str:
+        spec = corpus.spec_for_fingerprint(fingerprint)
+        return spec.note if spec else ""
+
+    report = benchmark.pedantic(
+        exclusives_report, args=(dataset,), kwargs={"describe": describe}, rounds=1, iterations=1
+    )
+
+    chunks = []
+    for program in ("nss", "java", "apple", "microsoft"):
+        roots = report[program]
+        rows = [(r.fingerprint[:8], r.common_name, r.organization, r.detail[:60]) for r in roots]
+        chunks.append(
+            render_table(
+                ("Cert SHA256", "CN", "CA", "Details"),
+                rows,
+                title=f"Table 6: {program} exclusives ({len(roots)})",
+            )
+        )
+    emit(capsys, "\n\n".join(chunks))
+
+    # The paper's exact exclusive counts.
+    assert len(report["nss"]) == 1
+    assert len(report["java"]) == 0
+    assert len(report["apple"]) == 13
+    assert len(report["microsoft"]) == 30
+
+    # NSS's single exclusive is the new ECC root.
+    nss_exclusive = report["nss"][0]
+    cert = next(
+        e.certificate
+        for e in dataset["nss"].latest()
+        if e.fingerprint == nss_exclusive.fingerprint
+    )
+    assert cert.key_type == "ec"
+
+    # Apple's taxonomy: 6 email-elsewhere + 5 Apple services + 2 distrusted-elsewhere.
+    apple_slugs = {corpus.slug_for(r.fingerprint) for r in report["apple"]}
+    assert sum(1 for s in apple_slugs if s.startswith("apple-email-")) == 6
+    assert sum(1 for s in apple_slugs if s.startswith("apple-services-")) == 5
+    assert {"certipost-root", "gov-venezuela"} <= apple_slugs
+
+    # Microsoft's exclusives include government super-CAs.
+    ms_details = " ".join(r.detail for r in report["microsoft"])
+    assert "super-CA" in ms_details
+    assert any("NSS denied" in r.detail for r in report["microsoft"])

@@ -1,0 +1,45 @@
+"""Table 7 (Appendix C) — NSS root removals since 2010.
+
+Paper rows: six high-severity removals (Certinomis 1, StartCom 3,
+PSPProcert 1, WoSign 4, CNNIC 2, DigiNotar 1) and three medium ones
+(Symantec 10 + 3, Taiwan GRCA 1), each measured back from the generated
+NSS history.
+"""
+
+from datetime import date
+
+from benchmarks.conftest import emit
+from repro.analysis import nss_removal_report, render_table
+
+
+def test_table7_nss_removals(benchmark, dataset, slug_fingerprints, capsys):
+    rows = benchmark.pedantic(
+        nss_removal_report, args=(dataset, slug_fingerprints), rounds=3, iterations=1
+    )
+
+    table = render_table(
+        ("Bugzilla ID", "Severity", "Removed on", "# certs", "Details"),
+        ((r.bugzilla_id, r.severity, r.removed_on, r.measured_certs, r.description) for r in rows),
+        title="Table 7: NSS root removals",
+    )
+    emit(capsys, table)
+
+    by_bug = {r.bugzilla_id: r for r in rows}
+    expectations = {
+        "1552374": ("high", date(2019, 7, 5), 1),
+        "1392849": ("high", date(2017, 11, 14), 3),
+        "1408080": ("high", date(2017, 11, 14), 1),
+        "1387260": ("high", date(2017, 11, 14), 4),
+        "1380868": ("high", date(2017, 7, 27), 2),
+        "682927": ("high", date(2011, 10, 6), 1),
+        "1670769": ("medium", date(2020, 12, 11), 10),
+        "1656077": ("medium", date(2020, 9, 18), 1),
+        "1618402": ("medium", date(2020, 6, 26), 3),
+    }
+    assert set(by_bug) == set(expectations)
+    for bug, (severity, removed_on, certs) in expectations.items():
+        row = by_bug[bug]
+        assert row.severity == severity, bug
+        assert row.removed_on == removed_on, bug
+        assert row.measured_certs == certs, bug
+        assert row.matches, bug

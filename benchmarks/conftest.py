@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every bench reuses one session corpus; heavy pipeline stages run under
+``benchmark.pedantic`` with a single round so the suite stays fast while
+still reporting wall-clock per experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import default_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return default_corpus()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus):
+    return corpus.dataset
+
+
+@pytest.fixture(scope="session")
+def slug_fingerprints(corpus):
+    return {spec.slug: corpus.fingerprint(spec.slug) for spec in corpus.specs}
+
+
+def emit(capsys, text: str) -> None:
+    """Print an experiment's table through captured output."""
+    with capsys.disabled():
+        print()
+        print(text)

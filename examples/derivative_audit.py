@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Audit an NSS derivative: staleness, fidelity, and bespoke trust.
+
+The paper's Section 6 methodology applied to one provider (default:
+Debian).  Shows lineage matching, versions-behind integration, and the
+deviation taxonomy — including the Symantec re-trust episode.
+
+Run:  python examples/derivative_audit.py [provider]
+"""
+
+import sys
+from datetime import date
+
+from repro.analysis import (
+    corpus_classifier,
+    deviation_series,
+    match_history,
+    render_table,
+    staleness_series,
+)
+from repro.simulation import default_corpus
+from repro.store import NSS_DERIVATIVES
+
+
+def main() -> None:
+    provider = sys.argv[1] if len(sys.argv) > 1 else "debian"
+    if provider not in NSS_DERIVATIVES:
+        raise SystemExit(f"pick one of: {', '.join(NSS_DERIVATIVES)}")
+
+    corpus = default_corpus()
+    dataset = corpus.dataset
+    history = dataset[provider]
+    print(f"Auditing {provider}: {len(history)} snapshots, "
+          f"{history.first_date} .. {history.last_date}")
+
+    # 1. Lineage: which NSS version does each release copy?
+    matches = match_history(history, dataset["nss"])
+    rows = [
+        (m.taken_at, m.version, m.matched_nss_version, f"{m.distance:.3f}")
+        for m in matches[-8:]
+    ]
+    print("\n" + render_table(
+        ("Release", "Claimed version", "Closest NSS version", "Jaccard distance"),
+        rows,
+        title="Lineage (last eight releases)",
+    ))
+
+    # 2. Staleness: versions-behind integrated over time.
+    series = staleness_series(history, dataset["nss"])
+    print(f"\nAverage substantial-version staleness: {series.average:.2f}")
+    print(f"Behind NSS {series.always_behind_fraction * 100:.0f}% of the time")
+
+    # 3. Deviations from the matched NSS version, categorized.
+    classify = corpus_classifier(corpus)
+    deviations = deviation_series(dataset, provider, classify)
+    totals = deviations.category_totals()
+    print("\nDeviation taxonomy (entry-snapshots across the lifetime):")
+    for category, count in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"  {category:18s} {count}")
+
+    # 4. The Symantec episode, if this provider lived through it.
+    if provider in ("debian", "ubuntu"):
+        geotrust = corpus.fingerprint("symantec-legacy-1")
+        removed = corpus.fingerprint("symantec-legacy-3")
+        for day, label in (
+            (date(2020, 5, 20), "before NSS v53"),
+            (date(2020, 6, 15), "after premature removal"),
+            (date(2020, 8, 1), "after the complaint-driven re-add"),
+        ):
+            snapshot = history.at(day)
+            print(
+                f"  {day} ({label}): GeoTrust Universal CA 2 "
+                f"{'present' if geotrust in snapshot.fingerprints() else 'absent'}, "
+                f"other Symantec {'present' if removed in snapshot.fingerprints() else 'absent'}"
+            )
+
+
+if __name__ == "__main__":
+    main()

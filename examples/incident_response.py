@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Incident response: what does a CA distrust mean for end users?
+
+Replays the Certinomis and Symantec incidents: measures each store's
+removal lag (Table 4) and then *validates real certificate chains*
+against the stores at different dates to show user-visible impact.
+
+Run:  python examples/incident_response.py
+"""
+
+from datetime import date, datetime, timezone
+
+from repro.analysis import measure_response, render_table
+from repro.simulation import default_corpus, incident_by_key
+from repro.verify import ChainValidator, issue_server_leaf
+
+
+def main() -> None:
+    corpus = default_corpus()
+    dataset = corpus.dataset
+    fingerprints = {spec.slug: corpus.fingerprint(spec.slug) for spec in corpus.specs}
+    revocations = {corpus.fingerprint(s): d for s, d in corpus.apple_revocations.items()}
+
+    # --- 1. The Certinomis removal ladder (Table 4). ---
+    incident = incident_by_key("certinomis")
+    print(f"Incident: {incident.description}")
+    print(f"NSS removal: {incident.nss_removal} (bug {incident.bugzilla_id})\n")
+    rows = []
+    for provider in ("nodejs", "alpine", "debian", "android", "amazonlinux", "apple", "microsoft"):
+        row = measure_response(dataset, incident, provider, fingerprints, revocations=revocations)
+        if row:
+            rows.append(
+                (provider, row.trusted_until or ("revoked" if row.revoked_on else "still trusted"),
+                 row.lag_label())
+            )
+    print(render_table(("Root store", "Trusted until", "Lag (days)"), rows))
+
+    # --- 2. End-user impact: validate a Certinomis-issued server cert. ---
+    spec = corpus.specs_by_slug["certinomis-root"]
+    leaf = issue_server_leaf(
+        spec, corpus.mint, "shop.example.fr",
+        not_before=datetime(2019, 1, 1, tzinfo=timezone.utc), lifetime_days=800,
+    )
+    print("\nValidating shop.example.fr (Certinomis-issued) on 2020-01-15:")
+    at = datetime(2020, 1, 15, tzinfo=timezone.utc)
+    for provider in ("nss", "nodejs", "microsoft", "amazonlinux"):
+        store = dataset[provider].at(date(2020, 1, 15))
+        result = ChainValidator(store=store).validate(leaf, at)
+        verdict = "ACCEPTED" if result.valid else f"REJECTED ({result.reason})"
+        print(f"  {provider:12s} {verdict}")
+
+    # --- 3. Partial distrust: the Symantec cutover. ---
+    print("\nSymantec partial distrust (NSS v53, server-distrust-after):")
+    symantec = corpus.specs_by_slug["symantec-legacy-2"]
+    early = issue_server_leaf(
+        symantec, corpus.mint, "old.bank.example",
+        not_before=datetime(2019, 1, 1, tzinfo=timezone.utc), lifetime_days=700,
+    )
+    late = issue_server_leaf(
+        symantec, corpus.mint, "new.bank.example",
+        not_before=datetime(2019, 10, 1, tzinfo=timezone.utc), lifetime_days=700,
+    )
+    for day in (date(2020, 6, 10), date(2020, 8, 1)):
+        at = datetime(day.year, day.month, day.day, tzinfo=timezone.utc)
+        print(f"  at {day}:")
+        for provider in ("nss", "debian", "nodejs"):
+            store = dataset[provider].at(day)
+            for domain, leaf_cert in (("old.bank.example", early), ("new.bank.example", late)):
+                result = ChainValidator(store=store).validate(leaf_cert, at)
+                verdict = "ACCEPTED" if result.valid else f"REJECTED ({result.reason})"
+                print(f"    {provider:8s} {domain:18s} {verdict}")
+    print(
+        "\nNSS rejects only post-cutoff issuance. Debian, unable to express"
+        "\npartial distrust, first removed the roots outright (breaking even"
+        "\npre-cutoff certificates — the NuGet incident) and then re-added"
+        "\nthem fully (accepting what NSS rejects). Section 6.2's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

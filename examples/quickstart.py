@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: generate the ecosystem, inspect a root store, diff two snapshots.
+
+Run:  python examples/quickstart.py
+"""
+
+from datetime import date
+
+from repro.analysis import render_table
+from repro.formats import serialize_certdata
+from repro.simulation import default_corpus
+from repro.store import diff_snapshots
+
+
+def main() -> None:
+    # 1. Generate (or load from the key pool cache) the full corpus:
+    #    ten providers, ~650 dated root store snapshots, 2000-2021.
+    corpus = default_corpus()
+    dataset = corpus.dataset
+    print("Providers:", ", ".join(dataset.providers))
+    print("Total snapshots:", dataset.total_snapshots())
+
+    # 2. Look at NSS's latest root store.
+    nss = dataset["nss"].latest()
+    print(f"\n{nss.describe()}")
+    for entry in list(nss)[:5]:
+        print("  ", entry.describe())
+    print("   ...")
+
+    # 3. Every snapshot renders to its provider's native format.
+    certdata = serialize_certdata(list(nss.entries))
+    print(f"\ncertdata.txt for this snapshot: {len(certdata):,} characters")
+    print("\n".join(certdata.splitlines()[8:14]))
+
+    # 4. Diff the NSS store across the Symantec distrust window.
+    before = dataset["nss"].at(date(2020, 6, 1))
+    after = dataset["nss"].at(date(2021, 1, 1))
+    diff = diff_snapshots(before, after)
+    print(f"\nNSS {before.version} -> {after.version}: {diff.describe()}")
+    rows = [
+        (e.certificate.subject.common_name, e.certificate.subject.organization)
+        for e in diff.removed[:8]
+    ]
+    print(render_table(("Removed root", "Operator"), rows))
+
+    # 5. Partial distrust is a first-class trust attribute.
+    marked = [e for e in before if e.distrust_after is not None]
+    print(f"\nRoots carrying server-distrust-after in {before.version}: {len(marked)}")
+    for entry in marked[:3]:
+        print("  ", entry.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The four client revocation channels, side by side.
+
+Root store membership is only half of trust (paper, Section 3.1): each
+client family layers its own revocation mechanism on top.  This example
+revokes the same mis-issued certificate through all four channels —
+a classic CRL, Mozilla's OneCRL, Chrome's CRLSet, and Apple's
+valid.apple.com feed — and validates the victim chain under each.
+
+Run:  python examples/revocation_mechanisms.py
+"""
+
+from datetime import date, datetime, timezone
+
+from repro.revocation import (
+    AppleRevocationFeed,
+    CRLSet,
+    OneCRL,
+    RevocationChecker,
+    RevocationReason,
+    RevokedCertificate,
+    build_crl,
+)
+from repro.simulation import default_corpus
+from repro.store import RootStoreSnapshot, TrustEntry
+from repro.verify import ChainValidator, issue_server_leaf
+
+AT = datetime(2020, 6, 1, tzinfo=timezone.utc)
+
+
+def main() -> None:
+    corpus = default_corpus()
+    spec = corpus.specs_by_slug["common-d6"]
+    root = corpus.mint.certificate_for(spec)
+    key = corpus.mint.key_for(spec)
+    victim = issue_server_leaf(
+        spec, corpus.mint, "misissued.example.net",
+        not_before=datetime(2020, 1, 1, tzinfo=timezone.utc),
+    )
+    store = RootStoreSnapshot.build("demo", date(2020, 6, 1), "1", [TrustEntry.make(root)])
+
+    print(f"Mis-issued certificate: {victim.subject.common_name} "
+          f"(serial {victim.serial_number:x}, issued by {root.subject.common_name})")
+    baseline = ChainValidator(store=store).validate(victim, AT)
+    print(f"Without revocation checking: {'ACCEPTED' if baseline.valid else baseline.reason}\n")
+
+    # --- 1. Classic CRL, signed by the CA itself. ---
+    crl = build_crl(
+        root, key,
+        [RevokedCertificate(victim.serial_number, datetime(2020, 3, 1, tzinfo=timezone.utc),
+                            RevocationReason.KEY_COMPROMISE)],
+        this_update=datetime(2020, 3, 2, tzinfo=timezone.utc),
+        next_update=datetime(2020, 4, 2, tzinfo=timezone.utc),
+    )
+    crl.verify_signature(root.public_key)
+    print(f"CRL: {len(crl.der)} DER bytes, {len(crl)} entry, signed by the CA")
+
+    # --- 2. Mozilla OneCRL: centrally pushed (issuer, serial) records. ---
+    onecrl = OneCRL()
+    onecrl.add(victim, date(2020, 3, 1), "mis-issuance incident")
+    print(f"OneCRL: {len(onecrl.to_json())} JSON bytes, Kinto-style records")
+
+    # --- 3. Chrome CRLSet: compact, keyed on the issuing SPKI. ---
+    crlset = CRLSet(sequence=4711)
+    crlset.revoke(root, victim.serial_number)
+    print(f"CRLSet: {len(crlset.serialize())} binary bytes (sequence {crlset.sequence})")
+
+    # --- 4. Apple's out-of-band fingerprint feed. ---
+    apple = AppleRevocationFeed()
+    apple.revoke(victim, date(2020, 3, 1), "blocked via valid.apple.com")
+    print(f"Apple feed: {len(apple.to_json())} JSON bytes\n")
+
+    # Validate through each channel.
+    channels = {
+        "CRL": RevocationChecker(crls=[crl]),
+        "OneCRL": RevocationChecker(onecrl=onecrl),
+        "CRLSet": RevocationChecker(crlset=crlset),
+        "Apple feed": RevocationChecker(apple_feed=apple),
+        "none": RevocationChecker(),
+    }
+    for name, checker in channels.items():
+        result = ChainValidator(store=store, revocation=checker).validate(victim, AT)
+        verdict = "ACCEPTED" if result.valid else f"REJECTED ({result.reason})"
+        print(f"  {name:10s} -> {verdict}")
+
+    # Key-level distrust: Chrome's bespoke Symantec-style action.
+    print("\nKey-level SPKI block (Chrome's bespoke distrust mechanism):")
+    sibling = issue_server_leaf(
+        spec, corpus.mint, "another-customer.example",
+        not_before=datetime(2020, 2, 1, tzinfo=timezone.utc),
+    )
+    blocked = CRLSet()
+    blocked.block_spki(root)
+    checker = RevocationChecker(crlset=blocked)
+    for cert in (victim, sibling):
+        result = ChainValidator(store=store, revocation=checker).validate(cert, AT)
+        verdict = "ACCEPTED" if result.valid else f"REJECTED ({result.reason})"
+        print(f"  {cert.subject.common_name:28s} -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A tour of the seven native root store formats.
+
+Publishes one snapshot per provider to disk in its authentic format —
+NSS certdata.txt, Microsoft authroot.stl + cert downloads, an Apple
+roots directory, a real binary JKS keystore, a NodeJS C header, Linux
+PEM bundles, and Debian/Android cert directories — then scrapes each
+back and proves trust fidelity.
+
+Run:  python examples/store_formats_tour.py [output-dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.collection import (
+    extract_entries,
+    read_tree,
+    snapshot_tree,
+    write_tree,
+)
+from repro.simulation import default_corpus
+from repro.store import PROVIDERS
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="roots-"))
+    corpus = default_corpus()
+
+    for provider_key in ("nss", "microsoft", "apple", "java", "nodejs", "alpine", "android"):
+        provider = PROVIDERS[provider_key]
+        snapshot = corpus.dataset[provider_key].latest()
+        tree = snapshot_tree(snapshot)
+        destination = output / provider_key
+        write_tree(tree, destination)
+
+        # Scrape the on-disk artifacts back and compare trust.
+        rebuilt = extract_entries(provider_key, read_tree(destination))
+        original = snapshot.tls_fingerprints()
+        recovered = {e.fingerprint for e in rebuilt if e.is_tls_trusted}
+        status = "OK" if original == recovered else "MISMATCH"
+
+        total_bytes = sum(len(data) for data in tree.values())
+        print(
+            f"{provider.display_name:12s} [{provider.store_format}]  "
+            f"{len(tree):4d} file(s), {total_bytes:8,d} bytes, "
+            f"{len(rebuilt):3d} roots -> round-trip {status}"
+        )
+        sample = sorted(tree)[0]
+        print(f"    e.g. {destination / sample}")
+
+    print(f"\nArtifacts left in {output} for inspection.")
+    print("Try: head -40", output / "nss" / "security/nss/lib/ckfw/builtins/certdata.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — Tracing Your Roots: the TLS trust anchor ecosystem toolkit.
+
+A from-scratch reproduction of *"Tracing Your Roots: Exploring the TLS
+Trust Anchor Ecosystem"* (Ma et al., ACM IMC 2021): root store format
+codecs, a synthetic Web-PKI ecosystem generator standing in for the
+paper's scraped corpus, and the full measurement pipeline behind every
+table and figure in the evaluation.
+
+Layering (bottom-up):
+
+- :mod:`repro.asn1`, :mod:`repro.crypto`, :mod:`repro.x509`,
+  :mod:`repro.encoding` — the certificate substrate.
+- :mod:`repro.formats` — native root store artifact codecs (certdata,
+  authroot.stl, JKS, Apple keychain dir, PEM bundles, cert dirs,
+  node_root_certs.h).
+- :mod:`repro.store` — the normalized trust model (entries, snapshots,
+  histories, providers).
+- :mod:`repro.simulation` — the deterministic ecosystem generator.
+- :mod:`repro.collection` — publish artifacts at simulated origins and
+  scrape them back.
+- :mod:`repro.useragents` — Table 1 / Figure 2 user-agent attribution.
+- :mod:`repro.analysis` — ordination, lineage, staleness, hygiene,
+  exclusives, removal lags.
+- :mod:`repro.verify` — chain validation against snapshots.
+- :mod:`repro.cli` — the ``repro-roots`` command.
+
+Quickstart::
+
+    from repro.simulation import default_corpus
+    from repro.analysis import hygiene_report
+
+    corpus = default_corpus()
+    for row in hygiene_report(corpus.dataset):
+        print(row.provider, row.average_size, row.md5_removal)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,114 @@
+"""Update agility: release cadence and projected incident response.
+
+Section 7 asks for "future work around CA performance and root provider
+performance".  This module supplies the provider-performance half: from
+a snapshot history it measures the release cadence (inter-snapshot gap
+distribution) and the *substantial* cadence (gaps between TLS-changing
+releases), then projects how long an incident would sit unpatched —
+and validates the projection against the measured Table 4 lags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+
+from repro.errors import AnalysisError
+from repro.store.history import Dataset, StoreHistory
+
+
+@dataclass(frozen=True)
+class AgilityProfile:
+    """One provider's release-cadence statistics (days)."""
+
+    provider: str
+    releases: int
+    mean_gap: float
+    median_gap: float
+    max_gap: float
+    substantial_releases: int
+    mean_substantial_gap: float
+
+    @property
+    def projected_response_days(self) -> float:
+        """Expected incident exposure under memoryless release timing.
+
+        A removal landing uniformly at random inside a release cycle
+        waits half a substantial gap on average before the next
+        TLS-changing release can ship it.
+        """
+        return self.mean_substantial_gap / 2.0
+
+
+def agility_profile(history: StoreHistory) -> AgilityProfile:
+    """Cadence statistics for one provider."""
+    dates = [s.taken_at for s in history]
+    if len(dates) < 2:
+        raise AnalysisError(f"{history.provider} has too few snapshots for cadence analysis")
+    gaps = [(b - a).days for a, b in zip(dates, dates[1:])]
+
+    substantial = history.substantial_snapshots()
+    substantial_dates = [s.taken_at for s in substantial]
+    if len(substantial_dates) >= 2:
+        substantial_gaps = [
+            (b - a).days for a, b in zip(substantial_dates, substantial_dates[1:])
+        ]
+    else:
+        substantial_gaps = [float((dates[-1] - dates[0]).days)]
+
+    return AgilityProfile(
+        provider=history.provider,
+        releases=len(dates),
+        mean_gap=mean(gaps),
+        median_gap=median(gaps),
+        max_gap=float(max(gaps)),
+        substantial_releases=len(substantial),
+        mean_substantial_gap=mean(substantial_gaps),
+    )
+
+
+def agility_report(dataset: Dataset, providers: tuple[str, ...]) -> list[AgilityProfile]:
+    """Cadence profiles, most agile (shortest substantial gap) first."""
+    profiles = [
+        agility_profile(dataset[p]) for p in providers if p in dataset and len(dataset[p]) >= 2
+    ]
+    profiles.sort(key=lambda p: p.mean_substantial_gap)
+    return profiles
+
+
+@dataclass(frozen=True)
+class ProjectionCheck:
+    """Projected vs. measured incident response for one provider."""
+
+    provider: str
+    projected_days: float
+    measured_mean_lag: float
+    incidents: int
+
+    @property
+    def proactive(self) -> bool:
+        """The provider removed ahead of NSS on average (negative lag)."""
+        return self.measured_mean_lag < 0
+
+    @property
+    def lag_dominated(self) -> bool:
+        """Measured response is far above the cadence bound: the delay
+        comes from copy lag / inattention, not from release scarcity."""
+        return self.measured_mean_lag > 2 * self.projected_days
+
+
+def projection_check(
+    dataset: Dataset,
+    provider: str,
+    measured_lags: list[int],
+) -> ProjectionCheck:
+    """Compare the cadence projection with measured Table 4 lags."""
+    profile = agility_profile(dataset[provider])
+    if not measured_lags:
+        raise AnalysisError(f"no measured lags for {provider}")
+    return ProjectionCheck(
+        provider=provider,
+        projected_days=profile.projected_response_days,
+        measured_mean_lag=mean(measured_lags),
+        incidents=len(measured_lags),
+    )

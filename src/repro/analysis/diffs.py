@@ -1,0 +1,142 @@
+"""Derivative deviation taxonomy (Figure 4 and Section 6.2).
+
+For every derivative snapshot we diff its TLS set against the NSS
+version it copies (lineage-matched) and classify each deviation:
+
+- ``symantec-distrust`` — fallout from NSS v53's partial distrust that
+  bundle formats cannot express (premature removals, skipped removals).
+- ``non-nss-root`` — roots that never sat in any root program.
+- ``email-signing`` — NSS email-only roots conflated into TLS trust.
+- ``custom-trust`` — everything else (proactive removals, re-adds).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from datetime import date
+from typing import Callable, Protocol
+
+from repro.analysis.lineage import match_history, substantial_versions
+from repro.store.history import Dataset
+from repro.store.purposes import TrustPurpose
+
+#: fingerprint -> deviation category
+Classifier = Callable[[str, str], str]
+
+CATEGORY_SYMANTEC = "symantec-distrust"
+CATEGORY_NON_NSS = "non-nss-root"
+CATEGORY_EMAIL = "email-signing"
+CATEGORY_CUSTOM = "custom-trust"
+
+CATEGORIES = (CATEGORY_SYMANTEC, CATEGORY_NON_NSS, CATEGORY_EMAIL, CATEGORY_CUSTOM)
+
+
+class _CorpusLike(Protocol):
+    def spec_for_fingerprint(self, fingerprint: str): ...
+
+
+def corpus_classifier(corpus: _CorpusLike) -> Classifier:
+    """A classifier backed by the simulator's catalog metadata."""
+
+    def classify(fingerprint: str, direction: str) -> str:
+        spec = corpus.spec_for_fingerprint(fingerprint)
+        if spec is None:
+            return CATEGORY_CUSTOM
+        if spec.has_tag("symantec") or spec.has_tag("nss-v53-removal"):
+            return CATEGORY_SYMANTEC
+        if spec.has_tag("non-nss"):
+            return CATEGORY_NON_NSS
+        if direction == "added" and TrustPurpose.SERVER_AUTH not in spec.purposes:
+            return CATEGORY_EMAIL
+        return CATEGORY_CUSTOM
+
+    return classify
+
+
+@dataclass(frozen=True)
+class DeviationPoint:
+    """One derivative snapshot's deviation from its matched NSS version."""
+
+    provider: str
+    taken_at: date
+    matched_nss_version: str
+    added: int
+    removed: int
+    added_by_category: dict[str, int]
+    removed_by_category: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return self.added + self.removed
+
+
+@dataclass(frozen=True)
+class DeviationSeries:
+    """Figure 4's per-derivative deviation trajectory."""
+
+    provider: str
+    points: tuple[DeviationPoint, ...]
+
+    def max_added(self) -> int:
+        return max((p.added for p in self.points), default=0)
+
+    def max_removed(self) -> int:
+        return max((p.removed for p in self.points), default=0)
+
+    def category_totals(self) -> dict[str, int]:
+        """Aggregate deviation counts by category across the lifetime."""
+        totals: Counter[str] = Counter()
+        for point in self.points:
+            totals.update(point.added_by_category)
+            totals.update(point.removed_by_category)
+        return dict(totals)
+
+    def ever_deviated(self) -> bool:
+        return any(p.total for p in self.points)
+
+
+def deviation_series(
+    dataset: Dataset, provider: str, classify: Classifier
+) -> DeviationSeries:
+    """Diff every snapshot of ``provider`` against its matched NSS version."""
+    nss_history = dataset["nss"]
+    versions = substantial_versions(nss_history)
+    matches = match_history(dataset[provider], nss_history)
+
+    points: list[DeviationPoint] = []
+    for snapshot, match in zip(dataset[provider], matches):
+        base = versions[match.matched_nss_index]
+        derived = snapshot.tls_fingerprints()
+        reference = base.tls_fingerprints()
+        added = derived - reference
+        removed = reference - derived
+        added_categories: Counter[str] = Counter()
+        for fp in added:
+            added_categories[classify(fp, "added")] += 1
+        removed_categories: Counter[str] = Counter()
+        for fp in removed:
+            removed_categories[classify(fp, "removed")] += 1
+        points.append(
+            DeviationPoint(
+                provider=provider,
+                taken_at=snapshot.taken_at,
+                matched_nss_version=match.matched_nss_version,
+                added=len(added),
+                removed=len(removed),
+                added_by_category=dict(added_categories),
+                removed_by_category=dict(removed_categories),
+            )
+        )
+    return DeviationSeries(provider=provider, points=tuple(points))
+
+
+def deviation_report(
+    dataset: Dataset, derivatives: tuple[str, ...], classify: Classifier
+) -> list[DeviationSeries]:
+    """Figure 4: deviation series for every derivative."""
+    return [
+        deviation_series(dataset, provider, classify)
+        for provider in derivatives
+        if provider in dataset
+    ]

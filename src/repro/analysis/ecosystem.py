@@ -1,0 +1,106 @@
+"""The inverted-pyramid ecosystem graph (Figure 2).
+
+Builds a three-layer directed graph — user agents -> root store
+providers -> root programs — with networkx, and computes the pyramid
+statistics the paper reports: layer widths, family shares, and the
+concentration of trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.store.provider import PROVIDERS
+from repro.useragents.attribution import attribute, family_of
+from repro.useragents.strings import parse
+
+
+@dataclass(frozen=True)
+class PyramidStats:
+    """Figure 2's structural summary."""
+
+    user_agents: int
+    attributed_user_agents: int
+    providers: int
+    programs: int
+    #: program key -> number of attributed UAs resting on it
+    program_shares: dict[str, int]
+
+    @property
+    def inverted(self) -> bool:
+        """The defining property: each layer is narrower than the last."""
+        return self.user_agents > self.providers > self.programs
+
+    def share(self, program: str) -> float:
+        """Fraction of all user agents resting on one root program."""
+        return self.program_shares.get(program, 0) / self.user_agents
+
+    def majority_programs(self) -> list[str]:
+        """Programs that together cover >50% of all user agents."""
+        ranked = sorted(self.program_shares.items(), key=lambda kv: -kv[1])
+        covered = 0
+        result = []
+        for program, count in ranked:
+            result.append(program)
+            covered += count
+            if covered > self.user_agents / 2:
+                break
+        return result
+
+
+def build_ecosystem_graph(user_agents: list[str]) -> nx.DiGraph:
+    """The UA -> provider -> program graph."""
+    graph = nx.DiGraph()
+    for provider_key, provider in PROVIDERS.items():
+        graph.add_node(f"provider:{provider_key}", layer="provider", label=provider.display_name)
+        program = family_of(provider_key)
+        graph.add_node(f"program:{program}", layer="program", label=PROVIDERS[program].display_name)
+        graph.add_edge(f"provider:{provider_key}", f"program:{program}")
+
+    for index, ua in enumerate(user_agents):
+        parsed = parse(ua)
+        node = f"ua:{index}:{parsed.agent}@{parsed.os}"
+        graph.add_node(node, layer="user-agent", label=f"{parsed.agent} ({parsed.os})")
+        provider = attribute(parsed)
+        if provider is not None:
+            graph.add_edge(node, f"provider:{provider}")
+    return graph
+
+
+def pyramid_stats(graph: nx.DiGraph) -> PyramidStats:
+    """Layer widths and program shares from an ecosystem graph."""
+    ua_nodes = [n for n, d in graph.nodes(data=True) if d.get("layer") == "user-agent"]
+    provider_nodes = [n for n, d in graph.nodes(data=True) if d.get("layer") == "provider"]
+    program_nodes = [n for n, d in graph.nodes(data=True) if d.get("layer") == "program"]
+
+    shares: dict[str, int] = {}
+    attributed = 0
+    for ua in ua_nodes:
+        successors = list(graph.successors(ua))
+        if not successors:
+            continue
+        attributed += 1
+        provider = successors[0]
+        program = next(iter(graph.successors(provider)))
+        key = program.removeprefix("program:")
+        shares[key] = shares.get(key, 0) + 1
+
+    return PyramidStats(
+        user_agents=len(ua_nodes),
+        attributed_user_agents=attributed,
+        providers=len(provider_nodes),
+        programs=len(program_nodes),
+        program_shares=shares,
+    )
+
+
+def provider_reachability(graph: nx.DiGraph) -> dict[str, int]:
+    """provider -> number of user agents that reach it (degree analysis)."""
+    result: dict[str, int] = {}
+    for node, data in graph.nodes(data=True):
+        if data.get("layer") == "provider":
+            key = node.removeprefix("provider:")
+            result[key] = graph.in_degree(node)
+    return result

@@ -1,0 +1,86 @@
+"""Program-exclusive root analysis (Appendix B / Table 6).
+
+For each independent root program, find the roots in its most recent
+snapshot that are trusted for TLS server authentication there but were
+*never* TLS-trusted by any other independent program.  The paper's
+headline counts: NSS 1, Java 0, Apple 13, Microsoft 30.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.store.history import Dataset
+from repro.store.purposes import TrustPurpose
+
+
+@dataclass(frozen=True)
+class ExclusiveRoot:
+    """One program-exclusive root with report context."""
+
+    program: str
+    fingerprint: str
+    common_name: str
+    organization: str
+    #: catalog provenance note when available (reason taxonomy)
+    detail: str = ""
+
+
+def _tls_trusted_ever(dataset: Dataset, program: str) -> frozenset[str]:
+    """Every fingerprint the program has ever TLS-trusted."""
+    result: set[str] = set()
+    for snapshot in dataset[program]:
+        result |= snapshot.fingerprints(TrustPurpose.SERVER_AUTH)
+    return frozenset(result)
+
+
+def exclusive_roots(
+    dataset: Dataset,
+    program: str,
+    *,
+    programs: tuple[str, ...] = ("apple", "java", "microsoft", "nss"),
+    describe=None,
+) -> list[ExclusiveRoot]:
+    """The TLS-exclusive roots of ``program``'s latest snapshot.
+
+    ``describe`` is an optional ``fingerprint -> detail string`` hook
+    (the benches pass a catalog-backed lookup for the reason column).
+    """
+    others = [p for p in programs if p != program and p in dataset]
+    foreign: set[str] = set()
+    for other in others:
+        foreign |= _tls_trusted_ever(dataset, other)
+
+    latest = dataset[program].latest()
+    result: list[ExclusiveRoot] = []
+    for entry in latest.entries:
+        if not entry.is_trusted_for(TrustPurpose.SERVER_AUTH):
+            continue
+        if entry.fingerprint in foreign:
+            continue
+        cert = entry.certificate
+        result.append(
+            ExclusiveRoot(
+                program=program,
+                fingerprint=entry.fingerprint,
+                common_name=cert.subject.common_name or "",
+                organization=cert.subject.organization or "",
+                detail=describe(entry.fingerprint) if describe else "",
+            )
+        )
+    result.sort(key=lambda r: (r.organization, r.common_name))
+    return result
+
+
+def exclusives_report(
+    dataset: Dataset,
+    *,
+    programs: tuple[str, ...] = ("nss", "java", "apple", "microsoft"),
+    describe=None,
+) -> dict[str, list[ExclusiveRoot]]:
+    """Table 6: exclusive roots for every independent program."""
+    return {
+        program: exclusive_roots(dataset, program, programs=tuple(sorted(programs)), describe=describe)
+        for program in programs
+        if program in dataset
+    }

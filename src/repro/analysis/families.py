@@ -1,0 +1,238 @@
+"""Root store family clustering and MDS outlier analysis (Figure 1).
+
+The paper's ordination shows four disjoint clusters — Microsoft,
+NSS-like (NSS + all derivatives), Apple, Java — plus a handful of
+transition-snapshot outliers.  We recover the clusters quantitatively:
+
+1. Reduce the snapshot-level distance matrix to a *provider-level*
+   matrix by taking the median Jaccard distance over time-aligned
+   snapshot pairs (same-era stores are compared, so a provider that
+   only existed 2019-2021 is not penalized against 2005 NSS).
+2. Single-linkage cluster the providers, cutting the dendrogram at the
+   largest merge-distance gap (or at an explicit threshold).
+
+Outliers are diagnosed exactly as Section 4 does: snapshots whose churn
+relative to their predecessor is a large fraction of the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from repro.analysis.jaccard import LabelledMatrix
+from repro.errors import AnalysisError
+from repro.store.history import Dataset
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class ProviderMatrix:
+    """Provider-level aligned distance matrix."""
+
+    providers: tuple[str, ...]
+    matrix: np.ndarray
+
+
+def provider_distance_matrix(labelled: LabelledMatrix) -> ProviderMatrix:
+    """Median time-aligned distance between every provider pair.
+
+    For providers A and B, each A-snapshot is paired with the B-snapshot
+    nearest in time; the provider distance is the median over those
+    pairs (computed symmetrically).
+    """
+    providers = sorted(set(labelled.providers))
+    index_by_provider: dict[str, list[int]] = {p: [] for p in providers}
+    dates: list[date] = []
+    for index, (provider, taken_at, _) in enumerate(labelled.labels):
+        index_by_provider[provider].append(index)
+        dates.append(taken_at)
+
+    n = len(providers)
+    matrix = np.zeros((n, n))
+    for i, a in enumerate(providers):
+        for j in range(i + 1, n):
+            b = providers[j]
+            samples: list[float] = []
+            for source, target in ((a, b), (b, a)):
+                target_indices = index_by_provider[target]
+                target_dates = [dates[t] for t in target_indices]
+                for s in index_by_provider[source]:
+                    nearest = min(
+                        range(len(target_indices)),
+                        key=lambda k: abs((target_dates[k] - dates[s]).days),
+                    )
+                    samples.append(labelled.matrix[s, target_indices[nearest]])
+            d = float(np.median(samples))
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return ProviderMatrix(providers=tuple(providers), matrix=matrix)
+
+
+@dataclass(frozen=True)
+class FamilyAssignment:
+    """Clustering output."""
+
+    providers: tuple[str, ...]
+    #: provider -> cluster id (0..k-1)
+    provider_family: dict[str, int]
+    #: the merge distance at which the dendrogram was cut
+    cut_distance: float
+
+    @property
+    def cluster_count(self) -> int:
+        return len(set(self.provider_family.values()))
+
+    def members(self, cluster_id: int) -> tuple[str, ...]:
+        return tuple(p for p in self.providers if self.provider_family[p] == cluster_id)
+
+    def family_name(self, cluster_id: int) -> str:
+        """The independent program anchoring a cluster, when present."""
+        members = self.members(cluster_id)
+        for program in ("nss", "apple", "microsoft", "java"):
+            if program in members:
+                return program
+        return members[0]
+
+    def family_of(self, provider: str) -> str:
+        return self.family_name(self.provider_family[provider])
+
+
+def _single_linkage_merges(matrix: np.ndarray) -> list[tuple[float, int, int]]:
+    """Single-linkage agglomeration order: (distance, cluster_a, cluster_b)."""
+    n = matrix.shape[0]
+    cluster_of = list(range(n))
+    merges: list[tuple[float, int, int]] = []
+    working = matrix.copy().astype(float)
+    np.fill_diagonal(working, np.inf)
+    active = set(range(n))
+    while len(active) > 1:
+        best = None
+        for i in active:
+            for j in active:
+                if i < j and (best is None or working[i, j] < best[0]):
+                    best = (working[i, j], i, j)
+        assert best is not None
+        d, i, j = best
+        merges.append((float(d), i, j))
+        # Single linkage: merged cluster's distance is the min.
+        for k in active:
+            if k not in (i, j):
+                working[i, k] = working[k, i] = min(working[i, k], working[j, k])
+        active.remove(j)
+        cluster_of[j] = i
+    return merges
+
+
+def cluster_families(
+    labelled: LabelledMatrix, *, threshold: float | None = None
+) -> FamilyAssignment:
+    """Cluster providers into root store families.
+
+    With ``threshold=None``, the dendrogram is cut at the largest gap
+    between consecutive single-linkage merge distances — the natural
+    "how many families are there?" criterion, which needs no tuning and
+    discovers the paper's four families.
+    """
+    provider_matrix = provider_distance_matrix(labelled)
+    providers = provider_matrix.providers
+    n = len(providers)
+    if n == 0:
+        raise AnalysisError("empty distance matrix")
+    if n == 1:
+        return FamilyAssignment(
+            providers=providers, provider_family={providers[0]: 0}, cut_distance=0.0
+        )
+
+    merges = _single_linkage_merges(provider_matrix.matrix)
+    distances = [m[0] for m in merges]
+    if threshold is None:
+        gaps = np.diff(distances)
+        if len(gaps) == 0:
+            threshold = distances[0] + 1e-9
+        else:
+            cut_index = int(np.argmax(gaps))
+            threshold = (distances[cut_index] + distances[cut_index + 1]) / 2.0
+
+    # Re-run union-find applying only merges below the cut.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for d, i, j in merges:
+        if d < threshold:
+            parent[find(j)] = find(i)
+
+    roots: dict[int, int] = {}
+    provider_family: dict[str, int] = {}
+    for index, provider in enumerate(providers):
+        root = find(index)
+        if root not in roots:
+            roots[root] = len(roots)
+        provider_family[provider] = roots[root]
+
+    return FamilyAssignment(
+        providers=providers,
+        provider_family=provider_family,
+        cut_distance=float(threshold),
+    )
+
+
+@dataclass(frozen=True)
+class OutlierSnapshot:
+    """A snapshot whose churn vs. its predecessor is anomalously large."""
+
+    provider: str
+    taken_at: date
+    version: str
+    changed: int
+    store_size: int
+
+    @property
+    def churn_fraction(self) -> float:
+        return self.changed / max(self.store_size, 1)
+
+
+def find_outliers(
+    dataset: Dataset,
+    *,
+    providers: tuple[str, ...] = ("apple", "java"),
+    min_changed: int = 8,
+    min_fraction: float = 0.08,
+) -> list[OutlierSnapshot]:
+    """Transition snapshots with large consecutive churn.
+
+    Reproduces Section 4's outlier diagnosis: the Apple 2014/2015 and
+    Java 2018 snapshots sit between clusters in the MDS plane because a
+    large fraction of the store changed in one release.
+    """
+    outliers: list[OutlierSnapshot] = []
+    for provider in providers:
+        if provider not in dataset:
+            continue
+        previous: RootStoreSnapshot | None = None
+        for snapshot in dataset[provider]:
+            if previous is not None:
+                before = previous.tls_fingerprints()
+                after = snapshot.tls_fingerprints()
+                changed = len(before ^ after)
+                size = max(len(before), len(after), 1)
+                if changed >= min_changed and changed / size >= min_fraction:
+                    outliers.append(
+                        OutlierSnapshot(
+                            provider=provider,
+                            taken_at=snapshot.taken_at,
+                            version=snapshot.version,
+                            changed=changed,
+                            store_size=size,
+                        )
+                    )
+            previous = snapshot
+    outliers.sort(key=lambda o: (o.provider, o.taken_at))
+    return outliers

@@ -1,0 +1,103 @@
+"""Root store hygiene metrics (Table 3).
+
+Per program: average store size, average expired-root count per
+snapshot, and the removal dates of the last trusted MD5-signed and
+RSA<=1024-bit roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.store.history import Dataset, StoreHistory
+
+
+@dataclass(frozen=True)
+class HygieneRow:
+    """One Table 3 row."""
+
+    provider: str
+    average_size: float
+    average_expired: float
+    #: first snapshot date with no trusted MD5 root (None = never had /
+    #: still has at study end — disambiguated by ``md5_still_present``)
+    md5_removal: date | None
+    md5_still_present: bool
+    weak_rsa_removal: date | None
+    weak_rsa_still_present: bool
+
+
+def _last_presence(
+    history: StoreHistory, predicate
+) -> tuple[date | None, bool]:
+    """(date of first snapshot without any matching TLS-trusted root
+    after one was present, still-present-at-end flag)."""
+    last_with: date | None = None
+    removal: date | None = None
+    seen = False
+    for snapshot in history:
+        has = any(
+            predicate(entry.certificate) for entry in snapshot.entries if entry.is_tls_trusted
+        )
+        if has:
+            seen = True
+            last_with = snapshot.taken_at
+            removal = None
+        elif seen and removal is None:
+            removal = snapshot.taken_at
+    still_present = seen and removal is None
+    if not seen:
+        return None, False
+    _ = last_with
+    return removal, still_present
+
+
+def hygiene_row(history: StoreHistory) -> HygieneRow:
+    """Compute all Table 3 metrics for one provider."""
+    sizes = [len(s) for s in history]
+    expired = [len(s.expired_entries()) for s in history]
+    md5_removal, md5_present = _last_presence(
+        history, lambda cert: cert.signature_digest == "md5"
+    )
+    weak_removal, weak_present = _last_presence(
+        history, lambda cert: cert.key_type == "rsa" and cert.key_bits <= 1024
+    )
+    return HygieneRow(
+        provider=history.provider,
+        average_size=sum(sizes) / len(sizes) if sizes else 0.0,
+        average_expired=sum(expired) / len(expired) if expired else 0.0,
+        md5_removal=md5_removal,
+        md5_still_present=md5_present,
+        weak_rsa_removal=weak_removal,
+        weak_rsa_still_present=weak_present,
+    )
+
+
+def hygiene_report(
+    dataset: Dataset, programs: tuple[str, ...] = ("apple", "java", "microsoft", "nss")
+) -> list[HygieneRow]:
+    """Table 3 for the independent root programs."""
+    return [hygiene_row(dataset[p]) for p in programs if p in dataset]
+
+
+def rank_by_hygiene(rows: list[HygieneRow]) -> list[str]:
+    """Order programs best-hygiene-first.
+
+    The composite mirrors the paper's qualitative ranking ("NSS best,
+    followed by Apple, and then Java/Microsoft"): earlier weak-crypto
+    purges are better, and every lingering expired root counts roughly
+    like a year of purge tardiness.
+    """
+
+    def score(row: HygieneRow) -> float:
+        md5 = row.md5_removal or date(2100, 1, 1)
+        weak = row.weak_rsa_removal or date(2100, 1, 1)
+        if row.md5_still_present:
+            md5 = date(2100, 1, 1)
+        if row.weak_rsa_still_present:
+            weak = date(2100, 1, 1)
+        purge_mean = (md5.toordinal() + weak.toordinal()) / 2
+        return purge_mean + 365.0 * row.average_expired
+
+    return [row.provider for row in sorted(rows, key=score)]

@@ -1,0 +1,103 @@
+"""Pairwise Jaccard distances over root store snapshots (Section 4).
+
+The ordination pipeline flattens every provider's snapshots into one
+labelled list and computes the condensed pairwise distance matrix over
+their TLS-trusted fingerprint sets.  An alternative overlap-coefficient
+distance is provided for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.store.history import Dataset
+from repro.store.purposes import TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class LabelledMatrix:
+    """A square distance matrix plus the snapshot labels of its axes."""
+
+    labels: tuple[tuple[str, date, str], ...]  # (provider, taken_at, version)
+    matrix: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.labels)
+        if self.matrix.shape != (n, n):
+            raise AnalysisError(
+                f"matrix shape {self.matrix.shape} does not match {n} labels"
+            )
+
+    @property
+    def providers(self) -> tuple[str, ...]:
+        return tuple(label[0] for label in self.labels)
+
+
+def jaccard_distance(a: frozenset[str], b: frozenset[str]) -> float:
+    """1 - |A ∩ B| / |A ∪ B|; 0.0 for two empty sets."""
+    union = len(a | b)
+    if union == 0:
+        return 0.0
+    return 1.0 - len(a & b) / union
+
+
+def overlap_distance(a: frozenset[str], b: frozenset[str]) -> float:
+    """1 - |A ∩ B| / min(|A|, |B|) (the ablation alternative)."""
+    smaller = min(len(a), len(b))
+    if smaller == 0:
+        return 0.0 if not a and not b else 1.0
+    return 1.0 - len(a & b) / smaller
+
+
+def collect_snapshots(
+    dataset: Dataset,
+    *,
+    since: date | None = None,
+    providers: tuple[str, ...] | None = None,
+) -> list[RootStoreSnapshot]:
+    """All snapshots (optionally filtered), in (provider, date) order.
+
+    The paper's Figure 1 restricts to 2011-2021; pass ``since`` for that.
+    """
+    result = []
+    for provider in dataset.providers:
+        if providers is not None and provider not in providers:
+            continue
+        for snapshot in dataset[provider]:
+            if since is not None and snapshot.taken_at < since:
+                continue
+            result.append(snapshot)
+    return result
+
+
+def distance_matrix(
+    snapshots: list[RootStoreSnapshot],
+    *,
+    purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+    metric: str = "jaccard",
+) -> LabelledMatrix:
+    """Pairwise distances between snapshot fingerprint sets."""
+    if not snapshots:
+        raise AnalysisError("no snapshots to compare")
+    if metric == "jaccard":
+        fn = jaccard_distance
+    elif metric == "overlap":
+        fn = overlap_distance
+    else:
+        raise AnalysisError(f"unknown metric {metric!r}")
+
+    sets = [s.fingerprints(purpose) for s in snapshots]
+    n = len(sets)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = fn(sets[i], sets[j])
+            matrix[i, j] = d
+            matrix[j, i] = d
+    labels = tuple((s.provider, s.taken_at, s.version) for s in snapshots)
+    return LabelledMatrix(labels=labels, matrix=matrix)

@@ -1,0 +1,131 @@
+"""Metric multidimensional scaling (stress-majorization SMACOF).
+
+A from-scratch numpy implementation of the algorithm behind
+``sklearn.manifold.MDS(metric=True)``, which the paper uses for
+Figure 1's ordination.  Also provides classical (Torgerson) MDS for the
+ablation benchmark and the Kruskal stress-1 quality metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class MDSResult:
+    """An embedding with its stress trajectory."""
+
+    embedding: np.ndarray  # (n, dims)
+    stress: float  # final raw stress: sum (d_ij - delta_ij)^2 over i<j
+    iterations: int
+    converged: bool
+
+    @property
+    def stress1(self) -> float:
+        """Kruskal stress-1 of the final embedding (needs the original
+        dissimilarities, so this is recomputed lazily by callers via
+        :func:`kruskal_stress`); kept for API symmetry."""
+        return self.stress
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix of an (n, d) point set."""
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def _validate(dissimilarities: np.ndarray) -> np.ndarray:
+    d = np.asarray(dissimilarities, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise AnalysisError(f"dissimilarity matrix must be square, got {d.shape}")
+    if not np.allclose(d, d.T, atol=1e-9):
+        raise AnalysisError("dissimilarity matrix must be symmetric")
+    if (d < -1e-12).any():
+        raise AnalysisError("dissimilarities must be non-negative")
+    if not np.allclose(np.diag(d), 0.0, atol=1e-9):
+        raise AnalysisError("dissimilarity diagonal must be zero")
+    return d
+
+
+def smacof(
+    dissimilarities: np.ndarray,
+    *,
+    dims: int = 2,
+    max_iterations: int = 300,
+    tolerance: float = 1e-6,
+    seed: int = 7,
+    init: np.ndarray | None = None,
+) -> MDSResult:
+    """Stress-majorization MDS.
+
+    Minimizes raw stress sum_{i<j} (||x_i - x_j|| - delta_ij)^2 via the
+    Guttman transform.  Deterministic for a fixed seed.
+    """
+    delta = _validate(dissimilarities)
+    n = delta.shape[0]
+    if n < 2:
+        raise AnalysisError("need at least two points to embed")
+
+    rng = np.random.default_rng(seed)
+    points = init.copy() if init is not None else rng.uniform(-0.5, 0.5, size=(n, dims))
+
+    previous_stress = np.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = _pairwise_distances(points)
+        # Raw stress over unordered pairs.
+        stress = float(((distances - delta) ** 2).sum() / 2.0)
+
+        # Guttman transform: X <- (1/n) B(X) X
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(distances > 1e-12, delta / distances, 0.0)
+        b = -ratio
+        np.fill_diagonal(b, 0.0)
+        np.fill_diagonal(b, -b.sum(axis=1))
+        points = b @ points / n
+
+        if previous_stress - stress < tolerance * max(previous_stress, 1e-12):
+            converged = True
+            previous_stress = stress
+            break
+        previous_stress = stress
+
+    return MDSResult(
+        embedding=points,
+        stress=float(previous_stress),
+        iterations=iteration,
+        converged=converged,
+    )
+
+
+def classical_mds(dissimilarities: np.ndarray, *, dims: int = 2) -> MDSResult:
+    """Torgerson classical MDS (eigendecomposition of the doubly-centered
+    squared-distance matrix).  The ablation baseline for SMACOF."""
+    delta = _validate(dissimilarities)
+    n = delta.shape[0]
+    squared = delta**2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * centering @ squared @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1][:dims]
+    values = np.clip(eigenvalues[order], 0.0, None)
+    embedding = eigenvectors[:, order] * np.sqrt(values)[None, :]
+    distances = _pairwise_distances(embedding)
+    stress = float(((distances - delta) ** 2).sum() / 2.0)
+    return MDSResult(embedding=embedding, stress=stress, iterations=1, converged=True)
+
+
+def kruskal_stress(dissimilarities: np.ndarray, embedding: np.ndarray) -> float:
+    """Kruskal stress-1: sqrt(sum (d-delta)^2 / sum d^2) over pairs."""
+    delta = _validate(dissimilarities)
+    distances = _pairwise_distances(np.asarray(embedding, dtype=float))
+    numerator = ((distances - delta) ** 2).sum() / 2.0
+    denominator = (distances**2).sum() / 2.0
+    if denominator == 0:
+        return 0.0
+    return float(np.sqrt(numerator / denominator))

@@ -1,0 +1,111 @@
+"""Root store minimization (the Section 8 related-work experiments).
+
+Braun et al. found ~90% of roots go unused by an individual's browsing;
+Smith et al. computed minimal root sets covering 99% of scanned
+certificates.  This module reruns that analysis against the simulated
+ecosystem: a deterministic Zipf-weighted traffic model assigns issuance
+volume to each trusted root, and a greedy set cover finds the smallest
+anchor set reaching a target coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRandom
+from repro.errors import AnalysisError
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Issuance volume per root: fingerprint -> weight (sums to 1)."""
+
+    weights: tuple[tuple[str, float], ...]
+
+    @property
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.weights)
+
+
+def zipf_traffic(
+    snapshot: RootStoreSnapshot, *, seed: str = "traffic-v1", exponent: float = 2.0
+) -> TrafficModel:
+    """A Zipf-distributed traffic model over a store's TLS roots.
+
+    Rank order is a deterministic shuffle of the store (so the heavy
+    hitters are not biased by fingerprint sort order), mirroring the
+    real ecosystem's concentration: a few CAs issue most certificates.
+    """
+    fingerprints = sorted(snapshot.tls_fingerprints())
+    if not fingerprints:
+        raise AnalysisError("store has no TLS-trusted roots")
+    rng = DeterministicRandom(seed)
+    rng.shuffle(fingerprints)
+    raw = [1.0 / (rank + 1) ** exponent for rank in range(len(fingerprints))]
+    total = sum(raw)
+    return TrafficModel(
+        weights=tuple((fp, weight / total) for fp, weight in zip(fingerprints, raw))
+    )
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Greedy set cover output."""
+
+    store_size: int
+    selected: tuple[str, ...]
+    coverage: float
+    target: float
+
+    @property
+    def selected_count(self) -> int:
+        return len(self.selected)
+
+    @property
+    def unused_fraction(self) -> float:
+        """Braun et al.'s headline: the fraction of shipped roots not needed."""
+        return 1.0 - self.selected_count / self.store_size if self.store_size else 0.0
+
+
+def minimal_root_set(
+    snapshot: RootStoreSnapshot, traffic: TrafficModel, *, target: float = 0.99
+) -> MinimizationResult:
+    """Smallest anchor subset whose traffic share reaches ``target``.
+
+    With one root per observation this is exact (sort by weight); kept
+    as an explicit greedy loop to document the general algorithm.
+    """
+    if not 0 < target <= 1:
+        raise AnalysisError(f"coverage target out of range: {target}")
+    store = snapshot.tls_fingerprints()
+    weights = {fp: w for fp, w in traffic.weights if fp in store}
+    selected: list[str] = []
+    covered = 0.0
+    for fp, weight in sorted(weights.items(), key=lambda kv: (-kv[1], kv[0])):
+        if covered >= target:
+            break
+        selected.append(fp)
+        covered += weight
+    return MinimizationResult(
+        store_size=len(store),
+        selected=tuple(selected),
+        coverage=covered,
+        target=target,
+    )
+
+
+def coverage_curve(
+    snapshot: RootStoreSnapshot, traffic: TrafficModel
+) -> list[tuple[int, float]]:
+    """(roots kept, traffic covered) points — the Smith et al. curve."""
+    store = snapshot.tls_fingerprints()
+    weights = sorted(
+        (w for fp, w in traffic.weights if fp in store), reverse=True
+    )
+    points = []
+    covered = 0.0
+    for count, weight in enumerate(weights, start=1):
+        covered += weight
+        points.append((count, covered))
+    return points

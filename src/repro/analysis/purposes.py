@@ -1,0 +1,109 @@
+"""Trust purpose exposure analysis (Sections 6.2 / 7).
+
+Multi-purpose root stores conflate TLS, email, and code-signing trust.
+This module quantifies the exposure per provider:
+
+- how many roots each store trusts per purpose;
+- *TLS overreach*: roots TLS-trusted downstream that NSS never
+  TLS-trusted (the email-conflation problem);
+- *code-signing overreach*: roots exposed for code signing by bundle
+  formats even though NSS never trusted them for it (the NuGet
+  incident's root cause — "any CA in NSS can issue trusted code-signing
+  certificates in these derivatives").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.store.history import Dataset
+from repro.store.purposes import TrustPurpose
+
+
+@dataclass(frozen=True)
+class PurposeExposure:
+    """One provider's purpose-trust profile at a point in time."""
+
+    provider: str
+    taken_at: date
+    tls_roots: int
+    email_roots: int
+    code_signing_roots: int
+    #: TLS-trusted here but never TLS-trusted by NSS
+    tls_overreach: int
+    #: code-signing-trusted here but never code-signing-trusted by NSS
+    code_signing_overreach: int
+
+    @property
+    def is_multi_purpose(self) -> bool:
+        """True when the store exposes code-signing trust at all."""
+        return self.code_signing_roots > 0
+
+
+def _ever_trusted_for(dataset: Dataset, provider: str, purpose: TrustPurpose) -> frozenset[str]:
+    result: set[str] = set()
+    for snapshot in dataset[provider]:
+        result |= snapshot.fingerprints(purpose)
+    return frozenset(result)
+
+
+def purpose_exposure(
+    dataset: Dataset,
+    provider: str,
+    *,
+    at: date | None = None,
+    reference: str = "nss",
+) -> PurposeExposure:
+    """Compute one provider's purpose profile vs. the reference program."""
+    history = dataset[provider]
+    snapshot = history.at(at) if at is not None else history.latest()
+    if snapshot is None:
+        snapshot = history.snapshots[0]
+
+    nss_tls_ever = _ever_trusted_for(dataset, reference, TrustPurpose.SERVER_AUTH)
+    nss_code_ever = _ever_trusted_for(dataset, reference, TrustPurpose.CODE_SIGNING)
+
+    tls = snapshot.fingerprints(TrustPurpose.SERVER_AUTH)
+    email = snapshot.fingerprints(TrustPurpose.EMAIL_PROTECTION)
+    code = snapshot.fingerprints(TrustPurpose.CODE_SIGNING)
+
+    return PurposeExposure(
+        provider=provider,
+        taken_at=snapshot.taken_at,
+        tls_roots=len(tls),
+        email_roots=len(email),
+        code_signing_roots=len(code),
+        tls_overreach=len(tls - nss_tls_ever),
+        code_signing_overreach=len(code - nss_code_ever),
+    )
+
+
+def purpose_exposure_report(
+    dataset: Dataset,
+    providers: tuple[str, ...],
+    *,
+    at: date | None = None,
+) -> list[PurposeExposure]:
+    """The Section 7 "single purpose root stores" exposure table."""
+    return [
+        purpose_exposure(dataset, provider, at=at)
+        for provider in providers
+        if provider in dataset
+    ]
+
+
+def conflation_timeline(
+    dataset: Dataset, provider: str, *, reference: str = "nss"
+) -> list[tuple[date, int]]:
+    """TLS-overreach over time: (snapshot date, overreaching root count).
+
+    Shows Debian/Ubuntu's 2017 and Alpine's 2020 shifts from
+    multi-purpose to TLS-only bundles.
+    """
+    nss_tls_ever = _ever_trusted_for(dataset, reference, TrustPurpose.SERVER_AUTH)
+    points = []
+    for snapshot in dataset[provider]:
+        overreach = len(snapshot.fingerprints(TrustPurpose.SERVER_AUTH) - nss_tls_ever)
+        points.append((snapshot.taken_at, overreach))
+    return points

@@ -1,0 +1,195 @@
+"""NSS removal catalog and cross-store response lags (Tables 4 and 7).
+
+``nss_removal_report`` re-measures every registered incident against
+the generated NSS history (how many certificates actually left on the
+recorded date).  ``response_report`` reconstructs Table 4: for each
+high-severity incident and each store, how many of the incident's roots
+the store ever trusted, when it stopped, and the lag relative to NSS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import AnalysisError
+from repro.simulation.incidents import HIGH_SEVERITY, INCIDENTS, Incident
+from repro.store.history import Dataset, StoreHistory
+
+
+@dataclass(frozen=True)
+class RemovalRow:
+    """One Table 7 row, measured from the corpus."""
+
+    bugzilla_id: str
+    severity: str
+    removed_on: date
+    measured_certs: int
+    expected_certs: int
+    description: str
+
+    @property
+    def matches(self) -> bool:
+        return self.measured_certs == self.expected_certs
+
+
+def measure_removal(
+    nss_history: StoreHistory, incident: Incident, fingerprints: dict[str, str]
+) -> RemovalRow:
+    """Count how many of the incident's roots actually left NSS on the date.
+
+    ``fingerprints`` maps catalog slug -> certificate fingerprint.
+    """
+    removed = 0
+    for slug in incident.root_slugs:
+        fp = fingerprints.get(slug)
+        if fp is None:
+            continue
+        until = nss_history.trusted_until(fp)
+        if until == incident.nss_removal:
+            removed += 1
+    return RemovalRow(
+        bugzilla_id=incident.bugzilla_id,
+        severity=incident.severity,
+        removed_on=incident.nss_removal,
+        measured_certs=removed,
+        expected_certs=len(incident.root_slugs),
+        description=incident.description,
+    )
+
+
+def nss_removal_report(
+    dataset: Dataset, fingerprints: dict[str, str]
+) -> list[RemovalRow]:
+    """Table 7: all registered removals, newest first."""
+    nss_history = dataset["nss"]
+    rows = [measure_removal(nss_history, incident, fingerprints) for incident in INCIDENTS]
+    rows.sort(key=lambda r: r.removed_on, reverse=True)
+    return rows
+
+
+@dataclass(frozen=True)
+class ResponseRow:
+    """One store's response to one incident (a Table 4 body row)."""
+
+    incident: str
+    provider: str
+    certs_ever_trusted: int
+    #: date the last incident root left the store; None = still trusted
+    trusted_until: date | None
+    #: lag vs. the NSS removal in days; None when still trusted
+    lag_days: int | None
+    #: revocation date when the store revoked out-of-band (Apple)
+    revoked_on: date | None = None
+    still_trusted: bool = False
+
+    def lag_label(self) -> str:
+        """Render the lag the way Table 4 does ("-37", "607+", "577*")."""
+        if self.revoked_on is not None and self.still_trusted:
+            return f"{self.lag_days}*"
+        if self.still_trusted:
+            return f"{self.lag_days}+"
+        return str(self.lag_days)
+
+
+def measure_response(
+    dataset: Dataset,
+    incident: Incident,
+    provider: str,
+    fingerprints: dict[str, str],
+    *,
+    revocations: dict[str, date] | None = None,
+    revocation_provider: str = "apple",
+) -> ResponseRow | None:
+    """One store's measured response, or None when it never trusted the roots.
+
+    ``revocations`` is the out-of-band revocation feed (fingerprint ->
+    date); it only applies to ``revocation_provider`` because only
+    Apple's valid.apple.com works that way.
+    """
+    if provider not in dataset:
+        return None
+    feed = revocations if provider == revocation_provider else None
+    history = dataset[provider]
+    ever = 0
+    untils: list[date | None] = []
+    still_unrevoked = 0
+    revoked_dates: list[date] = []
+    for slug in incident.root_slugs:
+        fp = fingerprints.get(slug)
+        if fp is None or not history.ever_trusted(fp):
+            continue
+        ever += 1
+        until = history.trusted_until(fp)
+        untils.append(until)
+        if until is None:
+            if feed and fp in feed:
+                revoked_dates.append(feed[fp])
+            else:
+                still_unrevoked += 1
+    if ever == 0:
+        return None
+
+    if any(u is None for u in untils):
+        # At least one root still present at the study end.  When every
+        # lingering root was revoked out-of-band, the response date is
+        # the (last) revocation; otherwise the store is simply still
+        # trusting and we report lag to the end of its data.
+        if revoked_dates and still_unrevoked == 0:
+            revoked_on = max(revoked_dates)
+            reference = revoked_on
+        else:
+            revoked_on = None
+            reference = history.last_date
+        return ResponseRow(
+            incident=incident.key,
+            provider=provider,
+            certs_ever_trusted=ever,
+            trusted_until=None,
+            lag_days=(reference - incident.nss_removal).days,
+            revoked_on=revoked_on,
+            still_trusted=True,
+        )
+
+    last = max(u for u in untils if u is not None)
+    return ResponseRow(
+        incident=incident.key,
+        provider=provider,
+        certs_ever_trusted=ever,
+        trusted_until=last,
+        lag_days=(last - incident.nss_removal).days,
+        still_trusted=False,
+    )
+
+
+def response_report(
+    dataset: Dataset,
+    fingerprints: dict[str, str],
+    *,
+    revocations: dict[str, date] | None = None,
+    providers: tuple[str, ...] = (
+        "microsoft",
+        "apple",
+        "android",
+        "debian",
+        "ubuntu",
+        "nodejs",
+        "alpine",
+        "amazonlinux",
+    ),
+) -> dict[str, list[ResponseRow]]:
+    """Table 4: per-incident, per-store response rows sorted by lag."""
+    if "nss" not in dataset:
+        raise AnalysisError("dataset lacks the NSS reference history")
+    report: dict[str, list[ResponseRow]] = {}
+    for incident in HIGH_SEVERITY:
+        rows = []
+        for provider in providers:
+            row = measure_response(
+                dataset, incident, provider, fingerprints, revocations=revocations
+            )
+            if row is not None:
+                rows.append(row)
+        rows.sort(key=lambda r: (r.still_trusted, r.lag_days if r.lag_days is not None else 10**6))
+        report[incident.key] = rows
+    return report

@@ -1,0 +1,137 @@
+"""The root program scorecard — Section 7's "data-informed root trust".
+
+The paper closes by arguing root inclusion should be scored on the Web
+PKI's core properties, *scale and security*, instead of subjective
+policy history.  This module composes the library's measured signals
+into one per-program scorecard:
+
+- **hygiene** — weak-crypto purge dates and expired-root retention
+  (Table 3);
+- **agility** — substantial release cadence (Section 6.1's instrument
+  applied to programs);
+- **responsiveness** — mean lag on the high-severity removals the
+  program participated in (Table 4);
+- **exclusive risk** — how many roots the program trusts that no other
+  program ever TLS-trusted (Appendix B);
+- **compliance** — the BR lint error rate at a reference date (§7's
+  ZLint instrument).
+
+Each dimension is ranked across programs (1 = best); the composite is
+the mean rank.  The output reproduces the paper's qualitative ordering
+— NSS, then Apple, then Microsoft/Java — from measurements alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from statistics import mean
+
+from repro.analysis.agility import agility_profile
+from repro.analysis.exclusives import exclusives_report
+from repro.analysis.hygiene import hygiene_report, rank_by_hygiene
+from repro.analysis.removals import response_report
+from repro.errors import AnalysisError
+from repro.lint.census import lint_programs
+from repro.store.history import Dataset
+
+PROGRAMS = ("nss", "apple", "microsoft", "java")
+
+
+@dataclass(frozen=True)
+class ProgramScore:
+    """One program's measured dimensions and ranks."""
+
+    program: str
+    hygiene_rank: int
+    substantial_gap_days: float
+    mean_response_lag: float | None
+    exclusive_roots: int
+    lint_error_rate: float
+    #: per-dimension ranks, 1 = best
+    ranks: dict[str, int]
+
+    @property
+    def composite(self) -> float:
+        return mean(self.ranks.values())
+
+
+def _rank(values: dict[str, float], *, reverse: bool = False) -> dict[str, int]:
+    """Dense ranks, 1 = best (smallest unless ``reverse``)."""
+    ordered = sorted(set(values.values()), reverse=reverse)
+    position = {value: index + 1 for index, value in enumerate(ordered)}
+    return {key: position[value] for key, value in values.items()}
+
+
+def scorecard(
+    dataset: Dataset,
+    fingerprints: dict[str, str],
+    *,
+    lint_date: date = date(2016, 6, 1),
+    programs: tuple[str, ...] = PROGRAMS,
+) -> list[ProgramScore]:
+    """Build the scorecard, best composite first."""
+    active = [p for p in programs if p in dataset]
+    if len(active) < 2:
+        raise AnalysisError("scorecard needs at least two programs")
+
+    hygiene_order = rank_by_hygiene(hygiene_report(dataset, tuple(active)))
+    hygiene_rank = {p: hygiene_order.index(p) + 1 for p in active}
+
+    gaps = {p: agility_profile(dataset[p]).mean_substantial_gap for p in active}
+
+    responses = response_report(dataset, fingerprints, providers=tuple(active))
+    lags: dict[str, list[int]] = {p: [] for p in active}
+    for rows in responses.values():
+        for row in rows:
+            if row.provider in lags and not row.still_trusted and row.lag_days is not None:
+                lags[row.provider].append(row.lag_days)
+    mean_lags = {p: (mean(v) if v else None) for p, v in lags.items()}
+
+    exclusives = exclusives_report(dataset, programs=tuple(sorted(active)))
+    exclusive_counts = {p: len(exclusives.get(p, [])) for p in active}
+
+    lint = {
+        c.provider: c.error_rate
+        for c in lint_programs(dataset, at=lint_date, programs=tuple(active))
+    }
+    # Programs whose data starts after the reference date are linted at
+    # their first snapshot instead (Java's store only begins in 2018).
+    for program in active:
+        if program not in lint:
+            from repro.lint.census import lint_snapshot
+
+            lint[program] = lint_snapshot(dataset[program].snapshots[0]).error_rate
+
+    rank_gap = _rank(gaps)
+    rank_exclusive = _rank({p: float(c) for p, c in exclusive_counts.items()})
+    rank_lint = _rank({p: lint.get(p, 0.0) for p in active})
+    # Programs with no measured incidents sit behind every responder that
+    # acted; among responders, smaller (earlier) lag is better.
+    worst_lag = max((v for v in mean_lags.values() if v is not None), default=0.0)
+    rank_lag = _rank(
+        {p: (v if v is not None else worst_lag + 1.0) for p, v in mean_lags.items()}
+    )
+
+    scores = []
+    for program in active:
+        ranks = {
+            "hygiene": hygiene_rank[program],
+            "agility": rank_gap[program],
+            "responsiveness": rank_lag[program],
+            "exclusive-risk": rank_exclusive[program],
+            "compliance": rank_lint[program],
+        }
+        scores.append(
+            ProgramScore(
+                program=program,
+                hygiene_rank=hygiene_rank[program],
+                substantial_gap_days=gaps[program],
+                mean_response_lag=mean_lags[program],
+                exclusive_roots=exclusive_counts[program],
+                lint_error_rate=lint.get(program, 0.0),
+                ranks=ranks,
+            )
+        )
+    scores.sort(key=lambda s: s.composite)
+    return scores

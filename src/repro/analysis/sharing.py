@@ -1,0 +1,139 @@
+"""Root sharing: how concentrated is trust across programs?
+
+The abstract's "surprisingly condensed root store ecosystem" claim,
+made quantitative: for a point in time, how many independent programs
+trust each root (the sharing distribution), how much of each program's
+store is shared with every other program (the overlap matrix), and how
+both evolve.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import AnalysisError
+from repro.store.history import Dataset
+from repro.store.purposes import TrustPurpose
+
+
+@dataclass(frozen=True)
+class SharingDistribution:
+    """How many programs trust each root, at one point in time."""
+
+    taken_at: date
+    programs: tuple[str, ...]
+    #: k -> number of roots TLS-trusted by exactly k of the programs
+    by_degree: dict[int, int]
+
+    @property
+    def total_roots(self) -> int:
+        return sum(self.by_degree.values())
+
+    @property
+    def universally_shared(self) -> int:
+        """Roots every program trusts."""
+        return self.by_degree.get(len(self.programs), 0)
+
+    @property
+    def singletons(self) -> int:
+        """Roots only one program trusts."""
+        return self.by_degree.get(1, 0)
+
+    def shared_fraction(self, minimum_degree: int = 2) -> float:
+        """Fraction of the root universe trusted by >= ``minimum_degree``
+        programs."""
+        if not self.total_roots:
+            return 0.0
+        shared = sum(count for k, count in self.by_degree.items() if k >= minimum_degree)
+        return shared / self.total_roots
+
+
+def sharing_distribution(
+    dataset: Dataset,
+    *,
+    at: date,
+    programs: tuple[str, ...] = ("nss", "apple", "microsoft", "java"),
+) -> SharingDistribution:
+    """The sharing distribution over the independent programs at ``at``."""
+    degree: Counter[str] = Counter()
+    active = []
+    for program in programs:
+        if program not in dataset:
+            continue
+        snapshot = dataset[program].at(at)
+        if snapshot is None:
+            continue
+        active.append(program)
+        for fp in snapshot.fingerprints(TrustPurpose.SERVER_AUTH):
+            degree[fp] += 1
+    if not active:
+        raise AnalysisError(f"no program has a snapshot at {at}")
+    by_degree: dict[int, int] = {}
+    for count in degree.values():
+        by_degree[count] = by_degree.get(count, 0) + 1
+    return SharingDistribution(
+        taken_at=at, programs=tuple(active), by_degree=by_degree
+    )
+
+
+@dataclass(frozen=True)
+class OverlapMatrix:
+    """Pairwise store overlap at a point in time."""
+
+    taken_at: date
+    programs: tuple[str, ...]
+    #: (a, b) -> |A ∩ B| / |A|   (directional containment)
+    containment: dict[tuple[str, str], float]
+
+    def of(self, a: str, b: str) -> float:
+        return self.containment[(a, b)]
+
+
+def overlap_matrix(
+    dataset: Dataset,
+    *,
+    at: date,
+    programs: tuple[str, ...] = ("nss", "apple", "microsoft", "java"),
+) -> OverlapMatrix:
+    """Directional containment: what fraction of A's store B also trusts."""
+    sets = {}
+    for program in programs:
+        if program in dataset:
+            snapshot = dataset[program].at(at)
+            if snapshot is not None:
+                sets[program] = snapshot.fingerprints(TrustPurpose.SERVER_AUTH)
+    if len(sets) < 2:
+        raise AnalysisError(f"need at least two program snapshots at {at}")
+    containment = {}
+    for a, set_a in sets.items():
+        for b, set_b in sets.items():
+            if a == b:
+                continue
+            containment[(a, b)] = len(set_a & set_b) / len(set_a) if set_a else 0.0
+    return OverlapMatrix(
+        taken_at=at, programs=tuple(sets), containment=containment
+    )
+
+
+def sharing_timeline(
+    dataset: Dataset,
+    *,
+    start: date,
+    end: date,
+    step_days: int = 365,
+    programs: tuple[str, ...] = ("nss", "apple", "microsoft", "java"),
+) -> list[SharingDistribution]:
+    """Annual sharing distributions across a window."""
+    from datetime import timedelta
+
+    points = []
+    cursor = start
+    while cursor <= end:
+        try:
+            points.append(sharing_distribution(dataset, at=cursor, programs=programs))
+        except AnalysisError:
+            pass
+        cursor += timedelta(days=step_days)
+    return points

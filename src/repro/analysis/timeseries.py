@@ -1,0 +1,95 @@
+"""ASCII time-series rendering for the figure benches.
+
+The paper's Figures 3 and 4 are time-series plots; the benchmark
+harness renders their textual analogue: fixed-width sparkline charts
+with a date axis, so the regenerated "figures" are eyeballable in test
+output and CI logs.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float | None], *, maximum: float | None = None) -> str:
+    """One-line block-character sparkline; ``None`` renders as a gap."""
+    if not values:
+        return ""
+    present = [v for v in values if v is not None]
+    top = maximum if maximum is not None else (max(present) if present else 0.0)
+    out = []
+    for value in values:
+        if value is None:
+            out.append(" ")
+        elif top <= 0:
+            out.append(_BLOCKS[1])
+        else:
+            clamped = min(max(value, 0.0), top)
+            out.append(_BLOCKS[1 + round(clamped / top * (len(_BLOCKS) - 2))])
+    return "".join(out)
+
+
+def resample(
+    points: Sequence[tuple[date, float]],
+    *,
+    buckets: int = 60,
+    start: date | None = None,
+    end: date | None = None,
+) -> list[float | None]:
+    """Resample an irregular (date, value) step series onto a fixed grid.
+
+    Each bucket takes the value in force at its start (step semantics,
+    matching how root store state evolves between snapshots).  Buckets
+    before the series begins yield ``None`` — so multiple series with
+    different observation windows align on one shared axis.
+    """
+    if not points:
+        return [None] * buckets
+    ordered = sorted(points)
+    first = start if start is not None else ordered[0][0]
+    last = end if end is not None else ordered[-1][0]
+    span = max((last - first).days, 1)
+    values: list[float | None] = []
+    cursor = 0
+    for bucket in range(buckets):
+        target = first.toordinal() + span * bucket / (buckets - 1 if buckets > 1 else 1)
+        if target < ordered[0][0].toordinal():
+            values.append(None)
+            continue
+        while cursor + 1 < len(ordered) and ordered[cursor + 1][0].toordinal() <= target:
+            cursor += 1
+        values.append(ordered[cursor][1])
+    return values
+
+
+def chart(
+    series: Sequence[tuple[str, Sequence[tuple[date, float]]]],
+    *,
+    buckets: int = 60,
+    title: str | None = None,
+) -> str:
+    """Multi-series ASCII chart: one labelled sparkline per series,
+    sharing a common date axis and value scale."""
+    if not series:
+        return title or ""
+    all_values = [v for _, points in series for _, v in points]
+    top = max(all_values) if all_values else 1.0
+    all_dates = [d for _, points in series for d, _ in points]
+    start, end = min(all_dates), max(all_dates)
+
+    label_width = max(len(label) for label, _ in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, points in series:
+        values = resample(points, buckets=buckets, start=start, end=end)
+        peak = max((v for _, v in points), default=0.0)
+        lines.append(
+            f"{label.ljust(label_width)} |{sparkline(values, maximum=top)}| peak {peak:g}"
+        )
+    axis = f"{start:%Y-%m}".ljust(buckets - 5) + f"{end:%Y-%m}"
+    lines.append(" " * (label_width + 2) + axis)
+    return "\n".join(lines)

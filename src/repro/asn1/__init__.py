@@ -1,0 +1,66 @@
+"""From-scratch ASN.1 DER encoder/decoder.
+
+This package implements the DER subset used by X.509 certificates and
+the root store container formats (PKCS#11 certdata, Microsoft CTL,
+Java keystores).  It is strict by design — definite lengths, minimal
+integers, canonical SET ordering — so that artifacts produced by the
+simulator round-trip byte-for-byte through the collection pipeline.
+
+Public surface:
+
+- :mod:`repro.asn1.encoder` — ``encode_*`` functions returning TLVs.
+- :mod:`repro.asn1.decoder` — :class:`Element`, :class:`Reader`,
+  :func:`decode`, :func:`decode_all`.
+- :mod:`repro.asn1.oid` — :class:`ObjectIdentifier` plus the registry.
+- :mod:`repro.asn1.pretty` — diagnostic tree dump.
+"""
+
+from repro.asn1.decoder import Element, Reader, decode, decode_all, decode_tlv
+from repro.asn1.encoder import (
+    encode_bit_string,
+    encode_boolean,
+    encode_context,
+    encode_explicit,
+    encode_ia5_string,
+    encode_integer,
+    encode_length,
+    encode_named_bit_string,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_time,
+    encode_tlv,
+    encode_utf8_string,
+)
+from repro.asn1.oid import ObjectIdentifier
+from repro.asn1.pretty import dump
+
+__all__ = [
+    "Element",
+    "ObjectIdentifier",
+    "Reader",
+    "decode",
+    "decode_all",
+    "decode_tlv",
+    "dump",
+    "encode_bit_string",
+    "encode_boolean",
+    "encode_context",
+    "encode_explicit",
+    "encode_ia5_string",
+    "encode_integer",
+    "encode_length",
+    "encode_named_bit_string",
+    "encode_null",
+    "encode_octet_string",
+    "encode_oid",
+    "encode_printable_string",
+    "encode_sequence",
+    "encode_set",
+    "encode_time",
+    "encode_tlv",
+    "encode_utf8_string",
+]

@@ -1,0 +1,284 @@
+"""DER decoding.
+
+The core abstraction is :class:`Element` — one parsed TLV with lazy
+access to its children — plus a cursor-style :class:`Reader` for walking
+SEQUENCE bodies positionally, the way RFC 5280 structures are defined.
+The decoder is strict: definite lengths only, minimal integers, and full
+consumption checks, because root store artifacts must round-trip
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.asn1 import tags
+from repro.asn1.oid import ObjectIdentifier
+from repro.errors import ASN1DecodeError
+
+
+@dataclass(frozen=True)
+class Element:
+    """One decoded TLV.
+
+    Attributes:
+        tag: the identifier octet.
+        content: the content octets (no tag/length).
+        offset: byte offset of the tag within the original buffer, for
+            error reporting.
+        encoded: the complete TLV bytes, convenient for re-embedding a
+            substructure (e.g. keeping TBSCertificate bytes to verify a
+            signature).
+    """
+
+    tag: int
+    content: bytes
+    offset: int
+    encoded: bytes
+
+    # -- shape predicates --------------------------------------------------
+
+    def is_constructed(self) -> bool:
+        return tags.is_constructed(self.tag)
+
+    def is_universal(self, number: int) -> bool:
+        return self.tag & ~tags.CONSTRUCTED == number and tags.tag_class(self.tag) == tags.CLASS_UNIVERSAL
+
+    def is_context(self, number: int) -> bool:
+        return tags.tag_class(self.tag) == tags.CLASS_CONTEXT and tags.tag_number(self.tag) == number
+
+    # -- scalar views ------------------------------------------------------
+
+    def as_boolean(self) -> bool:
+        self._require(tags.UniversalTag.BOOLEAN, "BOOLEAN")
+        if self.content == b"\x00":
+            return False
+        if self.content == b"\xff":
+            return True
+        raise ASN1DecodeError(f"non-DER BOOLEAN content {self.content.hex()}", offset=self.offset)
+
+    def as_integer(self) -> int:
+        self._require(tags.UniversalTag.INTEGER, "INTEGER")
+        return _decode_integer(self.content, self.offset)
+
+    def as_oid(self) -> ObjectIdentifier:
+        self._require(tags.UniversalTag.OBJECT_IDENTIFIER, "OBJECT IDENTIFIER")
+        return ObjectIdentifier.decode_content(self.content)
+
+    def as_octet_string(self) -> bytes:
+        self._require(tags.UniversalTag.OCTET_STRING, "OCTET STRING")
+        return self.content
+
+    def as_bit_string(self) -> tuple[bytes, int]:
+        """Return (data, unused_bits)."""
+        self._require(tags.UniversalTag.BIT_STRING, "BIT STRING")
+        if not self.content:
+            raise ASN1DecodeError("empty BIT STRING content", offset=self.offset)
+        unused = self.content[0]
+        if unused > 7:
+            raise ASN1DecodeError(f"invalid unused-bit count {unused}", offset=self.offset)
+        data = self.content[1:]
+        if unused and not data:
+            raise ASN1DecodeError("unused bits with no data", offset=self.offset)
+        return data, unused
+
+    def as_named_bits(self) -> frozenset[int]:
+        """Decode a named-bit-list BIT STRING into set bit positions."""
+        data, unused = self.as_bit_string()
+        positions = []
+        total_bits = len(data) * 8 - unused
+        for pos in range(total_bits):
+            if data[pos // 8] & (0x80 >> (pos % 8)):
+                positions.append(pos)
+        return frozenset(positions)
+
+    def as_string(self) -> str:
+        """Decode any directory-string-ish type to Python text."""
+        number = tags.tag_number(self.tag)
+        if tags.tag_class(self.tag) != tags.CLASS_UNIVERSAL or number not in tags.STRING_TAGS:
+            raise ASN1DecodeError(
+                f"expected a string type, got {tags.describe_tag(self.tag)}", offset=self.offset
+            )
+        if number == tags.UniversalTag.BMP_STRING:
+            return self.content.decode("utf-16-be")
+        if number == tags.UniversalTag.UNIVERSAL_STRING:
+            return self.content.decode("utf-32-be")
+        if number == tags.UniversalTag.UTF8_STRING:
+            return self.content.decode("utf-8")
+        return self.content.decode("latin-1")
+
+    def as_time(self) -> datetime:
+        """Decode UTCTime or GeneralizedTime to an aware UTC datetime."""
+        text = self.content.decode("ascii", errors="replace")
+        number = tags.tag_number(self.tag)
+        try:
+            if number == tags.UniversalTag.UTC_TIME:
+                parsed = datetime.strptime(text, "%y%m%d%H%M%SZ")
+                # UTCTime years: 50-99 => 19xx, 00-49 => 20xx (strptime's
+                # pivot is 69, so fix up the 50-68 range).
+                if parsed.year >= 2050:
+                    parsed = parsed.replace(year=parsed.year - 100)
+                return parsed.replace(tzinfo=timezone.utc)
+            if number == tags.UniversalTag.GENERALIZED_TIME:
+                parsed = datetime.strptime(text, "%Y%m%d%H%M%SZ")
+                return parsed.replace(tzinfo=timezone.utc)
+        except ValueError as exc:
+            raise ASN1DecodeError(f"malformed time {text!r}", offset=self.offset) from exc
+        raise ASN1DecodeError(
+            f"expected a time type, got {tags.describe_tag(self.tag)}", offset=self.offset
+        )
+
+    # -- structure views ---------------------------------------------------
+
+    def children(self) -> list["Element"]:
+        """Decode the content octets as a run of TLVs (for constructed types)."""
+        if not self.is_constructed():
+            raise ASN1DecodeError(
+                f"cannot take children of primitive {tags.describe_tag(self.tag)}",
+                offset=self.offset,
+            )
+        return decode_all(self.content, base_offset=self.offset)
+
+    def reader(self) -> "Reader":
+        """Positional reader over this element's children."""
+        return Reader(self.children(), container=self)
+
+    def _require(self, number: int, label: str) -> None:
+        if not self.is_universal(number):
+            raise ASN1DecodeError(
+                f"expected {label}, got {tags.describe_tag(self.tag)}", offset=self.offset
+            )
+
+
+def _decode_integer(content: bytes, offset: int) -> int:
+    if not content:
+        raise ASN1DecodeError("empty INTEGER content", offset=offset)
+    if len(content) > 1:
+        if content[0] == 0x00 and not content[1] & 0x80:
+            raise ASN1DecodeError("non-minimal INTEGER encoding", offset=offset)
+        if content[0] == 0xFF and content[1] & 0x80:
+            raise ASN1DecodeError("non-minimal INTEGER encoding", offset=offset)
+    return int.from_bytes(content, "big", signed=True)
+
+
+def decode_tlv(data: bytes, offset: int = 0) -> tuple[Element, int]:
+    """Decode one TLV starting at ``offset``; return (element, next_offset)."""
+    if offset >= len(data):
+        raise ASN1DecodeError("unexpected end of input", offset=offset)
+    tag = data[offset]
+    if tag & tags.TAG_NUMBER_MASK == tags.HIGH_TAG:
+        raise ASN1DecodeError("high-tag-number form not supported", offset=offset)
+    cursor = offset + 1
+    if cursor >= len(data):
+        raise ASN1DecodeError("missing length octet", offset=cursor)
+    first = data[cursor]
+    cursor += 1
+    if first < 0x80:
+        length = first
+    elif first == 0x80:
+        raise ASN1DecodeError("indefinite length not allowed in DER", offset=cursor - 1)
+    else:
+        nlen = first & 0x7F
+        if cursor + nlen > len(data):
+            raise ASN1DecodeError("truncated long-form length", offset=cursor)
+        length_octets = data[cursor : cursor + nlen]
+        cursor += nlen
+        if length_octets[0] == 0:
+            raise ASN1DecodeError("non-minimal long-form length", offset=cursor - nlen)
+        length = int.from_bytes(length_octets, "big")
+        if length < 0x80:
+            raise ASN1DecodeError("long form used for short length", offset=cursor - nlen)
+    end = cursor + length
+    if end > len(data):
+        raise ASN1DecodeError(
+            f"content truncated: need {length} bytes, have {len(data) - cursor}", offset=cursor
+        )
+    element = Element(
+        tag=tag,
+        content=bytes(data[cursor:end]),
+        offset=offset,
+        encoded=bytes(data[offset:end]),
+    )
+    return element, end
+
+
+def decode(data: bytes) -> Element:
+    """Decode exactly one TLV spanning the whole buffer."""
+    element, end = decode_tlv(data, 0)
+    if end != len(data):
+        raise ASN1DecodeError(f"{len(data) - end} trailing bytes after TLV", offset=end)
+    return element
+
+
+def decode_all(data: bytes, base_offset: int = 0) -> list[Element]:
+    """Decode a run of back-to-back TLVs covering the whole buffer."""
+    elements = []
+    offset = 0
+    while offset < len(data):
+        element, offset = decode_tlv(data, offset)
+        elements.append(
+            Element(
+                tag=element.tag,
+                content=element.content,
+                offset=base_offset + element.offset,
+                encoded=element.encoded,
+            )
+        )
+    return elements
+
+
+class Reader:
+    """Positional cursor over a constructed element's children.
+
+    RFC 5280 structures are positional with optional fields; this reader
+    supports "take the next element", "take it only if it matches", and
+    an exhaustion check to reject trailing garbage.
+    """
+
+    def __init__(self, elements: list[Element], container: Element | None = None):
+        self._elements = elements
+        self._index = 0
+        self._container = container
+
+    def __len__(self) -> int:
+        return len(self._elements) - self._index
+
+    def peek(self) -> Element | None:
+        """The next element without consuming it, or None when exhausted."""
+        if self._index < len(self._elements):
+            return self._elements[self._index]
+        return None
+
+    def next(self, description: str = "element") -> Element:
+        """Consume and return the next element, or raise when exhausted."""
+        element = self.peek()
+        if element is None:
+            where = self._container.offset if self._container else None
+            raise ASN1DecodeError(f"missing {description}", offset=where)
+        self._index += 1
+        return element
+
+    def take_context(self, number: int) -> Element | None:
+        """Consume the next element only when it is context tag [number]."""
+        element = self.peek()
+        if element is not None and element.is_context(number):
+            self._index += 1
+            return element
+        return None
+
+    def take_universal(self, number: int) -> Element | None:
+        """Consume the next element only when it is the given universal type."""
+        element = self.peek()
+        if element is not None and element.is_universal(number):
+            self._index += 1
+            return element
+        return None
+
+    def finish(self) -> None:
+        """Raise unless every child has been consumed."""
+        element = self.peek()
+        if element is not None:
+            raise ASN1DecodeError(
+                f"unexpected trailing {tags.describe_tag(element.tag)}", offset=element.offset
+            )

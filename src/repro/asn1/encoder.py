@@ -1,0 +1,170 @@
+"""DER encoding primitives.
+
+Functions here return complete TLV byte strings (tag, definite length,
+content).  They implement the DER subset of BER: definite lengths only,
+minimal integer encodings, sorted SET OF, boolean as 0x00/0xFF.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Iterable
+
+from repro.asn1 import tags
+from repro.asn1.oid import ObjectIdentifier
+from repro.errors import ASN1EncodeError
+
+
+def encode_length(length: int) -> bytes:
+    """Encode a definite length in the shortest DER form."""
+    if length < 0:
+        raise ASN1EncodeError(f"negative length: {length}")
+    if length < 0x80:
+        return bytes([length])
+    octets = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    if len(octets) > 126:
+        raise ASN1EncodeError("length too large for DER")
+    return bytes([0x80 | len(octets)]) + octets
+
+
+def encode_tlv(tag: int, content: bytes) -> bytes:
+    """Assemble one TLV from an identifier octet and content octets."""
+    if not 0 <= tag <= 0xFF:
+        raise ASN1EncodeError(f"identifier octet out of range: {tag}")
+    return bytes([tag]) + encode_length(len(content)) + content
+
+
+def encode_boolean(value: bool) -> bytes:
+    """Encode BOOLEAN; DER requires TRUE to be exactly 0xFF."""
+    return encode_tlv(tags.UniversalTag.BOOLEAN, b"\xff" if value else b"\x00")
+
+
+def encode_integer(value: int) -> bytes:
+    """Encode INTEGER (two's complement, minimal octets)."""
+    return encode_tlv(tags.UniversalTag.INTEGER, _integer_content(value))
+
+
+def _integer_content(value: int) -> bytes:
+    if value == 0:
+        return b"\x00"
+    length = (value.bit_length() + 8) // 8 if value > 0 else ((~value).bit_length() + 8) // 8
+    length = max(length, 1)
+    content = value.to_bytes(length, "big", signed=True)
+    # Strip redundant leading octets that to_bytes may have produced.
+    while len(content) > 1:
+        if content[0] == 0x00 and not content[1] & 0x80:
+            content = content[1:]
+        elif content[0] == 0xFF and content[1] & 0x80:
+            content = content[1:]
+        else:
+            break
+    return content
+
+
+def encode_bit_string(data: bytes, unused_bits: int = 0) -> bytes:
+    """Encode BIT STRING with an explicit count of unused trailing bits."""
+    if not 0 <= unused_bits <= 7:
+        raise ASN1EncodeError(f"unused bit count out of range: {unused_bits}")
+    if unused_bits and not data:
+        raise ASN1EncodeError("unused bits require at least one content octet")
+    return encode_tlv(tags.UniversalTag.BIT_STRING, bytes([unused_bits]) + data)
+
+
+def encode_named_bit_string(bits: Iterable[int]) -> bytes:
+    """Encode a named-bit-list BIT STRING (e.g. X.509 KeyUsage).
+
+    ``bits`` are the positions that are set (bit 0 is the most significant
+    bit of the first octet).  DER requires trailing zero bits be stripped.
+    """
+    positions = sorted(set(int(b) for b in bits))
+    if any(p < 0 for p in positions):
+        raise ASN1EncodeError("bit positions must be non-negative")
+    if not positions:
+        return encode_tlv(tags.UniversalTag.BIT_STRING, b"\x00")
+    highest = positions[-1]
+    nbytes = highest // 8 + 1
+    buf = bytearray(nbytes)
+    for pos in positions:
+        buf[pos // 8] |= 0x80 >> (pos % 8)
+    unused = 7 - (highest % 8)
+    return encode_bit_string(bytes(buf), unused)
+
+
+def encode_octet_string(data: bytes) -> bytes:
+    """Encode OCTET STRING."""
+    return encode_tlv(tags.UniversalTag.OCTET_STRING, data)
+
+
+def encode_null() -> bytes:
+    """Encode NULL (the ubiquitous RSA AlgorithmIdentifier parameter)."""
+    return encode_tlv(tags.UniversalTag.NULL, b"")
+
+
+def encode_oid(oid: ObjectIdentifier | str) -> bytes:
+    """Encode OBJECT IDENTIFIER."""
+    if isinstance(oid, str):
+        oid = ObjectIdentifier(oid)
+    return encode_tlv(tags.UniversalTag.OBJECT_IDENTIFIER, oid.encode_content())
+
+
+def encode_utf8_string(text: str) -> bytes:
+    """Encode UTF8String."""
+    return encode_tlv(tags.UniversalTag.UTF8_STRING, text.encode("utf-8"))
+
+
+def encode_printable_string(text: str) -> bytes:
+    """Encode PrintableString, validating the restricted alphabet."""
+    allowed = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?")
+    if not set(text) <= allowed:
+        raise ASN1EncodeError(f"text not printable-string safe: {text!r}")
+    return encode_tlv(tags.UniversalTag.PRINTABLE_STRING, text.encode("ascii"))
+
+
+def encode_ia5_string(text: str) -> bytes:
+    """Encode IA5String (ASCII)."""
+    try:
+        content = text.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise ASN1EncodeError(f"text not IA5-safe: {text!r}") from exc
+    return encode_tlv(tags.UniversalTag.IA5_STRING, content)
+
+
+def encode_sequence(*components: bytes) -> bytes:
+    """Encode SEQUENCE from already-encoded component TLVs."""
+    return encode_tlv(tags.SEQUENCE_TAG, b"".join(components))
+
+
+def encode_set(*components: bytes) -> bytes:
+    """Encode SET OF from component TLVs, applying DER canonical sorting."""
+    return encode_tlv(tags.SET_TAG, b"".join(sorted(components)))
+
+
+def encode_context(number: int, content: bytes, constructed: bool = True) -> bytes:
+    """Encode a context-specific TLV ``[number]``."""
+    return encode_tlv(tags.context_tag(number, constructed), content)
+
+
+def encode_explicit(number: int, inner: bytes) -> bytes:
+    """Encode EXPLICIT ``[number]`` wrapping of one encoded TLV."""
+    return encode_context(number, inner, constructed=True)
+
+
+# DER says: dates 1950-2049 use UTCTime, everything else GeneralizedTime.
+_UTC_TIME_MAX_YEAR = 2049
+_UTC_TIME_MIN_YEAR = 1950
+
+
+def encode_time(moment: datetime) -> bytes:
+    """Encode a timestamp per the X.509 DER rule (UTCTime vs GeneralizedTime)."""
+    moment = _as_utc(moment)
+    if _UTC_TIME_MIN_YEAR <= moment.year <= _UTC_TIME_MAX_YEAR:
+        text = moment.strftime("%y%m%d%H%M%SZ")
+        return encode_tlv(tags.UniversalTag.UTC_TIME, text.encode("ascii"))
+    text = moment.strftime("%Y%m%d%H%M%SZ")
+    return encode_tlv(tags.UniversalTag.GENERALIZED_TIME, text.encode("ascii"))
+
+
+def _as_utc(moment: datetime) -> datetime:
+    if moment.tzinfo is None:
+        return moment.replace(tzinfo=timezone.utc)
+    return moment.astimezone(timezone.utc)

@@ -1,0 +1,259 @@
+"""Object identifier value type and the OID registry used by X.509.
+
+:class:`ObjectIdentifier` is an immutable, hashable dotted-arc value with
+DER content-octet encoding/decoding.  The registry maps the OIDs this
+library emits or recognizes to short names for pretty-printing and for
+policy logic (for example, telling an MD5 signature from a SHA-256 one).
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator
+
+from repro.errors import ASN1DecodeError, ASN1EncodeError
+
+
+@total_ordering
+class ObjectIdentifier:
+    """An ASN.1 OBJECT IDENTIFIER, e.g. ``ObjectIdentifier("2.5.4.3")``.
+
+    Instances are immutable and usable as dict keys.  Ordering is
+    lexicographic over the arc tuple, which makes DER SET-OF sorting and
+    deterministic report output straightforward.
+    """
+
+    __slots__ = ("_arcs",)
+
+    def __init__(self, dotted: str | tuple[int, ...]):
+        if isinstance(dotted, str):
+            try:
+                arcs = tuple(int(part) for part in dotted.split("."))
+            except ValueError as exc:
+                raise ASN1EncodeError(f"invalid OID string {dotted!r}") from exc
+        else:
+            arcs = tuple(int(a) for a in dotted)
+        if len(arcs) < 2:
+            raise ASN1EncodeError(f"OID needs at least two arcs: {arcs!r}")
+        if arcs[0] not in (0, 1, 2):
+            raise ASN1EncodeError(f"first OID arc must be 0, 1, or 2: {arcs!r}")
+        if arcs[0] < 2 and arcs[1] > 39:
+            raise ASN1EncodeError(f"second OID arc must be <= 39 when first is {arcs[0]}")
+        if any(a < 0 for a in arcs):
+            raise ASN1EncodeError(f"OID arcs must be non-negative: {arcs!r}")
+        self._arcs = arcs
+
+    @property
+    def arcs(self) -> tuple[int, ...]:
+        """The OID as a tuple of integer arcs."""
+        return self._arcs
+
+    @property
+    def dotted(self) -> str:
+        """The OID in dotted-decimal notation."""
+        return ".".join(str(a) for a in self._arcs)
+
+    @property
+    def name(self) -> str:
+        """Registered short name, or the dotted string when unregistered."""
+        return OID_NAMES.get(self, self.dotted)
+
+    def encode_content(self) -> bytes:
+        """Encode the OID's DER content octets (no tag or length)."""
+        out = bytearray()
+        first = self._arcs[0] * 40 + self._arcs[1]
+        for arc in (first, *self._arcs[2:]):
+            out.extend(_encode_base128(arc))
+        return bytes(out)
+
+    @classmethod
+    def decode_content(cls, content: bytes) -> "ObjectIdentifier":
+        """Decode DER content octets into an :class:`ObjectIdentifier`."""
+        if not content:
+            raise ASN1DecodeError("empty OID content")
+        arcs: list[int] = []
+        for value in _iter_base128(content):
+            if not arcs:
+                if value < 40:
+                    arcs.extend((0, value))
+                elif value < 80:
+                    arcs.extend((1, value - 40))
+                else:
+                    arcs.extend((2, value - 80))
+            else:
+                arcs.append(value)
+        return cls(tuple(arcs))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectIdentifier):
+            return self._arcs == other._arcs
+        return NotImplemented
+
+    def __lt__(self, other: "ObjectIdentifier") -> bool:
+        if isinstance(other, ObjectIdentifier):
+            return self._arcs < other._arcs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._arcs)
+
+    def __repr__(self) -> str:
+        return f"ObjectIdentifier({self.dotted!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _encode_base128(value: int) -> bytes:
+    """Encode one arc in base-128 with continuation bits (DER style)."""
+    if value < 0x80:
+        return bytes([value])
+    chunks = []
+    while value:
+        chunks.append(value & 0x7F)
+        value >>= 7
+    chunks.reverse()
+    return bytes([c | 0x80 for c in chunks[:-1]] + [chunks[-1]])
+
+
+def _iter_base128(content: bytes) -> Iterator[int]:
+    """Yield base-128 values from OID content octets, validating padding."""
+    value = 0
+    in_progress = False
+    for index, octet in enumerate(content):
+        if not in_progress and octet == 0x80:
+            raise ASN1DecodeError("non-minimal base-128 arc encoding", offset=index)
+        value = (value << 7) | (octet & 0x7F)
+        in_progress = bool(octet & 0x80)
+        if not in_progress:
+            yield value
+            value = 0
+    if in_progress:
+        raise ASN1DecodeError("truncated base-128 arc at end of OID content")
+
+
+# --------------------------------------------------------------------------
+# Registry: OIDs used across X.509, PKIX, and the root store formats.
+# --------------------------------------------------------------------------
+
+# Distinguished name attribute types (X.520).
+COMMON_NAME = ObjectIdentifier("2.5.4.3")
+SURNAME = ObjectIdentifier("2.5.4.4")
+SERIAL_NUMBER_ATTR = ObjectIdentifier("2.5.4.5")
+COUNTRY_NAME = ObjectIdentifier("2.5.4.6")
+LOCALITY_NAME = ObjectIdentifier("2.5.4.7")
+STATE_OR_PROVINCE = ObjectIdentifier("2.5.4.8")
+STREET_ADDRESS = ObjectIdentifier("2.5.4.9")
+ORGANIZATION_NAME = ObjectIdentifier("2.5.4.10")
+ORGANIZATIONAL_UNIT = ObjectIdentifier("2.5.4.11")
+EMAIL_ADDRESS = ObjectIdentifier("1.2.840.113549.1.9.1")
+DOMAIN_COMPONENT = ObjectIdentifier("0.9.2342.19200300.100.1.25")
+
+# Public key algorithms.
+RSA_ENCRYPTION = ObjectIdentifier("1.2.840.113549.1.1.1")
+EC_PUBLIC_KEY = ObjectIdentifier("1.2.840.10045.2.1")
+
+# Named curves.
+SECP256R1 = ObjectIdentifier("1.2.840.10045.3.1.7")
+SECP384R1 = ObjectIdentifier("1.3.132.0.34")
+
+# Signature algorithms.
+MD5_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.4")
+SHA1_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.5")
+SHA256_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.11")
+SHA384_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.12")
+ECDSA_WITH_SHA256 = ObjectIdentifier("1.2.840.10045.4.3.2")
+ECDSA_WITH_SHA384 = ObjectIdentifier("1.2.840.10045.4.3.3")
+
+# Digest algorithms (for DigestInfo).
+MD5 = ObjectIdentifier("1.2.840.113549.2.5")
+SHA1 = ObjectIdentifier("1.3.14.3.2.26")
+SHA256 = ObjectIdentifier("2.16.840.1.101.3.4.2.1")
+SHA384 = ObjectIdentifier("2.16.840.1.101.3.4.2.2")
+
+# Certificate extensions.
+SUBJECT_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.14")
+KEY_USAGE = ObjectIdentifier("2.5.29.15")
+SUBJECT_ALT_NAME = ObjectIdentifier("2.5.29.17")
+BASIC_CONSTRAINTS = ObjectIdentifier("2.5.29.19")
+NAME_CONSTRAINTS = ObjectIdentifier("2.5.29.30")
+CERTIFICATE_POLICIES = ObjectIdentifier("2.5.29.32")
+AUTHORITY_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.35")
+EXTENDED_KEY_USAGE = ObjectIdentifier("2.5.29.37")
+
+# Extended key usage purposes.
+EKU_SERVER_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.1")
+EKU_CLIENT_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.2")
+EKU_CODE_SIGNING = ObjectIdentifier("1.3.6.1.5.5.7.3.3")
+EKU_EMAIL_PROTECTION = ObjectIdentifier("1.3.6.1.5.5.7.3.4")
+EKU_TIME_STAMPING = ObjectIdentifier("1.3.6.1.5.5.7.3.8")
+EKU_OCSP_SIGNING = ObjectIdentifier("1.3.6.1.5.5.7.3.9")
+EKU_ANY = ObjectIdentifier("2.5.29.37.0")
+
+# Microsoft CTL (authroot.stl) attribute OIDs (szOID_CERT_PROP_ID prefix space).
+MS_CTL_SIGNER = ObjectIdentifier("1.3.6.1.4.1.311.10.1")
+MS_EKU_FRIENDLY_NAME = ObjectIdentifier("1.3.6.1.4.1.311.10.11.11")
+MS_DISALLOWED_FILETIME = ObjectIdentifier("1.3.6.1.4.1.311.10.11.104")
+MS_DISALLOWED_EKU = ObjectIdentifier("1.3.6.1.4.1.311.10.11.122")
+MS_NOTBEFORE_FILETIME = ObjectIdentifier("1.3.6.1.4.1.311.10.11.126")
+MS_EKU_RESTRICTIONS = ObjectIdentifier("1.3.6.1.4.1.311.10.11.9")
+
+# Certificate policy used by the simulated Baseline-Requirements CAs.
+ANY_POLICY = ObjectIdentifier("2.5.29.32.0")
+BR_DOMAIN_VALIDATED = ObjectIdentifier("2.23.140.1.2.1")
+BR_ORGANIZATION_VALIDATED = ObjectIdentifier("2.23.140.1.2.2")
+BR_EXTENDED_VALIDATION = ObjectIdentifier("2.23.140.1.1")
+
+#: Names for pretty-printing and reports.
+OID_NAMES: dict[ObjectIdentifier, str] = {
+    COMMON_NAME: "CN",
+    SURNAME: "SN",
+    SERIAL_NUMBER_ATTR: "serialNumber",
+    COUNTRY_NAME: "C",
+    LOCALITY_NAME: "L",
+    STATE_OR_PROVINCE: "ST",
+    STREET_ADDRESS: "street",
+    ORGANIZATION_NAME: "O",
+    ORGANIZATIONAL_UNIT: "OU",
+    EMAIL_ADDRESS: "emailAddress",
+    DOMAIN_COMPONENT: "DC",
+    RSA_ENCRYPTION: "rsaEncryption",
+    EC_PUBLIC_KEY: "ecPublicKey",
+    SECP256R1: "secp256r1",
+    SECP384R1: "secp384r1",
+    MD5_WITH_RSA: "md5WithRSAEncryption",
+    SHA1_WITH_RSA: "sha1WithRSAEncryption",
+    SHA256_WITH_RSA: "sha256WithRSAEncryption",
+    SHA384_WITH_RSA: "sha384WithRSAEncryption",
+    ECDSA_WITH_SHA256: "ecdsa-with-SHA256",
+    ECDSA_WITH_SHA384: "ecdsa-with-SHA384",
+    MD5: "md5",
+    SHA1: "sha1",
+    SHA256: "sha256",
+    SHA384: "sha384",
+    SUBJECT_KEY_IDENTIFIER: "subjectKeyIdentifier",
+    KEY_USAGE: "keyUsage",
+    SUBJECT_ALT_NAME: "subjectAltName",
+    BASIC_CONSTRAINTS: "basicConstraints",
+    NAME_CONSTRAINTS: "nameConstraints",
+    CERTIFICATE_POLICIES: "certificatePolicies",
+    AUTHORITY_KEY_IDENTIFIER: "authorityKeyIdentifier",
+    EXTENDED_KEY_USAGE: "extendedKeyUsage",
+    EKU_SERVER_AUTH: "serverAuth",
+    EKU_CLIENT_AUTH: "clientAuth",
+    EKU_CODE_SIGNING: "codeSigning",
+    EKU_EMAIL_PROTECTION: "emailProtection",
+    EKU_TIME_STAMPING: "timeStamping",
+    EKU_OCSP_SIGNING: "OCSPSigning",
+    EKU_ANY: "anyExtendedKeyUsage",
+    ANY_POLICY: "anyPolicy",
+    BR_DOMAIN_VALIDATED: "domain-validated",
+    BR_ORGANIZATION_VALIDATED: "organization-validated",
+    BR_EXTENDED_VALIDATION: "extended-validation",
+    MS_CTL_SIGNER: "msCertTrustList",
+    MS_EKU_FRIENDLY_NAME: "msFriendlyName",
+    MS_DISALLOWED_FILETIME: "msDisallowedFiletime",
+    MS_DISALLOWED_EKU: "msDisallowedEku",
+    MS_NOTBEFORE_FILETIME: "msNotBeforeFiletime",
+    MS_EKU_RESTRICTIONS: "msEkuRestrictions",
+}

@@ -1,0 +1,69 @@
+"""Human-readable dump of DER structures (an `openssl asn1parse` analog).
+
+Useful in tests and examples to eyeball generated certificates and root
+store artifacts without external tooling.
+"""
+
+from __future__ import annotations
+
+from repro.asn1 import tags
+from repro.asn1.decoder import Element, decode_all
+from repro.errors import ASN1Error
+
+
+def dump(data: bytes, indent: str = "  ") -> str:
+    """Render a DER buffer as an indented tree, one line per TLV."""
+    lines: list[str] = []
+    for element in decode_all(data):
+        _render(element, 0, lines, indent)
+    return "\n".join(lines)
+
+
+def _render(element: Element, depth: int, lines: list[str], indent: str) -> None:
+    prefix = indent * depth
+    label = tags.describe_tag(element.tag)
+    summary = _summarize(element)
+    lines.append(f"{prefix}{element.offset:6d}: {label} len={len(element.content)}{summary}")
+    if element.is_constructed():
+        try:
+            children = element.children()
+        except ASN1Error:
+            lines.append(f"{prefix}{indent}<undecodable constructed content>")
+            return
+        for child in children:
+            _render(child, depth + 1, lines, indent)
+
+
+def _summarize(element: Element) -> str:
+    """One-line value preview for primitive scalar types."""
+    number = tags.tag_number(element.tag)
+    cls = tags.tag_class(element.tag)
+    if cls != tags.CLASS_UNIVERSAL or element.is_constructed():
+        return ""
+    try:
+        if number == tags.UniversalTag.OBJECT_IDENTIFIER:
+            return f" = {element.as_oid()}"
+        if number == tags.UniversalTag.INTEGER:
+            value = element.as_integer()
+            if value.bit_length() > 64:
+                return f" = <{value.bit_length()}-bit integer>"
+            return f" = {value}"
+        if number == tags.UniversalTag.BOOLEAN:
+            return f" = {element.as_boolean()}"
+        if number in tags.STRING_TAGS:
+            text = element.as_string()
+            return f" = {text!r}" if len(text) <= 60 else f" = {text[:57]!r}..."
+        if number in (tags.UniversalTag.UTC_TIME, tags.UniversalTag.GENERALIZED_TIME):
+            return f" = {element.as_time().isoformat()}"
+        if number == tags.UniversalTag.OCTET_STRING:
+            preview = element.content[:12].hex()
+            suffix = "..." if len(element.content) > 12 else ""
+            return f" = {preview}{suffix}"
+        if number == tags.UniversalTag.BIT_STRING:
+            data, unused = element.as_bit_string()
+            preview = data[:12].hex()
+            suffix = "..." if len(data) > 12 else ""
+            return f" = ({unused} unused) {preview}{suffix}"
+    except ASN1Error:
+        return " = <malformed>"
+    return ""

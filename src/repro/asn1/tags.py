@@ -1,0 +1,115 @@
+"""ASN.1 tag constants and tag arithmetic.
+
+DER identifiers octets encode three things: a *class* (universal,
+application, context-specific, private), a *constructed* bit, and a tag
+*number*.  This module exposes the universal tag numbers used by X.509
+and helpers to compose/decompose identifier octets.  Tag numbers above
+30 (high-tag-number form) are supported for completeness even though
+X.509 never uses them.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+# Tag class bits (bits 8-7 of the identifier octet).
+CLASS_UNIVERSAL = 0x00
+CLASS_APPLICATION = 0x40
+CLASS_CONTEXT = 0x80
+CLASS_PRIVATE = 0xC0
+
+CLASS_MASK = 0xC0
+CONSTRUCTED = 0x20
+TAG_NUMBER_MASK = 0x1F
+HIGH_TAG = 0x1F
+
+
+class UniversalTag(IntEnum):
+    """Universal class tag numbers relevant to X.509 and PKCS structures."""
+
+    BOOLEAN = 0x01
+    INTEGER = 0x02
+    BIT_STRING = 0x03
+    OCTET_STRING = 0x04
+    NULL = 0x05
+    OBJECT_IDENTIFIER = 0x06
+    ENUMERATED = 0x0A
+    UTF8_STRING = 0x0C
+    SEQUENCE = 0x10
+    SET = 0x11
+    NUMERIC_STRING = 0x12
+    PRINTABLE_STRING = 0x13
+    T61_STRING = 0x14
+    IA5_STRING = 0x16
+    UTC_TIME = 0x17
+    GENERALIZED_TIME = 0x18
+    VISIBLE_STRING = 0x1A
+    UNIVERSAL_STRING = 0x1C
+    BMP_STRING = 0x1E
+
+
+#: Identifier octets for the constructed universal types (as seen on the wire).
+SEQUENCE_TAG = UniversalTag.SEQUENCE | CONSTRUCTED  # 0x30
+SET_TAG = UniversalTag.SET | CONSTRUCTED  # 0x31
+
+#: String-ish universal tags that carry directory-name text.
+STRING_TAGS = frozenset(
+    {
+        UniversalTag.UTF8_STRING,
+        UniversalTag.NUMERIC_STRING,
+        UniversalTag.PRINTABLE_STRING,
+        UniversalTag.T61_STRING,
+        UniversalTag.IA5_STRING,
+        UniversalTag.VISIBLE_STRING,
+        UniversalTag.UNIVERSAL_STRING,
+        UniversalTag.BMP_STRING,
+    }
+)
+
+
+def context_tag(number: int, constructed: bool = True) -> int:
+    """Return the identifier octet for a context-specific tag ``[number]``.
+
+    X.509 uses context tags for TBSCertificate version ``[0]``, issuer/subject
+    unique ids ``[1]``/``[2]``, extensions ``[3]``, and within GeneralName.
+    Only low-tag-number form (``number < 31``) is representable in one octet.
+    """
+    if not 0 <= number < HIGH_TAG:
+        raise ValueError(f"context tag number out of single-octet range: {number}")
+    octet = CLASS_CONTEXT | number
+    if constructed:
+        octet |= CONSTRUCTED
+    return octet
+
+
+def tag_class(identifier: int) -> int:
+    """Extract the class bits from an identifier octet."""
+    return identifier & CLASS_MASK
+
+
+def tag_number(identifier: int) -> int:
+    """Extract the low-form tag number from an identifier octet."""
+    return identifier & TAG_NUMBER_MASK
+
+
+def is_constructed(identifier: int) -> bool:
+    """True when the identifier octet has the constructed bit set."""
+    return bool(identifier & CONSTRUCTED)
+
+
+def describe_tag(identifier: int) -> str:
+    """Human-readable description of an identifier octet, for diagnostics."""
+    cls = tag_class(identifier)
+    number = tag_number(identifier)
+    shape = "constructed" if is_constructed(identifier) else "primitive"
+    if cls == CLASS_UNIVERSAL:
+        try:
+            name = UniversalTag(number).name
+        except ValueError:
+            name = f"UNIVERSAL {number}"
+        return f"{name} ({shape})"
+    if cls == CLASS_CONTEXT:
+        return f"[{number}] ({shape})"
+    if cls == CLASS_APPLICATION:
+        return f"APPLICATION {number} ({shape})"
+    return f"PRIVATE {number} ({shape})"

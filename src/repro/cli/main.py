@@ -1,0 +1,484 @@
+"""The ``repro-roots`` command line interface.
+
+Subcommands map one-to-one onto the paper's experiments::
+
+    repro-roots dataset              # Table 2
+    repro-roots user-agents          # Table 1
+    repro-roots hygiene              # Table 3
+    repro-roots removals             # Table 4
+    repro-roots nss-removals         # Table 7
+    repro-roots exclusives           # Table 6
+    repro-roots families             # Figure 1 (clusters + MDS stress)
+    repro-roots ecosystem            # Figure 2
+    repro-roots staleness            # Figure 3
+    repro-roots deviations           # Figure 4
+    repro-roots software             # Table 5
+    repro-roots publish PROVIDER DIR # write native artifacts to disk
+    repro-roots scrape PROVIDER DIR  # parse artifacts back
+
+Every experiment regenerates deterministically from the built-in seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import date
+from pathlib import Path
+
+from repro.analysis import (
+    cluster_families,
+    collect_snapshots,
+    corpus_classifier,
+    deviation_report,
+    distance_matrix,
+    exclusives_report,
+    find_outliers,
+    hygiene_report,
+    kruskal_stress,
+    nss_removal_report,
+    rank_by_hygiene,
+    render_table,
+    response_report,
+    smacof,
+    staleness_report,
+)
+from repro.collection import scrape_history, write_tree
+from repro.collection.sources import SourceRepository, read_tree
+from repro.simulation import default_corpus
+from repro.store import NSS_DERIVATIVES, PROVIDERS
+from repro.useragents import (
+    POPULATION,
+    coverage_fraction,
+    sample_top_200,
+    surveyed_counts,
+    trace_user_agents,
+)
+from repro.useragents.software import SOFTWARE
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
+    handler(args)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-roots",
+        description="Tracing Your Roots (IMC 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+    for name, help_text in (
+        ("dataset", "Table 2: dataset summary"),
+        ("user-agents", "Table 1: top-200 UA coverage"),
+        ("hygiene", "Table 3: root store hygiene"),
+        ("removals", "Table 4: high-severity removal response lags"),
+        ("nss-removals", "Table 7: NSS removal catalog"),
+        ("exclusives", "Table 6: program-exclusive roots"),
+        ("families", "Figure 1: ordination clusters"),
+        ("ecosystem", "Figure 2: inverted pyramid"),
+        ("staleness", "Figure 3: derivative staleness"),
+        ("deviations", "Figure 4: derivative deviation taxonomy"),
+        ("software", "Table 5: software root store survey"),
+        ("purposes", "extension: multi-purpose store exposure"),
+        ("cross-sign", "extension: the Certinomis/StartCom resurrection"),
+        ("minimize", "extension: minimal root set over Zipf traffic"),
+        ("agility", "extension: release cadence and projected exposure"),
+        ("lint", "extension: BR lint census over the root programs"),
+        ("scorecard", "extension: composite root program scorecard"),
+    ):
+        sub.add_parser(name, help=help_text)
+    validate = sub.add_parser(
+        "validate", help="validate a synthetic leaf against every store at a date"
+    )
+    validate.add_argument("domain", help="DNS name for the synthetic leaf")
+    validate.add_argument("--issuer", default="common-d2", help="catalog slug of the issuing root")
+    validate.add_argument("--date", default="2020-06-01", help="validation date (YYYY-MM-DD)")
+    validate.add_argument("--issued", default="2020-01-01", help="leaf notBefore (YYYY-MM-DD)")
+    publish = sub.add_parser("publish", help="write a provider's native artifacts to disk")
+    publish.add_argument("provider", choices=sorted(PROVIDERS))
+    publish.add_argument("directory", type=Path)
+    publish.add_argument("--last", type=int, default=1, help="how many recent snapshots")
+    scrape = sub.add_parser("scrape", help="parse a published artifact tree")
+    scrape.add_argument("provider", choices=sorted(PROVIDERS))
+    scrape.add_argument("directory", type=Path)
+    return parser
+
+
+def _cmd_dataset(_args) -> None:
+    corpus = default_corpus()
+    rows = []
+    for row in corpus.dataset.summary_rows():
+        history = corpus.dataset[row["provider"]]
+        distinct = len({s.tls_fingerprints() for s in history})
+        rows.append(
+            (
+                row["provider"],
+                f"{row['from']:%Y-%m}",
+                f"{row['to']:%Y-%m}",
+                row["snapshots"],
+                distinct,
+                row["unique_roots"],
+            )
+        )
+    print(render_table(
+        ("Root store", "From", "To", "# SS", "# Uniq states", "# Uniq roots"),
+        rows,
+        title="Table 2: root store dataset",
+    ))
+    print(f"\nTotal snapshots: {corpus.dataset.total_snapshots()}")
+
+
+def _cmd_user_agents(_args) -> None:
+    uas = sample_top_200()
+    shares = trace_user_agents(uas)
+    rows = [(r.os, r.agent, r.versions, "yes" if r.included else "no") for r in POPULATION]
+    print(render_table(("OS", "User agent", "# versions", "Included?"), rows,
+                       title="Table 1: top-200 user agents"))
+    print(f"\nCoverage: {coverage_fraction() * 100:.1f}%")
+    for family, count in sorted(shares.by_family.items(), key=lambda kv: -kv[1]):
+        print(f"  {family:10s} {count:4d} UAs ({count / shares.total * 100:.0f}%)")
+
+
+def _cmd_hygiene(_args) -> None:
+    corpus = default_corpus()
+    rows = []
+    report = hygiene_report(corpus.dataset)
+    for row in report:
+        rows.append(
+            (
+                row.provider,
+                f"{row.average_size:.1f}",
+                f"{row.average_expired:.1f}",
+                _removal_label(row.md5_removal, row.md5_still_present),
+                _removal_label(row.weak_rsa_removal, row.weak_rsa_still_present),
+            )
+        )
+    print(render_table(("Root store", "Avg. size", "Avg. expired", "MD5", "1024-bit RSA"),
+                       rows, title="Table 3: root store hygiene"))
+    print("\nBest-to-worst hygiene:", " > ".join(rank_by_hygiene(report)))
+
+
+def _removal_label(when: date | None, still: bool) -> str:
+    if still:
+        return "still trusted"
+    if when is None:
+        return "never present"
+    return f"{when:%Y-%m}"
+
+
+def _cmd_removals(_args) -> None:
+    corpus = default_corpus()
+    fps = {spec.slug: corpus.fingerprint(spec.slug) for spec in corpus.specs}
+    revocations = {corpus.fingerprint(s): d for s, d in corpus.apple_revocations.items()}
+    report = response_report(corpus.dataset, fps, revocations=revocations)
+    for incident, rows in report.items():
+        print(f"\n{incident}")
+        print(render_table(
+            ("Root store", "# certs", "Trusted until", "Lag (days)"),
+            (
+                (
+                    r.provider,
+                    r.certs_ever_trusted,
+                    r.trusted_until or ("revoked*" if r.revoked_on else "still trusted"),
+                    r.lag_label(),
+                )
+                for r in rows
+            ),
+        ))
+
+
+def _cmd_nss_removals(_args) -> None:
+    corpus = default_corpus()
+    fps = {spec.slug: corpus.fingerprint(spec.slug) for spec in corpus.specs}
+    rows = [
+        (r.bugzilla_id, r.severity, r.removed_on, r.measured_certs, r.description)
+        for r in nss_removal_report(corpus.dataset, fps)
+    ]
+    print(render_table(("Bugzilla ID", "Severity", "Removed on", "# certs", "Details"),
+                       rows, title="Table 7: NSS root removals"))
+
+
+def _cmd_exclusives(_args) -> None:
+    corpus = default_corpus()
+
+    def describe(fingerprint: str) -> str:
+        spec = corpus.spec_for_fingerprint(fingerprint)
+        return spec.note if spec else ""
+
+    report = exclusives_report(corpus.dataset, describe=describe)
+    for program in ("nss", "java", "apple", "microsoft"):
+        roots = report.get(program, [])
+        print(f"\n{program} ({len(roots)} exclusive)")
+        for root in roots:
+            print(f"  {root.fingerprint[:8]}  {root.organization:40s} {root.detail}")
+
+
+def _cmd_families(_args) -> None:
+    corpus = default_corpus()
+    snapshots = collect_snapshots(corpus.dataset, since=date(2011, 1, 1))
+    labelled = distance_matrix(snapshots)
+    assignment = cluster_families(labelled)
+    print(f"Figure 1: {assignment.cluster_count} clusters "
+          f"(dendrogram cut at {assignment.cut_distance:.2f})")
+    for cid in sorted(set(assignment.provider_family.values())):
+        print(f"  {assignment.family_name(cid):10s} {', '.join(assignment.members(cid))}")
+    result = smacof(labelled.matrix, dims=2)
+    print(f"SMACOF: stress-1 {kruskal_stress(labelled.matrix, result.embedding):.3f} "
+          f"after {result.iterations} iterations")
+    print("Outlier snapshots (large consecutive churn):")
+    for outlier in find_outliers(corpus.dataset):
+        print(f"  {outlier.provider:8s} {outlier.taken_at} "
+              f"{outlier.changed} of {outlier.store_size} roots changed")
+
+
+def _cmd_ecosystem(_args) -> None:
+    from repro.analysis import build_ecosystem_graph, pyramid_stats
+
+    uas = sample_top_200()
+    graph = build_ecosystem_graph(uas)
+    stats = pyramid_stats(graph)
+    print("Figure 2: the inverted pyramid")
+    print(f"  user agents : {stats.user_agents} ({stats.attributed_user_agents} attributed)")
+    print(f"  providers   : {stats.providers}")
+    print(f"  programs    : {stats.programs}")
+    print(f"  inverted    : {stats.inverted}")
+    for program, count in sorted(stats.program_shares.items(), key=lambda kv: -kv[1]):
+        print(f"    {program:10s} {count:4d} UAs ({count / stats.user_agents * 100:.0f}%)")
+
+
+def _cmd_staleness(_args) -> None:
+    corpus = default_corpus()
+    rows = [
+        (s.provider, f"{s.average:.2f}", f"{s.always_behind_fraction * 100:.0f}%")
+        for s in staleness_report(corpus.dataset, NSS_DERIVATIVES)
+    ]
+    print(render_table(("Derivative", "Avg versions behind", "Time behind"),
+                       rows, title="Figure 3: NSS derivative staleness"))
+
+
+def _cmd_deviations(_args) -> None:
+    corpus = default_corpus()
+    classify = corpus_classifier(corpus)
+    for series in deviation_report(corpus.dataset, NSS_DERIVATIVES, classify):
+        totals = series.category_totals()
+        label = ", ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+        print(f"{series.provider:12s} max +{series.max_added()} / -{series.max_removed()}  [{label}]")
+
+
+def _cmd_software(_args) -> None:
+    rows = [(str(s.kind), s.name, s.ships_root_store, s.details) for s in SOFTWARE]
+    print(render_table(("Kind", "Name", "Root store?", "Details"), rows,
+                       title="Table 5: popular OS & TLS software root stores"))
+    for kind, (total, shipping) in surveyed_counts().items():
+        print(f"  {kind}: {shipping}/{total} ship a root store")
+
+
+def _cmd_purposes(_args) -> None:
+    from repro.analysis import purpose_exposure_report
+
+    corpus = default_corpus()
+    providers = ("nss", "microsoft", "apple", "debian", "ubuntu", "alpine", "nodejs", "amazonlinux")
+    for label, at in (("latest snapshots", None), ("2016-06 (pre TLS-only shift)", date(2016, 6, 1))):
+        rows = [
+            (r.provider, r.tls_roots, r.code_signing_roots, r.tls_overreach, r.code_signing_overreach)
+            for r in purpose_exposure_report(corpus.dataset, providers, at=at)
+        ]
+        print(render_table(
+            ("Store", "TLS", "Code-sign", "TLS overreach", "Code-sign overreach"),
+            rows,
+            title=f"Purpose exposure ({label})",
+        ))
+        print()
+
+
+def _cmd_cross_sign(_args) -> None:
+    from datetime import datetime, timezone
+
+    from repro.verify import ChainValidator, cross_sign, issue_server_leaf, resurrection_window
+
+    corpus = default_corpus()
+    dataset = corpus.dataset
+    bridge = cross_sign(
+        corpus.specs_by_slug["startcom-ca"],
+        corpus.specs_by_slug["certinomis-root"],
+        corpus.mint,
+        not_before=date(2018, 3, 1),
+    )
+    leaf = issue_server_leaf(
+        corpus.specs_by_slug["startcom-ca"], corpus.mint, "resurrected.example",
+        not_before=datetime(2018, 6, 1, tzinfo=timezone.utc),
+    )
+    store = dataset["nss"].at(date(2018, 9, 1))
+    at = datetime(2018, 9, 1, tzinfo=timezone.utc)
+    direct = ChainValidator(store=store).validate(leaf, at)
+    bridged = ChainValidator(store=store, intermediates=[bridge]).validate(leaf, at)
+    print("StartCom leaf under NSS (2018-09):")
+    print(f"  direct path : {'valid' if direct.valid else direct.reason}")
+    print(f"  via cross-sign: {'valid (anchor: ' + bridged.anchor.subject.common_name + ')' if bridged.valid else bridged.reason}")
+    startcom = [corpus.fingerprint(s) for s in ("startcom-ca", "startcom-ca-g2", "startcom-ca-g3")]
+    certinomis = corpus.fingerprint("certinomis-root")
+    rows = []
+    for provider in ("nss", "nodejs", "alpine", "debian", "android", "amazonlinux", "microsoft"):
+        window = resurrection_window(dataset[provider], startcom, certinomis, date(2018, 3, 1))
+        rows.append((provider, f"{window.exposure_days}{'+' if window.open_ended else ''}"))
+    print(render_table(("Root store", "Bypass exposure (days)"), rows))
+
+
+def _cmd_minimize(_args) -> None:
+    from repro.analysis import minimal_root_set, zipf_traffic
+
+    corpus = default_corpus()
+    rows = []
+    for provider in ("nss", "apple", "microsoft", "java"):
+        snapshot = corpus.dataset[provider].latest()
+        traffic = zipf_traffic(snapshot, seed=f"traffic-{provider}")
+        for target in (0.9, 0.99):
+            result = minimal_root_set(snapshot, traffic, target=target)
+            rows.append(
+                (provider, f"{target * 100:.0f}%", f"{result.selected_count}/{result.store_size}",
+                 f"{result.unused_fraction * 100:.0f}%")
+            )
+    print(render_table(
+        ("Store", "Coverage", "Roots needed", "Unused"),
+        rows,
+        title="Minimal root sets (greedy cover, Zipf traffic)",
+    ))
+
+
+def _cmd_agility(_args) -> None:
+    from repro.analysis.agility import agility_report
+
+    corpus = default_corpus()
+    providers = ("nss", "microsoft", "apple", "alpine", "amazonlinux", "android",
+                 "debian", "nodejs", "ubuntu")
+    rows = [
+        (
+            p.provider,
+            p.releases,
+            f"{p.mean_gap:.0f}",
+            f"{p.max_gap:.0f}",
+            p.substantial_releases,
+            f"{p.mean_substantial_gap:.0f}",
+            f"{p.projected_response_days:.0f}",
+        )
+        for p in agility_report(corpus.dataset, providers)
+    ]
+    print(render_table(
+        ("Provider", "Releases", "Mean gap (d)", "Max", "Substantial", "Subst. gap", "Projected exposure"),
+        rows,
+        title="Release agility",
+    ))
+
+
+def _cmd_scorecard(_args) -> None:
+    from repro.analysis import scorecard
+
+    corpus = default_corpus()
+    fingerprints = {spec.slug: corpus.fingerprint(spec.slug) for spec in corpus.specs}
+    rows = []
+    for s in scorecard(corpus.dataset, fingerprints):
+        rows.append(
+            (
+                s.program,
+                f"{s.composite:.1f}",
+                s.hygiene_rank,
+                f"{s.substantial_gap_days:.0f}d",
+                f"{s.mean_response_lag:.0f}d" if s.mean_response_lag is not None else "n/a",
+                s.exclusive_roots,
+                f"{s.lint_error_rate * 100:.0f}%",
+            )
+        )
+    print(render_table(
+        ("Program", "Composite", "Hygiene rank", "Cadence", "Mean lag", "Exclusives", "BR errors"),
+        rows,
+        title="Root program scorecard (1 = best)",
+    ))
+
+
+def _cmd_lint(_args) -> None:
+    from repro.lint import lint_programs
+
+    corpus = default_corpus()
+    for when in (date(2016, 6, 1), date(2020, 6, 1)):
+        rows = []
+        for census in lint_programs(corpus.dataset, at=when):
+            top = sorted(census.by_lint.items(), key=lambda kv: -kv[1])[:2]
+            rows.append(
+                (
+                    census.provider,
+                    census.roots,
+                    f"{census.error_rate * 100:.1f}%",
+                    f"{census.warning_rate * 100:.1f}%",
+                    ", ".join(f"{lid} x{n}" for lid, n in top),
+                )
+            )
+        print(render_table(
+            ("Store", "Roots", "Errors", "Warnings", "Top findings"),
+            rows,
+            title=f"BR lint census at {when}",
+        ))
+        print()
+
+
+def _cmd_validate(args) -> None:
+    from datetime import datetime, timezone
+
+    from repro.verify import ChainValidator, issue_server_leaf
+
+    corpus = default_corpus()
+    if args.issuer not in corpus.specs_by_slug:
+        raise SystemExit(f"unknown catalog slug {args.issuer!r}")
+    when = date.fromisoformat(args.date)
+    issued = date.fromisoformat(args.issued)
+    at = datetime(when.year, when.month, when.day, tzinfo=timezone.utc)
+    leaf = issue_server_leaf(
+        corpus.specs_by_slug[args.issuer], corpus.mint, args.domain,
+        not_before=datetime(issued.year, issued.month, issued.day, tzinfo=timezone.utc),
+    )
+    print(f"Validating {args.domain} (issued {issued} by {args.issuer}) on {when}:")
+    rows = []
+    for provider in corpus.dataset.providers:
+        store = corpus.dataset[provider].at(when)
+        if store is None:
+            rows.append((provider, "no store yet"))
+            continue
+        result = ChainValidator(store=store).validate(leaf, at)
+        rows.append((provider, "ACCEPTED" if result.valid else f"rejected ({result.reason})"))
+    print(render_table(("Root store", "Verdict"), rows))
+
+
+def _cmd_publish(args) -> None:
+    corpus = default_corpus()
+    history = corpus.dataset[args.provider]
+    from repro.collection.publish import snapshot_tree
+
+    for snapshot in history.snapshots[-args.last:]:
+        tree = snapshot_tree(snapshot)
+        destination = args.directory / f"{snapshot.version}+{snapshot.taken_at:%Y%m%d}"
+        write_tree(tree, destination)
+        print(f"wrote {len(tree)} files to {destination}")
+
+
+def _cmd_scrape(args) -> None:
+    directory: Path = args.directory
+    repo = SourceRepository(name=args.provider)
+    versions = sorted(p for p in directory.iterdir() if p.is_dir())
+    for path in versions:
+        tag = path.name
+        released_text = tag.split("+")[-1]
+        released = date(int(released_text[:4]), int(released_text[4:6]), int(released_text[6:8]))
+        repo.add_tag(tag, released, read_tree(path))
+    history = scrape_history(args.provider, repo)
+    for snapshot in history:
+        print(snapshot.describe())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

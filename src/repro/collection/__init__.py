@@ -1,0 +1,36 @@
+"""Collection pipeline: publish native artifacts, scrape them back.
+
+The simulator's snapshot histories are rendered into byte-level
+artifacts at simulated origins (:mod:`repro.collection.publish` /
+:mod:`repro.collection.sources`), then re-ingested with the scrapers
+(:mod:`repro.collection.scrape`) — the full Section 3 methodology, with
+only the artifact *origin* synthetic.
+"""
+
+from repro.collection.publish import ARTIFACT_PATHS, publish_history, snapshot_tree
+from repro.collection.scrape import extract_entries, scrape_history, scrape_snapshot
+from repro.collection.sources import (
+    DockerRegistry,
+    FileTree,
+    SourceRepository,
+    TaggedTree,
+    UpdateFeed,
+    read_tree,
+    write_tree,
+)
+
+__all__ = [
+    "ARTIFACT_PATHS",
+    "DockerRegistry",
+    "FileTree",
+    "SourceRepository",
+    "TaggedTree",
+    "UpdateFeed",
+    "extract_entries",
+    "publish_history",
+    "read_tree",
+    "scrape_history",
+    "scrape_snapshot",
+    "snapshot_tree",
+    "write_tree",
+]

@@ -1,0 +1,117 @@
+"""Render snapshot histories into native artifacts at their origins.
+
+This is the inverse of scraping: each provider's
+:class:`~repro.store.history.StoreHistory` becomes a tagged source
+repository, Docker registry, or update feed holding byte-level
+artifacts in the provider's real format.  Running the scrapers over
+these origins reconstructs the history, which is how the test suite
+proves end-to-end collection fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.collection.sources import DockerRegistry, FileTree, SourceRepository, UpdateFeed
+from repro.formats.applestore import serialize_apple_store
+from repro.formats.authroot import serialize_authroot
+from repro.formats.certdata import serialize_certdata
+from repro.formats.certdir import serialize_cert_dir
+from repro.formats.jks import serialize_jks
+from repro.formats.nodeheader import serialize_node_header
+from repro.formats.pem_bundle import serialize_pem_bundle
+from repro.errors import CollectionError
+from repro.store.history import StoreHistory
+from repro.store.provider import PROVIDERS, StoreFormat
+from repro.store.snapshot import RootStoreSnapshot
+
+#: Canonical artifact paths per provider (mirrors Table 2's Details column).
+ARTIFACT_PATHS = {
+    "nss": "security/nss/lib/ckfw/builtins/certdata.txt",
+    "apple": "certificates",  # directory prefix
+    "java": "make/data/cacerts/cacerts.jks",
+    "nodejs": "src/node_root_certs.h",
+    "debian": "usr/share/ca-certificates",
+    "ubuntu": "usr/share/ca-certificates",
+    "android": "system/ca-certificates",
+    "alpine": "etc/ssl/cert.pem",
+    "amazonlinux": "etc/pki/ca-trust/extracted/pem/tls-ca-bundle.pem",
+    "microsoft": "authroot.stl",
+}
+
+
+def snapshot_tree(snapshot: RootStoreSnapshot) -> FileTree:
+    """Render one snapshot as its provider's native file tree."""
+    provider = PROVIDERS[snapshot.provider]
+    entries = list(snapshot.entries)
+    fmt = provider.store_format
+
+    if fmt is StoreFormat.CERTDATA:
+        return {ARTIFACT_PATHS["nss"]: serialize_certdata(entries).encode("utf-8")}
+
+    if fmt is StoreFormat.KEYCHAIN_DIR:
+        prefix = ARTIFACT_PATHS["apple"]
+        return {f"{prefix}/{path}": data for path, data in serialize_apple_store(entries).items()}
+
+    if fmt is StoreFormat.JKS:
+        return {ARTIFACT_PATHS["java"]: serialize_jks(entries)}
+
+    if fmt is StoreFormat.HEADER_FILE:
+        return {ARTIFACT_PATHS["nodejs"]: serialize_node_header(entries).encode("utf-8")}
+
+    if fmt is StoreFormat.CERT_DIR:
+        style = "android" if snapshot.provider == "android" else "debian"
+        prefix = ARTIFACT_PATHS[snapshot.provider]
+        return {
+            f"{prefix}/{path}": data
+            for path, data in serialize_cert_dir(entries, style=style).items()
+        }
+
+    if fmt is StoreFormat.PEM_BUNDLE:
+        path = ARTIFACT_PATHS[snapshot.provider]
+        comment = f"{provider.display_name} CA bundle, generated {snapshot.taken_at:%Y-%m-%d}"
+        return {path: serialize_pem_bundle(entries, header_comment=comment).encode("ascii")}
+
+    if fmt is StoreFormat.AUTHROOT_STL:
+        artifact = serialize_authroot(
+            entries,
+            sequence_number=int(snapshot.taken_at.strftime("%Y%m%d")),
+            this_update=_noon(snapshot),
+        )
+        tree: FileTree = {ARTIFACT_PATHS["microsoft"]: artifact.stl_der}
+        for sha1_hex, der in artifact.certificates.items():
+            tree[f"certs/{sha1_hex}.crt"] = der
+        return tree
+
+    raise CollectionError(f"no publisher for format {fmt}")
+
+
+def _noon(snapshot: RootStoreSnapshot):
+    from datetime import datetime, time, timezone
+
+    return datetime.combine(snapshot.taken_at, time(12, 0), tzinfo=timezone.utc)
+
+
+def publish_history(history: StoreHistory):
+    """Publish a provider's history to its origin type.
+
+    Returns a :class:`SourceRepository`, :class:`DockerRegistry`, or
+    :class:`UpdateFeed` depending on the provider's Table 2 data source.
+    """
+    provider = PROVIDERS[history.provider]
+    if provider.data_source == "docker":
+        origin = DockerRegistry(name=history.provider)
+        for snapshot in history:
+            origin.push(_tag(snapshot), snapshot.taken_at, snapshot_tree(snapshot))
+        return origin
+    if provider.data_source == "update file":
+        origin = UpdateFeed(name=history.provider)
+        for snapshot in history:
+            origin.publish(_tag(snapshot), snapshot.taken_at, snapshot_tree(snapshot))
+        return origin
+    origin = SourceRepository(name=history.provider)
+    for snapshot in history:
+        origin.add_tag(_tag(snapshot), snapshot.taken_at, snapshot_tree(snapshot))
+    return origin
+
+
+def _tag(snapshot: RootStoreSnapshot) -> str:
+    return f"{snapshot.version}+{snapshot.taken_at:%Y%m%d}"

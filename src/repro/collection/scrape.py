@@ -1,0 +1,97 @@
+"""Scrapers: origin artifacts -> normalized snapshot histories.
+
+Each scraper walks an origin (repository tags, registry images, update
+feed entries), locates the provider's root store artifact inside the
+file tree, parses it with the format codecs, and emits
+:class:`~repro.store.snapshot.RootStoreSnapshot` records.  This is the
+collection methodology of Section 3.1, run against the simulated
+origins of :mod:`repro.collection.publish`.
+"""
+
+from __future__ import annotations
+
+from repro.collection.publish import ARTIFACT_PATHS
+from repro.collection.sources import DockerRegistry, FileTree, SourceRepository, TaggedTree, UpdateFeed
+from repro.errors import CollectionError
+from repro.formats.applestore import parse_apple_store
+from repro.formats.authroot import AuthrootArtifact, parse_authroot
+from repro.formats.certdata import parse_certdata
+from repro.formats.certdir import parse_cert_dir
+from repro.formats.jks import parse_jks
+from repro.formats.nodeheader import parse_node_header
+from repro.formats.pem_bundle import parse_pem_bundle
+from repro.store.entry import TrustEntry
+from repro.store.history import StoreHistory
+from repro.store.provider import PROVIDERS, StoreFormat
+from repro.store.snapshot import RootStoreSnapshot
+
+Origin = SourceRepository | DockerRegistry | UpdateFeed
+
+
+def scrape_history(provider_key: str, origin: Origin) -> StoreHistory:
+    """Scrape every version at an origin into a provider history."""
+    history = StoreHistory(provider_key)
+    for tagged in origin:
+        history.add(scrape_snapshot(provider_key, tagged))
+    return history
+
+
+def scrape_snapshot(provider_key: str, tagged: TaggedTree) -> RootStoreSnapshot:
+    """Parse one origin version into a snapshot."""
+    version = tagged.tag.split("+", 1)[0]
+    entries = extract_entries(provider_key, tagged.tree)
+    return RootStoreSnapshot.build(provider_key, tagged.released, version, entries)
+
+
+def extract_entries(provider_key: str, tree: FileTree) -> list[TrustEntry]:
+    """Locate and parse the provider's root store artifact in a file tree."""
+    provider = PROVIDERS[provider_key]
+    fmt = provider.store_format
+
+    if fmt is StoreFormat.CERTDATA:
+        return parse_certdata(_require(tree, ARTIFACT_PATHS["nss"]).decode("utf-8"))
+
+    if fmt is StoreFormat.KEYCHAIN_DIR:
+        prefix = ARTIFACT_PATHS["apple"] + "/"
+        subtree = {
+            path[len(prefix):]: data for path, data in tree.items() if path.startswith(prefix)
+        }
+        if not subtree:
+            raise CollectionError(f"no {prefix} directory in Apple tree")
+        return parse_apple_store(subtree)
+
+    if fmt is StoreFormat.JKS:
+        return parse_jks(_require(tree, ARTIFACT_PATHS["java"]))
+
+    if fmt is StoreFormat.HEADER_FILE:
+        return parse_node_header(_require(tree, ARTIFACT_PATHS["nodejs"]).decode("utf-8"))
+
+    if fmt is StoreFormat.CERT_DIR:
+        prefix = ARTIFACT_PATHS[provider_key] + "/"
+        subtree = {
+            path[len(prefix):]: data for path, data in tree.items() if path.startswith(prefix)
+        }
+        if not subtree:
+            raise CollectionError(f"no {prefix} directory in {provider_key} tree")
+        return parse_cert_dir(subtree)
+
+    if fmt is StoreFormat.PEM_BUNDLE:
+        return parse_pem_bundle(_require(tree, ARTIFACT_PATHS[provider_key]).decode("ascii"))
+
+    if fmt is StoreFormat.AUTHROOT_STL:
+        stl = _require(tree, ARTIFACT_PATHS["microsoft"])
+        certificates = {
+            path.removeprefix("certs/").removesuffix(".crt"): data
+            for path, data in tree.items()
+            if path.startswith("certs/") and path.endswith(".crt")
+        }
+        return parse_authroot(AuthrootArtifact(stl_der=stl, certificates=certificates))
+
+    raise CollectionError(f"no scraper for format {fmt}")
+
+
+def _require(tree: FileTree, path: str) -> bytes:
+    try:
+        return tree[path]
+    except KeyError as exc:
+        raise CollectionError(f"artifact {path!r} missing from tree") from exc

@@ -1,0 +1,126 @@
+"""Simulated artifact origins.
+
+The paper scraped three kinds of sources (Table 2's "Data source"
+column): tagged source repositories, Docker image registries, and the
+Windows update feed.  These classes model each origin as a container of
+dated, versioned *file trees* (``dict[path, bytes]``) — exactly the
+interface a real scraper sees after ``git checkout``/``docker export``/
+``cab`` extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+
+from repro.errors import CollectionError
+
+FileTree = dict[str, bytes]
+
+
+@dataclass(frozen=True)
+class TaggedTree:
+    """One versioned file tree (a git tag or docker image)."""
+
+    tag: str
+    released: date
+    tree: FileTree
+
+
+@dataclass
+class SourceRepository:
+    """A version-controlled repository with release tags.
+
+    Stands in for hg.mozilla.org, opensource.apple.com, the OpenJDK and
+    NodeJS GitHub mirrors, and the Debian/Ubuntu/Android package trees.
+    """
+
+    name: str
+    tags: list[TaggedTree] = field(default_factory=list)
+
+    def add_tag(self, tag: str, released: date, tree: FileTree) -> None:
+        if any(existing.tag == tag for existing in self.tags):
+            raise CollectionError(f"duplicate tag {tag!r} in repository {self.name!r}")
+        self.tags.append(TaggedTree(tag=tag, released=released, tree=dict(tree)))
+        self.tags.sort(key=lambda t: (t.released, t.tag))
+
+    def checkout(self, tag: str) -> FileTree:
+        for tagged in self.tags:
+            if tagged.tag == tag:
+                return dict(tagged.tree)
+        raise CollectionError(f"unknown tag {tag!r} in repository {self.name!r}")
+
+    def __iter__(self):
+        return iter(self.tags)
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+
+@dataclass
+class DockerRegistry:
+    """An image registry; each image is a dated filesystem.
+
+    Stands in for the Alpine / Amazon Linux Docker Hub archives the
+    paper sampled — note these carry no provenance metadata, which is
+    why the lineage analysis (Section 4) must *infer* ancestry.
+    """
+
+    name: str
+    images: list[TaggedTree] = field(default_factory=list)
+
+    def push(self, tag: str, released: date, tree: FileTree) -> None:
+        if any(existing.tag == tag for existing in self.images):
+            raise CollectionError(f"duplicate image tag {tag!r} in registry {self.name!r}")
+        self.images.append(TaggedTree(tag=tag, released=released, tree=dict(tree)))
+        self.images.sort(key=lambda t: (t.released, t.tag))
+
+    def pull(self, tag: str) -> FileTree:
+        for image in self.images:
+            if image.tag == tag:
+                return dict(image.tree)
+        raise CollectionError(f"unknown image {tag!r} in registry {self.name!r}")
+
+    def __iter__(self):
+        return iter(self.images)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+
+@dataclass
+class UpdateFeed:
+    """A dated sequence of update artifacts (Windows Automatic Root Update)."""
+
+    name: str
+    updates: list[TaggedTree] = field(default_factory=list)
+
+    def publish(self, tag: str, released: date, tree: FileTree) -> None:
+        self.updates.append(TaggedTree(tag=tag, released=released, tree=dict(tree)))
+        self.updates.sort(key=lambda t: (t.released, t.tag))
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+def write_tree(tree: FileTree, destination: Path) -> None:
+    """Materialize a file tree on disk (for examples and inspection)."""
+    for path, data in tree.items():
+        target = destination / path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+
+
+def read_tree(source: Path) -> FileTree:
+    """Load a directory back into a file tree."""
+    if not source.is_dir():
+        raise CollectionError(f"not a directory: {source}")
+    tree: FileTree = {}
+    for path in sorted(source.rglob("*")):
+        if path.is_file():
+            tree[str(path.relative_to(source)).replace("\\", "/")] = path.read_bytes()
+    return tree

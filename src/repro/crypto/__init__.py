@@ -1,0 +1,64 @@
+"""From-scratch cryptography substrate.
+
+Everything the X.509 layer needs to mint and verify certificates:
+deterministic randomness (:mod:`repro.crypto.rng`), primality and RSA
+(:mod:`repro.crypto.primes`, :mod:`repro.crypto.rsa`), elliptic curves
+and ECDSA (:mod:`repro.crypto.ec`), and the digest/signature-algorithm
+registry (:mod:`repro.crypto.digests`).
+
+None of this is hardened against side channels; it signs only synthetic
+reproduction material.
+"""
+
+from repro.crypto.digests import (
+    DIGESTS,
+    MD5_SPEC,
+    SHA1_SPEC,
+    SHA256_SPEC,
+    SHA384_SPEC,
+    SIGNATURE_ALGORITHMS,
+    DigestSpec,
+    digest_for_signature_oid,
+    digest_info,
+    scheme_for_signature_oid,
+)
+from repro.crypto.ec import (
+    CURVES,
+    CURVES_BY_OID,
+    P256,
+    P384,
+    Curve,
+    ECPrivateKey,
+    ECPublicKey,
+    generate_ec_key,
+)
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_key
+
+__all__ = [
+    "CURVES",
+    "CURVES_BY_OID",
+    "DIGESTS",
+    "Curve",
+    "DeterministicRandom",
+    "DigestSpec",
+    "ECPrivateKey",
+    "ECPublicKey",
+    "MD5_SPEC",
+    "P256",
+    "P384",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "SHA1_SPEC",
+    "SHA256_SPEC",
+    "SHA384_SPEC",
+    "SIGNATURE_ALGORITHMS",
+    "digest_for_signature_oid",
+    "digest_info",
+    "generate_ec_key",
+    "generate_prime",
+    "generate_rsa_key",
+    "is_probable_prime",
+    "scheme_for_signature_oid",
+]

@@ -1,0 +1,84 @@
+"""Digest registry and PKCS#1 DigestInfo construction.
+
+The hygiene analysis in the paper (Table 3) hinges on telling MD5-signed
+roots from SHA-family roots, so signature algorithm metadata is a
+first-class concept here: every supported signature scheme maps to a
+digest name, a digest OID, and a signature-algorithm OID.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.asn1 import encode_null, encode_octet_string, encode_oid, encode_sequence
+from repro.asn1.oid import (
+    MD5,
+    MD5_WITH_RSA,
+    ECDSA_WITH_SHA256,
+    ECDSA_WITH_SHA384,
+    SHA1,
+    SHA1_WITH_RSA,
+    SHA256,
+    SHA256_WITH_RSA,
+    SHA384,
+    SHA384_WITH_RSA,
+    ObjectIdentifier,
+)
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class DigestSpec:
+    """A hash function with its ASN.1 identities."""
+
+    name: str
+    oid: ObjectIdentifier
+    size: int  # digest length in bytes
+
+    def compute(self, data: bytes) -> bytes:
+        """Hash ``data`` with this digest."""
+        return hashlib.new(self.name, data).digest()
+
+
+MD5_SPEC = DigestSpec("md5", MD5, 16)
+SHA1_SPEC = DigestSpec("sha1", SHA1, 20)
+SHA256_SPEC = DigestSpec("sha256", SHA256, 32)
+SHA384_SPEC = DigestSpec("sha384", SHA384, 48)
+
+DIGESTS: dict[str, DigestSpec] = {
+    spec.name: spec for spec in (MD5_SPEC, SHA1_SPEC, SHA256_SPEC, SHA384_SPEC)
+}
+
+#: signature algorithm OID -> (scheme, digest spec).  ``scheme`` is
+#: "rsa" (PKCS#1 v1.5) or "ecdsa".
+SIGNATURE_ALGORITHMS: dict[ObjectIdentifier, tuple[str, DigestSpec]] = {
+    MD5_WITH_RSA: ("rsa", MD5_SPEC),
+    SHA1_WITH_RSA: ("rsa", SHA1_SPEC),
+    SHA256_WITH_RSA: ("rsa", SHA256_SPEC),
+    SHA384_WITH_RSA: ("rsa", SHA384_SPEC),
+    ECDSA_WITH_SHA256: ("ecdsa", SHA256_SPEC),
+    ECDSA_WITH_SHA384: ("ecdsa", SHA384_SPEC),
+}
+
+
+def digest_for_signature_oid(oid: ObjectIdentifier) -> DigestSpec:
+    """The digest used by a signature algorithm OID."""
+    try:
+        return SIGNATURE_ALGORITHMS[oid][1]
+    except KeyError as exc:
+        raise CryptoError(f"unsupported signature algorithm {oid}") from exc
+
+
+def scheme_for_signature_oid(oid: ObjectIdentifier) -> str:
+    """"rsa" or "ecdsa" for a signature algorithm OID."""
+    try:
+        return SIGNATURE_ALGORITHMS[oid][0]
+    except KeyError as exc:
+        raise CryptoError(f"unsupported signature algorithm {oid}") from exc
+
+
+def digest_info(spec: DigestSpec, data: bytes) -> bytes:
+    """PKCS#1 v1.5 DigestInfo: SEQUENCE { AlgorithmIdentifier, OCTET STRING }."""
+    algorithm = encode_sequence(encode_oid(spec.oid), encode_null())
+    return encode_sequence(algorithm, encode_octet_string(spec.compute(data)))

@@ -1,0 +1,212 @@
+"""From-scratch elliptic curve arithmetic and ECDSA over P-256 / P-384.
+
+Implements short-Weierstrass point arithmetic in Jacobian coordinates,
+uncompressed SEC1 point encoding, and ECDSA with deterministic
+per-signature nonces drawn from the caller's seeded RNG (so certificate
+bytes are reproducible across runs).
+
+Like :mod:`repro.crypto.rsa`, this code is mathematically correct but
+intentionally unhardened — it exists so the simulated ecosystem can mint
+genuine ECC roots (e.g. the NSS-exclusive Microsec ECC root in the
+paper's Appendix B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1 import decode, encode_integer, encode_sequence
+from repro.asn1.oid import SECP256R1, SECP384R1, ObjectIdentifier
+from repro.crypto.digests import DigestSpec
+from repro.crypto.rng import DeterministicRandom
+from repro.errors import CryptoError, SignatureError
+
+
+@dataclass(frozen=True)
+class Curve:
+    """A short-Weierstrass prime curve y^2 = x^3 + ax + b (mod p)."""
+
+    name: str
+    oid: ObjectIdentifier
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    n: int  # group order
+
+    @property
+    def byte_length(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+    def on_curve(self, x: int, y: int) -> bool:
+        """True when (x, y) satisfies the curve equation."""
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+
+P256 = Curve(
+    name="secp256r1",
+    oid=SECP256R1,
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+P384 = Curve(
+    name="secp384r1",
+    oid=SECP384R1,
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFF0000000000000000FFFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFF0000000000000000FFFFFFFC,
+    b=0xB3312FA7E23EE7E4988E056BE3F82D19181D9C6EFE8141120314088F5013875AC656398D8A2ED19D2A85C8EDD3EC2AEF,
+    gx=0xAA87CA22BE8B05378EB1C71EF320AD746E1D3B628BA79B9859F741E082542A385502F25DBF55296C3A545E3872760AB7,
+    gy=0x3617DE4A96262C6F5D9E98BF9292DC29F8F41DBD289A147CE9DA3113B5F0B8C00A60B1CE1D7E819D7A431D7C90EA0E5F,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFC7634D81F4372DDF581A0DB248B0A77AECEC196ACCC52973,
+)
+
+CURVES: dict[str, Curve] = {"secp256r1": P256, "secp384r1": P384}
+CURVES_BY_OID: dict[ObjectIdentifier, Curve] = {c.oid: c for c in CURVES.values()}
+
+# A point is either None (infinity) or an (x, y) affine pair.
+_Point = tuple[int, int] | None
+
+
+def _point_add(curve: Curve, p1: _Point, p2: _Point) -> _Point:
+    """Affine point addition (small and clear; speed is irrelevant here)."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and (y1 + y2) % curve.p == 0:
+        return None
+    if p1 == p2:
+        slope = (3 * x1 * x1 + curve.a) * pow(2 * y1, -1, curve.p) % curve.p
+    else:
+        slope = (y2 - y1) * pow(x2 - x1, -1, curve.p) % curve.p
+    x3 = (slope * slope - x1 - x2) % curve.p
+    y3 = (slope * (x1 - x3) - y1) % curve.p
+    return (x3, y3)
+
+
+def _point_mul(curve: Curve, k: int, point: _Point) -> _Point:
+    """Double-and-add scalar multiplication."""
+    result: _Point = None
+    addend = point
+    k %= curve.n
+    while k:
+        if k & 1:
+            result = _point_add(curve, result, addend)
+        addend = _point_add(curve, addend, addend)
+        k >>= 1
+    return result
+
+
+@dataclass(frozen=True)
+class ECPublicKey:
+    """An EC public key: a curve point with SEC1 uncompressed encoding."""
+
+    curve: Curve
+    x: int
+    y: int
+
+    @property
+    def bits(self) -> int:
+        """Nominal key strength in bits (curve field size)."""
+        return self.curve.p.bit_length()
+
+    def encode_point(self) -> bytes:
+        """SEC1 uncompressed point: 0x04 || X || Y."""
+        size = self.curve.byte_length
+        return b"\x04" + self.x.to_bytes(size, "big") + self.y.to_bytes(size, "big")
+
+    @classmethod
+    def decode_point(cls, curve: Curve, data: bytes) -> "ECPublicKey":
+        """Parse a SEC1 uncompressed point and check curve membership."""
+        size = curve.byte_length
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise CryptoError("only uncompressed SEC1 points are supported")
+        x = int.from_bytes(data[1 : 1 + size], "big")
+        y = int.from_bytes(data[1 + size :], "big")
+        if not curve.on_curve(x, y):
+            raise CryptoError("point is not on the curve")
+        return cls(curve=curve, x=x, y=y)
+
+    def verify(self, signature: bytes, message: bytes, digest: DigestSpec) -> None:
+        """Verify a DER Ecdsa-Sig-Value; raise SignatureError on failure."""
+        r, s = _decode_ecdsa_signature(signature)
+        n = self.curve.n
+        if not (0 < r < n and 0 < s < n):
+            raise SignatureError("ECDSA signature component out of range")
+        e = _hash_to_int(self.curve, message, digest)
+        w = pow(s, -1, n)
+        u1 = (e * w) % n
+        u2 = (r * w) % n
+        point = _point_add(
+            self.curve,
+            _point_mul(self.curve, u1, (self.curve.gx, self.curve.gy)),
+            _point_mul(self.curve, u2, (self.x, self.y)),
+        )
+        if point is None or point[0] % n != r:
+            raise SignatureError("ECDSA signature mismatch")
+
+
+@dataclass(frozen=True)
+class ECPrivateKey:
+    """An EC private scalar with its public point."""
+
+    curve: Curve
+    d: int
+
+    @property
+    def public_key(self) -> ECPublicKey:
+        point = _point_mul(self.curve, self.d, (self.curve.gx, self.curve.gy))
+        assert point is not None  # d is in [1, n-1]
+        return ECPublicKey(curve=self.curve, x=point[0], y=point[1])
+
+    def sign(self, message: bytes, digest: DigestSpec, rng: DeterministicRandom) -> bytes:
+        """ECDSA sign; the nonce comes from ``rng`` so output is replayable."""
+        n = self.curve.n
+        e = _hash_to_int(self.curve, message, digest)
+        while True:
+            k = rng.randint(1, n - 1)
+            point = _point_mul(self.curve, k, (self.curve.gx, self.curve.gy))
+            assert point is not None
+            r = point[0] % n
+            if r == 0:
+                continue
+            s = (pow(k, -1, n) * (e + r * self.d)) % n
+            if s == 0:
+                continue
+            return encode_sequence(encode_integer(r), encode_integer(s))
+
+
+def generate_ec_key(curve: Curve, rng: DeterministicRandom) -> ECPrivateKey:
+    """Generate a private scalar uniformly in [1, n-1]."""
+    d = rng.randint(1, curve.n - 1)
+    return ECPrivateKey(curve=curve, d=d)
+
+
+def _hash_to_int(curve: Curve, message: bytes, digest: DigestSpec) -> int:
+    """Leftmost-bits digest truncation per ECDSA."""
+    h = digest.compute(message)
+    e = int.from_bytes(h, "big")
+    excess = len(h) * 8 - curve.n.bit_length()
+    if excess > 0:
+        e >>= excess
+    return e
+
+
+def _decode_ecdsa_signature(signature: bytes) -> tuple[int, int]:
+    """Parse DER Ecdsa-Sig-Value ::= SEQUENCE { r INTEGER, s INTEGER }."""
+    try:
+        reader = decode(signature).reader()
+        r = reader.next("r").as_integer()
+        s = reader.next("s").as_integer()
+        reader.finish()
+    except Exception as exc:  # noqa: BLE001 - normalize to SignatureError
+        raise SignatureError(f"malformed ECDSA signature: {exc}") from exc
+    return r, s

@@ -1,0 +1,92 @@
+"""Deterministic random generation for reproducible key material.
+
+The whole reproduction pipeline must be replayable: the same seed must
+yield byte-identical certificates, fingerprints, and therefore identical
+analysis output.  ``DeterministicRandom`` is a thin, explicit wrapper
+over SHA-256 in counter mode — not a security claim, just a stable,
+portable stream independent of Python's :mod:`random` internals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class DeterministicRandom:
+    """A seeded, forkable byte/integer stream.
+
+    The stream is SHA-256(seed || counter) blocks.  ``fork`` derives an
+    independent child stream from a label, which lets the simulator give
+    every CA and every certificate its own stable stream regardless of
+    generation order.
+    """
+
+    def __init__(self, seed: bytes | str):
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """Derive an independent stream keyed by ``label``."""
+        child_seed = hashlib.sha256(self._seed + b"/" + label.encode("utf-8")).digest()
+        return DeterministicRandom(child_seed)
+
+    def bytes(self, n: int) -> bytes:
+        """Return the next ``n`` bytes of the stream."""
+        if n < 0:
+            raise ValueError("byte count must be non-negative")
+        while len(self._buffer) < n:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def randbits(self, k: int) -> int:
+        """Return a uniformly distributed integer with at most ``k`` bits."""
+        if k <= 0:
+            raise ValueError("bit count must be positive")
+        nbytes = (k + 7) // 8
+        value = int.from_bytes(self.bytes(nbytes), "big")
+        excess = nbytes * 8 - k
+        return value >> excess
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        k = span.bit_length()
+        # Rejection sampling keeps the distribution exactly uniform.
+        while True:
+            candidate = self.randbits(k)
+            if candidate < span:
+                return low + candidate
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of precision."""
+        return self.randbits(53) / (1 << 53)
+
+    def choice(self, items):
+        """Pick one element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def sample(self, items, k: int) -> list:
+        """k distinct elements, order randomized."""
+        if k > len(items):
+            raise ValueError(f"sample size {k} exceeds population {len(items)}")
+        pool = list(items)
+        self.shuffle(pool)
+        return pool[:k]

@@ -1,0 +1,124 @@
+"""From-scratch RSA: key generation, PKCS#1 v1.5 signatures, DER key encoding.
+
+This is a faithful (if unhardened) implementation — real Miller-Rabin
+keygen, real EMSA-PKCS1-v1_5 padding, real modular exponentiation — so
+the certificates the simulator mints carry genuine, verifiable
+signatures.  It is *not* constant-time and must never guard real
+secrets; the repo only ever signs synthetic test material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1 import decode, encode_integer, encode_sequence
+from repro.crypto.digests import DigestSpec, digest_info
+from repro.crypto.primes import generate_safe_modulus_primes
+from repro.crypto.rng import DeterministicRandom
+from repro.errors import CryptoError, SignatureError
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key (n, e) with PKCS#1 RSAPublicKey DER encoding."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits (the paper's 1024-bit-RSA metric)."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.bits + 7) // 8
+
+    def encode(self) -> bytes:
+        """DER RSAPublicKey ::= SEQUENCE { modulus, publicExponent }."""
+        return encode_sequence(encode_integer(self.n), encode_integer(self.e))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RSAPublicKey":
+        """Parse DER RSAPublicKey."""
+        reader = decode(data).reader()
+        n = reader.next("modulus").as_integer()
+        e = reader.next("publicExponent").as_integer()
+        reader.finish()
+        if n <= 0 or e <= 0:
+            raise CryptoError("RSA key components must be positive")
+        return cls(n=n, e=e)
+
+    def verify(self, signature: bytes, message: bytes, digest: DigestSpec) -> None:
+        """Verify an EMSA-PKCS1-v1_5 signature; raise SignatureError on failure."""
+        if len(signature) != self.byte_length:
+            raise SignatureError(
+                f"signature length {len(signature)} != modulus length {self.byte_length}"
+            )
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            raise SignatureError("signature value out of range")
+        em = pow(s, self.e, self.n).to_bytes(self.byte_length, "big")
+        expected = _pkcs1_pad(digest_info(digest, message), self.byte_length)
+        if em != expected:
+            raise SignatureError("RSA signature mismatch")
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """An RSA private key with CRT parameters for fast signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes, digest: DigestSpec) -> bytes:
+        """Produce an EMSA-PKCS1-v1_5 signature over ``message``."""
+        k = self.public_key.byte_length
+        em = _pkcs1_pad(digest_info(digest, message), k)
+        m = int.from_bytes(em, "big")
+        # CRT: s = q_inv * (m_p - m_q) * q + m_q (mod n)
+        m_p = pow(m, self.d % (self.p - 1), self.p)
+        m_q = pow(m, self.d % (self.q - 1), self.q)
+        q_inv = pow(self.q, -1, self.p)
+        h = (q_inv * (m_p - m_q)) % self.p
+        s = m_q + h * self.q
+        return s.to_bytes(k, "big")
+
+
+def generate_rsa_key(
+    bits: int, rng: DeterministicRandom, public_exponent: int = 65537
+) -> RSAPrivateKey:
+    """Generate an RSA key pair of the given modulus size.
+
+    The simulator uses 512-bit keys for pre-2000 roots, 1024-bit for the
+    legacy roots the hygiene analysis flags, and 2048/4096-bit for
+    modern roots.
+    """
+    p, q = generate_safe_modulus_primes(bits, rng, public_exponent)
+    n = p * q
+    lam = _lcm(p - 1, q - 1)
+    d = pow(public_exponent, -1, lam)
+    return RSAPrivateKey(n=n, e=public_exponent, d=d, p=p, q=q)
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a // gcd(a, b) * b
+
+
+def _pkcs1_pad(digest_info_der: bytes, k: int) -> bytes:
+    """EMSA-PKCS1-v1_5: 0x00 0x01 FF..FF 0x00 || DigestInfo, k bytes total."""
+    pad_len = k - len(digest_info_der) - 3
+    if pad_len < 8:
+        raise CryptoError(
+            f"modulus too small for digest: need {len(digest_info_der) + 11} bytes, have {k}"
+        )
+    return b"\x00\x01" + b"\xff" * pad_len + b"\x00" + digest_info_der

@@ -1,0 +1,75 @@
+"""Certificate Transparency substrate.
+
+RFC 6962 Merkle trees with inclusion/consistency proofs
+(:mod:`repro.ct.merkle`), an append-only log with signed tree heads
+(:mod:`repro.ct.log`), and the CT-presence census behind Appendix B's
+"< 100 leaf certificates in CT" classifications
+(:mod:`repro.ct.census`).
+"""
+
+from repro.ct.census import (
+    LOW_CT_THRESHOLD,
+    CensusRow,
+    issuance_census,
+    leaf_volume,
+    populate_log,
+)
+from repro.ct.log import (
+    CTError,
+    CTLog,
+    SignedTreeHead,
+    verify_certificate_inclusion,
+    verify_log_consistency,
+    verify_sth,
+)
+from repro.ct.merkle import (
+    MerkleError,
+    MerkleTree,
+    verify_consistency,
+    verify_inclusion,
+)
+from repro.ct.monitor import EquivocationError, LogMonitor
+from repro.ct.sct import (
+    CTPolicy,
+    POISON_OID,
+    SCT_LIST_OID,
+    SCTError,
+    SignedCertificateTimestamp,
+    embedded_scts,
+    is_precertificate,
+    poison_extension,
+    sct_list_extension,
+    submit_precertificate,
+    verify_sct,
+)
+
+__all__ = [
+    "CTError",
+    "CTLog",
+    "CTPolicy",
+    "CensusRow",
+    "EquivocationError",
+    "LOW_CT_THRESHOLD",
+    "LogMonitor",
+    "MerkleError",
+    "POISON_OID",
+    "SCTError",
+    "SCT_LIST_OID",
+    "SignedCertificateTimestamp",
+    "MerkleTree",
+    "SignedTreeHead",
+    "embedded_scts",
+    "is_precertificate",
+    "issuance_census",
+    "leaf_volume",
+    "poison_extension",
+    "populate_log",
+    "sct_list_extension",
+    "submit_precertificate",
+    "verify_sct",
+    "verify_certificate_inclusion",
+    "verify_consistency",
+    "verify_inclusion",
+    "verify_log_consistency",
+    "verify_sth",
+]

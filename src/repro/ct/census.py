@@ -1,0 +1,118 @@
+"""CT issuance census: how visible is each CA in the logs?
+
+Appendix B justifies several Microsoft-exclusive inclusions with
+"< 100 leaf certificates in CT" — a CT-presence measurement.  This
+module reproduces it: populate a log with leaves issued by the
+simulated CAs (volume shaped by each root's catalog role), then count
+log entries per issuing root and classify low-presence CAs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from datetime import datetime, time, timezone
+
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import generate_rsa_key
+from repro.ct.log import CTLog
+from repro.simulation.corpus import Corpus
+from repro.simulation.model import RootSpec
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import ExtendedKeyUsage, SubjectAltName
+from repro.x509.name import Name
+from repro.asn1.oid import EKU_SERVER_AUTH
+
+#: Tag marking catalog roots the paper observed as CT-sparse.
+LOW_CT_THRESHOLD = 4
+
+#: Scaled leaf volumes per catalog role (counts, not weights — each one
+#: becomes a real logged certificate, so they are kept small).
+_DEFAULT_VOLUME = 10
+_LOW_CT_VOLUME = 2
+_GLOBAL_TAGS = ("common", "symantec")
+_GLOBAL_VOLUME = 14
+
+
+def leaf_volume(spec: RootSpec) -> int:
+    """How many leaves this CA submits to the simulated log."""
+    if "CT" in spec.note:  # the Appendix B "< 100 leaves in CT" reasons
+        return _LOW_CT_VOLUME
+    if any(spec.has_tag(tag) for tag in _GLOBAL_TAGS):
+        return _GLOBAL_VOLUME
+    return _DEFAULT_VOLUME
+
+
+def populate_log(
+    corpus: Corpus,
+    log: CTLog,
+    specs: list[RootSpec],
+    *,
+    seed: str = "ct-census-v1",
+) -> None:
+    """Issue and submit leaves for each CA.
+
+    One shared subscriber key keeps pure-Python issuance fast; each leaf
+    is still individually signed by its CA and is a genuine log entry.
+    """
+    subscriber_key = generate_rsa_key(512, DeterministicRandom(f"{seed}/subscriber"))
+    start = datetime.combine(
+        min(spec.not_before for spec in specs), time.min, tzinfo=timezone.utc
+    )
+    for spec in specs:
+        issuer_cert = corpus.mint.certificate_for(spec)
+        issuer_key = corpus.mint.key_for(spec)
+        not_before = max(
+            start,
+            datetime.combine(spec.not_before, time.min, tzinfo=timezone.utc),
+        )
+        not_after = datetime.combine(spec.not_after, time.min, tzinfo=timezone.utc)
+        for index in range(leaf_volume(spec)):
+            domain = f"site{index}.{spec.slug}.example"
+            leaf = (
+                CertificateBuilder()
+                .subject(Name.build(common_name=domain, organization=f"{domain} operator"))
+                .issuer(issuer_cert.subject)
+                .serial(100_000 + index)
+                .valid(not_before, not_after)
+                .public_key(subscriber_key.public_key)
+                .ca(False)
+                .add_extension(SubjectAltName(dns_names=(domain,)).to_extension())
+                .add_extension(ExtendedKeyUsage(purposes=(EKU_SERVER_AUTH,)).to_extension())
+                .sign(issuer_key, "sha256", issuer_public_key=issuer_cert.public_key)
+            )
+            log.submit(leaf)
+
+
+@dataclass(frozen=True)
+class CensusRow:
+    """CT presence of one root CA."""
+
+    fingerprint: str
+    common_name: str
+    leaf_count: int
+
+    @property
+    def low_presence(self) -> bool:
+        return self.leaf_count <= LOW_CT_THRESHOLD
+
+
+def issuance_census(log: CTLog, roots: list[Certificate]) -> list[CensusRow]:
+    """Count log entries per issuing root (matched by issuer name)."""
+    by_subject = {root.subject: root for root in roots}
+    counts: Counter[str] = Counter()
+    for entry in log.entries():
+        root = by_subject.get(entry.issuer)
+        if root is not None and not entry.is_ca:
+            counts[root.fingerprint_sha256] += 1
+    rows = [
+        CensusRow(
+            fingerprint=root.fingerprint_sha256,
+            common_name=root.subject.common_name or "",
+            leaf_count=counts.get(root.fingerprint_sha256, 0),
+        )
+        for root in roots
+    ]
+    rows.sort(key=lambda r: (r.leaf_count, r.common_name))
+    return rows

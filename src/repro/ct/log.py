@@ -1,0 +1,149 @@
+"""A Certificate Transparency log (RFC 6962 semantics).
+
+An append-only Merkle tree over certificate DER entries with signed
+tree heads, inclusion proofs, and consistency proofs.  The log signs
+its heads with its own RSA key; clients verify against the log's
+public key, exactly as CT monitors do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date
+
+from repro.crypto.digests import SHA256_SPEC
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey, generate_rsa_key
+from repro.ct.merkle import MerkleTree, verify_consistency, verify_inclusion
+from repro.errors import ReproError, SignatureError
+from repro.x509.certificate import Certificate
+
+
+class CTError(ReproError):
+    """Log-level failure (bad proof, unknown entry, STH mismatch)."""
+
+
+@dataclass(frozen=True)
+class SignedTreeHead:
+    """An STH: (size, timestamp, root hash) signed by the log."""
+
+    log_id: bytes
+    tree_size: int
+    timestamp: date
+    root_hash: bytes
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return (
+            self.log_id
+            + self.tree_size.to_bytes(8, "big")
+            + self.timestamp.isoformat().encode("ascii")
+            + self.root_hash
+        )
+
+
+class CTLog:
+    """An in-process CT log."""
+
+    def __init__(self, name: str, *, key: RSAPrivateKey | None = None):
+        self.name = name
+        self._key = key if key is not None else generate_rsa_key(
+            512, DeterministicRandom(f"ct-log/{name}")
+        )
+        self.log_id = hashlib.sha256(self._key.public_key.encode()).digest()
+        self._tree = MerkleTree()
+        self._index_by_fingerprint: dict[str, int] = {}
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._key.public_key
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, certificate: Certificate) -> int:
+        """Append a certificate; idempotent per fingerprint."""
+        fingerprint = certificate.fingerprint_sha256
+        existing = self._index_by_fingerprint.get(fingerprint)
+        if existing is not None:
+            return existing
+        index = self._tree.append(certificate.der)
+        self._index_by_fingerprint[fingerprint] = index
+        return index
+
+    def entry(self, index: int) -> Certificate:
+        return Certificate.from_der(self._tree.entry(index))
+
+    def entries(self) -> list[Certificate]:
+        return [self.entry(i) for i in range(len(self._tree))]
+
+    def index_of(self, certificate: Certificate) -> int:
+        try:
+            return self._index_by_fingerprint[certificate.fingerprint_sha256]
+        except KeyError as exc:
+            raise CTError(f"certificate not in log {self.name}") from exc
+
+    # -- heads and proofs ------------------------------------------------------
+
+    def signed_tree_head(self, *, at: date, size: int | None = None) -> SignedTreeHead:
+        tree_size = len(self._tree) if size is None else size
+        root = self._tree.root(tree_size)
+        unsigned = SignedTreeHead(
+            log_id=self.log_id,
+            tree_size=tree_size,
+            timestamp=at,
+            root_hash=root,
+            signature=b"",
+        )
+        signature = self._key.sign(unsigned.payload(), SHA256_SPEC)
+        return SignedTreeHead(
+            log_id=self.log_id,
+            tree_size=tree_size,
+            timestamp=at,
+            root_hash=root,
+            signature=signature,
+        )
+
+    def prove_inclusion(self, certificate: Certificate, sth: SignedTreeHead) -> list[bytes]:
+        index = self.index_of(certificate)
+        if index >= sth.tree_size:
+            raise CTError("certificate was logged after this tree head")
+        return self._tree.inclusion_proof(index, sth.tree_size)
+
+    def prove_consistency(self, old: SignedTreeHead, new: SignedTreeHead) -> list[bytes]:
+        return self._tree.consistency_proof(old.tree_size, new.tree_size)
+
+
+def verify_sth(sth: SignedTreeHead, log_key: RSAPublicKey) -> None:
+    """Check an STH signature; raises on mismatch."""
+    try:
+        log_key.verify(sth.signature, sth.payload(), SHA256_SPEC)
+    except SignatureError as exc:
+        raise CTError(f"tree head signature invalid: {exc}") from exc
+
+
+def verify_certificate_inclusion(
+    certificate: Certificate,
+    index: int,
+    sth: SignedTreeHead,
+    proof: list[bytes],
+    log_key: RSAPublicKey,
+) -> None:
+    """Full client-side check: STH signature + audit path."""
+    verify_sth(sth, log_key)
+    verify_inclusion(certificate.der, index, sth.tree_size, proof, sth.root_hash)
+
+
+def verify_log_consistency(
+    old: SignedTreeHead,
+    new: SignedTreeHead,
+    proof: list[bytes],
+    log_key: RSAPublicKey,
+) -> None:
+    """Full client-side check that the log only ever appended."""
+    verify_sth(old, log_key)
+    verify_sth(new, log_key)
+    verify_consistency(old.tree_size, new.tree_size, old.root_hash, new.root_hash, proof)

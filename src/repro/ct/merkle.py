@@ -1,0 +1,208 @@
+"""RFC 6962 Merkle hash trees with inclusion and consistency proofs.
+
+The data structure underneath Certificate Transparency.  Hashing
+follows the RFC exactly: leaves are ``SHA-256(0x00 || entry)``,
+interior nodes ``SHA-256(0x01 || left || right)``, and the tree splits
+at the largest power of two smaller than n — so proofs verify against
+real CT tooling semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class MerkleError(ReproError):
+    """A Merkle proof failed to verify or an index is out of range."""
+
+
+def _leaf_hash(entry: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + entry).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def _split_point(n: int) -> int:
+    """The largest power of two strictly less than n (RFC 6962 §2.1)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """An append-only RFC 6962 Merkle tree."""
+
+    def __init__(self, entries: list[bytes] | None = None):
+        self._entries: list[bytes] = list(entries or [])
+
+    def append(self, entry: bytes) -> int:
+        """Add a leaf; returns its index."""
+        self._entries.append(bytes(entry))
+        return len(self._entries) - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, index: int) -> bytes:
+        return self._entries[index]
+
+    # -- heads ---------------------------------------------------------------
+
+    def root(self, size: int | None = None) -> bytes:
+        """The tree head over the first ``size`` entries (default: all).
+
+        The empty tree's head is SHA-256 of the empty string (RFC 6962).
+        """
+        n = len(self._entries) if size is None else size
+        if n < 0 or n > len(self._entries):
+            raise MerkleError(f"tree size {n} out of range")
+        if n == 0:
+            return hashlib.sha256(b"").digest()
+        return self._subtree_hash(0, n)
+
+    def _subtree_hash(self, start: int, size: int) -> bytes:
+        if size == 1:
+            return _leaf_hash(self._entries[start])
+        k = _split_point(size)
+        return _node_hash(
+            self._subtree_hash(start, k),
+            self._subtree_hash(start + k, size - k),
+        )
+
+    # -- inclusion proofs -------------------------------------------------------
+
+    def inclusion_proof(self, index: int, size: int | None = None) -> list[bytes]:
+        """Audit path for leaf ``index`` in the tree of ``size`` entries."""
+        n = len(self._entries) if size is None else size
+        if not 0 <= index < n <= len(self._entries):
+            raise MerkleError(f"leaf {index} not in tree of size {n}")
+        return self._path(index, 0, n)
+
+    def _path(self, index: int, start: int, size: int) -> list[bytes]:
+        if size == 1:
+            return []
+        k = _split_point(size)
+        if index < k:
+            path = self._path(index, start, k)
+            path.append(self._subtree_hash(start + k, size - k))
+        else:
+            path = self._path(index - k, start + k, size - k)
+            path.append(self._subtree_hash(start, k))
+        return path
+
+    # -- consistency proofs --------------------------------------------------------
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        """Proof that the ``old_size`` tree is a prefix of the ``new_size`` one."""
+        n = len(self._entries) if new_size is None else new_size
+        if not 0 < old_size <= n <= len(self._entries):
+            raise MerkleError(f"invalid consistency range {old_size} -> {n}")
+        if old_size == n:
+            return []
+        return self._consistency(old_size, 0, n, True)
+
+    def _consistency(self, m: int, start: int, size: int, complete: bool) -> list[bytes]:
+        if m == size:
+            return [] if complete else [self._subtree_hash(start, size)]
+        k = _split_point(size)
+        if m <= k:
+            proof = self._consistency(m, start, k, complete)
+            proof.append(self._subtree_hash(start + k, size - k))
+        else:
+            proof = self._consistency(m - k, start + k, size - k, False)
+            proof.append(self._subtree_hash(start, k))
+        return proof
+
+
+def verify_inclusion(
+    entry: bytes, index: int, size: int, proof: list[bytes], root: bytes
+) -> None:
+    """Verify an audit path (RFC 9162 §2.1.3.2); raises on mismatch."""
+    if not 0 <= index < size:
+        raise MerkleError(f"leaf {index} not in tree of size {size}")
+    fn, sn = index, size - 1
+    node = _leaf_hash(entry)
+    for sibling in proof:
+        if sn == 0:
+            raise MerkleError("proof longer than path")
+        if fn % 2 == 1 or fn == sn:
+            node = _node_hash(sibling, node)
+            if fn % 2 == 0:
+                # Right-border node: skip the levels where it is its own
+                # parent.
+                while fn % 2 == 0 and fn != 0:
+                    fn >>= 1
+                    sn >>= 1
+        else:
+            node = _node_hash(node, sibling)
+        fn >>= 1
+        sn >>= 1
+    if sn != 0:
+        raise MerkleError("proof shorter than path")
+    if node != root:
+        raise MerkleError("inclusion proof does not match the tree head")
+
+
+def verify_consistency(
+    old_size: int,
+    new_size: int,
+    old_root: bytes,
+    new_root: bytes,
+    proof: list[bytes],
+) -> None:
+    """Verify a consistency proof (RFC 9162 §2.1.4.2); raises on mismatch."""
+    if old_size > new_size or old_size < 0:
+        raise MerkleError(f"invalid consistency range {old_size} -> {new_size}")
+    if old_size == new_size:
+        if proof:
+            raise MerkleError("non-empty proof for identical sizes")
+        if old_root != new_root:
+            raise MerkleError("equal sizes but different heads")
+        return
+    if old_size == 0:
+        raise MerkleError("consistency from the empty tree is undefined here")
+
+    path = list(proof)
+    # When the old tree is a complete subtree, its head is implicit.
+    fn, sn = old_size - 1, new_size - 1
+    while fn % 2 == 1:
+        fn >>= 1
+        sn >>= 1
+    if fn == 0:
+        old_node = old_root
+        new_node = old_root
+    else:
+        if not path:
+            raise MerkleError("proof too short")
+        old_node = new_node = path.pop(0)
+
+    while sn != 0:
+        if fn % 2 == 1 or fn == sn:
+            if not path:
+                raise MerkleError("proof too short")
+            sibling = path.pop(0)
+            old_node = _node_hash(sibling, old_node)
+            new_node = _node_hash(sibling, new_node)
+            if fn % 2 == 0:
+                while fn % 2 == 0 and fn != 0:
+                    fn >>= 1
+                    sn >>= 1
+        else:
+            if not path:
+                raise MerkleError("proof too short")
+            new_node = _node_hash(new_node, path.pop(0))
+        fn >>= 1
+        sn >>= 1
+
+    if path:
+        raise MerkleError("proof longer than expected")
+    if old_node != old_root:
+        raise MerkleError("consistency proof does not match the old head")
+    if new_node != new_root:
+        raise MerkleError("consistency proof does not match the new head")

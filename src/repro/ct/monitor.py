@@ -1,0 +1,79 @@
+"""CT log monitoring: gossip-style verification of log behaviour.
+
+A monitor tracks a log's successive signed tree heads, verifying the
+signature and append-only consistency of every update, and detects
+*equivocation* — two contradictory heads for the same tree size, the
+split-view attack CT's gossip protocols exist to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RSAPublicKey
+from repro.ct.log import CTLog, SignedTreeHead, verify_sth
+from repro.ct.merkle import MerkleError, verify_consistency
+from repro.errors import ReproError
+
+
+class EquivocationError(ReproError):
+    """The log presented two contradictory views."""
+
+
+@dataclass
+class LogMonitor:
+    """Tracks one log's head history and verifies every transition."""
+
+    log_key: RSAPublicKey
+    #: every accepted head, oldest first
+    heads: list[SignedTreeHead] = field(default_factory=list)
+
+    @property
+    def latest(self) -> SignedTreeHead | None:
+        return self.heads[-1] if self.heads else None
+
+    def observe(self, sth: SignedTreeHead, proof: list[bytes] | None = None) -> None:
+        """Accept a new head after full verification.
+
+        ``proof`` is the consistency proof from the previously accepted
+        head (unneeded for the first observation or for replays).
+        Raises :class:`EquivocationError` on contradictory same-size
+        heads, :class:`~repro.ct.merkle.MerkleError` on a bad proof.
+        """
+        verify_sth(sth, self.log_key)
+
+        for seen in self.heads:
+            if seen.tree_size == sth.tree_size and seen.root_hash != sth.root_hash:
+                raise EquivocationError(
+                    f"log equivocated at size {sth.tree_size}: "
+                    f"{seen.root_hash.hex()[:16]} vs {sth.root_hash.hex()[:16]}"
+                )
+
+        previous = self.latest
+        if previous is None or sth.tree_size == previous.tree_size:
+            if previous is not None and sth.root_hash != previous.root_hash:
+                raise EquivocationError(f"log equivocated at size {sth.tree_size}")
+            self.heads.append(sth)
+            return
+        if sth.tree_size < previous.tree_size:
+            raise MerkleError(
+                f"log shrank: {previous.tree_size} -> {sth.tree_size}"
+            )
+        if proof is None:
+            raise MerkleError("consistency proof required for a growing log")
+        verify_consistency(
+            previous.tree_size,
+            sth.tree_size,
+            previous.root_hash,
+            sth.root_hash,
+            proof,
+        )
+        self.heads.append(sth)
+
+    def watch(self, log: CTLog, sth: SignedTreeHead) -> None:
+        """Convenience: fetch the consistency proof from the log itself."""
+        previous = self.latest
+        if previous is None or previous.tree_size >= sth.tree_size:
+            self.observe(sth)
+        else:
+            self.observe(sth, log.prove_consistency(previous, sth))

@@ -1,0 +1,170 @@
+"""Signed Certificate Timestamps and precertificates (RFC 6962 §3).
+
+The full CT issuance flow: a CA builds a *precertificate* (the final
+certificate plus the critical poison extension), submits it to a log,
+receives an SCT (the log's signed promise to include it), and embeds
+the SCT list in the final certificate.  TLS clients then require
+embedded SCTs before trusting a chain — the policy hook
+:class:`CTPolicy` provides for the chain validator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.asn1.oid import ObjectIdentifier
+from repro.crypto.digests import SHA256_SPEC
+from repro.crypto.rsa import RSAPublicKey
+from repro.ct.log import CTLog
+from repro.errors import ReproError, SignatureError
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import Extension
+
+#: The certificate transparency OIDs (Google arc, as standardized).
+POISON_OID = ObjectIdentifier("1.3.6.1.4.1.11129.2.4.3")
+SCT_LIST_OID = ObjectIdentifier("1.3.6.1.4.1.11129.2.4.2")
+
+
+class SCTError(ReproError):
+    """SCT issuance or verification failure."""
+
+
+@dataclass(frozen=True)
+class SignedCertificateTimestamp:
+    """One log's inclusion promise."""
+
+    log_id: bytes
+    timestamp: datetime
+    signature: bytes
+
+    def payload(self, precert_body: bytes) -> bytes:
+        return (
+            self.log_id
+            + self.timestamp.astimezone(timezone.utc).isoformat().encode("ascii")
+            + hashlib.sha256(precert_body).digest()
+        )
+
+    # -- compact wire form (length-prefixed) ---------------------------------
+
+    def serialize(self) -> bytes:
+        stamp = self.timestamp.astimezone(timezone.utc).isoformat().encode("ascii")
+        return (
+            len(self.log_id).to_bytes(1, "big") + self.log_id
+            + len(stamp).to_bytes(1, "big") + stamp
+            + len(self.signature).to_bytes(2, "big") + self.signature
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["SignedCertificateTimestamp", bytes]:
+        """Parse one SCT; returns (sct, remaining bytes)."""
+        try:
+            offset = 0
+            lid_len = data[offset]
+            offset += 1
+            log_id = data[offset : offset + lid_len]
+            offset += lid_len
+            ts_len = data[offset]
+            offset += 1
+            timestamp = datetime.fromisoformat(data[offset : offset + ts_len].decode("ascii"))
+            offset += ts_len
+            sig_len = int.from_bytes(data[offset : offset + 2], "big")
+            offset += 2
+            signature = data[offset : offset + sig_len]
+            offset += sig_len
+            if len(log_id) != lid_len or len(signature) != sig_len:
+                raise ValueError("truncated")
+        except (IndexError, ValueError) as exc:
+            raise SCTError(f"malformed SCT encoding: {exc}") from exc
+        return cls(log_id=log_id, timestamp=timestamp, signature=signature), data[offset:]
+
+
+def poison_extension() -> Extension:
+    """The critical precertificate poison (value: DER NULL)."""
+    return Extension(POISON_OID, True, b"\x05\x00")
+
+
+def is_precertificate(certificate: Certificate) -> bool:
+    return certificate.extension(POISON_OID) is not None
+
+
+def precert_body(certificate: Certificate) -> bytes:
+    """The bytes an SCT signs: the TBS with the poison/SCT context removed.
+
+    Real CT reconstructs the TBS without the poison extension; for this
+    substrate the precert's full TBS is the committed body and the final
+    certificate carries a pointer to it via the embedded SCT list, which
+    verifiers check against the precertificate they logged.
+    """
+    return certificate.tbs_der
+
+
+def submit_precertificate(log: CTLog, precert: Certificate) -> SignedCertificateTimestamp:
+    """Log a precertificate and return the log's SCT."""
+    if not is_precertificate(precert):
+        raise SCTError("certificate lacks the poison extension")
+    log.submit(precert)
+    timestamp = precert.validity.not_before
+    unsigned = SignedCertificateTimestamp(
+        log_id=log.log_id, timestamp=timestamp, signature=b""
+    )
+    signature = log._key.sign(unsigned.payload(precert_body(precert)), SHA256_SPEC)
+    return SignedCertificateTimestamp(
+        log_id=log.log_id, timestamp=timestamp, signature=signature
+    )
+
+
+def sct_list_extension(scts: list[SignedCertificateTimestamp]) -> Extension:
+    """The embedded SCT list extension for the final certificate."""
+    if not scts:
+        raise SCTError("an SCT list needs at least one SCT")
+    body = b"".join(sct.serialize() for sct in scts)
+    return Extension(SCT_LIST_OID, False, body)
+
+
+def embedded_scts(certificate: Certificate) -> list[SignedCertificateTimestamp]:
+    """Parse the embedded SCT list, empty when absent."""
+    ext = certificate.extension(SCT_LIST_OID)
+    if ext is None:
+        return []
+    scts = []
+    remaining = ext.value
+    while remaining:
+        sct, remaining = SignedCertificateTimestamp.parse(remaining)
+        scts.append(sct)
+    return scts
+
+
+def verify_sct(
+    sct: SignedCertificateTimestamp,
+    precert: Certificate,
+    log_key: RSAPublicKey,
+) -> None:
+    """Verify an SCT against the precertificate it promises to include."""
+    try:
+        log_key.verify(sct.signature, sct.payload(precert_body(precert)), SHA256_SPEC)
+    except SignatureError as exc:
+        raise SCTError(f"SCT signature invalid: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CTPolicy:
+    """A client CT requirement: embedded SCTs from >= ``minimum`` known logs."""
+
+    log_keys: dict[bytes, RSAPublicKey]  # log id -> key
+    minimum: int = 1
+
+    def satisfied_by(self, certificate: Certificate, precert: Certificate) -> bool:
+        """Whether the final certificate carries enough valid SCTs."""
+        valid = 0
+        for sct in embedded_scts(certificate):
+            key = self.log_keys.get(sct.log_id)
+            if key is None:
+                continue
+            try:
+                verify_sct(sct, precert, key)
+            except SCTError:
+                continue
+            valid += 1
+        return valid >= self.minimum

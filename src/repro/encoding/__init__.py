@@ -1,0 +1,27 @@
+"""Textual encodings: PEM armor and fingerprint formatting."""
+
+from repro.encoding.pem import (
+    CERTIFICATE_LABEL,
+    PEMBlock,
+    decode_pem,
+    encode_pem,
+    iter_pem_blocks,
+    split_bundle,
+)
+
+
+def colonize(hex_fingerprint: str) -> str:
+    """Format ``"abcdef"`` as ``"AB:CD:EF"`` (report style)."""
+    upper = hex_fingerprint.upper()
+    return ":".join(upper[i : i + 2] for i in range(0, len(upper), 2))
+
+
+__all__ = [
+    "CERTIFICATE_LABEL",
+    "PEMBlock",
+    "colonize",
+    "decode_pem",
+    "encode_pem",
+    "iter_pem_blocks",
+    "split_bundle",
+]

@@ -1,0 +1,87 @@
+"""PEM armor (RFC 7468) encode/decode.
+
+Root store bundles on Linux are PEM concatenations; NSS certdata stores
+raw DER in a multi-line octal form; everything else round-trips through
+these helpers.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PEMError
+
+_BEGIN = re.compile(r"^-----BEGIN ([A-Z0-9 ]+)-----\s*$")
+_END = re.compile(r"^-----END ([A-Z0-9 ]+)-----\s*$")
+
+CERTIFICATE_LABEL = "CERTIFICATE"
+TRUSTED_CERTIFICATE_LABEL = "TRUSTED CERTIFICATE"
+
+
+@dataclass(frozen=True)
+class PEMBlock:
+    """One armored block: a label and its decoded bytes."""
+
+    label: str
+    der: bytes
+
+
+def encode_pem(der: bytes, label: str = CERTIFICATE_LABEL) -> str:
+    """Armor bytes in PEM with 64-character base64 lines."""
+    body = base64.b64encode(der).decode("ascii")
+    lines = [body[i : i + 64] for i in range(0, len(body), 64)]
+    return "\n".join([f"-----BEGIN {label}-----", *lines, f"-----END {label}-----", ""])
+
+
+def iter_pem_blocks(text: str) -> Iterator[PEMBlock]:
+    """Yield each PEM block in ``text``, ignoring surrounding prose.
+
+    Linux ``ca-certificates`` bundles interleave comments with blocks;
+    anything outside BEGIN/END lines is skipped.
+    """
+    label: str | None = None
+    body_lines: list[str] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        begin = _BEGIN.match(line)
+        end = _END.match(line)
+        if begin:
+            if label is not None:
+                raise PEMError(f"nested BEGIN at line {line_no}")
+            label = begin.group(1)
+            body_lines = []
+        elif end:
+            if label is None:
+                raise PEMError(f"END without BEGIN at line {line_no}")
+            if end.group(1) != label:
+                raise PEMError(
+                    f"label mismatch at line {line_no}: BEGIN {label}, END {end.group(1)}"
+                )
+            try:
+                der = base64.b64decode("".join(body_lines), validate=True)
+            except Exception as exc:  # noqa: BLE001
+                raise PEMError(f"invalid base64 in {label} block ending line {line_no}") from exc
+            yield PEMBlock(label=label, der=der)
+            label = None
+        elif label is not None:
+            body_lines.append(line.strip())
+    if label is not None:
+        raise PEMError(f"unterminated {label} block")
+
+
+def decode_pem(text: str, expected_label: str = CERTIFICATE_LABEL) -> bytes:
+    """Decode exactly one PEM block, checking its label."""
+    blocks = list(iter_pem_blocks(text))
+    if len(blocks) != 1:
+        raise PEMError(f"expected one PEM block, found {len(blocks)}")
+    block = blocks[0]
+    if block.label != expected_label:
+        raise PEMError(f"expected {expected_label} block, found {block.label}")
+    return block.der
+
+
+def split_bundle(text: str) -> list[bytes]:
+    """All CERTIFICATE blocks from a PEM bundle, in order."""
+    return [b.der for b in iter_pem_blocks(text) if b.label == CERTIFICATE_LABEL]

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Subsystem-specific
+errors derive from intermediate classes (for example every DER parse
+problem is an :class:`ASN1Error`), letting callers be as precise as they
+need to be.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ASN1Error(ReproError):
+    """A DER structure could not be encoded or decoded."""
+
+
+class ASN1DecodeError(ASN1Error):
+    """Malformed or truncated DER input."""
+
+    def __init__(self, message: str, offset: int | None = None):
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class ASN1EncodeError(ASN1Error):
+    """A value cannot be represented in DER."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed or unsupported (named to avoid the builtin)."""
+
+
+class X509Error(ReproError):
+    """An X.509 structure is malformed or violates profile rules."""
+
+
+class CertificateParseError(X509Error):
+    """A certificate could not be parsed from DER."""
+
+
+class PEMError(ReproError):
+    """PEM armor is malformed."""
+
+
+class FormatError(ReproError):
+    """A root store artifact (certdata.txt, authroot.stl, JKS, ...) is malformed."""
+
+
+class StoreError(ReproError):
+    """Inconsistent trust store contents or operations."""
+
+
+class SimulationError(ReproError):
+    """The ecosystem simulator was configured inconsistently."""
+
+
+class CollectionError(ReproError):
+    """A simulated data source could not be scraped."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received unusable input."""
+
+
+class ValidationError(ReproError):
+    """Certificate chain validation failed."""
+
+    def __init__(self, message: str, *, reason: str = "unspecified"):
+        super().__init__(message)
+        self.reason = reason

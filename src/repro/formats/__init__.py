@@ -1,0 +1,53 @@
+"""Native root store artifact codecs.
+
+One module per provider format (see
+:class:`repro.store.provider.StoreFormat`):
+
+- :mod:`repro.formats.certdata` — NSS ``certdata.txt``
+- :mod:`repro.formats.authroot` — Microsoft ``authroot.stl`` + cert map
+- :mod:`repro.formats.applestore` — Apple roots directory + trust plist
+- :mod:`repro.formats.jks` — Java keystore (real binary JKS)
+- :mod:`repro.formats.pem_bundle` — concatenated PEM bundles
+- :mod:`repro.formats.certdir` — Debian/Android cert directories
+- :mod:`repro.formats.nodeheader` — NodeJS ``node_root_certs.h``
+
+Every codec is a (serialize, parse) pair whose round trip preserves the
+trust semantics the format can express — lossy conversions (e.g. NSS
+partial distrust flattened into a PEM bundle) are exactly the artifacts
+the paper's Section 6 measures.
+"""
+
+from repro.formats.applestore import parse_apple_store, serialize_apple_store
+from repro.formats.authroot import (
+    AuthrootArtifact,
+    decode_filetime,
+    encode_filetime,
+    parse_authroot,
+    serialize_authroot,
+)
+from repro.formats.certdata import parse_certdata, serialize_certdata
+from repro.formats.certdir import parse_cert_dir, serialize_cert_dir
+from repro.formats.jks import DEFAULT_PASSWORD, parse_jks, serialize_jks
+from repro.formats.nodeheader import parse_node_header, serialize_node_header
+from repro.formats.pem_bundle import parse_pem_bundle, serialize_pem_bundle
+
+__all__ = [
+    "AuthrootArtifact",
+    "DEFAULT_PASSWORD",
+    "decode_filetime",
+    "encode_filetime",
+    "parse_apple_store",
+    "parse_authroot",
+    "parse_cert_dir",
+    "parse_certdata",
+    "parse_jks",
+    "parse_node_header",
+    "parse_pem_bundle",
+    "serialize_apple_store",
+    "serialize_authroot",
+    "serialize_cert_dir",
+    "serialize_certdata",
+    "serialize_jks",
+    "serialize_node_header",
+    "serialize_pem_bundle",
+]

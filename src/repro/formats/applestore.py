@@ -1,0 +1,144 @@
+"""Apple root store directory reader/writer.
+
+Apple publishes its trust anchors in the open-source ``Security``
+project as a ``certificates/roots`` directory of DER files.  Trust
+context (usage restrictions, the ``valid.apple.com`` revocation feed)
+lives outside the certificate files; we model it as a sidecar
+``TrustSettings.plist`` — a minimal, real plist-XML document mapping
+SHA-256 fingerprints to usage strings and a ``revoked`` flag.
+
+The artifact is a file tree: ``roots/<CN-ish name>.cer`` plus the
+optional plist.  :func:`parse_apple_store` reads both back.
+"""
+
+from __future__ import annotations
+
+import re
+from xml.etree import ElementTree
+
+from repro.errors import FormatError
+from repro.store.entry import TrustEntry
+from repro.store.purposes import TrustLevel, TrustPurpose
+from repro.x509.certificate import Certificate
+
+_USAGE_STRINGS: dict[TrustPurpose, str] = {
+    TrustPurpose.SERVER_AUTH: "kSecTrustSettingsPolicySSL",
+    TrustPurpose.EMAIL_PROTECTION: "kSecTrustSettingsPolicySMIME",
+    TrustPurpose.CODE_SIGNING: "kSecTrustSettingsPolicyCodeSigning",
+}
+_STRING_USAGES = {s: p for p, s in _USAGE_STRINGS.items()}
+
+PLIST_PATH = "TrustSettings.plist"
+
+
+def _safe_filename(cert: Certificate, used: set[str]) -> str:
+    base = cert.subject.common_name or cert.fingerprint_sha256[:16]
+    base = re.sub(r"[^A-Za-z0-9._-]+", "_", base) or "root"
+    name = f"roots/{base}.cer"
+    counter = 1
+    while name in used:
+        counter += 1
+        name = f"roots/{base}-{counter}.cer"
+    used.add(name)
+    return name
+
+
+def serialize_apple_store(entries: list[TrustEntry]) -> dict[str, bytes]:
+    """Render entries as the Apple open-source file tree.
+
+    By default Apple ships *no* per-root usage restrictions (the paper
+    notes "specific usage restrictions are not provided by default"),
+    so the plist only records entries that deviate: purpose-restricted
+    roots and roots revoked via the ``valid.apple.com`` channel
+    (modelled as a DISTRUSTED level for every purpose).
+    """
+    tree: dict[str, bytes] = {}
+    used: set[str] = set()
+    plist_entries: list[tuple[str, list[str], bool]] = []
+    for entry in sorted(entries, key=lambda e: e.fingerprint):
+        tree[_safe_filename(entry.certificate, used)] = entry.certificate.der
+        trusted = [p for p, lv in entry.trust if lv is TrustLevel.TRUSTED]
+        distrusted = [p for p, lv in entry.trust if lv is TrustLevel.DISTRUSTED]
+        revoked = bool(distrusted) and not trusted
+        default_trust = set(trusted) == set(_USAGE_STRINGS) and not distrusted
+        if not default_trust:
+            usages = [_USAGE_STRINGS[p] for p in trusted if p in _USAGE_STRINGS]
+            plist_entries.append((entry.fingerprint, usages, revoked))
+    if plist_entries:
+        tree[PLIST_PATH] = _render_plist(plist_entries)
+    return tree
+
+
+def _render_plist(rows: list[tuple[str, list[str], bool]]) -> bytes:
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<!DOCTYPE plist PUBLIC "-//Apple//DTD PLIST 1.0//EN"'
+        ' "http://www.apple.com/DTDs/PropertyList-1.0.dtd">',
+        '<plist version="1.0">',
+        "<dict>",
+    ]
+    for fingerprint, usages, revoked in rows:
+        lines.append(f"  <key>{fingerprint}</key>")
+        lines.append("  <dict>")
+        lines.append("    <key>trustSettings</key>")
+        lines.append("    <array>")
+        for usage in usages:
+            lines.append(f"      <string>{usage}</string>")
+        lines.append("    </array>")
+        lines.append("    <key>revoked</key>")
+        lines.append(f"    <{'true' if revoked else 'false'}/>")
+        lines.append("  </dict>")
+    lines.append("</dict>")
+    lines.append("</plist>")
+    return "\n".join(lines).encode("utf-8")
+
+
+def parse_apple_store(tree: dict[str, bytes]) -> list[TrustEntry]:
+    """Read an Apple root directory tree back into trust entries.
+
+    Roots without a plist entry get Apple's default: trusted for all
+    purposes (the multi-purpose behaviour Section 5.2 critiques).
+    """
+    settings = _parse_plist(tree[PLIST_PATH]) if PLIST_PATH in tree else {}
+    entries: list[TrustEntry] = []
+    for path, data in sorted(tree.items()):
+        if not path.endswith(".cer"):
+            continue
+        cert = Certificate.from_der(data)
+        setting = settings.get(cert.fingerprint_sha256)
+        if setting is None:
+            trust = {p: TrustLevel.TRUSTED for p in _USAGE_STRINGS}
+        else:
+            usages, revoked = setting
+            if revoked:
+                trust = {p: TrustLevel.DISTRUSTED for p in _USAGE_STRINGS}
+            else:
+                trust = {_STRING_USAGES[u]: TrustLevel.TRUSTED for u in usages}
+        entries.append(TrustEntry.make(cert, purposes=trust))
+    entries.sort(key=lambda e: e.fingerprint)
+    return entries
+
+
+def _parse_plist(data: bytes) -> dict[str, tuple[list[str], bool]]:
+    try:
+        root = ElementTree.fromstring(data.decode("utf-8"))
+    except ElementTree.ParseError as exc:
+        raise FormatError(f"malformed TrustSettings.plist: {exc}") from exc
+    if root.tag != "plist" or len(root) != 1 or root[0].tag != "dict":
+        raise FormatError("unexpected plist structure")
+    result: dict[str, tuple[list[str], bool]] = {}
+    top = list(root[0])
+    for key_el, dict_el in zip(top[0::2], top[1::2]):
+        if key_el.tag != "key" or dict_el.tag != "dict":
+            raise FormatError("unexpected plist entry structure")
+        fingerprint = key_el.text or ""
+        usages: list[str] = []
+        revoked = False
+        inner = list(dict_el)
+        for inner_key, inner_value in zip(inner[0::2], inner[1::2]):
+            if inner_key.text == "trustSettings":
+                usages = [el.text or "" for el in inner_value]
+            elif inner_key.text == "revoked":
+                revoked = inner_value.tag == "true"
+        result[fingerprint] = (usages, revoked)
+    return result

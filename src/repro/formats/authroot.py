@@ -1,0 +1,217 @@
+"""Microsoft ``authroot.stl`` reader/writer.
+
+Windows Automatic Root Update ships a Certificate Trust List (CTL):
+an ASN.1 structure listing trust anchors by SHA-1 hash, each with a
+bag of Microsoft-specific attributes.  The full certificates are *not*
+in the STL — Windows fetches them by hash from a separate URL.  We
+model both halves:
+
+- :func:`serialize_authroot` produces the STL DER plus a hash->DER
+  certificate map (standing in for the download endpoint).
+- :func:`parse_authroot` consumes both and reconstructs trust entries.
+
+The CTL body follows the real layout (CertificateTrustList from
+MS-CAESO): version, subjectUsage, sequenceNumber, thisUpdate,
+subjectAlgorithm, entries.  Per-entry attributes use the documented
+property OIDs: EKU restrictions (disallowed/allowed purposes), the
+"disallowed filetime" (full distrust date) and "NotBefore filetime"
+(partial distrust: leaves issued after the date are rejected), with
+FILETIME values in genuine Windows 64-bit little-endian form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+
+from repro.asn1 import (
+    decode as decode_der,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_set,
+    encode_time,
+)
+from repro.asn1.oid import (
+    EKU_CODE_SIGNING,
+    EKU_EMAIL_PROTECTION,
+    EKU_SERVER_AUTH,
+    MS_DISALLOWED_EKU,
+    MS_EKU_RESTRICTIONS,
+    MS_NOTBEFORE_FILETIME,
+    ObjectIdentifier,
+)
+from repro.errors import FormatError
+from repro.store.entry import TrustEntry
+from repro.store.purposes import TrustLevel, TrustPurpose
+from repro.x509.certificate import Certificate
+
+_EPOCH_1601 = datetime(1601, 1, 1, tzinfo=timezone.utc)
+
+#: EKU OID <-> purpose for the restriction attribute.
+_EKU_PURPOSES: dict[ObjectIdentifier, TrustPurpose] = {
+    EKU_SERVER_AUTH: TrustPurpose.SERVER_AUTH,
+    EKU_EMAIL_PROTECTION: TrustPurpose.EMAIL_PROTECTION,
+    EKU_CODE_SIGNING: TrustPurpose.CODE_SIGNING,
+}
+_PURPOSE_EKUS = {purpose: oid for oid, purpose in _EKU_PURPOSES.items()}
+
+
+def encode_filetime(moment: datetime) -> bytes:
+    """Encode a Windows FILETIME: 100ns intervals since 1601, little-endian."""
+    delta = moment.astimezone(timezone.utc) - _EPOCH_1601
+    intervals = int(delta.total_seconds() * 10_000_000)
+    return intervals.to_bytes(8, "little")
+
+
+def decode_filetime(data: bytes) -> datetime:
+    """Decode a Windows FILETIME blob."""
+    if len(data) != 8:
+        raise FormatError(f"FILETIME must be 8 bytes, got {len(data)}")
+    intervals = int.from_bytes(data, "little")
+    return _EPOCH_1601 + timedelta(microseconds=intervals // 10)
+
+
+@dataclass(frozen=True)
+class AuthrootArtifact:
+    """The two halves of a Microsoft root update."""
+
+    stl_der: bytes
+    certificates: dict[str, bytes]  # sha1 hex -> certificate DER
+
+
+def serialize_authroot(
+    entries: list[TrustEntry],
+    *,
+    sequence_number: int,
+    this_update: datetime,
+) -> AuthrootArtifact:
+    """Render entries as an STL + certificate download map."""
+    ctl_entries = []
+    certificates: dict[str, bytes] = {}
+    for entry in sorted(entries, key=lambda e: e.fingerprint):
+        der = entry.certificate.der
+        sha1 = hashlib.sha1(der).digest()
+        certificates[sha1.hex()] = der
+        ctl_entries.append(
+            encode_sequence(
+                encode_octet_string(sha1),
+                encode_set(*_entry_attributes(entry)),
+            )
+        )
+
+    stl = encode_sequence(
+        encode_integer(1),  # version
+        encode_sequence(encode_oid("1.3.6.1.4.1.311.10.1")),  # subjectUsage: CTL
+        encode_integer(sequence_number),
+        encode_time(this_update),
+        encode_sequence(encode_oid("1.3.14.3.2.26")),  # subjectAlgorithm: SHA-1
+        encode_sequence(*ctl_entries),
+    )
+    return AuthrootArtifact(stl_der=stl, certificates=certificates)
+
+
+def _entry_attributes(entry: TrustEntry) -> list[bytes]:
+    """The attribute SET for one CTL entry."""
+    attributes = []
+
+    # EKU restriction attribute: the purposes this root is trusted for.
+    trusted_ekus = [
+        _PURPOSE_EKUS[purpose]
+        for purpose, level in entry.trust
+        if level is TrustLevel.TRUSTED and purpose in _PURPOSE_EKUS
+    ]
+    attributes.append(
+        encode_sequence(
+            encode_oid(MS_EKU_RESTRICTIONS),
+            encode_set(
+                encode_octet_string(
+                    encode_sequence(*(encode_oid(oid) for oid in sorted(trusted_ekus)))
+                )
+            ),
+        )
+    )
+
+    # Full distrust per purpose: the disallowed-EKU attribute.
+    disallowed_ekus = [
+        _PURPOSE_EKUS[purpose]
+        for purpose, level in entry.trust
+        if level is TrustLevel.DISTRUSTED and purpose in _PURPOSE_EKUS
+    ]
+    if disallowed_ekus:
+        attributes.append(
+            encode_sequence(
+                encode_oid(MS_DISALLOWED_EKU),
+                encode_set(
+                    encode_octet_string(
+                        encode_sequence(*(encode_oid(oid) for oid in sorted(disallowed_ekus)))
+                    )
+                ),
+            )
+        )
+
+    # Partial distrust: leaves issued after this date are rejected.
+    if entry.distrust_after is not None:
+        attributes.append(
+            encode_sequence(
+                encode_oid(MS_NOTBEFORE_FILETIME),
+                encode_set(encode_octet_string(encode_filetime(entry.distrust_after))),
+            )
+        )
+    return attributes
+
+
+def parse_authroot(artifact: AuthrootArtifact) -> list[TrustEntry]:
+    """Reconstruct trust entries from an STL + certificate map."""
+    reader = decode_der(artifact.stl_der).reader()
+    version = reader.next("version").as_integer()
+    if version != 1:
+        raise FormatError(f"unsupported CTL version {version}")
+    reader.next("subjectUsage")
+    reader.next("sequenceNumber").as_integer()
+    reader.next("thisUpdate").as_time()
+    reader.next("subjectAlgorithm")
+    entries_seq = reader.next("trustedSubjects")
+    reader.finish()
+
+    entries: list[TrustEntry] = []
+    for ctl_entry in entries_seq.children():
+        entry_reader = ctl_entry.reader()
+        sha1 = entry_reader.next("subjectIdentifier").as_octet_string()
+        attr_set = entry_reader.next("attributes")
+        entry_reader.finish()
+
+        der = artifact.certificates.get(sha1.hex())
+        if der is None:
+            raise FormatError(f"STL references undownloadable certificate {sha1.hex()}")
+        if hashlib.sha1(der).digest() != sha1:
+            raise FormatError(f"certificate map hash mismatch for {sha1.hex()}")
+        cert = Certificate.from_der(der)
+
+        trust: dict[TrustPurpose, TrustLevel] = {}
+        distrust_after: datetime | None = None
+        for attribute in attr_set.children():
+            attr_reader = attribute.reader()
+            attr_oid = attr_reader.next("attribute oid").as_oid()
+            values = attr_reader.next("attribute values")
+            attr_reader.finish()
+            value = values.children()[0].as_octet_string()
+            if attr_oid == MS_EKU_RESTRICTIONS:
+                for eku in decode_der(value).children():
+                    purpose = _EKU_PURPOSES.get(eku.as_oid())
+                    if purpose is not None:
+                        trust[purpose] = TrustLevel.TRUSTED
+            elif attr_oid == MS_DISALLOWED_EKU:
+                for eku in decode_der(value).children():
+                    purpose = _EKU_PURPOSES.get(eku.as_oid())
+                    if purpose is not None:
+                        trust[purpose] = TrustLevel.DISTRUSTED
+            elif attr_oid == MS_NOTBEFORE_FILETIME:
+                distrust_after = decode_filetime(value)
+        entries.append(
+            TrustEntry(certificate=cert, trust=tuple(trust.items()), distrust_after=distrust_after)
+        )
+    entries.sort(key=lambda e: e.fingerprint)
+    return entries

@@ -1,0 +1,89 @@
+"""Directory-of-certificates stores (Debian/Ubuntu and Android).
+
+Debian-family ``ca-certificates`` packages install one PEM file per
+root under ``/usr/share/ca-certificates/mozilla/`` named after the
+certificate label.  Android's ``system/ca-certificates`` repository
+names files by the OpenSSL *old* subject-hash (``c18d2a74.0`` style).
+Both are "file tree" artifacts: ``dict[path, bytes]``.
+
+Like PEM bundles, these formats carry no trust context — the design
+limitation at the center of Section 6.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from repro.encoding.pem import encode_pem, split_bundle
+from repro.errors import FormatError
+from repro.store.entry import TrustEntry
+from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
+from repro.x509.certificate import Certificate
+
+
+def debian_filename(cert: Certificate, used: set[str]) -> str:
+    """Debian-style ``mozilla/<Label>.crt`` path, deduplicated."""
+    base = cert.subject.common_name or cert.fingerprint_sha256[:16]
+    base = re.sub(r"[^A-Za-z0-9._-]+", "_", base) or "root"
+    name = f"mozilla/{base}.crt"
+    counter = 1
+    while name in used:
+        counter += 1
+        name = f"mozilla/{base}_{counter}.crt"
+    used.add(name)
+    return name
+
+
+def android_filename(cert: Certificate, used: set[str]) -> str:
+    """Android-style subject-hash path ``<hash8>.<n>``.
+
+    OpenSSL's legacy ``-subject_hash_old`` is the first four bytes of
+    MD5(subject DER), little-endian; we reproduce that exactly.
+    """
+    digest = hashlib.md5(cert.subject.encode()).digest()
+    value = int.from_bytes(digest[:4], "little")
+    counter = 0
+    name = f"files/{value:08x}.{counter}"
+    while name in used:
+        counter += 1
+        name = f"files/{value:08x}.{counter}"
+    used.add(name)
+    return name
+
+
+def serialize_cert_dir(entries: list[TrustEntry], *, style: str = "debian") -> dict[str, bytes]:
+    """Render a directory tree of one-PEM-per-root files."""
+    if style == "debian":
+        namer = debian_filename
+    elif style == "android":
+        namer = android_filename
+    else:
+        raise FormatError(f"unknown cert-dir style {style!r}")
+    tree: dict[str, bytes] = {}
+    used: set[str] = set()
+    for entry in sorted(entries, key=lambda e: e.fingerprint):
+        path = namer(entry.certificate, used)
+        tree[path] = encode_pem(entry.certificate.der).encode("ascii")
+    return tree
+
+
+def parse_cert_dir(
+    tree: dict[str, bytes], *, purposes: tuple[TrustPurpose, ...] = BUNDLE_PURPOSES
+) -> list[TrustEntry]:
+    """Read every PEM file in the tree; all certs fully trusted for ``purposes``."""
+    entries: list[TrustEntry] = []
+    for path in sorted(tree):
+        text = tree[path].decode("ascii")
+        ders = split_bundle(text)
+        if not ders:
+            raise FormatError(f"no certificate in {path}")
+        for der in ders:
+            entries.append(
+                TrustEntry.make(
+                    Certificate.from_der(der),
+                    purposes={purpose: TrustLevel.TRUSTED for purpose in purposes},
+                )
+            )
+    entries.sort(key=lambda e: e.fingerprint)
+    return entries

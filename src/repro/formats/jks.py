@@ -1,0 +1,157 @@
+"""Java KeyStore (JKS) reader/writer — the real binary format.
+
+OpenJDK's ``cacerts`` file is a JKS keystore containing only
+trusted-certificate entries.  The on-disk layout:
+
+.. code-block:: text
+
+    u4  magic          0xFEEDFEED
+    u4  version        2
+    u4  entry count
+    per entry:
+        u4  tag        1 = private key, 2 = trusted certificate
+        UTF alias      (Java modified-UTF8, u2 length prefix)
+        u8  creation   milliseconds since the Unix epoch
+        UTF cert type  "X.509"
+        u4  cert length
+        ..  cert DER
+    20B SHA-1 digest over password-bytes || "Mighty Aphrodite" || all of
+        the above
+
+The integrity digest keys on the store password encoded as UTF-16BE;
+``keytool``'s default password is ``changeit``.  We implement exactly
+that scheme so output is byte-compatible with real JKS tooling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from datetime import datetime, timezone
+
+from repro.errors import FormatError
+from repro.store.entry import TrustEntry
+from repro.store.purposes import TrustLevel, TrustPurpose
+from repro.x509.certificate import Certificate
+
+_MAGIC = 0xFEEDFEED
+_VERSION = 2
+_TRUSTED_CERT_TAG = 2
+_SALT = b"Mighty Aphrodite"
+DEFAULT_PASSWORD = "changeit"
+
+
+def _password_bytes(password: str) -> bytes:
+    """JKS hashes the password as UTF-16BE code units."""
+    return password.encode("utf-16-be")
+
+
+def _write_utf(text: str) -> bytes:
+    """Java DataOutput.writeUTF: u2 length + modified UTF-8 (ASCII here)."""
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise FormatError("JKS UTF string too long")
+    return struct.pack(">H", len(data)) + data
+
+
+def serialize_jks(
+    entries: list[TrustEntry],
+    *,
+    password: str = DEFAULT_PASSWORD,
+    creation_time: datetime | None = None,
+) -> bytes:
+    """Render trust entries as a JKS ``cacerts`` keystore.
+
+    JKS has no trust-context vocabulary — inclusion *is* trust — so only
+    the certificates are stored; aliases follow keytool's
+    ``<label> [jdk]`` convention.
+    """
+    moment = creation_time or datetime(2000, 1, 1, tzinfo=timezone.utc)
+    millis = int(moment.timestamp() * 1000)
+
+    body = bytearray()
+    body += struct.pack(">III", _MAGIC, _VERSION, len(entries))
+    for index, entry in enumerate(sorted(entries, key=lambda e: e.fingerprint)):
+        cert = entry.certificate
+        label = (cert.subject.common_name or f"root{index}").lower().replace(" ", "")
+        alias = f"{label} [jdk]"
+        body += struct.pack(">I", _TRUSTED_CERT_TAG)
+        body += _write_utf(alias)
+        body += struct.pack(">Q", millis)
+        body += _write_utf("X.509")
+        body += struct.pack(">I", len(cert.der))
+        body += cert.der
+    digest = hashlib.sha1(_password_bytes(password) + _SALT + bytes(body)).digest()
+    return bytes(body) + digest
+
+
+def parse_jks(data: bytes, *, password: str = DEFAULT_PASSWORD) -> list[TrustEntry]:
+    """Parse a JKS keystore; verifies the integrity digest.
+
+    Every certificate becomes a trust entry trusted for the three
+    purposes the Java root program vouches for (TLS server auth, email
+    signing, code signing) because JKS cannot say anything finer.
+    """
+    if len(data) < 32:
+        raise FormatError("JKS file too short")
+    body, digest = data[:-20], data[-20:]
+    expected = hashlib.sha1(_password_bytes(password) + _SALT + body).digest()
+    if digest != expected:
+        raise FormatError("JKS integrity digest mismatch (wrong password or corrupt file)")
+
+    offset = 0
+
+    def read(fmt: str):
+        nonlocal offset
+        size = struct.calcsize(fmt)
+        if offset + size > len(body):
+            raise FormatError("truncated JKS structure")
+        values = struct.unpack_from(fmt, body, offset)
+        offset += size
+        return values if len(values) > 1 else values[0]
+
+    def read_utf() -> str:
+        nonlocal offset
+        length = read(">H")
+        if offset + length > len(body):
+            raise FormatError("truncated JKS UTF string")
+        text = body[offset : offset + length].decode("utf-8")
+        offset += length
+        return text
+
+    magic, version, count = read(">III")
+    if magic != _MAGIC:
+        raise FormatError(f"bad JKS magic 0x{magic:08X}")
+    if version != _VERSION:
+        raise FormatError(f"unsupported JKS version {version}")
+
+    entries: list[TrustEntry] = []
+    for _ in range(count):
+        tag = read(">I")
+        if tag != _TRUSTED_CERT_TAG:
+            raise FormatError(f"unsupported JKS entry tag {tag} (only trusted certs)")
+        read_utf()  # alias
+        read(">Q")  # creation time
+        cert_type = read_utf()
+        if cert_type != "X.509":
+            raise FormatError(f"unsupported JKS certificate type {cert_type!r}")
+        length = read(">I")
+        if offset + length > len(body):
+            raise FormatError("truncated JKS certificate")
+        der = body[offset : offset + length]
+        offset += length
+        cert = Certificate.from_der(der)
+        entries.append(
+            TrustEntry.make(
+                cert,
+                purposes={
+                    TrustPurpose.SERVER_AUTH: TrustLevel.TRUSTED,
+                    TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED,
+                    TrustPurpose.CODE_SIGNING: TrustLevel.TRUSTED,
+                },
+            )
+        )
+    if offset != len(body):
+        raise FormatError(f"{len(body) - offset} trailing bytes in JKS body")
+    entries.sort(key=lambda e: e.fingerprint)
+    return entries

@@ -1,0 +1,48 @@
+"""Linux-style PEM bundle reader/writer (``tls-ca-bundle.pem`` et al.).
+
+Alpine and Amazon Linux publish one concatenated PEM file.  The format
+carries *no* trust context — a certificate's presence means full trust
+for whatever the consuming application wants — which is exactly the
+"multi-purpose root store" failure mode Section 6.2 analyzes.  Parsing
+therefore assigns trust for the conventional bundle purposes.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.pem import encode_pem, split_bundle
+from repro.store.entry import TrustEntry
+from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
+from repro.x509.certificate import Certificate
+
+
+def serialize_pem_bundle(
+    entries: list[TrustEntry], *, header_comment: str | None = None
+) -> str:
+    """Concatenate entries into one PEM bundle with label comments."""
+    chunks: list[str] = []
+    if header_comment:
+        for line in header_comment.splitlines():
+            chunks.append(f"# {line}\n")
+        chunks.append("\n")
+    for entry in sorted(entries, key=lambda e: e.fingerprint):
+        cert = entry.certificate
+        label = cert.subject.common_name or cert.subject.rfc4514()
+        chunks.append(f"# {label}\n")
+        chunks.append(encode_pem(cert.der))
+        chunks.append("\n")
+    return "".join(chunks)
+
+
+def parse_pem_bundle(
+    text: str, *, purposes: tuple[TrustPurpose, ...] = BUNDLE_PURPOSES
+) -> list[TrustEntry]:
+    """Parse a PEM bundle; every certificate is fully trusted for ``purposes``."""
+    entries = [
+        TrustEntry.make(
+            Certificate.from_der(der),
+            purposes={purpose: TrustLevel.TRUSTED for purpose in purposes},
+        )
+        for der in split_bundle(text)
+    ]
+    entries.sort(key=lambda e: e.fingerprint)
+    return entries

@@ -1,0 +1,31 @@
+"""BR-compliance certificate linting (a mini ZLint).
+
+Section 7's "objective evaluation" instrument: a registry of
+Baseline-Requirements-motivated lints (:mod:`repro.lint.lints`) and a
+store-level census (:mod:`repro.lint.census`) that scores root programs
+by the compliance of the roots they carry.
+"""
+
+from repro.lint.census import StoreLintCensus, lint_programs, lint_snapshot
+from repro.lint.lints import (
+    LINTS_BY_ID,
+    REGISTRY,
+    Finding,
+    Lint,
+    LintReport,
+    Severity,
+    lint_certificate,
+)
+
+__all__ = [
+    "Finding",
+    "LINTS_BY_ID",
+    "Lint",
+    "LintReport",
+    "REGISTRY",
+    "Severity",
+    "StoreLintCensus",
+    "lint_certificate",
+    "lint_programs",
+    "lint_snapshot",
+]

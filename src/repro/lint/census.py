@@ -1,0 +1,86 @@
+"""Store-level lint census: objective root program evaluation.
+
+Runs the lint registry over every root in a store snapshot and
+aggregates error/warning rates — the "data-informed root trust"
+instrument Section 7 calls for.  Comparing programs at the same date
+reproduces the hygiene story (Table 3) through an independent,
+ZLint-style lens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from datetime import date, datetime, time, timezone
+
+from repro.lint.lints import LintReport, Severity, lint_certificate
+from repro.store.history import Dataset
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class StoreLintCensus:
+    """Aggregated lint results for one store snapshot."""
+
+    provider: str
+    taken_at: date
+    roots: int
+    roots_with_errors: int
+    roots_with_warnings: int
+    #: lint id -> number of roots hit
+    by_lint: dict[str, int]
+    reports: tuple[LintReport, ...]
+
+    @property
+    def error_rate(self) -> float:
+        return self.roots_with_errors / self.roots if self.roots else 0.0
+
+    @property
+    def warning_rate(self) -> float:
+        return self.roots_with_warnings / self.roots if self.roots else 0.0
+
+
+def lint_snapshot(snapshot: RootStoreSnapshot) -> StoreLintCensus:
+    """Lint every root in a snapshot, evaluated at the snapshot date."""
+    moment = datetime.combine(snapshot.taken_at, time.min, tzinfo=timezone.utc)
+    reports = []
+    by_lint: Counter[str] = Counter()
+    errors = 0
+    warnings = 0
+    for entry in snapshot:
+        report = lint_certificate(entry.certificate, at=moment)
+        reports.append(report)
+        for finding in report.findings:
+            by_lint[finding.lint_id] += 1
+        if any(f.severity is Severity.ERROR for f in report.findings):
+            errors += 1
+        if any(f.severity is Severity.WARN for f in report.findings):
+            warnings += 1
+    return StoreLintCensus(
+        provider=snapshot.provider,
+        taken_at=snapshot.taken_at,
+        roots=len(snapshot),
+        roots_with_errors=errors,
+        roots_with_warnings=warnings,
+        by_lint=dict(by_lint),
+        reports=tuple(reports),
+    )
+
+
+def lint_programs(
+    dataset: Dataset,
+    *,
+    at: date,
+    programs: tuple[str, ...] = ("nss", "apple", "microsoft", "java"),
+) -> list[StoreLintCensus]:
+    """Lint every program's store as of ``at``, best error-rate first."""
+    censuses = []
+    for program in programs:
+        if program not in dataset:
+            continue
+        snapshot = dataset[program].at(at)
+        if snapshot is None:
+            continue
+        censuses.append(lint_snapshot(snapshot))
+    censuses.sort(key=lambda c: (c.error_rate, c.warning_rate))
+    return censuses

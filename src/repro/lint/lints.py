@@ -1,0 +1,207 @@
+"""Baseline-Requirements-style certificate lints (a mini ZLint).
+
+Section 7 points to ZLint as "a step towards more objective evaluation"
+of CAs.  This module implements that instrument for the simulated
+ecosystem: a registry of BR-motivated lints over parsed certificates,
+each returning a finding with a severity, plus a report container.
+
+Severity vocabulary follows ZLint: ``error`` (violates a requirement),
+``warn`` (inadvisable), ``notice`` (informational).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from enum import Enum
+from typing import Callable
+
+from repro.asn1.oid import (
+    BASIC_CONSTRAINTS,
+    EXTENDED_KEY_USAGE,
+    KEY_USAGE,
+    SUBJECT_ALT_NAME,
+)
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import KeyUsageBit
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARN = "warn"
+    NOTICE = "notice"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit on one certificate."""
+
+    lint_id: str
+    severity: Severity
+    detail: str
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class Lint:
+    """One registered check."""
+
+    lint_id: str
+    severity: Severity
+    description: str
+    #: which certificates the lint applies to: "ca", "leaf", or "any"
+    scope: str
+    check: Callable[[Certificate, datetime], str | None]
+
+    def run(self, certificate: Certificate, at: datetime) -> Finding | None:
+        if self.scope == "ca" and not certificate.is_ca:
+            return None
+        if self.scope == "leaf" and certificate.is_ca:
+            return None
+        detail = self.check(certificate, at)
+        if detail is None:
+            return None
+        return Finding(
+            lint_id=self.lint_id,
+            severity=self.severity,
+            detail=detail,
+            fingerprint=certificate.fingerprint_sha256,
+        )
+
+
+def _weak_rsa(cert: Certificate, _at: datetime) -> str | None:
+    if cert.key_type == "rsa" and cert.key_bits < 2048:
+        return f"RSA modulus is {cert.key_bits} bits (< 2048)"
+    return None
+
+
+def _md5_signature(cert: Certificate, _at: datetime) -> str | None:
+    if cert.signature_digest == "md5":
+        return "certificate is MD5-signed"
+    return None
+
+
+def _sha1_signature(cert: Certificate, _at: datetime) -> str | None:
+    if cert.signature_digest == "sha1":
+        return "certificate is SHA-1-signed"
+    return None
+
+
+def _expired(cert: Certificate, at: datetime) -> str | None:
+    if cert.is_expired(at):
+        return f"expired {cert.validity.not_after:%Y-%m-%d}"
+    return None
+
+
+def _ca_missing_basic_constraints(cert: Certificate, _at: datetime) -> str | None:
+    bc = cert.extension(BASIC_CONSTRAINTS)
+    if bc is None:
+        return "CA certificate lacks BasicConstraints"
+    if not bc.critical:
+        return "BasicConstraints not marked critical"
+    return None
+
+
+def _ca_key_usage(cert: Certificate, _at: datetime) -> str | None:
+    ku = cert.extension_value(KEY_USAGE)
+    if ku is None:
+        return "CA certificate lacks KeyUsage"
+    if not ku.allows(KeyUsageBit.KEY_CERT_SIGN):
+        return "CA KeyUsage does not assert keyCertSign"
+    return None
+
+
+def _root_validity(cert: Certificate, _at: datetime) -> str | None:
+    years = cert.validity.lifetime_days / 365.25
+    if cert.is_self_issued() and years > 25:
+        return f"root validity is {years:.0f} years (> 25)"
+    return None
+
+
+def _leaf_validity(cert: Certificate, _at: datetime) -> str | None:
+    # BR ballot SC31: subscriber certificates issued after 2020-09-01
+    # may not exceed 398 days.
+    cutoff = datetime(2020, 9, 1, tzinfo=timezone.utc)
+    if cert.validity.not_before >= cutoff and cert.validity.lifetime_days > 398:
+        return f"subscriber validity is {cert.validity.lifetime_days} days (> 398)"
+    return None
+
+
+def _leaf_missing_san(cert: Certificate, _at: datetime) -> str | None:
+    if cert.extension(SUBJECT_ALT_NAME) is None:
+        return "subscriber certificate lacks SubjectAltName"
+    return None
+
+
+def _leaf_missing_eku(cert: Certificate, _at: datetime) -> str | None:
+    if cert.extension(EXTENDED_KEY_USAGE) is None:
+        return "subscriber certificate lacks ExtendedKeyUsage"
+    return None
+
+
+def _serial_entropy(cert: Certificate, _at: datetime) -> str | None:
+    # BR 7.1: serials must carry >= 64 bits of CSPRNG output.
+    if cert.serial_number.bit_length() < 64:
+        return f"serial has only {cert.serial_number.bit_length()} bits"
+    return None
+
+
+REGISTRY: tuple[Lint, ...] = (
+    Lint("e_rsa_mod_less_than_2048", Severity.ERROR, "RSA modulus under 2048 bits", "any", _weak_rsa),
+    Lint("e_md5_signature", Severity.ERROR, "MD5 signature algorithm", "any", _md5_signature),
+    Lint("w_sha1_signature", Severity.WARN, "SHA-1 signature algorithm", "any", _sha1_signature),
+    Lint("w_certificate_expired", Severity.WARN, "certificate expired at evaluation time", "any", _expired),
+    Lint("e_ca_basic_constraints", Severity.ERROR, "CA BasicConstraints missing or non-critical", "ca", _ca_missing_basic_constraints),
+    Lint("e_ca_key_usage", Severity.ERROR, "CA KeyUsage missing keyCertSign", "ca", _ca_key_usage),
+    Lint("w_root_validity_span", Severity.WARN, "root validity over 25 years", "ca", _root_validity),
+    Lint("e_leaf_validity_span", Severity.ERROR, "subscriber validity over 398 days (post-2020-09)", "leaf", _leaf_validity),
+    Lint("e_leaf_missing_san", Severity.ERROR, "subscriber without SubjectAltName", "leaf", _leaf_missing_san),
+    Lint("w_leaf_missing_eku", Severity.WARN, "subscriber without ExtendedKeyUsage", "leaf", _leaf_missing_eku),
+    Lint("w_serial_entropy", Severity.WARN, "serial number under 64 bits", "any", _serial_entropy),
+)
+
+LINTS_BY_ID: dict[str, Lint] = {lint.lint_id: lint for lint in REGISTRY}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings for one certificate."""
+
+    fingerprint: str
+    findings: tuple[Finding, ...]
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.WARN)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def has(self, lint_id: str) -> bool:
+        return any(f.lint_id == lint_id for f in self.findings)
+
+
+def lint_certificate(
+    certificate: Certificate,
+    *,
+    at: datetime | None = None,
+    lints: tuple[Lint, ...] = REGISTRY,
+) -> LintReport:
+    """Run every applicable lint against one certificate."""
+    moment = at if at is not None else certificate.validity.not_before
+    findings = []
+    for lint in lints:
+        finding = lint.run(certificate, moment)
+        if finding is not None:
+            findings.append(finding)
+    return LintReport(
+        fingerprint=certificate.fingerprint_sha256, findings=tuple(findings)
+    )

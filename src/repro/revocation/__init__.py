@@ -1,0 +1,51 @@
+"""Client revocation mechanisms.
+
+The paper's Section 3.1 notes that root store membership is only part
+of trust: clients layer revocation channels on top — classic CRLs,
+Mozilla's OneCRL, Chrome's CRLSets, Apple's valid.apple.com feed.  This
+package implements all four (with genuine wire formats) plus a unified
+:class:`~repro.revocation.checker.RevocationChecker` the chain validator
+consumes.
+"""
+
+from repro.revocation.applefeed import AppleRevocation, AppleRevocationFeed
+from repro.revocation.crl import (
+    CertificateRevocationList,
+    RevocationReason,
+    RevokedCertificate,
+    build_crl,
+)
+from repro.revocation.crlset import CRLSet, spki_hash
+from repro.revocation.checker import RevocationChecker, RevocationStatus
+from repro.revocation.ocsp import (
+    CertID,
+    CertStatus,
+    OCSPResponder,
+    OCSPResponse,
+    SingleResponse,
+    build_request,
+    parse_request,
+)
+from repro.revocation.onecrl import OneCRL, OneCRLRecord
+
+__all__ = [
+    "AppleRevocation",
+    "AppleRevocationFeed",
+    "CRLSet",
+    "CertID",
+    "CertStatus",
+    "CertificateRevocationList",
+    "OCSPResponder",
+    "OCSPResponse",
+    "OneCRL",
+    "OneCRLRecord",
+    "RevocationChecker",
+    "RevocationReason",
+    "RevocationStatus",
+    "RevokedCertificate",
+    "SingleResponse",
+    "build_crl",
+    "build_request",
+    "parse_request",
+    "spki_hash",
+]

@@ -1,0 +1,85 @@
+"""Apple's valid.apple.com-style over-the-air revocation feed.
+
+Apple blocks questionable roots without removing them from the shipped
+keychain (Certinomis, two StartCom roots, the Venezuelan super-CA) —
+the store ships "trusted", the feed says otherwise.  Modelled as a
+dated fingerprint list with a JSON wire form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import FormatError
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class AppleRevocation:
+    """One out-of-band revocation."""
+
+    fingerprint_sha256: str
+    effective: date
+    note: str = ""
+
+
+class AppleRevocationFeed:
+    """The fingerprint blocklist distributed outside the root store."""
+
+    def __init__(self, revocations: list[AppleRevocation] | None = None):
+        self._by_fingerprint = {r.fingerprint_sha256: r for r in (revocations or [])}
+
+    def revoke(self, certificate: Certificate, effective: date, note: str = "") -> None:
+        self._by_fingerprint[certificate.fingerprint_sha256] = AppleRevocation(
+            fingerprint_sha256=certificate.fingerprint_sha256,
+            effective=effective,
+            note=note,
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __iter__(self):
+        return iter(sorted(self._by_fingerprint.values(), key=lambda r: r.fingerprint_sha256))
+
+    def is_revoked(self, certificate: Certificate, at: date | None = None) -> bool:
+        record = self._by_fingerprint.get(certificate.fingerprint_sha256)
+        if record is None:
+            return False
+        return at is None or record.effective <= at
+
+    def revocation_for(self, certificate: Certificate) -> AppleRevocation | None:
+        return self._by_fingerprint.get(certificate.fingerprint_sha256)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "revocations": [
+                    {
+                        "sha256": r.fingerprint_sha256,
+                        "effective": r.effective.isoformat(),
+                        "note": r.note,
+                    }
+                    for r in self
+                ]
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AppleRevocationFeed":
+        try:
+            payload = json.loads(text)
+            revocations = [
+                AppleRevocation(
+                    fingerprint_sha256=item["sha256"],
+                    effective=date.fromisoformat(item["effective"]),
+                    note=item.get("note", ""),
+                )
+                for item in payload["revocations"]
+            ]
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FormatError(f"malformed Apple revocation feed: {exc}") from exc
+        return cls(revocations)

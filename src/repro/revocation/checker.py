@@ -1,0 +1,112 @@
+"""Unified revocation checking across the four client mechanisms.
+
+Each client family ships a different revocation channel (Section 3.1's
+"client-specific methods"): CRLs (classic), Mozilla's OneCRL, Chrome's
+CRLSets, and Apple's valid.apple.com feed.  :class:`RevocationChecker`
+aggregates any subset and answers one question per chain element: is
+this certificate revoked, and by which mechanism?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime
+
+from repro.revocation.applefeed import AppleRevocationFeed
+from repro.revocation.crl import CertificateRevocationList
+from repro.revocation.crlset import CRLSet
+from repro.revocation.ocsp import CertStatus, OCSPResponder
+from repro.revocation.onecrl import OneCRL
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class RevocationStatus:
+    """The verdict for one certificate."""
+
+    revoked: bool
+    mechanism: str | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.revoked
+
+
+@dataclass
+class RevocationChecker:
+    """Aggregates CRLs, OneCRL, CRLSet, and an Apple feed."""
+
+    crls: list[CertificateRevocationList] = field(default_factory=list)
+    onecrl: OneCRL | None = None
+    crlset: CRLSet | None = None
+    apple_feed: AppleRevocationFeed | None = None
+    #: live OCSP responders, queried with a full request/verify round trip
+    ocsp_responders: list[OCSPResponder] = field(default_factory=list)
+
+    def check(
+        self,
+        certificate: Certificate,
+        *,
+        issuer: Certificate | None = None,
+        at: datetime | None = None,
+    ) -> RevocationStatus:
+        """Check every configured mechanism; first hit wins.
+
+        ``issuer`` enables SPKI-keyed CRLSet lookups; ``at`` scopes
+        date-gated feeds (OneCRL/Apple additions in the future of ``at``
+        do not count).
+        """
+        as_of: date | None = at.date() if at is not None else None
+
+        for crl in self.crls:
+            entry = crl.is_revoked(certificate)
+            if entry is not None:
+                if at is None or entry.revocation_date <= at:
+                    return RevocationStatus(
+                        revoked=True,
+                        mechanism="crl",
+                        detail=f"serial {certificate.serial_number} ({entry.reason.name})",
+                    )
+
+        if self.onecrl is not None and self.onecrl.is_revoked(certificate, as_of):
+            return RevocationStatus(
+                revoked=True, mechanism="onecrl", detail="issuer/serial record"
+            )
+
+        if self.crlset is not None:
+            if self.crlset.is_spki_blocked(certificate):
+                return RevocationStatus(revoked=True, mechanism="crlset", detail="blocked SPKI")
+            if issuer is not None and self.crlset.covers(certificate, issuer):
+                return RevocationStatus(revoked=True, mechanism="crlset", detail="issuer serial")
+
+        if at is not None:
+            for responder in self.ocsp_responders:
+                if issuer is not None and responder.issuer_certificate != issuer:
+                    continue
+                if responder.check(certificate, at=at) is CertStatus.REVOKED:
+                    return RevocationStatus(
+                        revoked=True,
+                        mechanism="ocsp",
+                        detail=f"responder {responder.issuer_certificate.subject.common_name}",
+                    )
+
+        if self.apple_feed is not None and self.apple_feed.is_revoked(certificate, as_of):
+            record = self.apple_feed.revocation_for(certificate)
+            return RevocationStatus(
+                revoked=True,
+                mechanism="apple-feed",
+                detail=record.note if record else "",
+            )
+
+        return RevocationStatus(revoked=False)
+
+    def check_chain(
+        self, chain: list[Certificate], *, at: datetime | None = None
+    ) -> RevocationStatus:
+        """Check a leaf-first chain; any revoked element revokes the chain."""
+        for index, certificate in enumerate(chain):
+            issuer = chain[index + 1] if index + 1 < len(chain) else certificate
+            status = self.check(certificate, issuer=issuer, at=at)
+            if status.revoked:
+                return status
+        return RevocationStatus(revoked=False)

@@ -1,0 +1,235 @@
+"""X.509 Certificate Revocation Lists (RFC 5280 CertificateList).
+
+The classic revocation mechanism root programs relied on before
+OneCRL/CRLSets.  Build and parse DER CRLs with revocation reasons,
+signed by the issuing CA, verified like certificates.
+
+Structure::
+
+    CertificateList ::= SEQUENCE {
+        tbsCertList          TBSCertList,
+        signatureAlgorithm   AlgorithmIdentifier,
+        signatureValue       BIT STRING }
+
+    TBSCertList ::= SEQUENCE {
+        version              INTEGER OPTIONAL,       -- v2 = 1
+        signature            AlgorithmIdentifier,
+        issuer               Name,
+        thisUpdate           Time,
+        nextUpdate           Time OPTIONAL,
+        revokedCertificates  SEQUENCE OF SEQUENCE {
+            userCertificate  INTEGER,                -- serial
+            revocationDate   Time,
+            crlEntryExtensions  Extensions OPTIONAL } OPTIONAL }
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import datetime
+from enum import IntEnum
+
+from repro.asn1 import (
+    decode as decode_der,
+    encode_bit_string,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_time,
+)
+from repro.asn1 import tags
+from repro.asn1.oid import ObjectIdentifier
+from repro.crypto.digests import digest_for_signature_oid, scheme_for_signature_oid
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RSAPrivateKey
+from repro.errors import SignatureError, X509Error
+from repro.x509.algorithms import AlgorithmIdentifier, PublicKey
+from repro.x509.builder import PrivateKey, signature_oid_for
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+
+#: CRL entry extension: reasonCode
+_REASON_CODE = ObjectIdentifier("2.5.29.21")
+
+
+class RevocationReason(IntEnum):
+    """RFC 5280 CRLReason codes."""
+
+    UNSPECIFIED = 0
+    KEY_COMPROMISE = 1
+    CA_COMPROMISE = 2
+    AFFILIATION_CHANGED = 3
+    SUPERSEDED = 4
+    CESSATION_OF_OPERATION = 5
+    CERTIFICATE_HOLD = 6
+    PRIVILEGE_WITHDRAWN = 9
+
+
+@dataclass(frozen=True)
+class RevokedCertificate:
+    """One CRL entry."""
+
+    serial_number: int
+    revocation_date: datetime
+    reason: RevocationReason = RevocationReason.UNSPECIFIED
+
+    def encode(self) -> bytes:
+        components = [encode_integer(self.serial_number), encode_time(self.revocation_date)]
+        if self.reason is not RevocationReason.UNSPECIFIED:
+            reason_ext = encode_sequence(
+                encode_oid(_REASON_CODE),
+                encode_octet_string(bytes([0x0A, 0x01, int(self.reason)])),  # ENUMERATED
+            )
+            components.append(encode_sequence(reason_ext))
+        return encode_sequence(*components)
+
+
+class CertificateRevocationList:
+    """A parsed CRL with serial lookup and signature verification."""
+
+    def __init__(
+        self,
+        der: bytes,
+        *,
+        tbs_der: bytes,
+        issuer: Name,
+        this_update: datetime,
+        next_update: datetime | None,
+        entries: tuple[RevokedCertificate, ...],
+        signature_algorithm: AlgorithmIdentifier,
+    ):
+        self._der = der
+        self._tbs_der = tbs_der
+        self.issuer = issuer
+        self.this_update = this_update
+        self.next_update = next_update
+        self.entries = entries
+        self.signature_algorithm = signature_algorithm
+        self._by_serial = {e.serial_number: e for e in entries}
+
+    @property
+    def der(self) -> bytes:
+        return self._der
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def is_revoked(self, certificate: Certificate) -> RevokedCertificate | None:
+        """The revocation entry for a certificate, or None.
+
+        Matching requires the CRL issuer to equal the certificate
+        issuer (serials are only unique per CA).
+        """
+        if certificate.issuer != self.issuer:
+            return None
+        return self._by_serial.get(certificate.serial_number)
+
+    def verify_signature(self, issuer_key: PublicKey) -> None:
+        """Verify the CRL signature; raises SignatureError on mismatch."""
+        digest = digest_for_signature_oid(self.signature_algorithm.oid)
+        scheme = scheme_for_signature_oid(self.signature_algorithm.oid)
+        outer = decode_der(self._der).reader()
+        outer.next()
+        outer.next()
+        data, unused = outer.next().as_bit_string()
+        if unused:
+            raise SignatureError("CRL signature BIT STRING has unused bits")
+        if scheme == "rsa":
+            issuer_key.verify(data, self._tbs_der, digest)
+        else:
+            issuer_key.verify(data, self._tbs_der, digest)
+
+    @classmethod
+    def from_der(cls, der: bytes) -> "CertificateRevocationList":
+        outer = decode_der(der).reader()
+        tbs = outer.next("tbsCertList")
+        algorithm = AlgorithmIdentifier.decode(outer.next("signatureAlgorithm"))
+        outer.next("signatureValue").as_bit_string()
+        outer.finish()
+
+        reader = tbs.reader()
+        version_el = reader.take_universal(tags.UniversalTag.INTEGER)
+        if version_el is not None and version_el.as_integer() != 1:
+            raise X509Error(f"unsupported CRL version {version_el.as_integer()}")
+        tbs_alg = AlgorithmIdentifier.decode(reader.next("signature"))
+        if tbs_alg.oid != algorithm.oid:
+            raise X509Error("CRL TBS/outer signature algorithm mismatch")
+        issuer = Name.decode(reader.next("issuer"))
+        this_update = reader.next("thisUpdate").as_time()
+        next_update = None
+        peeked = reader.peek()
+        if peeked is not None and tags.tag_number(peeked.tag) in (
+            tags.UniversalTag.UTC_TIME,
+            tags.UniversalTag.GENERALIZED_TIME,
+        ):
+            next_update = reader.next().as_time()
+        entries: list[RevokedCertificate] = []
+        revoked_seq = reader.take_universal(tags.UniversalTag.SEQUENCE)
+        if revoked_seq is not None:
+            for item in revoked_seq.children():
+                entry_reader = item.reader()
+                serial = entry_reader.next("serial").as_integer()
+                when = entry_reader.next("revocationDate").as_time()
+                reason = RevocationReason.UNSPECIFIED
+                extensions = entry_reader.peek()
+                if extensions is not None:
+                    entry_reader.next()
+                    for ext in extensions.children():
+                        ext_reader = ext.reader()
+                        oid = ext_reader.next().as_oid()
+                        value = ext_reader.next().as_octet_string()
+                        if oid == _REASON_CODE and len(value) == 3:
+                            reason = RevocationReason(value[2])
+                entries.append(RevokedCertificate(serial, when, reason))
+        reader.finish()
+        return cls(
+            der=bytes(der),
+            tbs_der=tbs.encoded,
+            issuer=issuer,
+            this_update=this_update,
+            next_update=next_update,
+            entries=tuple(entries),
+            signature_algorithm=algorithm,
+        )
+
+
+def build_crl(
+    issuer_certificate: Certificate,
+    issuer_key: PrivateKey,
+    entries: list[RevokedCertificate],
+    *,
+    this_update: datetime,
+    next_update: datetime | None = None,
+    digest_name: str = "sha256",
+) -> CertificateRevocationList:
+    """Build and sign a CRL as ``issuer_certificate``'s subject."""
+    sig_oid = signature_oid_for(issuer_key, digest_name)
+    if isinstance(issuer_key, RSAPrivateKey):
+        algorithm = AlgorithmIdentifier.rsa_signature(sig_oid)
+    else:
+        algorithm = AlgorithmIdentifier.ecdsa_signature(sig_oid)
+
+    components = [
+        encode_integer(1),  # v2
+        algorithm.encode(),
+        issuer_certificate.subject.encode(),
+        encode_time(this_update),
+    ]
+    if next_update is not None:
+        components.append(encode_time(next_update))
+    if entries:
+        components.append(
+            encode_sequence(*(e.encode() for e in sorted(entries, key=lambda e: e.serial_number)))
+        )
+    tbs = encode_sequence(*components)
+
+    digest = digest_for_signature_oid(sig_oid)
+    if isinstance(issuer_key, RSAPrivateKey):
+        signature = issuer_key.sign(tbs, digest)
+    else:
+        nonce_rng = DeterministicRandom(hashlib.sha256(tbs).digest())
+        signature = issuer_key.sign(tbs, digest, nonce_rng)
+    der = encode_sequence(tbs, algorithm.encode(), encode_bit_string(signature))
+    return CertificateRevocationList.from_der(der)

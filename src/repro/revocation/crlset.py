@@ -1,0 +1,126 @@
+"""Chrome CRLSet-style compact revocation sets.
+
+CRLSets key revocations on the *issuing key* (SPKI hash) rather than
+the issuer name, plus a list of blocked SPKIs for whole-key distrust
+(how Chrome implemented its bespoke Symantec and WoSign actions).
+We implement a compact binary format in the same spirit: a header,
+blocked-SPKI section, and per-issuer serial sections.
+
+Layout (big-endian)::
+
+    u32  magic      0x43524C53 ("CRLS")
+    u32  sequence
+    u16  blocked SPKI count
+    32B  x count    blocked SPKI SHA-256 hashes
+    u16  issuer section count
+    per section:
+        32B  issuer SPKI SHA-256
+        u16  serial count
+        per serial: u8 length + big-endian serial bytes
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import FormatError
+from repro.x509.algorithms import encode_spki
+from repro.x509.certificate import Certificate
+
+_MAGIC = 0x43524C53
+
+
+def spki_hash(certificate: Certificate) -> bytes:
+    """SHA-256 over the certificate's SubjectPublicKeyInfo DER."""
+    return hashlib.sha256(encode_spki(certificate.public_key)).digest()
+
+
+@dataclass
+class CRLSet:
+    """A compact revocation set keyed by issuing SPKI."""
+
+    sequence: int = 1
+    blocked_spkis: set[bytes] = field(default_factory=set)
+    #: issuer SPKI hash -> set of revoked serial numbers
+    revocations: dict[bytes, set[int]] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    def block_spki(self, issuer_certificate: Certificate) -> None:
+        """Distrust every certificate issued by this key (key-level block)."""
+        self.blocked_spkis.add(spki_hash(issuer_certificate))
+
+    def revoke(self, issuer_certificate: Certificate, serial_number: int) -> None:
+        """Revoke one serial under an issuing key."""
+        key = spki_hash(issuer_certificate)
+        self.revocations.setdefault(key, set()).add(serial_number)
+
+    # -- checking -------------------------------------------------------------
+
+    def covers(self, leaf: Certificate, issuer_certificate: Certificate) -> bool:
+        """Whether this set revokes ``leaf`` as issued by ``issuer``."""
+        key = spki_hash(issuer_certificate)
+        if key in self.blocked_spkis:
+            return True
+        return leaf.serial_number in self.revocations.get(key, set())
+
+    def is_spki_blocked(self, certificate: Certificate) -> bool:
+        return spki_hash(certificate) in self.blocked_spkis
+
+    def __len__(self) -> int:
+        return len(self.blocked_spkis) + sum(len(v) for v in self.revocations.values())
+
+    # -- wire format ------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += struct.pack(">II", _MAGIC, self.sequence)
+        blocked = sorted(self.blocked_spkis)
+        out += struct.pack(">H", len(blocked))
+        for spki in blocked:
+            out += spki
+        sections = sorted(self.revocations.items())
+        out += struct.pack(">H", len(sections))
+        for spki, serials in sections:
+            out += spki
+            out += struct.pack(">H", len(serials))
+            for serial in sorted(serials):
+                blob = serial.to_bytes(max((serial.bit_length() + 7) // 8, 1), "big")
+                if len(blob) > 255:
+                    raise FormatError("serial too large for CRLSet encoding")
+                out += bytes([len(blob)]) + blob
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "CRLSet":
+        offset = 0
+
+        def take(n: int) -> bytes:
+            nonlocal offset
+            if offset + n > len(data):
+                raise FormatError("truncated CRLSet")
+            chunk = data[offset : offset + n]
+            offset += n
+            return chunk
+
+        magic, sequence = struct.unpack(">II", take(8))
+        if magic != _MAGIC:
+            raise FormatError(f"bad CRLSet magic 0x{magic:08X}")
+        result = cls(sequence=sequence)
+        (blocked_count,) = struct.unpack(">H", take(2))
+        for _ in range(blocked_count):
+            result.blocked_spkis.add(take(32))
+        (section_count,) = struct.unpack(">H", take(2))
+        for _ in range(section_count):
+            spki = take(32)
+            (serial_count,) = struct.unpack(">H", take(2))
+            serials = set()
+            for _ in range(serial_count):
+                (length,) = struct.unpack(">B", take(1))
+                serials.add(int.from_bytes(take(length), "big"))
+            result.revocations[spki] = serials
+        if offset != len(data):
+            raise FormatError(f"{len(data) - offset} trailing bytes in CRLSet")
+        return result

@@ -1,0 +1,300 @@
+"""OCSP — the Online Certificate Status Protocol (RFC 6960 subset).
+
+The interactive counterpart to CRLs (the paper names both in Section
+3.1).  Implements genuine DER structures for the pieces a TLS client
+exercises:
+
+- ``CertID``: SHA-1 issuer name/key hashes plus the serial.
+- ``OCSPRequest``: a TBSRequest carrying one or more CertIDs.
+- ``BasicOCSPResponse``: signed ResponseData with per-certificate
+  good / revoked / unknown status.
+
+:class:`OCSPResponder` plays the CA-operated responder: it holds the
+issuer's key, a revocation table, and answers requests with signed
+responses the client side verifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+
+from repro.asn1 import (
+    Element,
+    decode as decode_der,
+    encode_bit_string,
+    encode_context,
+    encode_integer,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_time,
+    encode_tlv,
+)
+from repro.asn1 import tags
+from repro.asn1.oid import SHA1, ObjectIdentifier
+from repro.crypto.digests import digest_for_signature_oid
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RSAPrivateKey
+from repro.errors import FormatError, SignatureError
+from repro.x509.algorithms import AlgorithmIdentifier, encode_spki
+from repro.x509.builder import PrivateKey, signature_oid_for
+from repro.x509.certificate import Certificate
+
+#: id-pkix-ocsp-basic
+OCSP_BASIC = ObjectIdentifier("1.3.6.1.5.5.7.48.1.1")
+
+
+class CertStatus(Enum):
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class CertID:
+    """RFC 6960 CertID: how OCSP names a certificate."""
+
+    issuer_name_hash: bytes
+    issuer_key_hash: bytes
+    serial_number: int
+
+    @classmethod
+    def for_certificate(cls, certificate: Certificate, issuer: Certificate) -> "CertID":
+        """Build the CertID a client would send for ``certificate``."""
+        name_hash = hashlib.sha1(issuer.subject.encode()).digest()
+        key_hash = hashlib.sha1(encode_spki(issuer.public_key)).digest()
+        return cls(
+            issuer_name_hash=name_hash,
+            issuer_key_hash=key_hash,
+            serial_number=certificate.serial_number,
+        )
+
+    def encode(self) -> bytes:
+        algorithm = encode_sequence(encode_oid(SHA1), encode_null())
+        return encode_sequence(
+            algorithm,
+            encode_octet_string(self.issuer_name_hash),
+            encode_octet_string(self.issuer_key_hash),
+            encode_integer(self.serial_number),
+        )
+
+    @classmethod
+    def decode(cls, element: Element) -> "CertID":
+        reader = element.reader()
+        reader.next("hashAlgorithm")
+        name_hash = reader.next("issuerNameHash").as_octet_string()
+        key_hash = reader.next("issuerKeyHash").as_octet_string()
+        serial = reader.next("serialNumber").as_integer()
+        reader.finish()
+        return cls(issuer_name_hash=name_hash, issuer_key_hash=key_hash, serial_number=serial)
+
+
+def build_request(cert_ids: list[CertID]) -> bytes:
+    """Encode an OCSPRequest for one or more CertIDs."""
+    if not cert_ids:
+        raise FormatError("an OCSP request needs at least one CertID")
+    request_list = encode_sequence(*(encode_sequence(c.encode()) for c in cert_ids))
+    tbs_request = encode_sequence(request_list)
+    return encode_sequence(tbs_request)
+
+
+def parse_request(der: bytes) -> list[CertID]:
+    """Decode an OCSPRequest into its CertIDs."""
+    outer = decode_der(der).reader()
+    tbs = outer.next("tbsRequest").reader()
+    request_list = tbs.next("requestList")
+    cert_ids = []
+    for request in request_list.children():
+        cert_ids.append(CertID.decode(request.children()[0]))
+    return cert_ids
+
+
+@dataclass(frozen=True)
+class SingleResponse:
+    """Status of one certificate."""
+
+    cert_id: CertID
+    status: CertStatus
+    this_update: datetime
+    next_update: datetime | None = None
+    revocation_time: datetime | None = None
+
+    def encode(self) -> bytes:
+        if self.status is CertStatus.GOOD:
+            status = encode_tlv(tags.CLASS_CONTEXT | 0, b"")  # [0] IMPLICIT NULL
+        elif self.status is CertStatus.REVOKED:
+            if self.revocation_time is None:
+                raise FormatError("revoked status needs a revocation time")
+            status = encode_context(1, encode_time(self.revocation_time))
+        else:
+            status = encode_tlv(tags.CLASS_CONTEXT | 2, b"")
+        components = [self.cert_id.encode(), status, encode_time(self.this_update)]
+        if self.next_update is not None:
+            components.append(encode_context(0, encode_time(self.next_update)))
+        return encode_sequence(*components)
+
+    @classmethod
+    def decode(cls, element: Element) -> "SingleResponse":
+        reader = element.reader()
+        cert_id = CertID.decode(reader.next("certID"))
+        status_el = reader.next("certStatus")
+        revocation_time = None
+        number = tags.tag_number(status_el.tag)
+        if number == 0:
+            status = CertStatus.GOOD
+        elif number == 1:
+            status = CertStatus.REVOKED
+            revocation_time = status_el.children()[0].as_time()
+        elif number == 2:
+            status = CertStatus.UNKNOWN
+        else:
+            raise FormatError(f"unknown certStatus tag [{number}]")
+        this_update = reader.next("thisUpdate").as_time()
+        next_update = None
+        wrapper = reader.take_context(0)
+        if wrapper is not None:
+            next_update = wrapper.children()[0].as_time()
+        reader.finish()
+        return cls(
+            cert_id=cert_id,
+            status=status,
+            this_update=this_update,
+            next_update=next_update,
+            revocation_time=revocation_time,
+        )
+
+
+class OCSPResponse:
+    """A parsed BasicOCSPResponse with verification."""
+
+    def __init__(
+        self,
+        der: bytes,
+        *,
+        tbs_der: bytes,
+        produced_at: datetime,
+        responses: tuple[SingleResponse, ...],
+        signature_algorithm: AlgorithmIdentifier,
+    ):
+        self._der = der
+        self._tbs_der = tbs_der
+        self.produced_at = produced_at
+        self.responses = responses
+
+        self.signature_algorithm = signature_algorithm
+
+    @property
+    def der(self) -> bytes:
+        return self._der
+
+    def status_for(self, cert_id: CertID) -> SingleResponse | None:
+        for response in self.responses:
+            if response.cert_id == cert_id:
+                return response
+        return None
+
+    def verify_signature(self, responder_key) -> None:
+        digest = digest_for_signature_oid(self.signature_algorithm.oid)
+        outer = decode_der(self._der).reader()
+        outer.next()
+        outer.next()
+        data, unused = outer.next().as_bit_string()
+        if unused:
+            raise SignatureError("OCSP signature BIT STRING has unused bits")
+        responder_key.verify(data, self._tbs_der, digest)
+
+    @classmethod
+    def from_der(cls, der: bytes) -> "OCSPResponse":
+        outer = decode_der(der).reader()
+        tbs = outer.next("tbsResponseData")
+        algorithm = AlgorithmIdentifier.decode(outer.next("signatureAlgorithm"))
+        outer.next("signature").as_bit_string()
+        outer.finish()
+
+        reader = tbs.reader()
+        responder = reader.take_context(1)
+        if responder is None:
+            raise FormatError("missing responderID")
+        produced_at = reader.next("producedAt").as_time()
+        responses = tuple(
+            SingleResponse.decode(child) for child in reader.next("responses").children()
+        )
+        reader.finish()
+        return cls(
+            der=bytes(der),
+            tbs_der=tbs.encoded,
+            produced_at=produced_at,
+            responses=responses,
+            signature_algorithm=algorithm,
+        )
+
+
+@dataclass
+class OCSPResponder:
+    """A CA-operated OCSP responder with a revocation table."""
+
+    issuer_certificate: Certificate
+    issuer_key: PrivateKey
+    #: serial -> revocation time
+    revoked: dict[int, datetime] = field(default_factory=dict)
+    digest_name: str = "sha256"
+
+    def revoke(self, certificate: Certificate, when: datetime) -> None:
+        self.revoked[certificate.serial_number] = when
+
+    def _my_cert_id_hashes(self) -> tuple[bytes, bytes]:
+        name_hash = hashlib.sha1(self.issuer_certificate.subject.encode()).digest()
+        key_hash = hashlib.sha1(encode_spki(self.issuer_certificate.public_key)).digest()
+        return name_hash, key_hash
+
+    def respond(self, request_der: bytes, *, at: datetime) -> OCSPResponse:
+        """Answer an OCSPRequest with a signed BasicOCSPResponse."""
+        name_hash, key_hash = self._my_cert_id_hashes()
+        singles = []
+        for cert_id in parse_request(request_der):
+            if (cert_id.issuer_name_hash, cert_id.issuer_key_hash) != (name_hash, key_hash):
+                status = CertStatus.UNKNOWN
+                revocation_time = None
+            elif cert_id.serial_number in self.revoked:
+                status = CertStatus.REVOKED
+                revocation_time = self.revoked[cert_id.serial_number]
+            else:
+                status = CertStatus.GOOD
+                revocation_time = None
+            singles.append(
+                SingleResponse(
+                    cert_id=cert_id,
+                    status=status,
+                    this_update=at,
+                    revocation_time=revocation_time,
+                )
+            )
+
+        responder_id = encode_context(1, self.issuer_certificate.subject.encode())
+        tbs = encode_sequence(
+            responder_id,
+            encode_time(at),
+            encode_sequence(*(s.encode() for s in singles)),
+        )
+        sig_oid = signature_oid_for(self.issuer_key, self.digest_name)
+        if isinstance(self.issuer_key, RSAPrivateKey):
+            algorithm = AlgorithmIdentifier.rsa_signature(sig_oid)
+            signature = self.issuer_key.sign(tbs, digest_for_signature_oid(sig_oid))
+        else:
+            algorithm = AlgorithmIdentifier.ecdsa_signature(sig_oid)
+            nonce = DeterministicRandom(hashlib.sha256(tbs).digest())
+            signature = self.issuer_key.sign(tbs, digest_for_signature_oid(sig_oid), nonce)
+        der = encode_sequence(tbs, algorithm.encode(), encode_bit_string(signature))
+        return OCSPResponse.from_der(der)
+
+    def check(self, certificate: Certificate, *, at: datetime) -> CertStatus:
+        """One-shot client flow: build request, respond, verify, extract."""
+        cert_id = CertID.for_certificate(certificate, self.issuer_certificate)
+        response = self.respond(build_request([cert_id]), at=at)
+        response.verify_signature(self.issuer_certificate.public_key)
+        single = response.status_for(cert_id)
+        return single.status if single else CertStatus.UNKNOWN

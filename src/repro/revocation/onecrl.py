@@ -1,0 +1,116 @@
+"""Mozilla OneCRL-style centralized revocation.
+
+OneCRL pushes a small list of (issuer, serial) records to all Firefox
+clients — the mechanism Mozilla uses for intermediate distrust ahead of
+(or instead of) root removal.  We model the Kinto-style JSON records
+with base64 DER issuer names, matching the real feed's shape.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+from datetime import date
+
+from repro.errors import FormatError
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+from repro.asn1 import decode as decode_der
+
+
+@dataclass(frozen=True)
+class OneCRLRecord:
+    """One revocation record: issuer DER + serial number."""
+
+    issuer_der: bytes
+    serial_number: int
+    added: date
+    comment: str = ""
+
+    def matches(self, certificate: Certificate) -> bool:
+        return (
+            certificate.issuer.encode() == self.issuer_der
+            and certificate.serial_number == self.serial_number
+        )
+
+    @property
+    def issuer(self) -> Name:
+        return Name.decode(decode_der(self.issuer_der))
+
+
+class OneCRL:
+    """A OneCRL feed: serialize/parse plus certificate matching."""
+
+    def __init__(self, records: list[OneCRLRecord] | None = None):
+        self._records: list[OneCRLRecord] = list(records or [])
+
+    def add(
+        self, certificate: Certificate, added: date, comment: str = ""
+    ) -> OneCRLRecord:
+        """Revoke a certificate by its (issuer, serial) identity."""
+        record = OneCRLRecord(
+            issuer_der=certificate.issuer.encode(),
+            serial_number=certificate.serial_number,
+            added=added,
+            comment=comment,
+        )
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def is_revoked(self, certificate: Certificate, at: date | None = None) -> bool:
+        """Whether the feed revokes this certificate (as of ``at``)."""
+        for record in self._records:
+            if at is not None and record.added > at:
+                continue
+            if record.matches(certificate):
+                return True
+        return False
+
+    # -- the Kinto-style JSON wire format -----------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "data": [
+                {
+                    "issuerName": base64.b64encode(r.issuer_der).decode("ascii"),
+                    "serialNumber": base64.b64encode(
+                        r.serial_number.to_bytes(
+                            max((r.serial_number.bit_length() + 8) // 8, 1), "big"
+                        )
+                    ).decode("ascii"),
+                    "added": r.added.isoformat(),
+                    "details": {"why": r.comment},
+                }
+                for r in self._records
+            ]
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OneCRL":
+        try:
+            payload = json.loads(text)
+            records = []
+            for item in payload["data"]:
+                issuer_der = base64.b64decode(item["issuerName"])
+                serial = int.from_bytes(base64.b64decode(item["serialNumber"]), "big")
+                added = date.fromisoformat(item["added"])
+                comment = item.get("details", {}).get("why", "")
+                records.append(
+                    OneCRLRecord(
+                        issuer_der=issuer_der,
+                        serial_number=serial,
+                        added=added,
+                        comment=comment,
+                    )
+                )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise FormatError(f"malformed OneCRL feed: {exc}") from exc
+        return cls(records)

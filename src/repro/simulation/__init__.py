@@ -1,0 +1,43 @@
+"""The synthetic Web-PKI ecosystem generator.
+
+Substitutes for the paper's scraped historical data (see DESIGN.md §2):
+a declarative CA catalog (:mod:`repro.simulation.catalog`), incident
+registry (:mod:`repro.simulation.incidents`), program policy engines
+(:mod:`repro.simulation.programs`), derivative copying engines
+(:mod:`repro.simulation.derivatives`), and the corpus driver
+(:mod:`repro.simulation.corpus`).
+"""
+
+from repro.simulation.catalog import PROGRAMS, build_catalog, catalog_by_slug
+from repro.simulation.corpus import Corpus, default_corpus, generate_corpus
+from repro.simulation.incidents import HIGH_SEVERITY, INCIDENTS, Incident, incident_by_key
+from repro.simulation.keypool import KeyPool, shared_pool
+from repro.simulation.minting import Mint
+from repro.simulation.model import Override, RootSpec, month_add, months_between
+from repro.simulation.programs import POLICIES, ProgramPolicy, compute_membership
+from repro.simulation.derivatives import DERIVATIVE_POLICIES, DerivativePolicy
+
+__all__ = [
+    "Corpus",
+    "DERIVATIVE_POLICIES",
+    "DerivativePolicy",
+    "HIGH_SEVERITY",
+    "INCIDENTS",
+    "Incident",
+    "KeyPool",
+    "Mint",
+    "Override",
+    "POLICIES",
+    "PROGRAMS",
+    "ProgramPolicy",
+    "RootSpec",
+    "build_catalog",
+    "catalog_by_slug",
+    "compute_membership",
+    "default_corpus",
+    "generate_corpus",
+    "incident_by_key",
+    "month_add",
+    "months_between",
+    "shared_pool",
+]

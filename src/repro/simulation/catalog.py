@@ -1,0 +1,927 @@
+"""The simulated CA catalog.
+
+Builds the complete population of :class:`~repro.simulation.model.RootSpec`
+records: the shared "common" CA population every program trusts, the
+program-exclusive roots of Appendix B, the incident CAs of Tables 4/7,
+the email-only roots behind the purpose-conflation analysis, and the
+non-NSS roots that Linux derivatives shipped on their own.
+
+The catalog is deterministic — no randomness beyond a seeded jitter for
+per-program adoption delays — so the corpus, every fingerprint, and
+every analysis output replays exactly.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.crypto.rng import DeterministicRandom
+from repro.simulation import incidents
+from repro.simulation.model import (
+    ALL_PURPOSES,
+    EMAIL_ONLY,
+    TLS_EMAIL,
+    TLS_ONLY,
+    Override,
+    RootSpec,
+)
+
+#: The four independent root programs.
+PROGRAMS = ("nss", "apple", "microsoft", "java")
+_CORE3 = ("nss", "apple", "microsoft")
+
+#: Countries for procedurally generated CAs (flavor only).
+_COUNTRIES = ("US", "GB", "DE", "FR", "JP", "ES", "IT", "NL", "SE", "CH", "BE", "TW", "ZA", "PL")
+
+
+def build_catalog(seed: str = "repro-catalog-v1") -> list[RootSpec]:
+    """The full root specification catalog (~220 roots)."""
+    rng = DeterministicRandom(seed)
+    specs: list[RootSpec] = []
+    specs.extend(_common_population(rng))
+    specs.extend(_apple_microsoft_regional(rng))
+    specs.extend(_program_historic(rng, "microsoft", 26))
+    specs.extend(_program_historic(rng, "apple", 16))
+    specs.extend(_retained_population(rng, "microsoft", "apple", 16))
+    specs.extend(_retained_population(rng, "apple", "microsoft", 12))
+    specs.extend(_incident_roots())
+    specs.extend(_symantec_family())
+    specs.extend(_nss_exclusive())
+    specs.extend(_apple_exclusives())
+    specs.extend(_microsoft_exclusives())
+    specs.extend(_email_only_roots())
+    specs.extend(_derivative_custom_roots())
+    specs.extend(_java_transients())
+    specs.append(_addtrust_root())
+    _check_unique_slugs(specs)
+    return specs
+
+
+def catalog_by_slug(specs: list[RootSpec]) -> dict[str, RootSpec]:
+    return {spec.slug: spec for spec in specs}
+
+
+def _check_unique_slugs(specs: list[RootSpec]) -> None:
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.slug in seen:
+            raise ValueError(f"duplicate catalog slug {spec.slug!r}")
+        seen.add(spec.slug)
+
+
+# ---------------------------------------------------------------------------
+# Common population: the CAs all (or most) programs trust.
+# ---------------------------------------------------------------------------
+
+_ERAS = (
+    # (key, count, year range, key profile, digest profile, lifetime range)
+    # Era-B roots carry deliberately short lifetimes so a steady trickle
+    # of expirations lands inside the study window — the raw material
+    # for Table 3's expired-root metric.
+    ("a", 14, (1996, 2001), "rsa1024", "md5-sha1", (17, 21)),
+    ("b", 20, (2001, 2007), "rsa-mixed", "sha1-md5", (15, 18)),
+    ("c", 26, (2008, 2014), "rsa2048", "sha1-sha256", (22, 25)),
+    ("d", 24, (2015, 2020), "rsa2048-ec", "sha256", (25, 25)),
+)
+
+#: Common roots Java joined only in its August 2018 expansion (the Java
+#: MDS outlier: +21 roots in one snapshot).
+JAVA_LATE_JOIN = date(2018, 8, 1)
+#: ... and common roots Java dropped in the same snapshot (6 of the 9
+#: removals; the other 3 are the java-transient roots below).
+JAVA_2018_DROP = date(2018, 8, 1)
+
+
+def _common_population(rng: DeterministicRandom) -> list[RootSpec]:
+    specs: list[RootSpec] = []
+    java_late = 0
+    java_drop = 0
+    for era_key, count, (year_lo, year_hi), key_profile, digest_profile, lifetime in _ERAS:
+        for index in range(count):
+            slug = f"common-{era_key}{index + 1}"
+            fork = rng.fork(slug)
+            year = year_lo + index * (year_hi - year_lo) // max(count - 1, 1)
+            not_before = date(year, 1 + fork.randint(0, 11), 1 + fork.randint(0, 27))
+            key_kind, key_param = _pick_key(key_profile, index)
+            digest = _pick_digest(digest_profile, index, count)
+            programs: tuple[str, ...] = _CORE3
+            overrides: dict[str, Override] = {}
+            # Java's smaller store: ~60% of era b/c/d roots plus a
+            # handful of era-a legacy roots (whose MD5/1024-bit keys
+            # drive Java's late hygiene purges in Table 3).
+            if (era_key == "a" and index % 3 == 0) or (era_key != "a" and index % 5 < 3):
+                programs = PROGRAMS
+                # Java's Aug-2018 churn: 21 late joins, 6 drops.
+                if era_key == "d" and java_late < 21:
+                    overrides["java"] = Override(join=JAVA_LATE_JOIN, note="Java 2018-08 batch add")
+                    java_late += 1
+                elif era_key == "b" and java_drop < 6:
+                    overrides["java"] = Override(leave=JAVA_2018_DROP, note="Java 2018-08 batch removal")
+                    java_drop += 1
+            specs.append(
+                RootSpec(
+                    slug=slug,
+                    common_name=f"Common Trust Root {era_key.upper()}{index + 1}",
+                    organization=f"CommonTrust {era_key.upper()}{index + 1} Ltd",
+                    country=fork.choice(_COUNTRIES),
+                    key_kind=key_kind,
+                    key_param=key_param,
+                    digest=digest,
+                    not_before=not_before,
+                    lifetime_years=lifetime[0] + index % (lifetime[1] - lifetime[0] + 1),
+                    purposes=TLS_EMAIL,
+                    programs=programs,
+                    overrides=overrides,
+                    tags=frozenset({"common", f"era-{era_key}"}),
+                )
+            )
+    return specs
+
+
+def _pick_key(profile: str, index: int) -> tuple[str, int | str]:
+    if profile == "rsa1024":
+        return "rsa", 1024
+    if profile == "rsa-mixed":
+        return ("rsa", 1024) if index % 2 == 0 else ("rsa", 2048)
+    if profile == "rsa2048":
+        return "rsa", 2048
+    if profile == "rsa2048-ec":
+        return ("ec", "secp256r1") if index % 6 == 5 else ("rsa", 2048)
+    raise ValueError(f"unknown key profile {profile!r}")
+
+
+def _pick_digest(profile: str, index: int, count: int) -> str:
+    if profile == "md5-sha1":
+        return "md5" if index % 2 == 0 else "sha1"
+    if profile == "sha1-md5":
+        # A couple of MD5-signed-but-2048-bit roots: they survive the
+        # weak-RSA purges, so each program's MD5 and 1024-bit removal
+        # dates stay distinct (as in Table 3).
+        return "md5" if index % 10 == 1 else "sha1"
+    if profile == "sha1":
+        return "sha1"
+    if profile == "sha1-sha256":
+        return "sha1" if index < count // 3 else "sha256"
+    if profile == "sha256":
+        return "sha256"
+    raise ValueError(f"unknown digest profile {profile!r}")
+
+
+def _apple_microsoft_regional(rng: DeterministicRandom) -> list[RootSpec]:
+    """Regional CAs carried by Apple and Microsoft but not NSS/Java.
+
+    These widen the Apple/Microsoft stores relative to NSS (Table 3)
+    without inflating the *exclusive* sets of Appendix B (they are
+    shared between two programs, so neither counts them as unique).
+    """
+    specs = []
+    for index in range(10):
+        slug = f"regional-{index + 1}"
+        fork = rng.fork(slug)
+        year = 2005 + (index * 13) // 10
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=f"Regional CA {index + 1}",
+                organization=f"Regional Trust Services {index + 1}",
+                country=fork.choice(_COUNTRIES),
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha1" if year < 2012 else "sha256",
+                not_before=date(year, 1 + fork.randint(0, 11), 1 + fork.randint(0, 27)),
+                lifetime_years=22,
+                purposes=TLS_EMAIL,
+                programs=("apple", "microsoft"),
+                tags=frozenset({"regional"}),
+            )
+        )
+    return specs
+
+
+def _program_historic(rng: DeterministicRandom, program: str, count: int) -> list[RootSpec]:
+    """Historic program-only roots that age out before the study ends.
+
+    Microsoft (and to a lesser degree Apple) historically trusted many
+    CAs the other programs never carried.  These roots separate the
+    program families in the Figure 1 ordination and widen the Table 3
+    store sizes, but — because every one expires or is dropped before
+    the final snapshot — they never perturb the Appendix B exclusive
+    counts, which only consider the most recent store state.
+    """
+    specs = []
+    for index in range(count):
+        slug = f"{program}-historic-{index + 1}"
+        fork = rng.fork(slug)
+        year = 1998 + (index * 6) // count
+        # Expires 2008-2015: even Microsoft's ~4.4-year expired-root
+        # retention clears these before the final snapshot.
+        lifetime = 10 + index % 3
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=f"{program.capitalize()} Legacy Partner CA {index + 1}",
+                organization=f"Legacy Partner {program.capitalize()} {index + 1}",
+                country=fork.choice(_COUNTRIES),
+                key_kind="rsa",
+                key_param=1024 if year < 2003 else 2048,
+                digest="sha1",
+                not_before=date(year, 1 + fork.randint(0, 11), 1 + fork.randint(0, 27)),
+                lifetime_years=lifetime,
+                purposes=TLS_EMAIL,
+                programs=(program,),
+                tags=frozenset({"historic", f"{program}-historic"}),
+            )
+        )
+    return specs
+
+
+def _retained_population(
+    rng: DeterministicRandom, keeper: str, dropper: str, count: int
+) -> list[RootSpec]:
+    """CAs both Apple and Microsoft once trusted, later kept by only one.
+
+    Root programs diverge over time: partner CAs both carried in the
+    2000s were dropped by one program's mid-2010s cleanups while the
+    other retained them.  These roots make the final Apple and Microsoft
+    stores genuinely different (the Figure 1 separation) *without*
+    inflating Appendix B's exclusive counts — the dropper's history
+    still shows past TLS trust, so the exclusivity test rejects them.
+    """
+    specs = []
+    for index in range(count):
+        slug = f"{keeper}-retained-{index + 1}"
+        fork = rng.fork(slug)
+        year = 2004 + (index * 8) // count
+        drop_date = date(2015 + index % 4, 3 + index % 8, 1)
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=f"{keeper.capitalize()}-Retained Partner CA {index + 1}",
+                organization=f"Retained Partner {keeper.capitalize()} {index + 1}",
+                country=fork.choice(_COUNTRIES),
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha1" if year < 2011 else "sha256",
+                not_before=date(year, 1 + fork.randint(0, 11), 1 + fork.randint(0, 27)),
+                lifetime_years=24,
+                purposes=TLS_EMAIL,
+                programs=(keeper, dropper),
+                overrides={dropper: Override(leave=drop_date, note=f"dropped by {dropper}")},
+                tags=frozenset({"retained", f"{keeper}-retained"}),
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Incident CAs (Tables 4 and 7).
+# ---------------------------------------------------------------------------
+
+
+def _incident_roots() -> list[RootSpec]:
+    """The named CAs behind every high-severity removal."""
+    specs: list[RootSpec] = []
+
+    specs.append(
+        RootSpec(
+            slug="diginotar-root",
+            common_name="DigiNotar Root CA",
+            organization="DigiNotar",
+            country="NL",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha1",
+            not_before=date(2007, 5, 16),
+            lifetime_years=18,
+            programs=_CORE3,
+            overrides=_responses_to_overrides(incidents.DIGINOTAR, "diginotar-root"),
+            tags=frozenset({"incident", "diginotar"}),
+            note="Compromised 2011; forged *.google.com certificates",
+        )
+    )
+
+    for slug, cn in (
+        ("cnnic-root", "CNNIC ROOT"),
+        ("cnnic-ev-root", "China Internet Network Information Center EV Certificates Root"),
+    ):
+        overrides = _responses_to_overrides(incidents.CNNIC, slug)
+        if slug == "cnnic-ev-root":
+            # Android only ever carried one of the two CNNIC roots (Table 4).
+            overrides["android"] = Override(never=True, note="never included by Android")
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=cn,
+                organization="China Internet Network Information Center",
+                country="CN",
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha1",
+                not_before=date(2010, 4, 1),
+                lifetime_years=18,
+                programs=_CORE3,
+                overrides=overrides,
+                tags=frozenset({"incident", "cnnic"}),
+                note="MCS intermediate misissuance (2015)",
+            )
+        )
+
+    for index, slug in enumerate(incidents.STARTCOM.root_slugs):
+        overrides = _responses_to_overrides(incidents.STARTCOM, slug)
+        # Apple never removed StartCom; it revoked two of the three roots
+        # via valid.apple.com and still fully trusts the third.
+        if index < 2:
+            overrides["apple"] = Override(revoke_from=date(2018, 2, 1), note="revoked via valid.apple.com")
+        else:
+            overrides["apple"] = Override(note="still trusted by Apple")
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=f"StartCom Certification Authority{' G' + str(index + 1) if index else ''}",
+                organization="StartCom Ltd.",
+                country="IL",
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha1" if index == 0 else "sha256",
+                not_before=date(2006 + 4 * index, 9, 17),
+                lifetime_years=20,
+                programs=_CORE3,
+                overrides=overrides,
+                tags=frozenset({"incident", "startcom"}),
+                note="Stealth WoSign acquisition; shared issuance infrastructure",
+            )
+        )
+
+    for index, slug in enumerate(incidents.WOSIGN.root_slugs):
+        overrides = _responses_to_overrides(incidents.WOSIGN, slug)
+        overrides["apple"] = Override(never=True, note="Apple never included WoSign roots")
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=f"Certification Authority of WoSign{' G' + str(index + 1) if index else ''}",
+                organization="WoSign CA Limited",
+                country="CN",
+                key_kind="ec" if slug.endswith("ecc") else "rsa",
+                key_param="secp256r1" if slug.endswith("ecc") else 2048,
+                digest="sha256",
+                not_before=date(2009 + index, 8, 8),
+                lifetime_years=20,
+                programs=_CORE3,
+                overrides=overrides,
+                tags=frozenset({"incident", "wosign"}),
+                note="Backdated SHA-1 issuance; undisclosed StartCom acquisition",
+            )
+        )
+
+    specs.append(
+        RootSpec(
+            slug="pspprocert",
+            common_name="PSCProcert",
+            organization="Proveedor de Certificados PROCERT",
+            country="VE",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha1",
+            not_before=date(2010, 12, 28),
+            lifetime_years=15,
+            programs=("nss",),
+            overrides={
+                **_responses_to_overrides(incidents.PROCERT, "pspprocert"),
+                "android": Override(never=True, note="Android never included PSPProcert"),
+            },
+            tags=frozenset({"incident", "procert"}),
+            note="Venezuelan sub-CA of the government super-CA; repeated transgressions",
+        )
+    )
+
+    specs.append(
+        RootSpec(
+            slug="certinomis-root",
+            common_name="Certinomis - Root CA",
+            organization="Certinomis",
+            country="FR",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha256",
+            not_before=date(2013, 10, 21),
+            lifetime_years=20,
+            programs=_CORE3,
+            overrides={
+                **_responses_to_overrides(incidents.CERTINOMIS, "certinomis-root"),
+                "apple": Override(
+                    revoke_from=incidents.CERTINOMIS_APPLE_REVOKE,
+                    note="revoked via valid.apple.com, never removed",
+                ),
+                "microsoft": Override(note="still trusted by Microsoft at study end"),
+            },
+            tags=frozenset({"incident", "certinomis"}),
+            note="Cross-signed distrusted StartCom; 111-day disclosure delay",
+        )
+    )
+
+    # TWCA and SK ID left NSS in version 53 alongside the Symantec batch;
+    # NodeJS skipped that update and preserved both (Section 6.2).
+    specs.append(
+        RootSpec(
+            slug="twca-root",
+            common_name="TWCA Root Certification Authority",
+            organization="TAIWAN-CA",
+            country="TW",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha1",
+            not_before=date(2008, 8, 28),
+            lifetime_years=22,
+            programs=_CORE3,
+            overrides={"nss": Override(leave=incidents.TWCA_REMOVAL, note="Mozilla policy violations")},
+            tags=frozenset({"incident", "nss-v53-removal"}),
+        )
+    )
+    specs.append(
+        RootSpec(
+            slug="sk-id-root",
+            common_name="EE Certification Centre Root CA",
+            organization="AS Sertifitseerimiskeskus",
+            country="EE",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha1",
+            not_before=date(2010, 10, 30),
+            lifetime_years=20,
+            programs=_CORE3,
+            overrides={"nss": Override(leave=incidents.SK_ID_REMOVAL, note="removed at CA request")},
+            tags=frozenset({"incident", "nss-v53-removal"}),
+        )
+    )
+    specs.append(
+        RootSpec(
+            slug="taiwan-grca",
+            common_name="Government Root Certification Authority",
+            organization="Government Root Certification Authority",
+            country="TW",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha1",
+            not_before=date(2002, 12, 5),
+            lifetime_years=30,
+            programs=_CORE3,
+            overrides={"nss": Override(leave=incidents.TAIWAN_GRCA.nss_removal, note="misissuance")},
+            tags=frozenset({"incident", "taiwan-grca"}),
+        )
+    )
+    return specs
+
+
+def _responses_to_overrides(incident: incidents.Incident, slug: str) -> dict[str, Override]:
+    """Turn an incident's program responses into catalog overrides.
+
+    Only the independent programs live in RootSpec overrides here;
+    derivative responses are applied by the derivative engine (it also
+    consults the incident registry).  NSS's own removal date is included
+    because NSS is the reference store.
+    """
+    overrides: dict[str, Override] = {
+        "nss": Override(leave=incident.nss_removal, note=f"NSS removal ({incident.bugzilla_id})")
+    }
+    for program in ("apple", "microsoft"):
+        if program in incident.responses:
+            response = incident.responses[program]
+            if response is not None:
+                overrides[program] = Override(leave=response, note=f"{incident.key} response")
+    _ = slug
+    return overrides
+
+
+# ---------------------------------------------------------------------------
+# The Symantec family (Section 6.2's partial-distrust case study).
+# ---------------------------------------------------------------------------
+
+
+def _symantec_family() -> list[RootSpec]:
+    """Thirteen Symantec-operated roots.
+
+    NSS v53 stamped ``server-distrust-after`` on twelve of them, then
+    removed three in June 2020 and ten in December 2020.  The root kept
+    longest by Debian/Ubuntu ("GeoTrust Universal CA 2" in the paper) is
+    ``symantec-legacy-1`` here.
+    """
+    specs = []
+    names = {
+        "symantec-class3-g1": "VeriSign Class 3 Public Primary Certification Authority - G1",
+        "symantec-class3-g2": "VeriSign Class 3 Public Primary Certification Authority - G2",
+        "symantec-class3-g3": "VeriSign Class 3 Public Primary Certification Authority - G3",
+        "symantec-legacy-1": "GeoTrust Universal CA 2",
+    }
+    batch1 = set(incidents.SYMANTEC_BATCH_1.root_slugs)
+    for index, slug in enumerate(
+        list(incidents.SYMANTEC_BATCH_1.root_slugs) + list(incidents.SYMANTEC_BATCH_2.root_slugs)
+    ):
+        removal = (
+            incidents.SYMANTEC_BATCH_1.nss_removal
+            if slug in batch1
+            else incidents.SYMANTEC_BATCH_2.nss_removal
+        )
+        overrides = {
+            "nss": Override(
+                leave=removal,
+                distrust_after=incidents.SYMANTEC_DISTRUST_AFTER,
+                distrust_from=incidents.SYMANTEC_DISTRUST_MARKING,
+                note="Symantec distrust (NSS v53)",
+            )
+        }
+        specs.append(
+            RootSpec(
+                slug=slug,
+                common_name=names.get(slug, f"GeoTrust Primary Certification Authority - G{index}"),
+                organization="Symantec Corporation",
+                country="US",
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha1" if index < 6 else "sha256",
+                not_before=date(1999 + index, 3, 1 + index),
+                lifetime_years=25,
+                programs=PROGRAMS,
+                overrides=overrides,
+                tags=frozenset({"symantec"}),
+                note="Symantec CA business (acquired by DigiCert, 2017)",
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Program-exclusive roots (Appendix B / Table 6).
+# ---------------------------------------------------------------------------
+
+
+def _nss_exclusive() -> list[RootSpec]:
+    """NSS's single exclusive root: the new Microsec ECC root."""
+    return [
+        RootSpec(
+            slug="microsec-ecc",
+            common_name="Microsec e-Szigno Root CA ECC",
+            organization="Microsec Ltd.",
+            country="HU",
+            key_kind="ec",
+            key_param="secp256r1",
+            digest="sha256",
+            not_before=date(2019, 4, 10),
+            lifetime_years=25,
+            programs=("nss",),
+            tags=frozenset({"exclusive", "nss-exclusive"}),
+            note="New elliptic curve root accompanying an already-trusted Microsec RSA root",
+        )
+    ]
+
+
+def _apple_exclusives() -> list[RootSpec]:
+    """Apple's thirteen exclusive roots (Appendix B taxonomy)."""
+    specs: list[RootSpec] = []
+
+    # Six roots other programs trust only for email: Microsoft carries
+    # them email-only; Apple's default multi-purpose trust covers TLS.
+    for index in range(6):
+        specs.append(
+            RootSpec(
+                slug=f"apple-email-{index + 1}",
+                common_name=f"SecureMail Root CA {index + 1}",
+                organization=f"SecureMail Trust {index + 1}",
+                country=("BE", "NO", "DK", "DE", "US", "FR")[index],
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha256",
+                not_before=date(2009 + index, 6, 10),
+                lifetime_years=22,
+                purposes=EMAIL_ONLY,
+                programs=("apple", "microsoft"),
+                overrides={
+                    "apple": Override(purposes=ALL_PURPOSES, note="Apple default multi-purpose trust"),
+                    "microsoft": Override(purposes=EMAIL_ONLY, note="email-only in Microsoft"),
+                },
+                tags=frozenset({"exclusive", "apple-exclusive", "email-elsewhere"}),
+                note="Trusted by Microsoft for email only; Apple ships no purpose restriction",
+            )
+        )
+
+    # Five Apple-operated roots for proprietary services.
+    services = ("FairPlay", "Developer ID", "iPhone Device", "TimeStamp", "WWDR")
+    for index, service in enumerate(services):
+        specs.append(
+            RootSpec(
+                slug=f"apple-services-{index + 1}",
+                common_name=f"Apple {service} Root CA",
+                organization="Apple Inc.",
+                country="US",
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha256",
+                not_before=date(2006 + 2 * index, 2, 7),
+                lifetime_years=25,
+                purposes=ALL_PURPOSES,
+                programs=("apple",),
+                tags=frozenset({"exclusive", "apple-exclusive", "apple-services"}),
+                note=f"Apple-proprietary {service} infrastructure",
+            )
+        )
+
+    # Two roots actively distrusted elsewhere.
+    specs.append(
+        RootSpec(
+            slug="certipost-root",
+            common_name="Certipost E-Trust Primary Normalised CA",
+            organization="Certipost s.a./n.v.",
+            country="BE",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha1",
+            not_before=date(2005, 7, 26),
+            lifetime_years=20,
+            purposes=EMAIL_ONLY,
+            programs=("nss", "apple"),
+            overrides={
+                "nss": Override(
+                    leave=date(2016, 5, 1),
+                    note="CA requested removal (ceased TLS issuance; email-only in NSS)",
+                ),
+                "apple": Override(purposes=ALL_PURPOSES, note="Apple default multi-purpose trust"),
+            },
+            tags=frozenset({"exclusive", "apple-exclusive"}),
+            note="Removed from NSS at CA request; Apple retains it",
+        )
+    )
+    specs.append(
+        RootSpec(
+            slug="gov-venezuela",
+            common_name="Autoridad de Certificacion Raiz del Estado Venezolano",
+            organization="Sistema Nacional de Certificacion Electronica",
+            country="VE",
+            key_kind="rsa",
+            key_param=2048,
+            digest="sha256",
+            not_before=date(2010, 12, 28),
+            lifetime_years=20,
+            purposes=EMAIL_ONLY,
+            programs=("apple", "microsoft"),
+            overrides={
+                "apple": Override(
+                    purposes=ALL_PURPOSES,
+                    revoke_from=date(2020, 6, 1),
+                    note="super-CA rejected by NSS; blocked via valid.apple.com but still shipped",
+                ),
+                "microsoft": Override(
+                    purposes=EMAIL_ONLY,
+                    leave=date(2020, 2, 1),
+                    note="email-only until the 2020 blacklist",
+                ),
+            },
+            tags=frozenset({"exclusive", "apple-exclusive", "super-ca"}),
+            note="Government of Venezuela super-CA; NSS inclusion denied",
+        )
+    )
+    return specs
+
+
+#: (slug suffix, CN, organization, country, reason) for Microsoft's 30
+#: exclusive roots, following the Appendix B taxonomy.
+_MS_EXCLUSIVE_ROWS: tuple[tuple[str, str, str, str, str], ...] = (
+    ("edicom", "ACEDICOM Root", "EDICOM", "ES", "NSS denied: inadequate audits, issuance concerns"),
+    ("e-monitoring", "GLOBALTRUST 2015", "e-commerce monitoring GmbH", "AT", "NSS denied: BR and RFC 5280 violations"),
+    ("gov-brazil", "Autoridade Certificadora Raiz Brasileira", "ICP-Brasil", "BR", "NSS denied: super-CA, insufficient disclosure"),
+    ("gov-tunisia-1", "TunRootCA2", "Agence Nationale de Certification Electronique", "TN", "NSS denied: repeated misissuance"),
+    ("gov-korea", "MOI GPKI Root CA", "Government of Korea", "KR", "NSS denied: confidential, unrestrained subCAs"),
+    ("camerfirma", "Chambers of Commerce Root - 2016", "AC Camerfirma S.A.", "ES", "NSS denied; all Camerfirma roots removed May 2021"),
+    ("digidentity", "Digidentity Service Root", "Digidentity B.V.", "NL", "NSS request retracted"),
+    ("postsignum", "PostSignum Root QCA 2", "Ceska posta s.p.", "CZ", "NSS abandoned: inclusion attempt stalled"),
+    ("oati", "OATI WebCARES Root CA", "OATI", "US", "NSS abandoned: no response in 3 years"),
+    ("multicert", "MULTICERT Root CA 01", "MULTICERT", "PT", "NSS abandoned: external subCA concerns"),
+    ("mtin", "AC RAIZ MTIN", "Gobierno de Espana, MTIN", "ES", "Expired Nov 2019; no CT-visible children"),
+    ("gov-tunisia-2", "TunTrust Root CA", "Agence Nationale de Certification Electronique", "TN", "NSS pending: community concerns"),
+    ("secom-1", "SECOM RootCA4", "SECOM Trust Systems", "JP", "NSS pending since 2016"),
+    ("secom-2", "SECOM RootCA5", "SECOM Trust Systems", "JP", "NSS pending since 2016"),
+    ("chunghwa", "HiPKI Root CA - G1", "Chunghwa Telecom", "TW", "NSS pending"),
+    ("fina", "Fina Root CA", "Financijska agencija", "HR", "NSS pending"),
+    ("telia", "Telia Root CA v2", "Telia Finland Oyj", "FI", "NSS pending: <100 leaves in CT"),
+    ("netlock", "NETLOCK Arany Root", "NETLOCK Kft.", "HU", "Cross-signed by MS Code Verification Root only"),
+    ("gov-finland", "VRK Gov. Root CA", "Vaestorekisterikeskus", "FI", "Previously abandoned NSS inclusion"),
+    ("cisco", "Cisco Root CA 2048", "Cisco Systems", "US", "<100 leaves in CT; NSS rejected older root"),
+    ("halcom", "Halcom Root CA", "Halcom D.D.", "SI", "<100 leaves in CT"),
+    ("spain-reg", "Registradores de Espana Root", "Colegio de Registradores", "ES", "<100 leaves in CT"),
+    ("nisz", "NISZ Root CA", "NISZ Zrt.", "HU", "<200 leaves in CT"),
+    ("trustfactory", "TrustFactory SSL Root", "TrustFactory", "ZA", "<100 leaves in CT"),
+    ("wifi-alliance", "WFA Hotspot 2.0 Root", "DigiCert for WiFi Alliance", "US", "WiFi Alliance Passpoint roaming"),
+    ("digicert-bcr", "DigiCert Trusted Root G5", "DigiCert", "US", "Trusted intermediate elsewhere via Baltimore"),
+    ("sectigo-alt", "Sectigo Alternative Root", "Sectigo", "GB", "Apple/NSS trust the issuer via a different root"),
+    ("asseco-1", "Certum Trusted Root CA", "Asseco Data Systems", "PL", "Recently approved by NSS, awaiting addition"),
+    ("asseco-2", "Certum EC-384 CA", "Asseco Data Systems", "PL", "Recently approved by NSS, awaiting addition"),
+    ("asseco-3", "GLOBALTRUST 2020", "e-commerce monitoring GmbH", "AT", "Recently approved by NSS, awaiting addition"),
+)
+
+
+def _microsoft_exclusives() -> list[RootSpec]:
+    """Microsoft's thirty exclusive roots, reason-tagged per Appendix B."""
+    specs = []
+    for index, (suffix, cn, org, country, reason) in enumerate(_MS_EXCLUSIVE_ROWS):
+        year = 2008 + (index * 12) // len(_MS_EXCLUSIVE_ROWS)
+        overrides = {}
+        if suffix == "mtin":
+            # Expired Nov 2019 but retained by Microsoft's lax purge.
+            not_before = date(1999, 11, 15)
+            lifetime = 20
+        else:
+            not_before = date(year, 3, 1 + index % 27)
+            lifetime = 22
+        specs.append(
+            RootSpec(
+                slug=f"ms-excl-{suffix}",
+                common_name=cn,
+                organization=org,
+                country=country,
+                key_kind="ec" if "EC-384" in cn else "rsa",
+                key_param="secp384r1" if "EC-384" in cn else 2048,
+                digest="sha256" if year >= 2010 else "sha1",
+                not_before=not_before,
+                lifetime_years=lifetime,
+                programs=("microsoft",),
+                overrides=overrides,
+                tags=frozenset({"exclusive", "ms-exclusive"}),
+                note=reason,
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Email-only roots (the purpose-conflation analysis of Section 6.2).
+# ---------------------------------------------------------------------------
+
+
+def _email_only_roots() -> list[RootSpec]:
+    """NSS roots never trusted for TLS.
+
+    Fifteen "historic" roots leave NSS during 2016-2018 (expiry or CA
+    request); four "modern" ones persist to the study end.  Debian and
+    Ubuntu conflated all nineteen into TLS trust until 2017; Alpine
+    conflated the surviving four until 2020.
+    """
+    specs = []
+    for index in range(15):
+        year = 2004 + (index * 4) // 15
+        specs.append(
+            RootSpec(
+                slug=f"email-historic-{index + 1}",
+                common_name=f"Secure Email Authority {index + 1}",
+                organization=f"MailTrust {index + 1}",
+                country=("DE", "FR", "IT", "ES", "US")[index % 5],
+                key_kind="rsa",
+                key_param=1024 if index % 3 == 0 else 2048,
+                digest="sha1",
+                not_before=date(year, 5, 1 + index),
+                lifetime_years=13,
+                purposes=EMAIL_ONLY,
+                programs=("nss",),
+                overrides={
+                    "nss": Override(leave=date(2016 + (index * 3) // 15, 3 + index % 9, 1))
+                },
+                tags=frozenset({"email-only", "email-historic"}),
+            )
+        )
+    for index in range(4):
+        specs.append(
+            RootSpec(
+                slug=f"email-modern-{index + 1}",
+                common_name=f"Modern S/MIME Root {index + 1}",
+                organization=f"MailTrust Modern {index + 1}",
+                country=("NL", "SE", "CH", "AT")[index],
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha256",
+                not_before=date(2010 + index, 9, 12),
+                lifetime_years=25,
+                purposes=EMAIL_ONLY,
+                programs=("nss",),
+                tags=frozenset({"email-only", "email-modern"}),
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Non-NSS roots shipped by derivatives (Section 6.2).
+# ---------------------------------------------------------------------------
+
+
+def _derivative_custom_roots() -> list[RootSpec]:
+    """Roots that never sat in any root program but shipped in derivatives."""
+    specs: list[RootSpec] = []
+
+    rows = (
+        [("debian-infra", "Debian Infrastructure Root", "Debian", "US", 2)]
+        + [("spi", "Software in the Public Interest CA", "SPI Inc.", "US", 3)]
+        + [("cacert", "CAcert Class 1 Root", "CAcert Inc.", "AU", 3)]
+        + [("tp-internet", "TP Internet CA", "TP Internet Sp. z o.o.", "PL", 9)]
+        + [("gov-france-dcssi", "IGC/A (DCSSI)", "Gouvernement de la France", "FR", 1)]
+        + [("brazil-iti", "Autoridade Certificadora Raiz (ITI)", "Instituto Nacional de TI", "BR", 1)]
+    )
+    for prefix, cn, org, country, count in rows:
+        for index in range(count):
+            suffix = f"-{index + 1}" if count > 1 else ""
+            specs.append(
+                RootSpec(
+                    slug=f"nonnss-{prefix}{suffix}",
+                    common_name=f"{cn}{suffix.replace('-', ' #')}",
+                    organization=org,
+                    country=country,
+                    key_kind="rsa",
+                    key_param=1024,
+                    digest="sha1",
+                    not_before=date(2002, 3, 15),
+                    lifetime_years=15,
+                    purposes=TLS_ONLY,
+                    programs=(),
+                    tags=frozenset({"non-nss", "debian-custom"}),
+                    note="Shipped by Debian/Ubuntu outside any root program (2005-2015)",
+                )
+            )
+
+    specs.append(
+        RootSpec(
+            slug="thawte-premium-server",
+            common_name="Thawte Premium Server CA",
+            organization="Thawte Consulting cc",
+            country="ZA",
+            key_kind="rsa",
+            key_param=1024,
+            digest="md5",
+            not_before=date(1996, 8, 1),
+            lifetime_years=24,  # expires December 2020 in spirit
+            purposes=TLS_ONLY,
+            programs=(),
+            tags=frozenset({"non-nss", "amazon-custom"}),
+            note="Kept by Amazon Linux 2016-10 to 2020-12 despite never being an NSS root file entry",
+        )
+    )
+
+    specs.append(
+        RootSpec(
+            slug="valicert-root",
+            common_name="ValiCert Class 2 Policy Validation Authority",
+            organization="ValiCert, Inc.",
+            country="US",
+            key_kind="rsa",
+            key_param=1024,
+            digest="sha1",
+            not_before=date(1999, 6, 26),
+            lifetime_years=20,
+            purposes=TLS_EMAIL,
+            programs=("nss",),
+            overrides={"nss": Override(leave=date(2014, 6, 1), note="deprecated")},
+            tags=frozenset({"non-nss", "nodejs-custom"}),
+            note="Re-added by NodeJS for OpenSSL chain-building compatibility",
+        )
+    )
+    return specs
+
+
+def _addtrust_root() -> RootSpec:
+    """The AddTrust root whose May-2020 expiry broke half the internet.
+
+    Alpine manually removed it in June 2020 without taking a new NSS
+    version (Section 6.2's "customized trust removals").
+    """
+    return RootSpec(
+        slug="addtrust-legacy",
+        common_name="AddTrust External CA Root",
+        organization="AddTrust AB",
+        country="SE",
+        key_kind="rsa",
+        key_param=2048,
+        digest="sha1",
+        not_before=date(2000, 5, 30),
+        lifetime_years=20,
+        programs=PROGRAMS,
+        tags=frozenset({"addtrust"}),
+        note="Expired 2020-05-30; removed manually by Alpine ahead of its NSS base",
+    )
+
+
+def _java_transients() -> list[RootSpec]:
+    """Three Java-only roots dropped in the August 2018 churn."""
+    specs = []
+    for index in range(3):
+        specs.append(
+            RootSpec(
+                slug=f"java-only-{index + 1}",
+                common_name=f"Legacy JRE Root {index + 1}",
+                organization=f"JavaSoft Trust {index + 1}",
+                country="US",
+                key_kind="rsa",
+                key_param=2048,
+                digest="sha1",
+                not_before=date(2004 + index, 1, 20),
+                lifetime_years=20,
+                programs=("java",),
+                overrides={"java": Override(leave=JAVA_2018_DROP, note="Java 2018-08 batch removal")},
+                tags=frozenset({"java-transient"}),
+            )
+        )
+    return specs

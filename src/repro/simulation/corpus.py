@@ -1,0 +1,125 @@
+"""Corpus generation: the whole simulated dataset in one call.
+
+:func:`generate_corpus` mints every catalog certificate, drives the
+four root program policy engines and the six derivative engines, and
+returns a :class:`Corpus` — the paper's 619-snapshot data corpus plus
+the side tables (catalog, Apple revocation feed, slug/fingerprint
+maps) the analyses consult.
+
+Generation is fully deterministic.  The first run pays pure-Python RSA
+keygen for ~220 roots (a minute or so); the key pool cache makes every
+later run fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.simulation.catalog import build_catalog, catalog_by_slug
+from repro.simulation.derivatives import DERIVATIVE_POLICIES, build_derivative_history
+from repro.simulation.keypool import KeyPool
+from repro.simulation.minting import Mint
+from repro.simulation.model import RootSpec
+from repro.simulation.programs import (
+    POLICIES,
+    build_program_history,
+    collect_apple_revocations,
+)
+from repro.store.history import Dataset, StoreHistory
+from repro.x509.certificate import Certificate
+
+
+@dataclass
+class Corpus:
+    """The generated ecosystem: snapshot histories plus catalog context."""
+
+    dataset: Dataset
+    specs: list[RootSpec]
+    specs_by_slug: dict[str, RootSpec]
+    mint: Mint
+    #: Apple's out-of-band valid.apple.com revocations: slug -> date
+    apple_revocations: dict[str, date] = field(default_factory=dict)
+
+    def certificate(self, slug: str) -> Certificate:
+        """The certificate minted for a catalog slug."""
+        return self.mint.certificate_for(self.specs_by_slug[slug])
+
+    def fingerprint(self, slug: str) -> str:
+        return self.certificate(slug).fingerprint_sha256
+
+    def slug_for(self, fingerprint: str) -> str | None:
+        """Reverse lookup: certificate fingerprint -> catalog slug."""
+        return self.fingerprint_to_slug.get(fingerprint)
+
+    @property
+    def fingerprint_to_slug(self) -> dict[str, str]:
+        cached = getattr(self, "_fp_to_slug", None)
+        if cached is None:
+            cached = {
+                self.mint.certificate_for(spec).fingerprint_sha256: spec.slug
+                for spec in self.specs
+            }
+            object.__setattr__(self, "_fp_to_slug", cached)
+        return cached
+
+    def spec_for_fingerprint(self, fingerprint: str) -> RootSpec | None:
+        slug = self.slug_for(fingerprint)
+        return self.specs_by_slug.get(slug) if slug else None
+
+    @property
+    def programs(self) -> tuple[str, ...]:
+        return tuple(POLICIES)
+
+    @property
+    def derivatives(self) -> tuple[str, ...]:
+        return tuple(DERIVATIVE_POLICIES)
+
+
+def generate_corpus(
+    seed: str = "repro-catalog-v1", pool: KeyPool | None = None
+) -> Corpus:
+    """Generate the full simulated corpus.
+
+    Args:
+        seed: catalog seed; vary it to get a structurally identical but
+            cryptographically distinct ecosystem.
+        pool: key pool override (tests use throwaway pools).
+    """
+    specs = build_catalog(seed)
+    mint = Mint(pool)
+    mint.mint_all(specs)
+
+    dataset = Dataset()
+    for program in POLICIES:
+        history = StoreHistory(program)
+        for snapshot in build_program_history(program, specs, mint):
+            history.add(snapshot)
+        dataset.add_history(history)
+
+    nss_history = dataset["nss"]
+    specs_by_slug = catalog_by_slug(specs)
+    for provider in DERIVATIVE_POLICIES:
+        history = StoreHistory(provider)
+        for snapshot in build_derivative_history(provider, nss_history, specs_by_slug, mint):
+            history.add(snapshot)
+        dataset.add_history(history)
+
+    return Corpus(
+        dataset=dataset,
+        specs=specs,
+        specs_by_slug=specs_by_slug,
+        mint=mint,
+        apple_revocations=collect_apple_revocations(specs),
+    )
+
+
+_default_corpus: Corpus | None = None
+
+
+def default_corpus() -> Corpus:
+    """A process-wide shared corpus (analyses and benches reuse it)."""
+    global _default_corpus
+    if _default_corpus is None:
+        _default_corpus = generate_corpus()
+    return _default_corpus

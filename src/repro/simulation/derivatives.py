@@ -1,0 +1,361 @@
+"""NSS-derivative root store behaviour.
+
+Derivatives copy NSS with provider-specific lag, then deviate in the
+ways Section 6 catalogs: multi-purpose conflation of email-only roots,
+roots shipped outside any program, early/late incident responses,
+Symantec-distrust fallout, and ad-hoc re-additions.  Derivative
+formats cannot express partial distrust, so the copied entries are
+flattened to plain bundle trust — the design limitation at the heart of
+the paper's Section 6.2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.simulation import incidents
+from repro.simulation.minting import Mint
+from repro.simulation.model import RootSpec
+from repro.store.entry import TrustEntry
+from repro.store.history import StoreHistory
+from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class DerivativePolicy:
+    """Update behaviour of one NSS derivative."""
+
+    key: str
+    data_start: date
+    data_end: date
+    #: days between routine releases
+    cadence_days: int
+    #: how far behind NSS the copied state is, in days
+    lag_days: int
+    #: deterministic jitter added to the lag, in days (0..jitter)
+    lag_jitter_days: int = 0
+    #: include NSS email-only roots as TLS-trusted until this date
+    conflate_email_until: date | None = None
+    #: never refresh the NSS base past this date (Alpine froze pre-v53)
+    base_freeze: date | None = None
+    #: counterfactual mode: let incident responses emerge purely from
+    #: copying NSS with lag instead of pinning the documented dates
+    organic_responses: bool = False
+
+
+DEBIAN_POLICY = DerivativePolicy(
+    key="debian",
+    data_start=date(2005, 5, 15),
+    data_end=date(2021, 1, 15),
+    cadence_days=150,
+    lag_days=75,
+    lag_jitter_days=50,
+    conflate_email_until=date(2017, 3, 1),
+)
+
+UBUNTU_POLICY = DerivativePolicy(
+    key="ubuntu",
+    data_start=date(2003, 10, 15),
+    data_end=date(2021, 1, 15),
+    cadence_days=170,
+    lag_days=75,
+    lag_jitter_days=50,
+    conflate_email_until=date(2017, 3, 1),
+)
+
+NODEJS_POLICY = DerivativePolicy(
+    key="nodejs",
+    data_start=date(2015, 1, 15),
+    data_end=date(2021, 4, 15),
+    cadence_days=145,
+    lag_days=90,
+    lag_jitter_days=50,
+)
+
+ANDROID_POLICY = DerivativePolicy(
+    key="android",
+    data_start=date(2016, 8, 15),
+    data_end=date(2020, 12, 15),
+    cadence_days=115,
+    lag_days=190,
+    lag_jitter_days=90,
+)
+
+AMAZONLINUX_POLICY = DerivativePolicy(
+    key="amazonlinux",
+    data_start=date(2016, 10, 15),
+    data_end=date(2021, 3, 26),
+    cadence_days=38,
+    lag_days=150,
+    lag_jitter_days=60,
+)
+
+ALPINE_POLICY = DerivativePolicy(
+    key="alpine",
+    data_start=date(2019, 3, 15),
+    data_end=date(2021, 4, 15),
+    cadence_days=19,
+    lag_days=25,
+    lag_jitter_days=20,
+    conflate_email_until=date(2020, 2, 1),
+    # Alpine tracked NSS tightly but never took the late-2020 updates,
+    # postponing the bulk of the Symantec distrust (10 of 13 roots
+    # still trusted at its last snapshot).
+    base_freeze=date(2020, 11, 1),
+)
+
+DERIVATIVE_POLICIES: dict[str, DerivativePolicy] = {
+    p.key: p
+    for p in (
+        DEBIAN_POLICY,
+        UBUNTU_POLICY,
+        NODEJS_POLICY,
+        ANDROID_POLICY,
+        AMAZONLINUX_POLICY,
+        ALPINE_POLICY,
+    )
+}
+
+#: Roots NodeJS preserved by skipping the NSS v53 update (Section 6.2).
+_NODEJS_PRESERVED = tuple(
+    list(incidents.SYMANTEC_BATCH_1.root_slugs)
+    + list(incidents.SYMANTEC_BATCH_2.root_slugs)
+    + ["twca-root", "sk-id-root"]
+)
+
+#: The Symantec roots Debian/Ubuntu removed prematurely (11 of 12 — they
+#: curiously retained GeoTrust Universal CA 2, symantec-legacy-1 here).
+_DEBIAN_SYMANTEC_REMOVED = tuple(
+    slug
+    for slug in (
+        list(incidents.SYMANTEC_BATCH_1.root_slugs) + list(incidents.SYMANTEC_BATCH_2.root_slugs)
+    )
+    if slug != "symantec-legacy-1"
+)
+
+#: Android never carried these roots at all.
+_ANDROID_NEVER = ("pspprocert", "cnnic-ev-root")
+
+#: Alpine manually removed the expired AddTrust root without updating NSS.
+ALPINE_ADDTRUST_REMOVAL = date(2020, 6, 15)
+ADDTRUST_SLUG = "addtrust-legacy"
+
+#: Amazon Linux custom re-addition windows (Section 6.2).
+AMAZON_WEAK_READD_END = date(2018, 12, 15)
+AMAZON_EXPIRED_READD = (date(2018, 3, 1), date(2018, 9, 15))
+AMAZON_THAWTE_WINDOW = (date(2016, 10, 15), date(2020, 12, 20))
+
+#: NodeJS ValiCert re-add window.
+NODEJS_VALICERT_WINDOW = (date(2015, 1, 15), date(2018, 4, 24))
+
+#: Debian/Ubuntu shipped their 19 non-program roots until mid-2015.
+DEBIAN_NONNSS_END = date(2015, 6, 1)
+
+
+def derivative_schedule(policy: DerivativePolicy) -> list[date]:
+    """Routine cadence dates plus every incident-response date."""
+    dates: set[date] = set()
+    cursor = policy.data_start
+    while cursor <= policy.data_end:
+        dates.add(cursor)
+        cursor = cursor + timedelta(days=policy.cadence_days)
+    dates.add(policy.data_end)
+    for event in incidents.all_event_dates(policy.key):
+        if policy.data_start <= event <= policy.data_end:
+            dates.add(event)
+    if policy.key in ("debian", "ubuntu"):
+        dates.add(incidents.DEBIAN_SYMANTEC_REMOVAL)
+        dates.add(incidents.DEBIAN_SYMANTEC_READD)
+        if policy.conflate_email_until:
+            dates.add(policy.conflate_email_until)
+    if policy.key == "alpine":
+        dates.add(ALPINE_ADDTRUST_REMOVAL)
+        if policy.conflate_email_until:
+            dates.add(policy.conflate_email_until)
+    if policy.key == "amazonlinux":
+        dates.add(AMAZON_WEAK_READD_END)
+        dates.update(AMAZON_EXPIRED_READD)
+    return sorted(d for d in dates if policy.data_start <= d <= policy.data_end)
+
+
+def _lag_for(policy: DerivativePolicy, when: date) -> int:
+    """Deterministic per-release lag (base + jitter)."""
+    if not policy.lag_jitter_days:
+        return policy.lag_days
+    digest = hashlib.sha256(f"{policy.key}/{when.isoformat()}".encode()).digest()
+    return policy.lag_days + digest[0] % (policy.lag_jitter_days + 1)
+
+
+def _bundle_entry(cert, purposes=BUNDLE_PURPOSES) -> TrustEntry:
+    return TrustEntry.make(
+        cert, purposes={purpose: TrustLevel.TRUSTED for purpose in purposes}
+    )
+
+
+def build_derivative_history(
+    provider: str,
+    nss_history: StoreHistory,
+    specs_by_slug: dict[str, RootSpec],
+    mint: Mint,
+    *,
+    policy: DerivativePolicy | None = None,
+) -> list[RootStoreSnapshot]:
+    """Generate one derivative's snapshot timeline from the NSS history.
+
+    ``policy`` overrides the registered behaviour — the counterfactual
+    hook ("what if Amazon Linux copied NSS with half the lag?") used by
+    the lag-sensitivity ablation.
+    """
+    if policy is None:
+        policy = DERIVATIVE_POLICIES[provider]
+    slug_fingerprint = {
+        slug: mint.certificate_for(spec).fingerprint_sha256
+        for slug, spec in specs_by_slug.items()
+    }
+    fingerprint_slug = {fp: slug for slug, fp in slug_fingerprint.items()}
+
+    # First NSS appearance per fingerprint, for incident force-inclusion.
+    nss_first_seen: dict[str, date] = {}
+    for snapshot in nss_history:
+        for fp in snapshot.fingerprints():
+            nss_first_seen.setdefault(fp, snapshot.taken_at)
+
+    # Incident-response removal dates for this provider.
+    responses: dict[str, date] = {}
+    for incident in incidents.INCIDENTS:
+        response = incident.responses.get(provider)
+        if response is not None:
+            for slug in incident.root_slugs:
+                responses[slug] = response
+
+    snapshots: list[RootStoreSnapshot] = []
+    for when in derivative_schedule(policy):
+        base_date = when - timedelta(days=_lag_for(policy, when))
+        if policy.base_freeze is not None:
+            base_date = min(base_date, policy.base_freeze)
+        base = nss_history.at(base_date)
+        if base is None:
+            base = nss_history.snapshots[0]
+
+        conflating = (
+            policy.conflate_email_until is not None and when < policy.conflate_email_until
+        )
+        members: dict[str, TrustEntry] = {}
+        for entry in base.entries:
+            include = entry.is_tls_trusted
+            if conflating and entry.is_trusted_for(TrustPurpose.EMAIL_PROTECTION):
+                include = True
+            if include:
+                members[entry.fingerprint] = _bundle_entry(entry.certificate)
+
+        if not policy.organic_responses:
+            _apply_incident_windows(
+                provider, when, members, responses, slug_fingerprint, nss_first_seen, mint, specs_by_slug
+            )
+        _apply_custom_behaviour(policy, when, members, specs_by_slug, slug_fingerprint, mint)
+
+        # 'Never carried' exclusions run last so nothing re-adds them.
+        if provider == "android":
+            for slug in _ANDROID_NEVER:
+                members.pop(slug_fingerprint.get(slug, ""), None)
+
+        snapshots.append(
+            RootStoreSnapshot.build(provider, when, base.version, members.values())
+        )
+    _ = fingerprint_slug
+    return snapshots
+
+
+def _apply_incident_windows(
+    provider: str,
+    when: date,
+    members: dict[str, TrustEntry],
+    responses: dict[str, date],
+    slug_fingerprint: dict[str, str],
+    nss_first_seen: dict[str, date],
+    mint: Mint,
+    specs_by_slug: dict[str, RootSpec],
+) -> None:
+    """Pin incident roots to the provider's documented response window."""
+    for slug, removal in responses.items():
+        fp = slug_fingerprint.get(slug)
+        if fp is None:
+            continue
+        if when >= removal:
+            members.pop(fp, None)
+        else:
+            first = nss_first_seen.get(fp)
+            if first is not None and first <= when and fp not in members:
+                members[fp] = _bundle_entry(mint.certificate_for(specs_by_slug[slug]))
+
+
+def _apply_custom_behaviour(
+    policy: DerivativePolicy,
+    when: date,
+    members: dict[str, TrustEntry],
+    specs_by_slug: dict[str, RootSpec],
+    slug_fingerprint: dict[str, str],
+    mint: Mint,
+) -> None:
+    """The provider-specific bespoke modifications of Section 6.2."""
+    provider = policy.key
+
+    def add(slug: str) -> None:
+        spec = specs_by_slug.get(slug)
+        if spec is not None:
+            members[slug_fingerprint[slug]] = _bundle_entry(mint.certificate_for(spec))
+
+    def remove(slug: str) -> None:
+        members.pop(slug_fingerprint.get(slug, ""), None)
+
+    if provider in ("debian", "ubuntu"):
+        # 19 roots outside any root program, shipped 2005-2015.
+        if when < DEBIAN_NONNSS_END:
+            for slug, spec in specs_by_slug.items():
+                if spec.has_tag("debian-custom"):
+                    add(slug)
+        # Premature Symantec removal, then the complaint-driven re-add.
+        if incidents.DEBIAN_SYMANTEC_REMOVAL <= when < incidents.DEBIAN_SYMANTEC_READD:
+            for slug in _DEBIAN_SYMANTEC_REMOVED:
+                remove(slug)
+
+    elif provider == "nodejs":
+        if NODEJS_VALICERT_WINDOW[0] <= when < NODEJS_VALICERT_WINDOW[1]:
+            add("valicert-root")
+        # Skipped NSS v53: Symantec, TWCA, and SK ID persist.
+        for slug in _NODEJS_PRESERVED:
+            spec = specs_by_slug.get(slug)
+            if spec is None:
+                continue
+            override = spec.override_for("nss")
+            if override.leave is not None and when >= override.leave:
+                add(slug)
+
+    elif provider == "amazonlinux":
+        if AMAZON_THAWTE_WINDOW[0] <= when < AMAZON_THAWTE_WINDOW[1]:
+            add("thawte-premium-server")
+        if when < AMAZON_WEAK_READD_END:
+            # Re-added the 1024-bit roots NSS purged in 2015-10.
+            for slug, spec in specs_by_slug.items():
+                if (
+                    spec.has_tag("common")
+                    and spec.key_kind == "rsa"
+                    and int(spec.key_param) <= 1024
+                    and spec.not_after > when
+                ):
+                    add(slug)
+        if AMAZON_EXPIRED_READD[0] <= when < AMAZON_EXPIRED_READD[1]:
+            # A brief batch of expired / CA-requested-removal re-adds.
+            readded = 0
+            for slug in sorted(specs_by_slug):
+                spec = specs_by_slug[slug]
+                if spec.has_tag("era-a") and spec.not_after < when and readded < 13:
+                    add(slug)
+                    readded += 1
+
+    elif provider == "alpine":
+        if when >= ALPINE_ADDTRUST_REMOVAL:
+            remove(ADDTRUST_SLUG)

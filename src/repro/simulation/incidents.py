@@ -1,0 +1,218 @@
+"""The CA incident registry (Tables 4 and 7 of the paper).
+
+Every high/medium-severity NSS removal since 2010, with the response
+dates each root store exhibited.  The simulator consumes this registry
+to schedule removals; the analysis layer then *re-measures* the lags
+from the generated snapshot histories, closing the loop.
+
+Dates are the paper's published values.  ``None`` in a response map
+means "still trusted at the end of the study"; absence means the
+provider never carried the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One NSS removal event."""
+
+    key: str
+    severity: str  # "high" | "medium" | "low"
+    nss_removal: date
+    bugzilla_id: str
+    description: str
+    #: slugs of the catalog roots this incident removes
+    root_slugs: tuple[str, ...]
+    #: provider key -> trusted-until date (None = still trusted at study end)
+    responses: dict[str, date | None] = field(default_factory=dict)
+
+
+DIGINOTAR = Incident(
+    key="diginotar",
+    severity="high",
+    nss_removal=date(2011, 10, 6),
+    bugzilla_id="682927",
+    description="DigiNotar compromise: forged certificates for high-profile sites",
+    root_slugs=("diginotar-root",),
+    responses={
+        "microsoft": date(2011, 8, 30),
+        "apple": date(2011, 10, 12),
+        "debian": date(2011, 10, 22),
+        "ubuntu": date(2011, 10, 22),
+    },
+)
+
+CNNIC = Incident(
+    key="cnnic",
+    severity="high",
+    nss_removal=date(2017, 7, 27),
+    bugzilla_id="1380868",
+    description="CNNIC removal after the MCS intermediate misissuance",
+    root_slugs=("cnnic-root", "cnnic-ev-root"),
+    responses={
+        "apple": date(2015, 6, 30),  # preemptive removal + leaf whitelist
+        "android": date(2017, 12, 5),
+        "debian": date(2018, 4, 9),
+        "ubuntu": date(2018, 4, 9),
+        "nodejs": date(2018, 4, 24),
+        "amazonlinux": date(2019, 2, 18),
+        "microsoft": date(2020, 2, 26),
+    },
+)
+
+STARTCOM = Incident(
+    key="startcom",
+    severity="high",
+    nss_removal=date(2017, 11, 14),
+    bugzilla_id="1392849",
+    description="StartCom removal: stealth WoSign acquisition, shared issuance",
+    root_slugs=("startcom-ca", "startcom-ca-g2", "startcom-ca-g3"),
+    responses={
+        "debian": date(2017, 7, 17),
+        "ubuntu": date(2017, 7, 17),
+        "microsoft": date(2017, 9, 22),
+        "android": date(2017, 12, 5),
+        "nodejs": date(2018, 4, 24),
+        "amazonlinux": date(2019, 2, 18),
+        "apple": None,  # one root still trusted (two revoked, none removed)
+    },
+)
+
+WOSIGN = Incident(
+    key="wosign",
+    severity="high",
+    nss_removal=date(2017, 11, 14),
+    bugzilla_id="1387260",
+    description="WoSign removal: backdated SHA-1 issuance, undisclosed acquisition",
+    root_slugs=("wosign-ca", "wosign-ca-g2", "wosign-china", "wosign-ecc"),
+    responses={
+        "debian": date(2017, 7, 17),
+        "ubuntu": date(2017, 7, 17),
+        "microsoft": date(2017, 9, 22),
+        "android": date(2017, 12, 5),
+        "nodejs": date(2018, 4, 24),
+        "amazonlinux": date(2019, 2, 18),
+        # Apple never included WoSign roots.
+    },
+)
+
+PROCERT = Incident(
+    key="procert",
+    severity="high",
+    nss_removal=date(2017, 11, 14),
+    bugzilla_id="1408080",
+    description="PSPProcert removal after repeated transgressions",
+    root_slugs=("pspprocert",),
+    responses={
+        "debian": date(2018, 4, 9),
+        "ubuntu": date(2018, 4, 9),
+        "nodejs": date(2018, 4, 24),
+        "amazonlinux": date(2019, 2, 18),
+        # Never in Apple, Microsoft, Java, or Android.
+    },
+)
+
+CERTINOMIS = Incident(
+    key="certinomis",
+    severity="high",
+    nss_removal=date(2019, 7, 5),
+    bugzilla_id="1552374",
+    description="Certinomis removal: cross-signed distrusted StartCom, delayed disclosure",
+    root_slugs=("certinomis-root",),
+    responses={
+        "nodejs": date(2019, 10, 22),
+        "alpine": date(2020, 3, 23),
+        "debian": date(2020, 6, 1),
+        "ubuntu": date(2020, 6, 1),
+        "android": date(2020, 9, 7),
+        "amazonlinux": date(2021, 3, 26),
+        "apple": None,  # revoked via valid.apple.com 2021-01-01, never removed
+        "microsoft": None,  # still trusted at study end
+    },
+)
+
+#: Apple's valid.apple.com revocation date for the Certinomis root.
+CERTINOMIS_APPLE_REVOKE = date(2021, 1, 1)
+
+SYMANTEC_BATCH_1 = Incident(
+    key="symantec-batch-1",
+    severity="medium",
+    nss_removal=date(2020, 6, 26),
+    bugzilla_id="1618402",
+    description="Symantec distrust: root certificates ready to be removed (first batch)",
+    root_slugs=("symantec-class3-g1", "symantec-class3-g2", "symantec-class3-g3"),
+)
+
+TAIWAN_GRCA = Incident(
+    key="taiwan-grca",
+    severity="medium",
+    nss_removal=date(2020, 9, 18),
+    bugzilla_id="1656077",
+    description="Taiwan Government Root CA misissuance",
+    root_slugs=("taiwan-grca",),
+)
+
+SYMANTEC_BATCH_2 = Incident(
+    key="symantec-batch-2",
+    severity="medium",
+    nss_removal=date(2020, 12, 11),
+    bugzilla_id="1670769",
+    description="Symantec distrust: root certificates ready to be removed (second batch)",
+    root_slugs=tuple(f"symantec-legacy-{i}" for i in range(1, 11)),
+)
+
+#: All registered incidents, newest first (Table 7 ordering).
+INCIDENTS: tuple[Incident, ...] = (
+    CERTINOMIS,
+    STARTCOM,
+    PROCERT,
+    WOSIGN,
+    CNNIC,
+    DIGINOTAR,
+    SYMANTEC_BATCH_2,
+    TAIWAN_GRCA,
+    SYMANTEC_BATCH_1,
+)
+
+HIGH_SEVERITY: tuple[Incident, ...] = tuple(i for i in INCIDENTS if i.severity == "high")
+
+#: NSS version 53 landed the server-distrust-after markings (Section 6.2).
+SYMANTEC_DISTRUST_MARKING = date(2020, 5, 15)
+#: The server-distrust-after value NSS stamped on Symantec roots.
+SYMANTEC_DISTRUST_AFTER = date(2019, 4, 16)
+#: Debian/Ubuntu removed 11 of 12 Symantec roots days after NSS v53 ...
+DEBIAN_SYMANTEC_REMOVAL = date(2020, 6, 1)
+#: ... then re-added them after the NuGet/user-complaint fallout.
+DEBIAN_SYMANTEC_READD = date(2020, 7, 20)
+
+#: TWCA (policy violations) and SK ID (CA request) also left in NSS v53;
+#: NodeJS skipped that update and kept both.
+TWCA_REMOVAL = date(2020, 6, 26)
+SK_ID_REMOVAL = date(2020, 6, 26)
+
+
+def incident_by_key(key: str) -> Incident:
+    for incident in INCIDENTS:
+        if incident.key == key:
+            return incident
+    raise KeyError(f"unknown incident {key!r}")
+
+
+def all_event_dates(provider: str) -> list[date]:
+    """Every date on which ``provider`` reacted to an incident.
+
+    Snapshot schedules must include these dates so removals surface in
+    a snapshot taken exactly when the paper says they did.
+    """
+    dates: set[date] = set()
+    for incident in INCIDENTS:
+        if provider == "nss":
+            dates.add(incident.nss_removal)
+        response = incident.responses.get(provider)
+        if response is not None:
+            dates.add(response)
+    return sorted(dates)

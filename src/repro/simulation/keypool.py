@@ -1,0 +1,129 @@
+"""Deterministic key pool with an on-disk cache.
+
+Pure-Python RSA keygen costs ~0.1-0.6 s per key, and the simulated
+ecosystem needs a few hundred root keys.  Keys are a pure function of
+(pool seed, label, parameters), so we memoize them in a JSON cache that
+persists across runs: the first corpus generation populates it, later
+runs load instantly.  Deleting the cache file only costs time, never
+changes results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.crypto.ec import CURVES, Curve, ECPrivateKey, generate_ec_key
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RSAPrivateKey, generate_rsa_key
+
+#: Default cache location: alongside the package, overridable via env.
+_ENV_VAR = "REPRO_KEYPOOL"
+
+
+def default_pool_path() -> Path:
+    override = os.environ.get(_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "_keypool.json"
+
+
+class KeyPool:
+    """Deterministic, disk-cached key factory."""
+
+    def __init__(self, seed: str = "repro-keypool-v1", path: Path | None = None):
+        self._seed = seed
+        self._path = path if path is not None else default_pool_path()
+        self._rsa: dict[str, RSAPrivateKey] = {}
+        self._ec: dict[str, ECPrivateKey] = {}
+        self._dirty = False
+        self._load()
+
+    # -- public API ---------------------------------------------------------
+
+    def rsa(self, label: str, bits: int) -> RSAPrivateKey:
+        """The RSA key for ``label`` at ``bits``, generating on first use."""
+        cache_key = f"rsa/{bits}/{label}"
+        key = self._rsa.get(cache_key)
+        if key is None:
+            rng = DeterministicRandom(self._seed).fork(cache_key)
+            key = generate_rsa_key(bits, rng)
+            self._rsa[cache_key] = key
+            self._dirty = True
+        return key
+
+    def ec(self, label: str, curve_name: str = "secp256r1") -> ECPrivateKey:
+        """The EC key for ``label`` on the named curve."""
+        cache_key = f"ec/{curve_name}/{label}"
+        key = self._ec.get(cache_key)
+        if key is None:
+            curve = CURVES[curve_name]
+            rng = DeterministicRandom(self._seed).fork(cache_key)
+            key = generate_ec_key(curve, rng)
+            self._ec[cache_key] = key
+            self._dirty = True
+        return key
+
+    def save(self) -> None:
+        """Persist newly generated keys; no-op when nothing changed."""
+        if not self._dirty:
+            return
+        payload = {
+            "seed": self._seed,
+            "rsa": {
+                label: {
+                    "n": hex(k.n),
+                    "e": k.e,
+                    "d": hex(k.d),
+                    "p": hex(k.p),
+                    "q": hex(k.q),
+                }
+                for label, k in sorted(self._rsa.items())
+            },
+            "ec": {
+                label: {"curve": k.curve.name, "d": hex(k.d)}
+                for label, k in sorted(self._ec.items())
+            },
+        }
+        tmp = self._path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=0))
+        tmp.replace(self._path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._rsa) + len(self._ec)
+
+    # -- persistence ----------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        try:
+            payload = json.loads(self._path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # a corrupt cache only costs regeneration time
+        if payload.get("seed") != self._seed:
+            return
+        for label, parts in payload.get("rsa", {}).items():
+            self._rsa[label] = RSAPrivateKey(
+                n=int(parts["n"], 16),
+                e=int(parts["e"]),
+                d=int(parts["d"], 16),
+                p=int(parts["p"], 16),
+                q=int(parts["q"], 16),
+            )
+        for label, parts in payload.get("ec", {}).items():
+            curve: Curve = CURVES[parts["curve"]]
+            self._ec[label] = ECPrivateKey(curve=curve, d=int(parts["d"], 16))
+
+
+_shared_pool: KeyPool | None = None
+
+
+def shared_pool() -> KeyPool:
+    """The process-wide pool (what the simulator uses by default)."""
+    global _shared_pool
+    if _shared_pool is None:
+        _shared_pool = KeyPool()
+    return _shared_pool

@@ -1,0 +1,73 @@
+"""Certificate minting: RootSpec -> real, signed X.509 certificate.
+
+Each catalog spec maps to exactly one certificate, minted once per
+process and cached.  Keys come from the persistent
+:class:`~repro.simulation.keypool.KeyPool`; serial numbers derive from
+the slug so output is stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.asn1.oid import BR_ORGANIZATION_VALIDATED
+from repro.simulation.keypool import KeyPool, shared_pool
+from repro.simulation.model import RootSpec, as_utc
+from repro.x509.builder import CertificateBuilder, PrivateKey
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import CertificatePolicies
+from repro.x509.name import Name
+
+
+class Mint:
+    """Builds and caches one certificate per catalog spec."""
+
+    def __init__(self, pool: KeyPool | None = None):
+        self._pool = pool if pool is not None else shared_pool()
+        self._certs: dict[str, Certificate] = {}
+        self._keys: dict[str, PrivateKey] = {}
+
+    def key_for(self, spec: RootSpec) -> PrivateKey:
+        key = self._keys.get(spec.slug)
+        if key is None:
+            if spec.key_kind == "rsa":
+                key = self._pool.rsa(spec.slug, int(spec.key_param))
+            elif spec.key_kind == "ec":
+                key = self._pool.ec(spec.slug, str(spec.key_param))
+            else:
+                raise ValueError(f"unknown key kind {spec.key_kind!r} for {spec.slug}")
+            self._keys[spec.slug] = key
+        return key
+
+    def certificate_for(self, spec: RootSpec) -> Certificate:
+        cert = self._certs.get(spec.slug)
+        if cert is None:
+            cert = self._build(spec)
+            self._certs[spec.slug] = cert
+        return cert
+
+    def mint_all(self, specs: list[RootSpec]) -> dict[str, Certificate]:
+        """Mint every spec (populating the key pool), return slug->cert."""
+        result = {spec.slug: self.certificate_for(spec) for spec in specs}
+        self._pool.save()
+        return result
+
+    def _build(self, spec: RootSpec) -> Certificate:
+        key = self.key_for(spec)
+        serial = int.from_bytes(hashlib.sha256(spec.slug.encode()).digest()[:8], "big") | 1
+        subject = Name.build(
+            common_name=spec.common_name,
+            organization=spec.organization,
+            country=spec.country,
+        )
+        builder = (
+            CertificateBuilder()
+            .subject(subject)
+            .serial(serial)
+            .valid(as_utc(spec.not_before), as_utc(spec.not_after))
+            .ca(True)
+            .add_extension(
+                CertificatePolicies(policy_oids=(BR_ORGANIZATION_VALIDATED,)).to_extension()
+            )
+        )
+        return builder.self_sign(key, spec.digest)

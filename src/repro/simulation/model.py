@@ -1,0 +1,123 @@
+"""Simulation data model: root specifications and membership overrides.
+
+The simulated ecosystem is *declarative*: a catalog of
+:class:`RootSpec` records describes every root CA certificate that ever
+existed in the simulated Web PKI — its cryptographic parameters, its
+general trust purposes, which root programs carry it, and any
+program-specific deviations (:class:`Override`).  Policy engines then
+turn the catalog into per-program snapshot timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, time, timezone
+
+from repro.store.purposes import TrustPurpose
+
+#: Shorthand purpose tuples used throughout the catalog.
+TLS_ONLY = (TrustPurpose.SERVER_AUTH,)
+TLS_EMAIL = (TrustPurpose.SERVER_AUTH, TrustPurpose.EMAIL_PROTECTION)
+EMAIL_ONLY = (TrustPurpose.EMAIL_PROTECTION,)
+ALL_PURPOSES = (
+    TrustPurpose.SERVER_AUTH,
+    TrustPurpose.EMAIL_PROTECTION,
+    TrustPurpose.CODE_SIGNING,
+)
+
+
+def as_utc(day: date) -> datetime:
+    """Midnight UTC of a calendar date (certificates need datetimes)."""
+    return datetime.combine(day, time.min, tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True)
+class Override:
+    """Program-specific deviation from a root's default treatment.
+
+    ``never`` excludes the root from the program entirely.  ``join`` and
+    ``leave`` pin exact inclusion/removal dates (Table 4's response
+    dates are expressed this way).  ``distrust_after`` plus
+    ``distrust_from`` model NSS-style partial distrust: from
+    ``distrust_from`` onward, the store marks the root with the given
+    server-distrust-after date.  ``revoke_from`` models Apple's
+    valid.apple.com channel: the root stays in the store but flips to
+    DISTRUSTED.  ``purposes`` restricts trust purposes in that program.
+    """
+
+    join: date | None = None
+    leave: date | None = None
+    never: bool = False
+    distrust_after: date | None = None
+    distrust_from: date | None = None
+    revoke_from: date | None = None
+    purposes: tuple[TrustPurpose, ...] | None = None
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class RootSpec:
+    """One root CA certificate in the simulated ecosystem."""
+
+    slug: str
+    common_name: str
+    organization: str
+    country: str
+    #: "rsa" or "ec"
+    key_kind: str
+    #: modulus bits for RSA, curve name for EC
+    key_param: int | str
+    #: signature digest: "md5", "sha1", "sha256"
+    digest: str
+    not_before: date
+    lifetime_years: int
+    #: what the CA is generally trusted for (programs may restrict further)
+    purposes: tuple[TrustPurpose, ...] = TLS_EMAIL
+    #: program keys that include this root by default
+    programs: tuple[str, ...] = ()
+    overrides: dict[str, Override] = field(default_factory=dict)
+    tags: frozenset[str] = frozenset()
+    #: free-text provenance note (surfaces in Table 6 reproductions)
+    note: str = ""
+
+    @property
+    def not_after(self) -> date:
+        """Expiry date (simple year arithmetic, clamped for Feb 29)."""
+        try:
+            return self.not_before.replace(year=self.not_before.year + self.lifetime_years)
+        except ValueError:  # Feb 29 in a non-leap target year
+            return self.not_before.replace(month=2, day=28, year=self.not_before.year + self.lifetime_years)
+
+    def override_for(self, program: str) -> Override:
+        return self.overrides.get(program, _NO_OVERRIDE)
+
+    def in_program(self, program: str) -> bool:
+        """Whether this root is slated for a program at all."""
+        override = self.override_for(program)
+        if override.never:
+            return False
+        return program in self.programs or program in self.overrides
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+
+_NO_OVERRIDE = Override()
+
+
+def month_add(day: date, months: int) -> date:
+    """Shift a date by whole months, clamping the day-of-month."""
+    month_index = day.year * 12 + (day.month - 1) + months
+    year, month = divmod(month_index, 12)
+    month += 1
+    clamp = min(
+        day.day,
+        [31, 29 if year % 4 == 0 and (year % 100 != 0 or year % 400 == 0) else 28,
+         31, 30, 31, 30, 31, 31, 30, 31, 30, 31][month - 1],
+    )
+    return date(year, month, clamp)
+
+
+def months_between(start: date, end: date) -> float:
+    """Fractional months from start to end (used for cadence math)."""
+    return (end - start).days / 30.4375

@@ -1,0 +1,292 @@
+"""Root program policy engines.
+
+Turns the declarative catalog into per-program membership windows and
+snapshot timelines.  Each program has a policy tuned to the paper's
+observed behaviour: NSS purges weak crypto early and drops expired
+roots fast; Microsoft purges late and retains expired roots for years;
+Apple sits between; Java runs a small, slow store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.simulation import incidents
+from repro.simulation.minting import Mint
+from repro.simulation.model import ALL_PURPOSES, Override, RootSpec, as_utc, month_add
+from repro.store.entry import TrustEntry
+from repro.store.purposes import TrustLevel, TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class ProgramPolicy:
+    """Operational parameters of one independent root program."""
+
+    key: str
+    data_start: date
+    data_end: date
+    #: months between routine snapshots (ignored when schedule is explicit)
+    cadence_months: int
+    #: base months between a root's creation and this program's inclusion
+    adoption_delay_months: int
+    #: date all MD5-signed roots are purged (None = not during study)
+    md5_purge: date | None
+    #: date all RSA<=1024 roots are purged
+    weak_rsa_purge: date | None
+    #: how long an expired root lingers before removal
+    expired_retention_days: int
+    #: Apple ships multi-purpose trust by default (Section 5.2)
+    default_all_purposes: bool = False
+    #: explicit snapshot dates (Java's seven releases)
+    explicit_schedule: tuple[date, ...] = ()
+    #: date ranges with no releases (Apple's 2012-2014 stagnation)
+    freeze_ranges: tuple[tuple[date, date], ...] = ()
+    #: fraction (percent) of routine snapshots skipped, deterministically
+    skip_percent: int = 0
+
+
+NSS_POLICY = ProgramPolicy(
+    key="nss",
+    data_start=date(2000, 10, 15),
+    data_end=date(2021, 5, 15),
+    cadence_months=1,
+    adoption_delay_months=2,
+    md5_purge=date(2016, 2, 1),
+    weak_rsa_purge=date(2015, 10, 1),
+    expired_retention_days=60,
+    skip_percent=10,
+)
+
+APPLE_POLICY = ProgramPolicy(
+    key="apple",
+    data_start=date(2002, 8, 15),
+    data_end=date(2021, 2, 15),
+    cadence_months=2,
+    adoption_delay_months=7,
+    md5_purge=date(2016, 9, 1),
+    weak_rsa_purge=date(2015, 9, 1),
+    expired_retention_days=500,
+    default_all_purposes=True,
+    freeze_ranges=((date(2012, 10, 1), date(2014, 1, 31)),),
+)
+
+MICROSOFT_POLICY = ProgramPolicy(
+    key="microsoft",
+    data_start=date(2006, 12, 15),
+    data_end=date(2021, 3, 15),
+    cadence_months=2,
+    adoption_delay_months=4,
+    md5_purge=date(2018, 3, 1),
+    weak_rsa_purge=date(2017, 9, 1),
+    expired_retention_days=1600,
+)
+
+JAVA_POLICY = ProgramPolicy(
+    key="java",
+    data_start=date(2018, 3, 20),
+    data_end=date(2021, 2, 15),
+    cadence_months=6,
+    adoption_delay_months=10,
+    md5_purge=date(2019, 1, 20),
+    weak_rsa_purge=date(2021, 2, 1),
+    expired_retention_days=200,
+    explicit_schedule=(
+        date(2018, 3, 20),
+        date(2018, 8, 15),
+        date(2019, 2, 15),
+        date(2019, 7, 15),
+        date(2020, 1, 15),
+        date(2020, 7, 15),
+        date(2021, 2, 15),
+    ),
+)
+
+POLICIES: dict[str, ProgramPolicy] = {
+    p.key: p for p in (NSS_POLICY, APPLE_POLICY, MICROSOFT_POLICY, JAVA_POLICY)
+}
+
+
+@dataclass(frozen=True)
+class Membership:
+    """One root's tenure in one program."""
+
+    spec: RootSpec
+    join: date
+    #: first snapshot date at which the root is absent (None = to study end)
+    leave: date | None
+    purposes: tuple[TrustPurpose, ...]
+    distrust_after: date | None = None
+    distrust_from: date | None = None
+
+    def present_at(self, when: date) -> bool:
+        if when < self.join:
+            return False
+        return self.leave is None or when < self.leave
+
+
+def _jitter_months(slug: str, program: str, spread: int = 5) -> int:
+    """Deterministic 0..spread month jitter per (root, program)."""
+    digest = hashlib.sha256(f"{slug}/{program}".encode()).digest()
+    return digest[0] % (spread + 1)
+
+
+def compute_membership(spec: RootSpec, policy: ProgramPolicy) -> Membership | None:
+    """The membership window for ``spec`` in ``policy``'s program, or None."""
+    program = policy.key
+    if not spec.in_program(program):
+        return None
+    override = spec.override_for(program)
+    if override.never:
+        return None
+
+    if override.join is not None:
+        join = max(override.join, policy.data_start)
+    else:
+        organic = month_add(
+            spec.not_before,
+            policy.adoption_delay_months + _jitter_months(spec.slug, program),
+        )
+        join = max(organic, policy.data_start)
+
+    leave_candidates: list[date] = []
+    if override.leave is not None:
+        leave_candidates.append(override.leave)
+    if policy.md5_purge and spec.digest == "md5" and policy.md5_purge > join:
+        leave_candidates.append(policy.md5_purge)
+    if (
+        policy.weak_rsa_purge
+        and spec.key_kind == "rsa"
+        and int(spec.key_param) <= 1024
+        and policy.weak_rsa_purge > join
+    ):
+        leave_candidates.append(policy.weak_rsa_purge)
+    retention_leave = spec.not_after + timedelta(days=policy.expired_retention_days)
+    if retention_leave <= join:
+        # The root's expiry-plus-retention window closed before this
+        # program would have picked it up: it never ships.
+        return None
+    leave_candidates.append(retention_leave)
+
+    leave = min(leave_candidates) if leave_candidates else None
+    if leave is not None and leave <= join:
+        return None
+    if leave is not None and leave > policy.data_end:
+        leave = None
+    if join > policy.data_end:
+        return None
+
+    if override.purposes is not None:
+        purposes = override.purposes
+    elif policy.default_all_purposes:
+        purposes = ALL_PURPOSES
+    else:
+        purposes = spec.purposes
+
+    return Membership(
+        spec=spec,
+        join=join,
+        leave=leave,
+        purposes=purposes,
+        distrust_after=override.distrust_after,
+        distrust_from=override.distrust_from,
+    )
+
+
+def snapshot_schedule(policy: ProgramPolicy) -> list[date]:
+    """All snapshot dates for a program: cadence + incident-event dates."""
+    if policy.explicit_schedule:
+        dates = set(policy.explicit_schedule)
+    else:
+        dates = set()
+        cursor = policy.data_start
+        index = 0
+        while cursor <= policy.data_end:
+            frozen = any(lo <= cursor <= hi for lo, hi in policy.freeze_ranges)
+            skipped = (
+                policy.skip_percent
+                and hashlib.sha256(f"{policy.key}/{index}".encode()).digest()[0] % 100
+                < policy.skip_percent
+            )
+            if not frozen and not skipped:
+                dates.add(cursor)
+            cursor = month_add(cursor, policy.cadence_months)
+            index += 1
+        dates.add(policy.data_end)
+    for event in incidents.all_event_dates(policy.key):
+        if policy.data_start <= event <= policy.data_end:
+            dates.add(event)
+    return sorted(dates)
+
+
+def build_program_entry(
+    membership: Membership, when: date, mint: Mint
+) -> TrustEntry:
+    """Materialize one trust entry as of ``when``."""
+    cert = mint.certificate_for(membership.spec)
+    trust = {purpose: TrustLevel.TRUSTED for purpose in membership.purposes}
+    distrust_after = None
+    if (
+        membership.distrust_after is not None
+        and membership.distrust_from is not None
+        and when >= membership.distrust_from
+    ):
+        distrust_after = as_utc(membership.distrust_after)
+    return TrustEntry.make(cert, purposes=trust, distrust_after=distrust_after)
+
+
+def build_program_history(
+    program: str,
+    specs: list[RootSpec],
+    mint: Mint,
+    *,
+    version_prefix: str | None = None,
+) -> list[RootStoreSnapshot]:
+    """Generate the full snapshot timeline for one root program.
+
+    Version labels count *substantial* versions (TLS set changed),
+    mirroring how NSS release numbering is used in Figure 3.
+    """
+    policy = POLICIES[program]
+    memberships = [
+        m for spec in specs if (m := compute_membership(spec, policy)) is not None
+    ]
+    prefix = version_prefix if version_prefix is not None else ("3." if program == "nss" else "v")
+
+    snapshots: list[RootStoreSnapshot] = []
+    previous_tls: frozenset[str] | None = None
+    substantial = 0
+    patch = 0
+    for when in snapshot_schedule(policy):
+        entries = [
+            build_program_entry(m, when, mint) for m in memberships if m.present_at(when)
+        ]
+        snapshot = RootStoreSnapshot.build(program, when, "pending", entries)
+        tls = snapshot.tls_fingerprints()
+        if previous_tls is None or tls != previous_tls:
+            substantial += 1
+            patch = 0
+        else:
+            patch += 1
+        version = f"{prefix}{substantial}" + (f".{patch}" if patch else "")
+        snapshots.append(
+            RootStoreSnapshot.build(program, when, version, entries)
+        )
+        previous_tls = tls
+    return snapshots
+
+
+def collect_apple_revocations(specs: list[RootSpec]) -> dict[str, date]:
+    """Apple's out-of-band valid.apple.com revocations: slug -> date.
+
+    These do not alter the shipped store (the paper's point); Table 4's
+    Apple rows consult this feed.
+    """
+    feed: dict[str, date] = {}
+    for spec in specs:
+        override: Override = spec.override_for("apple")
+        if override.revoke_from is not None:
+            feed[spec.slug] = override.revoke_from
+    return feed

@@ -1,0 +1,41 @@
+"""The trust store model: entries, snapshots, histories, providers.
+
+This is the normalized representation every native format parses into
+and every analysis consumes.
+"""
+
+from repro.store.diff import SnapshotDiff, diff_snapshots
+from repro.store.entry import TrustEntry
+from repro.store.history import Dataset, StoreHistory, merge_datasets
+from repro.store.provider import (
+    INDEPENDENT_PROGRAMS,
+    NSS_DERIVATIVES,
+    PROVIDERS,
+    Provider,
+    ProviderKind,
+    StoreFormat,
+    provider,
+)
+from repro.store.purposes import BUNDLE_PURPOSES, TLS, TrustLevel, TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+__all__ = [
+    "BUNDLE_PURPOSES",
+    "Dataset",
+    "INDEPENDENT_PROGRAMS",
+    "NSS_DERIVATIVES",
+    "PROVIDERS",
+    "Provider",
+    "ProviderKind",
+    "RootStoreSnapshot",
+    "SnapshotDiff",
+    "StoreFormat",
+    "StoreHistory",
+    "TLS",
+    "TrustEntry",
+    "TrustLevel",
+    "TrustPurpose",
+    "diff_snapshots",
+    "merge_datasets",
+    "provider",
+]

@@ -1,0 +1,81 @@
+"""Snapshot diffing.
+
+Used by the derivative analyses (Figure 4) and the incident-response
+lag computation (Table 4): which roots appeared, disappeared, or had
+their trust bits changed between two snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.store.entry import TrustEntry
+from repro.store.purposes import TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """The difference between a ``base`` and a ``target`` snapshot."""
+
+    base: RootStoreSnapshot
+    target: RootStoreSnapshot
+    added: tuple[TrustEntry, ...]
+    removed: tuple[TrustEntry, ...]
+    trust_changed: tuple[tuple[TrustEntry, TrustEntry], ...]  # (before, after)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.trust_changed)
+
+    @property
+    def churn(self) -> int:
+        """Total number of changed roots (the MDS outlier criterion)."""
+        return len(self.added) + len(self.removed) + len(self.trust_changed)
+
+    def describe(self) -> str:
+        return (
+            f"{self.base.provider}@{self.base.version} -> "
+            f"{self.target.provider}@{self.target.version}: "
+            f"+{len(self.added)} -{len(self.removed)} ~{len(self.trust_changed)}"
+        )
+
+
+def diff_snapshots(
+    base: RootStoreSnapshot,
+    target: RootStoreSnapshot,
+    purpose: TrustPurpose | None = None,
+) -> SnapshotDiff:
+    """Compute added/removed/changed entries from ``base`` to ``target``.
+
+    With a ``purpose``, membership is judged by that purpose's trusted
+    set (so a root that flips from email-only to TLS counts as "added"
+    under ``SERVER_AUTH``); without one, raw presence is used and trust
+    map changes surface in ``trust_changed``.
+    """
+    base_set = base.fingerprints(purpose)
+    target_set = target.fingerprints(purpose)
+
+    added = tuple(
+        entry for entry in target.entries if entry.fingerprint in (target_set - base_set)
+    )
+    removed = tuple(
+        entry for entry in base.entries if entry.fingerprint in (base_set - target_set)
+    )
+
+    changed: list[tuple[TrustEntry, TrustEntry]] = []
+    for fingerprint in base_set & target_set:
+        before = base.get(fingerprint)
+        after = target.get(fingerprint)
+        assert before is not None and after is not None
+        if before.trust != after.trust or before.distrust_after != after.distrust_after:
+            changed.append((before, after))
+    changed.sort(key=lambda pair: pair[0].fingerprint)
+
+    return SnapshotDiff(
+        base=base,
+        target=target,
+        added=added,
+        removed=removed,
+        trust_changed=tuple(changed),
+    )

@@ -1,0 +1,98 @@
+"""Trust entries: a certificate plus its trust context.
+
+A :class:`TrustEntry` is the paper's unit of observation — "this root
+store, at this time, contained this certificate with these trust
+bits".  Partial distrust (NSS's ``CKA_NSS_SERVER_DISTRUST_AFTER``,
+Microsoft's disallowed/NotBefore filetimes) is modelled with the
+``distrust_after`` field so the Symantec-distrust analyses can compare
+stores that can and cannot express it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime
+
+from repro.store.purposes import TrustLevel, TrustPurpose
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class TrustEntry:
+    """One root with its trust context inside a specific store snapshot."""
+
+    certificate: Certificate
+    #: Trust level per purpose.  A purpose absent from the mapping is
+    #: simply "no statement" (the store neither trusts nor distrusts it).
+    trust: tuple[tuple[TrustPurpose, TrustLevel], ...] = field(default=())
+    #: Leaf certificates issued after this moment are not trusted for
+    #: TLS server auth (NSS's server-distrust-after semantics).  ``None``
+    #: means no such restriction.
+    distrust_after: datetime | None = None
+
+    def __post_init__(self):
+        # Normalize ordering so equal trust maps compare equal.
+        object.__setattr__(self, "trust", tuple(sorted(self.trust, key=lambda kv: kv[0].value)))
+
+    @classmethod
+    def make(
+        cls,
+        certificate: Certificate,
+        purposes: dict[TrustPurpose, TrustLevel] | None = None,
+        distrust_after: datetime | None = None,
+    ) -> "TrustEntry":
+        """Build an entry from a purpose->level mapping."""
+        mapping = purposes or {TrustPurpose.SERVER_AUTH: TrustLevel.TRUSTED}
+        return cls(
+            certificate=certificate,
+            trust=tuple(mapping.items()),
+            distrust_after=distrust_after,
+        )
+
+    @property
+    def trust_map(self) -> dict[TrustPurpose, TrustLevel]:
+        return dict(self.trust)
+
+    def level_for(self, purpose: TrustPurpose) -> TrustLevel | None:
+        """Trust level for a purpose, or None when the store is silent."""
+        return self.trust_map.get(purpose)
+
+    def is_trusted_for(self, purpose: TrustPurpose) -> bool:
+        return self.level_for(purpose) is TrustLevel.TRUSTED
+
+    def is_distrusted_for(self, purpose: TrustPurpose) -> bool:
+        return self.level_for(purpose) is TrustLevel.DISTRUSTED
+
+    @property
+    def is_tls_trusted(self) -> bool:
+        """The paper's primary filter: trusted for TLS server auth."""
+        return self.is_trusted_for(TrustPurpose.SERVER_AUTH)
+
+    @property
+    def has_partial_distrust(self) -> bool:
+        """True when the entry expresses date-based partial distrust."""
+        return self.distrust_after is not None
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 fingerprint of the certificate (the entry's identity)."""
+        return self.certificate.fingerprint_sha256
+
+    def with_trust(
+        self, purpose: TrustPurpose, level: TrustLevel
+    ) -> "TrustEntry":
+        """A copy with one purpose's level changed."""
+        mapping = self.trust_map
+        mapping[purpose] = level
+        return replace(self, trust=tuple(mapping.items()))
+
+    def with_distrust_after(self, moment: datetime | None) -> "TrustEntry":
+        """A copy with a different partial-distrust date."""
+        return replace(self, distrust_after=moment)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        bits = ", ".join(f"{p}:{lv}" for p, lv in self.trust)
+        extra = f" distrust-after={self.distrust_after:%Y-%m-%d}" if self.distrust_after else ""
+        subject = self.certificate.subject.common_name or self.certificate.subject.rfc4514()
+        return f"{subject} [{bits}]{extra}"

@@ -1,0 +1,168 @@
+"""Provider root store histories and the cross-provider dataset.
+
+A :class:`StoreHistory` is a provider's ordered snapshot timeline; a
+:class:`Dataset` bundles all providers' histories and renders the
+paper's Table 2 summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass
+class StoreHistory:
+    """The ordered snapshot history of one root store provider."""
+
+    provider: str
+    snapshots: list[RootStoreSnapshot] = field(default_factory=list)
+
+    def add(self, snapshot: RootStoreSnapshot) -> None:
+        if snapshot.provider != self.provider:
+            raise StoreError(
+                f"snapshot provider {snapshot.provider!r} != history provider {self.provider!r}"
+            )
+        self.snapshots.append(snapshot)
+        self.snapshots.sort(key=lambda s: (s.taken_at, s.version))
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[RootStoreSnapshot]:
+        return iter(self.snapshots)
+
+    @property
+    def first_date(self) -> date:
+        self._require_nonempty()
+        return self.snapshots[0].taken_at
+
+    @property
+    def last_date(self) -> date:
+        self._require_nonempty()
+        return self.snapshots[-1].taken_at
+
+    def at(self, when: date) -> RootStoreSnapshot | None:
+        """The snapshot in force at ``when`` (latest taken on or before)."""
+        current = None
+        for snapshot in self.snapshots:
+            if snapshot.taken_at <= when:
+                current = snapshot
+            else:
+                break
+        return current
+
+    def latest(self) -> RootStoreSnapshot:
+        self._require_nonempty()
+        return self.snapshots[-1]
+
+    def unique_fingerprints(self) -> frozenset[str]:
+        """Every certificate ever present, across all snapshots."""
+        result: set[str] = set()
+        for snapshot in self.snapshots:
+            result |= snapshot.fingerprints()
+        return frozenset(result)
+
+    def substantial_snapshots(self) -> list[RootStoreSnapshot]:
+        """Snapshots that changed the TLS-trusted set vs. their predecessor.
+
+        The paper's Figure 3 tracks "substantial versions" — releases
+        that actually altered TLS trust.  The first snapshot is always
+        substantial.
+        """
+        result: list[RootStoreSnapshot] = []
+        previous: frozenset[str] | None = None
+        for snapshot in self.snapshots:
+            current = snapshot.tls_fingerprints()
+            if previous is None or current != previous:
+                result.append(snapshot)
+            previous = current
+        return result
+
+    def trusted_until(self, fingerprint: str) -> date | None:
+        """Date of the first snapshot in which ``fingerprint`` is absent
+        after having been present; None when never removed (or never present)."""
+        seen = False
+        for snapshot in self.snapshots:
+            present = fingerprint in snapshot.fingerprints()
+            if present:
+                seen = True
+            elif seen:
+                return snapshot.taken_at
+        return None
+
+    def ever_trusted(self, fingerprint: str) -> bool:
+        return any(fingerprint in s.fingerprints() for s in self.snapshots)
+
+    def _require_nonempty(self) -> None:
+        if not self.snapshots:
+            raise StoreError(f"history for {self.provider!r} has no snapshots")
+
+
+@dataclass
+class Dataset:
+    """All providers' histories — the paper's full data corpus."""
+
+    histories: dict[str, StoreHistory] = field(default_factory=dict)
+
+    def add_history(self, history: StoreHistory) -> None:
+        if history.provider in self.histories:
+            raise StoreError(f"duplicate history for provider {history.provider!r}")
+        self.histories[history.provider] = history
+
+    def add_snapshot(self, snapshot: RootStoreSnapshot) -> None:
+        history = self.histories.setdefault(snapshot.provider, StoreHistory(snapshot.provider))
+        history.add(snapshot)
+
+    def __getitem__(self, provider: str) -> StoreHistory:
+        try:
+            return self.histories[provider]
+        except KeyError as exc:
+            raise StoreError(f"no history for provider {provider!r}") from exc
+
+    def __contains__(self, provider: str) -> bool:
+        return provider in self.histories
+
+    @property
+    def providers(self) -> list[str]:
+        return sorted(self.histories)
+
+    def total_snapshots(self) -> int:
+        return sum(len(h) for h in self.histories.values())
+
+    def all_snapshots(self) -> list[RootStoreSnapshot]:
+        result: list[RootStoreSnapshot] = []
+        for provider in self.providers:
+            result.extend(self.histories[provider].snapshots)
+        return result
+
+    def summary_rows(self) -> list[dict]:
+        """Table 2 rows: provider, date range, snapshot count, unique roots."""
+        rows = []
+        for provider in self.providers:
+            history = self.histories[provider]
+            if not len(history):
+                continue
+            rows.append(
+                {
+                    "provider": provider,
+                    "from": history.first_date,
+                    "to": history.last_date,
+                    "snapshots": len(history),
+                    "unique_roots": len(history.unique_fingerprints()),
+                }
+            )
+        return rows
+
+
+def merge_datasets(parts: Iterable[Dataset]) -> Dataset:
+    """Combine datasets with disjoint providers."""
+    merged = Dataset()
+    for part in parts:
+        for history in part.histories.values():
+            merged.add_history(history)
+    return merged

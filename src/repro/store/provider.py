@@ -1,0 +1,87 @@
+"""The provider registry: who ships a root store and in what format.
+
+Mirrors the paper's Table 2 "Data source / Details" columns: each
+provider has a kind (OS or library), a native artifact format, and —
+for derivatives — the upstream program it copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ProviderKind(Enum):
+    OPERATING_SYSTEM = "os"
+    LIBRARY = "library"
+    BROWSER = "browser"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class StoreFormat(Enum):
+    """The native artifact format each provider publishes."""
+
+    CERTDATA = "certdata.txt"  # NSS PKCS#11 text
+    AUTHROOT_STL = "authroot.stl"  # Microsoft CTL
+    KEYCHAIN_DIR = "keychain-dir"  # Apple certificates/roots directory
+    JKS = "jks"  # Java keystore
+    PEM_BUNDLE = "pem-bundle"  # single concatenated PEM file
+    CERT_DIR = "cert-dir"  # directory of individual PEM files
+    HEADER_FILE = "node-header"  # NodeJS src/node_root_certs.h
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Provider:
+    """One root store provider."""
+
+    key: str  # machine name, e.g. "nss"
+    display_name: str  # report name, e.g. "NSS"
+    kind: ProviderKind
+    store_format: StoreFormat
+    #: upstream provider key for derivatives (all NSS in the dataset), or
+    #: None for the four independent root programs.
+    derived_from: str | None = None
+    #: source described in Table 2 ("source code", "docker", "update file").
+    data_source: str = "source code"
+
+    @property
+    def is_independent(self) -> bool:
+        return self.derived_from is None
+
+
+#: The ten providers of the paper's Table 2.
+PROVIDERS: dict[str, Provider] = {
+    p.key: p
+    for p in (
+        Provider("nss", "NSS", ProviderKind.LIBRARY, StoreFormat.CERTDATA),
+        Provider("microsoft", "Microsoft", ProviderKind.OPERATING_SYSTEM, StoreFormat.AUTHROOT_STL, data_source="update file"),
+        Provider("apple", "Apple", ProviderKind.OPERATING_SYSTEM, StoreFormat.KEYCHAIN_DIR),
+        Provider("java", "Java", ProviderKind.LIBRARY, StoreFormat.JKS),
+        Provider("nodejs", "NodeJS", ProviderKind.LIBRARY, StoreFormat.HEADER_FILE, derived_from="nss"),
+        Provider("android", "Android", ProviderKind.OPERATING_SYSTEM, StoreFormat.CERT_DIR, derived_from="nss"),
+        Provider("debian", "Debian", ProviderKind.OPERATING_SYSTEM, StoreFormat.CERT_DIR, derived_from="nss"),
+        Provider("ubuntu", "Ubuntu", ProviderKind.OPERATING_SYSTEM, StoreFormat.CERT_DIR, derived_from="nss"),
+        Provider("alpine", "Alpine", ProviderKind.OPERATING_SYSTEM, StoreFormat.PEM_BUNDLE, derived_from="nss", data_source="docker"),
+        Provider("amazonlinux", "AmazonLinux", ProviderKind.OPERATING_SYSTEM, StoreFormat.PEM_BUNDLE, derived_from="nss", data_source="docker"),
+    )
+}
+
+#: The four independent root programs (Section 4).
+INDEPENDENT_PROGRAMS = ("apple", "java", "microsoft", "nss")
+
+#: NSS derivatives, in the order Figure 3 lists them.
+NSS_DERIVATIVES = ("alpine", "debian", "ubuntu", "nodejs", "android", "amazonlinux")
+
+
+def provider(key: str) -> Provider:
+    """Look up a provider by key, raising a helpful error when unknown."""
+    try:
+        return PROVIDERS[key]
+    except KeyError as exc:
+        known = ", ".join(sorted(PROVIDERS))
+        raise KeyError(f"unknown provider {key!r}; known: {known}") from exc

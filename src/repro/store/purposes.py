@@ -1,0 +1,55 @@
+"""Trust purposes and trust levels.
+
+NSS's certdata.txt distinguishes *purposes* (server auth, email
+protection, code signing) and *levels* (trusted delegator, must verify,
+not trusted).  Microsoft's authroot.stl expresses the same ideas as EKU
+restrictions plus disallowed dates.  This module is the common
+vocabulary both are normalized into.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TrustPurpose(Enum):
+    """What a root may vouch for."""
+
+    SERVER_AUTH = "server-auth"
+    CLIENT_AUTH = "client-auth"
+    EMAIL_PROTECTION = "email"
+    CODE_SIGNING = "code-signing"
+    TIME_STAMPING = "time-stamping"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TrustLevel(Enum):
+    """How much a root is trusted for a purpose.
+
+    Mirrors NSS's PKCS#11 trust constants:
+
+    - ``TRUSTED`` — CKT_NSS_TRUSTED_DELEGATOR: a trust anchor.
+    - ``MUST_VERIFY`` — CKT_NSS_MUST_VERIFY_TRUST: present but not an
+      anchor (chains must terminate elsewhere).
+    - ``DISTRUSTED`` — CKT_NSS_NOT_TRUSTED: actively rejected.
+    """
+
+    TRUSTED = "trusted"
+    MUST_VERIFY = "must-verify"
+    DISTRUSTED = "distrusted"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The purpose the paper studies.  Helper alias used throughout analyses.
+TLS = TrustPurpose.SERVER_AUTH
+
+#: Purposes a "multi-purpose" Linux bundle conflates (Section 6.2).
+BUNDLE_PURPOSES = (
+    TrustPurpose.SERVER_AUTH,
+    TrustPurpose.EMAIL_PROTECTION,
+    TrustPurpose.CODE_SIGNING,
+)

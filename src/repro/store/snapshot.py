@@ -1,0 +1,137 @@
+"""Root store snapshots — a provider's trust anchors at one point in time.
+
+The snapshot is the unit everything downstream consumes: Jaccard
+distances for ordination, diffs for the derivative analyses, hygiene
+scans for Table 3.  Entries are keyed by certificate SHA-256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, timezone
+from typing import Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.store.entry import TrustEntry
+from repro.store.purposes import TrustPurpose
+from repro.x509.certificate import Certificate
+
+
+@dataclass(frozen=True)
+class RootStoreSnapshot:
+    """One provider's root store at one release point.
+
+    Attributes:
+        provider: provider key, e.g. ``"nss"`` or ``"debian"``.
+        taken_at: the (approximate) release date of this snapshot.
+        version: the provider's own version label (NSS release, image
+            tag, package version...), used by the staleness analysis.
+        entries: the trust entries, in stable fingerprint order.
+    """
+
+    provider: str
+    taken_at: date
+    version: str
+    entries: tuple[TrustEntry, ...] = field(default=())
+
+    def __post_init__(self):
+        fingerprints = [e.fingerprint for e in self.entries]
+        if len(set(fingerprints)) != len(fingerprints):
+            raise StoreError(
+                f"duplicate certificates in {self.provider} snapshot {self.version}"
+            )
+        ordered = tuple(sorted(self.entries, key=lambda e: e.fingerprint))
+        object.__setattr__(self, "entries", ordered)
+
+    @classmethod
+    def build(
+        cls,
+        provider: str,
+        taken_at: date,
+        version: str,
+        entries: Iterable[TrustEntry],
+    ) -> "RootStoreSnapshot":
+        return cls(provider=provider, taken_at=taken_at, version=version, entries=tuple(entries))
+
+    # -- collection views --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TrustEntry]:
+        return iter(self.entries)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Certificate):
+            return item.fingerprint_sha256 in self.fingerprints()
+        if isinstance(item, str):
+            return item in self.fingerprints()
+        return False
+
+    def get(self, fingerprint: str) -> TrustEntry | None:
+        """Entry by SHA-256 fingerprint, or None."""
+        for entry in self.entries:
+            if entry.fingerprint == fingerprint:
+                return entry
+        return None
+
+    def fingerprints(self, purpose: TrustPurpose | None = None) -> frozenset[str]:
+        """SHA-256 fingerprints, optionally only those trusted for a purpose.
+
+        ``fingerprints(TrustPurpose.SERVER_AUTH)`` is the set the
+        paper's Jaccard ordination uses.
+        """
+        if purpose is None:
+            return frozenset(e.fingerprint for e in self.entries)
+        return frozenset(e.fingerprint for e in self.entries if e.is_trusted_for(purpose))
+
+    def tls_fingerprints(self) -> frozenset[str]:
+        """Shorthand for the TLS-server-auth trusted set."""
+        return self.fingerprints(TrustPurpose.SERVER_AUTH)
+
+    def certificates(self) -> tuple[Certificate, ...]:
+        return tuple(e.certificate for e in self.entries)
+
+    # -- hygiene helpers (Table 3) ------------------------------------------
+
+    def expired_entries(self, at: datetime | None = None) -> tuple[TrustEntry, ...]:
+        """Entries whose certificate is expired at the snapshot date."""
+        moment = at or datetime(
+            self.taken_at.year, self.taken_at.month, self.taken_at.day, tzinfo=timezone.utc
+        )
+        return tuple(e for e in self.entries if e.certificate.is_expired(moment))
+
+    def count_signature_digest(self, digest_name: str) -> int:
+        """How many TLS-trusted roots are signed with the given digest."""
+        return sum(
+            1
+            for e in self.entries
+            if e.is_tls_trusted and e.certificate.signature_digest == digest_name
+        )
+
+    def count_weak_rsa(self, max_bits: int = 1024) -> int:
+        """How many TLS-trusted roots carry RSA keys of at most ``max_bits``."""
+        return sum(
+            1
+            for e in self.entries
+            if e.is_tls_trusted
+            and e.certificate.key_type == "rsa"
+            and e.certificate.key_bits <= max_bits
+        )
+
+    # -- set algebra ---------------------------------------------------------
+
+    def jaccard_distance(self, other: "RootStoreSnapshot", purpose: TrustPurpose | None = None) -> float:
+        """1 - |A∩B| / |A∪B| over (purpose-filtered) fingerprint sets."""
+        a = self.fingerprints(purpose)
+        b = other.fingerprints(purpose)
+        union = a | b
+        if not union:
+            return 0.0
+        return 1.0 - len(a & b) / len(union)
+
+    def describe(self) -> str:
+        return (
+            f"{self.provider}@{self.version} ({self.taken_at:%Y-%m-%d}): "
+            f"{len(self.entries)} roots, {len(self.tls_fingerprints())} TLS-trusted"
+        )

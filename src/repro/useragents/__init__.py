@@ -1,0 +1,41 @@
+"""User agent subsystem: population, string synthesis/parsing, attribution.
+
+Reproduces the paper's Table 1 (top-200 CDN UA coverage), Table 5
+(software survey), and the UA half of Figure 2 (family shares).
+"""
+
+from repro.useragents.attribution import (
+    EcosystemShares,
+    attribute,
+    family_of,
+    trace_user_agents,
+)
+from repro.useragents.population import (
+    POPULATION,
+    PopulationRow,
+    coverage_fraction,
+    included_user_agents,
+    total_user_agents,
+)
+from repro.useragents.software import SOFTWARE, SoftwareEntry, SoftwareKind, surveyed_counts
+from repro.useragents.strings import ParsedUA, parse, sample_top_200, synthesize
+
+__all__ = [
+    "EcosystemShares",
+    "POPULATION",
+    "ParsedUA",
+    "PopulationRow",
+    "SOFTWARE",
+    "SoftwareEntry",
+    "SoftwareKind",
+    "attribute",
+    "coverage_fraction",
+    "family_of",
+    "included_user_agents",
+    "parse",
+    "sample_top_200",
+    "surveyed_counts",
+    "synthesize",
+    "total_user_agents",
+    "trace_user_agents",
+]

@@ -1,0 +1,85 @@
+"""UA -> root store provider -> root program attribution (Figure 2).
+
+``attribute`` maps a parsed (os, agent) pair to the root store provider
+its TLS stack consults; ``family_of`` follows a provider's
+``derived_from`` edge up to its independent root program.  Together
+they produce the inverted-pyramid tallies of Section 4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.store.provider import PROVIDERS
+from repro.useragents.population import POPULATION
+from repro.useragents.strings import ParsedUA, parse
+
+#: (os, agent) -> provider key.  Derived from Table 1's inclusion notes:
+#: browsers that ship their own store map to it (Firefox -> nss), the
+#: rest map to the platform store.
+_ATTRIBUTION: dict[tuple[str, str], str | None] = {
+    (row.os, row.agent): row.provider for row in POPULATION
+}
+
+#: Program of last resort for providers outside our Table 2 dataset.
+_PROGRAM_OF_OS = {
+    "Windows": "microsoft",
+    "Mac OS X": "apple",
+    "iOS": "apple",
+    "Android": "android",
+}
+
+
+def attribute(parsed: ParsedUA) -> str | None:
+    """The root store provider for a classified UA, or None when unknown."""
+    key = (parsed.os, parsed.agent)
+    if key in _ATTRIBUTION:
+        return _ATTRIBUTION[key]
+    # Fall back to the platform store for unlisted agents.
+    if parsed.agent == "Firefox" or parsed.agent == "Firefox Mobile":
+        return "nss"
+    return _PROGRAM_OF_OS.get(parsed.os)
+
+
+def family_of(provider_key: str) -> str:
+    """Follow derived_from edges up to the independent root program."""
+    current = provider_key
+    seen = set()
+    while True:
+        if current in seen:
+            raise ValueError(f"derivation cycle at {current!r}")
+        seen.add(current)
+        provider = PROVIDERS[current]
+        if provider.derived_from is None:
+            return current
+        current = provider.derived_from
+
+
+@dataclass(frozen=True)
+class EcosystemShares:
+    """Figure 2's headline numbers."""
+
+    total: int
+    by_family: dict[str, int]
+    unattributed: int
+
+    def share(self, family: str) -> float:
+        return self.by_family.get(family, 0) / self.total
+
+
+def trace_user_agents(user_agents: list[str]) -> EcosystemShares:
+    """Parse, attribute, and tally a UA sample by root store family."""
+    families: Counter[str] = Counter()
+    unattributed = 0
+    for ua in user_agents:
+        provider = attribute(parse(ua))
+        if provider is None:
+            unattributed += 1
+        else:
+            families[family_of(provider)] += 1
+    return EcosystemShares(
+        total=len(user_agents),
+        by_family=dict(families),
+        unattributed=unattributed,
+    )

@@ -1,0 +1,84 @@
+"""The top-200 user agent population (the paper's Table 1).
+
+Table 1 is itself source data — the OS/agent/version-count mix observed
+in a CDN sample — so it is encoded here verbatim.  Each row carries the
+root store provider that agent resolves to (or ``None`` when the paper
+marks it "no"/unknown), which drives both the coverage computation and
+the Figure 2 family attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PopulationRow:
+    """One (OS, agent) row of Table 1."""
+
+    os: str
+    agent: str
+    versions: int
+    #: root store provider key, or None when uncollectable
+    provider: str | None
+
+    @property
+    def included(self) -> bool:
+        return self.provider is not None
+
+
+#: Table 1 verbatim. Versions sum to 200; included rows sum to 154 (77%).
+POPULATION: tuple[PopulationRow, ...] = (
+    # Android
+    PopulationRow("Android", "Chrome Mobile", 48, "android"),
+    PopulationRow("Android", "Samsung Internet", 2, None),
+    PopulationRow("Android", "Android", 3, None),
+    PopulationRow("Android", "Firefox Mobile", 1, "nss"),
+    PopulationRow("Android", "Chrome Mobile WebView", 1, None),
+    PopulationRow("Android", "Chrome", 1, "android"),
+    # Windows
+    PopulationRow("Windows", "Chrome", 23, "microsoft"),
+    PopulationRow("Windows", "Firefox", 7, "nss"),
+    PopulationRow("Windows", "Electron", 6, "nodejs"),
+    PopulationRow("Windows", "Opera", 4, "microsoft"),
+    PopulationRow("Windows", "Edge", 4, "microsoft"),
+    PopulationRow("Windows", "Yandex Browser", 3, None),
+    PopulationRow("Windows", "IE", 3, "microsoft"),
+    # iOS
+    PopulationRow("iOS", "Mobile Safari", 18, "apple"),
+    PopulationRow("iOS", "WKWebView", 4, "apple"),
+    PopulationRow("iOS", "Chrome Mobile iOS", 2, "apple"),
+    PopulationRow("iOS", "Google", 2, None),
+    # Mac OS X
+    PopulationRow("Mac OS X", "Safari", 15, "apple"),
+    PopulationRow("Mac OS X", "Chrome", 14, "apple"),
+    PopulationRow("Mac OS X", "Firefox", 2, "nss"),
+    PopulationRow("Mac OS X", "Apple Mail", 1, None),
+    PopulationRow("Mac OS X", "Electron", 1, "nodejs"),
+    # ChromeOS
+    PopulationRow("ChromeOS", "Chrome", 8, None),
+    # Linux
+    PopulationRow("Linux", "Chrome", 2, None),
+    PopulationRow("Linux", "Safari", 1, None),
+    PopulationRow("Linux", "Firefox", 1, "nss"),
+    PopulationRow("Linux", "Samsung Internet", 1, None),
+    # Unknown
+    PopulationRow("Unknown", "okhttp", 3, None),
+    PopulationRow("Unknown", "Unknown", 2, None),
+    PopulationRow("Unknown", "CryptoAPI", 1, None),
+    # API clients
+    PopulationRow("Unknown", "API Clients", 16, None),
+)
+
+
+def total_user_agents() -> int:
+    return sum(row.versions for row in POPULATION)
+
+
+def included_user_agents() -> int:
+    return sum(row.versions for row in POPULATION if row.included)
+
+
+def coverage_fraction() -> float:
+    """The paper's 77.0% coverage figure."""
+    return included_user_agents() / total_user_agents()

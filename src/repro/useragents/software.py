@@ -1,0 +1,89 @@
+"""The OS / TLS library / TLS client survey (the paper's Appendix A, Table 5).
+
+A registry of the software the paper examined and whether each ships
+its own root store.  The Table 5 benchmark renders this registry; the
+ecosystem graph (Figure 2) uses it for the default/configured edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SoftwareKind(Enum):
+    OPERATING_SYSTEM = "os"
+    TLS_LIBRARY = "library"
+    TLS_CLIENT = "client"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SoftwareEntry:
+    """One surveyed piece of software."""
+
+    name: str
+    kind: SoftwareKind
+    ships_root_store: bool
+    details: str
+    #: provider key when the store is in our dataset
+    provider: str | None = None
+
+
+SOFTWARE: tuple[SoftwareEntry, ...] = (
+    # Operating systems
+    SoftwareEntry("Alpine Linux", SoftwareKind.OPERATING_SYSTEM, True, "Popular Docker image base.", "alpine"),
+    SoftwareEntry("Amazon Linux", SoftwareKind.OPERATING_SYSTEM, True, "AWS base image.", "amazonlinux"),
+    SoftwareEntry("Android", SoftwareKind.OPERATING_SYSTEM, True, "Most common mobile OS.", "android"),
+    SoftwareEntry("ChromeOS", SoftwareKind.OPERATING_SYSTEM, True, "Excluded: no build target history.", None),
+    SoftwareEntry("Debian", SoftwareKind.OPERATING_SYSTEM, True, "Base of OpenWRT/Ubuntu and others.", "debian"),
+    SoftwareEntry("iOS / macOS", SoftwareKind.OPERATING_SYSTEM, True, "Common Apple root store.", "apple"),
+    SoftwareEntry("Microsoft Windows", SoftwareKind.OPERATING_SYSTEM, True, "Automatic Root Updates.", "microsoft"),
+    SoftwareEntry("Ubuntu", SoftwareKind.OPERATING_SYSTEM, True, "Debian-based desktop/server Linux.", "ubuntu"),
+    # TLS libraries
+    SoftwareEntry("AlamoFire", SoftwareKind.TLS_LIBRARY, False, "Swift HTTP library; platform trust."),
+    SoftwareEntry("Botan", SoftwareKind.TLS_LIBRARY, False, "Defaults to system root store."),
+    SoftwareEntry("BoringSSL", SoftwareKind.TLS_LIBRARY, False, "Google OpenSSL fork; caller supplies roots."),
+    SoftwareEntry("Bouncy Castle", SoftwareKind.TLS_LIBRARY, False, "Requires configured keystore."),
+    SoftwareEntry("cryptlib", SoftwareKind.TLS_LIBRARY, False, "Unknown default."),
+    SoftwareEntry("GnuTLS", SoftwareKind.TLS_LIBRARY, False, "--with-default-trust-store-* at build time."),
+    SoftwareEntry("JSSE", SoftwareKind.TLS_LIBRARY, True, "cacerts JKS file.", "java"),
+    SoftwareEntry("LibreSSL libtls", SoftwareKind.TLS_LIBRARY, False, "TLS_DEFAULT_CA_FILE."),
+    SoftwareEntry("MatrixSSL", SoftwareKind.TLS_LIBRARY, False, "No default."),
+    SoftwareEntry("Mbed TLS", SoftwareKind.TLS_LIBRARY, False, "ca_path/ca_file configuration."),
+    SoftwareEntry("NSS", SoftwareKind.TLS_LIBRARY, True, "certdata.txt plus code-level trust.", "nss"),
+    SoftwareEntry("OkHttp", SoftwareKind.TLS_LIBRARY, False, "Uses platform TLS (JSSE etc.)."),
+    SoftwareEntry("OpenSSL", SoftwareKind.TLS_LIBRARY, False, "$OPENSSLDIR/certs, distro-symlinked."),
+    SoftwareEntry("RSA BSAFE", SoftwareKind.TLS_LIBRARY, False, "Unknown default."),
+    SoftwareEntry("s2n", SoftwareKind.TLS_LIBRARY, False, "Defaults to system stores."),
+    SoftwareEntry("SChannel", SoftwareKind.TLS_LIBRARY, False, "Uses the Windows system store."),
+    SoftwareEntry("wolfSSL", SoftwareKind.TLS_LIBRARY, False, "No default."),
+    SoftwareEntry("Erlang/OTP SSL", SoftwareKind.TLS_LIBRARY, False, "Unknown default."),
+    SoftwareEntry("BearSSL", SoftwareKind.TLS_LIBRARY, False, "No default."),
+    SoftwareEntry("NodeJS", SoftwareKind.TLS_LIBRARY, True, "src/node_root_certs.h.", "nodejs"),
+    # TLS clients
+    SoftwareEntry("Safari", SoftwareKind.TLS_CLIENT, False, "Uses the macOS root store."),
+    SoftwareEntry("Mobile Safari", SoftwareKind.TLS_CLIENT, False, "Uses the iOS root store."),
+    SoftwareEntry("Chrome", SoftwareKind.TLS_CLIENT, True, "System roots historically; Chrome Root Store in transition (excluded)."),
+    SoftwareEntry("Chrome Mobile", SoftwareKind.TLS_CLIENT, False, "Uses the Android root store."),
+    SoftwareEntry("Chrome Mobile iOS", SoftwareKind.TLS_CLIENT, False, "Apple policy prohibits custom stores."),
+    SoftwareEntry("Edge", SoftwareKind.TLS_CLIENT, False, "Windows system certificates."),
+    SoftwareEntry("Internet Explorer", SoftwareKind.TLS_CLIENT, False, "Windows certificates via SChannel."),
+    SoftwareEntry("Firefox", SoftwareKind.TLS_CLIENT, True, "Uses the NSS root store.", "nss"),
+    SoftwareEntry("Opera", SoftwareKind.TLS_CLIENT, False, "Own program until 2013; now Chromium/system."),
+    SoftwareEntry("Electron", SoftwareKind.TLS_CLIENT, True, "Chromium + NodeJS; either store.", "nodejs"),
+    SoftwareEntry("360Browser", SoftwareKind.TLS_CLIENT, True, "Excluded: no open-source history."),
+    SoftwareEntry("curl", SoftwareKind.TLS_CLIENT, False, "libcurl build-time configured."),
+    SoftwareEntry("wget", SoftwareKind.TLS_CLIENT, False, "wgetrc configuration; GnuTLS."),
+)
+
+
+def surveyed_counts() -> dict[str, tuple[int, int]]:
+    """kind -> (surveyed, shipping own store)."""
+    result: dict[str, tuple[int, int]] = {}
+    for kind in SoftwareKind:
+        entries = [s for s in SOFTWARE if s.kind is kind]
+        result[str(kind)] = (len(entries), sum(1 for s in entries if s.ships_root_store))
+    return result

@@ -1,0 +1,253 @@
+"""User-Agent string synthesis and parsing.
+
+The sampler turns the Table 1 population into concrete UA header
+strings (one per agent version), and the parser recovers (os, agent)
+from arbitrary UA strings using the standard precedence rules (Edg
+before Chrome, OPR before Chrome, CriOS before Safari, ...).  The
+Table 1 benchmark round-trips the population through both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRandom
+from repro.useragents.population import POPULATION, PopulationRow
+
+_WEBKIT = "AppleWebKit/537.36 (KHTML, like Gecko)"
+_MAC = "Macintosh; Intel Mac OS X 10_15_7"
+_WIN = "Windows NT 10.0; Win64; x64"
+_LINUX = "X11; Linux x86_64"
+_CROS = "X11; CrOS x86_64 13904.55.0"
+
+
+@dataclass(frozen=True)
+class ParsedUA:
+    """Parser output: the (os, agent) classification of one UA string."""
+
+    os: str
+    agent: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.os, self.agent)
+
+
+def synthesize(row: PopulationRow, version_index: int, rng: DeterministicRandom) -> str:
+    """A realistic UA string for one version of a population row."""
+    major = 88 - version_index % 12
+    # Fold the version index into the build number so every version of
+    # a row yields a distinct string even when the major repeats.
+    build = 4000 + version_index * 13 + rng.randint(0, 12)
+    patch = rng.randint(30, 200)
+    chrome_ver = f"{major}.0.{build}.{patch}"
+    firefox_ver = f"{86 - version_index % 10}.{version_index // 10}"
+    android_ver = f"{11 - version_index % 5}"
+    ios_ver = f"{14 - version_index % 3}_{version_index // 3}"
+
+    key = (row.os, row.agent)
+    if key == ("Android", "Chrome Mobile"):
+        return (
+            f"Mozilla/5.0 (Linux; Android {android_ver}; Pixel {3 + version_index % 4}) "
+            f"{_WEBKIT} Chrome/{chrome_ver} Mobile Safari/537.36"
+        )
+    if key == ("Android", "Chrome Mobile WebView"):
+        return (
+            f"Mozilla/5.0 (Linux; Android {android_ver}; wv) "
+            f"{_WEBKIT} Version/4.0 Chrome/{chrome_ver} Mobile Safari/537.36"
+        )
+    if key == ("Android", "Samsung Internet"):
+        return (
+            f"Mozilla/5.0 (Linux; Android {android_ver}; SAMSUNG SM-G99{version_index}) "
+            f"{_WEBKIT} SamsungBrowser/{13 + version_index}.0 Chrome/{chrome_ver} Mobile Safari/537.36"
+        )
+    if key == ("Android", "Android"):
+        return (
+            f"Mozilla/5.0 (Linux; U; Android {android_ver}; en-us; Nexus) "
+            f"AppleWebKit/534.30 (KHTML, like Gecko) Version/4.0 Mobile Safari/534.30"
+        )
+    if key == ("Android", "Firefox Mobile"):
+        return (
+            f"Mozilla/5.0 (Android {android_ver}; Mobile; rv:{firefox_ver}) "
+            f"Gecko/{firefox_ver} Firefox/{firefox_ver}"
+        )
+    if key == ("Android", "Chrome"):
+        return (
+            f"Mozilla/5.0 (Linux; Android {android_ver}) "
+            f"{_WEBKIT} Chrome/{chrome_ver} Safari/537.36"
+        )
+    if key == ("Windows", "Chrome"):
+        return f"Mozilla/5.0 ({_WIN}) {_WEBKIT} Chrome/{chrome_ver} Safari/537.36"
+    if key == ("Windows", "Firefox"):
+        return f"Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:{firefox_ver}) Gecko/20100101 Firefox/{firefox_ver}"
+    if key == ("Windows", "Electron"):
+        return (
+            f"Mozilla/5.0 ({_WIN}) {_WEBKIT} SomeApp/1.{version_index} "
+            f"Chrome/{chrome_ver} Electron/{11 + version_index}.0.{rng.randint(0, 5)} Safari/537.36"
+        )
+    if key == ("Windows", "Opera"):
+        return f"Mozilla/5.0 ({_WIN}) {_WEBKIT} Chrome/{chrome_ver} Safari/537.36 OPR/{74 - version_index}.0"
+    if key == ("Windows", "Edge"):
+        return f"Mozilla/5.0 ({_WIN}) {_WEBKIT} Chrome/{chrome_ver} Safari/537.36 Edg/{major}.0.{build // 5}.{patch % 60}"
+    if key == ("Windows", "Yandex Browser"):
+        return f"Mozilla/5.0 ({_WIN}) {_WEBKIT} Chrome/{chrome_ver} YaBrowser/{21 - version_index}.2.0 Safari/537.36"
+    if key == ("Windows", "IE"):
+        return (
+            f"Mozilla/5.0 (Windows NT {6 + version_index % 2}.1; WOW64; "
+            f"Trident/7.0; rv:11.{version_index}) like Gecko"
+        )
+    if key == ("iOS", "Mobile Safari"):
+        return (
+            f"Mozilla/5.0 (iPhone; CPU iPhone OS {ios_ver} like Mac OS X) "
+            f"AppleWebKit/605.1.15 (KHTML, like Gecko) "
+            f"Version/{14 - version_index % 3}.0.{version_index} Mobile/15E148 Safari/604.1"
+        )
+    if key == ("iOS", "WKWebView"):
+        return (
+            f"Mozilla/5.0 (iPhone; CPU iPhone OS {ios_ver} like Mac OS X) "
+            f"AppleWebKit/605.1.15 (KHTML, like Gecko) Mobile/15E{148 + version_index}"
+        )
+    if key == ("iOS", "Chrome Mobile iOS"):
+        return (
+            f"Mozilla/5.0 (iPhone; CPU iPhone OS {ios_ver} like Mac OS X) "
+            f"AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/{chrome_ver} Mobile/15E148 Safari/604.1"
+        )
+    if key == ("iOS", "Google"):
+        return (
+            f"Mozilla/5.0 (iPhone; CPU iPhone OS {ios_ver} like Mac OS X) "
+            f"AppleWebKit/605.1.15 (KHTML, like Gecko) GSA/144.0.3{version_index} Mobile/15E148 Safari/604.1"
+        )
+    if key == ("Mac OS X", "Safari"):
+        return (
+            f"Mozilla/5.0 ({_MAC}) AppleWebKit/605.1.15 (KHTML, like Gecko) "
+            f"Version/{14 - version_index % 3}.0.{version_index} Safari/605.1.15"
+        )
+    if key == ("Mac OS X", "Chrome"):
+        return f"Mozilla/5.0 ({_MAC}) {_WEBKIT} Chrome/{chrome_ver} Safari/537.36"
+    if key == ("Mac OS X", "Firefox"):
+        return f"Mozilla/5.0 (Macintosh; Intel Mac OS X 10.15; rv:{firefox_ver}) Gecko/20100101 Firefox/{firefox_ver}"
+    if key == ("Mac OS X", "Apple Mail"):
+        return f"Mozilla/5.0 ({_MAC}) AppleWebKit/605.1.15 (KHTML, like Gecko)"
+    if key == ("Mac OS X", "Electron"):
+        return (
+            f"Mozilla/5.0 ({_MAC}) {_WEBKIT} SomeApp/2.{version_index} "
+            f"Chrome/{chrome_ver} Electron/{11 + version_index}.1.0 Safari/537.36"
+        )
+    if key == ("ChromeOS", "Chrome"):
+        return f"Mozilla/5.0 ({_CROS}) {_WEBKIT} Chrome/{chrome_ver} Safari/537.36"
+    if key == ("Linux", "Chrome"):
+        return f"Mozilla/5.0 ({_LINUX}) {_WEBKIT} Chrome/{chrome_ver} Safari/537.36"
+    if key == ("Linux", "Safari"):
+        return f"Mozilla/5.0 ({_LINUX}) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/13.0 Safari/605.1.15"
+    if key == ("Linux", "Firefox"):
+        return f"Mozilla/5.0 ({_LINUX}; rv:{firefox_ver}) Gecko/20100101 Firefox/{firefox_ver}"
+    if key == ("Linux", "Samsung Internet"):
+        return f"Mozilla/5.0 ({_LINUX}) {_WEBKIT} SamsungBrowser/14.0 Chrome/{chrome_ver} Safari/537.36"
+    if key == ("Unknown", "okhttp"):
+        return f"okhttp/4.{7 + version_index}.0"
+    if key == ("Unknown", "CryptoAPI"):
+        return "Microsoft-CryptoAPI/10.0"
+    if key == ("Unknown", "Unknown"):
+        return f"device-agent-{version_index}/1.0"
+    if key == ("Unknown", "API Clients"):
+        clients = (
+            "python-requests/2.25.1", "curl/7.68.0", "Go-http-client/1.1", "axios/0.21.1",
+            "Java/11.0.10", "Wget/1.20.3", "libwww-perl/6.43", "Apache-HttpClient/4.5.13",
+            "aws-sdk-go/1.36.0", "Faraday v1.3.0", "node-fetch/1.0", "GuzzleHttp/7",
+            "Dalvik/2.1.0", "Ruby", "PostmanRuntime/7.26.8", "insomnia/2020.5.2",
+        )
+        return clients[version_index % len(clients)]
+    raise ValueError(f"no template for population row {key}")
+
+
+def sample_top_200(seed: str = "cdn-sample-2021-04-07") -> list[str]:
+    """The 200 concrete UA strings of the simulated CDN sample."""
+    rng = DeterministicRandom(seed)
+    strings = []
+    for row in POPULATION:
+        for version_index in range(row.versions):
+            strings.append(synthesize(row, version_index, rng.fork(f"{row.os}/{row.agent}/{version_index}")))
+    return strings
+
+
+def parse(ua: str) -> ParsedUA:
+    """Classify a UA string into Table 1's (os, agent) vocabulary."""
+    os_name = _classify_os(ua)
+    agent = _classify_agent(ua, os_name)
+    return ParsedUA(os=os_name, agent=agent)
+
+
+def _classify_os(ua: str) -> str:
+    if "CrOS" in ua:
+        return "ChromeOS"
+    if "Android" in ua:
+        return "Android"
+    if "iPhone" in ua or "iPad" in ua:
+        return "iOS"
+    if "Windows NT" in ua:
+        return "Windows"
+    if "Mac OS X" in ua or "Macintosh" in ua:
+        return "Mac OS X"
+    if "Linux" in ua or "X11" in ua:
+        return "Linux"
+    return "Unknown"
+
+
+def _classify_agent(ua: str, os_name: str) -> str:
+    # Order matters: derived browsers embed the Chrome token.
+    if ua.startswith("okhttp/"):
+        return "okhttp"
+    if ua.startswith("Microsoft-CryptoAPI"):
+        return "CryptoAPI"
+    if "Electron/" in ua:
+        return "Electron"
+    if "Edg/" in ua or "Edge/" in ua:
+        return "Edge"
+    if "OPR/" in ua or "Opera" in ua:
+        return "Opera"
+    if "YaBrowser/" in ua:
+        return "Yandex Browser"
+    if "SamsungBrowser/" in ua:
+        return "Samsung Internet"
+    if "CriOS/" in ua:
+        return "Chrome Mobile iOS"
+    if "GSA/" in ua:
+        return "Google"
+    if "Firefox/" in ua:
+        return "Firefox Mobile" if os_name == "Android" else "Firefox"
+    if "Trident/" in ua or "MSIE" in ua:
+        return "IE"
+    if "Chrome/" in ua:
+        if os_name == "Android":
+            if "; wv)" in ua:
+                return "Chrome Mobile WebView"
+            return "Chrome Mobile" if "Mobile Safari" in ua else "Chrome"
+        return "Chrome"
+    if os_name == "Android" and "Version/" in ua and "Safari" in ua:
+        return "Android"
+    if os_name == "iOS":
+        if "Version/" in ua and "Safari" in ua:
+            return "Mobile Safari"
+        if "AppleWebKit" in ua and "Mobile/" in ua:
+            return "WKWebView"
+    if os_name == "Mac OS X":
+        if "Version/" in ua and "Safari" in ua:
+            return "Safari"
+        if "AppleWebKit" in ua:
+            return "Apple Mail"
+    if os_name == "Linux" and "Version/" in ua and "Safari" in ua:
+        return "Safari"
+    if _looks_like_api_client(ua):
+        return "API Clients"
+    return "Unknown"
+
+
+_API_TOKENS = (
+    "requests", "curl/", "Go-http-client", "axios", "Java/", "Wget/", "libwww-perl",
+    "HttpClient", "aws-sdk", "Faraday", "node-fetch", "Guzzle", "Dalvik", "Ruby",
+    "PostmanRuntime", "insomnia",
+)
+
+
+def _looks_like_api_client(ua: str) -> bool:
+    return any(token in ua for token in _API_TOKENS)

@@ -1,0 +1,22 @@
+"""Path validation against root store snapshots.
+
+:class:`repro.verify.chain.ChainValidator` implements client-side chain
+building and validation (signatures, expiry, CA constraints, trust
+purposes, partial distrust); :mod:`repro.verify.issuance` mints the
+leaves and intermediates the impact experiments validate.
+"""
+
+from repro.verify.chain import ChainValidator, ValidationResult
+from repro.verify.crosssign import ResurrectionWindow, cross_sign, resurrection_window
+from repro.verify.issuance import issue_intermediate, issue_server_leaf, issue_with_scts
+
+__all__ = [
+    "ChainValidator",
+    "ResurrectionWindow",
+    "ValidationResult",
+    "cross_sign",
+    "issue_intermediate",
+    "issue_server_leaf",
+    "issue_with_scts",
+    "resurrection_window",
+]

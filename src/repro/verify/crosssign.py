@@ -1,0 +1,131 @@
+"""Cross-signing: alternative trust paths between CAs.
+
+A cross-sign binds an existing CA's *subject and key* under a different
+issuer, creating a second path to trust.  The paper's Certinomis
+incident is the canonical abuse: after StartCom's roots were distrusted,
+Certinomis cross-signed StartCom, resurrecting a valid path for
+StartCom-issued certificates in every store that still trusted
+Certinomis.
+
+:func:`cross_sign` mints such certificates from catalog specs;
+:func:`resurrection_window` measures, per store, how long the bypass
+worked — which is exactly each store's Certinomis response lag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.simulation.minting import Mint
+from repro.simulation.model import RootSpec, as_utc
+from repro.store.history import StoreHistory
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.name import Name
+
+
+def cross_sign(
+    subject_spec: RootSpec,
+    issuer_spec: RootSpec,
+    mint: Mint,
+    *,
+    not_before: date,
+    lifetime_days: int = 3650,
+) -> Certificate:
+    """Cross-sign ``subject_spec``'s identity under ``issuer_spec``.
+
+    The result carries the subject CA's name and public key but chains
+    to the issuer — so any certificate issued by the subject CA's key
+    now also validates through the issuer's root.
+    """
+    issuer_cert = mint.certificate_for(issuer_spec)
+    issuer_key = mint.key_for(issuer_spec)
+    subject_key = mint.key_for(subject_spec)
+    serial = (
+        int.from_bytes(
+            hashlib.sha256(f"xs/{subject_spec.slug}/{issuer_spec.slug}".encode()).digest()[:8],
+            "big",
+        )
+        | 1
+    )
+    start = as_utc(not_before)
+    return (
+        CertificateBuilder()
+        .subject(
+            Name.build(
+                common_name=subject_spec.common_name,
+                organization=subject_spec.organization,
+                country=subject_spec.country,
+            )
+        )
+        .issuer(issuer_cert.subject)
+        .serial(serial)
+        .valid(start, start + timedelta(days=lifetime_days))
+        .public_key(subject_key.public_key)
+        .ca(True)
+        .sign(issuer_key, "sha256", issuer_public_key=issuer_cert.public_key)
+    )
+
+
+@dataclass(frozen=True)
+class ResurrectionWindow:
+    """How long a cross-sign bypassed a store's distrust of the subject."""
+
+    provider: str
+    #: when the subject CA's own root stopped being trusted
+    subject_removed: date | None
+    #: when the cross-sign's issuer root stopped being trusted
+    issuer_removed: date | None
+    #: when the cross-sign was created
+    cross_signed: date
+    #: days during which the bypass path validated (0 = never)
+    exposure_days: int
+    open_ended: bool = False
+
+
+def resurrection_window(
+    history: StoreHistory,
+    subject_fingerprints: list[str],
+    issuer_fingerprint: str,
+    cross_signed: date,
+) -> ResurrectionWindow:
+    """Measure one store's exposure to a cross-sign bypass.
+
+    The bypass works from ``cross_signed`` (or from when the subject's
+    own roots left the store, if later — before that the direct path
+    exists anyway) until the *issuer* root also leaves the store.
+    """
+    subject_until: date | None = None
+    for fp in subject_fingerprints:
+        until = history.trusted_until(fp)
+        if until is None and history.ever_trusted(fp):
+            subject_until = None  # still directly trusted: no bypass needed
+            break
+        if until is not None:
+            subject_until = max(subject_until or until, until)
+
+    issuer_until = history.trusted_until(issuer_fingerprint)
+    issuer_ever = history.ever_trusted(issuer_fingerprint)
+
+    if not issuer_ever:
+        return ResurrectionWindow(
+            provider=history.provider,
+            subject_removed=subject_until,
+            issuer_removed=None,
+            cross_signed=cross_signed,
+            exposure_days=0,
+        )
+
+    start = max(cross_signed, subject_until or cross_signed)
+    end = issuer_until if issuer_until is not None else history.last_date
+    exposure = max((end - start).days, 0)
+    return ResurrectionWindow(
+        provider=history.provider,
+        subject_removed=subject_until,
+        issuer_removed=issuer_until,
+        cross_signed=cross_signed,
+        exposure_days=exposure,
+        open_ended=issuer_until is None,
+    )

@@ -1,0 +1,147 @@
+"""Leaf/intermediate issuance helpers for impact experiments.
+
+The incident-impact example and the Symantec case-study bench need
+subscriber certificates chained to catalog roots.  This module issues
+them: server leaves (with SAN + serverAuth EKU) and intermediate CAs,
+signed by a root's private key from the simulation mint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from datetime import datetime, timedelta
+
+from repro.asn1.oid import EKU_SERVER_AUTH
+from repro.crypto.rng import DeterministicRandom
+from repro.simulation.minting import Mint
+from repro.simulation.model import RootSpec
+from repro.x509.builder import CertificateBuilder, PrivateKey
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import ExtendedKeyUsage, SubjectAltName
+from repro.x509.name import Name
+
+
+def issue_server_leaf(
+    issuer_spec: RootSpec,
+    mint: Mint,
+    domain: str,
+    *,
+    not_before: datetime,
+    lifetime_days: int = 398,
+    key_bits: int = 1024,
+) -> Certificate:
+    """A TLS server certificate for ``domain``, signed by a catalog root.
+
+    The leaf key is deterministic in (root, domain) so experiments
+    replay byte-identically.
+    """
+    issuer_cert = mint.certificate_for(issuer_spec)
+    issuer_key: PrivateKey = mint.key_for(issuer_spec)
+    rng = DeterministicRandom(f"leaf/{issuer_spec.slug}/{domain}")
+    from repro.crypto.rsa import generate_rsa_key
+
+    leaf_key = generate_rsa_key(key_bits, rng)
+    serial = int.from_bytes(hashlib.sha256(f"{issuer_spec.slug}/{domain}".encode()).digest()[:8], "big") | 1
+    builder = (
+        CertificateBuilder()
+        .subject(Name.build(common_name=domain, organization=f"{domain} operator"))
+        .issuer(issuer_cert.subject)
+        .serial(serial)
+        .valid(not_before, not_before + timedelta(days=lifetime_days))
+        .public_key(leaf_key.public_key)
+        .ca(False)
+        .add_extension(SubjectAltName(dns_names=(domain,)).to_extension())
+        .add_extension(ExtendedKeyUsage(purposes=(EKU_SERVER_AUTH,)).to_extension())
+    )
+    return builder.sign(issuer_key, "sha256", issuer_public_key=issuer_cert.public_key)
+
+
+def issue_with_scts(
+    issuer_spec: RootSpec,
+    mint: Mint,
+    domain: str,
+    logs: list,
+    *,
+    not_before: datetime,
+    lifetime_days: int = 365,
+    key_bits: int = 1024,
+):
+    """The full CT issuance flow (RFC 6962 §3).
+
+    Builds a precertificate (poison extension), submits it to every log
+    in ``logs`` for SCTs, then issues the final certificate with the
+    embedded SCT list.  Returns (final_certificate, precertificate,
+    scts).
+    """
+    from repro.ct.sct import poison_extension, sct_list_extension, submit_precertificate
+
+    issuer_cert = mint.certificate_for(issuer_spec)
+    issuer_key: PrivateKey = mint.key_for(issuer_spec)
+    rng = DeterministicRandom(f"sct-leaf/{issuer_spec.slug}/{domain}")
+    from repro.crypto.rsa import generate_rsa_key
+
+    leaf_key = generate_rsa_key(key_bits, rng)
+    serial = (
+        int.from_bytes(hashlib.sha256(f"sct/{issuer_spec.slug}/{domain}".encode()).digest()[:8], "big")
+        | 1
+    )
+
+    def builder():
+        return (
+            CertificateBuilder()
+            .subject(Name.build(common_name=domain, organization=f"{domain} operator"))
+            .issuer(issuer_cert.subject)
+            .serial(serial)
+            .valid(not_before, not_before + timedelta(days=lifetime_days))
+            .public_key(leaf_key.public_key)
+            .ca(False)
+            .add_extension(SubjectAltName(dns_names=(domain,)).to_extension())
+            .add_extension(ExtendedKeyUsage(purposes=(EKU_SERVER_AUTH,)).to_extension())
+        )
+
+    precert = (
+        builder()
+        .add_extension(poison_extension())
+        .sign(issuer_key, "sha256", issuer_public_key=issuer_cert.public_key)
+    )
+    scts = [submit_precertificate(log, precert) for log in logs]
+    final = (
+        builder()
+        .add_extension(sct_list_extension(scts))
+        .sign(issuer_key, "sha256", issuer_public_key=issuer_cert.public_key)
+    )
+    return final, precert, scts
+
+
+def issue_intermediate(
+    issuer_spec: RootSpec,
+    mint: Mint,
+    name: str,
+    *,
+    not_before: datetime,
+    lifetime_days: int = 3650,
+    key_bits: int = 1024,
+):
+    """An intermediate CA under a catalog root.
+
+    Returns (certificate, private_key) so callers can issue leaves
+    from the intermediate.
+    """
+    issuer_cert = mint.certificate_for(issuer_spec)
+    issuer_key: PrivateKey = mint.key_for(issuer_spec)
+    rng = DeterministicRandom(f"intermediate/{issuer_spec.slug}/{name}")
+    from repro.crypto.rsa import generate_rsa_key
+
+    ca_key = generate_rsa_key(key_bits, rng)
+    serial = int.from_bytes(hashlib.sha256(f"int/{issuer_spec.slug}/{name}".encode()).digest()[:8], "big") | 1
+    builder = (
+        CertificateBuilder()
+        .subject(Name.build(common_name=name, organization=issuer_spec.organization))
+        .issuer(issuer_cert.subject)
+        .serial(serial)
+        .valid(not_before, not_before + timedelta(days=lifetime_days))
+        .public_key(ca_key.public_key)
+        .ca(True, path_length=0)
+    )
+    cert = builder.sign(issuer_key, "sha256", issuer_public_key=issuer_cert.public_key)
+    return cert, ca_key

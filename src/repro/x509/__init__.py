@@ -1,0 +1,49 @@
+"""From-scratch X.509 certificate layer.
+
+Parses and builds version-3 certificates with the extension set that
+root stores and the paper's analyses exercise.  See
+:class:`repro.x509.certificate.Certificate` for the parsed object and
+:class:`repro.x509.builder.CertificateBuilder` for minting.
+"""
+
+from repro.x509.algorithms import AlgorithmIdentifier, PublicKey, decode_spki, encode_spki
+from repro.x509.builder import CertificateBuilder, PrivateKey, key_identifier, signature_oid_for
+from repro.x509.certificate import Certificate, Validity
+from repro.x509.extensions import (
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    CertificatePolicies,
+    ExtendedKeyUsage,
+    Extension,
+    KeyUsage,
+    KeyUsageBit,
+    NameConstraints,
+    SubjectAltName,
+    SubjectKeyIdentifier,
+)
+from repro.x509.name import Name, NameAttribute
+
+__all__ = [
+    "AlgorithmIdentifier",
+    "AuthorityKeyIdentifier",
+    "BasicConstraints",
+    "Certificate",
+    "CertificateBuilder",
+    "CertificatePolicies",
+    "ExtendedKeyUsage",
+    "Extension",
+    "KeyUsage",
+    "KeyUsageBit",
+    "Name",
+    "NameAttribute",
+    "NameConstraints",
+    "PrivateKey",
+    "PublicKey",
+    "SubjectAltName",
+    "SubjectKeyIdentifier",
+    "Validity",
+    "decode_spki",
+    "encode_spki",
+    "key_identifier",
+    "signature_oid_for",
+]

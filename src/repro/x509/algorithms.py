@@ -1,0 +1,104 @@
+"""AlgorithmIdentifier and SubjectPublicKeyInfo encode/decode.
+
+Bridges the crypto layer's key objects to their X.509 wire forms.  A
+parsed key comes back as either :class:`~repro.crypto.rsa.RSAPublicKey`
+or :class:`~repro.crypto.ec.ECPublicKey`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1 import (
+    Element,
+    decode as decode_der,
+    encode_bit_string,
+    encode_null,
+    encode_oid,
+    encode_sequence,
+)
+from repro.asn1.oid import EC_PUBLIC_KEY, RSA_ENCRYPTION, ObjectIdentifier
+from repro.crypto.ec import CURVES_BY_OID, ECPublicKey
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import X509Error
+
+PublicKey = RSAPublicKey | ECPublicKey
+
+
+@dataclass(frozen=True)
+class AlgorithmIdentifier:
+    """SEQUENCE { algorithm OID, parameters ANY OPTIONAL }."""
+
+    oid: ObjectIdentifier
+    parameters: bytes | None = None  # already-encoded TLV, or None for absent
+
+    @classmethod
+    def rsa_signature(cls, oid: ObjectIdentifier) -> "AlgorithmIdentifier":
+        """RSA signature algorithms carry an explicit NULL parameter."""
+        return cls(oid=oid, parameters=encode_null())
+
+    @classmethod
+    def ecdsa_signature(cls, oid: ObjectIdentifier) -> "AlgorithmIdentifier":
+        """ECDSA signature algorithms omit parameters."""
+        return cls(oid=oid, parameters=None)
+
+    def encode(self) -> bytes:
+        components = [encode_oid(self.oid)]
+        if self.parameters is not None:
+            components.append(self.parameters)
+        return encode_sequence(*components)
+
+    @classmethod
+    def decode(cls, element: Element) -> "AlgorithmIdentifier":
+        reader = element.reader()
+        oid = reader.next("algorithm oid").as_oid()
+        params = reader.peek()
+        if params is not None:
+            reader.next()
+            parameters = params.encoded
+        else:
+            parameters = None
+        reader.finish()
+        return cls(oid=oid, parameters=parameters)
+
+
+def encode_spki(key: PublicKey) -> bytes:
+    """Encode SubjectPublicKeyInfo for an RSA or EC public key."""
+    if isinstance(key, RSAPublicKey):
+        algorithm = AlgorithmIdentifier(RSA_ENCRYPTION, encode_null()).encode()
+        return encode_sequence(algorithm, encode_bit_string(key.encode()))
+    if isinstance(key, ECPublicKey):
+        algorithm = AlgorithmIdentifier(EC_PUBLIC_KEY, encode_oid(key.curve.oid)).encode()
+        return encode_sequence(algorithm, encode_bit_string(key.encode_point()))
+    raise X509Error(f"unsupported public key type {type(key).__name__}")
+
+
+def decode_spki(element: Element) -> PublicKey:
+    """Decode SubjectPublicKeyInfo into a crypto-layer key object."""
+    reader = element.reader()
+    algorithm = AlgorithmIdentifier.decode(reader.next("algorithm"))
+    key_bits = reader.next("subjectPublicKey")
+    reader.finish()
+    data, unused = key_bits.as_bit_string()
+    if unused:
+        raise X509Error("subjectPublicKey BIT STRING has unused bits")
+    if algorithm.oid == RSA_ENCRYPTION:
+        return RSAPublicKey.decode(data)
+    if algorithm.oid == EC_PUBLIC_KEY:
+        if algorithm.parameters is None:
+            raise X509Error("EC key missing named-curve parameters")
+        curve_oid = decode_der(algorithm.parameters).as_oid()
+        curve = CURVES_BY_OID.get(curve_oid)
+        if curve is None:
+            raise X509Error(f"unsupported named curve {curve_oid}")
+        return ECPublicKey.decode_point(curve, data)
+    raise X509Error(f"unsupported public key algorithm {algorithm.oid}")
+
+
+def key_type(key: PublicKey) -> str:
+    """"rsa" or "ec" — used by hygiene metrics and reports."""
+    if isinstance(key, RSAPublicKey):
+        return "rsa"
+    if isinstance(key, ECPublicKey):
+        return "ec"
+    raise X509Error(f"unsupported public key type {type(key).__name__}")

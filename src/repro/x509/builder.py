@@ -1,0 +1,214 @@
+"""Certificate construction.
+
+:class:`CertificateBuilder` assembles a TBSCertificate, signs it with an
+RSA or EC private key, and returns a parsed :class:`Certificate`.  It
+supports self-signed roots, CA-signed subordinates, and cross-signs
+(same subject/key, different issuer) — the three shapes the ecosystem
+simulator mints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+import hashlib
+
+from repro.asn1 import (
+    encode_bit_string,
+    encode_context,
+    encode_integer,
+    encode_sequence,
+    encode_time,
+)
+from repro.asn1.oid import (
+    ECDSA_WITH_SHA256,
+    ECDSA_WITH_SHA384,
+    MD5_WITH_RSA,
+    SHA1_WITH_RSA,
+    SHA256_WITH_RSA,
+    SHA384_WITH_RSA,
+    ObjectIdentifier,
+)
+from repro.crypto.digests import digest_for_signature_oid
+from repro.crypto.ec import ECPrivateKey
+from repro.crypto.rng import DeterministicRandom
+from repro.crypto.rsa import RSAPrivateKey
+from repro.errors import X509Error
+from repro.x509.algorithms import AlgorithmIdentifier, PublicKey, encode_spki
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import (
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    Extension,
+    KeyUsage,
+    SubjectKeyIdentifier,
+)
+from repro.x509.name import Name
+
+PrivateKey = RSAPrivateKey | ECPrivateKey
+
+#: Signature OIDs by (scheme, digest name).
+_SIGNATURE_OIDS: dict[tuple[str, str], ObjectIdentifier] = {
+    ("rsa", "md5"): MD5_WITH_RSA,
+    ("rsa", "sha1"): SHA1_WITH_RSA,
+    ("rsa", "sha256"): SHA256_WITH_RSA,
+    ("rsa", "sha384"): SHA384_WITH_RSA,
+    ("ecdsa", "sha256"): ECDSA_WITH_SHA256,
+    ("ecdsa", "sha384"): ECDSA_WITH_SHA384,
+}
+
+
+def signature_oid_for(key: PrivateKey, digest_name: str) -> ObjectIdentifier:
+    """The signature algorithm OID for a key type and digest name."""
+    scheme = "rsa" if isinstance(key, RSAPrivateKey) else "ecdsa"
+    try:
+        return _SIGNATURE_OIDS[(scheme, digest_name)]
+    except KeyError as exc:
+        raise X509Error(f"unsupported {scheme} digest {digest_name!r}") from exc
+
+
+def key_identifier(key: PublicKey) -> bytes:
+    """RFC 5280 method 1 SKI: SHA-1 of the subjectPublicKey bits."""
+    if hasattr(key, "encode_point"):
+        bits = key.encode_point()
+    else:
+        bits = key.encode()
+    return hashlib.sha1(bits).digest()
+
+
+@dataclass
+class CertificateBuilder:
+    """Accumulates TBSCertificate fields, then signs.
+
+    Typical use::
+
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(common_name="Example Root CA", organization="Example"))
+            .serial(1)
+            .valid(from_=dt(2015, 1, 1), to=dt(2035, 1, 1))
+            .public_key(key.public_key)
+            .ca(True)
+            .self_sign(key, "sha256")
+        )
+    """
+
+    _subject: Name | None = None
+    _issuer: Name | None = None
+    _serial: int | None = None
+    _not_before: datetime | None = None
+    _not_after: datetime | None = None
+    _public_key: PublicKey | None = None
+    _extensions: list[Extension] = field(default_factory=list)
+    _is_ca: bool | None = None
+
+    def subject(self, name: Name) -> "CertificateBuilder":
+        self._subject = name
+        return self
+
+    def issuer(self, name: Name) -> "CertificateBuilder":
+        self._issuer = name
+        return self
+
+    def serial(self, serial: int) -> "CertificateBuilder":
+        if serial <= 0:
+            raise X509Error("serial number must be positive")
+        self._serial = serial
+        return self
+
+    def valid(self, from_: datetime, to: datetime) -> "CertificateBuilder":
+        if from_ >= to:
+            raise X509Error("notBefore must precede notAfter")
+        self._not_before = from_
+        self._not_after = to
+        return self
+
+    def public_key(self, key: PublicKey) -> "CertificateBuilder":
+        self._public_key = key
+        return self
+
+    def ca(self, is_ca: bool, path_length: int | None = None) -> "CertificateBuilder":
+        """Attach BasicConstraints and the conventional CA KeyUsage."""
+        self._is_ca = is_ca
+        self._extensions.append(BasicConstraints(ca=is_ca, path_length=path_length).to_extension())
+        if is_ca:
+            self._extensions.append(KeyUsage.ca_usage().to_extension())
+        return self
+
+    def add_extension(self, extension: Extension) -> "CertificateBuilder":
+        self._extensions.append(extension)
+        return self
+
+    # -- signing ----------------------------------------------------------
+
+    def self_sign(
+        self,
+        key: PrivateKey,
+        digest_name: str = "sha256",
+        rng: DeterministicRandom | None = None,
+    ) -> Certificate:
+        """Sign with the subject's own key (issuer = subject)."""
+        self._issuer = self._require(self._subject, "subject")
+        if self._public_key is None:
+            self._public_key = key.public_key
+        return self.sign(key, digest_name, rng=rng, issuer_public_key=key.public_key)
+
+    def sign(
+        self,
+        issuer_key: PrivateKey,
+        digest_name: str = "sha256",
+        *,
+        rng: DeterministicRandom | None = None,
+        issuer_public_key: PublicKey | None = None,
+    ) -> Certificate:
+        """Sign the assembled TBSCertificate with ``issuer_key``."""
+        subject = self._require(self._subject, "subject")
+        issuer = self._require(self._issuer, "issuer")
+        serial = self._require(self._serial, "serial number")
+        not_before = self._require(self._not_before, "notBefore")
+        not_after = self._require(self._not_after, "notAfter")
+        public_key = self._require(self._public_key, "public key")
+
+        sig_oid = signature_oid_for(issuer_key, digest_name)
+        if isinstance(issuer_key, RSAPrivateKey):
+            algorithm = AlgorithmIdentifier.rsa_signature(sig_oid)
+        else:
+            algorithm = AlgorithmIdentifier.ecdsa_signature(sig_oid)
+
+        extensions = list(self._extensions)
+        extensions.append(SubjectKeyIdentifier(key_identifier(public_key)).to_extension())
+        if issuer_public_key is not None and issuer != subject:
+            extensions.append(
+                AuthorityKeyIdentifier(key_identifier(issuer_public_key)).to_extension()
+            )
+
+        tbs = encode_sequence(
+            encode_context(0, encode_integer(2)),  # version v3
+            encode_integer(serial),
+            algorithm.encode(),
+            issuer.encode(),
+            encode_sequence(encode_time(not_before), encode_time(not_after)),
+            subject.encode(),
+            encode_spki(public_key),
+            encode_context(3, encode_sequence(*(e.encode() for e in extensions))),
+        )
+
+        digest = digest_for_signature_oid(sig_oid)
+        if isinstance(issuer_key, RSAPrivateKey):
+            signature = issuer_key.sign(tbs, digest)
+        else:
+            if rng is None:
+                # Deterministic fallback: derive the nonce stream from the
+                # TBS bytes so re-signing the same content is replayable.
+                rng = DeterministicRandom(hashlib.sha256(tbs).digest())
+            signature = issuer_key.sign(tbs, digest, rng)
+
+        der = encode_sequence(tbs, algorithm.encode(), encode_bit_string(signature))
+        return Certificate.from_der(der)
+
+    @staticmethod
+    def _require(value, label: str):
+        if value is None:
+            raise X509Error(f"certificate builder is missing the {label}")
+        return value

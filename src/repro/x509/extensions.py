@@ -1,0 +1,318 @@
+"""X.509 v3 extensions.
+
+Each extension type knows how to encode its value octets and how to
+decode itself from a generic :class:`Extension`.  The set implemented
+here is exactly what root certificates and the paper's analyses need:
+BasicConstraints, KeyUsage, ExtendedKeyUsage, Subject/Authority Key
+Identifier, SubjectAltName, CertificatePolicies, and NameConstraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.asn1 import (
+    Element,
+    decode as decode_der,
+    encode_boolean,
+    encode_context,
+    encode_ia5_string,
+    encode_integer,
+    encode_named_bit_string,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+)
+from repro.asn1 import tags
+from repro.asn1.oid import (
+    AUTHORITY_KEY_IDENTIFIER,
+    BASIC_CONSTRAINTS,
+    CERTIFICATE_POLICIES,
+    EXTENDED_KEY_USAGE,
+    KEY_USAGE,
+    NAME_CONSTRAINTS,
+    SUBJECT_ALT_NAME,
+    SUBJECT_KEY_IDENTIFIER,
+    ObjectIdentifier,
+)
+from repro.errors import X509Error
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A raw extension: OID, criticality, and DER value octets."""
+
+    oid: ObjectIdentifier
+    critical: bool
+    value: bytes  # the content of the OCTET STRING wrapper
+
+    def encode(self) -> bytes:
+        components = [encode_oid(self.oid)]
+        if self.critical:  # DEFAULT FALSE must be omitted in DER
+            components.append(encode_boolean(True))
+        components.append(encode_octet_string(self.value))
+        return encode_sequence(*components)
+
+    @classmethod
+    def decode(cls, element: Element) -> "Extension":
+        reader = element.reader()
+        oid = reader.next("extnID").as_oid()
+        critical = False
+        flag = reader.take_universal(tags.UniversalTag.BOOLEAN)
+        if flag is not None:
+            critical = flag.as_boolean()
+        value = reader.next("extnValue").as_octet_string()
+        reader.finish()
+        return cls(oid=oid, critical=critical, value=value)
+
+
+@dataclass(frozen=True)
+class BasicConstraints:
+    """CA flag and optional path length."""
+
+    ca: bool
+    path_length: int | None = None
+
+    OID = BASIC_CONSTRAINTS
+
+    def to_extension(self, critical: bool = True) -> Extension:
+        components = []
+        if self.ca:  # DEFAULT FALSE
+            components.append(encode_boolean(True))
+        if self.path_length is not None:
+            components.append(encode_integer(self.path_length))
+        return Extension(self.OID, critical, encode_sequence(*components))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "BasicConstraints":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not a BasicConstraints extension: {extension.oid}")
+        reader = decode_der(extension.value).reader()
+        ca = False
+        flag = reader.take_universal(tags.UniversalTag.BOOLEAN)
+        if flag is not None:
+            ca = flag.as_boolean()
+        path_length = None
+        length = reader.take_universal(tags.UniversalTag.INTEGER)
+        if length is not None:
+            path_length = length.as_integer()
+        reader.finish()
+        return cls(ca=ca, path_length=path_length)
+
+
+class KeyUsageBit(IntEnum):
+    """Named bits of the KeyUsage BIT STRING."""
+
+    DIGITAL_SIGNATURE = 0
+    NON_REPUDIATION = 1
+    KEY_ENCIPHERMENT = 2
+    DATA_ENCIPHERMENT = 3
+    KEY_AGREEMENT = 4
+    KEY_CERT_SIGN = 5
+    CRL_SIGN = 6
+    ENCIPHER_ONLY = 7
+    DECIPHER_ONLY = 8
+
+
+@dataclass(frozen=True)
+class KeyUsage:
+    """The KeyUsage extension as a set of named bits."""
+
+    bits: frozenset[KeyUsageBit]
+
+    OID = KEY_USAGE
+
+    @classmethod
+    def ca_usage(cls) -> "KeyUsage":
+        """The conventional root CA usage: certSign + cRLSign."""
+        return cls(frozenset({KeyUsageBit.KEY_CERT_SIGN, KeyUsageBit.CRL_SIGN}))
+
+    def to_extension(self, critical: bool = True) -> Extension:
+        return Extension(self.OID, critical, encode_named_bit_string(int(b) for b in self.bits))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "KeyUsage":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not a KeyUsage extension: {extension.oid}")
+        positions = decode_der(extension.value).as_named_bits()
+        return cls(frozenset(KeyUsageBit(p) for p in positions if p <= 8))
+
+    def allows(self, bit: KeyUsageBit) -> bool:
+        return bit in self.bits
+
+
+@dataclass(frozen=True)
+class ExtendedKeyUsage:
+    """The EKU extension as an ordered tuple of purpose OIDs."""
+
+    purposes: tuple[ObjectIdentifier, ...]
+
+    OID = EXTENDED_KEY_USAGE
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        return Extension(
+            self.OID, critical, encode_sequence(*(encode_oid(p) for p in self.purposes))
+        )
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "ExtendedKeyUsage":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not an ExtendedKeyUsage extension: {extension.oid}")
+        purposes = tuple(child.as_oid() for child in decode_der(extension.value).children())
+        return cls(purposes=purposes)
+
+
+@dataclass(frozen=True)
+class SubjectKeyIdentifier:
+    """SKI: an opaque key-derived identifier (we use SHA-1 of the SPKI key bits)."""
+
+    digest: bytes
+
+    OID = SUBJECT_KEY_IDENTIFIER
+
+    def to_extension(self) -> Extension:
+        return Extension(self.OID, False, encode_octet_string(self.digest))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "SubjectKeyIdentifier":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not a SubjectKeyIdentifier extension: {extension.oid}")
+        return cls(digest=decode_der(extension.value).as_octet_string())
+
+
+@dataclass(frozen=True)
+class AuthorityKeyIdentifier:
+    """AKI restricted to the keyIdentifier [0] choice."""
+
+    key_identifier: bytes
+
+    OID = AUTHORITY_KEY_IDENTIFIER
+
+    def to_extension(self) -> Extension:
+        inner = encode_context(0, self.key_identifier, constructed=False)
+        return Extension(self.OID, False, encode_sequence(inner))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "AuthorityKeyIdentifier":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not an AuthorityKeyIdentifier extension: {extension.oid}")
+        reader = decode_der(extension.value).reader()
+        key_id = reader.take_context(0)
+        if key_id is None:
+            raise X509Error("AKI without keyIdentifier is not supported")
+        return cls(key_identifier=key_id.content)
+
+
+@dataclass(frozen=True)
+class SubjectAltName:
+    """SAN restricted to dNSName [2] entries (all this library emits)."""
+
+    dns_names: tuple[str, ...]
+
+    OID = SUBJECT_ALT_NAME
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        names = [
+            encode_context(2, name.encode("ascii"), constructed=False)
+            for name in self.dns_names
+        ]
+        return Extension(self.OID, critical, encode_sequence(*names))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "SubjectAltName":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not a SubjectAltName extension: {extension.oid}")
+        names = []
+        for child in decode_der(extension.value).children():
+            if child.is_context(2):
+                names.append(child.content.decode("ascii"))
+        return cls(dns_names=tuple(names))
+
+
+@dataclass(frozen=True)
+class CertificatePolicies:
+    """Policy OIDs only (no qualifiers)."""
+
+    policy_oids: tuple[ObjectIdentifier, ...]
+
+    OID = CERTIFICATE_POLICIES
+
+    def to_extension(self, critical: bool = False) -> Extension:
+        infos = [encode_sequence(encode_oid(p)) for p in self.policy_oids]
+        return Extension(self.OID, critical, encode_sequence(*infos))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "CertificatePolicies":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not a CertificatePolicies extension: {extension.oid}")
+        oids = []
+        for info in decode_der(extension.value).children():
+            reader = info.reader()
+            oids.append(reader.next("policyIdentifier").as_oid())
+        return cls(policy_oids=tuple(oids))
+
+
+@dataclass(frozen=True)
+class NameConstraints:
+    """Permitted/excluded dNSName subtrees (the super-CA constraint tool)."""
+
+    permitted_dns: tuple[str, ...] = field(default=())
+    excluded_dns: tuple[str, ...] = field(default=())
+
+    OID = NAME_CONSTRAINTS
+
+    def to_extension(self, critical: bool = True) -> Extension:
+        components = []
+        if self.permitted_dns:
+            components.append(encode_context(0, _encode_subtrees(self.permitted_dns)))
+        if self.excluded_dns:
+            components.append(encode_context(1, _encode_subtrees(self.excluded_dns)))
+        return Extension(self.OID, critical, encode_sequence(*components))
+
+    @classmethod
+    def from_extension(cls, extension: Extension) -> "NameConstraints":
+        if extension.oid != cls.OID:
+            raise X509Error(f"not a NameConstraints extension: {extension.oid}")
+        reader = decode_der(extension.value).reader()
+        permitted: tuple[str, ...] = ()
+        excluded: tuple[str, ...] = ()
+        branch = reader.take_context(0)
+        if branch is not None:
+            permitted = _decode_subtrees(branch)
+        branch = reader.take_context(1)
+        if branch is not None:
+            excluded = _decode_subtrees(branch)
+        reader.finish()
+        return cls(permitted_dns=permitted, excluded_dns=excluded)
+
+
+def _encode_subtrees(names: tuple[str, ...]) -> bytes:
+    """GeneralSubtrees content (sequence of GeneralSubtree with dNSName base)."""
+    out = []
+    for name in names:
+        base = encode_context(2, name.encode("ascii"), constructed=False)
+        out.append(encode_sequence(base))
+    return b"".join(out)
+
+
+def _decode_subtrees(branch: Element) -> tuple[str, ...]:
+    names = []
+    for subtree in branch.children():
+        base = subtree.children()[0]
+        if base.is_context(2):
+            names.append(base.content.decode("ascii"))
+    return tuple(names)
+
+
+#: Decoders by OID, used by :meth:`Certificate.extension_value`.
+TYPED_EXTENSIONS = {
+    BasicConstraints.OID: BasicConstraints.from_extension,
+    KeyUsage.OID: KeyUsage.from_extension,
+    ExtendedKeyUsage.OID: ExtendedKeyUsage.from_extension,
+    SubjectKeyIdentifier.OID: SubjectKeyIdentifier.from_extension,
+    AuthorityKeyIdentifier.OID: AuthorityKeyIdentifier.from_extension,
+    SubjectAltName.OID: SubjectAltName.from_extension,
+    CertificatePolicies.OID: CertificatePolicies.from_extension,
+    NameConstraints.OID: NameConstraints.from_extension,
+}

@@ -1,0 +1,131 @@
+"""X.501 distinguished names.
+
+A :class:`Name` is an ordered sequence of (attribute-type OID, value)
+pairs — we model each RDN as a single attribute, which covers every
+certificate this library mints and the overwhelming majority of real
+roots.  Names are hashable so they can key issuer/subject lookups in
+chain building and in the NSS trust-object matching logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asn1 import (
+    Element,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_utf8_string,
+)
+from repro.asn1.oid import (
+    COMMON_NAME,
+    COUNTRY_NAME,
+    LOCALITY_NAME,
+    ORGANIZATION_NAME,
+    ORGANIZATIONAL_UNIT,
+    STATE_OR_PROVINCE,
+    ObjectIdentifier,
+)
+from repro.errors import X509Error
+
+_PRINTABLE = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?")
+
+
+@dataclass(frozen=True)
+class NameAttribute:
+    """One AttributeTypeAndValue."""
+
+    oid: ObjectIdentifier
+    value: str
+
+    def encode(self) -> bytes:
+        """Encode as a single-attribute RelativeDistinguishedName (SET)."""
+        if set(self.value) <= _PRINTABLE:
+            value_der = encode_printable_string(self.value)
+        else:
+            value_der = encode_utf8_string(self.value)
+        atv = encode_sequence(encode_oid(self.oid), value_der)
+        return encode_set(atv)
+
+    def __str__(self) -> str:
+        return f"{self.oid.name}={self.value}"
+
+
+@dataclass(frozen=True)
+class Name:
+    """An ordered distinguished name."""
+
+    attributes: tuple[NameAttribute, ...]
+
+    @classmethod
+    def build(
+        cls,
+        common_name: str | None = None,
+        organization: str | None = None,
+        organizational_unit: str | None = None,
+        country: str | None = None,
+        state: str | None = None,
+        locality: str | None = None,
+    ) -> "Name":
+        """Convenience constructor in conventional C/ST/L/O/OU/CN order."""
+        parts: list[NameAttribute] = []
+        if country:
+            parts.append(NameAttribute(COUNTRY_NAME, country))
+        if state:
+            parts.append(NameAttribute(STATE_OR_PROVINCE, state))
+        if locality:
+            parts.append(NameAttribute(LOCALITY_NAME, locality))
+        if organization:
+            parts.append(NameAttribute(ORGANIZATION_NAME, organization))
+        if organizational_unit:
+            parts.append(NameAttribute(ORGANIZATIONAL_UNIT, organizational_unit))
+        if common_name:
+            parts.append(NameAttribute(COMMON_NAME, common_name))
+        if not parts:
+            raise X509Error("a Name needs at least one attribute")
+        return cls(attributes=tuple(parts))
+
+    def encode(self) -> bytes:
+        """Encode RDNSequence."""
+        return encode_sequence(*(attr.encode() for attr in self.attributes))
+
+    @classmethod
+    def decode(cls, element: Element) -> "Name":
+        """Decode an RDNSequence element."""
+        attributes: list[NameAttribute] = []
+        for rdn in element.children():
+            for atv in rdn.children():
+                reader = atv.reader()
+                oid = reader.next("attribute type").as_oid()
+                value = reader.next("attribute value").as_string()
+                reader.finish()
+                attributes.append(NameAttribute(oid, value))
+        return cls(attributes=tuple(attributes))
+
+    def get(self, oid: ObjectIdentifier) -> str | None:
+        """First value of the given attribute type, or None."""
+        for attr in self.attributes:
+            if attr.oid == oid:
+                return attr.value
+        return None
+
+    @property
+    def common_name(self) -> str | None:
+        return self.get(COMMON_NAME)
+
+    @property
+    def organization(self) -> str | None:
+        return self.get(ORGANIZATION_NAME)
+
+    @property
+    def country(self) -> str | None:
+        return self.get(COUNTRY_NAME)
+
+    def rfc4514(self) -> str:
+        """Render like ``CN=Example Root CA, O=Example, C=US``."""
+        return ", ".join(str(attr) for attr in reversed(self.attributes))
+
+    def __str__(self) -> str:
+        return self.rfc4514()

@@ -1,0 +1,71 @@
+"""Tests for the release-agility analysis."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import agility_profile, agility_report, projection_check
+from repro.errors import AnalysisError
+from repro.store import RootStoreSnapshot, StoreHistory, TrustEntry
+
+
+class TestProfile:
+    def test_corpus_cadences(self, dataset):
+        nss = agility_profile(dataset["nss"])
+        assert nss.releases == len(dataset["nss"])
+        # NSS releases roughly monthly.
+        assert 25 <= nss.mean_gap <= 45
+        assert nss.substantial_releases < nss.releases
+
+    def test_synthetic_gaps(self, sample_certs):
+        history = StoreHistory("x")
+        entries = [TrustEntry.make(c) for c in sample_certs]
+        history.add(RootStoreSnapshot.build("x", date(2020, 1, 1), "1", entries))
+        history.add(RootStoreSnapshot.build("x", date(2020, 1, 11), "2", entries[:2]))
+        history.add(RootStoreSnapshot.build("x", date(2020, 1, 31), "3", entries[:1]))
+        profile = agility_profile(history)
+        assert profile.mean_gap == 15
+        assert profile.median_gap == 15
+        assert profile.max_gap == 20
+        assert profile.substantial_releases == 3
+
+    def test_projection_is_half_substantial_gap(self, sample_certs):
+        history = StoreHistory("x")
+        entries = [TrustEntry.make(c) for c in sample_certs]
+        history.add(RootStoreSnapshot.build("x", date(2020, 1, 1), "1", entries))
+        history.add(RootStoreSnapshot.build("x", date(2020, 3, 1), "2", entries[:1]))
+        profile = agility_profile(history)
+        assert profile.projected_response_days == pytest.approx(profile.mean_substantial_gap / 2)
+
+    def test_single_snapshot_rejected(self, sample_certs):
+        history = StoreHistory("x")
+        history.add(
+            RootStoreSnapshot.build("x", date(2020, 1, 1), "1", [TrustEntry.make(sample_certs[0])])
+        )
+        with pytest.raises(AnalysisError):
+            agility_profile(history)
+
+
+class TestReport:
+    def test_sorted_by_substantial_cadence(self, dataset):
+        report = agility_report(dataset, ("nss", "debian", "android", "java"))
+        gaps = [p.mean_substantial_gap for p in report]
+        assert gaps == sorted(gaps)
+
+    def test_missing_providers_skipped(self, dataset):
+        report = agility_report(dataset, ("nss", "not-a-store"))
+        assert [p.provider for p in report] == ["nss"]
+
+
+class TestProjectionCheck:
+    def test_apple_proactive(self, dataset):
+        check = projection_check(dataset, "apple", [-758, 6])
+        assert check.proactive
+
+    def test_lag_dominated(self, dataset):
+        check = projection_check(dataset, "amazonlinux", [461, 571, 630])
+        assert check.lag_dominated
+
+    def test_empty_lags_rejected(self, dataset):
+        with pytest.raises(AnalysisError):
+            projection_check(dataset, "nss", [])

@@ -1,0 +1,143 @@
+"""Tests for name-constraint inference and ASCII time-series rendering."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import (
+    attack_surface,
+    chart,
+    constraints_extension,
+    infer_constraints,
+    issuance_profile,
+    resample,
+    sparkline,
+)
+from repro.analysis.constraints import TLDS
+from repro.errors import AnalysisError
+from repro.x509.extensions import NameConstraints
+
+
+class TestIssuanceProfile:
+    def test_deterministic(self, dataset):
+        snapshot = dataset["nss"].latest()
+        assert issuance_profile(snapshot).issuance == issuance_profile(snapshot).issuance
+
+    def test_covers_all_tls_roots(self, dataset):
+        snapshot = dataset["nss"].latest()
+        profile = issuance_profile(snapshot)
+        assert set(profile.roots) == set(snapshot.tls_fingerprints())
+
+    def test_mostly_regional(self, dataset):
+        snapshot = dataset["nss"].latest()
+        profile = issuance_profile(snapshot)
+        regional = sum(1 for fp in profile.roots if len(profile.tlds_for(fp)) <= 3)
+        assert regional > len(profile.roots) * 0.6
+
+    def test_empty_store_rejected(self, dataset):
+        from repro.store import RootStoreSnapshot
+
+        empty = RootStoreSnapshot.build("x", date(2020, 1, 1), "1", [])
+        with pytest.raises(AnalysisError):
+            issuance_profile(empty)
+
+
+class TestInference:
+    def test_constraints_match_observations(self, dataset):
+        snapshot = dataset["nss"].latest()
+        profile = issuance_profile(snapshot)
+        constraints = infer_constraints(profile)
+        for fp in profile.roots:
+            assert constraints.as_dict[fp] == profile.tlds_for(fp)
+
+    def test_allows(self, dataset):
+        snapshot = dataset["nss"].latest()
+        profile = issuance_profile(snapshot)
+        constraints = infer_constraints(profile)
+        fp = profile.roots[0]
+        permitted = profile.tlds_for(fp)
+        blocked = next(t for t in TLDS if t not in permitted) if len(permitted) < len(TLDS) else None
+        for tld in permitted:
+            assert constraints.allows(fp, tld)
+        if blocked:
+            assert not constraints.allows(fp, blocked)
+
+    def test_unknown_root_unconstrained(self, dataset):
+        snapshot = dataset["nss"].latest()
+        constraints = infer_constraints(issuance_profile(snapshot))
+        assert constraints.allows("ffff" * 16, "com")
+
+
+class TestAttackSurface:
+    def test_large_reduction(self, dataset):
+        """The CAge headline: constraints remove most of the surface."""
+        snapshot = dataset["nss"].latest()
+        profile = issuance_profile(snapshot)
+        surface = attack_surface(snapshot, infer_constraints(profile))
+        assert surface.reduction > 0.5
+        assert surface.unconstrained_pairs == surface.roots * surface.tlds
+
+    def test_no_violations_on_same_profile(self, dataset):
+        snapshot = dataset["nss"].latest()
+        profile = issuance_profile(snapshot)
+        surface = attack_surface(
+            snapshot, infer_constraints(profile), future_profile=profile
+        )
+        assert surface.violation_rate == 0.0
+
+    def test_drifted_future_violates(self, dataset):
+        snapshot = dataset["nss"].latest()
+        constraints = infer_constraints(issuance_profile(snapshot, seed="observed"))
+        drifted = issuance_profile(snapshot, seed="future-drift")
+        surface = attack_surface(snapshot, constraints, future_profile=drifted)
+        assert surface.violation_rate > 0.0
+
+
+class TestConstraintsExtension:
+    def test_renders_real_name_constraints(self):
+        ext = constraints_extension(frozenset({"de", "fr"}))
+        decoded = NameConstraints.from_extension(ext)
+        assert decoded.permitted_dns == (".de", ".fr")
+
+
+class TestTimeseries:
+    def test_sparkline_scaling(self):
+        line = sparkline([0, 5, 10], maximum=10)
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_gaps(self):
+        assert sparkline([None, 1.0])[0] == " "
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_resample_step_semantics(self):
+        points = [(date(2020, 1, 1), 1.0), (date(2020, 1, 11), 2.0)]
+        values = resample(points, buckets=11)
+        assert values[0] == 1.0 and values[-1] == 2.0
+        assert values[5] == 1.0  # before the step lands
+
+    def test_resample_leading_gap(self):
+        points = [(date(2020, 6, 1), 1.0)]
+        values = resample(points, buckets=10, start=date(2020, 1, 1), end=date(2020, 12, 1))
+        assert values[0] is None
+        assert values[-1] == 1.0
+
+    def test_chart_alignment(self):
+        series = [
+            ("long", [(date(2010, 1, 1), 1.0), (date(2020, 1, 1), 2.0)]),
+            ("short", [(date(2019, 1, 1), 3.0)]),
+        ]
+        text = chart(series, buckets=20, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        long_line = next(l for l in lines if l.startswith("long"))
+        short_line = next(l for l in lines if l.startswith("short"))
+        # The short series leaves a leading gap on the shared axis.
+        assert short_line.split("|")[1].startswith(" ")
+        assert not long_line.split("|")[1].startswith(" ")
+        assert "2010-01" in lines[-1] and "2020-01" in lines[-1]
+
+    def test_chart_empty(self):
+        assert chart([], title="empty") == "empty"

@@ -1,0 +1,59 @@
+"""Tests for the Figure 2 ecosystem graph."""
+
+import pytest
+
+from repro.analysis import build_ecosystem_graph, provider_reachability, pyramid_stats
+from repro.useragents import sample_top_200
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_ecosystem_graph(sample_top_200())
+
+
+@pytest.fixture(scope="module")
+def stats(graph):
+    return pyramid_stats(graph)
+
+
+class TestPyramid:
+    def test_layer_widths(self, stats):
+        assert stats.user_agents == 200
+        assert stats.providers == 10
+        assert stats.programs == 4
+
+    def test_inverted(self, stats):
+        assert stats.inverted
+
+    def test_attribution_count(self, stats):
+        assert stats.attributed_user_agents == 154
+
+    def test_program_shares(self, stats):
+        assert stats.program_shares["nss"] == 67
+        assert stats.program_shares["apple"] == 53
+        assert stats.program_shares["microsoft"] == 34
+        assert "java" not in stats.program_shares
+
+    def test_majority_programs(self, stats):
+        majority = stats.majority_programs()
+        assert majority[0] == "nss"
+        assert set(majority) <= {"nss", "apple", "microsoft"}
+
+    def test_share_helper(self, stats):
+        assert abs(stats.share("nss") - 0.335) < 0.01
+
+
+class TestGraphStructure:
+    def test_provider_program_edges(self, graph):
+        assert graph.has_edge("provider:debian", "program:nss")
+        assert graph.has_edge("provider:apple", "program:apple")
+
+    def test_layers_assigned(self, graph):
+        layers = {d["layer"] for _, d in graph.nodes(data=True)}
+        assert layers == {"user-agent", "provider", "program"}
+
+    def test_reachability(self, graph):
+        reach = provider_reachability(graph)
+        assert reach["android"] >= 48  # Chrome Mobile's versions
+        assert reach["java"] == 0  # no top UA rests on Java
+        assert sum(reach.values()) == 154

@@ -1,0 +1,116 @@
+"""Tests for family clustering and outlier detection (Figure 1)."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cluster_families,
+    collect_snapshots,
+    distance_matrix,
+    find_outliers,
+    provider_distance_matrix,
+)
+from repro.analysis.jaccard import LabelledMatrix
+
+
+@pytest.fixture(scope="module")
+def labelled(dataset):
+    snapshots = collect_snapshots(dataset, since=date(2011, 1, 1))
+    return distance_matrix(snapshots)
+
+
+def _toy_matrix():
+    """Two providers close together, one far away."""
+    labels = (
+        ("a", date(2020, 1, 1), "1"),
+        ("a", date(2020, 6, 1), "2"),
+        ("b", date(2020, 1, 1), "1"),
+        ("c", date(2020, 1, 1), "1"),
+    )
+    matrix = np.array(
+        [
+            [0.0, 0.1, 0.15, 0.9],
+            [0.1, 0.0, 0.1, 0.9],
+            [0.15, 0.1, 0.0, 0.9],
+            [0.9, 0.9, 0.9, 0.0],
+        ]
+    )
+    return LabelledMatrix(labels=labels, matrix=matrix)
+
+
+class TestProviderMatrix:
+    def test_toy(self):
+        pm = provider_distance_matrix(_toy_matrix())
+        assert pm.providers == ("a", "b", "c")
+        assert pm.matrix[0, 1] < 0.2
+        assert pm.matrix[0, 2] == 0.9
+
+    def test_symmetric_zero_diagonal(self, labelled):
+        pm = provider_distance_matrix(labelled)
+        assert np.allclose(pm.matrix, pm.matrix.T)
+        assert np.allclose(np.diag(pm.matrix), 0.0)
+
+    def test_derivatives_close_to_nss(self, labelled):
+        pm = provider_distance_matrix(labelled)
+        index = {p: i for i, p in enumerate(pm.providers)}
+        for derivative in ("alpine", "debian", "nodejs", "android"):
+            assert pm.matrix[index["nss"], index[derivative]] < pm.matrix[index["nss"], index["apple"]]
+
+
+class TestClustering:
+    def test_toy_auto_cut(self):
+        assignment = cluster_families(_toy_matrix())
+        assert assignment.cluster_count == 2
+        assert assignment.provider_family["a"] == assignment.provider_family["b"]
+        assert assignment.provider_family["a"] != assignment.provider_family["c"]
+
+    def test_explicit_threshold(self):
+        assignment = cluster_families(_toy_matrix(), threshold=0.05)
+        assert assignment.cluster_count == 3
+
+    def test_corpus_four_families(self, labelled):
+        assignment = cluster_families(labelled)
+        assert assignment.cluster_count == 4
+
+    def test_corpus_family_membership(self, labelled):
+        assignment = cluster_families(labelled)
+        nss_family = {
+            p for p in assignment.providers if assignment.family_of(p) == "nss"
+        }
+        assert nss_family == {
+            "nss", "alpine", "amazonlinux", "android", "debian", "nodejs", "ubuntu",
+        }
+        for loner in ("apple", "microsoft", "java"):
+            assert assignment.family_of(loner) == loner
+
+    def test_family_name_prefers_program(self, labelled):
+        assignment = cluster_families(labelled)
+        cluster = assignment.provider_family["debian"]
+        assert assignment.family_name(cluster) == "nss"
+
+
+class TestOutliers:
+    def test_java_2018_churn_detected(self, dataset):
+        outliers = find_outliers(dataset)
+        java = [o for o in outliers if o.provider == "java"]
+        assert any(o.taken_at == date(2018, 8, 15) for o in java)
+        big = next(o for o in java if o.taken_at == date(2018, 8, 15))
+        assert big.changed >= 15
+        assert big.churn_fraction > 0.2
+
+    def test_apple_2014_batch_detected(self, dataset):
+        outliers = find_outliers(dataset)
+        assert any(
+            o.provider == "apple" and o.taken_at == date(2014, 2, 15) for o in outliers
+        )
+
+    def test_nss_not_outlier_prone(self, dataset):
+        outliers = find_outliers(dataset, providers=("nss",), min_changed=8, min_fraction=0.15)
+        assert len(outliers) <= 2
+
+    def test_thresholds_respected(self, dataset):
+        for outlier in find_outliers(dataset, min_changed=10, min_fraction=0.1):
+            assert outlier.changed >= 10
+            assert outlier.churn_fraction >= 0.1

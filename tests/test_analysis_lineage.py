@@ -1,0 +1,122 @@
+"""Tests for lineage matching, staleness, and deviation taxonomy."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import (
+    CATEGORY_EMAIL,
+    CATEGORY_NON_NSS,
+    CATEGORY_SYMANTEC,
+    corpus_classifier,
+    deviation_report,
+    deviation_series,
+    lineage_accuracy,
+    match_history,
+    match_snapshot,
+    staleness_report,
+    staleness_series,
+    substantial_versions,
+)
+from repro.errors import AnalysisError
+from repro.store import NSS_DERIVATIVES
+
+
+class TestSubstantialVersions:
+    def test_fewer_than_snapshots(self, dataset):
+        versions = substantial_versions(dataset["nss"])
+        assert 0 < len(versions) < len(dataset["nss"])
+
+    def test_each_changes_tls_set(self, dataset):
+        versions = substantial_versions(dataset["nss"])
+        for previous, current in zip(versions, versions[1:]):
+            assert previous.tls_fingerprints() != current.tls_fingerprints()
+
+
+class TestMatching:
+    def test_exact_copy_matches_itself(self, dataset):
+        versions = substantial_versions(dataset["nss"])
+        target = versions[len(versions) // 2]
+        match = match_snapshot(target, versions)
+        assert match.matched_nss_version == target.version
+        assert match.distance == 0.0
+
+    def test_no_future_constraint(self, dataset):
+        versions = substantial_versions(dataset["nss"])
+        early = versions[5]
+        match = match_snapshot(early, versions, no_future=True)
+        assert match.matched_nss_date <= early.taken_at
+
+    def test_empty_versions_rejected(self, dataset):
+        with pytest.raises(AnalysisError):
+            match_snapshot(dataset["nss"].latest(), [])
+
+    def test_derivative_accuracy(self, dataset):
+        """Lineage inference recovers the simulator's ground-truth labels."""
+        for provider in ("alpine", "debian", "nodejs"):
+            matches = match_history(dataset[provider], dataset["nss"])
+            assert lineage_accuracy(matches) > 0.6, provider
+
+    def test_match_history_one_per_snapshot(self, dataset):
+        matches = match_history(dataset["android"], dataset["nss"])
+        assert len(matches) == len(dataset["android"])
+
+
+class TestStaleness:
+    def test_report_ordering(self, dataset):
+        """Figure 3's ordering: Alpine least stale, Amazon Linux most."""
+        report = staleness_report(dataset, NSS_DERIVATIVES)
+        order = [s.provider for s in report]
+        assert order[0] == "alpine"
+        assert order[-1] == "amazonlinux"
+        averages = [s.average for s in report]
+        assert averages == sorted(averages)
+
+    def test_amazon_always_behind(self, dataset):
+        series = staleness_series(dataset["amazonlinux"], dataset["nss"])
+        assert series.always_behind_fraction > 0.95
+
+    def test_alpine_mostly_current(self, dataset):
+        series = staleness_series(dataset["alpine"], dataset["nss"])
+        assert series.average < 2.0
+
+    def test_points_non_negative(self, dataset):
+        for provider in NSS_DERIVATIVES:
+            series = staleness_series(dataset[provider], dataset["nss"])
+            assert all(behind >= 0 for _, behind in series.points)
+
+    def test_nss_itself_never_stale(self, dataset):
+        series = staleness_series(dataset["nss"], dataset["nss"])
+        assert series.average < 0.2
+
+
+class TestDeviations:
+    @pytest.fixture(scope="class")
+    def classify(self, corpus):
+        return corpus_classifier(corpus)
+
+    def test_every_derivative_deviates(self, dataset, classify):
+        """Figure 4's headline: all derivatives deviate from strict NSS."""
+        for series in deviation_report(dataset, NSS_DERIVATIVES, classify):
+            assert series.ever_deviated(), series.provider
+
+    def test_debian_non_nss_category(self, dataset, classify):
+        series = deviation_series(dataset, "debian", classify)
+        assert series.category_totals().get(CATEGORY_NON_NSS, 0) > 100
+
+    def test_debian_email_category(self, dataset, classify):
+        series = deviation_series(dataset, "debian", classify)
+        assert series.category_totals().get(CATEGORY_EMAIL, 0) > 100
+
+    def test_debian_symantec_category(self, dataset, classify):
+        series = deviation_series(dataset, "debian", classify)
+        assert series.category_totals().get(CATEGORY_SYMANTEC, 0) > 0
+
+    def test_alpine_small_deviations(self, dataset, classify):
+        series = deviation_series(dataset, "alpine", classify)
+        assert series.max_added() <= 6
+        assert CATEGORY_EMAIL in series.category_totals()
+
+    def test_android_removal_dominated(self, dataset, classify):
+        series = deviation_series(dataset, "android", classify)
+        assert series.max_removed() >= 1

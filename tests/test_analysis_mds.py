@@ -1,0 +1,136 @@
+"""Unit and property tests for the SMACOF / classical MDS implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import classical_mds, kruskal_stress, smacof
+from repro.analysis.mds import _pairwise_distances
+from repro.errors import AnalysisError
+
+
+def _distances(points: np.ndarray) -> np.ndarray:
+    return _pairwise_distances(points)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(AnalysisError):
+            smacof(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(AnalysisError, match="symmetric"):
+            smacof(m)
+
+    def test_rejects_negative(self):
+        m = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(AnalysisError):
+            smacof(m)
+
+    def test_rejects_nonzero_diagonal(self):
+        m = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(AnalysisError, match="diagonal"):
+            smacof(m)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(AnalysisError):
+            smacof(np.zeros((1, 1)))
+
+
+class TestSmacofRecovery:
+    def test_recovers_euclidean_configuration(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(20, 2))
+        delta = _distances(points)
+        result = smacof(delta, dims=2, max_iterations=500)
+        assert kruskal_stress(delta, result.embedding) < 0.02
+
+    def test_colinear_points(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        delta = _distances(points)
+        result = smacof(delta, dims=2, max_iterations=500)
+        assert kruskal_stress(delta, result.embedding) < 0.01
+
+    def test_cluster_separation_preserved(self):
+        # Two tight clusters far apart must stay separated in 2-D.
+        delta = np.full((8, 8), 1.0)
+        delta[:4, :4] = 0.05
+        delta[4:, 4:] = 0.05
+        np.fill_diagonal(delta, 0.0)
+        result = smacof(delta, dims=2, max_iterations=500)
+        a = result.embedding[:4].mean(axis=0)
+        b = result.embedding[4:].mean(axis=0)
+        spread_a = np.linalg.norm(result.embedding[:4] - a, axis=1).max()
+        spread_b = np.linalg.norm(result.embedding[4:] - b, axis=1).max()
+        assert np.linalg.norm(a - b) > 3 * max(spread_a, spread_b)
+
+    def test_deterministic_for_seed(self):
+        delta = _distances(np.random.default_rng(2).normal(size=(10, 2)))
+        r1 = smacof(delta, seed=11)
+        r2 = smacof(delta, seed=11)
+        assert np.allclose(r1.embedding, r2.embedding)
+
+    def test_converged_flag(self):
+        delta = _distances(np.random.default_rng(3).normal(size=(12, 2)))
+        result = smacof(delta, max_iterations=500)
+        assert result.converged
+
+    def test_init_override(self):
+        points = np.random.default_rng(4).normal(size=(6, 2))
+        delta = _distances(points)
+        result = smacof(delta, init=points)
+        assert result.iterations <= 3  # already optimal
+        assert result.stress < 1e-9
+
+
+class TestClassical:
+    def test_exact_on_euclidean_input(self):
+        points = np.random.default_rng(5).normal(size=(15, 2))
+        delta = _distances(points)
+        result = classical_mds(delta, dims=2)
+        assert kruskal_stress(delta, result.embedding) < 1e-9
+
+    def test_smacof_refines_classical(self):
+        # On non-Euclidean (Jaccard-like) input, SMACOF initialized at the
+        # classical solution can only improve raw stress.
+        rng = np.random.default_rng(6)
+        delta = rng.uniform(0.2, 1.0, size=(12, 12))
+        delta = (delta + delta.T) / 2
+        np.fill_diagonal(delta, 0.0)
+        classical = classical_mds(delta, dims=2)
+        refined = smacof(delta, dims=2, init=classical.embedding, max_iterations=300)
+        assert refined.stress <= classical.stress + 1e-9
+
+
+class TestKruskalStress:
+    def test_zero_for_perfect(self):
+        points = np.random.default_rng(7).normal(size=(8, 2))
+        assert kruskal_stress(_distances(points), points) < 1e-12
+
+    def test_positive_for_distorted(self):
+        points = np.random.default_rng(8).normal(size=(8, 2))
+        delta = _distances(points)
+        assert kruskal_stress(delta, points * [1.0, 0.0]) > 0.01
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 1000))
+    def test_stress_never_negative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        delta = rng.uniform(0.0, 1.0, size=(n, n))
+        delta = (delta + delta.T) / 2
+        np.fill_diagonal(delta, 0.0)
+        result = smacof(delta, max_iterations=50)
+        assert result.stress >= 0.0
+        assert 0.0 <= kruskal_stress(delta, result.embedding) <= 1.5
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 10))
+    def test_embedding_shape(self, n):
+        rng = np.random.default_rng(n)
+        delta = _distances(rng.normal(size=(n, 3)))
+        result = smacof(delta, dims=2, max_iterations=50)
+        assert result.embedding.shape == (n, 2)

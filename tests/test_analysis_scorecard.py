@@ -1,0 +1,54 @@
+"""Tests for the root program scorecard."""
+
+import pytest
+
+from repro.analysis import scorecard
+from repro.errors import AnalysisError
+from repro.store import Dataset
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def scores(self, dataset, slug_fingerprints):
+        return scorecard(dataset, slug_fingerprints)
+
+    def test_paper_ordering(self, scores):
+        order = [s.program for s in scores]
+        assert order[0] == "nss"
+        assert order[1] == "apple"
+        assert set(order[2:]) == {"java", "microsoft"}
+
+    def test_composite_is_mean_of_ranks(self, scores):
+        for s in scores:
+            assert s.composite == pytest.approx(sum(s.ranks.values()) / len(s.ranks))
+
+    def test_five_dimensions(self, scores):
+        for s in scores:
+            assert set(s.ranks) == {
+                "hygiene", "agility", "responsiveness", "exclusive-risk", "compliance",
+            }
+
+    def test_ranks_in_range(self, scores):
+        for s in scores:
+            assert all(1 <= rank <= len(scores) for rank in s.ranks.values())
+
+    def test_exclusive_counts_match_table6(self, scores):
+        by = {s.program: s for s in scores}
+        assert by["nss"].exclusive_roots == 1
+        assert by["java"].exclusive_roots == 0
+        assert by["apple"].exclusive_roots == 13
+        assert by["microsoft"].exclusive_roots == 30
+
+    def test_java_lint_fallback(self, scores):
+        # Java's data starts in 2018; its lint rate comes from its first
+        # snapshot and must reflect the 1024-bit roots it still carried.
+        by = {s.program: s for s in scores}
+        assert by["java"].lint_error_rate > 0.0
+
+    def test_needs_two_programs(self, dataset, slug_fingerprints):
+        with pytest.raises(AnalysisError):
+            scorecard(Dataset(), slug_fingerprints)
+
+    def test_sorted_best_first(self, scores):
+        composites = [s.composite for s in scores]
+        assert composites == sorted(composites)

@@ -1,0 +1,71 @@
+"""Tests for the root-sharing concentration analysis."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import overlap_matrix, sharing_distribution, sharing_timeline
+from repro.errors import AnalysisError
+
+
+class TestSharingDistribution:
+    def test_degree_accounting(self, dataset):
+        dist = sharing_distribution(dataset, at=date(2020, 6, 1))
+        assert set(dist.programs) == {"nss", "apple", "microsoft", "java"}
+        assert dist.total_roots == sum(dist.by_degree.values())
+        assert dist.universally_shared > 0
+        assert dist.singletons > 0
+
+    def test_condensed_ecosystem(self, dataset):
+        """The abstract's claim: trust is heavily shared, not siloed."""
+        dist = sharing_distribution(dataset, at=date(2020, 6, 1))
+        assert dist.shared_fraction(2) > 0.5
+
+    def test_exclusives_appear_as_singletons(self, dataset):
+        # Microsoft's 30 exclusives + NSS's 1 + Apple's TLS-exclusive
+        # roots dominate the singleton bucket late in the study.
+        dist = sharing_distribution(dataset, at=date(2021, 1, 1))
+        assert dist.singletons >= 30
+
+    def test_early_date_fewer_programs(self, dataset):
+        dist = sharing_distribution(dataset, at=date(2003, 6, 1))
+        assert set(dist.programs) == {"nss", "apple"}  # others not live yet
+
+    def test_no_programs_rejected(self, dataset):
+        with pytest.raises(AnalysisError):
+            sharing_distribution(dataset, at=date(1999, 1, 1))
+
+
+class TestOverlapMatrix:
+    def test_directional_containment(self, dataset):
+        matrix = overlap_matrix(dataset, at=date(2020, 6, 1))
+        # Most of NSS's store is inside Microsoft's bigger store...
+        assert matrix.of("nss", "microsoft") > 0.6
+        # ...but much less of Microsoft's store is inside NSS's.
+        assert matrix.of("microsoft", "nss") < matrix.of("nss", "microsoft")
+
+    def test_bounds(self, dataset):
+        matrix = overlap_matrix(dataset, at=date(2020, 6, 1))
+        for value in matrix.containment.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_java_subset_of_common(self, dataset):
+        matrix = overlap_matrix(dataset, at=date(2020, 6, 1))
+        # Java's small store is mostly drawn from the common population.
+        assert matrix.of("java", "microsoft") > 0.6
+
+    def test_needs_two_programs(self, dataset):
+        with pytest.raises(AnalysisError):
+            overlap_matrix(dataset, at=date(2001, 6, 1))
+
+
+class TestTimeline:
+    def test_annual_points(self, dataset):
+        timeline = sharing_timeline(dataset, start=date(2010, 1, 1), end=date(2020, 1, 1))
+        assert len(timeline) == 11
+        assert all(t.total_roots > 0 for t in timeline)
+
+    def test_skips_empty_epochs(self, dataset):
+        timeline = sharing_timeline(dataset, start=date(1998, 1, 1), end=date(2002, 1, 1))
+        # 1998/1999 have no program snapshots and are skipped.
+        assert all(t.taken_at >= date(2000, 1, 1) for t in timeline)

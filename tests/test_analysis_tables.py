@@ -1,0 +1,188 @@
+"""Tests for the table analyses: hygiene (3), removals (4, 7), exclusives (6)."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import (
+    exclusives_report,
+    hygiene_report,
+    measure_response,
+    nss_removal_report,
+    rank_by_hygiene,
+    render_table,
+    response_report,
+)
+from repro.simulation.incidents import CERTINOMIS, STARTCOM, HIGH_SEVERITY
+
+
+@pytest.fixture(scope="module")
+def revocations(corpus):
+    return {corpus.fingerprint(slug): d for slug, d in corpus.apple_revocations.items()}
+
+
+class TestHygiene:
+    def test_sizes_ordering(self, dataset):
+        rows = {r.provider: r for r in hygiene_report(dataset)}
+        assert rows["microsoft"].average_size > rows["apple"].average_size
+        assert rows["apple"].average_size > rows["nss"].average_size
+        assert rows["nss"].average_size > rows["java"].average_size
+
+    def test_expired_ordering(self, dataset):
+        rows = {r.provider: r for r in hygiene_report(dataset)}
+        assert rows["microsoft"].average_expired > rows["apple"].average_expired
+        assert rows["nss"].average_expired < 0.5
+
+    def test_purge_dates(self, dataset):
+        rows = {r.provider: r for r in hygiene_report(dataset)}
+        # NSS and Apple purge weak crypto in 2015/2016; Microsoft ~2 years later.
+        assert rows["nss"].weak_rsa_removal.year == 2015
+        assert rows["apple"].weak_rsa_removal.year == 2015
+        assert rows["microsoft"].weak_rsa_removal.year == 2017
+        assert rows["nss"].md5_removal.year == 2016
+        assert rows["microsoft"].md5_removal.year == 2018
+        assert rows["java"].md5_removal.year == 2019
+
+    def test_md5_and_weak_dates_distinct(self, dataset):
+        for row in hygiene_report(dataset):
+            assert row.md5_removal != row.weak_rsa_removal, row.provider
+
+    def test_ranking(self, dataset):
+        ranking = rank_by_hygiene(hygiene_report(dataset))
+        assert ranking[0] == "nss"
+        assert ranking[-1] == "microsoft"
+
+
+class TestNssRemovals:
+    def test_every_incident_fully_measured(self, dataset, slug_fingerprints):
+        for row in nss_removal_report(dataset, slug_fingerprints):
+            assert row.matches, row.bugzilla_id
+
+    def test_counts(self, dataset, slug_fingerprints):
+        by_bug = {r.bugzilla_id: r for r in nss_removal_report(dataset, slug_fingerprints)}
+        assert by_bug["682927"].measured_certs == 1  # DigiNotar
+        assert by_bug["1380868"].measured_certs == 2  # CNNIC
+        assert by_bug["1387260"].measured_certs == 4  # WoSign
+        assert by_bug["1392849"].measured_certs == 3  # StartCom
+        assert by_bug["1670769"].measured_certs == 10  # Symantec batch 2
+
+    def test_sorted_newest_first(self, dataset, slug_fingerprints):
+        rows = nss_removal_report(dataset, slug_fingerprints)
+        dates = [r.removed_on for r in rows]
+        assert dates == sorted(dates, reverse=True)
+
+    def test_severity_split(self, dataset, slug_fingerprints):
+        rows = nss_removal_report(dataset, slug_fingerprints)
+        assert sum(1 for r in rows if r.severity == "high") == 6
+        assert sum(1 for r in rows if r.severity == "medium") == 3
+
+
+class TestResponses:
+    def test_paper_lags(self, dataset, slug_fingerprints, revocations):
+        """Spot-check the exact Table 4 lag values."""
+        report = response_report(dataset, slug_fingerprints, revocations=revocations)
+        lags = {
+            (incident, row.provider): row.lag_days
+            for incident, rows in report.items()
+            for row in rows
+        }
+        assert lags[("diginotar", "microsoft")] == -37
+        assert lags[("diginotar", "apple")] == 6
+        assert lags[("cnnic", "apple")] == -758
+        assert lags[("cnnic", "android")] == 131
+        assert lags[("cnnic", "microsoft")] == 944
+        assert lags[("startcom", "debian")] == -120
+        assert lags[("startcom", "microsoft")] == -53
+        assert lags[("wosign", "android")] == 21
+        assert lags[("certinomis", "nodejs")] == 109
+        assert lags[("certinomis", "amazonlinux")] == 630
+
+    def test_apple_startcom_still_trusted(self, dataset, slug_fingerprints, revocations):
+        report = response_report(dataset, slug_fingerprints, revocations=revocations)
+        apple = next(r for r in report["startcom"] if r.provider == "apple")
+        assert apple.still_trusted
+        assert apple.revoked_on is None  # one root is fully trusted
+        assert apple.lag_label().endswith("+")
+
+    def test_apple_certinomis_revoked_marker(self, dataset, slug_fingerprints, revocations):
+        report = response_report(dataset, slug_fingerprints, revocations=revocations)
+        apple = next(r for r in report["certinomis"] if r.provider == "apple")
+        assert apple.revoked_on == date(2021, 1, 1)
+        assert apple.lag_label().endswith("*")
+
+    def test_microsoft_certinomis_still_trusted(self, dataset, slug_fingerprints, revocations):
+        report = response_report(dataset, slug_fingerprints, revocations=revocations)
+        microsoft = next(r for r in report["certinomis"] if r.provider == "microsoft")
+        assert microsoft.still_trusted
+        assert microsoft.revoked_on is None
+
+    def test_procert_only_derivatives_respond(self, dataset, slug_fingerprints):
+        report = response_report(dataset, slug_fingerprints)
+        providers = {r.provider for r in report["procert"]}
+        assert "apple" not in providers
+        assert "microsoft" not in providers
+        assert "android" not in providers
+        assert {"debian", "ubuntu", "nodejs", "amazonlinux"} <= providers
+
+    def test_rows_sorted_by_lag(self, dataset, slug_fingerprints):
+        report = response_report(dataset, slug_fingerprints)
+        for rows in report.values():
+            settled = [r.lag_days for r in rows if not r.still_trusted]
+            assert settled == sorted(settled)
+
+    def test_unknown_provider_none(self, dataset, slug_fingerprints):
+        assert measure_response(dataset, CERTINOMIS, "beos", slug_fingerprints) is None
+
+    def test_incident_count(self):
+        assert len(HIGH_SEVERITY) == 6
+        assert STARTCOM.severity == "high"
+
+
+class TestExclusives:
+    def test_paper_counts(self, dataset):
+        report = exclusives_report(dataset)
+        assert len(report["nss"]) == 1
+        assert len(report["java"]) == 0
+        assert len(report["apple"]) == 13
+        assert len(report["microsoft"]) == 30
+
+    def test_nss_exclusive_is_microsec_ecc(self, dataset, corpus):
+        report = exclusives_report(dataset)
+        assert report["nss"][0].fingerprint == corpus.fingerprint("microsec-ecc")
+
+    def test_apple_taxonomy(self, dataset, corpus):
+        report = exclusives_report(dataset)
+        slugs = {corpus.slug_for(r.fingerprint) for r in report["apple"]}
+        assert sum(1 for s in slugs if s.startswith("apple-email-")) == 6
+        assert sum(1 for s in slugs if s.startswith("apple-services-")) == 5
+        assert "certipost-root" in slugs
+        assert "gov-venezuela" in slugs
+
+    def test_ms_exclusives_are_catalog_tagged(self, dataset, corpus):
+        report = exclusives_report(dataset)
+        for root in report["microsoft"]:
+            spec = corpus.spec_for_fingerprint(root.fingerprint)
+            assert spec.has_tag("ms-exclusive"), spec.slug
+
+    def test_describe_hook(self, dataset, corpus):
+        def describe(fp):
+            spec = corpus.spec_for_fingerprint(fp)
+            return spec.note if spec else ""
+
+        report = exclusives_report(dataset, describe=describe)
+        assert any("super-CA" in r.detail for r in report["microsoft"])
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("A", "Bee"), [("x", 1), ("longer", 2.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in text and "2.50" in text
+
+    def test_none_rendered_as_dash(self):
+        assert "-" in render_table(("A",), [(None,)])
+
+    def test_bool_rendering(self):
+        text = render_table(("A",), [(True,), (False,)])
+        assert "yes" in text and "no" in text

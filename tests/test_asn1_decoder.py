@@ -1,0 +1,185 @@
+"""Unit tests for the strict DER decoder."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.asn1 import (
+    decode,
+    decode_all,
+    encode_boolean,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_time,
+    encode_utf8_string,
+)
+from repro.asn1 import tags
+from repro.errors import ASN1DecodeError
+
+
+class TestDecodeBasics:
+    def test_integer_roundtrip(self):
+        assert decode(encode_integer(123456)).as_integer() == 123456
+
+    def test_boolean_roundtrip(self):
+        assert decode(encode_boolean(True)).as_boolean() is True
+        assert decode(encode_boolean(False)).as_boolean() is False
+
+    def test_nonstandard_boolean_rejected(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x01\x01\x01").as_boolean()
+
+    def test_octet_string(self):
+        assert decode(encode_octet_string(b"abc")).as_octet_string() == b"abc"
+
+    def test_oid(self):
+        assert decode(encode_oid("2.5.4.3")).as_oid().dotted == "2.5.4.3"
+
+    def test_utf8_string(self):
+        assert decode(encode_utf8_string("héllo")).as_string() == "héllo"
+
+    def test_time(self):
+        moment = datetime(2019, 8, 7, 6, 5, 4, tzinfo=timezone.utc)
+        assert decode(encode_time(moment)).as_time() == moment
+
+    def test_utctime_pre_2000(self):
+        moment = datetime(1998, 1, 2, 3, 4, 5, tzinfo=timezone.utc)
+        assert decode(encode_time(moment)).as_time() == moment
+
+
+class TestStrictness:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ASN1DecodeError, match="trailing"):
+            decode(encode_integer(1) + b"\x00")
+
+    def test_truncated_content(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x02\x05\x00")
+
+    def test_missing_length(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x02")
+
+    def test_indefinite_length_rejected(self):
+        with pytest.raises(ASN1DecodeError, match="indefinite"):
+            decode(b"\x30\x80\x00\x00")
+
+    def test_non_minimal_long_form_rejected(self):
+        # length 5 encoded in long form
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x04\x81\x05hello")
+
+    def test_non_minimal_integer_rejected(self):
+        with pytest.raises(ASN1DecodeError, match="non-minimal"):
+            decode(b"\x02\x02\x00\x01").as_integer()
+
+    def test_non_minimal_negative_integer_rejected(self):
+        with pytest.raises(ASN1DecodeError, match="non-minimal"):
+            decode(b"\x02\x02\xff\xff").as_integer()
+
+    def test_empty_integer_rejected(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x02\x00").as_integer()
+
+    def test_high_tag_number_rejected(self):
+        with pytest.raises(ASN1DecodeError, match="high-tag"):
+            decode(b"\x1f\x81\x01\x01\x00")
+
+    def test_empty_input(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"")
+
+
+class TestBitStringDecoding:
+    def test_roundtrip(self):
+        element = decode(b"\x03\x02\x01\x06")
+        data, unused = element.as_bit_string()
+        assert data == b"\x06" and unused == 1
+
+    def test_named_bits(self):
+        assert decode(b"\x03\x02\x01\x06").as_named_bits() == frozenset({5, 6})
+
+    def test_invalid_unused_count(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x03\x02\x08\x00").as_bit_string()
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(b"\x03\x00").as_bit_string()
+
+
+class TestStructured:
+    def test_children(self):
+        der = encode_sequence(encode_integer(1), encode_integer(2))
+        children = decode(der).children()
+        assert [c.as_integer() for c in children] == [1, 2]
+
+    def test_children_of_primitive_rejected(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(encode_integer(1)).children()
+
+    def test_encoded_preserves_bytes(self):
+        inner = encode_sequence(encode_integer(7))
+        outer = encode_sequence(inner, encode_integer(8))
+        first = decode(outer).children()[0]
+        assert first.encoded == inner
+
+    def test_decode_all(self):
+        stream = encode_integer(1) + encode_integer(2) + encode_integer(3)
+        assert [e.as_integer() for e in decode_all(stream)] == [1, 2, 3]
+
+
+class TestReader:
+    def test_positional_reads(self):
+        der = encode_sequence(encode_integer(5), encode_utf8_string("x"))
+        reader = decode(der).reader()
+        assert reader.next().as_integer() == 5
+        assert reader.next().as_string() == "x"
+        reader.finish()
+
+    def test_missing_element(self):
+        reader = decode(encode_sequence(encode_integer(5))).reader()
+        reader.next()
+        with pytest.raises(ASN1DecodeError, match="missing serial"):
+            reader.next("serial")
+
+    def test_finish_rejects_leftovers(self):
+        reader = decode(encode_sequence(encode_integer(5))).reader()
+        with pytest.raises(ASN1DecodeError, match="trailing"):
+            reader.finish()
+
+    def test_take_universal_mismatch_leaves_cursor(self):
+        reader = decode(encode_sequence(encode_integer(5))).reader()
+        assert reader.take_universal(tags.UniversalTag.OCTET_STRING) is None
+        assert reader.next().as_integer() == 5
+
+    def test_take_context(self):
+        from repro.asn1 import encode_context
+
+        der = encode_sequence(encode_context(0, encode_integer(2)))
+        reader = decode(der).reader()
+        wrapper = reader.take_context(0)
+        assert wrapper is not None
+        assert wrapper.children()[0].as_integer() == 2
+
+    def test_len(self):
+        reader = decode(encode_sequence(encode_integer(1), encode_integer(2))).reader()
+        assert len(reader) == 2
+        reader.next()
+        assert len(reader) == 1
+
+
+class TestTypeMismatches:
+    def test_integer_as_boolean(self):
+        with pytest.raises(ASN1DecodeError, match="expected BOOLEAN"):
+            decode(encode_integer(1)).as_boolean()
+
+    def test_string_type_required(self):
+        with pytest.raises(ASN1DecodeError, match="expected a string"):
+            decode(encode_integer(1)).as_string()
+
+    def test_time_type_required(self):
+        with pytest.raises(ASN1DecodeError):
+            decode(encode_integer(1)).as_time()

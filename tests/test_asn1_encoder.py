@@ -1,0 +1,183 @@
+"""Unit tests for DER encoding primitives."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.asn1 import (
+    encode_bit_string,
+    encode_boolean,
+    encode_context,
+    encode_ia5_string,
+    encode_integer,
+    encode_length,
+    encode_named_bit_string,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_time,
+    encode_tlv,
+    encode_utf8_string,
+)
+from repro.errors import ASN1EncodeError
+
+
+class TestLength:
+    def test_short_form(self):
+        assert encode_length(0) == b"\x00"
+        assert encode_length(127) == b"\x7f"
+
+    def test_long_form_one_octet(self):
+        assert encode_length(128) == b"\x81\x80"
+        assert encode_length(255) == b"\x81\xff"
+
+    def test_long_form_two_octets(self):
+        assert encode_length(256) == b"\x82\x01\x00"
+        assert encode_length(65535) == b"\x82\xff\xff"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_length(-1)
+
+
+class TestBoolean:
+    def test_true_is_ff(self):
+        assert encode_boolean(True) == b"\x01\x01\xff"
+
+    def test_false_is_00(self):
+        assert encode_boolean(False) == b"\x01\x01\x00"
+
+
+class TestInteger:
+    def test_zero(self):
+        assert encode_integer(0) == b"\x02\x01\x00"
+
+    def test_small_positive(self):
+        assert encode_integer(127) == b"\x02\x01\x7f"
+
+    def test_high_bit_needs_leading_zero(self):
+        assert encode_integer(128) == b"\x02\x02\x00\x80"
+
+    def test_negative(self):
+        assert encode_integer(-1) == b"\x02\x01\xff"
+        assert encode_integer(-128) == b"\x02\x01\x80"
+        assert encode_integer(-129) == b"\x02\x02\xff\x7f"
+
+    def test_large(self):
+        encoded = encode_integer(2**64)
+        assert encoded[0] == 0x02
+        assert len(encoded) == 2 + 9  # 9 content octets
+
+
+class TestBitString:
+    def test_empty(self):
+        assert encode_bit_string(b"") == b"\x03\x01\x00"
+
+    def test_no_unused(self):
+        assert encode_bit_string(b"\xaa") == b"\x03\x02\x00\xaa"
+
+    def test_unused_bits(self):
+        assert encode_bit_string(b"\x80", 7) == b"\x03\x02\x07\x80"
+
+    def test_unused_out_of_range(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_bit_string(b"\x00", 8)
+
+    def test_unused_without_content(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_bit_string(b"", 3)
+
+
+class TestNamedBitString:
+    def test_empty(self):
+        assert encode_named_bit_string([]) == b"\x03\x01\x00"
+
+    def test_bit_zero(self):
+        # keyCertSign-style: bit 0 is MSB of first octet.
+        assert encode_named_bit_string([0]) == b"\x03\x02\x07\x80"
+
+    def test_key_usage_ca(self):
+        # bits 5 (keyCertSign) and 6 (cRLSign): 0b00000110 -> 0x06, 1 unused
+        assert encode_named_bit_string([5, 6]) == b"\x03\x02\x01\x06"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_named_bit_string([-1])
+
+
+class TestStrings:
+    def test_octet_string(self):
+        assert encode_octet_string(b"ab") == b"\x04\x02ab"
+
+    def test_null(self):
+        assert encode_null() == b"\x05\x00"
+
+    def test_utf8(self):
+        assert encode_utf8_string("hi") == b"\x0c\x02hi"
+
+    def test_printable_ok(self):
+        assert encode_printable_string("Example CA")[0] == 0x13
+
+    def test_printable_rejects_special(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_printable_string("héllo")
+
+    def test_ia5(self):
+        assert encode_ia5_string("a@b")[0] == 0x16
+
+    def test_ia5_rejects_non_ascii(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_ia5_string("héllo")
+
+
+class TestStructures:
+    def test_sequence(self):
+        inner = encode_integer(1)
+        assert encode_sequence(inner) == b"\x30\x03" + inner
+
+    def test_set_sorts_components(self):
+        a = encode_integer(1)
+        b = encode_octet_string(b"x")
+        assert encode_set(b, a) == encode_set(a, b)
+
+    def test_context_constructed(self):
+        assert encode_context(0, b"\x02\x01\x05")[0] == 0xA0
+
+    def test_context_primitive(self):
+        assert encode_context(2, b"abc", constructed=False)[0] == 0x82
+
+    def test_tlv_tag_range(self):
+        with pytest.raises(ASN1EncodeError):
+            encode_tlv(300, b"")
+
+
+class TestTime:
+    def test_utctime_range(self):
+        encoded = encode_time(datetime(2021, 5, 15, 12, 0, 0, tzinfo=timezone.utc))
+        assert encoded[0] == 0x17  # UTCTime
+        assert encoded[2:].decode() == "210515120000Z"
+
+    def test_generalized_time_after_2049(self):
+        encoded = encode_time(datetime(2050, 1, 1, tzinfo=timezone.utc))
+        assert encoded[0] == 0x18  # GeneralizedTime
+        assert encoded[2:].decode() == "20500101000000Z"
+
+    def test_generalized_time_before_1950(self):
+        encoded = encode_time(datetime(1949, 12, 31, tzinfo=timezone.utc))
+        assert encoded[0] == 0x18
+
+    def test_naive_datetime_treated_as_utc(self):
+        naive = encode_time(datetime(2020, 6, 1, 10, 30))
+        aware = encode_time(datetime(2020, 6, 1, 10, 30, tzinfo=timezone.utc))
+        assert naive == aware
+
+
+class TestOidEncoding:
+    def test_common_name(self):
+        assert encode_oid("2.5.4.3") == b"\x06\x03\x55\x04\x03"
+
+    def test_rsa(self):
+        assert encode_oid("1.2.840.113549.1.1.1") == bytes.fromhex("06092a864886f70d010101")

@@ -1,0 +1,89 @@
+"""Unit tests for ObjectIdentifier and the OID registry."""
+
+import pytest
+
+from repro.asn1.oid import (
+    COMMON_NAME,
+    EKU_SERVER_AUTH,
+    OID_NAMES,
+    SHA256_WITH_RSA,
+    ObjectIdentifier,
+)
+from repro.errors import ASN1DecodeError, ASN1EncodeError
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert ObjectIdentifier("1.2.3").arcs == (1, 2, 3)
+
+    def test_from_tuple(self):
+        assert ObjectIdentifier((2, 5, 4, 3)).dotted == "2.5.4.3"
+
+    def test_needs_two_arcs(self):
+        with pytest.raises(ASN1EncodeError):
+            ObjectIdentifier("1")
+
+    def test_first_arc_limit(self):
+        with pytest.raises(ASN1EncodeError):
+            ObjectIdentifier("3.1")
+
+    def test_second_arc_limit_under_joint_iso(self):
+        with pytest.raises(ASN1EncodeError):
+            ObjectIdentifier("0.40")
+        ObjectIdentifier("2.40")  # allowed when first arc is 2
+
+    def test_negative_arc_rejected(self):
+        with pytest.raises(ASN1EncodeError):
+            ObjectIdentifier((1, 2, -1))
+
+    def test_garbage_string(self):
+        with pytest.raises(ASN1EncodeError):
+            ObjectIdentifier("1.two.3")
+
+
+class TestEncoding:
+    def test_first_two_arcs_packed(self):
+        assert ObjectIdentifier("2.5.4.3").encode_content() == b"\x55\x04\x03"
+
+    def test_multibyte_arc(self):
+        # 113549 = 0x1BB8D -> base-128: 0x86 0xF7 0x0D
+        assert ObjectIdentifier("1.2.840.113549").encode_content() == bytes.fromhex("2a864886f70d")
+
+    def test_decode_rejects_empty(self):
+        with pytest.raises(ASN1DecodeError):
+            ObjectIdentifier.decode_content(b"")
+
+    def test_decode_rejects_truncated_arc(self):
+        with pytest.raises(ASN1DecodeError):
+            ObjectIdentifier.decode_content(b"\x55\x84")
+
+    def test_decode_rejects_nonminimal_arc(self):
+        with pytest.raises(ASN1DecodeError):
+            ObjectIdentifier.decode_content(b"\x55\x80\x01")
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert ObjectIdentifier("2.5.4.3") == COMMON_NAME
+        assert hash(ObjectIdentifier("2.5.4.3")) == hash(COMMON_NAME)
+
+    def test_registry_names(self):
+        assert COMMON_NAME.name == "CN"
+        assert SHA256_WITH_RSA.name == "sha256WithRSAEncryption"
+        assert EKU_SERVER_AUTH.name == "serverAuth"
+
+    def test_unregistered_name_is_dotted(self):
+        assert ObjectIdentifier("1.2.3.4.5").name == "1.2.3.4.5"
+
+    def test_str_uses_name(self):
+        assert str(COMMON_NAME) == "CN"
+
+    def test_repr(self):
+        assert "2.5.4.3" in repr(COMMON_NAME)
+
+    def test_registry_consistency(self):
+        for oid, name in OID_NAMES.items():
+            assert isinstance(oid, ObjectIdentifier)
+            assert name
+            # Round-trip through content octets preserves identity.
+            assert ObjectIdentifier.decode_content(oid.encode_content()) == oid

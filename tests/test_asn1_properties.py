@@ -1,0 +1,105 @@
+"""Property-based tests for the ASN.1 layer (hypothesis)."""
+
+from datetime import datetime, timezone
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asn1 import (
+    decode,
+    decode_all,
+    encode_boolean,
+    encode_integer,
+    encode_length,
+    encode_named_bit_string,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_time,
+    encode_utf8_string,
+)
+from repro.asn1.oid import ObjectIdentifier
+
+# OID arcs: first in 0..2, second constrained when first < 2.
+_oid_arcs = st.tuples(
+    st.integers(0, 2),
+    st.integers(0, 39),
+    st.lists(st.integers(0, 2**32), max_size=6),
+).map(lambda t: (t[0], t[1], *t[2]))
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=-(2**512), max_value=2**512))
+    def test_integer(self, value):
+        assert decode(encode_integer(value)).as_integer() == value
+
+    @given(st.booleans())
+    def test_boolean(self, value):
+        assert decode(encode_boolean(value)).as_boolean() is value
+
+    @given(st.binary(max_size=512))
+    def test_octet_string(self, data):
+        assert decode(encode_octet_string(data)).as_octet_string() == data
+
+    @given(st.text(max_size=128))
+    def test_utf8_string(self, text):
+        assert decode(encode_utf8_string(text)).as_string() == text
+
+    @given(_oid_arcs)
+    def test_oid(self, arcs):
+        oid = ObjectIdentifier(arcs)
+        assert decode(encode_oid(oid)).as_oid() == oid
+
+    @given(st.sets(st.integers(0, 63), max_size=20))
+    def test_named_bits(self, bits):
+        decoded = decode(encode_named_bit_string(bits)).as_named_bits()
+        assert decoded == frozenset(bits)
+
+    @given(
+        st.datetimes(
+            min_value=datetime(1951, 1, 1),
+            max_value=datetime(2099, 12, 31),
+        ).map(lambda d: d.replace(microsecond=0, tzinfo=timezone.utc))
+    )
+    def test_time(self, moment):
+        assert decode(encode_time(moment)).as_time() == moment
+
+    @given(st.lists(st.integers(-(2**64), 2**64), max_size=16))
+    def test_sequence_of_integers(self, values):
+        der = encode_sequence(*(encode_integer(v) for v in values))
+        decoded = [c.as_integer() for c in decode(der).children()]
+        assert decoded == values
+
+
+class TestStructuralInvariants:
+    @given(st.integers(0, 2**30))
+    def test_length_is_minimal(self, length):
+        encoded = encode_length(length)
+        if length < 0x80:
+            assert len(encoded) == 1
+        else:
+            # First octet announces exactly the octets needed.
+            n = encoded[0] & 0x7F
+            assert len(encoded) == 1 + n
+            assert encoded[1] != 0  # minimal: no leading zero
+
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=8))
+    def test_decode_all_partitions_stream(self, chunks):
+        stream = b"".join(encode_octet_string(c) for c in chunks)
+        elements = decode_all(stream)
+        assert [e.as_octet_string() for e in elements] == chunks
+        assert b"".join(e.encoded for e in elements) == stream
+
+    @settings(max_examples=50)
+    @given(st.integers(-(2**128), 2**128))
+    def test_integer_encoding_is_canonical(self, value):
+        """Re-encoding a decoded integer reproduces identical bytes."""
+        first = encode_integer(value)
+        again = encode_integer(decode(first).as_integer())
+        assert first == again
+
+    @given(_oid_arcs)
+    def test_oid_ordering_matches_arc_ordering(self, arcs):
+        oid = ObjectIdentifier(arcs)
+        other = ObjectIdentifier((2, 39, 999))
+        assert (oid < other) == (oid.arcs < other.arcs)

@@ -1,0 +1,126 @@
+"""Smoke tests for every CLI subcommand."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_corpus(corpus):
+    """CLI commands use the shared default corpus; warm it once."""
+    return corpus
+
+
+class TestCommands:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "repro-roots" in capsys.readouterr().out
+
+    def test_dataset(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "nss" in out and "Total snapshots" in out
+
+    def test_user_agents(self, capsys):
+        assert main(["user-agents"]) == 0
+        out = capsys.readouterr().out
+        assert "Coverage: 77.0%" in out and "Chrome Mobile" in out
+
+    def test_hygiene(self, capsys):
+        assert main(["hygiene"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Best-to-worst hygiene: nss" in out
+
+    def test_removals(self, capsys):
+        assert main(["removals"]) == 0
+        out = capsys.readouterr().out
+        assert "diginotar" in out and "-37" in out
+
+    def test_nss_removals(self, capsys):
+        assert main(["nss-removals"]) == 0
+        out = capsys.readouterr().out
+        assert "682927" in out and "Symantec" in out
+
+    def test_exclusives(self, capsys):
+        assert main(["exclusives"]) == 0
+        out = capsys.readouterr().out
+        assert "microsoft (30 exclusive)" in out and "apple (13 exclusive)" in out
+
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "4 clusters" in out and "SMACOF" in out
+
+    def test_ecosystem(self, capsys):
+        assert main(["ecosystem"]) == 0
+        out = capsys.readouterr().out
+        assert "inverted    : True" in out
+
+    def test_staleness(self, capsys):
+        assert main(["staleness"]) == 0
+        out = capsys.readouterr().out
+        assert "alpine" in out and "amazonlinux" in out
+
+    def test_deviations(self, capsys):
+        assert main(["deviations"]) == 0
+        assert "debian" in capsys.readouterr().out
+
+    def test_software(self, capsys):
+        assert main(["software"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "OpenSSL" in out
+
+    def test_purposes(self, capsys):
+        assert main(["purposes"]) == 0
+        out = capsys.readouterr().out
+        assert "Purpose exposure" in out and "Code-sign overreach" in out
+
+    def test_cross_sign(self, capsys):
+        assert main(["cross-sign"]) == 0
+        out = capsys.readouterr().out
+        assert "via cross-sign: valid" in out and "Bypass exposure" in out
+
+    def test_minimize(self, capsys):
+        assert main(["minimize"]) == 0
+        out = capsys.readouterr().out
+        assert "Minimal root sets" in out and "Unused" in out
+
+    def test_lint(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "BR lint census" in out and "w_sha1_signature" in out
+
+    def test_scorecard(self, capsys):
+        assert main(["scorecard"]) == 0
+        out = capsys.readouterr().out
+        assert "scorecard" in out and out.index("nss") < out.index("microsoft")
+
+    def test_agility(self, capsys):
+        assert main(["agility"]) == 0
+        out = capsys.readouterr().out
+        assert "Release agility" in out and "Projected exposure" in out
+
+    def test_validate(self, capsys):
+        assert main([
+            "validate", "www.example.org",
+            "--issuer", "symantec-legacy-2",
+            "--issued", "2019-10-01",
+            "--date", "2020-08-01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "server-distrust-after" in out  # NSS rejects
+        assert out.count("ACCEPTED") >= 8  # everyone else accepts
+
+    def test_validate_unknown_issuer(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "x.example", "--issuer", "no-such-slug"])
+
+
+class TestPublishScrape:
+    def test_roundtrip_via_disk(self, tmp_path, capsys):
+        assert main(["publish", "java", str(tmp_path), "--last", "2"]) == 0
+        published = capsys.readouterr().out
+        assert "wrote" in published
+        assert main(["scrape", "java", str(tmp_path)]) == 0
+        scraped = capsys.readouterr().out
+        assert scraped.count("java@") == 2

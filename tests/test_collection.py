@@ -1,0 +1,132 @@
+"""Tests for the publish/scrape collection pipeline."""
+
+from datetime import date
+from pathlib import Path
+
+import pytest
+
+from repro.collection import (
+    ARTIFACT_PATHS,
+    DockerRegistry,
+    SourceRepository,
+    UpdateFeed,
+    publish_history,
+    read_tree,
+    scrape_history,
+    snapshot_tree,
+    write_tree,
+)
+from repro.errors import CollectionError
+from repro.store import StoreHistory, TrustPurpose
+
+
+def _sub_history(dataset, provider, count=2):
+    history = StoreHistory(provider)
+    for snapshot in dataset[provider].snapshots[-count:]:
+        history.add(snapshot)
+    return history
+
+
+ALL_PROVIDERS = (
+    "nss", "microsoft", "apple", "java", "nodejs",
+    "alpine", "amazonlinux", "debian", "ubuntu", "android",
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("provider", ALL_PROVIDERS)
+    def test_tls_set_preserved(self, dataset, provider):
+        history = _sub_history(dataset, provider)
+        scraped = scrape_history(provider, publish_history(history))
+        assert len(scraped) == len(history)
+        for original, rebuilt in zip(history, scraped):
+            assert original.taken_at == rebuilt.taken_at
+            assert original.version == rebuilt.version
+            assert original.tls_fingerprints() == rebuilt.tls_fingerprints()
+
+    @pytest.mark.parametrize("provider", ("nss", "microsoft"))
+    def test_full_trust_context_preserved(self, dataset, provider):
+        """NSS and Microsoft formats carry purposes and partial distrust."""
+        history = _sub_history(dataset, provider)
+        scraped = scrape_history(provider, publish_history(history))
+        for original, rebuilt in zip(history, scraped):
+            assert original.entries == rebuilt.entries
+
+    def test_apple_purposes_preserved(self, dataset):
+        history = _sub_history(dataset, "apple")
+        scraped = scrape_history("apple", publish_history(history))
+        for original, rebuilt in zip(history, scraped):
+            assert original.fingerprints(TrustPurpose.EMAIL_PROTECTION) == rebuilt.fingerprints(
+                TrustPurpose.EMAIL_PROTECTION
+            )
+
+
+class TestOriginTypes:
+    def test_docker_for_image_providers(self, dataset):
+        origin = publish_history(_sub_history(dataset, "alpine"))
+        assert isinstance(origin, DockerRegistry)
+
+    def test_update_feed_for_microsoft(self, dataset):
+        origin = publish_history(_sub_history(dataset, "microsoft"))
+        assert isinstance(origin, UpdateFeed)
+
+    def test_repository_for_source_providers(self, dataset):
+        origin = publish_history(_sub_history(dataset, "nss"))
+        assert isinstance(origin, SourceRepository)
+
+    def test_repository_duplicate_tag_rejected(self):
+        repo = SourceRepository(name="x")
+        repo.add_tag("v1", date(2020, 1, 1), {})
+        with pytest.raises(CollectionError):
+            repo.add_tag("v1", date(2020, 2, 1), {})
+
+    def test_checkout_unknown_tag(self):
+        with pytest.raises(CollectionError):
+            SourceRepository(name="x").checkout("v9")
+
+    def test_registry_pull(self):
+        registry = DockerRegistry(name="x")
+        registry.push("latest", date(2020, 1, 1), {"a": b"1"})
+        assert registry.pull("latest") == {"a": b"1"}
+        with pytest.raises(CollectionError):
+            registry.pull("nope")
+
+
+class TestArtifacts:
+    def test_nss_tree_has_certdata(self, dataset):
+        tree = snapshot_tree(dataset["nss"].latest())
+        assert ARTIFACT_PATHS["nss"] in tree
+        assert b"BEGINDATA" in tree[ARTIFACT_PATHS["nss"]]
+
+    def test_microsoft_tree_has_stl_and_certs(self, dataset):
+        snapshot = dataset["microsoft"].latest()
+        tree = snapshot_tree(snapshot)
+        assert ARTIFACT_PATHS["microsoft"] in tree
+        cert_files = [p for p in tree if p.startswith("certs/")]
+        assert len(cert_files) == len(snapshot)
+
+    def test_alpine_bundle_path(self, dataset):
+        tree = snapshot_tree(dataset["alpine"].latest())
+        assert set(tree) == {ARTIFACT_PATHS["alpine"]}
+
+    def test_missing_artifact_rejected(self):
+        from repro.collection.scrape import extract_entries
+
+        with pytest.raises(CollectionError, match="missing"):
+            extract_entries("nss", {})
+
+
+class TestDiskIO:
+    def test_write_read_tree(self, tmp_path: Path, dataset):
+        tree = snapshot_tree(dataset["java"].latest())
+        write_tree(tree, tmp_path)
+        assert read_tree(tmp_path) == tree
+
+    def test_read_tree_requires_directory(self, tmp_path: Path):
+        with pytest.raises(CollectionError):
+            read_tree(tmp_path / "missing")
+
+    def test_nested_paths(self, tmp_path: Path):
+        tree = {"a/b/c.txt": b"deep"}
+        write_tree(tree, tmp_path)
+        assert (tmp_path / "a/b/c.txt").read_bytes() == b"deep"

@@ -1,0 +1,134 @@
+"""Unit tests for elliptic curve arithmetic and ECDSA."""
+
+import pytest
+
+from repro.crypto import (
+    DeterministicRandom,
+    P256,
+    P384,
+    SHA256_SPEC,
+    SHA384_SPEC,
+    generate_ec_key,
+)
+from repro.crypto.ec import ECPublicKey, _point_add, _point_mul
+from repro.errors import CryptoError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_ec_key(P256, DeterministicRandom("ec-tests"))
+
+
+class TestCurveParameters:
+    def test_generators_on_curve(self):
+        assert P256.on_curve(P256.gx, P256.gy)
+        assert P384.on_curve(P384.gx, P384.gy)
+
+    def test_generator_order(self):
+        # n * G = point at infinity.
+        assert _point_mul(P256, P256.n, (P256.gx, P256.gy)) is None
+
+    def test_byte_lengths(self):
+        assert P256.byte_length == 32
+        assert P384.byte_length == 48
+
+
+class TestPointArithmetic:
+    def test_identity(self):
+        g = (P256.gx, P256.gy)
+        assert _point_add(P256, None, g) == g
+        assert _point_add(P256, g, None) == g
+
+    def test_inverse_sums_to_infinity(self):
+        g = (P256.gx, P256.gy)
+        neg = (P256.gx, (-P256.gy) % P256.p)
+        assert _point_add(P256, g, neg) is None
+
+    def test_doubling_matches_addition_chain(self):
+        g = (P256.gx, P256.gy)
+        twice = _point_add(P256, g, g)
+        assert _point_mul(P256, 2, g) == twice
+
+    def test_scalar_distributes(self):
+        g = (P256.gx, P256.gy)
+        assert _point_mul(P256, 5, g) == _point_add(
+            P256, _point_mul(P256, 2, g), _point_mul(P256, 3, g)
+        )
+
+    def test_multiples_stay_on_curve(self):
+        g = (P256.gx, P256.gy)
+        for k in (2, 3, 7, 1000, P256.n - 1):
+            point = _point_mul(P256, k, g)
+            assert point is not None
+            assert P256.on_curve(*point)
+
+
+class TestKeys:
+    def test_public_point_on_curve(self, key):
+        pub = key.public_key
+        assert P256.on_curve(pub.x, pub.y)
+
+    def test_deterministic_generation(self):
+        a = generate_ec_key(P256, DeterministicRandom("same"))
+        b = generate_ec_key(P256, DeterministicRandom("same"))
+        assert a == b
+
+    def test_point_encoding_roundtrip(self, key):
+        pub = key.public_key
+        encoded = pub.encode_point()
+        assert encoded[0] == 0x04 and len(encoded) == 65
+        assert ECPublicKey.decode_point(P256, encoded) == pub
+
+    def test_decode_rejects_compressed(self, key):
+        encoded = bytearray(key.public_key.encode_point())
+        encoded[0] = 0x02
+        with pytest.raises(CryptoError):
+            ECPublicKey.decode_point(P256, bytes(encoded[:33]))
+
+    def test_decode_rejects_off_curve(self, key):
+        encoded = bytearray(key.public_key.encode_point())
+        encoded[-1] ^= 0x01
+        with pytest.raises(CryptoError, match="not on the curve"):
+            ECPublicKey.decode_point(P256, bytes(encoded))
+
+    def test_bits(self, key):
+        assert key.public_key.bits == 256
+
+
+class TestECDSA:
+    def test_sign_verify(self, key):
+        rng = DeterministicRandom("nonce")
+        signature = key.sign(b"message", SHA256_SPEC, rng)
+        key.public_key.verify(signature, b"message", SHA256_SPEC)
+
+    def test_p384_sign_verify(self):
+        key384 = generate_ec_key(P384, DeterministicRandom("p384"))
+        signature = key384.sign(b"m", SHA384_SPEC, DeterministicRandom("n"))
+        key384.public_key.verify(signature, b"m", SHA384_SPEC)
+
+    def test_tampered_message(self, key):
+        signature = key.sign(b"message", SHA256_SPEC, DeterministicRandom("n"))
+        with pytest.raises(SignatureError):
+            key.public_key.verify(signature, b"messagX", SHA256_SPEC)
+
+    def test_wrong_key(self, key):
+        other = generate_ec_key(P256, DeterministicRandom("other"))
+        signature = key.sign(b"message", SHA256_SPEC, DeterministicRandom("n"))
+        with pytest.raises(SignatureError):
+            other.public_key.verify(signature, b"message", SHA256_SPEC)
+
+    def test_malformed_signature(self, key):
+        with pytest.raises(SignatureError, match="malformed"):
+            key.public_key.verify(b"not-der", b"m", SHA256_SPEC)
+
+    def test_out_of_range_components(self, key):
+        from repro.asn1 import encode_integer, encode_sequence
+
+        bogus = encode_sequence(encode_integer(0), encode_integer(1))
+        with pytest.raises(SignatureError, match="range"):
+            key.public_key.verify(bogus, b"m", SHA256_SPEC)
+
+    def test_nonce_stream_determinism(self, key):
+        s1 = key.sign(b"m", SHA256_SPEC, DeterministicRandom("fixed"))
+        s2 = key.sign(b"m", SHA256_SPEC, DeterministicRandom("fixed"))
+        assert s1 == s2

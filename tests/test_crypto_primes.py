@@ -1,0 +1,79 @@
+"""Unit and property tests for primality and prime generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, generate_prime, is_probable_prime
+from repro.crypto.primes import SMALL_PRIMES, generate_safe_modulus_primes
+
+
+def _trial_division(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+class TestIsProbablePrime:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 101, 7919, 104729, 2**31 - 1):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (0, 1, 4, 100, 561, 7917, 2**31):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that Miller-Rabin must catch.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not is_probable_prime(n)
+
+    def test_small_primes_table(self):
+        assert SMALL_PRIMES[0] == 2
+        assert all(_trial_division(p) for p in SMALL_PRIMES)
+
+    @settings(max_examples=300)
+    @given(st.integers(0, 100_000))
+    def test_agrees_with_trial_division(self, n):
+        assert is_probable_prime(n) == _trial_division(n)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = DeterministicRandom("prime-bits")
+        for bits in (32, 64, 128):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic(self):
+        a = generate_prime(64, DeterministicRandom("p"))
+        b = generate_prime(64, DeterministicRandom("p"))
+        assert a == b
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prime(8, DeterministicRandom("s"))
+
+
+class TestModulusPrimes:
+    def test_modulus_size(self):
+        rng = DeterministicRandom("modulus")
+        p, q = generate_safe_modulus_primes(256, rng)
+        assert (p * q).bit_length() == 256
+        assert p != q
+
+    def test_coprime_to_exponent(self):
+        rng = DeterministicRandom("coprime")
+        p, q = generate_safe_modulus_primes(256, rng, public_exponent=65537)
+        assert (p - 1) % 65537 != 0
+        assert (q - 1) % 65537 != 0
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_safe_modulus_primes(255, DeterministicRandom("s"))

@@ -1,0 +1,110 @@
+"""Unit and property tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRandom("seed")
+        b = DeterministicRandom("seed")
+        assert a.bytes(64) == b.bytes(64)
+
+    def test_different_seed_different_stream(self):
+        assert DeterministicRandom("x").bytes(32) != DeterministicRandom("y").bytes(32)
+
+    def test_fork_is_independent_of_parent_position(self):
+        parent1 = DeterministicRandom("seed")
+        parent1.bytes(100)
+        parent2 = DeterministicRandom("seed")
+        assert parent1.fork("child").bytes(16) == parent2.fork("child").bytes(16)
+
+    def test_fork_labels_distinct(self):
+        rng = DeterministicRandom("seed")
+        assert rng.fork("a").bytes(16) != rng.fork("b").bytes(16)
+
+    def test_bytes_continuation(self):
+        whole = DeterministicRandom("seed").bytes(48)
+        rng = DeterministicRandom("seed")
+        assert rng.bytes(16) + rng.bytes(32) == whole
+
+
+class TestDistributions:
+    def test_randint_bounds(self):
+        rng = DeterministicRandom("bounds")
+        values = [rng.randint(3, 7) for _ in range(500)]
+        assert min(values) == 3 and max(values) == 7
+
+    def test_randint_single_value(self):
+        assert DeterministicRandom("s").randint(5, 5) == 5
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("s").randint(7, 3)
+
+    def test_randbits_range(self):
+        rng = DeterministicRandom("bits")
+        for _ in range(100):
+            assert 0 <= rng.randbits(5) < 32
+
+    def test_randbits_requires_positive(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("s").randbits(0)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRandom("floats")
+        values = [rng.random() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.3 < sum(values) / len(values) < 0.7  # sanity, not rigor
+
+    def test_negative_byte_count(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("s").bytes(-1)
+
+
+class TestCollections:
+    def test_choice(self):
+        rng = DeterministicRandom("choice")
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(50))
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("s").choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRandom("shuffle")
+        items = list(range(20))
+        shuffled = items.copy()
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_sample_distinct(self):
+        rng = DeterministicRandom("sample")
+        picked = rng.sample(range(100), 10)
+        assert len(set(picked)) == 10
+
+    def test_sample_too_large(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom("s").sample([1, 2], 3)
+
+
+class TestProperties:
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_randint_always_in_range(self, low, span):
+        rng = DeterministicRandom(f"prop-{low}-{span}")
+        value = rng.randint(low, low + span)
+        assert low <= value <= low + span
+
+    @given(st.integers(1, 256))
+    def test_bytes_length(self, n):
+        assert len(DeterministicRandom("len").bytes(n)) == n
+
+    @given(st.text(min_size=1, max_size=20))
+    def test_seed_stability(self, seed):
+        assert (
+            DeterministicRandom(seed).bytes(8) == DeterministicRandom(seed).bytes(8)
+        )

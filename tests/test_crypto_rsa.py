@@ -1,0 +1,108 @@
+"""Unit tests for the from-scratch RSA implementation."""
+
+import pytest
+
+from repro.crypto import (
+    DeterministicRandom,
+    MD5_SPEC,
+    SHA1_SPEC,
+    SHA256_SPEC,
+    generate_rsa_key,
+)
+from repro.crypto.rsa import RSAPublicKey, _pkcs1_pad
+from repro.errors import CryptoError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_rsa_key(512, DeterministicRandom("rsa-tests"))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, key):
+        assert key.n.bit_length() == 512
+        assert key.public_key.bits == 512
+
+    def test_key_equation(self, key):
+        # d is the inverse of e mod lcm(p-1, q-1): encrypt/decrypt identity.
+        message = 0x1234567890ABCDEF
+        assert pow(pow(message, key.e, key.n), key.d, key.n) == message
+
+    def test_deterministic(self):
+        a = generate_rsa_key(512, DeterministicRandom("same"))
+        b = generate_rsa_key(512, DeterministicRandom("same"))
+        assert a == b
+
+    def test_crt_parameters(self, key):
+        assert key.p * key.q == key.n
+
+
+class TestSignVerify:
+    def test_roundtrip_all_digests(self, key):
+        for digest in (MD5_SPEC, SHA1_SPEC, SHA256_SPEC):
+            signature = key.sign(b"message", digest)
+            key.public_key.verify(signature, b"message", digest)
+
+    def test_signature_length_is_modulus_length(self, key):
+        assert len(key.sign(b"m", SHA256_SPEC)) == key.public_key.byte_length
+
+    def test_tampered_message_rejected(self, key):
+        signature = key.sign(b"message", SHA256_SPEC)
+        with pytest.raises(SignatureError):
+            key.public_key.verify(signature, b"messagX", SHA256_SPEC)
+
+    def test_tampered_signature_rejected(self, key):
+        signature = bytearray(key.sign(b"message", SHA256_SPEC))
+        signature[10] ^= 0x01
+        with pytest.raises(SignatureError):
+            key.public_key.verify(bytes(signature), b"message", SHA256_SPEC)
+
+    def test_wrong_digest_rejected(self, key):
+        signature = key.sign(b"message", SHA256_SPEC)
+        with pytest.raises(SignatureError):
+            key.public_key.verify(signature, b"message", SHA1_SPEC)
+
+    def test_wrong_key_rejected(self, key):
+        other = generate_rsa_key(512, DeterministicRandom("other"))
+        signature = key.sign(b"message", SHA256_SPEC)
+        with pytest.raises(SignatureError):
+            other.public_key.verify(signature, b"message", SHA256_SPEC)
+
+    def test_wrong_length_rejected(self, key):
+        with pytest.raises(SignatureError, match="length"):
+            key.public_key.verify(b"\x00" * 63, b"m", SHA256_SPEC)
+
+    def test_out_of_range_signature_rejected(self, key):
+        too_big = (key.n + 1).to_bytes(key.public_key.byte_length, "big")
+        with pytest.raises(SignatureError, match="range"):
+            key.public_key.verify(too_big, b"m", SHA256_SPEC)
+
+    def test_deterministic_signatures(self, key):
+        assert key.sign(b"m", SHA256_SPEC) == key.sign(b"m", SHA256_SPEC)
+
+
+class TestEncoding:
+    def test_public_key_roundtrip(self, key):
+        encoded = key.public_key.encode()
+        decoded = RSAPublicKey.decode(encoded)
+        assert decoded == key.public_key
+
+    def test_decode_rejects_nonpositive(self):
+        from repro.asn1 import encode_integer, encode_sequence
+
+        bogus = encode_sequence(encode_integer(-5), encode_integer(3))
+        with pytest.raises(CryptoError):
+            RSAPublicKey.decode(bogus)
+
+
+class TestPadding:
+    def test_pkcs1_structure(self):
+        padded = _pkcs1_pad(b"DIGESTINFO", 64)
+        assert padded[:2] == b"\x00\x01"
+        assert padded.endswith(b"\x00DIGESTINFO")
+        assert len(padded) == 64
+        assert set(padded[2:-11]) == {0xFF}
+
+    def test_modulus_too_small(self):
+        with pytest.raises(CryptoError):
+            _pkcs1_pad(b"x" * 60, 64)

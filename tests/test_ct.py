@@ -1,0 +1,188 @@
+"""Tests for the Certificate Transparency substrate."""
+
+import hashlib
+from datetime import date
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ct import (
+    CTError,
+    CTLog,
+    LOW_CT_THRESHOLD,
+    MerkleError,
+    MerkleTree,
+    issuance_census,
+    leaf_volume,
+    populate_log,
+    verify_certificate_inclusion,
+    verify_consistency,
+    verify_inclusion,
+    verify_log_consistency,
+    verify_sth,
+)
+
+
+def _entries(n: int) -> list[bytes]:
+    return [f"entry-{i}".encode() for i in range(n)]
+
+
+class TestMerkleKnownAnswers:
+    def test_empty_tree_head(self):
+        assert MerkleTree().root() == hashlib.sha256(b"").digest()
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"x"])
+        assert tree.root() == hashlib.sha256(b"\x00x").digest()
+
+    def test_two_leaves(self):
+        tree = MerkleTree([b"a", b"b"])
+        left = hashlib.sha256(b"\x00a").digest()
+        right = hashlib.sha256(b"\x00b").digest()
+        assert tree.root() == hashlib.sha256(b"\x01" + left + right).digest()
+
+    def test_unbalanced_split(self):
+        # Size 3 splits 2|1 (largest power of two < n).
+        tree = MerkleTree(_entries(3))
+        left = MerkleTree(_entries(3)[:2]).root()
+        right = hashlib.sha256(b"\x00" + b"entry-2").digest()
+        assert tree.root() == hashlib.sha256(b"\x01" + left + right).digest()
+
+
+class TestMerkleProofs:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 64))
+    def test_all_inclusions_verify(self, n):
+        entries = _entries(n)
+        tree = MerkleTree(entries)
+        root = tree.root()
+        for index in (0, n // 2, n - 1):
+            proof = tree.inclusion_proof(index)
+            verify_inclusion(entries[index], index, n, proof, root)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 64), st.integers(0, 1000))
+    def test_wrong_entry_rejected(self, n, pick):
+        entries = _entries(n)
+        tree = MerkleTree(entries)
+        index = pick % n
+        proof = tree.inclusion_proof(index)
+        with pytest.raises(MerkleError):
+            verify_inclusion(b"forged", index, n, proof, tree.root())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 48), st.integers(1, 48))
+    def test_consistency_verifies(self, a, b):
+        old_size, new_size = min(a, b), max(a, b)
+        tree = MerkleTree(_entries(new_size))
+        proof = tree.consistency_proof(old_size, new_size)
+        verify_consistency(old_size, new_size, tree.root(old_size), tree.root(new_size), proof)
+
+    def test_forked_history_rejected(self):
+        # The fork rewrites an entry inside the old prefix: the new tree
+        # cannot produce a proof consistent with the honest old head.
+        honest = MerkleTree(_entries(8))
+        forked = MerkleTree(_entries(2) + [b"tampered"] + _entries(8)[3:])
+        proof = forked.consistency_proof(4, 8)
+        with pytest.raises(MerkleError):
+            verify_consistency(4, 8, honest.root(4), forked.root(8), proof)
+
+    def test_appended_fork_is_consistent_with_shared_prefix(self):
+        # Divergence strictly after the old size is NOT a consistency
+        # violation — both histories share the first four entries.
+        honest = MerkleTree(_entries(8))
+        forked = MerkleTree(_entries(4) + [b"different"] + _entries(8)[5:])
+        proof = forked.consistency_proof(4, 8)
+        verify_consistency(4, 8, honest.root(4), forked.root(8), proof)
+
+    def test_truncated_proof_rejected(self):
+        tree = MerkleTree(_entries(8))
+        proof = tree.inclusion_proof(3)
+        with pytest.raises(MerkleError):
+            verify_inclusion(_entries(8)[3], 3, 8, proof[:-1], tree.root())
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree(_entries(4))
+        with pytest.raises(MerkleError):
+            tree.inclusion_proof(4)
+
+
+class TestCTLog:
+    @pytest.fixture(scope="class")
+    def log(self, corpus):
+        log = CTLog("unit-log")
+        for slug in ("common-d1", "common-d2", "common-d3", "common-d4"):
+            log.submit(corpus.certificate(slug))
+        return log
+
+    def test_submit_idempotent(self, log, corpus):
+        before = len(log)
+        index = log.submit(corpus.certificate("common-d1"))
+        assert len(log) == before
+        assert index == 0
+
+    def test_sth_signature(self, log):
+        sth = log.signed_tree_head(at=date(2021, 1, 1))
+        verify_sth(sth, log.public_key)
+
+    def test_sth_tamper_detected(self, log):
+        from dataclasses import replace
+
+        sth = log.signed_tree_head(at=date(2021, 1, 1))
+        forged = replace(sth, tree_size=99)
+        with pytest.raises(CTError):
+            verify_sth(forged, log.public_key)
+
+    def test_inclusion_end_to_end(self, log, corpus):
+        sth = log.signed_tree_head(at=date(2021, 1, 1))
+        cert = corpus.certificate("common-d3")
+        proof = log.prove_inclusion(cert, sth)
+        verify_certificate_inclusion(cert, log.index_of(cert), sth, proof, log.public_key)
+
+    def test_consistency_end_to_end(self, log):
+        old = log.signed_tree_head(at=date(2020, 1, 1), size=2)
+        new = log.signed_tree_head(at=date(2021, 1, 1))
+        verify_log_consistency(old, new, log.prove_consistency(old, new), log.public_key)
+
+    def test_unknown_certificate(self, log, corpus):
+        with pytest.raises(CTError, match="not in log"):
+            log.index_of(corpus.certificate("microsec-ecc"))
+
+    def test_entry_after_sth_rejected(self, log, corpus):
+        early = log.signed_tree_head(at=date(2020, 1, 1), size=1)
+        with pytest.raises(CTError, match="after"):
+            log.prove_inclusion(corpus.certificate("common-d4"), early)
+
+
+class TestCensus:
+    @pytest.fixture(scope="class")
+    def census(self, corpus):
+        # A small slice: two low-CT exclusives and two common roots.
+        slugs = ("ms-excl-cisco", "ms-excl-halcom", "common-d1", "common-d2")
+        specs = [corpus.specs_by_slug[s] for s in slugs]
+        log = CTLog("census-log")
+        populate_log(corpus, log, specs)
+        roots = [corpus.mint.certificate_for(s) for s in specs]
+        return issuance_census(log, roots), specs
+
+    def test_low_ct_classification(self, census, corpus):
+        rows, specs = census
+        by_fp = {r.fingerprint: r for r in rows}
+        for spec in specs:
+            row = by_fp[corpus.fingerprint(spec.slug)]
+            assert row.low_presence == ("CT" in spec.note), spec.slug
+
+    def test_volumes_follow_catalog(self, census, corpus):
+        rows, specs = census
+        by_fp = {r.fingerprint: r for r in rows}
+        for spec in specs:
+            assert by_fp[corpus.fingerprint(spec.slug)].leaf_count == leaf_volume(spec)
+
+    def test_sorted_low_first(self, census):
+        rows, _ = census
+        counts = [r.leaf_count for r in rows]
+        assert counts == sorted(counts)
+
+    def test_threshold_sane(self):
+        assert LOW_CT_THRESHOLD >= 1

@@ -1,0 +1,84 @@
+"""Tests for the CT log monitor (gossip-style verification)."""
+
+from datetime import date
+
+import pytest
+
+from repro.ct import CTLog, EquivocationError, LogMonitor, MerkleError
+
+
+@pytest.fixture()
+def log(corpus):
+    log = CTLog("monitor-log")
+    for slug in ("common-d1", "common-d2", "common-d3", "common-d4", "common-d5"):
+        log.submit(corpus.certificate(slug))
+    return log
+
+
+@pytest.fixture()
+def monitor(log):
+    return LogMonitor(log_key=log.public_key)
+
+
+class TestHappyPath:
+    def test_first_observation(self, log, monitor):
+        sth = log.signed_tree_head(at=date(2021, 1, 1), size=2)
+        monitor.observe(sth)
+        assert monitor.latest is sth
+
+    def test_growth_with_proof(self, log, monitor):
+        old = log.signed_tree_head(at=date(2021, 1, 1), size=2)
+        new = log.signed_tree_head(at=date(2021, 2, 1), size=5)
+        monitor.observe(old)
+        monitor.observe(new, log.prove_consistency(old, new))
+        assert monitor.latest.tree_size == 5
+
+    def test_watch_fetches_proof(self, log, monitor):
+        monitor.watch(log, log.signed_tree_head(at=date(2021, 1, 1), size=2))
+        monitor.watch(log, log.signed_tree_head(at=date(2021, 2, 1), size=5))
+        assert len(monitor.heads) == 2
+
+    def test_same_head_replay_accepted(self, log, monitor):
+        sth = log.signed_tree_head(at=date(2021, 1, 1), size=3)
+        monitor.observe(sth)
+        monitor.observe(sth)
+        assert len(monitor.heads) == 2
+
+
+class TestAttacks:
+    def test_equivocation_detected(self, log, monitor, corpus):
+        honest = log.signed_tree_head(at=date(2021, 1, 1), size=4)
+        monitor.observe(honest)
+        forked = CTLog("monitor-log-evil", key=log._key)
+        for entry in log.entries()[:3]:
+            forked.submit(entry)
+        forked.submit(corpus.certificate("microsec-ecc"))
+        evil = forked.signed_tree_head(at=date(2021, 1, 2), size=4)
+        with pytest.raises(EquivocationError):
+            monitor.observe(evil)
+
+    def test_growth_without_proof_rejected(self, log, monitor):
+        monitor.observe(log.signed_tree_head(at=date(2021, 1, 1), size=2))
+        with pytest.raises(MerkleError, match="proof required"):
+            monitor.observe(log.signed_tree_head(at=date(2021, 2, 1), size=5))
+
+    def test_shrinking_log_rejected(self, log, monitor):
+        monitor.observe(log.signed_tree_head(at=date(2021, 1, 1), size=5))
+        with pytest.raises(MerkleError, match="shrank"):
+            monitor.observe(log.signed_tree_head(at=date(2021, 2, 1), size=3))
+
+    def test_wrong_key_rejected(self, log):
+        other = CTLog("unrelated")
+        stranger = LogMonitor(log_key=other.public_key)
+        from repro.ct import CTError
+
+        with pytest.raises(CTError):
+            stranger.observe(log.signed_tree_head(at=date(2021, 1, 1)))
+
+    def test_bad_consistency_proof_rejected(self, log, monitor):
+        old = log.signed_tree_head(at=date(2021, 1, 1), size=2)
+        new = log.signed_tree_head(at=date(2021, 2, 1), size=5)
+        monitor.observe(old)
+        bogus = [b"\x00" * 32] * 3
+        with pytest.raises(MerkleError):
+            monitor.observe(new, bogus)

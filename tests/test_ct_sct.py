@@ -1,0 +1,125 @@
+"""Tests for SCTs, precertificates, and the CT policy hook."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.ct import (
+    CTLog,
+    CTPolicy,
+    SCTError,
+    SignedCertificateTimestamp,
+    embedded_scts,
+    is_precertificate,
+    poison_extension,
+    sct_list_extension,
+    submit_precertificate,
+    verify_sct,
+)
+from repro.verify import issue_with_scts
+
+_ISSUED = datetime(2021, 1, 1, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def logs():
+    return CTLog("sct-log-a"), CTLog("sct-log-b")
+
+
+@pytest.fixture(scope="module")
+def issued(corpus, logs):
+    return issue_with_scts(
+        corpus.specs_by_slug["common-d3"], corpus.mint, "sct-tests.example",
+        list(logs), not_before=_ISSUED,
+    )
+
+
+class TestPrecertificates:
+    def test_poison_is_critical(self):
+        ext = poison_extension()
+        assert ext.critical
+
+    def test_precert_detection(self, issued):
+        final, precert, _ = issued
+        assert is_precertificate(precert)
+        assert not is_precertificate(final)
+
+    def test_precert_signed_by_ca(self, corpus, issued):
+        _, precert, _ = issued
+        precert.verify_signature(corpus.certificate("common-d3").public_key)
+
+    def test_submit_requires_poison(self, logs, issued):
+        final, _, _ = issued
+        with pytest.raises(SCTError, match="poison"):
+            submit_precertificate(logs[0], final)
+
+    def test_precert_entered_both_logs(self, logs, issued):
+        _, precert, _ = issued
+        for log in logs:
+            assert log.index_of(precert) >= 0
+
+
+class TestSCTs:
+    def test_verify_against_logs(self, logs, issued):
+        _, precert, scts = issued
+        for sct, log in zip(scts, logs):
+            verify_sct(sct, precert, log.public_key)
+
+    def test_wrong_log_key_rejected(self, logs, issued):
+        _, precert, scts = issued
+        with pytest.raises(SCTError):
+            verify_sct(scts[0], precert, logs[1].public_key)
+
+    def test_wrong_precert_rejected(self, corpus, logs, issued):
+        _, _, scts = issued
+        other = corpus.certificate("common-d4")
+        with pytest.raises(SCTError):
+            verify_sct(scts[0], other, logs[0].public_key)
+
+    def test_wire_roundtrip(self, issued):
+        _, _, scts = issued
+        blob = scts[0].serialize()
+        parsed, rest = SignedCertificateTimestamp.parse(blob)
+        assert parsed == scts[0]
+        assert rest == b""
+
+    def test_malformed_wire(self):
+        with pytest.raises(SCTError):
+            SignedCertificateTimestamp.parse(b"\x20short")
+
+    def test_embedded_list_roundtrip(self, issued):
+        final, _, scts = issued
+        assert embedded_scts(final) == scts
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SCTError):
+            sct_list_extension([])
+
+    def test_no_scts_on_plain_cert(self, corpus):
+        assert embedded_scts(corpus.certificate("common-d3")) == []
+
+
+class TestCTPolicy:
+    def test_satisfied_with_enough_logs(self, logs, issued):
+        final, precert, _ = issued
+        policy = CTPolicy(
+            log_keys={log.log_id: log.public_key for log in logs}, minimum=2
+        )
+        assert policy.satisfied_by(final, precert)
+
+    def test_unknown_logs_dont_count(self, logs, issued):
+        final, precert, _ = issued
+        policy = CTPolicy(log_keys={logs[0].log_id: logs[0].public_key}, minimum=2)
+        assert not policy.satisfied_by(final, precert)
+
+    def test_uncertified_leaf_fails(self, corpus, logs):
+        from repro.verify import issue_server_leaf
+
+        plain = issue_server_leaf(
+            corpus.specs_by_slug["common-d3"], corpus.mint, "plain.example",
+            not_before=_ISSUED,
+        )
+        policy = CTPolicy(
+            log_keys={log.log_id: log.public_key for log in logs}, minimum=1
+        )
+        assert not policy.satisfied_by(plain, plain)

@@ -1,0 +1,98 @@
+"""Unit and property tests for PEM armor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import colonize, decode_pem, encode_pem, iter_pem_blocks, split_bundle
+from repro.errors import PEMError
+
+
+class TestEncode:
+    def test_structure(self):
+        text = encode_pem(b"hello world")
+        lines = text.splitlines()
+        assert lines[0] == "-----BEGIN CERTIFICATE-----"
+        assert lines[-1] == "-----END CERTIFICATE-----"
+
+    def test_line_wrapping(self):
+        text = encode_pem(bytes(100))
+        body = text.splitlines()[1:-1]
+        assert all(len(line) <= 64 for line in body)
+
+    def test_custom_label(self):
+        assert "BEGIN TRUSTED CERTIFICATE" in encode_pem(b"x", "TRUSTED CERTIFICATE")
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        assert decode_pem(encode_pem(b"payload")) == b"payload"
+
+    def test_label_mismatch(self):
+        with pytest.raises(PEMError, match="expected CERTIFICATE"):
+            decode_pem(encode_pem(b"x", "PRIVATE KEY"))
+
+    def test_multiple_blocks_rejected(self):
+        with pytest.raises(PEMError, match="one PEM block"):
+            decode_pem(encode_pem(b"a") + encode_pem(b"b"))
+
+    def test_no_blocks_rejected(self):
+        with pytest.raises(PEMError):
+            decode_pem("nothing here")
+
+
+class TestBundles:
+    def test_split_with_comments(self):
+        bundle = "# bundle header\n" + encode_pem(b"one") + "# comment\n" + encode_pem(b"two")
+        assert split_bundle(bundle) == [b"one", b"two"]
+
+    def test_non_certificate_blocks_skipped(self):
+        bundle = encode_pem(b"one") + encode_pem(b"key", "PRIVATE KEY")
+        assert split_bundle(bundle) == [b"one"]
+
+    def test_empty(self):
+        assert split_bundle("") == []
+
+
+class TestMalformed:
+    def test_unterminated(self):
+        with pytest.raises(PEMError, match="unterminated"):
+            list(iter_pem_blocks("-----BEGIN CERTIFICATE-----\nQUJD\n"))
+
+    def test_end_without_begin(self):
+        with pytest.raises(PEMError, match="END without BEGIN"):
+            list(iter_pem_blocks("-----END CERTIFICATE-----\n"))
+
+    def test_nested_begin(self):
+        text = "-----BEGIN CERTIFICATE-----\n-----BEGIN CERTIFICATE-----\n"
+        with pytest.raises(PEMError, match="nested"):
+            list(iter_pem_blocks(text))
+
+    def test_label_mismatch_between_markers(self):
+        text = "-----BEGIN CERTIFICATE-----\nQUJD\n-----END PRIVATE KEY-----\n"
+        with pytest.raises(PEMError, match="label mismatch"):
+            list(iter_pem_blocks(text))
+
+    def test_invalid_base64(self):
+        text = "-----BEGIN CERTIFICATE-----\n!!!\n-----END CERTIFICATE-----\n"
+        with pytest.raises(PEMError, match="base64"):
+            list(iter_pem_blocks(text))
+
+
+class TestProperties:
+    @given(st.binary(max_size=2048))
+    def test_roundtrip(self, data):
+        assert decode_pem(encode_pem(data)) == data
+
+    @given(st.lists(st.binary(min_size=1, max_size=128), max_size=8))
+    def test_bundle_roundtrip(self, blobs):
+        bundle = "".join(encode_pem(b) for b in blobs)
+        assert split_bundle(bundle) == blobs
+
+
+class TestColonize:
+    def test_format(self):
+        assert colonize("abcdef") == "AB:CD:EF"
+
+    def test_empty(self):
+        assert colonize("") == ""

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs and prints its headline output.
+
+Examples are the public face of the library; these tests import each
+script's ``main()`` and assert on load-bearing lines so documentation
+drift breaks the build.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    spec = importlib.util.spec_from_file_location(f"example_{name}", _EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [f"{name}.py", *(argv or [])]
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_corpus(corpus):
+    return corpus
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "Total snapshots:" in out
+        assert "server-distrust-after" in out
+
+    def test_ecosystem_survey(self, capsys):
+        out = _run_example("ecosystem_survey", capsys)
+        assert "inverted pyramid" in out
+        assert "4 families" in out
+
+    def test_derivative_audit(self, capsys):
+        out = _run_example("derivative_audit", capsys, argv=["alpine"])
+        assert "Auditing alpine" in out
+        assert "staleness" in out
+
+    def test_derivative_audit_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            _run_example("derivative_audit", capsys, argv=["freebsd"])
+
+    def test_incident_response(self, capsys):
+        out = _run_example("incident_response", capsys)
+        assert "REJECTED (server-distrust-after)" in out
+        assert "NuGet" in out
+
+    def test_store_formats_tour(self, capsys, tmp_path):
+        out = _run_example("store_formats_tour", capsys, argv=[str(tmp_path)])
+        assert out.count("round-trip OK") == 7
+        assert "MISMATCH" not in out
+
+    def test_revocation_mechanisms(self, capsys):
+        out = _run_example("revocation_mechanisms", capsys)
+        for mechanism in ("revoked:crl", "revoked:onecrl", "revoked:crlset", "revoked:apple-feed"):
+            assert mechanism in out
+        assert "ACCEPTED" in out  # the no-revocation baseline
+
+    def test_ct_monitoring(self, capsys):
+        out = _run_example("ct_monitoring", capsys)
+        assert "inclusion verified" in out
+        assert "split view detected" in out
+        assert "low CT presence" in out

@@ -1,0 +1,155 @@
+"""Tests for the extension analyses: cross-signing, purposes, minimization."""
+
+from datetime import date, datetime, timezone
+
+import pytest
+
+from repro.analysis import (
+    conflation_timeline,
+    coverage_curve,
+    minimal_root_set,
+    purpose_exposure,
+    purpose_exposure_report,
+    zipf_traffic,
+)
+from repro.errors import AnalysisError
+from repro.verify import ChainValidator, cross_sign, issue_server_leaf, resurrection_window
+
+
+class TestCrossSign:
+    @pytest.fixture(scope="class")
+    def bridge(self, corpus):
+        return cross_sign(
+            corpus.specs_by_slug["startcom-ca"],
+            corpus.specs_by_slug["certinomis-root"],
+            corpus.mint,
+            not_before=date(2018, 3, 1),
+        )
+
+    def test_subject_and_key_are_the_subjects(self, corpus, bridge):
+        startcom = corpus.certificate("startcom-ca")
+        assert bridge.subject == startcom.subject
+        assert bridge.public_key == startcom.public_key
+        assert bridge.issuer == corpus.certificate("certinomis-root").subject
+
+    def test_signature_chains_to_issuer(self, corpus, bridge):
+        bridge.verify_signature(corpus.certificate("certinomis-root").public_key)
+
+    def test_resurrects_distrusted_path(self, corpus, dataset, bridge):
+        """The Certinomis incident end-to-end: a StartCom-issued leaf
+        validates via the cross-sign while Certinomis remains trusted,
+        and dies when Certinomis is removed."""
+        leaf = issue_server_leaf(
+            corpus.specs_by_slug["startcom-ca"], corpus.mint, "resurrected.example",
+            not_before=datetime(2018, 6, 1, tzinfo=timezone.utc), lifetime_days=700,
+        )
+        during = dataset["nss"].at(date(2018, 9, 1))
+        after = dataset["nss"].at(date(2019, 9, 1))
+        at_during = datetime(2018, 9, 1, tzinfo=timezone.utc)
+        at_after = datetime(2019, 9, 1, tzinfo=timezone.utc)
+
+        # Direct path is dead: StartCom left NSS in 2017.
+        assert not ChainValidator(store=during).validate(leaf, at_during).valid
+        # The cross-sign resurrects it.
+        resurrected = ChainValidator(store=during, intermediates=[bridge]).validate(leaf, at_during)
+        assert resurrected.valid
+        assert resurrected.anchor.subject.common_name == "Certinomis - Root CA"
+        # Removing Certinomis closes the bypass.
+        assert not ChainValidator(store=after, intermediates=[bridge]).validate(leaf, at_after).valid
+
+
+class TestResurrectionWindows:
+    @pytest.fixture(scope="class")
+    def windows(self, corpus, dataset):
+        startcom = [corpus.fingerprint(s) for s in ("startcom-ca", "startcom-ca-g2", "startcom-ca-g3")]
+        certinomis = corpus.fingerprint("certinomis-root")
+        return {
+            provider: resurrection_window(dataset[provider], startcom, certinomis, date(2018, 3, 1))
+            for provider in ("nss", "nodejs", "debian", "amazonlinux", "microsoft", "java")
+        }
+
+    def test_every_responder_was_exposed(self, windows):
+        for provider in ("nss", "nodejs", "debian", "amazonlinux"):
+            assert windows[provider].exposure_days > 0, provider
+
+    def test_exposure_tracks_certinomis_lag(self, windows):
+        """Slower Certinomis responses mean longer bypass exposure."""
+        assert windows["nss"].exposure_days < windows["nodejs"].exposure_days
+        assert windows["nodejs"].exposure_days < windows["amazonlinux"].exposure_days
+
+    def test_microsoft_open_ended(self, windows):
+        assert windows["microsoft"].open_ended  # still trusts Certinomis
+
+    def test_exposure_dates_consistent(self, windows, dataset, corpus):
+        nss = windows["nss"]
+        assert nss.issuer_removed == date(2019, 7, 5)
+        assert nss.exposure_days == (date(2019, 7, 5) - date(2018, 3, 1)).days
+
+
+class TestPurposeExposure:
+    def test_nss_is_single_purpose_for_code(self, dataset):
+        row = purpose_exposure(dataset, "nss")
+        assert row.code_signing_roots == 0
+        assert row.tls_overreach == 0
+        assert not row.is_multi_purpose
+
+    def test_bundle_providers_expose_code_signing(self, dataset):
+        for provider in ("debian", "alpine", "nodejs", "amazonlinux"):
+            row = purpose_exposure(dataset, provider)
+            assert row.is_multi_purpose, provider
+            assert row.code_signing_overreach == row.code_signing_roots, provider
+
+    def test_conflation_in_2016(self, dataset):
+        row = purpose_exposure(dataset, "debian", at=date(2016, 6, 1))
+        assert row.tls_overreach > 15  # 19 email-only + non-NSS roots
+
+    def test_conflation_resolved_by_2019(self, dataset):
+        row = purpose_exposure(dataset, "debian", at=date(2019, 6, 1))
+        assert row.tls_overreach <= 2
+
+    def test_timeline_shape(self, dataset):
+        points = conflation_timeline(dataset, "debian")
+        early = max(count for when, count in points if when < date(2015, 1, 1))
+        late = max(count for when, count in points if when > date(2019, 1, 1))
+        assert early > 15 and late <= 2
+
+    def test_report_covers_providers(self, dataset):
+        rows = purpose_exposure_report(dataset, ("nss", "debian", "alpine"))
+        assert [r.provider for r in rows] == ["nss", "debian", "alpine"]
+
+
+class TestMinimization:
+    def test_traffic_normalized(self, dataset):
+        traffic = zipf_traffic(dataset["nss"].latest())
+        total = sum(w for _, w in traffic.weights)
+        assert abs(total - 1.0) < 1e-9
+
+    def test_traffic_deterministic(self, dataset):
+        snapshot = dataset["nss"].latest()
+        assert zipf_traffic(snapshot).weights == zipf_traffic(snapshot).weights
+
+    def test_small_subset_covers_90_percent(self, dataset):
+        snapshot = dataset["nss"].latest()
+        result = minimal_root_set(snapshot, zipf_traffic(snapshot), target=0.9)
+        assert result.coverage >= 0.9
+        # Braun et al.: the vast majority of shipped roots go unused.
+        assert result.unused_fraction > 0.7
+
+    def test_full_coverage_needs_more(self, dataset):
+        snapshot = dataset["nss"].latest()
+        traffic = zipf_traffic(snapshot)
+        at90 = minimal_root_set(snapshot, traffic, target=0.9)
+        at99 = minimal_root_set(snapshot, traffic, target=0.99)
+        assert at99.selected_count > at90.selected_count
+
+    def test_coverage_curve_monotone(self, dataset):
+        snapshot = dataset["nss"].latest()
+        curve = coverage_curve(snapshot, zipf_traffic(snapshot))
+        coverages = [c for _, c in curve]
+        assert coverages == sorted(coverages)
+        assert abs(coverages[-1] - 1.0) < 1e-9
+
+    def test_bad_target(self, dataset):
+        snapshot = dataset["nss"].latest()
+        with pytest.raises(AnalysisError):
+            minimal_root_set(snapshot, zipf_traffic(snapshot), target=1.5)

@@ -1,0 +1,141 @@
+"""Unit tests for the Microsoft authroot.stl codec."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import (
+    AuthrootArtifact,
+    decode_filetime,
+    encode_filetime,
+    parse_authroot,
+    serialize_authroot,
+)
+from repro.store import TrustEntry, TrustLevel, TrustPurpose
+
+_NOW = datetime(2020, 3, 1, 12, 0, tzinfo=timezone.utc)
+
+
+@pytest.fixture()
+def entries(sample_certs):
+    alpha, beta, gamma = sample_certs
+    return [
+        TrustEntry.make(
+            alpha,
+            {
+                TrustPurpose.SERVER_AUTH: TrustLevel.TRUSTED,
+                TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED,
+                TrustPurpose.CODE_SIGNING: TrustLevel.TRUSTED,
+            },
+        ),
+        TrustEntry.make(
+            beta,
+            {TrustPurpose.SERVER_AUTH: TrustLevel.TRUSTED},
+            distrust_after=datetime(2019, 4, 16, tzinfo=timezone.utc),
+        ),
+        TrustEntry.make(
+            gamma,
+            {
+                TrustPurpose.SERVER_AUTH: TrustLevel.DISTRUSTED,
+                TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED,
+            },
+        ),
+    ]
+
+
+class TestFiletime:
+    def test_epoch(self):
+        epoch = datetime(1601, 1, 1, tzinfo=timezone.utc)
+        assert encode_filetime(epoch) == b"\x00" * 8
+        assert decode_filetime(b"\x00" * 8) == epoch
+
+    def test_roundtrip(self):
+        assert decode_filetime(encode_filetime(_NOW)) == _NOW
+
+    def test_little_endian(self):
+        one_second = datetime(1601, 1, 1, 0, 0, 1, tzinfo=timezone.utc)
+        assert encode_filetime(one_second) == (10_000_000).to_bytes(8, "little")
+
+    def test_wrong_length(self):
+        with pytest.raises(FormatError):
+            decode_filetime(b"\x00" * 7)
+
+    @given(
+        st.datetimes(min_value=datetime(1700, 1, 1), max_value=datetime(2400, 1, 1)).map(
+            lambda d: d.replace(microsecond=0, tzinfo=timezone.utc)
+        )
+    )
+    def test_roundtrip_property(self, moment):
+        assert decode_filetime(encode_filetime(moment)) == moment
+
+
+class TestRoundTrip:
+    def test_entries_preserved(self, entries):
+        artifact = serialize_authroot(entries, sequence_number=42, this_update=_NOW)
+        assert parse_authroot(artifact) == sorted(entries, key=lambda e: e.fingerprint)
+
+    def test_mixed_trust_levels_preserved(self, entries):
+        parsed = parse_authroot(serialize_authroot(entries, sequence_number=1, this_update=_NOW))
+        gamma = [e for e in parsed if e.is_distrusted_for(TrustPurpose.SERVER_AUTH)]
+        assert len(gamma) == 1
+        assert gamma[0].is_trusted_for(TrustPurpose.EMAIL_PROTECTION)
+
+    def test_partial_distrust_preserved(self, entries):
+        parsed = parse_authroot(serialize_authroot(entries, sequence_number=1, this_update=_NOW))
+        flagged = [e for e in parsed if e.distrust_after is not None]
+        assert len(flagged) == 1
+
+    def test_certificate_map_keys_are_sha1(self, entries):
+        import hashlib
+
+        artifact = serialize_authroot(entries, sequence_number=1, this_update=_NOW)
+        for sha1_hex, der in artifact.certificates.items():
+            assert hashlib.sha1(der).hexdigest() == sha1_hex
+
+
+class TestMalformed:
+    def test_missing_certificate(self, entries):
+        artifact = serialize_authroot(entries, sequence_number=1, this_update=_NOW)
+        broken = AuthrootArtifact(stl_der=artifact.stl_der, certificates={})
+        with pytest.raises(FormatError, match="undownloadable"):
+            parse_authroot(broken)
+
+    def test_hash_mismatch(self, entries, sample_cert):
+        artifact = serialize_authroot(entries, sequence_number=1, this_update=_NOW)
+        swapped = {sha1: sample_cert.der for sha1 in artifact.certificates}
+        with pytest.raises(FormatError, match="mismatch"):
+            parse_authroot(AuthrootArtifact(stl_der=artifact.stl_der, certificates=swapped))
+
+    def test_bad_version(self, entries):
+        from repro.asn1 import decode, encode_integer, encode_sequence
+
+        artifact = serialize_authroot(entries, sequence_number=1, this_update=_NOW)
+        children = decode(artifact.stl_der).children()
+        forged = encode_sequence(encode_integer(9), *(c.encoded for c in children[1:]))
+        with pytest.raises(FormatError, match="version"):
+            parse_authroot(AuthrootArtifact(stl_der=forged, certificates=artifact.certificates))
+
+    def test_garbage_stl(self):
+        with pytest.raises(Exception):
+            parse_authroot(AuthrootArtifact(stl_der=b"junk", certificates={}))
+
+
+class TestDates:
+    def test_this_update_encoded(self, entries):
+        artifact = serialize_authroot(entries, sequence_number=7, this_update=_NOW)
+        from repro.asn1 import decode
+
+        reader = decode(artifact.stl_der).reader()
+        reader.next()  # version
+        reader.next()  # subjectUsage
+        assert reader.next().as_integer() == 7
+        assert reader.next().as_time() == _NOW
+
+    def test_distrust_after_sub_second_resolution(self, sample_cert):
+        moment = datetime(2020, 5, 4, 3, 2, 1, tzinfo=timezone.utc)
+        entry = TrustEntry.make(sample_cert, distrust_after=moment)
+        parsed = parse_authroot(serialize_authroot([entry], sequence_number=1, this_update=_NOW))
+        assert parsed[0].distrust_after == moment

@@ -1,0 +1,111 @@
+"""Unit tests for the NSS certdata.txt codec."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import parse_certdata, serialize_certdata
+from repro.formats.certdata import _octal_multiline, _parse_octal
+from repro.store import TrustEntry, TrustLevel, TrustPurpose
+
+
+@pytest.fixture()
+def entries(sample_certs):
+    alpha, beta, gamma = sample_certs
+    return [
+        TrustEntry.make(
+            alpha,
+            {
+                TrustPurpose.SERVER_AUTH: TrustLevel.TRUSTED,
+                TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED,
+            },
+        ),
+        TrustEntry.make(
+            beta,
+            {TrustPurpose.SERVER_AUTH: TrustLevel.TRUSTED},
+            distrust_after=datetime(2019, 4, 16, tzinfo=timezone.utc),
+        ),
+        TrustEntry.make(gamma, {TrustPurpose.SERVER_AUTH: TrustLevel.DISTRUSTED}),
+    ]
+
+
+class TestRoundTrip:
+    def test_entries_preserved(self, entries):
+        text = serialize_certdata(entries)
+        assert parse_certdata(text) == sorted(entries, key=lambda e: e.fingerprint)
+
+    def test_distrust_after_preserved(self, entries):
+        parsed = parse_certdata(serialize_certdata(entries))
+        flagged = [e for e in parsed if e.distrust_after is not None]
+        assert len(flagged) == 1
+        assert flagged[0].distrust_after == datetime(2019, 4, 16, tzinfo=timezone.utc)
+
+    def test_distrusted_level_preserved(self, entries):
+        parsed = parse_certdata(serialize_certdata(entries))
+        distrusted = [e for e in parsed if e.is_distrusted_for(TrustPurpose.SERVER_AUTH)]
+        assert len(distrusted) == 1
+
+    def test_reserialization_stable(self, entries):
+        text = serialize_certdata(entries)
+        assert serialize_certdata(parse_certdata(text)) == text
+
+    def test_empty_store(self):
+        assert parse_certdata(serialize_certdata([])) == []
+
+
+class TestDocumentStructure:
+    def test_header_and_classes(self, entries):
+        text = serialize_certdata(entries)
+        assert "BEGINDATA" in text
+        assert text.count("CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE") == 3
+        assert text.count("CKA_CLASS CK_OBJECT_CLASS CKO_NSS_TRUST") == 3
+        assert "CKA_TRUST_SERVER_AUTH CK_TRUST CKT_NSS_TRUSTED_DELEGATOR" in text
+        assert "CKT_NSS_NOT_TRUSTED" in text
+
+    def test_labels_present(self, entries):
+        text = serialize_certdata(entries)
+        assert 'CKA_LABEL UTF8 "Alpha Root CA"' in text
+
+
+class TestOctal:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert _parse_octal(_octal_multiline(data).splitlines()) == data
+
+    def test_bad_escape(self):
+        with pytest.raises(FormatError):
+            _parse_octal([r"\999"])
+
+
+class TestMalformed:
+    def test_unterminated_octal(self, entries):
+        text = serialize_certdata(entries)
+        truncated = text[: text.index("END")]
+        with pytest.raises(FormatError, match="unterminated"):
+            parse_certdata(truncated)
+
+    def test_trust_without_certificate(self, sample_cert):
+        entry = TrustEntry.make(sample_cert)
+        text = serialize_certdata([entry])
+        # Drop the certificate object, keep the trust object.
+        head, _, tail = text.partition("# Trust object")
+        header = head[: head.index("# Certificate object")]
+        with pytest.raises(FormatError, match="unknown certificate"):
+            parse_certdata(header + "# Trust object" + tail)
+
+    def test_malformed_line(self):
+        with pytest.raises(FormatError, match="malformed"):
+            parse_certdata("BEGINDATA\nCKA_CLASS\n")
+
+    def test_unknown_trust_constant(self, sample_cert):
+        text = serialize_certdata([TrustEntry.make(sample_cert)])
+        bad = text.replace("CKT_NSS_TRUSTED_DELEGATOR", "CKT_NSS_BOGUS", 1)
+        with pytest.raises(FormatError, match="unknown trust constant"):
+            parse_certdata(bad)
+
+    def test_content_before_begindata_ignored(self, entries):
+        text = serialize_certdata(entries)
+        head, marker, body = text.partition("BEGINDATA")
+        noisy = head + "IGNORED LINE HERE\n" + marker + body
+        assert parse_certdata(noisy) == parse_certdata(text)

@@ -1,0 +1,94 @@
+"""Unit tests for the Java KeyStore codec."""
+
+import struct
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import parse_jks, serialize_jks
+from repro.store import TrustEntry
+
+
+@pytest.fixture()
+def entries(sample_certs):
+    return [TrustEntry.make(cert) for cert in sample_certs]
+
+
+class TestRoundTrip:
+    def test_certificates_preserved(self, entries, sample_certs):
+        data = serialize_jks(entries)
+        parsed = parse_jks(data)
+        assert {e.certificate for e in parsed} == set(sample_certs)
+
+    def test_all_bundle_purposes_trusted(self, entries):
+        from repro.store import TrustPurpose
+
+        parsed = parse_jks(serialize_jks(entries))
+        for entry in parsed:
+            assert entry.is_tls_trusted
+            assert entry.is_trusted_for(TrustPurpose.EMAIL_PROTECTION)
+            assert entry.is_trusted_for(TrustPurpose.CODE_SIGNING)
+
+    def test_custom_password(self, entries):
+        data = serialize_jks(entries, password="s3cret")
+        assert len(parse_jks(data, password="s3cret")) == 3
+
+    def test_empty_store(self):
+        assert parse_jks(serialize_jks([])) == []
+
+
+class TestBinaryFormat:
+    def test_magic_and_version(self, entries):
+        data = serialize_jks(entries)
+        magic, version, count = struct.unpack_from(">III", data, 0)
+        assert magic == 0xFEEDFEED
+        assert version == 2
+        assert count == 3
+
+    def test_digest_is_last_20_bytes(self, entries):
+        import hashlib
+
+        data = serialize_jks(entries, password="changeit")
+        expected = hashlib.sha1(
+            "changeit".encode("utf-16-be") + b"Mighty Aphrodite" + data[:-20]
+        ).digest()
+        assert data[-20:] == expected
+
+
+class TestIntegrity:
+    def test_wrong_password(self, entries):
+        data = serialize_jks(entries)
+        with pytest.raises(FormatError, match="integrity"):
+            parse_jks(data, password="wrong")
+
+    def test_corrupted_body(self, entries):
+        data = bytearray(serialize_jks(entries))
+        data[30] ^= 0xFF
+        with pytest.raises(FormatError, match="integrity"):
+            parse_jks(bytes(data))
+
+    def test_truncated_file(self):
+        with pytest.raises(FormatError, match="too short"):
+            parse_jks(b"\xfe\xed\xfe\xed")
+
+    def test_bad_magic(self, entries):
+        data = bytearray(serialize_jks(entries))
+        data[0] = 0x00
+        # Digest recomputed so only the magic check fires.
+        import hashlib
+
+        body = bytes(data[:-20])
+        digest = hashlib.sha1("changeit".encode("utf-16-be") + b"Mighty Aphrodite" + body).digest()
+        with pytest.raises(FormatError, match="magic"):
+            parse_jks(body + digest)
+
+    def test_unsupported_entry_tag(self, entries):
+        data = bytearray(serialize_jks(entries))
+        # First entry tag sits right after the 12-byte header.
+        struct.pack_into(">I", data, 12, 1)  # private key tag
+        import hashlib
+
+        body = bytes(data[:-20])
+        digest = hashlib.sha1("changeit".encode("utf-16-be") + b"Mighty Aphrodite" + body).digest()
+        with pytest.raises(FormatError, match="tag"):
+            parse_jks(body + digest)

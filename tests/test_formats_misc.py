@@ -1,0 +1,155 @@
+"""Unit tests for the Apple store, PEM bundle, cert directory, and
+NodeJS header codecs."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    parse_apple_store,
+    parse_cert_dir,
+    parse_node_header,
+    parse_pem_bundle,
+    serialize_apple_store,
+    serialize_cert_dir,
+    serialize_node_header,
+    serialize_pem_bundle,
+)
+from repro.store import TrustEntry, TrustLevel, TrustPurpose
+from repro.store.purposes import BUNDLE_PURPOSES
+
+_ALL = {p: TrustLevel.TRUSTED for p in BUNDLE_PURPOSES}
+
+
+class TestAppleStore:
+    def test_default_trust_roundtrip(self, sample_certs):
+        entries = [TrustEntry.make(c, dict(_ALL)) for c in sample_certs]
+        tree = serialize_apple_store(entries)
+        assert parse_apple_store(tree) == sorted(entries, key=lambda e: e.fingerprint)
+
+    def test_no_plist_when_all_default(self, sample_certs):
+        entries = [TrustEntry.make(c, dict(_ALL)) for c in sample_certs]
+        tree = serialize_apple_store(entries)
+        assert "TrustSettings.plist" not in tree
+
+    def test_restricted_roundtrip(self, sample_certs):
+        entries = [
+            TrustEntry.make(sample_certs[0], dict(_ALL)),
+            TrustEntry.make(
+                sample_certs[1], {TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED}
+            ),
+        ]
+        tree = serialize_apple_store(entries)
+        assert "TrustSettings.plist" in tree
+        parsed = parse_apple_store(tree)
+        restricted = [e for e in parsed if not e.is_tls_trusted]
+        assert len(restricted) == 1
+        assert restricted[0].is_trusted_for(TrustPurpose.EMAIL_PROTECTION)
+
+    def test_revoked_roundtrip(self, sample_certs):
+        entries = [
+            TrustEntry.make(
+                sample_certs[0], {p: TrustLevel.DISTRUSTED for p in BUNDLE_PURPOSES}
+            )
+        ]
+        parsed = parse_apple_store(serialize_apple_store(entries))
+        assert parsed[0].is_distrusted_for(TrustPurpose.SERVER_AUTH)
+
+    def test_filename_dedup(self, rsa_key, rsa_key_2):
+        from tests.conftest import make_cert
+
+        twins = [
+            TrustEntry.make(make_cert(rsa_key, "Same Name"), dict(_ALL)),
+            TrustEntry.make(make_cert(rsa_key_2, "Same Name"), dict(_ALL)),
+        ]
+        tree = serialize_apple_store(twins)
+        cert_files = [p for p in tree if p.endswith(".cer")]
+        assert len(cert_files) == 2
+
+    def test_malformed_plist(self, sample_certs):
+        entries = [TrustEntry.make(sample_certs[0], dict(_ALL))]
+        tree = serialize_apple_store(entries)
+        tree["TrustSettings.plist"] = b"<not-a-plist"
+        with pytest.raises(FormatError):
+            parse_apple_store(tree)
+
+
+class TestPemBundle:
+    def test_roundtrip(self, sample_certs):
+        entries = [TrustEntry.make(c, dict(_ALL)) for c in sample_certs]
+        text = serialize_pem_bundle(entries, header_comment="test")
+        assert parse_pem_bundle(text) == sorted(entries, key=lambda e: e.fingerprint)
+
+    def test_comments_included(self, sample_certs):
+        text = serialize_pem_bundle(
+            [TrustEntry.make(sample_certs[0], dict(_ALL))], header_comment="hello\nworld"
+        )
+        assert "# hello" in text and "# world" in text
+        assert "# Alpha Root CA" in text
+
+    def test_restricted_purposes(self, sample_certs):
+        text = serialize_pem_bundle([TrustEntry.make(sample_certs[0], dict(_ALL))])
+        parsed = parse_pem_bundle(text, purposes=(TrustPurpose.SERVER_AUTH,))
+        assert parsed[0].is_tls_trusted
+        assert not parsed[0].is_trusted_for(TrustPurpose.EMAIL_PROTECTION)
+
+
+class TestCertDir:
+    def test_debian_roundtrip(self, sample_certs):
+        entries = [TrustEntry.make(c, dict(_ALL)) for c in sample_certs]
+        tree = serialize_cert_dir(entries, style="debian")
+        assert parse_cert_dir(tree) == sorted(entries, key=lambda e: e.fingerprint)
+        assert all(path.startswith("mozilla/") for path in tree)
+
+    def test_android_subject_hash_names(self, sample_certs):
+        import hashlib
+
+        entries = [TrustEntry.make(c, dict(_ALL)) for c in sample_certs]
+        tree = serialize_cert_dir(entries, style="android")
+        for path, data in tree.items():
+            name = path.removeprefix("files/").split(".")[0]
+            from repro.encoding import split_bundle
+            from repro.x509 import Certificate
+
+            cert = Certificate.from_der(split_bundle(data.decode())[0])
+            digest = hashlib.md5(cert.subject.encode()).digest()
+            assert name == f"{int.from_bytes(digest[:4], 'little'):08x}"
+
+    def test_android_hash_collision_counter(self, rsa_key, rsa_key_2):
+        from tests.conftest import make_cert
+
+        twins = [
+            TrustEntry.make(make_cert(rsa_key, "Collide", org="X")),
+            TrustEntry.make(make_cert(rsa_key_2, "Collide", org="X")),
+        ]
+        tree = serialize_cert_dir(twins, style="android")
+        suffixes = sorted(path.rsplit(".", 1)[1] for path in tree)
+        assert suffixes == ["0", "1"]
+
+    def test_unknown_style(self, sample_certs):
+        with pytest.raises(FormatError):
+            serialize_cert_dir([TrustEntry.make(sample_certs[0])], style="bsd")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(FormatError, match="no certificate"):
+            parse_cert_dir({"mozilla/empty.crt": b""})
+
+
+class TestNodeHeader:
+    def test_roundtrip(self, sample_certs):
+        entries = [TrustEntry.make(c, dict(_ALL)) for c in sample_certs]
+        text = serialize_node_header(entries)
+        assert parse_node_header(text) == sorted(entries, key=lambda e: e.fingerprint)
+
+    def test_c_structure(self, sample_certs):
+        text = serialize_node_header([TrustEntry.make(sample_certs[0], dict(_ALL))])
+        assert "static const char *root_certs[] = {" in text
+        assert text.rstrip().endswith("};")
+        assert "/* Alpha Root CA */" in text
+
+    def test_no_literals(self):
+        with pytest.raises(FormatError):
+            parse_node_header("int main() { return 0; }")
+
+    def test_literals_without_certs(self):
+        with pytest.raises(FormatError):
+            parse_node_header('static const char *root_certs[] = { "hello" };')

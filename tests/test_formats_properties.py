@@ -1,0 +1,127 @@
+"""Property-based fuzzing of the root store format codecs.
+
+Random trust configurations over a fixed certificate pool must survive
+round trips through every format that can express them; formats that
+cannot (bundles) must flatten deterministically.
+"""
+
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    parse_authroot,
+    parse_certdata,
+    parse_jks,
+    parse_pem_bundle,
+    serialize_authroot,
+    serialize_certdata,
+    serialize_jks,
+    serialize_pem_bundle,
+)
+from repro.store import TrustEntry, TrustLevel, TrustPurpose
+
+# Purposes the wire formats can express.
+_PURPOSES = (
+    TrustPurpose.SERVER_AUTH,
+    TrustPurpose.EMAIL_PROTECTION,
+    TrustPurpose.CODE_SIGNING,
+)
+
+_trust_maps = st.dictionaries(
+    st.sampled_from(_PURPOSES),
+    st.sampled_from((TrustLevel.TRUSTED, TrustLevel.DISTRUSTED)),
+    min_size=1,
+    max_size=3,
+)
+
+_distrust_dates = st.one_of(
+    st.none(),
+    st.datetimes(
+        min_value=datetime(2015, 1, 1), max_value=datetime(2024, 1, 1)
+    ).map(lambda d: d.replace(microsecond=0, second=0, tzinfo=timezone.utc)),
+)
+
+
+@pytest.fixture(scope="module")
+def cert_pool(sample_certs):
+    return sample_certs
+
+
+def _entries(cert_pool, configs):
+    entries = []
+    for cert, (trust, distrust_after) in zip(cert_pool, configs):
+        entries.append(
+            TrustEntry(
+                certificate=cert,
+                trust=tuple(trust.items()),
+                distrust_after=distrust_after,
+            )
+        )
+    return entries
+
+
+class TestCertdataFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(_trust_maps, _distrust_dates), min_size=1, max_size=3, unique_by=lambda t: id(t)))
+    def test_roundtrip(self, cert_pool, configs):
+        entries = _entries(cert_pool, configs)
+        parsed = parse_certdata(serialize_certdata(entries))
+        assert parsed == sorted(entries, key=lambda e: e.fingerprint)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(_trust_maps, _distrust_dates), min_size=1, max_size=3))
+    def test_idempotent(self, cert_pool, configs):
+        entries = _entries(cert_pool, configs)
+        once = serialize_certdata(entries)
+        twice = serialize_certdata(parse_certdata(once))
+        assert once == twice
+
+
+class TestAuthrootFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(_trust_maps, _distrust_dates), min_size=1, max_size=3))
+    def test_roundtrip(self, cert_pool, configs):
+        entries = _entries(cert_pool, configs)
+        artifact = serialize_authroot(
+            entries,
+            sequence_number=7,
+            this_update=datetime(2020, 1, 1, tzinfo=timezone.utc),
+        )
+        parsed = parse_authroot(artifact)
+        assert parsed == sorted(entries, key=lambda e: e.fingerprint)
+
+
+class TestJksFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=24))
+    def test_arbitrary_passwords(self, cert_pool, password):
+        entries = [TrustEntry.make(c) for c in cert_pool]
+        data = serialize_jks(entries, password=password)
+        parsed = parse_jks(data, password=password)
+        assert {e.certificate for e in parsed} == set(cert_pool)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_corruption_detected(self, cert_pool, position_seed):
+        entries = [TrustEntry.make(c) for c in cert_pool]
+        data = bytearray(serialize_jks(entries))
+        position = position_seed % (len(data) - 20)  # never the digest itself
+        data[position] ^= 0x01
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            parse_jks(bytes(data))
+
+
+class TestBundleFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["", "# noise", "random prose", "\t"]), max_size=8))
+    def test_noise_tolerant(self, cert_pool, noise_lines):
+        entries = [TrustEntry.make(c) for c in cert_pool]
+        bundle = serialize_pem_bundle(entries)
+        noisy = "\n".join(noise_lines) + "\n" + bundle + "\n".join(noise_lines)
+        parsed = parse_pem_bundle(noisy)
+        assert {e.certificate for e in parsed} == set(cert_pool)

@@ -1,0 +1,187 @@
+"""Coverage for the smaller modules: pretty printer, issuance helpers,
+minting, SPKI codecs, and the error hierarchy."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.asn1 import (
+    dump,
+    encode_boolean,
+    encode_context,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_time,
+    encode_utf8_string,
+)
+from repro.errors import (
+    ASN1DecodeError,
+    AnalysisError,
+    CollectionError,
+    FormatError,
+    ReproError,
+    StoreError,
+    ValidationError,
+    X509Error,
+)
+
+
+class TestPrettyPrinter:
+    def test_tree_structure(self):
+        der = encode_sequence(
+            encode_integer(42),
+            encode_oid("2.5.4.3"),
+            encode_utf8_string("hello"),
+            encode_context(0, encode_boolean(True)),
+        )
+        text = dump(der)
+        assert "SEQUENCE" in text
+        assert "= 42" in text
+        assert "= CN" in text
+        assert "= 'hello'" in text
+        assert "[0]" in text
+
+    def test_time_preview(self):
+        text = dump(encode_time(datetime(2020, 5, 4, tzinfo=timezone.utc)))
+        assert "2020-05-04" in text
+
+    def test_octet_string_preview_truncated(self):
+        text = dump(encode_octet_string(bytes(64)))
+        assert "..." in text
+
+    def test_huge_integer_summarized(self):
+        text = dump(encode_integer(2**256))
+        assert "bit integer" in text
+
+    def test_indentation_levels(self):
+        der = encode_sequence(encode_sequence(encode_integer(1)))
+        lines = dump(der).splitlines()
+        assert len(lines) == 3
+        assert lines[2].startswith("    ")  # two levels in
+
+    def test_certificate_dump(self, sample_cert):
+        text = dump(sample_cert.der)
+        assert "BIT_STRING" in text
+        assert "sha256WithRSAEncryption" in text
+
+    def test_malformed_constructed_content(self):
+        # A constructed tag whose content is not valid TLVs.
+        from repro.asn1 import encode_tlv
+
+        bogus = encode_tlv(0x30, b"\xff")
+        text = dump(bogus)
+        assert "undecodable" in text
+
+
+class TestIssuanceHelpers:
+    def test_leaf_is_deterministic(self, corpus):
+        from repro.verify import issue_server_leaf
+
+        spec = corpus.specs_by_slug["common-d1"]
+        kwargs = dict(not_before=datetime(2020, 1, 1, tzinfo=timezone.utc))
+        a = issue_server_leaf(spec, corpus.mint, "det.example", **kwargs)
+        b = issue_server_leaf(spec, corpus.mint, "det.example", **kwargs)
+        assert a.der == b.der
+
+    def test_leaf_carries_san_and_eku(self, corpus):
+        from repro.asn1.oid import EKU_SERVER_AUTH, EXTENDED_KEY_USAGE, SUBJECT_ALT_NAME
+        from repro.verify import issue_server_leaf
+
+        leaf = issue_server_leaf(
+            corpus.specs_by_slug["common-d1"], corpus.mint, "san.example",
+            not_before=datetime(2020, 1, 1, tzinfo=timezone.utc),
+        )
+        san = leaf.extension_value(SUBJECT_ALT_NAME)
+        assert san.dns_names == ("san.example",)
+        eku = leaf.extension_value(EXTENDED_KEY_USAGE)
+        assert eku.purposes == (EKU_SERVER_AUTH,)
+        assert not leaf.is_ca
+
+    def test_intermediate_path_length(self, corpus):
+        from repro.asn1.oid import BASIC_CONSTRAINTS
+        from repro.verify import issue_intermediate
+
+        cert, _key = issue_intermediate(
+            corpus.specs_by_slug["common-d1"], corpus.mint, "Mid CA",
+            not_before=datetime(2019, 1, 1, tzinfo=timezone.utc),
+        )
+        bc = cert.extension_value(BASIC_CONSTRAINTS)
+        assert bc.ca and bc.path_length == 0
+
+
+class TestMinting:
+    def test_certificate_cached(self, corpus):
+        spec = corpus.specs_by_slug["common-a1"]
+        assert corpus.mint.certificate_for(spec) is corpus.mint.certificate_for(spec)
+
+    def test_spec_parameters_respected(self, corpus):
+        spec = corpus.specs_by_slug["common-a1"]  # era-a: MD5 + RSA-1024
+        cert = corpus.mint.certificate_for(spec)
+        assert cert.signature_digest == spec.digest
+        assert cert.key_bits == int(spec.key_param)
+        assert cert.subject.common_name == spec.common_name
+        assert cert.validity.not_before.date() == spec.not_before
+
+    def test_ec_spec(self, corpus):
+        cert = corpus.certificate("microsec-ecc")
+        assert cert.key_type == "ec"
+
+    def test_unknown_key_kind_rejected(self, corpus):
+        from dataclasses import replace
+
+        from repro.simulation import Mint
+
+        spec = replace(corpus.specs_by_slug["common-a1"], slug="bogus-kind", key_kind="dsa")
+        with pytest.raises(ValueError, match="key kind"):
+            Mint(pool=None).key_for(spec)
+
+
+class TestSpkiCodec:
+    def test_rsa_roundtrip(self, rsa_key):
+        from repro.asn1 import decode
+        from repro.x509 import decode_spki, encode_spki
+
+        assert decode_spki(decode(encode_spki(rsa_key.public_key))) == rsa_key.public_key
+
+    def test_ec_roundtrip(self, ec_key):
+        from repro.asn1 import decode
+        from repro.x509 import decode_spki, encode_spki
+
+        assert decode_spki(decode(encode_spki(ec_key.public_key))) == ec_key.public_key
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.asn1 import decode, encode_bit_string, encode_null, encode_oid, encode_sequence
+        from repro.x509 import decode_spki
+
+        bogus = encode_sequence(
+            encode_sequence(encode_oid("1.2.3.4"), encode_null()),
+            encode_bit_string(b"\x00"),
+        )
+        with pytest.raises(X509Error, match="unsupported"):
+            decode_spki(decode(bogus))
+
+    def test_unsupported_key_type_rejected(self):
+        from repro.x509 import encode_spki
+
+        with pytest.raises(X509Error):
+            encode_spki(object())
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ASN1DecodeError, AnalysisError, CollectionError, FormatError, StoreError, X509Error],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_decode_error_offset(self):
+        error = ASN1DecodeError("boom", offset=12)
+        assert "offset 12" in str(error)
+        assert error.offset == 12
+
+    def test_validation_error_reason(self):
+        error = ValidationError("no path", reason="no-anchor")
+        assert error.reason == "no-anchor"

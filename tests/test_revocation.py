@@ -1,0 +1,237 @@
+"""Tests for the four revocation mechanisms and their integration."""
+
+from datetime import date, datetime, timezone
+
+import pytest
+
+from repro.errors import FormatError, SignatureError
+from repro.revocation import (
+    AppleRevocationFeed,
+    CRLSet,
+    CertificateRevocationList,
+    OneCRL,
+    RevocationChecker,
+    RevocationReason,
+    RevokedCertificate,
+    build_crl,
+    spki_hash,
+)
+from repro.store import RootStoreSnapshot, TrustEntry
+from repro.verify import ChainValidator, issue_server_leaf
+
+_NOW = datetime(2020, 6, 1, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def root_spec(corpus):
+    return corpus.specs_by_slug["common-d4"]
+
+
+@pytest.fixture(scope="module")
+def root(corpus, root_spec):
+    return corpus.mint.certificate_for(root_spec)
+
+
+@pytest.fixture(scope="module")
+def root_key(corpus, root_spec):
+    return corpus.mint.key_for(root_spec)
+
+
+@pytest.fixture(scope="module")
+def leaf(corpus, root_spec):
+    return issue_server_leaf(
+        corpus.specs_by_slug["common-d4"], corpus.mint, "revoked.example",
+        not_before=datetime(2020, 1, 1, tzinfo=timezone.utc),
+    )
+
+
+class TestCRL:
+    def _crl(self, root, root_key, leaf, reason=RevocationReason.KEY_COMPROMISE):
+        return build_crl(
+            root,
+            root_key,
+            [RevokedCertificate(leaf.serial_number, datetime(2020, 3, 1, tzinfo=timezone.utc), reason)],
+            this_update=datetime(2020, 3, 2, tzinfo=timezone.utc),
+            next_update=datetime(2020, 4, 2, tzinfo=timezone.utc),
+        )
+
+    def test_roundtrip(self, root, root_key, leaf):
+        crl = self._crl(root, root_key, leaf)
+        parsed = CertificateRevocationList.from_der(crl.der)
+        assert parsed.issuer == root.subject
+        assert len(parsed) == 1
+        assert parsed.next_update is not None
+
+    def test_lookup(self, root, root_key, leaf):
+        crl = self._crl(root, root_key, leaf)
+        entry = crl.is_revoked(leaf)
+        assert entry is not None
+        assert entry.reason is RevocationReason.KEY_COMPROMISE
+        assert crl.is_revoked(root) is None  # different serial
+
+    def test_issuer_scoping(self, root, root_key, leaf, corpus):
+        crl = self._crl(root, root_key, leaf)
+        other_root = corpus.certificate("common-d5")
+        assert crl.is_revoked(other_root) is None
+
+    def test_signature_verifies(self, root, root_key, leaf):
+        self._crl(root, root_key, leaf).verify_signature(root.public_key)
+
+    def test_wrong_key_rejected(self, root, root_key, leaf, corpus):
+        crl = self._crl(root, root_key, leaf)
+        other = corpus.certificate("common-d5")
+        with pytest.raises(SignatureError):
+            crl.verify_signature(other.public_key)
+
+    def test_empty_crl(self, root, root_key):
+        crl = build_crl(root, root_key, [], this_update=_NOW)
+        assert len(CertificateRevocationList.from_der(crl.der)) == 0
+
+    def test_unspecified_reason_roundtrip(self, root, root_key, leaf):
+        crl = self._crl(root, root_key, leaf, RevocationReason.UNSPECIFIED)
+        assert crl.is_revoked(leaf).reason is RevocationReason.UNSPECIFIED
+
+
+class TestOneCRL:
+    def test_match_and_json_roundtrip(self, root, leaf):
+        feed = OneCRL()
+        feed.add(leaf, date(2020, 3, 1), "test removal")
+        rebuilt = OneCRL.from_json(feed.to_json())
+        assert len(rebuilt) == 1
+        assert rebuilt.is_revoked(leaf)
+        assert not rebuilt.is_revoked(root)
+
+    def test_date_gating(self, leaf):
+        feed = OneCRL()
+        feed.add(leaf, date(2020, 3, 1))
+        assert not feed.is_revoked(leaf, at=date(2020, 2, 1))
+        assert feed.is_revoked(leaf, at=date(2020, 3, 1))
+
+    def test_record_issuer_accessor(self, root, leaf):
+        feed = OneCRL()
+        record = feed.add(leaf, date(2020, 3, 1))
+        assert record.issuer == root.subject
+
+    def test_malformed_json(self):
+        with pytest.raises(FormatError):
+            OneCRL.from_json('{"data": [{"bogus": 1}]}')
+
+
+class TestCRLSet:
+    def test_serial_revocation_roundtrip(self, root, leaf):
+        crlset = CRLSet(sequence=9)
+        crlset.revoke(root, leaf.serial_number)
+        rebuilt = CRLSet.parse(crlset.serialize())
+        assert rebuilt.sequence == 9
+        assert rebuilt.covers(leaf, root)
+        assert not rebuilt.covers(root, root)
+
+    def test_spki_block(self, root, leaf):
+        crlset = CRLSet()
+        crlset.block_spki(root)
+        rebuilt = CRLSet.parse(crlset.serialize())
+        assert rebuilt.is_spki_blocked(root)
+        assert rebuilt.covers(leaf, root)  # key-level block hits all children
+
+    def test_len(self, root, leaf):
+        crlset = CRLSet()
+        crlset.block_spki(root)
+        crlset.revoke(root, 1)
+        crlset.revoke(root, 2)
+        assert len(crlset) == 3
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError, match="magic"):
+            CRLSet.parse(b"\x00\x00\x00\x00\x00\x00\x00\x01")
+
+    def test_truncated(self, root):
+        crlset = CRLSet()
+        crlset.block_spki(root)
+        with pytest.raises(FormatError, match="truncated"):
+            CRLSet.parse(crlset.serialize()[:-5])
+
+    def test_trailing_bytes(self, root):
+        crlset = CRLSet()
+        crlset.block_spki(root)
+        with pytest.raises(FormatError, match="trailing"):
+            CRLSet.parse(crlset.serialize() + b"\x00")
+
+    def test_spki_hash_stable(self, root):
+        assert spki_hash(root) == spki_hash(root)
+        assert len(spki_hash(root)) == 32
+
+
+class TestAppleFeed:
+    def test_roundtrip(self, root):
+        feed = AppleRevocationFeed()
+        feed.revoke(root, date(2021, 1, 1), "questionable root")
+        rebuilt = AppleRevocationFeed.from_json(feed.to_json())
+        assert rebuilt.is_revoked(root)
+        assert rebuilt.revocation_for(root).note == "questionable root"
+
+    def test_date_gating(self, root):
+        feed = AppleRevocationFeed()
+        feed.revoke(root, date(2021, 1, 1))
+        assert not feed.is_revoked(root, at=date(2020, 6, 1))
+        assert feed.is_revoked(root, at=date(2021, 1, 1))
+
+    def test_malformed(self):
+        with pytest.raises(FormatError):
+            AppleRevocationFeed.from_json("{}")
+
+
+class TestChecker:
+    def test_mechanism_attribution(self, root, root_key, leaf):
+        crl = build_crl(
+            root, root_key,
+            [RevokedCertificate(leaf.serial_number, datetime(2020, 3, 1, tzinfo=timezone.utc))],
+            this_update=_NOW,
+        )
+        checker = RevocationChecker(crls=[crl])
+        status = checker.check(leaf, at=_NOW)
+        assert status.revoked and status.mechanism == "crl"
+
+    def test_onecrl_mechanism(self, leaf):
+        feed = OneCRL()
+        feed.add(leaf, date(2020, 3, 1))
+        status = RevocationChecker(onecrl=feed).check(leaf, at=_NOW)
+        assert status.mechanism == "onecrl"
+
+    def test_crlset_needs_issuer(self, root, leaf):
+        crlset = CRLSet()
+        crlset.revoke(root, leaf.serial_number)
+        checker = RevocationChecker(crlset=crlset)
+        assert not checker.check(leaf)
+        assert checker.check(leaf, issuer=root).mechanism == "crlset"
+
+    def test_clean_certificate(self, leaf):
+        assert not RevocationChecker().check(leaf)
+
+    def test_chain_check(self, root, leaf):
+        crlset = CRLSet()
+        crlset.block_spki(root)
+        checker = RevocationChecker(crlset=crlset)
+        status = checker.check_chain([leaf, root])
+        assert status.revoked
+
+    def test_validator_integration(self, root, root_key, leaf):
+        store = RootStoreSnapshot.build("t", date(2020, 6, 1), "1", [TrustEntry.make(root)])
+        crl = build_crl(
+            root, root_key,
+            [RevokedCertificate(leaf.serial_number, datetime(2020, 3, 1, tzinfo=timezone.utc))],
+            this_update=_NOW,
+        )
+        plain = ChainValidator(store=store)
+        checked = ChainValidator(store=store, revocation=RevocationChecker(crls=[crl]))
+        assert plain.validate(leaf, _NOW).valid
+        result = checked.validate(leaf, _NOW)
+        assert not result.valid and result.reason == "revoked:crl"
+
+    def test_future_revocation_not_effective(self, root, root_key, leaf):
+        crl = build_crl(
+            root, root_key,
+            [RevokedCertificate(leaf.serial_number, datetime(2020, 9, 1, tzinfo=timezone.utc))],
+            this_update=_NOW,
+        )
+        checker = RevocationChecker(crls=[crl])
+        assert not checker.check(leaf, at=_NOW)  # revocation dated later

@@ -1,0 +1,159 @@
+"""Tests for the OCSP substrate."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.errors import FormatError, SignatureError
+from repro.revocation import (
+    CertID,
+    CertStatus,
+    OCSPResponder,
+    OCSPResponse,
+    build_request,
+    parse_request,
+)
+from repro.verify import issue_server_leaf
+
+_AT = datetime(2020, 6, 1, tzinfo=timezone.utc)
+_REVOKED_AT = datetime(2020, 3, 1, tzinfo=timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def root_spec(corpus):
+    return corpus.specs_by_slug["common-d9"]
+
+
+@pytest.fixture(scope="module")
+def root(corpus, root_spec):
+    return corpus.mint.certificate_for(root_spec)
+
+
+@pytest.fixture(scope="module")
+def responder(corpus, root_spec, root):
+    return OCSPResponder(issuer_certificate=root, issuer_key=corpus.mint.key_for(root_spec))
+
+
+@pytest.fixture(scope="module")
+def leaf(corpus, root_spec):
+    return issue_server_leaf(
+        root_spec, corpus.mint, "ocsp-test.example",
+        not_before=datetime(2020, 1, 1, tzinfo=timezone.utc),
+    )
+
+
+class TestCertID:
+    def test_roundtrip(self, leaf, root):
+        cert_id = CertID.for_certificate(leaf, root)
+        from repro.asn1 import decode
+
+        assert CertID.decode(decode(cert_id.encode())) == cert_id
+
+    def test_hashes_are_sha1(self, leaf, root):
+        cert_id = CertID.for_certificate(leaf, root)
+        assert len(cert_id.issuer_name_hash) == 20
+        assert len(cert_id.issuer_key_hash) == 20
+        assert cert_id.serial_number == leaf.serial_number
+
+
+class TestRequest:
+    def test_roundtrip(self, leaf, root):
+        cert_id = CertID.for_certificate(leaf, root)
+        assert parse_request(build_request([cert_id])) == [cert_id]
+
+    def test_multiple(self, leaf, root):
+        ids = [
+            CertID.for_certificate(leaf, root),
+            CertID.for_certificate(root, root),
+        ]
+        assert parse_request(build_request(ids)) == ids
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormatError):
+            build_request([])
+
+
+class TestResponder:
+    def test_good(self, responder, leaf):
+        assert responder.check(leaf, at=_AT) is CertStatus.GOOD
+
+    def test_revoked(self, responder, leaf):
+        responder.revoked[leaf.serial_number] = _REVOKED_AT
+        try:
+            assert responder.check(leaf, at=_AT) is CertStatus.REVOKED
+        finally:
+            del responder.revoked[leaf.serial_number]
+
+    def test_unknown_issuer(self, responder, leaf, corpus):
+        other = corpus.certificate("common-d10")
+        cert_id = CertID.for_certificate(leaf, other)
+        response = responder.respond(build_request([cert_id]), at=_AT)
+        assert response.responses[0].status is CertStatus.UNKNOWN
+
+    def test_revocation_time_in_response(self, responder, leaf, root):
+        responder.revoked[leaf.serial_number] = _REVOKED_AT
+        try:
+            cert_id = CertID.for_certificate(leaf, root)
+            response = responder.respond(build_request([cert_id]), at=_AT)
+            single = response.status_for(cert_id)
+            assert single.revocation_time == _REVOKED_AT
+        finally:
+            del responder.revoked[leaf.serial_number]
+
+
+class TestCheckerIntegration:
+    def test_ocsp_mechanism(self, responder, leaf, root):
+        from repro.revocation import RevocationChecker
+
+        responder.revoked[leaf.serial_number] = _REVOKED_AT
+        try:
+            checker = RevocationChecker(ocsp_responders=[responder])
+            status = checker.check(leaf, issuer=root, at=_AT)
+            assert status.revoked and status.mechanism == "ocsp"
+        finally:
+            del responder.revoked[leaf.serial_number]
+
+    def test_good_certificate_passes(self, responder, leaf, root):
+        from repro.revocation import RevocationChecker
+
+        checker = RevocationChecker(ocsp_responders=[responder])
+        assert not checker.check(leaf, issuer=root, at=_AT)
+
+    def test_issuer_scoping(self, responder, leaf, corpus):
+        from repro.revocation import RevocationChecker
+
+        responder.revoked[leaf.serial_number] = _REVOKED_AT
+        try:
+            other = corpus.certificate("common-d10")
+            checker = RevocationChecker(ocsp_responders=[responder])
+            # Issuer mismatch: responder is skipped entirely.
+            assert not checker.check(leaf, issuer=other, at=_AT)
+        finally:
+            del responder.revoked[leaf.serial_number]
+
+
+class TestResponseWire:
+    def test_der_roundtrip(self, responder, leaf, root):
+        cert_id = CertID.for_certificate(leaf, root)
+        response = responder.respond(build_request([cert_id]), at=_AT)
+        rebuilt = OCSPResponse.from_der(response.der)
+        assert rebuilt.produced_at == _AT
+        assert rebuilt.status_for(cert_id).status is CertStatus.GOOD
+
+    def test_signature_verifies(self, responder, leaf, root):
+        cert_id = CertID.for_certificate(leaf, root)
+        response = responder.respond(build_request([cert_id]), at=_AT)
+        response.verify_signature(root.public_key)
+
+    def test_tampered_response_rejected(self, responder, leaf, root, corpus):
+        cert_id = CertID.for_certificate(leaf, root)
+        response = responder.respond(build_request([cert_id]), at=_AT)
+        wrong_key = corpus.certificate("common-d10").public_key
+        with pytest.raises(SignatureError):
+            response.verify_signature(wrong_key)
+
+    def test_unknown_cert_id_lookup(self, responder, leaf, root, corpus):
+        cert_id = CertID.for_certificate(leaf, root)
+        response = responder.respond(build_request([cert_id]), at=_AT)
+        other_id = CertID.for_certificate(corpus.certificate("common-d10"), root)
+        assert response.status_for(other_id) is None

@@ -1,0 +1,141 @@
+"""Tests for the CA catalog: structure, populations, incident wiring."""
+
+from collections import Counter
+from datetime import date
+
+import pytest
+
+from repro.simulation import build_catalog, catalog_by_slug, incident_by_key
+from repro.simulation.incidents import (
+    HIGH_SEVERITY,
+    INCIDENTS,
+    all_event_dates,
+)
+from repro.store.purposes import TrustPurpose
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return build_catalog()
+
+
+@pytest.fixture(scope="module")
+def by_slug(specs):
+    return catalog_by_slug(specs)
+
+
+class TestStructure:
+    def test_unique_slugs(self, specs):
+        slugs = [s.slug for s in specs]
+        assert len(slugs) == len(set(slugs))
+
+    def test_deterministic(self, specs):
+        again = build_catalog()
+        assert [s.slug for s in again] == [s.slug for s in specs]
+        assert [s.not_before for s in again] == [s.not_before for s in specs]
+
+    def test_scale(self, specs):
+        assert 200 <= len(specs) <= 320
+
+    def test_every_spec_valid_key_kind(self, specs):
+        assert {s.key_kind for s in specs} == {"rsa", "ec"}
+
+    def test_digests_known(self, specs):
+        assert {s.digest for s in specs} <= {"md5", "sha1", "sha256"}
+
+
+class TestPopulations:
+    def test_exclusive_counts(self, specs):
+        tags = Counter()
+        for spec in specs:
+            for tag in ("ms-exclusive", "apple-exclusive", "nss-exclusive"):
+                if spec.has_tag(tag):
+                    tags[tag] += 1
+        assert tags["ms-exclusive"] == 30
+        assert tags["apple-exclusive"] == 13
+        assert tags["nss-exclusive"] == 1
+
+    def test_email_only_roots(self, specs):
+        email_only = [s for s in specs if s.has_tag("email-only")]
+        assert len(email_only) == 19
+        for spec in email_only:
+            assert TrustPurpose.SERVER_AUTH not in spec.purposes
+
+    def test_debian_custom_roots(self, specs):
+        assert sum(1 for s in specs if s.has_tag("debian-custom")) == 19
+
+    def test_symantec_family(self, specs):
+        assert sum(1 for s in specs if s.has_tag("symantec")) == 13
+
+    def test_md5_roots_exist_with_strong_keys(self, specs):
+        # At least one MD5-signed root must survive the weak-RSA purges
+        # so the Table 3 removal dates stay distinct.
+        strong_md5 = [
+            s for s in specs
+            if s.digest == "md5" and s.key_kind == "rsa" and int(s.key_param) >= 2048
+        ]
+        assert strong_md5
+
+    def test_historic_roots_expire_before_study_end(self, specs):
+        for spec in specs:
+            if spec.has_tag("historic"):
+                assert spec.not_after < date(2016, 8, 1)
+
+    def test_ec_root_present(self, by_slug):
+        assert by_slug["microsec-ecc"].key_kind == "ec"
+
+
+class TestIncidentWiring:
+    def test_all_incident_roots_in_catalog(self, by_slug):
+        for incident in INCIDENTS:
+            for slug in incident.root_slugs:
+                assert slug in by_slug, f"{incident.key} references unknown {slug}"
+
+    def test_nss_leave_dates_match_registry(self, by_slug):
+        for incident in HIGH_SEVERITY:
+            for slug in incident.root_slugs:
+                override = by_slug[slug].override_for("nss")
+                assert override.leave == incident.nss_removal
+
+    def test_wosign_never_in_apple(self, by_slug):
+        for slug in incident_by_key("wosign").root_slugs:
+            assert not by_slug[slug].in_program("apple")
+
+    def test_procert_only_in_nss(self, by_slug):
+        spec = by_slug["pspprocert"]
+        assert spec.in_program("nss")
+        for program in ("apple", "microsoft", "java"):
+            assert not spec.in_program(program)
+
+    def test_symantec_distrust_marking(self, by_slug):
+        override = by_slug["symantec-legacy-5"].override_for("nss")
+        assert override.distrust_after is not None
+        assert override.distrust_from is not None
+        assert override.distrust_from < override.leave
+
+    def test_event_dates_sorted(self):
+        for provider in ("nss", "debian", "microsoft", "apple"):
+            events = all_event_dates(provider)
+            assert events == sorted(events)
+
+    def test_incident_lookup(self):
+        assert incident_by_key("diginotar").bugzilla_id == "682927"
+        with pytest.raises(KeyError):
+            incident_by_key("nope")
+
+
+class TestExclusiveMetadata:
+    def test_ms_exclusives_have_reasons(self, specs):
+        for spec in specs:
+            if spec.has_tag("ms-exclusive"):
+                assert spec.note, spec.slug
+
+    def test_venezuela_is_super_ca(self, by_slug):
+        spec = by_slug["gov-venezuela"]
+        assert spec.has_tag("super-ca")
+        assert spec.override_for("apple").revoke_from is not None
+
+    def test_certipost_email_only_in_nss(self, by_slug):
+        spec = by_slug["certipost-root"]
+        assert TrustPurpose.SERVER_AUTH not in spec.purposes
+        assert spec.override_for("apple").purposes is not None

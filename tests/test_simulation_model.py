@@ -1,0 +1,120 @@
+"""Unit tests for the simulation data model and key pool."""
+
+from datetime import date
+from pathlib import Path
+
+import pytest
+
+from repro.simulation import KeyPool, Override, RootSpec, month_add, months_between
+from repro.simulation.model import TLS_EMAIL, as_utc
+
+
+class TestMonthMath:
+    def test_simple(self):
+        assert month_add(date(2020, 1, 15), 1) == date(2020, 2, 15)
+
+    def test_year_rollover(self):
+        assert month_add(date(2020, 11, 15), 3) == date(2021, 2, 15)
+
+    def test_day_clamping(self):
+        assert month_add(date(2020, 1, 31), 1) == date(2020, 2, 29)
+        assert month_add(date(2021, 1, 31), 1) == date(2021, 2, 28)
+
+    def test_negative(self):
+        assert month_add(date(2020, 3, 15), -3) == date(2019, 12, 15)
+
+    def test_months_between(self):
+        assert months_between(date(2020, 1, 1), date(2020, 1, 1)) == 0.0
+        assert 11.9 < months_between(date(2020, 1, 1), date(2021, 1, 1)) < 12.1
+
+
+def _spec(**overrides):
+    defaults = dict(
+        slug="test-root",
+        common_name="Test Root",
+        organization="Test Org",
+        country="US",
+        key_kind="rsa",
+        key_param=1024,
+        digest="sha256",
+        not_before=date(2010, 6, 15),
+        lifetime_years=20,
+        purposes=TLS_EMAIL,
+        programs=("nss",),
+    )
+    defaults.update(overrides)
+    return RootSpec(**defaults)
+
+
+class TestRootSpec:
+    def test_not_after(self):
+        assert _spec().not_after == date(2030, 6, 15)
+
+    def test_not_after_leap_day(self):
+        spec = _spec(not_before=date(2012, 2, 29), lifetime_years=9)
+        assert spec.not_after == date(2021, 2, 28)
+
+    def test_in_program_by_membership(self):
+        assert _spec().in_program("nss")
+        assert not _spec().in_program("apple")
+
+    def test_in_program_by_override(self):
+        spec = _spec(overrides={"apple": Override(join=date(2015, 1, 1))})
+        assert spec.in_program("apple")
+
+    def test_never_override_wins(self):
+        spec = _spec(overrides={"nss": Override(never=True)})
+        assert not spec.in_program("nss")
+
+    def test_tags(self):
+        assert _spec(tags=frozenset({"x"})).has_tag("x")
+        assert not _spec().has_tag("x")
+
+    def test_as_utc(self):
+        moment = as_utc(date(2020, 5, 4))
+        assert moment.tzinfo is not None
+        assert (moment.year, moment.month, moment.day) == (2020, 5, 4)
+
+
+class TestKeyPool:
+    def test_deterministic_generation(self, tmp_path: Path):
+        a = KeyPool(seed="pool-test", path=tmp_path / "a.json").rsa("root", 512)
+        b = KeyPool(seed="pool-test", path=tmp_path / "b.json").rsa("root", 512)
+        assert a == b
+
+    def test_cache_roundtrip(self, tmp_path: Path):
+        path = tmp_path / "pool.json"
+        pool = KeyPool(seed="pool-test", path=path)
+        key = pool.rsa("cached", 512)
+        ec = pool.ec("cached-ec")
+        pool.save()
+        assert path.exists()
+
+        reloaded = KeyPool(seed="pool-test", path=path)
+        assert reloaded.rsa("cached", 512) == key
+        assert reloaded.ec("cached-ec") == ec
+        assert len(reloaded) == 2
+
+    def test_seed_mismatch_ignores_cache(self, tmp_path: Path):
+        path = tmp_path / "pool.json"
+        pool = KeyPool(seed="one", path=path)
+        pool.rsa("k", 512)
+        pool.save()
+        other = KeyPool(seed="two", path=path)
+        assert len(other) == 0
+
+    def test_corrupt_cache_tolerated(self, tmp_path: Path):
+        path = tmp_path / "pool.json"
+        path.write_text("{ not json")
+        pool = KeyPool(seed="s", path=path)
+        assert len(pool) == 0
+
+    def test_save_noop_when_clean(self, tmp_path: Path):
+        path = tmp_path / "pool.json"
+        pool = KeyPool(seed="s", path=path)
+        pool.save()
+        assert not path.exists()  # nothing generated, nothing written
+
+    def test_distinct_labels_distinct_keys(self, tmp_path: Path):
+        pool = KeyPool(seed="s", path=tmp_path / "p.json")
+        assert pool.rsa("a", 512) != pool.rsa("b", 512)

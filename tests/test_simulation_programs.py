@@ -1,0 +1,163 @@
+"""Tests for the program policy engines (membership windows, schedules)."""
+
+from datetime import date
+
+import pytest
+
+from repro.simulation import POLICIES, Override, RootSpec, compute_membership
+from repro.simulation.model import EMAIL_ONLY, TLS_EMAIL, ALL_PURPOSES
+from repro.simulation.programs import snapshot_schedule
+from repro.store.purposes import TrustPurpose
+
+
+def _spec(**overrides):
+    defaults = dict(
+        slug="unit-root",
+        common_name="Unit Root",
+        organization="Unit Org",
+        country="US",
+        key_kind="rsa",
+        key_param=2048,
+        digest="sha256",
+        not_before=date(2010, 6, 15),
+        lifetime_years=20,
+        purposes=TLS_EMAIL,
+        programs=("nss", "apple", "microsoft", "java"),
+    )
+    defaults.update(overrides)
+    return RootSpec(**defaults)
+
+
+class TestMembershipWindows:
+    def test_organic_join_after_creation(self):
+        membership = compute_membership(_spec(), POLICIES["nss"])
+        assert membership is not None
+        assert membership.join > date(2010, 6, 15)
+        assert membership.join < date(2011, 6, 15)
+
+    def test_join_clamped_to_data_start(self):
+        spec = _spec(not_before=date(1998, 1, 1))
+        membership = compute_membership(spec, POLICIES["microsoft"])
+        assert membership.join == POLICIES["microsoft"].data_start
+
+    def test_never_excluded(self):
+        spec = _spec(overrides={"nss": Override(never=True)})
+        assert compute_membership(spec, POLICIES["nss"]) is None
+
+    def test_not_in_program(self):
+        spec = _spec(programs=("apple",))
+        assert compute_membership(spec, POLICIES["nss"]) is None
+
+    def test_override_leave(self):
+        spec = _spec(overrides={"nss": Override(leave=date(2015, 5, 5))})
+        membership = compute_membership(spec, POLICIES["nss"])
+        assert membership.leave == date(2015, 5, 5)
+
+    def test_md5_purge_applies(self):
+        spec = _spec(digest="md5", not_before=date(2000, 1, 1), lifetime_years=25)
+        membership = compute_membership(spec, POLICIES["nss"])
+        assert membership.leave == POLICIES["nss"].md5_purge
+
+    def test_weak_rsa_purge_applies(self):
+        spec = _spec(key_param=1024, not_before=date(2000, 1, 1), lifetime_years=25)
+        membership = compute_membership(spec, POLICIES["nss"])
+        assert membership.leave == POLICIES["nss"].weak_rsa_purge
+
+    def test_strong_keys_unaffected_by_purges(self):
+        spec = _spec(not_before=date(2000, 1, 1), lifetime_years=30)
+        membership = compute_membership(spec, POLICIES["nss"])
+        assert membership.leave is None  # survives to study end
+
+    def test_expired_root_lingers_by_retention(self):
+        spec = _spec(not_before=date(2000, 1, 1), lifetime_years=15)  # expires 2015
+        nss = compute_membership(spec, POLICIES["nss"])
+        microsoft = compute_membership(spec, POLICIES["microsoft"])
+        assert nss.leave is not None and microsoft.leave is not None
+        assert microsoft.leave > nss.leave  # Microsoft's lax retention
+
+    def test_root_dead_before_program_never_ships(self):
+        spec = _spec(not_before=date(1990, 1, 1), lifetime_years=10)  # expired 2000
+        assert compute_membership(spec, POLICIES["java"]) is None
+
+    def test_leave_beyond_study_end_is_none(self):
+        spec = _spec(not_before=date(2018, 1, 1), lifetime_years=10)
+        membership = compute_membership(spec, POLICIES["nss"])
+        assert membership.leave is None
+
+    def test_present_at(self):
+        spec = _spec(overrides={"nss": Override(join=date(2012, 1, 1), leave=date(2015, 1, 1))})
+        membership = compute_membership(spec, POLICIES["nss"])
+        assert not membership.present_at(date(2011, 12, 31))
+        assert membership.present_at(date(2012, 1, 1))
+        assert membership.present_at(date(2014, 12, 31))
+        assert not membership.present_at(date(2015, 1, 1))
+
+
+class TestPurposes:
+    def test_apple_defaults_to_all_purposes(self):
+        membership = compute_membership(_spec(purposes=EMAIL_ONLY), POLICIES["apple"])
+        assert set(membership.purposes) == set(ALL_PURPOSES)
+
+    def test_nss_uses_spec_purposes(self):
+        membership = compute_membership(_spec(purposes=EMAIL_ONLY), POLICIES["nss"])
+        assert membership.purposes == EMAIL_ONLY
+
+    def test_override_purposes_win(self):
+        spec = _spec(overrides={"microsoft": Override(purposes=(TrustPurpose.EMAIL_PROTECTION,))})
+        membership = compute_membership(spec, POLICIES["microsoft"])
+        assert membership.purposes == (TrustPurpose.EMAIL_PROTECTION,)
+
+
+class TestSchedules:
+    def test_within_data_window(self):
+        for policy in POLICIES.values():
+            schedule = snapshot_schedule(policy)
+            assert schedule[0] >= policy.data_start
+            assert schedule[-1] == policy.data_end
+
+    def test_event_dates_included(self):
+        nss_dates = set(snapshot_schedule(POLICIES["nss"]))
+        assert date(2011, 10, 6) in nss_dates  # DigiNotar removal
+        assert date(2017, 11, 14) in nss_dates  # WoSign/StartCom
+        assert date(2020, 12, 11) in nss_dates  # Symantec batch 2
+
+    def test_apple_freeze_range_empty(self):
+        schedule = snapshot_schedule(POLICIES["apple"])
+        frozen = [d for d in schedule if date(2012, 10, 1) <= d <= date(2014, 1, 31)]
+        assert frozen == []
+
+    def test_java_explicit_schedule(self):
+        assert len(snapshot_schedule(POLICIES["java"])) == 7
+
+    def test_snapshot_counts_near_paper(self):
+        # Paper Table 2: NSS 225, Apple 109, Microsoft 86.
+        assert 200 <= len(snapshot_schedule(POLICIES["nss"])) <= 250
+        assert 95 <= len(snapshot_schedule(POLICIES["apple"])) <= 120
+        assert 80 <= len(snapshot_schedule(POLICIES["microsoft"])) <= 100
+
+
+class TestGeneratedHistories:
+    def test_program_sizes_ordering(self, dataset):
+        sizes = {p: len(dataset[p].latest()) for p in ("nss", "apple", "microsoft", "java")}
+        assert sizes["microsoft"] > sizes["apple"] > sizes["nss"] > sizes["java"]
+
+    def test_distrust_marking_appears_in_nss(self, dataset, corpus):
+        fp = corpus.fingerprint("symantec-legacy-4")
+        before = dataset["nss"].at(date(2020, 4, 1)).get(fp)
+        after = dataset["nss"].at(date(2020, 6, 1)).get(fp)
+        assert before.distrust_after is None
+        assert after.distrust_after is not None
+
+    def test_version_labels_monotonic(self, dataset):
+        versions = [s.version for s in dataset["nss"]]
+        majors = [int(v.split(".")[1]) for v in versions]
+        assert majors == sorted(majors)
+
+    def test_certificates_verify(self, dataset):
+        snapshot = dataset["nss"].latest()
+        for entry in list(snapshot)[:5]:
+            entry.certificate.verify_signature(entry.certificate.public_key)
+
+    def test_apple_revocation_feed(self, corpus):
+        assert "certinomis-root" in corpus.apple_revocations
+        assert corpus.apple_revocations["certinomis-root"] == date(2021, 1, 1)

@@ -1,0 +1,238 @@
+"""Unit tests for the trust store model (entries, snapshots, histories, diffs)."""
+
+from datetime import date, datetime, timezone
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    Dataset,
+    PROVIDERS,
+    RootStoreSnapshot,
+    StoreHistory,
+    TrustEntry,
+    TrustLevel,
+    TrustPurpose,
+    diff_snapshots,
+    merge_datasets,
+    provider,
+)
+from tests.conftest import make_cert
+
+
+@pytest.fixture()
+def entries(sample_certs):
+    return [TrustEntry.make(c) for c in sample_certs]
+
+
+class TestTrustEntry:
+    def test_default_is_tls_trusted(self, sample_cert):
+        entry = TrustEntry.make(sample_cert)
+        assert entry.is_tls_trusted
+        assert entry.level_for(TrustPurpose.SERVER_AUTH) is TrustLevel.TRUSTED
+        assert entry.level_for(TrustPurpose.EMAIL_PROTECTION) is None
+
+    def test_trust_ordering_normalized(self, sample_cert):
+        a = TrustEntry(
+            certificate=sample_cert,
+            trust=(
+                (TrustPurpose.SERVER_AUTH, TrustLevel.TRUSTED),
+                (TrustPurpose.EMAIL_PROTECTION, TrustLevel.TRUSTED),
+            ),
+        )
+        b = TrustEntry(
+            certificate=sample_cert,
+            trust=(
+                (TrustPurpose.EMAIL_PROTECTION, TrustLevel.TRUSTED),
+                (TrustPurpose.SERVER_AUTH, TrustLevel.TRUSTED),
+            ),
+        )
+        assert a == b
+
+    def test_with_trust(self, sample_cert):
+        entry = TrustEntry.make(sample_cert)
+        updated = entry.with_trust(TrustPurpose.SERVER_AUTH, TrustLevel.DISTRUSTED)
+        assert updated.is_distrusted_for(TrustPurpose.SERVER_AUTH)
+        assert entry.is_tls_trusted  # original untouched
+
+    def test_with_distrust_after(self, sample_cert):
+        moment = datetime(2019, 4, 16, tzinfo=timezone.utc)
+        entry = TrustEntry.make(sample_cert).with_distrust_after(moment)
+        assert entry.has_partial_distrust
+        assert entry.distrust_after == moment
+
+    def test_describe(self, sample_cert):
+        text = TrustEntry.make(sample_cert).describe()
+        assert "Unit Test Root" in text and "server-auth:trusted" in text
+
+
+class TestSnapshot:
+    def test_sorted_by_fingerprint(self, entries):
+        snapshot = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries)
+        prints = [e.fingerprint for e in snapshot.entries]
+        assert prints == sorted(prints)
+
+    def test_duplicate_rejected(self, entries):
+        with pytest.raises(StoreError, match="duplicate"):
+            RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries + [entries[0]])
+
+    def test_contains(self, entries):
+        snapshot = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries)
+        assert entries[0].certificate in snapshot
+        assert entries[0].fingerprint in snapshot
+        assert "deadbeef" not in snapshot
+
+    def test_purpose_filter(self, sample_certs):
+        entries = [
+            TrustEntry.make(sample_certs[0]),
+            TrustEntry.make(
+                sample_certs[1], {TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED}
+            ),
+        ]
+        snapshot = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries)
+        assert len(snapshot.tls_fingerprints()) == 1
+        assert len(snapshot.fingerprints()) == 2
+
+    def test_expired_entries(self, rsa_key):
+        expired = make_cert(
+            rsa_key,
+            "Expired CA",
+            not_before=datetime(2000, 1, 1, tzinfo=timezone.utc),
+            not_after=datetime(2010, 1, 1, tzinfo=timezone.utc),
+        )
+        snapshot = RootStoreSnapshot.build(
+            "nss", date(2020, 1, 1), "1", [TrustEntry.make(expired)]
+        )
+        assert len(snapshot.expired_entries()) == 1
+
+    def test_weak_and_digest_counts(self, entries):
+        snapshot = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries)
+        assert snapshot.count_weak_rsa(1024) == 2  # two 512-bit RSA roots
+        assert snapshot.count_signature_digest("sha256") == 3
+
+    def test_jaccard(self, entries):
+        full = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries)
+        half = RootStoreSnapshot.build("nss", date(2020, 2, 1), "2", entries[:1])
+        assert full.jaccard_distance(full) == 0.0
+        assert abs(full.jaccard_distance(half) - 2 / 3) < 1e-9
+
+
+class TestHistory:
+    def _history(self, entries):
+        history = StoreHistory("nss")
+        history.add(RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries))
+        history.add(RootStoreSnapshot.build("nss", date(2020, 3, 1), "2", entries[:2]))
+        history.add(RootStoreSnapshot.build("nss", date(2020, 5, 1), "3", entries[:2]))
+        return history
+
+    def test_provider_mismatch(self, entries):
+        history = StoreHistory("nss")
+        with pytest.raises(StoreError):
+            history.add(RootStoreSnapshot.build("apple", date(2020, 1, 1), "1", entries))
+
+    def test_at(self, entries):
+        history = self._history(entries)
+        assert history.at(date(2020, 2, 1)).version == "1"
+        assert history.at(date(2020, 3, 1)).version == "2"
+        assert history.at(date(2019, 1, 1)) is None
+
+    def test_trusted_until(self, entries):
+        history = self._history(entries)
+        dropped = entries[2].fingerprint
+        assert history.trusted_until(dropped) == date(2020, 3, 1)
+        assert history.trusted_until(entries[0].fingerprint) is None
+
+    def test_substantial_snapshots(self, entries):
+        history = self._history(entries)
+        substantial = history.substantial_snapshots()
+        assert [s.version for s in substantial] == ["1", "2"]
+
+    def test_unique_fingerprints(self, entries):
+        assert len(self._history(entries).unique_fingerprints()) == 3
+
+    def test_empty_history_errors(self):
+        with pytest.raises(StoreError):
+            StoreHistory("nss").latest()
+
+
+class TestDataset:
+    def test_add_and_lookup(self, entries):
+        dataset = Dataset()
+        dataset.add_snapshot(RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries))
+        assert "nss" in dataset
+        assert dataset["nss"].latest().version == "1"
+        with pytest.raises(StoreError):
+            dataset["missing"]
+
+    def test_duplicate_history_rejected(self):
+        dataset = Dataset()
+        dataset.add_history(StoreHistory("nss"))
+        with pytest.raises(StoreError):
+            dataset.add_history(StoreHistory("nss"))
+
+    def test_merge(self, entries):
+        a = Dataset()
+        a.add_snapshot(RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries))
+        b = Dataset()
+        b.add_snapshot(RootStoreSnapshot.build("apple", date(2020, 1, 1), "1", entries))
+        merged = merge_datasets([a, b])
+        assert merged.providers == ["apple", "nss"]
+
+    def test_summary_rows(self, entries):
+        dataset = Dataset()
+        dataset.add_snapshot(RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries))
+        rows = dataset.summary_rows()
+        assert rows[0]["unique_roots"] == 3
+
+
+class TestDiff:
+    def test_added_removed(self, entries):
+        base = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries[:2])
+        target = RootStoreSnapshot.build("nss", date(2020, 2, 1), "2", entries[1:])
+        diff = diff_snapshots(base, target)
+        assert len(diff.added) == 1 and len(diff.removed) == 1
+        assert diff.churn == 2
+        assert not diff.is_empty
+
+    def test_trust_change_detected(self, sample_cert):
+        before = TrustEntry.make(sample_cert)
+        after = before.with_trust(TrustPurpose.SERVER_AUTH, TrustLevel.DISTRUSTED)
+        diff = diff_snapshots(
+            RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", [before]),
+            RootStoreSnapshot.build("nss", date(2020, 2, 1), "2", [after]),
+        )
+        assert len(diff.trust_changed) == 1
+
+    def test_purpose_scoped_diff(self, sample_cert):
+        email_only = TrustEntry.make(
+            sample_cert, {TrustPurpose.EMAIL_PROTECTION: TrustLevel.TRUSTED}
+        )
+        tls = TrustEntry.make(sample_cert)
+        diff = diff_snapshots(
+            RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", [email_only]),
+            RootStoreSnapshot.build("nss", date(2020, 2, 1), "2", [tls]),
+            purpose=TrustPurpose.SERVER_AUTH,
+        )
+        assert len(diff.added) == 1  # newly TLS-trusted
+
+    def test_identical(self, entries):
+        snapshot = RootStoreSnapshot.build("nss", date(2020, 1, 1), "1", entries)
+        assert diff_snapshots(snapshot, snapshot).is_empty
+
+
+class TestProviderRegistry:
+    def test_ten_providers(self):
+        assert len(PROVIDERS) == 10
+
+    def test_derivatives_point_to_nss(self):
+        for key, p in PROVIDERS.items():
+            if p.derived_from is not None:
+                assert p.derived_from == "nss", key
+
+    def test_independent_flag(self):
+        assert provider("nss").is_independent
+        assert not provider("debian").is_independent
+
+    def test_unknown_provider(self):
+        with pytest.raises(KeyError, match="unknown provider"):
+            provider("beos")

@@ -1,0 +1,145 @@
+"""Tests for UA population, synthesis, parsing, and attribution."""
+
+from collections import Counter
+
+import pytest
+
+from repro.useragents import (
+    POPULATION,
+    attribute,
+    coverage_fraction,
+    family_of,
+    included_user_agents,
+    parse,
+    sample_top_200,
+    surveyed_counts,
+    total_user_agents,
+    trace_user_agents,
+)
+from repro.useragents.software import SOFTWARE
+
+
+class TestPopulation:
+    def test_total_is_200(self):
+        assert total_user_agents() == 200
+
+    def test_included_is_154(self):
+        assert included_user_agents() == 154
+
+    def test_coverage_is_77_percent(self):
+        assert abs(coverage_fraction() - 0.77) < 1e-9
+
+    def test_providers_known(self):
+        from repro.store import PROVIDERS
+
+        for row in POPULATION:
+            if row.provider is not None:
+                assert row.provider in PROVIDERS, row
+
+
+class TestSynthesisParseRoundTrip:
+    def test_every_ua_classified_back(self):
+        counts = Counter()
+        for ua in sample_top_200():
+            parsed = parse(ua)
+            counts[(parsed.os, parsed.agent)] += 1
+        expected = Counter({(r.os, r.agent): r.versions for r in POPULATION})
+        assert counts == expected
+
+    def test_sample_size(self):
+        assert len(sample_top_200()) == 200
+
+    def test_sample_deterministic(self):
+        assert sample_top_200() == sample_top_200()
+
+    def test_distinct_strings(self):
+        sample = sample_top_200()
+        assert len(set(sample)) == len(sample)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "ua, os_name, agent",
+        [
+            (
+                "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+                "(KHTML, like Gecko) Chrome/89.0.4389.82 Safari/537.36",
+                "Windows",
+                "Chrome",
+            ),
+            (
+                "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:86.0) Gecko/20100101 Firefox/86.0",
+                "Windows",
+                "Firefox",
+            ),
+            (
+                "Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like Gecko) "
+                "Chrome/89.0.0.0 Safari/537.36 Edg/89.0.774.45",
+                "Windows",
+                "Edge",
+            ),
+            (
+                "Mozilla/5.0 (iPhone; CPU iPhone OS 14_4 like Mac OS X) AppleWebKit/605.1.15 "
+                "(KHTML, like Gecko) CriOS/87.0.4280.77 Mobile/15E148 Safari/604.1",
+                "iOS",
+                "Chrome Mobile iOS",
+            ),
+            ("okhttp/4.9.0", "Unknown", "okhttp"),
+            ("curl/7.68.0", "Unknown", "API Clients"),
+            ("python-requests/2.25.1", "Unknown", "API Clients"),
+            ("Microsoft-CryptoAPI/10.0", "Unknown", "CryptoAPI"),
+        ],
+    )
+    def test_classification(self, ua, os_name, agent):
+        parsed = parse(ua)
+        assert (parsed.os, parsed.agent) == (os_name, agent)
+
+    def test_unknown_fallback(self):
+        parsed = parse("mystery-thing/0.1")
+        assert parsed.agent == "Unknown"
+
+
+class TestAttribution:
+    def test_firefox_always_nss(self):
+        for os_name in ("Windows", "Mac OS X", "Linux"):
+            parsed = parse(f"Mozilla/5.0 ({os_name}; rv:86.0) Gecko/20100101 Firefox/86.0")
+            assert attribute(parsed) == "nss"
+
+    def test_platform_fallback(self):
+        from repro.useragents.strings import ParsedUA
+
+        assert attribute(ParsedUA(os="Windows", agent="SomeNewBrowser")) == "microsoft"
+        assert attribute(ParsedUA(os="Android", agent="SomeNewBrowser")) == "android"
+
+    def test_unknown_unattributed(self):
+        from repro.useragents.strings import ParsedUA
+
+        assert attribute(ParsedUA(os="Unknown", agent="API Clients")) is None
+
+    def test_family_of_derivatives(self):
+        assert family_of("android") == "nss"
+        assert family_of("nodejs") == "nss"
+        assert family_of("apple") == "apple"
+
+    def test_trace_shares(self):
+        shares = trace_user_agents(sample_top_200())
+        assert shares.total == 200
+        assert shares.unattributed == 46
+        # The paper's ordering: NSS > Apple > Microsoft.
+        assert shares.by_family["nss"] > shares.by_family["apple"] > shares.by_family["microsoft"]
+        assert shares.by_family["nss"] == 67  # 34%
+        assert "java" not in shares.by_family  # no top UA rests on Java
+
+
+class TestSoftwareSurvey:
+    def test_counts(self):
+        counts = surveyed_counts()
+        assert counts["library"][0] >= 19  # the paper examined nineteen TLS libraries
+        assert counts["library"][1] == 3  # NSS, JSSE, NodeJS ship stores
+
+    def test_store_providers_in_registry(self):
+        from repro.store import PROVIDERS
+
+        for entry in SOFTWARE:
+            if entry.provider is not None:
+                assert entry.provider in PROVIDERS

@@ -1,0 +1,173 @@
+"""Unit tests for certificate building, parsing, and verification."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.asn1.oid import BASIC_CONSTRAINTS, SUBJECT_KEY_IDENTIFIER
+from repro.crypto import DeterministicRandom, generate_ec_key, generate_rsa_key, P256
+from repro.errors import CertificateParseError, SignatureError, X509Error
+from repro.x509 import Certificate, CertificateBuilder, Name
+from tests.conftest import make_cert
+
+
+class TestBuilderValidation:
+    def test_missing_subject(self, rsa_key):
+        builder = CertificateBuilder().serial(1)
+        with pytest.raises(X509Error, match="subject"):
+            builder.valid(
+                datetime(2020, 1, 1, tzinfo=timezone.utc),
+                datetime(2021, 1, 1, tzinfo=timezone.utc),
+            ).self_sign(rsa_key)
+
+    def test_nonpositive_serial(self):
+        with pytest.raises(X509Error):
+            CertificateBuilder().serial(0)
+
+    def test_inverted_validity(self):
+        with pytest.raises(X509Error):
+            CertificateBuilder().valid(
+                datetime(2021, 1, 1, tzinfo=timezone.utc),
+                datetime(2020, 1, 1, tzinfo=timezone.utc),
+            )
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, rsa_key):
+        cert = make_cert(rsa_key, "Round Trip CA", serial=77)
+        parsed = Certificate.from_der(cert.der)
+        assert parsed.serial_number == 77
+        assert parsed.subject.common_name == "Round Trip CA"
+        assert parsed.version == 2  # v3
+        assert parsed.is_self_issued()
+        assert parsed == cert
+
+    def test_ec_certificate(self, ec_key):
+        cert = make_cert(ec_key, "EC CA")
+        parsed = Certificate.from_der(cert.der)
+        assert parsed.key_type == "ec"
+        assert parsed.key_bits == 256
+
+    def test_rsa_key_bits(self, rsa_key):
+        assert make_cert(rsa_key).key_bits == 512
+
+    def test_signature_digest_property(self, rsa_key):
+        assert make_cert(rsa_key, digest="sha1").signature_digest == "sha1"
+        assert make_cert(rsa_key, digest="md5").signature_digest == "md5"
+
+    def test_extensions_present(self, sample_cert):
+        assert sample_cert.extension(BASIC_CONSTRAINTS) is not None
+        assert sample_cert.extension(SUBJECT_KEY_IDENTIFIER) is not None
+        assert sample_cert.is_ca
+
+
+class TestFingerprints:
+    def test_stable(self, sample_cert):
+        assert len(sample_cert.fingerprint_sha256) == 64
+        assert len(sample_cert.fingerprint_sha1) == 40
+        assert len(sample_cert.fingerprint_md5) == 32
+
+    def test_distinct_certs_distinct_fingerprints(self, sample_certs):
+        prints = {c.fingerprint_sha256 for c in sample_certs}
+        assert len(prints) == 3
+
+    def test_hash_equals_by_der(self, sample_cert):
+        reparsed = Certificate.from_der(sample_cert.der)
+        assert hash(reparsed) == hash(sample_cert)
+        assert reparsed in {sample_cert}
+
+
+class TestValidity:
+    def test_expiry(self, rsa_key):
+        cert = make_cert(
+            rsa_key,
+            not_before=datetime(2010, 1, 1, tzinfo=timezone.utc),
+            not_after=datetime(2020, 1, 1, tzinfo=timezone.utc),
+        )
+        assert cert.is_expired(datetime(2021, 1, 1, tzinfo=timezone.utc))
+        assert not cert.is_expired(datetime(2019, 1, 1, tzinfo=timezone.utc))
+
+    def test_contains(self, sample_cert):
+        assert sample_cert.validity.contains(datetime(2020, 6, 1, tzinfo=timezone.utc))
+        assert not sample_cert.validity.contains(datetime(1999, 1, 1, tzinfo=timezone.utc))
+
+    def test_lifetime_days(self, rsa_key):
+        cert = make_cert(
+            rsa_key,
+            not_before=datetime(2020, 1, 1, tzinfo=timezone.utc),
+            not_after=datetime(2021, 1, 1, tzinfo=timezone.utc),
+        )
+        assert cert.validity.lifetime_days == 366  # 2020 is a leap year
+
+
+class TestSignatureVerification:
+    def test_self_signature(self, sample_cert):
+        sample_cert.verify_signature(sample_cert.public_key)
+
+    def test_wrong_key_rejected(self, sample_cert, rsa_key_2):
+        with pytest.raises(SignatureError):
+            sample_cert.verify_signature(rsa_key_2.public_key)
+
+    def test_cross_signed(self, rsa_key, rsa_key_2):
+        # Subject key rsa_key, signed by issuer rsa_key_2.
+        issuer_name = Name.build(common_name="Issuer CA", organization="IssuerOrg")
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(common_name="Cross Signed", organization="Org"))
+            .issuer(issuer_name)
+            .serial(5)
+            .valid(
+                datetime(2015, 1, 1, tzinfo=timezone.utc),
+                datetime(2030, 1, 1, tzinfo=timezone.utc),
+            )
+            .public_key(rsa_key.public_key)
+            .ca(True)
+            .sign(rsa_key_2, "sha256", issuer_public_key=rsa_key_2.public_key)
+        )
+        cert.verify_signature(rsa_key_2.public_key)
+        assert not cert.is_self_issued()
+        assert cert.issuer == issuer_name
+
+    def test_ecdsa_signed_certificate(self):
+        key = generate_ec_key(P256, DeterministicRandom("cert-ec"))
+        cert = make_cert(key, "ECDSA CA")
+        cert.verify_signature(cert.public_key)
+
+    def test_scheme_mismatch(self, sample_cert):
+        ec = generate_ec_key(P256, DeterministicRandom("mismatch"))
+        with pytest.raises(SignatureError, match="issuer key is not RSA"):
+            sample_cert.verify_signature(ec.public_key)
+
+
+class TestParseErrors:
+    def test_garbage(self):
+        with pytest.raises(CertificateParseError):
+            Certificate.from_der(b"garbage")
+
+    def test_truncated(self, sample_cert):
+        with pytest.raises(CertificateParseError):
+            Certificate.from_der(sample_cert.der[:40])
+
+    def test_algorithm_mismatch_rejected(self, rsa_key):
+        # Craft a cert whose outer signature algorithm differs from TBS.
+        from repro.asn1 import decode, encode_sequence
+        from repro.x509.algorithms import AlgorithmIdentifier
+        from repro.asn1.oid import SHA1_WITH_RSA
+
+        cert = make_cert(rsa_key)
+        outer = decode(cert.der).children()
+        forged = encode_sequence(
+            outer[0].encoded,
+            AlgorithmIdentifier.rsa_signature(SHA1_WITH_RSA).encode(),
+            outer[2].encoded,
+        )
+        with pytest.raises(CertificateParseError, match="signature algorithm"):
+            Certificate.from_der(forged)
+
+
+class TestDeterminism:
+    def test_identical_builds_identical_der(self):
+        key = generate_rsa_key(512, DeterministicRandom("det"))
+        a = make_cert(key, "Det CA")
+        b = make_cert(key, "Det CA")
+        assert a.der == b.der

@@ -1,0 +1,113 @@
+"""Unit tests for X.509 extension codecs."""
+
+import pytest
+
+from repro.asn1.oid import (
+    EKU_EMAIL_PROTECTION,
+    EKU_SERVER_AUTH,
+    BR_DOMAIN_VALIDATED,
+    BR_ORGANIZATION_VALIDATED,
+)
+from repro.errors import X509Error
+from repro.x509 import (
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    CertificatePolicies,
+    ExtendedKeyUsage,
+    Extension,
+    KeyUsage,
+    KeyUsageBit,
+    NameConstraints,
+    SubjectAltName,
+    SubjectKeyIdentifier,
+)
+from repro.asn1 import decode
+
+
+class TestRawExtension:
+    def test_roundtrip_critical(self):
+        ext = Extension(BasicConstraints.OID, True, b"\x30\x00")
+        assert Extension.decode(decode(ext.encode())) == ext
+
+    def test_default_false_criticality_omitted(self):
+        ext = Extension(BasicConstraints.OID, False, b"\x30\x00")
+        encoded = ext.encode()
+        assert b"\x01\x01" not in encoded  # no BOOLEAN inside
+        assert Extension.decode(decode(encoded)) == ext
+
+
+class TestBasicConstraints:
+    def test_ca_with_pathlen(self):
+        bc = BasicConstraints(ca=True, path_length=3)
+        assert BasicConstraints.from_extension(bc.to_extension()) == bc
+
+    def test_end_entity(self):
+        bc = BasicConstraints(ca=False)
+        assert BasicConstraints.from_extension(bc.to_extension()) == bc
+
+    def test_wrong_oid_rejected(self):
+        ext = KeyUsage.ca_usage().to_extension()
+        with pytest.raises(X509Error):
+            BasicConstraints.from_extension(ext)
+
+
+class TestKeyUsage:
+    def test_ca_usage(self):
+        ku = KeyUsage.ca_usage()
+        assert ku.allows(KeyUsageBit.KEY_CERT_SIGN)
+        assert ku.allows(KeyUsageBit.CRL_SIGN)
+        assert not ku.allows(KeyUsageBit.DIGITAL_SIGNATURE)
+
+    def test_roundtrip(self):
+        ku = KeyUsage(frozenset({KeyUsageBit.DIGITAL_SIGNATURE, KeyUsageBit.KEY_AGREEMENT}))
+        assert KeyUsage.from_extension(ku.to_extension()) == ku
+
+    def test_empty(self):
+        ku = KeyUsage(frozenset())
+        assert KeyUsage.from_extension(ku.to_extension()) == ku
+
+
+class TestExtendedKeyUsage:
+    def test_roundtrip_ordered(self):
+        eku = ExtendedKeyUsage(purposes=(EKU_SERVER_AUTH, EKU_EMAIL_PROTECTION))
+        assert ExtendedKeyUsage.from_extension(eku.to_extension()) == eku
+
+
+class TestKeyIdentifiers:
+    def test_ski_roundtrip(self):
+        ski = SubjectKeyIdentifier(digest=b"\x01" * 20)
+        assert SubjectKeyIdentifier.from_extension(ski.to_extension()) == ski
+
+    def test_aki_roundtrip(self):
+        aki = AuthorityKeyIdentifier(key_identifier=b"\x02" * 20)
+        assert AuthorityKeyIdentifier.from_extension(aki.to_extension()) == aki
+
+
+class TestSubjectAltName:
+    def test_roundtrip(self):
+        san = SubjectAltName(dns_names=("example.com", "www.example.com"))
+        assert SubjectAltName.from_extension(san.to_extension()) == san
+
+    def test_empty(self):
+        san = SubjectAltName(dns_names=())
+        assert SubjectAltName.from_extension(san.to_extension()) == san
+
+
+class TestCertificatePolicies:
+    def test_roundtrip(self):
+        cp = CertificatePolicies(policy_oids=(BR_DOMAIN_VALIDATED, BR_ORGANIZATION_VALIDATED))
+        assert CertificatePolicies.from_extension(cp.to_extension()) == cp
+
+
+class TestNameConstraints:
+    def test_permitted_only(self):
+        nc = NameConstraints(permitted_dns=(".gov.example",))
+        assert NameConstraints.from_extension(nc.to_extension()) == nc
+
+    def test_both_branches(self):
+        nc = NameConstraints(permitted_dns=(".a.example",), excluded_dns=(".b.example", ".c.example"))
+        assert NameConstraints.from_extension(nc.to_extension()) == nc
+
+    def test_empty(self):
+        nc = NameConstraints()
+        assert NameConstraints.from_extension(nc.to_extension()) == nc

@@ -1,0 +1,72 @@
+"""Unit tests for distinguished names."""
+
+import pytest
+
+from repro.asn1 import decode
+from repro.asn1.oid import COMMON_NAME, COUNTRY_NAME, ORGANIZATION_NAME
+from repro.errors import X509Error
+from repro.x509 import Name, NameAttribute
+
+
+class TestBuild:
+    def test_conventional_order(self):
+        name = Name.build(common_name="CA", organization="Org", country="US")
+        assert [a.oid for a in name.attributes] == [COUNTRY_NAME, ORGANIZATION_NAME, COMMON_NAME]
+
+    def test_empty_rejected(self):
+        with pytest.raises(X509Error):
+            Name.build()
+
+    def test_accessors(self):
+        name = Name.build(common_name="CA", organization="Org", country="US")
+        assert name.common_name == "CA"
+        assert name.organization == "Org"
+        assert name.country == "US"
+        assert name.get(COMMON_NAME) == "CA"
+
+    def test_get_missing(self):
+        assert Name.build(common_name="X").organization is None
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        name = Name.build(
+            common_name="Test CA",
+            organization="Org",
+            organizational_unit="Unit",
+            country="DE",
+            state="BY",
+            locality="Munich",
+        )
+        assert Name.decode(decode(name.encode())) == name
+
+    def test_utf8_fallback(self):
+        name = Name(attributes=(NameAttribute(COMMON_NAME, "Ã¼mlaut CA"),))
+        assert Name.decode(decode(name.encode())) == name
+
+    def test_printable_when_possible(self):
+        encoded = NameAttribute(COMMON_NAME, "Plain CA").encode()
+        # SET -> SEQUENCE -> [oid, PrintableString(0x13)]
+        atv = decode(encoded).children()[0]
+        assert atv.children()[1].tag == 0x13
+
+
+class TestRendering:
+    def test_rfc4514_order_reversed(self):
+        name = Name.build(common_name="CA", organization="Org", country="US")
+        assert name.rfc4514() == "CN=CA, O=Org, C=US"
+
+    def test_str(self):
+        assert str(Name.build(common_name="CA")) == "CN=CA"
+
+
+class TestIdentity:
+    def test_hashable(self):
+        a = Name.build(common_name="CA", country="US")
+        b = Name.build(common_name="CA", country="US")
+        assert a == b and hash(a) == hash(b)
+
+    def test_order_matters(self):
+        a = Name(attributes=(NameAttribute(COMMON_NAME, "X"), NameAttribute(COUNTRY_NAME, "US")))
+        b = Name(attributes=(NameAttribute(COUNTRY_NAME, "US"), NameAttribute(COMMON_NAME, "X")))
+        assert a != b
