@@ -15,6 +15,7 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots software             # Table 5
     repro-roots publish PROVIDER DIR # write native artifacts to disk
     repro-roots scrape PROVIDER DIR  # parse artifacts back
+    repro-roots collect              # end-to-end collection (+ fault injection)
 
 Every experiment regenerates deterministically from the built-in seed.
 """
@@ -108,6 +109,37 @@ def _build_parser() -> argparse.ArgumentParser:
     scrape = sub.add_parser("scrape", help="parse a published artifact tree")
     scrape.add_argument("provider", choices=sorted(PROVIDERS))
     scrape.add_argument("directory", type=Path)
+    collect = sub.add_parser(
+        "collect",
+        help="publish every provider to a simulated origin and scrape it back, "
+        "optionally injecting seeded faults",
+    )
+    mode = collect.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict", dest="strict", action="store_true",
+        help="fail fast on the first collection error (default)",
+    )
+    mode.add_argument(
+        "--lenient", dest="strict", action="store_false",
+        help="quarantine failed snapshots and salvage damaged artifacts",
+    )
+    collect.set_defaults(strict=True)
+    collect.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the CollectionReport as JSON to PATH",
+    )
+    collect.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="R",
+        help="inject seeded faults into this fraction of tags (0 disables)",
+    )
+    collect.add_argument(
+        "--fault-seed", default="collect", metavar="SEED",
+        help="seed for the deterministic fault plan",
+    )
+    collect.add_argument(
+        "--providers", nargs="+", default=None, choices=sorted(PROVIDERS), metavar="P",
+        help="restrict collection to these providers",
+    )
     return parser
 
 
@@ -464,6 +496,39 @@ def _cmd_publish(args) -> None:
         destination = args.directory / f"{snapshot.version}+{snapshot.taken_at:%Y%m%d}"
         write_tree(tree, destination)
         print(f"wrote {len(tree)} files to {destination}")
+
+
+def _cmd_collect(args) -> None:
+    from repro.collection import CollectionReport, FaultPlan, publish_history
+    from repro.store.history import Dataset
+
+    corpus = default_corpus()
+    providers = args.providers or corpus.dataset.providers
+    plan = FaultPlan(seed=args.fault_seed, rate=args.fault_rate) if args.fault_rate > 0 else None
+    report = CollectionReport()
+    collected = Dataset()
+    for provider in providers:
+        origin = publish_history(corpus.dataset[provider])
+        if plan is not None:
+            origin = plan.instrument(origin, provider)
+        collected.add_history(
+            scrape_history(provider, origin, strict=args.strict, report=report)
+        )
+    print(render_table(
+        ("Provider", "Tags", "OK", "Salvaged", "Quarantined", "Retried", "Skipped entries"),
+        report.summary_rows(),
+        title="Collection report",
+    ))
+    counts = report.counts()
+    mode = "strict" if args.strict else "lenient"
+    print(
+        f"\nCollected {collected.total_snapshots()} snapshots from "
+        f"{len(providers)} providers in {mode} mode "
+        f"({counts['salvaged']} salvaged, {counts['quarantined']} quarantined)."
+    )
+    if args.report is not None:
+        args.report.write_text(report.to_json())
+        print(f"report written to {args.report}")
 
 
 def _cmd_scrape(args) -> None:

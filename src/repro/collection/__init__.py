@@ -5,9 +5,36 @@ artifacts at simulated origins (:mod:`repro.collection.publish` /
 :mod:`repro.collection.sources`), then re-ingested with the scrapers
 (:mod:`repro.collection.scrape`) — the full Section 3 methodology, with
 only the artifact *origin* synthetic.
+
+The pipeline is fault tolerant: :mod:`repro.collection.faults` injects
+deterministic damage into origins, :mod:`repro.collection.retry`
+recovers transient failures with backoff, and lenient scraping
+quarantines what it cannot salvage into a
+:class:`~repro.collection.report.CollectionReport` instead of aborting.
 """
 
+from repro.collection.faults import (
+    DEFAULT_FAULTS,
+    CorruptedDER,
+    FaultedTree,
+    FaultPlan,
+    FaultyOrigin,
+    FlakyOrigin,
+    InjectedFault,
+    MissingArtifact,
+    SlowOrigin,
+    TruncatedArtifact,
+    plan_for_origins,
+)
 from repro.collection.publish import ARTIFACT_PATHS, publish_history, snapshot_tree
+from repro.collection.report import (
+    OK,
+    QUARANTINED,
+    SALVAGED,
+    CollectionRecord,
+    CollectionReport,
+)
+from repro.collection.retry import RetryOutcome, RetryPolicy, SimulatedClock, call_with_retry
 from repro.collection.scrape import extract_entries, scrape_history, scrape_snapshot
 from repro.collection.sources import (
     DockerRegistry,
@@ -21,12 +48,32 @@ from repro.collection.sources import (
 
 __all__ = [
     "ARTIFACT_PATHS",
+    "CollectionRecord",
+    "CollectionReport",
+    "CorruptedDER",
+    "DEFAULT_FAULTS",
     "DockerRegistry",
+    "FaultPlan",
+    "FaultedTree",
+    "FaultyOrigin",
     "FileTree",
+    "FlakyOrigin",
+    "InjectedFault",
+    "MissingArtifact",
+    "OK",
+    "QUARANTINED",
+    "RetryOutcome",
+    "RetryPolicy",
+    "SALVAGED",
+    "SimulatedClock",
+    "SlowOrigin",
     "SourceRepository",
     "TaggedTree",
+    "TruncatedArtifact",
     "UpdateFeed",
+    "call_with_retry",
     "extract_entries",
+    "plan_for_origins",
     "publish_history",
     "read_tree",
     "scrape_history",

@@ -1,0 +1,291 @@
+"""Deterministic fault injection for the simulated origins.
+
+Real collection pipelines see truncated downloads, corrupted artifacts,
+missing files, flaky registries, and slow mirrors.  This module models
+those as composable :class:`Fault` values applied to
+:class:`~repro.collection.sources.TaggedTree` file trees, and a seeded
+:class:`FaultPlan` that decides — purely from a hash of (seed, origin,
+tag) — which tags of an origin are damaged and how.  Two runs with the
+same seed inject byte-identical faults, so every robustness test is
+reproducible.
+
+Faults are applied lazily, on each access to a faulted tag's ``tree``:
+that is what lets :class:`FlakyOrigin` fail the first N fetches and
+then succeed, exercising the retry policy end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Iterator
+
+from repro.collection.retry import SimulatedClock
+from repro.collection.sources import FileTree, TaggedTree
+from repro.errors import TransientCollectionError
+
+
+def _fraction(key: str) -> float:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _primary_path(tree: FileTree) -> str | None:
+    """The deterministic 'main artifact' of a tree: its largest file."""
+    if not tree:
+        return None
+    return max(sorted(tree), key=lambda path: len(tree[path]))
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """Everything a fault may consult when applied to one fetch."""
+
+    origin: str
+    tag: str
+    accesses: int
+    clock: SimulatedClock
+    key: str
+
+
+class Fault:
+    """Base class: a deterministic transformation of one tag's file tree."""
+
+    name = "fault"
+
+    def apply(self, tree: FileTree, context: FaultContext) -> FileTree:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruncatedArtifact(Fault):
+    """The main artifact is cut off mid-download."""
+
+    keep_fraction: float = 0.5
+
+    name = "truncated-artifact"
+
+    def apply(self, tree: FileTree, context: FaultContext) -> FileTree:
+        path = _primary_path(tree)
+        if path is not None:
+            data = tree[path]
+            tree[path] = data[: max(1, int(len(data) * self.keep_fraction))]
+        return tree
+
+
+@dataclass(frozen=True)
+class CorruptedDER(Fault):
+    """A deterministically chosen file has its leading bytes flipped.
+
+    Hitting the head of the file breaks DER framing for binary
+    artifacts and text decoding / PEM armor for textual ones — i.e. the
+    damage is always *visible* to a parser, unlike a flip deep inside a
+    bit string that DER framing would shrug off.
+    """
+
+    window: int = 24
+    mask: int = 0xA5
+
+    name = "corrupted-der"
+
+    def apply(self, tree: FileTree, context: FaultContext) -> FileTree:
+        if not tree:
+            return tree
+        paths = sorted(tree)
+        path = paths[int(_fraction(f"{context.key}:corrupt-path") * len(paths)) % len(paths)]
+        data = bytearray(tree[path])
+        for index in range(min(self.window, len(data))):
+            data[index] ^= self.mask
+        tree[path] = bytes(data)
+        return tree
+
+
+@dataclass(frozen=True)
+class MissingArtifact(Fault):
+    """The artifact never made it to the origin: the tree is empty."""
+
+    name = "missing-artifact"
+
+    def apply(self, tree: FileTree, context: FaultContext) -> FileTree:
+        return {}
+
+
+@dataclass(frozen=True)
+class FlakyOrigin(Fault):
+    """The first ``failures`` fetches of the tag fail transiently."""
+
+    failures: int = 2
+
+    name = "flaky-origin"
+
+    def apply(self, tree: FileTree, context: FaultContext) -> FileTree:
+        if context.accesses <= self.failures:
+            raise TransientCollectionError(
+                f"simulated transient origin failure "
+                f"(fetch {context.accesses} of {self.failures} doomed)",
+                provider=context.origin,
+                tag=context.tag,
+            )
+        return tree
+
+
+@dataclass(frozen=True)
+class SlowOrigin(Fault):
+    """Each fetch of the tag stalls for ``delay`` simulated seconds."""
+
+    delay: float = 0.5
+
+    name = "slow-origin"
+
+    def apply(self, tree: FileTree, context: FaultContext) -> FileTree:
+        context.clock.sleep(self.delay)
+        return tree
+
+
+#: The full fault menu, used by default when a plan does not choose.
+DEFAULT_FAULTS: tuple[Fault, ...] = (
+    TruncatedArtifact(),
+    CorruptedDER(),
+    MissingArtifact(),
+    FlakyOrigin(),
+    SlowOrigin(),
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One planned injection: which origin/tag gets which fault."""
+
+    origin: str
+    tag: str
+    fault: str
+    transient: bool
+
+
+class FaultedTree:
+    """A lazy, fault-applying stand-in for a :class:`TaggedTree`.
+
+    ``tag``/``released`` mirror the underlying tree; each access to
+    ``tree`` re-applies the fault, counting accesses so flaky faults
+    can recover after retries.  Duck-types ``TaggedTree`` for the
+    scrapers, plus a ``fault_name`` attribute the collection report
+    uses for fault accounting.
+    """
+
+    def __init__(self, tagged: TaggedTree, fault: Fault, *, origin: str, clock: SimulatedClock):
+        self._tagged = tagged
+        self.fault = fault
+        self._origin = origin
+        self._clock = clock
+        self.accesses = 0
+
+    @property
+    def tag(self) -> str:
+        return self._tagged.tag
+
+    @property
+    def released(self) -> date:
+        return self._tagged.released
+
+    @property
+    def fault_name(self) -> str:
+        return self.fault.name
+
+    @property
+    def tree(self) -> FileTree:
+        self.accesses += 1
+        context = FaultContext(
+            origin=self._origin,
+            tag=self.tag,
+            accesses=self.accesses,
+            clock=self._clock,
+            key=f"{self._origin}:{self.tag}",
+        )
+        return self.fault.apply(dict(self._tagged.tree), context)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic assignment of faults to origin tags.
+
+    Each (origin, tag) pair is independently damaged with probability
+    ``rate``; the fault is drawn from ``faults``.  Both decisions hash
+    (seed, origin, tag), so the plan is a pure function of its inputs.
+    """
+
+    seed: str = "fault-plan"
+    rate: float = 0.1
+    faults: tuple[Fault, ...] = DEFAULT_FAULTS
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+
+    def fault_for(self, origin: str, tag: str) -> Fault | None:
+        """The fault injected at ``origin``/``tag``, or None."""
+        if not self.faults or self.rate <= 0:
+            return None
+        if _fraction(f"{self.seed}:{origin}:{tag}:roll") >= self.rate:
+            return None
+        choice = _fraction(f"{self.seed}:{origin}:{tag}:choice")
+        return self.faults[int(choice * len(self.faults)) % len(self.faults)]
+
+    def instrument(self, origin, name: str | None = None) -> "FaultyOrigin":
+        """Wrap an origin so iteration yields faulted trees per this plan."""
+        return FaultyOrigin(origin, self, name or getattr(origin, "name", "origin"))
+
+    def planned(self, origin, name: str | None = None) -> list[InjectedFault]:
+        """Enumerate the injections this plan makes into ``origin``."""
+        origin_name = name or getattr(origin, "name", "origin")
+        injections = []
+        for tagged in origin:
+            fault = self.fault_for(origin_name, tagged.tag)
+            if fault is not None:
+                injections.append(
+                    InjectedFault(
+                        origin=origin_name,
+                        tag=tagged.tag,
+                        fault=fault.name,
+                        transient=isinstance(fault, FlakyOrigin),
+                    )
+                )
+        return injections
+
+
+class FaultyOrigin:
+    """An origin whose iteration injects the plan's faults.
+
+    Faulted tags keep one :class:`FaultedTree` handle across iterations
+    so access counters (and thus flaky-recovery behaviour) survive
+    retries and re-enumeration.
+    """
+
+    def __init__(self, base, plan: FaultPlan, name: str):
+        self._base = base
+        self._plan = plan
+        self.name = name
+        self._handles: dict[str, FaultedTree] = {}
+
+    def __iter__(self) -> Iterator[TaggedTree | FaultedTree]:
+        for tagged in self._base:
+            fault = self._plan.fault_for(self.name, tagged.tag)
+            if fault is None:
+                yield tagged
+                continue
+            handle = self._handles.get(tagged.tag)
+            if handle is None:
+                handle = FaultedTree(tagged, fault, origin=self.name, clock=self._plan.clock)
+                self._handles[tagged.tag] = handle
+            yield handle
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def planned_faults(self) -> list[InjectedFault]:
+        return self._plan.planned(self._base, self.name)
+
+
+def plan_for_origins(plan: FaultPlan, origins: dict[str, object]) -> list[InjectedFault]:
+    """All injections ``plan`` makes across a provider->origin mapping."""
+    injections: list[InjectedFault] = []
+    for name in sorted(origins):
+        injections.extend(plan.planned(origins[name], name))
+    return injections

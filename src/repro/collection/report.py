@@ -1,0 +1,142 @@
+"""Structured accounting of a collection run.
+
+When :func:`~repro.collection.scrape.scrape_history` runs in lenient
+mode it never aborts a provider; instead every tag it visits leaves a
+:class:`CollectionRecord` behind — healthy, salvaged (some entries
+skipped by a lenient codec), or quarantined (the snapshot could not be
+collected at all, even after retries).  The :class:`CollectionReport`
+aggregates those records across providers, so a run over damaged
+origins accounts for every fault with no silent drops, and serializes
+to JSON for the ``repro-roots collect`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Record statuses.
+OK = "ok"
+SALVAGED = "salvaged"
+QUARANTINED = "quarantined"
+
+
+@dataclass
+class CollectionRecord:
+    """The outcome of collecting one origin tag."""
+
+    provider: str
+    tag: str
+    status: str
+    attempts: int = 1
+    entries: int = 0
+    skipped_entries: int = 0
+    error: str | None = None
+    error_class: str | None = None
+    fault: str | None = None
+    waited: float = 0.0
+    diagnostics: list[dict[str, str]] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "provider": self.provider,
+            "tag": self.tag,
+            "status": self.status,
+            "attempts": self.attempts,
+            "entries": self.entries,
+            "skipped_entries": self.skipped_entries,
+            "error": self.error,
+            "error_class": self.error_class,
+            "fault": self.fault,
+            "waited": round(self.waited, 6),
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+@dataclass
+class CollectionReport:
+    """Every record of one collection run, with query helpers."""
+
+    records: list[CollectionRecord] = field(default_factory=list)
+
+    def add(self, record: CollectionRecord) -> CollectionRecord:
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CollectionRecord]:
+        return iter(self.records)
+
+    def for_provider(self, provider: str) -> list[CollectionRecord]:
+        return [r for r in self.records if r.provider == provider]
+
+    def with_status(self, status: str, provider: str | None = None) -> list[CollectionRecord]:
+        return [
+            r
+            for r in self.records
+            if r.status == status and (provider is None or r.provider == provider)
+        ]
+
+    def quarantined(self, provider: str | None = None) -> list[CollectionRecord]:
+        return self.with_status(QUARANTINED, provider)
+
+    def salvaged(self, provider: str | None = None) -> list[CollectionRecord]:
+        return self.with_status(SALVAGED, provider)
+
+    def retried(self, provider: str | None = None) -> list[CollectionRecord]:
+        """Records whose collection needed more than one attempt."""
+        return [
+            r
+            for r in self.records
+            if r.attempts > 1 and (provider is None or r.provider == provider)
+        ]
+
+    def record_for(self, provider: str, tag: str) -> CollectionRecord | None:
+        for record in self.records:
+            if record.provider == provider and record.tag == tag:
+                return record
+        return None
+
+    def counts(self, provider: str | None = None) -> dict[str, int]:
+        result = {OK: 0, SALVAGED: 0, QUARANTINED: 0}
+        for record in self.records:
+            if provider is None or record.provider == provider:
+                result[record.status] = result.get(record.status, 0) + 1
+        return result
+
+    def total_skipped_entries(self) -> int:
+        return sum(r.skipped_entries for r in self.records)
+
+    def providers(self) -> list[str]:
+        return sorted({r.provider for r in self.records})
+
+    def summary_rows(self) -> list[tuple]:
+        """Per-provider (provider, tags, ok, salvaged, quarantined, retried, skipped)."""
+        rows = []
+        for provider in self.providers():
+            counts = self.counts(provider)
+            rows.append(
+                (
+                    provider,
+                    len(self.for_provider(provider)),
+                    counts[OK],
+                    counts[SALVAGED],
+                    counts[QUARANTINED],
+                    len(self.retried(provider)),
+                    sum(r.skipped_entries for r in self.for_provider(provider)),
+                )
+            )
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "counts": self.counts(),
+            "skipped_entries": self.total_skipped_entries(),
+            "records": [r.as_dict() for r in self.records],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)

@@ -1,0 +1,122 @@
+"""Retry policy with exponential backoff and deterministic jitter.
+
+Real scrapers face transient origin failures (registry 5xx, flaky
+mirrors); the simulated pipeline models them as
+:class:`~repro.errors.TransientCollectionError`.  This module retries
+exactly those — a plain :class:`~repro.errors.CollectionError` is
+permanent and propagates immediately.
+
+Everything is deterministic and wall-clock free, in keeping with the
+repository's "no wall-clock anywhere" rule: jitter is a hash of the
+retry key and attempt number, and sleeping goes through an injectable
+clock (:class:`SimulatedClock` by default) so tests can assert on the
+exact backoff schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import CollectionError, TransientCollectionError
+
+T = TypeVar("T")
+
+
+def _fraction(key: str) -> float:
+    """A deterministic float in [0, 1) derived from ``key``."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class SimulatedClock:
+    """An injectable clock whose ``sleep`` advances simulated time."""
+
+    now: float = 0.0
+    sleeps: list[float] = field(default_factory=list)
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    The delay before attempt ``n+1`` is
+    ``min(base_delay * multiplier**(n-1), max_delay)`` plus a jitter of
+    up to ``jitter`` times that, derived from ``seed``, the caller's
+    retry key, and the attempt number — so two runs with the same seed
+    back off identically.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: str = "retry"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """The backoff delay after failed attempt number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        return raw * (1.0 + self.jitter * _fraction(f"{self.seed}:{key}:{attempt}"))
+
+
+@dataclass
+class RetryOutcome:
+    """The result of a retried operation: value plus attempt accounting."""
+
+    value: object
+    attempts: int
+    waited: float
+    transient_errors: list[str] = field(default_factory=list)
+
+
+def call_with_retry(
+    operation: Callable[[], T],
+    *,
+    policy: RetryPolicy | None = None,
+    key: str = "",
+    sleep: Callable[[float], None] | None = None,
+) -> RetryOutcome:
+    """Run ``operation`` under ``policy``, retrying transient failures.
+
+    Returns a :class:`RetryOutcome` wrapping the operation's value.  A
+    :class:`TransientCollectionError` is retried up to
+    ``policy.max_attempts`` total attempts (backing off via ``sleep``,
+    a no-op when not injected); the last one is re-raised with
+    ``attempts`` attached once the budget is exhausted.  Any other
+    :class:`CollectionError` (or unrelated exception) is permanent and
+    propagates immediately with ``attempts`` attached when possible.
+    """
+    policy = policy or RetryPolicy()
+    waited = 0.0
+    transient_errors: list[str] = []
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            value = operation()
+        except TransientCollectionError as exc:
+            transient_errors.append(str(exc))
+            exc.attempts = attempt  # type: ignore[attr-defined]
+            if attempt == policy.max_attempts:
+                raise
+            pause = policy.delay(key, attempt)
+            waited += pause
+            if sleep is not None:
+                sleep(pause)
+        except CollectionError as exc:
+            exc.attempts = attempt  # type: ignore[attr-defined]
+            raise
+        else:
+            return RetryOutcome(
+                value=value, attempts=attempt, waited=waited, transient_errors=transient_errors
+            )
+    raise AssertionError("unreachable")  # pragma: no cover

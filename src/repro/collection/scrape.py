@@ -6,17 +6,38 @@ file tree, parses it with the format codecs, and emits
 :class:`~repro.store.snapshot.RootStoreSnapshot` records.  This is the
 collection methodology of Section 3.1, run against the simulated
 origins of :mod:`repro.collection.publish`.
+
+Collection is fault tolerant.  Per-tag scraping runs under the retry
+policy of :mod:`repro.collection.retry`, so transient origin failures
+(:class:`~repro.errors.TransientCollectionError`) are retried with
+backoff.  In the default strict mode any permanent failure still aborts
+the provider, but ``strict=False`` degrades gracefully instead: format
+codecs run lenient (skipping individually malformed entries), failed
+tags are quarantined into a
+:class:`~repro.collection.report.CollectionReport`, and the history
+keeps every snapshot that could be collected or salvaged.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.collection.publish import ARTIFACT_PATHS
+from repro.collection.report import (
+    OK,
+    QUARANTINED,
+    SALVAGED,
+    CollectionRecord,
+    CollectionReport,
+)
+from repro.collection.retry import RetryPolicy, call_with_retry
 from repro.collection.sources import DockerRegistry, FileTree, SourceRepository, TaggedTree, UpdateFeed
 from repro.errors import CollectionError
 from repro.formats.applestore import parse_apple_store
 from repro.formats.authroot import AuthrootArtifact, parse_authroot
 from repro.formats.certdata import parse_certdata
 from repro.formats.certdir import parse_cert_dir
+from repro.formats.diagnostics import SALVAGEABLE, DiagnosticLog
 from repro.formats.jks import parse_jks
 from repro.formats.nodeheader import parse_node_header
 from repro.formats.pem_bundle import parse_pem_bundle
@@ -25,31 +46,135 @@ from repro.store.history import StoreHistory
 from repro.store.provider import PROVIDERS, StoreFormat
 from repro.store.snapshot import RootStoreSnapshot
 
+#: Anything iterable over TaggedTree-shaped values (including the
+#: fault-injecting wrapper from :mod:`repro.collection.faults`).
 Origin = SourceRepository | DockerRegistry | UpdateFeed
 
 
-def scrape_history(provider_key: str, origin: Origin) -> StoreHistory:
-    """Scrape every version at an origin into a provider history."""
+def scrape_history(
+    provider_key: str,
+    origin,
+    *,
+    strict: bool = True,
+    retry: RetryPolicy | None = None,
+    sleep: Callable[[float], None] | None = None,
+    report: CollectionReport | None = None,
+) -> StoreHistory:
+    """Scrape every version at an origin into a provider history.
+
+    Per-tag scraping is retried under ``retry`` (transient failures
+    only; backoff waits go through ``sleep``, a no-op by default so the
+    simulated pipeline stays wall-clock free).  With ``strict=True``
+    (the default) a permanent failure raises, preserving the historical
+    fail-fast contract.  With ``strict=False`` the codecs run lenient
+    and every visited tag leaves a record in ``report``: healthy tags
+    as ``ok``, tags with individually skipped entries as ``salvaged``,
+    and unscrapable tags as ``quarantined`` — the provider's history
+    always completes.
+    """
+    policy = retry or RetryPolicy()
     history = StoreHistory(provider_key)
     for tagged in origin:
-        history.add(scrape_snapshot(provider_key, tagged))
+        tag = tagged.tag
+        fault = getattr(tagged, "fault_name", None)
+        log = DiagnosticLog()
+
+        def attempt(tagged=tagged):
+            nonlocal log
+            log = DiagnosticLog()  # diagnostics must not accumulate across retries
+            return scrape_snapshot(
+                provider_key, tagged, lenient=not strict, diagnostics=log
+            )
+
+        try:
+            outcome = call_with_retry(
+                attempt, policy=policy, key=f"{provider_key}:{tag}", sleep=sleep
+            )
+        except SALVAGEABLE as exc:
+            if strict:
+                raise
+            if report is not None:
+                report.add(
+                    CollectionRecord(
+                        provider=provider_key,
+                        tag=tag,
+                        status=QUARANTINED,
+                        attempts=getattr(exc, "attempts", 1),
+                        error=str(exc) or exc.__class__.__name__,
+                        error_class=exc.__class__.__name__,
+                        fault=fault,
+                        diagnostics=log.as_dicts(),
+                    )
+                )
+            continue
+
+        snapshot: RootStoreSnapshot = outcome.value
+        if not strict and history.contains_version(snapshot.version, snapshot.taken_at):
+            if report is not None:
+                report.add(
+                    CollectionRecord(
+                        provider=provider_key,
+                        tag=tag,
+                        status=QUARANTINED,
+                        attempts=outcome.attempts,
+                        error=f"duplicate snapshot {snapshot.version} @ {snapshot.taken_at}",
+                        error_class="DuplicateSnapshot",
+                        fault=fault,
+                        waited=outcome.waited,
+                    )
+                )
+            continue
+        history.add(snapshot)
+        if report is not None:
+            report.add(
+                CollectionRecord(
+                    provider=provider_key,
+                    tag=tag,
+                    status=SALVAGED if log else OK,
+                    attempts=outcome.attempts,
+                    entries=len(snapshot),
+                    skipped_entries=len(log),
+                    fault=fault,
+                    waited=outcome.waited,
+                    diagnostics=log.as_dicts(),
+                )
+            )
     return history
 
 
-def scrape_snapshot(provider_key: str, tagged: TaggedTree) -> RootStoreSnapshot:
+def scrape_snapshot(
+    provider_key: str,
+    tagged: TaggedTree,
+    *,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> RootStoreSnapshot:
     """Parse one origin version into a snapshot."""
     version = tagged.tag.split("+", 1)[0]
-    entries = extract_entries(provider_key, tagged.tree)
+    entries = extract_entries(
+        provider_key, tagged.tree, lenient=lenient, diagnostics=diagnostics
+    )
     return RootStoreSnapshot.build(provider_key, tagged.released, version, entries)
 
 
-def extract_entries(provider_key: str, tree: FileTree) -> list[TrustEntry]:
+def extract_entries(
+    provider_key: str,
+    tree: FileTree,
+    *,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> list[TrustEntry]:
     """Locate and parse the provider's root store artifact in a file tree."""
     provider = PROVIDERS[provider_key]
     fmt = provider.store_format
 
     if fmt is StoreFormat.CERTDATA:
-        return parse_certdata(_require(tree, ARTIFACT_PATHS["nss"]).decode("utf-8"))
+        path = ARTIFACT_PATHS["nss"]
+        text = _decode_text(
+            _require(tree, path, provider_key), "utf-8",
+            provider=provider_key, path=path, lenient=lenient, diagnostics=diagnostics,
+        )
+        return parse_certdata(text, lenient=lenient, diagnostics=diagnostics)
 
     if fmt is StoreFormat.KEYCHAIN_DIR:
         prefix = ARTIFACT_PATHS["apple"] + "/"
@@ -57,14 +182,23 @@ def extract_entries(provider_key: str, tree: FileTree) -> list[TrustEntry]:
             path[len(prefix):]: data for path, data in tree.items() if path.startswith(prefix)
         }
         if not subtree:
-            raise CollectionError(f"no {prefix} directory in Apple tree")
-        return parse_apple_store(subtree)
+            raise CollectionError(f"no {prefix} directory in Apple tree", provider=provider_key)
+        return parse_apple_store(subtree, lenient=lenient, diagnostics=diagnostics)
 
     if fmt is StoreFormat.JKS:
-        return parse_jks(_require(tree, ARTIFACT_PATHS["java"]))
+        return parse_jks(
+            _require(tree, ARTIFACT_PATHS["java"], provider_key),
+            lenient=lenient,
+            diagnostics=diagnostics,
+        )
 
     if fmt is StoreFormat.HEADER_FILE:
-        return parse_node_header(_require(tree, ARTIFACT_PATHS["nodejs"]).decode("utf-8"))
+        path = ARTIFACT_PATHS["nodejs"]
+        text = _decode_text(
+            _require(tree, path, provider_key), "utf-8",
+            provider=provider_key, path=path, lenient=lenient, diagnostics=diagnostics,
+        )
+        return parse_node_header(text, lenient=lenient, diagnostics=diagnostics)
 
     if fmt is StoreFormat.CERT_DIR:
         prefix = ARTIFACT_PATHS[provider_key] + "/"
@@ -72,26 +206,66 @@ def extract_entries(provider_key: str, tree: FileTree) -> list[TrustEntry]:
             path[len(prefix):]: data for path, data in tree.items() if path.startswith(prefix)
         }
         if not subtree:
-            raise CollectionError(f"no {prefix} directory in {provider_key} tree")
-        return parse_cert_dir(subtree)
+            raise CollectionError(
+                f"no {prefix} directory in {provider_key} tree", provider=provider_key
+            )
+        return parse_cert_dir(subtree, lenient=lenient, diagnostics=diagnostics)
 
     if fmt is StoreFormat.PEM_BUNDLE:
-        return parse_pem_bundle(_require(tree, ARTIFACT_PATHS[provider_key]).decode("ascii"))
+        path = ARTIFACT_PATHS[provider_key]
+        text = _decode_text(
+            _require(tree, path, provider_key), "ascii",
+            provider=provider_key, path=path, lenient=lenient, diagnostics=diagnostics,
+        )
+        return parse_pem_bundle(text, lenient=lenient, diagnostics=diagnostics)
 
     if fmt is StoreFormat.AUTHROOT_STL:
-        stl = _require(tree, ARTIFACT_PATHS["microsoft"])
+        stl = _require(tree, ARTIFACT_PATHS["microsoft"], provider_key)
         certificates = {
             path.removeprefix("certs/").removesuffix(".crt"): data
             for path, data in tree.items()
             if path.startswith("certs/") and path.endswith(".crt")
         }
-        return parse_authroot(AuthrootArtifact(stl_der=stl, certificates=certificates))
+        return parse_authroot(
+            AuthrootArtifact(stl_der=stl, certificates=certificates),
+            lenient=lenient,
+            diagnostics=diagnostics,
+        )
 
-    raise CollectionError(f"no scraper for format {fmt}")
+    raise CollectionError(f"no scraper for format {fmt}", provider=provider_key)
 
 
-def _require(tree: FileTree, path: str) -> bytes:
+def _require(tree: FileTree, path: str, provider: str) -> bytes:
     try:
         return tree[path]
     except KeyError as exc:
-        raise CollectionError(f"artifact {path!r} missing from tree") from exc
+        raise CollectionError(
+            f"artifact {path!r} missing from tree", provider=provider
+        ) from exc
+
+
+def _decode_text(
+    data: bytes,
+    encoding: str,
+    *,
+    provider: str,
+    path: str,
+    lenient: bool,
+    diagnostics: DiagnosticLog | None,
+) -> str:
+    """Decode an artifact's bytes, with provenance on failure.
+
+    Strict mode converts the bare :class:`UnicodeDecodeError` into a
+    :class:`CollectionError` carrying provider/path context; lenient
+    mode substitutes replacement characters and records the damage.
+    """
+    try:
+        return data.decode(encoding)
+    except UnicodeDecodeError as exc:
+        if not lenient:
+            raise CollectionError(
+                f"artifact {path!r} is not valid {encoding}: {exc}", provider=provider
+            ) from exc
+        if diagnostics is not None:
+            diagnostics.record(path, f"non-{encoding} bytes decoded with replacement: {exc}")
+        return data.decode(encoding, errors="replace")

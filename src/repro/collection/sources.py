@@ -97,6 +97,8 @@ class UpdateFeed:
     updates: list[TaggedTree] = field(default_factory=list)
 
     def publish(self, tag: str, released: date, tree: FileTree) -> None:
+        if any(existing.tag == tag for existing in self.updates):
+            raise CollectionError(f"duplicate update tag {tag!r} in feed {self.name!r}")
         self.updates.append(TaggedTree(tag=tag, released=released, tree=dict(tree)))
         self.updates.sort(key=lambda t: (t.released, t.tag))
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import base64
 import re
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import PEMError
 
@@ -36,39 +36,67 @@ def encode_pem(der: bytes, label: str = CERTIFICATE_LABEL) -> str:
     return "\n".join([f"-----BEGIN {label}-----", *lines, f"-----END {label}-----", ""])
 
 
-def iter_pem_blocks(text: str) -> Iterator[PEMBlock]:
+def iter_pem_blocks(
+    text: str,
+    *,
+    lenient: bool = False,
+    on_error: Callable[[str, int], None] | None = None,
+) -> Iterator[PEMBlock]:
     """Yield each PEM block in ``text``, ignoring surrounding prose.
 
     Linux ``ca-certificates`` bundles interleave comments with blocks;
     anything outside BEGIN/END lines is skipped.
+
+    With ``lenient=True`` a malformed block (nested BEGIN, orphan or
+    mismatched END, invalid base64, unterminated armor) is dropped and
+    scanning resynchronizes at the next BEGIN line; ``on_error`` is
+    called with a message and the offending line number for each drop.
     """
+
+    def problem(message: str, line_no: int) -> None:
+        if not lenient:
+            raise PEMError(message)
+        if on_error is not None:
+            on_error(message, line_no)
+
     label: str | None = None
     body_lines: list[str] = []
+    line_no = 0
     for line_no, line in enumerate(text.splitlines(), start=1):
         begin = _BEGIN.match(line)
         end = _END.match(line)
         if begin:
             if label is not None:
-                raise PEMError(f"nested BEGIN at line {line_no}")
+                problem(f"nested BEGIN at line {line_no}", line_no)
             label = begin.group(1)
             body_lines = []
         elif end:
             if label is None:
-                raise PEMError(f"END without BEGIN at line {line_no}")
+                problem(f"END without BEGIN at line {line_no}", line_no)
+                continue
             if end.group(1) != label:
-                raise PEMError(
-                    f"label mismatch at line {line_no}: BEGIN {label}, END {end.group(1)}"
+                problem(
+                    f"label mismatch at line {line_no}: BEGIN {label}, END {end.group(1)}",
+                    line_no,
                 )
+                label = None
+                continue
             try:
                 der = base64.b64decode("".join(body_lines), validate=True)
             except Exception as exc:  # noqa: BLE001
-                raise PEMError(f"invalid base64 in {label} block ending line {line_no}") from exc
+                if not lenient:
+                    raise PEMError(
+                        f"invalid base64 in {label} block ending line {line_no}"
+                    ) from exc
+                problem(f"invalid base64 in {label} block ending line {line_no}", line_no)
+                label = None
+                continue
             yield PEMBlock(label=label, der=der)
             label = None
         elif label is not None:
             body_lines.append(line.strip())
     if label is not None:
-        raise PEMError(f"unterminated {label} block")
+        problem(f"unterminated {label} block", line_no)
 
 
 def decode_pem(text: str, expected_label: str = CERTIFICATE_LABEL) -> bytes:
@@ -82,6 +110,15 @@ def decode_pem(text: str, expected_label: str = CERTIFICATE_LABEL) -> bytes:
     return block.der
 
 
-def split_bundle(text: str) -> list[bytes]:
+def split_bundle(
+    text: str,
+    *,
+    lenient: bool = False,
+    on_error: Callable[[str, int], None] | None = None,
+) -> list[bytes]:
     """All CERTIFICATE blocks from a PEM bundle, in order."""
-    return [b.der for b in iter_pem_blocks(text) if b.label == CERTIFICATE_LABEL]
+    return [
+        b.der
+        for b in iter_pem_blocks(text, lenient=lenient, on_error=on_error)
+        if b.label == CERTIFICATE_LABEL
+    ]

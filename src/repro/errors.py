@@ -69,7 +69,32 @@ class SimulationError(ReproError):
 
 
 class CollectionError(ReproError):
-    """A simulated data source could not be scraped."""
+    """A simulated data source could not be scraped.
+
+    Carries optional ``provider``/``tag`` provenance so quarantine
+    reports and logs can attribute the failure without string-parsing
+    the message.
+    """
+
+    def __init__(self, message: str, *, provider: str | None = None, tag: str | None = None):
+        context = " ".join(
+            f"{name}={value!r}" for name, value in (("provider", provider), ("tag", tag)) if value
+        )
+        if context:
+            message = f"{message} [{context}]"
+        super().__init__(message)
+        self.provider = provider
+        self.tag = tag
+
+
+class TransientCollectionError(CollectionError):
+    """A scrape failed for a reason that may succeed on retry.
+
+    Raised for simulated network-style flakiness (see
+    :class:`repro.collection.faults.FlakyOrigin`); the retry policy in
+    :mod:`repro.collection.retry` retries these and only these.
+    Anything raised as a plain :class:`CollectionError` is permanent.
+    """
 
 
 class AnalysisError(ReproError):

@@ -15,6 +15,11 @@ Every codec is a (serialize, parse) pair whose round trip preserves the
 trust semantics the format can express — lossy conversions (e.g. NSS
 partial distrust flattened into a PEM bundle) are exactly the artifacts
 the paper's Section 6 measures.
+
+Every parser additionally accepts ``lenient=True`` with an optional
+:class:`~repro.formats.diagnostics.DiagnosticLog`, skipping individually
+malformed entries instead of failing the artifact — the salvage layer
+underneath the fault-tolerant collection pipeline.
 """
 
 from repro.formats.applestore import parse_apple_store, serialize_apple_store
@@ -27,6 +32,7 @@ from repro.formats.authroot import (
 )
 from repro.formats.certdata import parse_certdata, serialize_certdata
 from repro.formats.certdir import parse_cert_dir, serialize_cert_dir
+from repro.formats.diagnostics import DiagnosticLog, ParseDiagnostic
 from repro.formats.jks import DEFAULT_PASSWORD, parse_jks, serialize_jks
 from repro.formats.nodeheader import parse_node_header, serialize_node_header
 from repro.formats.pem_bundle import parse_pem_bundle, serialize_pem_bundle
@@ -34,6 +40,8 @@ from repro.formats.pem_bundle import parse_pem_bundle, serialize_pem_bundle
 __all__ = [
     "AuthrootArtifact",
     "DEFAULT_PASSWORD",
+    "DiagnosticLog",
+    "ParseDiagnostic",
     "decode_filetime",
     "encode_filetime",
     "parse_apple_store",

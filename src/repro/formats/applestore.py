@@ -17,6 +17,7 @@ import re
 from xml.etree import ElementTree
 
 from repro.errors import FormatError
+from repro.formats.diagnostics import SALVAGEABLE, DiagnosticLog, salvage
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -93,28 +94,51 @@ def _render_plist(rows: list[tuple[str, list[str], bool]]) -> bytes:
     return "\n".join(lines).encode("utf-8")
 
 
-def parse_apple_store(tree: dict[str, bytes]) -> list[TrustEntry]:
+def parse_apple_store(
+    tree: dict[str, bytes],
+    *,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> list[TrustEntry]:
     """Read an Apple root directory tree back into trust entries.
 
     Roots without a plist entry get Apple's default: trusted for all
     purposes (the multi-purpose behaviour Section 5.2 critiques).
+
+    In lenient mode a broken ``TrustSettings.plist`` degrades to the
+    default-trust behaviour (recorded) and an unparseable ``.cer`` file
+    is skipped while the rest of the directory is still collected.
     """
-    settings = _parse_plist(tree[PLIST_PATH]) if PLIST_PATH in tree else {}
+    settings: dict[str, tuple[list[str], bool]] = {}
+    if PLIST_PATH in tree:
+        try:
+            settings = _parse_plist(tree[PLIST_PATH])
+        except SALVAGEABLE as exc:
+            if not lenient:
+                raise
+            if diagnostics is not None:
+                diagnostics.record(PLIST_PATH, exc)
     entries: list[TrustEntry] = []
     for path, data in sorted(tree.items()):
         if not path.endswith(".cer"):
             continue
-        cert = Certificate.from_der(data)
-        setting = settings.get(cert.fingerprint_sha256)
-        if setting is None:
-            trust = {p: TrustLevel.TRUSTED for p in _USAGE_STRINGS}
-        else:
-            usages, revoked = setting
-            if revoked:
-                trust = {p: TrustLevel.DISTRUSTED for p in _USAGE_STRINGS}
+        with salvage(lenient, diagnostics, path):
+            cert = Certificate.from_der(data)
+            setting = settings.get(cert.fingerprint_sha256)
+            if setting is None:
+                trust = {p: TrustLevel.TRUSTED for p in _USAGE_STRINGS}
             else:
-                trust = {_STRING_USAGES[u]: TrustLevel.TRUSTED for u in usages}
-        entries.append(TrustEntry.make(cert, purposes=trust))
+                usages, revoked = setting
+                if revoked:
+                    trust = {p: TrustLevel.DISTRUSTED for p in _USAGE_STRINGS}
+                else:
+                    trust = {}
+                    for usage in usages:
+                        purpose = _STRING_USAGES.get(usage)
+                        if purpose is None:
+                            raise FormatError(f"unknown trust setting {usage!r} in {PLIST_PATH}")
+                        trust[purpose] = TrustLevel.TRUSTED
+            entries.append(TrustEntry.make(cert, purposes=trust))
     entries.sort(key=lambda e: e.fingerprint)
     return entries
 

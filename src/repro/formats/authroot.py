@@ -44,6 +44,7 @@ from repro.asn1.oid import (
     ObjectIdentifier,
 )
 from repro.errors import FormatError
+from repro.formats.diagnostics import DiagnosticLog, salvage
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -163,8 +164,20 @@ def _entry_attributes(entry: TrustEntry) -> list[bytes]:
     return attributes
 
 
-def parse_authroot(artifact: AuthrootArtifact) -> list[TrustEntry]:
-    """Reconstruct trust entries from an STL + certificate map."""
+def parse_authroot(
+    artifact: AuthrootArtifact,
+    *,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> list[TrustEntry]:
+    """Reconstruct trust entries from an STL + certificate map.
+
+    The outer STL structure must decode even in lenient mode (there is
+    no way to resynchronize inside damaged DER), but an individually
+    broken trusted-subject entry — unfetchable certificate, hash
+    mismatch, bad DER, malformed attributes — is skipped and recorded
+    rather than failing the whole update.
+    """
     reader = decode_der(artifact.stl_der).reader()
     version = reader.next("version").as_integer()
     if version != 1:
@@ -177,41 +190,44 @@ def parse_authroot(artifact: AuthrootArtifact) -> list[TrustEntry]:
     reader.finish()
 
     entries: list[TrustEntry] = []
-    for ctl_entry in entries_seq.children():
-        entry_reader = ctl_entry.reader()
-        sha1 = entry_reader.next("subjectIdentifier").as_octet_string()
-        attr_set = entry_reader.next("attributes")
-        entry_reader.finish()
+    for number, ctl_entry in enumerate(entries_seq.children()):
+        with salvage(lenient, diagnostics, f"authroot subject #{number}"):
+            entry_reader = ctl_entry.reader()
+            sha1 = entry_reader.next("subjectIdentifier").as_octet_string()
+            attr_set = entry_reader.next("attributes")
+            entry_reader.finish()
 
-        der = artifact.certificates.get(sha1.hex())
-        if der is None:
-            raise FormatError(f"STL references undownloadable certificate {sha1.hex()}")
-        if hashlib.sha1(der).digest() != sha1:
-            raise FormatError(f"certificate map hash mismatch for {sha1.hex()}")
-        cert = Certificate.from_der(der)
+            der = artifact.certificates.get(sha1.hex())
+            if der is None:
+                raise FormatError(f"STL references undownloadable certificate {sha1.hex()}")
+            if hashlib.sha1(der).digest() != sha1:
+                raise FormatError(f"certificate map hash mismatch for {sha1.hex()}")
+            cert = Certificate.from_der(der)
 
-        trust: dict[TrustPurpose, TrustLevel] = {}
-        distrust_after: datetime | None = None
-        for attribute in attr_set.children():
-            attr_reader = attribute.reader()
-            attr_oid = attr_reader.next("attribute oid").as_oid()
-            values = attr_reader.next("attribute values")
-            attr_reader.finish()
-            value = values.children()[0].as_octet_string()
-            if attr_oid == MS_EKU_RESTRICTIONS:
-                for eku in decode_der(value).children():
-                    purpose = _EKU_PURPOSES.get(eku.as_oid())
-                    if purpose is not None:
-                        trust[purpose] = TrustLevel.TRUSTED
-            elif attr_oid == MS_DISALLOWED_EKU:
-                for eku in decode_der(value).children():
-                    purpose = _EKU_PURPOSES.get(eku.as_oid())
-                    if purpose is not None:
-                        trust[purpose] = TrustLevel.DISTRUSTED
-            elif attr_oid == MS_NOTBEFORE_FILETIME:
-                distrust_after = decode_filetime(value)
-        entries.append(
-            TrustEntry(certificate=cert, trust=tuple(trust.items()), distrust_after=distrust_after)
-        )
+            trust: dict[TrustPurpose, TrustLevel] = {}
+            distrust_after: datetime | None = None
+            for attribute in attr_set.children():
+                attr_reader = attribute.reader()
+                attr_oid = attr_reader.next("attribute oid").as_oid()
+                values = attr_reader.next("attribute values")
+                attr_reader.finish()
+                value = values.children()[0].as_octet_string()
+                if attr_oid == MS_EKU_RESTRICTIONS:
+                    for eku in decode_der(value).children():
+                        purpose = _EKU_PURPOSES.get(eku.as_oid())
+                        if purpose is not None:
+                            trust[purpose] = TrustLevel.TRUSTED
+                elif attr_oid == MS_DISALLOWED_EKU:
+                    for eku in decode_der(value).children():
+                        purpose = _EKU_PURPOSES.get(eku.as_oid())
+                        if purpose is not None:
+                            trust[purpose] = TrustLevel.DISTRUSTED
+                elif attr_oid == MS_NOTBEFORE_FILETIME:
+                    distrust_after = decode_filetime(value)
+            entries.append(
+                TrustEntry(
+                    certificate=cert, trust=tuple(trust.items()), distrust_after=distrust_after
+                )
+            )
     entries.sort(key=lambda e: e.fingerprint)
     return entries

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
 from repro.errors import FormatError
+from repro.formats.diagnostics import DiagnosticLog, salvage
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -177,8 +178,19 @@ class _RawObject:
         return None
 
 
-def _parse_objects(text: str) -> list[_RawObject]:
-    """Tokenize certdata text into raw PKCS#11 objects."""
+def _parse_objects(
+    text: str,
+    *,
+    lenient: bool = False,
+    log: DiagnosticLog | None = None,
+) -> list[_RawObject]:
+    """Tokenize certdata text into raw PKCS#11 objects.
+
+    In lenient mode, malformed attribute lines and bad octal blobs are
+    dropped (the enclosing object keeps its healthy attributes) and an
+    unterminated MULTILINE_OCTAL ends tokenization with whatever was
+    assembled so far.
+    """
     objects: list[_RawObject] = []
     current: _RawObject | None = None
     lines = text.splitlines()
@@ -199,7 +211,11 @@ def _parse_objects(text: str) -> list[_RawObject]:
             continue
         parts = line.split(None, 2)
         if len(parts) < 2:
-            raise FormatError(f"malformed certdata line: {line!r}")
+            if not lenient:
+                raise FormatError(f"malformed certdata line: {line!r}")
+            if log is not None:
+                log.record(f"certdata line {index}", f"malformed certdata line: {line!r}")
+            continue
         attr, attr_type = parts[0], parts[1]
         if current is None:
             current = _RawObject()
@@ -209,9 +225,19 @@ def _parse_objects(text: str) -> list[_RawObject]:
                 blob_lines.append(lines[index])
                 index += 1
             if index >= len(lines):
-                raise FormatError(f"unterminated MULTILINE_OCTAL for {attr}")
+                if not lenient:
+                    raise FormatError(f"unterminated MULTILINE_OCTAL for {attr}")
+                if log is not None:
+                    log.record(f"certdata {attr}", f"unterminated MULTILINE_OCTAL for {attr}")
+                break
             index += 1  # consume END
-            current.attributes[attr] = ("MULTILINE_OCTAL", _parse_octal(blob_lines))
+            try:
+                current.attributes[attr] = ("MULTILINE_OCTAL", _parse_octal(blob_lines))
+            except FormatError as exc:
+                if not lenient:
+                    raise
+                if log is not None:
+                    log.record(f"certdata {attr}", exc)
         elif attr_type == "UTF8":
             value = parts[2] if len(parts) > 2 else '""'
             current.attributes[attr] = ("UTF8", value.strip('"'))
@@ -223,58 +249,69 @@ def _parse_objects(text: str) -> list[_RawObject]:
     return objects
 
 
-def parse_certdata(text: str) -> list[TrustEntry]:
+def parse_certdata(
+    text: str,
+    *,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> list[TrustEntry]:
     """Parse a ``certdata.txt`` document into trust entries.
 
     Certificates and trust objects are joined on the SHA-1 hash (the
     same join NSS itself performs).  A certificate without a trust
     object is ignored; a trust object without a certificate is an error
     because this library always emits both.
+
+    In lenient mode an individually malformed object (bad DER, missing
+    hash, unknown trust constant, broken distrust timestamp) is skipped
+    and recorded instead of failing the document.
     """
     certificates: dict[bytes, Certificate] = {}
     trust_objects: list[_RawObject] = []
-    for obj in _parse_objects(text):
+    for number, obj in enumerate(_parse_objects(text, lenient=lenient, log=diagnostics)):
         cls = obj.object_class
         if cls == "CKO_CERTIFICATE":
-            der = obj.blob("CKA_VALUE")
-            if der is None:
-                raise FormatError("certificate object without CKA_VALUE")
-            cert = Certificate.from_der(der)
-            certificates[hashlib.sha1(der).digest()] = cert
+            with salvage(lenient, diagnostics, f"certdata certificate object #{number}"):
+                der = obj.blob("CKA_VALUE")
+                if der is None:
+                    raise FormatError("certificate object without CKA_VALUE")
+                cert = Certificate.from_der(der)
+                certificates[hashlib.sha1(der).digest()] = cert
         elif cls == "CKO_NSS_TRUST":
             trust_objects.append(obj)
 
     entries: list[TrustEntry] = []
-    for obj in trust_objects:
-        sha1 = obj.blob("CKA_CERT_SHA1_HASH")
-        if sha1 is None:
-            raise FormatError("trust object without CKA_CERT_SHA1_HASH")
-        cert = certificates.get(sha1)
-        if cert is None:
-            raise FormatError(
-                f"trust object references unknown certificate sha1={sha1.hex()}"
+    for number, obj in enumerate(trust_objects):
+        with salvage(lenient, diagnostics, f"certdata trust object #{number}"):
+            sha1 = obj.blob("CKA_CERT_SHA1_HASH")
+            if sha1 is None:
+                raise FormatError("trust object without CKA_CERT_SHA1_HASH")
+            cert = certificates.get(sha1)
+            if cert is None:
+                raise FormatError(
+                    f"trust object references unknown certificate sha1={sha1.hex()}"
+                )
+            trust: dict[TrustPurpose, TrustLevel] = {}
+            for attr, purpose in _ATTR_PURPOSES.items():
+                entry = obj.attributes.get(attr)
+                if entry is None:
+                    continue
+                constant = str(entry[1])
+                level = _CONSTANT_LEVELS.get(constant)
+                if level is None:
+                    raise FormatError(f"unknown trust constant {constant!r} for {attr}")
+                if level is not TrustLevel.MUST_VERIFY:
+                    trust[purpose] = level
+            distrust_after = None
+            blob = obj.blob("CKA_NSS_SERVER_DISTRUST_AFTER")
+            if blob is not None:
+                distrust_after = _parse_distrust_timestamp(blob)
+            entries.append(
+                TrustEntry(
+                    certificate=cert,
+                    trust=tuple(trust.items()),
+                    distrust_after=distrust_after,
+                )
             )
-        trust: dict[TrustPurpose, TrustLevel] = {}
-        for attr, purpose in _ATTR_PURPOSES.items():
-            entry = obj.attributes.get(attr)
-            if entry is None:
-                continue
-            constant = str(entry[1])
-            level = _CONSTANT_LEVELS.get(constant)
-            if level is None:
-                raise FormatError(f"unknown trust constant {constant!r} for {attr}")
-            if level is not TrustLevel.MUST_VERIFY:
-                trust[purpose] = level
-        distrust_after = None
-        blob = obj.blob("CKA_NSS_SERVER_DISTRUST_AFTER")
-        if blob is not None:
-            distrust_after = _parse_distrust_timestamp(blob)
-        entries.append(
-            TrustEntry(
-                certificate=cert,
-                trust=tuple(trust.items()),
-                distrust_after=distrust_after,
-            )
-        )
     entries.sort(key=lambda e: e.fingerprint)
     return entries

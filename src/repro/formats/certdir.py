@@ -17,6 +17,7 @@ import re
 
 from repro.encoding.pem import encode_pem, split_bundle
 from repro.errors import FormatError
+from repro.formats.diagnostics import DiagnosticLog, salvage
 from repro.store.entry import TrustEntry
 from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -69,21 +70,49 @@ def serialize_cert_dir(entries: list[TrustEntry], *, style: str = "debian") -> d
 
 
 def parse_cert_dir(
-    tree: dict[str, bytes], *, purposes: tuple[TrustPurpose, ...] = BUNDLE_PURPOSES
+    tree: dict[str, bytes],
+    *,
+    purposes: tuple[TrustPurpose, ...] = BUNDLE_PURPOSES,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
 ) -> list[TrustEntry]:
-    """Read every PEM file in the tree; all certs fully trusted for ``purposes``."""
+    """Read every PEM file in the tree; all certs fully trusted for ``purposes``.
+
+    In lenient mode, a file that fails to decode, holds no certificate,
+    or holds unparseable DER is skipped (and recorded) while the rest of
+    the directory is still collected.
+    """
     entries: list[TrustEntry] = []
     for path in sorted(tree):
-        text = tree[path].decode("ascii")
-        ders = split_bundle(text)
-        if not ders:
-            raise FormatError(f"no certificate in {path}")
-        for der in ders:
-            entries.append(
-                TrustEntry.make(
-                    Certificate.from_der(der),
-                    purposes={purpose: TrustLevel.TRUSTED for purpose in purposes},
-                )
+        with salvage(lenient, diagnostics, path):
+            try:
+                text = tree[path].decode("ascii")
+            except UnicodeDecodeError:
+                if not lenient:
+                    raise
+                if diagnostics is not None:
+                    diagnostics.record(path, f"non-ASCII bytes in {path}; decoded with replacement")
+                text = tree[path].decode("ascii", errors="replace")
+            ders = split_bundle(
+                text,
+                lenient=lenient,
+                on_error=lambda message, line_no, path=path: (
+                    diagnostics.record(f"{path}:{line_no}", message)
+                    if diagnostics is not None
+                    else None
+                ),
             )
+            if not ders and not lenient:
+                raise FormatError(f"no certificate in {path}")
+            if not ders and diagnostics is not None:
+                diagnostics.record(path, f"no certificate in {path}")
+            for der in ders:
+                with salvage(lenient, diagnostics, path):
+                    entries.append(
+                        TrustEntry.make(
+                            Certificate.from_der(der),
+                            purposes={purpose: TrustLevel.TRUSTED for purpose in purposes},
+                        )
+                    )
     entries.sort(key=lambda e: e.fingerprint)
     return entries

@@ -1,0 +1,76 @@
+"""Per-entry diagnostics for the codecs' lenient parse mode.
+
+Every format codec accepts ``lenient=False, diagnostics=None`` keyword
+arguments.  In strict mode (the default) a malformed entry aborts the
+whole parse, exactly as before.  In lenient mode individually broken
+entries are *skipped* and a :class:`ParseDiagnostic` is recorded for
+each one, so the caller can salvage the healthy majority of a damaged
+artifact while still accounting for every drop — the graceful
+degradation the collection pipeline's quarantine report builds on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+
+#: Exception types a lenient parse may swallow for one entry.  Anything
+#: else (programming errors, keyboard interrupts) always propagates.
+SALVAGEABLE = (ReproError, UnicodeDecodeError, ValueError)
+
+
+@dataclass(frozen=True)
+class ParseDiagnostic:
+    """One skipped entry: where it was, what was wrong."""
+
+    source: str
+    message: str
+    error_class: str
+
+    def as_dict(self) -> dict[str, str]:
+        return {"source": self.source, "message": self.message, "error_class": self.error_class}
+
+
+@dataclass
+class DiagnosticLog:
+    """Accumulates the diagnostics of one lenient parse."""
+
+    diagnostics: list[ParseDiagnostic] = field(default_factory=list)
+
+    def record(self, source: str, problem: BaseException | str) -> None:
+        if isinstance(problem, BaseException):
+            message = str(problem) or problem.__class__.__name__
+            error_class = problem.__class__.__name__
+        else:
+            message = problem
+            error_class = "ParseDiagnostic"
+        self.diagnostics.append(
+            ParseDiagnostic(source=source, message=message, error_class=error_class)
+        )
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[ParseDiagnostic]:
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def as_dicts(self) -> list[dict[str, str]]:
+        return [d.as_dict() for d in self.diagnostics]
+
+
+@contextmanager
+def salvage(lenient: bool, log: DiagnosticLog | None, source: str):
+    """Skip-and-record one entry's errors when ``lenient``, else re-raise."""
+    try:
+        yield
+    except SALVAGEABLE as exc:
+        if not lenient:
+            raise
+        if log is not None:
+            log.record(source, exc)

@@ -30,6 +30,7 @@ import struct
 from datetime import datetime, timezone
 
 from repro.errors import FormatError
+from repro.formats.diagnostics import SALVAGEABLE, DiagnosticLog
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -85,19 +86,39 @@ def serialize_jks(
     return bytes(body) + digest
 
 
-def parse_jks(data: bytes, *, password: str = DEFAULT_PASSWORD) -> list[TrustEntry]:
+def parse_jks(
+    data: bytes,
+    *,
+    password: str = DEFAULT_PASSWORD,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> list[TrustEntry]:
     """Parse a JKS keystore; verifies the integrity digest.
 
     Every certificate becomes a trust entry trusted for the three
     purposes the Java root program vouches for (TLS server auth, email
     signing, code signing) because JKS cannot say anything finer.
+
+    In lenient mode a digest mismatch is recorded rather than fatal, an
+    entry with unparseable DER is skipped, and a truncated store yields
+    the entries salvaged before the damage.
     """
+
+    def record(source: str, problem) -> None:
+        if diagnostics is not None:
+            diagnostics.record(source, problem)
+
     if len(data) < 32:
-        raise FormatError("JKS file too short")
+        if not lenient:
+            raise FormatError("JKS file too short")
+        record("jks", "JKS file too short")
+        return []
     body, digest = data[:-20], data[-20:]
     expected = hashlib.sha1(_password_bytes(password) + _SALT + body).digest()
     if digest != expected:
-        raise FormatError("JKS integrity digest mismatch (wrong password or corrupt file)")
+        if not lenient:
+            raise FormatError("JKS integrity digest mismatch (wrong password or corrupt file)")
+        record("jks", "JKS integrity digest mismatch (wrong password or corrupt file)")
 
     offset = 0
 
@@ -119,28 +140,48 @@ def parse_jks(data: bytes, *, password: str = DEFAULT_PASSWORD) -> list[TrustEnt
         offset += length
         return text
 
-    magic, version, count = read(">III")
-    if magic != _MAGIC:
-        raise FormatError(f"bad JKS magic 0x{magic:08X}")
-    if version != _VERSION:
-        raise FormatError(f"unsupported JKS version {version}")
+    try:
+        magic, version, count = read(">III")
+        if magic != _MAGIC:
+            raise FormatError(f"bad JKS magic 0x{magic:08X}")
+        if version != _VERSION:
+            raise FormatError(f"unsupported JKS version {version}")
+    except FormatError as exc:
+        if not lenient:
+            raise
+        record("jks header", exc)
+        return []
 
     entries: list[TrustEntry] = []
-    for _ in range(count):
-        tag = read(">I")
-        if tag != _TRUSTED_CERT_TAG:
-            raise FormatError(f"unsupported JKS entry tag {tag} (only trusted certs)")
-        read_utf()  # alias
-        read(">Q")  # creation time
-        cert_type = read_utf()
-        if cert_type != "X.509":
-            raise FormatError(f"unsupported JKS certificate type {cert_type!r}")
-        length = read(">I")
-        if offset + length > len(body):
-            raise FormatError("truncated JKS certificate")
-        der = body[offset : offset + length]
-        offset += length
-        cert = Certificate.from_der(der)
+    for number in range(count):
+        try:
+            tag = read(">I")
+            if tag != _TRUSTED_CERT_TAG:
+                # Unknown entry layout: nothing after this point can be
+                # located reliably, so lenient mode keeps what it has.
+                raise FormatError(f"unsupported JKS entry tag {tag} (only trusted certs)")
+            read_utf()  # alias
+            read(">Q")  # creation time
+            cert_type = read_utf()
+            if cert_type != "X.509":
+                raise FormatError(f"unsupported JKS certificate type {cert_type!r}")
+            length = read(">I")
+            if offset + length > len(body):
+                raise FormatError("truncated JKS certificate")
+            der = body[offset : offset + length]
+            offset += length
+        except FormatError as exc:
+            if not lenient:
+                raise
+            record(f"jks entry #{number}", exc)
+            break
+        try:
+            cert = Certificate.from_der(der)
+        except SALVAGEABLE as exc:
+            if not lenient:
+                raise
+            record(f"jks entry #{number}", exc)
+            continue
         entries.append(
             TrustEntry.make(
                 cert,
@@ -152,6 +193,8 @@ def parse_jks(data: bytes, *, password: str = DEFAULT_PASSWORD) -> list[TrustEnt
             )
         )
     if offset != len(body):
-        raise FormatError(f"{len(body) - offset} trailing bytes in JKS body")
+        if not lenient:
+            raise FormatError(f"{len(body) - offset} trailing bytes in JKS body")
+        record("jks", f"{len(body) - offset} trailing bytes in JKS body")
     entries.sort(key=lambda e: e.fingerprint)
     return entries

@@ -10,6 +10,7 @@ therefore assigns trust for the conventional bundle purposes.
 from __future__ import annotations
 
 from repro.encoding.pem import encode_pem, split_bundle
+from repro.formats.diagnostics import DiagnosticLog, salvage
 from repro.store.entry import TrustEntry
 from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -34,15 +35,30 @@ def serialize_pem_bundle(
 
 
 def parse_pem_bundle(
-    text: str, *, purposes: tuple[TrustPurpose, ...] = BUNDLE_PURPOSES
+    text: str,
+    *,
+    purposes: tuple[TrustPurpose, ...] = BUNDLE_PURPOSES,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
 ) -> list[TrustEntry]:
-    """Parse a PEM bundle; every certificate is fully trusted for ``purposes``."""
-    entries = [
-        TrustEntry.make(
-            Certificate.from_der(der),
-            purposes={purpose: TrustLevel.TRUSTED for purpose in purposes},
-        )
-        for der in split_bundle(text)
-    ]
+    """Parse a PEM bundle; every certificate is fully trusted for ``purposes``.
+
+    In lenient mode, malformed PEM armor and unparseable certificates
+    are skipped individually (recorded in ``diagnostics``) instead of
+    aborting the whole bundle.
+    """
+    def armor_error(message: str, line_no: int) -> None:
+        if diagnostics is not None:
+            diagnostics.record(f"bundle line {line_no}", message)
+
+    entries: list[TrustEntry] = []
+    for index, der in enumerate(split_bundle(text, lenient=lenient, on_error=armor_error)):
+        with salvage(lenient, diagnostics, f"bundle certificate #{index}"):
+            entries.append(
+                TrustEntry.make(
+                    Certificate.from_der(der),
+                    purposes={purpose: TrustLevel.TRUSTED for purpose in purposes},
+                )
+            )
     entries.sort(key=lambda e: e.fingerprint)
     return entries

@@ -46,6 +46,14 @@ class StoreHistory:
         self._require_nonempty()
         return self.snapshots[-1].taken_at
 
+    def contains_version(self, version: str, taken_at: date) -> bool:
+        """Whether a snapshot with this exact version and date is present.
+
+        Lenient collection uses this to quarantine duplicate origin tags
+        instead of silently double-adding them.
+        """
+        return any(s.version == version and s.taken_at == taken_at for s in self.snapshots)
+
     def at(self, when: date) -> RootStoreSnapshot | None:
         """The snapshot in force at ``when`` (latest taken on or before)."""
         current = None

@@ -124,3 +124,33 @@ class TestPublishScrape:
         assert main(["scrape", "java", str(tmp_path)]) == 0
         scraped = capsys.readouterr().out
         assert scraped.count("java@") == 2
+
+
+class TestCollect:
+    def test_collect_strict_default(self, capsys):
+        assert main(["collect", "--providers", "alpine"]) == 0
+        out = capsys.readouterr().out
+        assert "Collection report" in out
+        assert "strict mode" in out
+        assert "(0 salvaged, 0 quarantined)" in out
+
+    def test_collect_lenient_with_faults_writes_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main([
+            "collect", "--lenient", "--providers", "alpine", "amazonlinux",
+            "--fault-rate", "0.3", "--fault-seed", "cli-test",
+            "--report", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lenient mode" in out
+        assert f"report written to {report_path}" in out
+        parsed = json.loads(report_path.read_text())
+        assert set(parsed) == {"counts", "skipped_entries", "records"}
+        assert {r["provider"] for r in parsed["records"]} == {"alpine", "amazonlinux"}
+        assert sum(parsed["counts"].values()) == len(parsed["records"])
+
+    def test_collect_strict_and_lenient_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["collect", "--strict", "--lenient"])

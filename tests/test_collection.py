@@ -130,3 +130,41 @@ class TestDiskIO:
         tree = {"a/b/c.txt": b"deep"}
         write_tree(tree, tmp_path)
         assert (tmp_path / "a/b/c.txt").read_bytes() == b"deep"
+
+
+class TestOriginRegressions:
+    """Regression coverage for origin-level failure modes."""
+
+    def test_update_feed_duplicate_tag_rejected(self):
+        feed = UpdateFeed(name="authroot")
+        feed.publish("2020-01", date(2020, 1, 1), {"a": b"1"})
+        with pytest.raises(CollectionError, match="duplicate update tag"):
+            feed.publish("2020-01", date(2020, 2, 1), {"b": b"2"})
+        assert len(feed) == 1
+
+    def test_pem_bundle_non_ascii_wrapped_with_context(self, dataset):
+        """Non-ASCII bytes in a PEM bundle must surface as a
+        CollectionError carrying provider context, not a bare
+        UnicodeDecodeError."""
+        from repro.collection.scrape import extract_entries
+
+        tree = snapshot_tree(dataset["alpine"].latest())
+        path = ARTIFACT_PATHS["alpine"]
+        tree[path] = b"\xff\xfe garbage" + tree[path]
+        with pytest.raises(CollectionError, match="not valid ascii") as excinfo:
+            extract_entries("alpine", tree)
+        assert excinfo.value.provider == "alpine"
+        assert not isinstance(excinfo.value, UnicodeDecodeError)
+
+    def test_pem_bundle_non_ascii_salvaged_in_lenient(self, dataset):
+        from repro.collection.scrape import extract_entries
+        from repro.formats import DiagnosticLog
+
+        snapshot = dataset["alpine"].latest()
+        tree = snapshot_tree(snapshot)
+        path = ARTIFACT_PATHS["alpine"]
+        tree[path] = b"\xff\xfe garbage\n" + tree[path]
+        log = DiagnosticLog()
+        entries = extract_entries("alpine", tree, lenient=True, diagnostics=log)
+        assert len(entries) == len(snapshot)
+        assert any("ascii" in d.message for d in log)

@@ -1,0 +1,357 @@
+"""Fault-tolerant collection: fault injection, retry/backoff, quarantine,
+and lenient parsing."""
+
+from datetime import date
+
+import pytest
+
+from repro.collection import (
+    CollectionReport,
+    CorruptedDER,
+    FaultPlan,
+    FlakyOrigin,
+    MissingArtifact,
+    RetryPolicy,
+    SimulatedClock,
+    SlowOrigin,
+    TruncatedArtifact,
+    call_with_retry,
+    publish_history,
+    scrape_history,
+)
+from repro.errors import CollectionError, TransientCollectionError
+from repro.formats import DiagnosticLog, parse_certdata, parse_jks, parse_pem_bundle, serialize_certdata, serialize_jks, serialize_pem_bundle
+from repro.store import StoreHistory, TrustEntry, TrustLevel
+from repro.store.history import Dataset
+from repro.store.purposes import BUNDLE_PURPOSES
+
+ALL_PROVIDERS = (
+    "nss", "microsoft", "apple", "java", "nodejs",
+    "alpine", "amazonlinux", "debian", "ubuntu", "android",
+)
+
+PERMANENT_FAULTS = (TruncatedArtifact(), CorruptedDER(), MissingArtifact())
+ALL_FAULTS = PERMANENT_FAULTS + (FlakyOrigin(failures=2), SlowOrigin(delay=0.5))
+
+
+def _sub_history(dataset, provider, count=2):
+    history = StoreHistory(provider)
+    for snapshot in dataset[provider].snapshots[-count:]:
+        history.add(snapshot)
+    return history
+
+
+def _everywhere(fault, seed="matrix"):
+    """A plan injecting ``fault`` into every tag."""
+    return FaultPlan(seed=seed, rate=1.0, faults=(fault,))
+
+
+class TestRetryPolicy:
+    def test_deterministic_backoff(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.5, seed="s")
+        first = [policy.delay("k", n) for n in (1, 2, 3)]
+        second = [policy.delay("k", n) for n in (1, 2, 3)]
+        assert first == second
+        # exponential growth, capped jitter
+        assert 0.1 <= first[0] <= 0.15
+        assert 0.2 <= first[1] <= 0.3
+        assert first != [policy.delay("other", n) for n in (1, 2, 3)]
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.0, jitter=0.0)
+        assert policy.delay("k", 5) == 2.0
+
+    def test_transient_retried_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientCollectionError("blip")
+            return "done"
+
+        clock = SimulatedClock()
+        outcome = call_with_retry(
+            flaky, policy=RetryPolicy(max_attempts=5), key="k", sleep=clock.sleep
+        )
+        assert outcome.value == "done"
+        assert outcome.attempts == 3
+        assert len(clock.sleeps) == 2
+        assert outcome.waited == pytest.approx(sum(clock.sleeps))
+        assert len(outcome.transient_errors) == 2
+
+    def test_transient_exhaustion_reraises(self):
+        def doomed():
+            raise TransientCollectionError("always down")
+
+        with pytest.raises(TransientCollectionError) as excinfo:
+            call_with_retry(doomed, policy=RetryPolicy(max_attempts=3))
+        assert excinfo.value.attempts == 3
+
+    def test_permanent_not_retried(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise CollectionError("permanently broken")
+
+        with pytest.raises(CollectionError):
+            call_with_retry(broken, policy=RetryPolicy(max_attempts=5))
+        assert len(attempts) == 1
+
+    def test_min_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestFaultPlan:
+    def test_deterministic(self):
+        plan_a = FaultPlan(seed="x", rate=0.5)
+        plan_b = FaultPlan(seed="x", rate=0.5)
+        picks_a = [plan_a.fault_for("nss", f"v{i}") for i in range(50)]
+        picks_b = [plan_b.fault_for("nss", f"v{i}") for i in range(50)]
+        assert picks_a == picks_b
+        assert any(p is not None for p in picks_a)
+        assert any(p is None for p in picks_a)
+
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed="x", rate=0.0)
+        assert all(plan.fault_for("nss", f"v{i}") is None for i in range(20))
+
+    def test_planned_enumerates_injections(self, dataset):
+        origin = publish_history(_sub_history(dataset, "nss", count=4))
+        plan = _everywhere(MissingArtifact())
+        injections = plan.planned(origin, "nss")
+        assert len(injections) == 4
+        assert {i.fault for i in injections} == {"missing-artifact"}
+        assert not any(i.transient for i in injections)
+        assert all(i.transient for i in _everywhere(FlakyOrigin()).planned(origin, "nss"))
+
+    def test_slow_origin_advances_clock(self, dataset):
+        plan = _everywhere(SlowOrigin(delay=0.5))
+        origin = plan.instrument(publish_history(_sub_history(dataset, "alpine")), "alpine")
+        history = scrape_history("alpine", origin)
+        assert len(history) == 2
+        assert plan.clock.now == pytest.approx(1.0)
+
+
+class TestFaultMatrix:
+    """Every provider x every fault model through scrape_history(strict=False)."""
+
+    @pytest.mark.parametrize("provider", ALL_PROVIDERS)
+    @pytest.mark.parametrize("fault", ALL_FAULTS, ids=lambda f: f.name)
+    def test_lenient_always_completes(self, dataset, provider, fault):
+        plan = _everywhere(fault)
+        origin = plan.instrument(publish_history(_sub_history(dataset, provider)), provider)
+        report = CollectionReport()
+        policy = RetryPolicy(max_attempts=4)
+        history = scrape_history(provider, origin, strict=False, retry=policy, report=report)
+
+        # Every tag is accounted for — no silent drops.
+        assert len(report) == len(origin) == 2
+        assert all(r.fault == fault.name for r in report)
+        assert all(r.status in ("ok", "salvaged", "quarantined") for r in report)
+        assert len(history) + len(report.quarantined()) == len(origin)
+
+        if isinstance(fault, MissingArtifact):
+            assert len(report.quarantined(provider)) == 2
+            assert all(r.error_class == "CollectionError" for r in report)
+        if isinstance(fault, FlakyOrigin):
+            # transient faults are recovered by retry, attempts recorded
+            assert len(history) == 2
+            assert all(r.status == "ok" and r.attempts == 3 for r in report)
+        if isinstance(fault, SlowOrigin):
+            assert len(history) == 2
+            assert all(r.status == "ok" and r.attempts == 1 for r in report)
+
+    @pytest.mark.parametrize("provider", ALL_PROVIDERS)
+    @pytest.mark.parametrize("fault", PERMANENT_FAULTS, ids=lambda f: f.name)
+    def test_strict_still_fails_fast(self, dataset, provider, fault):
+        plan = _everywhere(fault)
+        origin = plan.instrument(publish_history(_sub_history(dataset, provider)), provider)
+        with pytest.raises((CollectionError, Exception)) as excinfo:
+            scrape_history(provider, origin, strict=True)
+        # strict mode must not quarantine: the error propagates
+        assert excinfo.value is not None
+
+    def test_strict_recovers_transient_via_retry(self, dataset):
+        plan = _everywhere(FlakyOrigin(failures=2))
+        origin = plan.instrument(publish_history(_sub_history(dataset, "nss")), "nss")
+        history = scrape_history("nss", origin, strict=True, retry=RetryPolicy(max_attempts=4))
+        assert len(history) == 2
+
+    def test_retry_exhaustion_quarantines(self, dataset):
+        plan = _everywhere(FlakyOrigin(failures=99))
+        origin = plan.instrument(publish_history(_sub_history(dataset, "alpine")), "alpine")
+        report = CollectionReport()
+        history = scrape_history(
+            "alpine", origin, strict=False, retry=RetryPolicy(max_attempts=2), report=report
+        )
+        assert len(history) == 0
+        quarantined = report.quarantined("alpine")
+        assert len(quarantined) == 2
+        assert all(r.error_class == "TransientCollectionError" for r in quarantined)
+        assert all(r.attempts == 2 for r in quarantined)
+
+    def test_retry_exhaustion_raises_in_strict(self, dataset):
+        plan = _everywhere(FlakyOrigin(failures=99))
+        origin = plan.instrument(publish_history(_sub_history(dataset, "alpine")), "alpine")
+        with pytest.raises(TransientCollectionError):
+            scrape_history("alpine", origin, strict=True, retry=RetryPolicy(max_attempts=2))
+
+    def test_salvage_keeps_healthy_entries(self, dataset):
+        """Corruption of one file of a cert-dir tree drops only that entry."""
+        plan = _everywhere(CorruptedDER(), seed="salvage")
+        origin = plan.instrument(publish_history(_sub_history(dataset, "debian")), "debian")
+        report = CollectionReport()
+        history = scrape_history("debian", origin, strict=False, report=report)
+        assert len(history) == 2
+        for record in report.salvaged("debian"):
+            assert record.skipped_entries >= 1
+            assert record.entries >= 1
+            assert record.diagnostics  # per-entry provenance recorded
+
+
+class TestSeededEndToEnd:
+    """The acceptance scenario: a seeded plan across all ten providers,
+    lenient collection completes, the report accounts for every injected
+    fault, and the collected dataset still drives the analyses."""
+
+    @pytest.fixture(scope="class")
+    def collected(self, dataset):
+        plan = FaultPlan(seed="acceptance", rate=0.3)
+        report = CollectionReport()
+        injections = []
+        collected = Dataset()
+        for provider in ALL_PROVIDERS:
+            origin = plan.instrument(
+                publish_history(_sub_history(dataset, provider, count=5)), provider
+            )
+            injections.extend(origin.planned_faults())
+            collected.add_history(
+                scrape_history(
+                    provider, origin, strict=False,
+                    retry=RetryPolicy(max_attempts=4), report=report,
+                )
+            )
+        return collected, report, injections
+
+    def test_every_provider_completes(self, collected):
+        dataset_, report, _ = collected
+        assert sorted(dataset_.providers) == sorted(ALL_PROVIDERS)
+        assert len(report) == sum(
+            1 for r in report
+        ) == 10 * 5  # every tag of every provider accounted for
+
+    def test_faults_were_injected(self, collected):
+        _, _, injections = collected
+        assert injections, "seeded plan injected nothing — rate/seed broken"
+        assert {i.fault for i in injections} >= {"flaky-origin"} or len(injections) > 3
+
+    def test_report_accounts_for_every_injected_fault(self, collected):
+        _, report, injections = collected
+        for injected in injections:
+            record = report.record_for(injected.origin, injected.tag)
+            assert record is not None, f"no record for injected fault {injected}"
+            assert record.fault == injected.fault
+            if injected.transient:
+                assert record.attempts > 1 or record.status == "quarantined"
+            else:
+                assert record.status in ("ok", "salvaged", "quarantined")
+
+    def test_transients_recovered_by_retry(self, collected):
+        _, report, injections = collected
+        transients = [i for i in injections if i.transient]
+        if not transients:
+            pytest.skip("seed injected no transient faults")
+        for injected in transients:
+            record = report.record_for(injected.origin, injected.tag)
+            assert record.status == "ok"
+            assert record.attempts == 3  # FlakyOrigin default: 2 doomed fetches
+
+    def test_determinism(self, dataset, collected):
+        _, report, _ = collected
+        plan = FaultPlan(seed="acceptance", rate=0.3)
+        rerun = CollectionReport()
+        for provider in ALL_PROVIDERS:
+            origin = plan.instrument(
+                publish_history(_sub_history(dataset, provider, count=5)), provider
+            )
+            scrape_history(
+                provider, origin, strict=False,
+                retry=RetryPolicy(max_attempts=4), report=rerun,
+            )
+        assert rerun.to_json() == report.to_json()
+
+    def test_collected_dataset_drives_analyses(self, collected):
+        from repro.analysis import collect_snapshots, distance_matrix, kruskal_stress, smacof
+
+        dataset_, _, _ = collected
+        rows = dataset_.summary_rows()  # Table 2
+        assert len(rows) == 10
+        assert all(row["snapshots"] >= 1 for row in rows)
+        labelled = distance_matrix(collect_snapshots(dataset_, since=date(2000, 1, 1)))
+        assert len(labelled.labels) >= 10
+        result = smacof(labelled.matrix, dims=2)
+        assert kruskal_stress(labelled.matrix, result.embedding) < 0.4
+
+    def test_report_json_schema(self, collected, tmp_path):
+        import json
+
+        _, report, _ = collected
+        parsed = json.loads(report.to_json())
+        assert set(parsed) == {"counts", "skipped_entries", "records"}
+        record = parsed["records"][0]
+        for key in ("provider", "tag", "status", "attempts", "entries",
+                    "skipped_entries", "error", "error_class", "fault",
+                    "waited", "diagnostics"):
+            assert key in record
+
+
+class TestLenientCodecs:
+    def test_pem_bundle_salvages_around_garbage(self, sample_certs):
+        entries = [
+            TrustEntry.make(c, {p: TrustLevel.TRUSTED for p in BUNDLE_PURPOSES})
+            for c in sample_certs
+        ]
+        text = serialize_pem_bundle(entries)
+        # wreck the middle certificate's base64
+        lines = text.splitlines()
+        target = [i for i, line in enumerate(lines) if line and not line.startswith(("#", "-"))]
+        lines[target[len(target) // 2]] = "!!!! not base64 !!!!"
+        damaged = "\n".join(lines)
+        with pytest.raises(Exception):
+            parse_pem_bundle(damaged)
+        log = DiagnosticLog()
+        salvaged = parse_pem_bundle(damaged, lenient=True, diagnostics=log)
+        assert len(salvaged) == len(entries) - 1
+        assert log
+
+    def test_certdata_salvages_around_bad_object(self, sample_certs):
+        entries = [
+            TrustEntry.make(c, {p: TrustLevel.TRUSTED for p in BUNDLE_PURPOSES})
+            for c in sample_certs
+        ]
+        text = serialize_certdata(entries)
+        # corrupt one octal blob so one certificate object fails to parse
+        damaged = text.replace("\\060\\202", "\\999\\999", 1)
+        with pytest.raises(Exception):
+            parse_certdata(damaged)
+        log = DiagnosticLog()
+        salvaged = parse_certdata(damaged, lenient=True, diagnostics=log)
+        assert len(salvaged) < len(entries)
+        assert log
+
+    def test_jks_salvages_truncated_store(self, sample_certs):
+        entries = [
+            TrustEntry.make(c, {p: TrustLevel.TRUSTED for p in BUNDLE_PURPOSES})
+            for c in sample_certs
+        ]
+        data = serialize_jks(entries)
+        truncated = data[: int(len(data) * 0.6)]
+        with pytest.raises(Exception):
+            parse_jks(truncated)
+        log = DiagnosticLog()
+        salvaged = parse_jks(truncated, lenient=True, diagnostics=log)
+        assert 0 < len(salvaged) < len(entries)
+        assert any("digest" in d.message for d in log)
