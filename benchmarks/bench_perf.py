@@ -1,0 +1,57 @@
+"""Perf-regression harness — the full-size run behind ``repro-roots bench``.
+
+Runs :func:`repro.bench.run_perf_suite` on the complete seeded corpus
+and enforces the speedup floors the optimization work claims:
+
+- vectorized distance matrix ≥ 10x over the naive per-pair loop,
+- interned certificate parsing ≥ 2x over parsing every occurrence,
+- ``workers=4`` scraping ≥ 1.5x over serial against a latent origin
+  (the network-bound shape real collection has; the in-memory numbers
+  are recorded but not gated — under the GIL threads cannot speed up
+  pure-CPU parsing).
+
+Correctness gates (exact naive/vectorized agreement, byte-identical
+serial/parallel output) are enforced unconditionally.  The resulting
+``BENCH_ordination.json`` is the committed perf record; regenerate it
+with ``repro-roots bench`` after perf-relevant changes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench import is_smoke_mode, run_perf_suite
+
+
+def test_perf_suite(benchmark, dataset, capsys, tmp_path):
+    output = tmp_path / "BENCH_ordination.json"
+    suite = benchmark.pedantic(
+        run_perf_suite,
+        args=(dataset,),
+        kwargs={"workers": 4, "output": output},
+        rounds=1,
+        iterations=1,
+    )
+    results = suite.results
+
+    emit(capsys, "\n".join(suite.summary_lines()))
+
+    # Correctness gates hold in every mode.
+    assert results["distance"]["max_abs_diff"] <= 1e-12
+    assert results["scrape"]["identical"] is True
+    assert output.exists()
+
+    if is_smoke_mode():
+        return  # tiny inputs: timing ratios are noise, stop at correctness
+
+    assert results["distance"]["speedup"] >= 10.0, (
+        "vectorized distance matrix lost its >=10x margin: "
+        f"{results['distance']['speedup']:.1f}x"
+    )
+    assert results["intern"]["speedup"] >= 2.0, (
+        "certificate intern pool lost its >=2x margin: "
+        f"{results['intern']['speedup']:.1f}x"
+    )
+    assert results["scrape"]["latent_speedup"] >= 1.5, (
+        "parallel scraping lost its >=1.5x margin against a latent origin: "
+        f"{results['scrape']['latent_speedup']:.2f}x"
+    )

@@ -40,6 +40,13 @@ from repro.analysis.families import (
     provider_distance_matrix,
 )
 from repro.analysis.hygiene import HygieneRow, hygiene_report, hygiene_row, rank_by_hygiene
+from repro.analysis.incidence import (
+    IncidenceMatrix,
+    build_incidence,
+    intersection_counts,
+    jaccard_distances,
+    overlap_distances,
+)
 from repro.analysis.jaccard import (
     LabelledMatrix,
     collect_snapshots,
@@ -117,6 +124,7 @@ __all__ = [
     "ExclusiveRoot",
     "FamilyAssignment",
     "HygieneRow",
+    "IncidenceMatrix",
     "InferredConstraints",
     "IssuanceProfile",
     "LabelledMatrix",
@@ -139,6 +147,7 @@ __all__ = [
     "agility_report",
     "attack_surface",
     "build_ecosystem_graph",
+    "build_incidence",
     "chart",
     "conflation_timeline",
     "constraints_extension",
@@ -156,8 +165,10 @@ __all__ = [
     "hygiene_report",
     "hygiene_row",
     "infer_constraints",
+    "intersection_counts",
     "issuance_profile",
     "jaccard_distance",
+    "jaccard_distances",
     "kruskal_stress",
     "lineage_accuracy",
     "match_history",
@@ -175,6 +186,7 @@ __all__ = [
     "sharing_distribution",
     "sharing_timeline",
     "overlap_distance",
+    "overlap_distances",
     "provider_distance_matrix",
     "provider_reachability",
     "pyramid_stats",

@@ -45,27 +45,32 @@ def provider_distance_matrix(labelled: LabelledMatrix) -> ProviderMatrix:
     """
     providers = sorted(set(labelled.providers))
     index_by_provider: dict[str, list[int]] = {p: [] for p in providers}
-    dates: list[date] = []
+    ordinals: list[int] = []
     for index, (provider, taken_at, _) in enumerate(labelled.labels):
         index_by_provider[provider].append(index)
-        dates.append(taken_at)
+        ordinals.append(taken_at.toordinal())
+
+    # Per-provider snapshot index / date-ordinal vectors, so the
+    # nearest-in-time alignment below is one argmin over a day-offset
+    # matrix per provider pair instead of a Python min() per snapshot.
+    indices = {p: np.asarray(ix, dtype=np.intp) for p, ix in index_by_provider.items()}
+    days = np.asarray(ordinals, dtype=np.int64)
 
     n = len(providers)
-    matrix = np.zeros((n, n))
+    matrix = np.zeros((n, n), dtype=np.float64)
     for i, a in enumerate(providers):
         for j in range(i + 1, n):
             b = providers[j]
-            samples: list[float] = []
+            samples: list[np.ndarray] = []
             for source, target in ((a, b), (b, a)):
-                target_indices = index_by_provider[target]
-                target_dates = [dates[t] for t in target_indices]
-                for s in index_by_provider[source]:
-                    nearest = min(
-                        range(len(target_indices)),
-                        key=lambda k: abs((target_dates[k] - dates[s]).days),
-                    )
-                    samples.append(labelled.matrix[s, target_indices[nearest]])
-            d = float(np.median(samples))
+                source_ix = indices[source]
+                target_ix = indices[target]
+                # argmin ties resolve to the first (lowest) target index,
+                # matching the original min()-over-range tie-breaking.
+                offsets = np.abs(days[source_ix][:, None] - days[target_ix][None, :])
+                nearest = target_ix[offsets.argmin(axis=1)]
+                samples.append(labelled.matrix[source_ix, nearest])
+            d = float(np.median(np.concatenate(samples)))
             matrix[i, j] = d
             matrix[j, i] = d
     return ProviderMatrix(providers=tuple(providers), matrix=matrix)

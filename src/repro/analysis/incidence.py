@@ -1,0 +1,131 @@
+"""The fingerprint incidence matrix — the vectorized analysis substrate.
+
+The ordination (Section 4) needs every pairwise set comparison between
+snapshot fingerprint sets.  Doing that per pair is O(n² · |store|) in
+pure Python; at the paper's 619 snapshots it is already the dominant
+cost, and at CT-log scale (Korzhitskii & Carlsson) it is intractable.
+
+This module maps the snapshot list onto a single boolean *incidence
+matrix* ``M`` of shape (snapshots × fingerprint-universe): ``M[i, k]``
+is true when snapshot ``i`` contains fingerprint ``k``.  Every pairwise
+statistic then falls out of one matrix product:
+
+- intersections: ``M @ M.T`` (exact — counts are small integers, and
+  float64 represents them and their quotients identically to Python's
+  int/int division),
+- set sizes: the diagonal of that product,
+- unions: inclusion–exclusion, ``|A| + |B| − |A ∩ B|``.
+
+:func:`jaccard_distances` and :func:`overlap_distances` reproduce the
+per-pair formulas of :mod:`repro.analysis.jaccard` element-for-element
+(including the empty-set conventions), which the equivalence tests
+assert to 1e-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.store.purposes import TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass(frozen=True)
+class IncidenceMatrix:
+    """Snapshots × fingerprint-universe boolean membership matrix.
+
+    Attributes:
+        labels: (provider, taken_at, version) per row, in input order.
+        fingerprints: the sorted fingerprint universe, one per column.
+        matrix: boolean (len(labels), len(fingerprints)) array.
+    """
+
+    labels: tuple[tuple[str, date, str], ...]
+    fingerprints: tuple[str, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self):
+        expected = (len(self.labels), len(self.fingerprints))
+        if self.matrix.shape != expected:
+            raise AnalysisError(
+                f"incidence shape {self.matrix.shape} does not match {expected}"
+            )
+
+    @property
+    def set_sizes(self) -> np.ndarray:
+        """Per-snapshot fingerprint-set cardinality (int64 vector)."""
+        return self.matrix.sum(axis=1)
+
+    def row_set(self, index: int) -> frozenset[str]:
+        """The fingerprint set of one snapshot, reconstructed from the row."""
+        columns = np.flatnonzero(self.matrix[index])
+        return frozenset(self.fingerprints[k] for k in columns)
+
+
+def build_incidence(
+    snapshots: list[RootStoreSnapshot],
+    *,
+    purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+) -> IncidenceMatrix:
+    """Build the incidence matrix over ``snapshots``' fingerprint sets.
+
+    The fingerprint universe is the sorted union across all snapshots,
+    so column order is deterministic regardless of snapshot order.
+    """
+    if not snapshots:
+        raise AnalysisError("no snapshots to index")
+    sets = [s.fingerprints(purpose) for s in snapshots]
+    universe = sorted(frozenset().union(*sets))
+    column = {fingerprint: k for k, fingerprint in enumerate(universe)}
+    matrix = np.zeros((len(sets), len(universe)), dtype=bool)
+    for row, fingerprints in enumerate(sets):
+        if fingerprints:
+            matrix[row, [column[f] for f in fingerprints]] = True
+    labels = tuple((s.provider, s.taken_at, s.version) for s in snapshots)
+    return IncidenceMatrix(labels=labels, fingerprints=tuple(universe), matrix=matrix)
+
+
+def intersection_counts(incidence: IncidenceMatrix) -> np.ndarray:
+    """|A ∩ B| for every snapshot pair, as an exact float64 matrix."""
+    m = incidence.matrix.astype(np.float64)
+    return m @ m.T
+
+
+def jaccard_distances(incidence: IncidenceMatrix) -> np.ndarray:
+    """The full Jaccard distance matrix, 1 − |A∩B| / |A∪B|.
+
+    Two empty sets are at distance 0.0, matching
+    :func:`repro.analysis.jaccard.jaccard_distance`.
+    """
+    intersections = intersection_counts(incidence)
+    sizes = intersections.diagonal().copy()
+    unions = sizes[:, None] + sizes[None, :] - intersections
+    safe = np.where(unions > 0.0, unions, 1.0)
+    distances = np.where(unions > 0.0, 1.0 - intersections / safe, 0.0)
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def overlap_distances(incidence: IncidenceMatrix) -> np.ndarray:
+    """The overlap-coefficient distance matrix, 1 − |A∩B| / min(|A|,|B|).
+
+    When the smaller set is empty the distance is 0.0 for two empty
+    sets and 1.0 otherwise, matching
+    :func:`repro.analysis.jaccard.overlap_distance`.
+    """
+    intersections = intersection_counts(incidence)
+    sizes = intersections.diagonal().copy()
+    smaller = np.minimum(sizes[:, None], sizes[None, :])
+    both_empty = (sizes[:, None] == 0.0) & (sizes[None, :] == 0.0)
+    safe = np.where(smaller > 0.0, smaller, 1.0)
+    distances = np.where(
+        smaller > 0.0,
+        1.0 - intersections / safe,
+        np.where(both_empty, 0.0, 1.0),
+    )
+    np.fill_diagonal(distances, 0.0)
+    return distances

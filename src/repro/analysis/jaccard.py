@@ -4,6 +4,14 @@ The ordination pipeline flattens every provider's snapshots into one
 labelled list and computes the condensed pairwise distance matrix over
 their TLS-trusted fingerprint sets.  An alternative overlap-coefficient
 distance is provided for the ablation benchmark.
+
+The matrix is computed through the shared incidence substrate
+(:mod:`repro.analysis.incidence`): one boolean snapshots × fingerprints
+matrix, one matrix product, inclusion–exclusion unions.  The historical
+per-pair set arithmetic survives behind the ``"jaccard-naive"`` /
+``"overlap-naive"`` metrics as the equivalence oracle — both paths
+produce element-wise identical float64 matrices because every count
+involved is a small exact integer.
 """
 
 from __future__ import annotations
@@ -13,6 +21,11 @@ from datetime import date
 
 import numpy as np
 
+from repro.analysis.incidence import (
+    build_incidence,
+    jaccard_distances,
+    overlap_distances,
+)
 from repro.errors import AnalysisError
 from repro.store.history import Dataset
 from repro.store.purposes import TrustPurpose
@@ -75,29 +88,68 @@ def collect_snapshots(
     return result
 
 
+#: metric name -> per-pair distance function (the naive oracle path).
+_PAIRWISE = {"jaccard": jaccard_distance, "overlap": overlap_distance}
+#: metric name -> incidence-matrix distance function (the fast path).
+_VECTORIZED = {"jaccard": jaccard_distances, "overlap": overlap_distances}
+
+
+def _require_purpose_support(
+    snapshots: list[RootStoreSnapshot], purpose: TrustPurpose | None
+) -> None:
+    """Reject snapshots that cannot express the requested purpose.
+
+    A non-empty snapshot whose entries carry no statement at all for
+    ``purpose`` would contribute an empty fingerprint set and sit at
+    distance 1.0 from everything — a silent artifact of the purpose
+    vocabulary, not a measurement.  Name the offender instead.
+    """
+    if purpose is None:
+        return
+    for snapshot in snapshots:
+        if len(snapshot) == 0:
+            continue
+        if not any(e.level_for(purpose) is not None for e in snapshot):
+            raise AnalysisError(
+                f"snapshot {snapshot.provider}@{snapshot.version} "
+                f"({snapshot.taken_at:%Y-%m-%d}) has no trust statement for "
+                f"{purpose}; its empty fingerprint set would poison the "
+                f"distance matrix"
+            )
+
+
 def distance_matrix(
     snapshots: list[RootStoreSnapshot],
     *,
     purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
     metric: str = "jaccard",
 ) -> LabelledMatrix:
-    """Pairwise distances between snapshot fingerprint sets."""
+    """Pairwise distances between snapshot fingerprint sets.
+
+    ``metric`` is ``"jaccard"`` or ``"overlap"`` (vectorized via the
+    incidence matrix), or ``"jaccard-naive"`` / ``"overlap-naive"`` for
+    the original per-pair loop kept as the equivalence oracle.
+    """
     if not snapshots:
         raise AnalysisError("no snapshots to compare")
-    if metric == "jaccard":
-        fn = jaccard_distance
-    elif metric == "overlap":
-        fn = overlap_distance
-    else:
+    base = metric.removesuffix("-naive")
+    if base not in _PAIRWISE:
         raise AnalysisError(f"unknown metric {metric!r}")
-
-    sets = [s.fingerprints(purpose) for s in snapshots]
-    n = len(sets)
-    matrix = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = fn(sets[i], sets[j])
-            matrix[i, j] = d
-            matrix[j, i] = d
+    _require_purpose_support(snapshots, purpose)
     labels = tuple((s.provider, s.taken_at, s.version) for s in snapshots)
+
+    if metric.endswith("-naive"):
+        fn = _PAIRWISE[base]
+        sets = [s.fingerprints(purpose) for s in snapshots]
+        n = len(sets)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = fn(sets[i], sets[j])
+                matrix[i, j] = d
+                matrix[j, i] = d
+        return LabelledMatrix(labels=labels, matrix=matrix)
+
+    incidence = build_incidence(snapshots, purpose=purpose)
+    matrix = _VECTORIZED[base](incidence)
     return LabelledMatrix(labels=labels, matrix=matrix)

@@ -33,9 +33,23 @@ class MDSResult:
 
 
 def _pairwise_distances(points: np.ndarray) -> np.ndarray:
-    """Euclidean distance matrix of an (n, d) point set."""
-    diff = points[:, None, :] - points[None, :, :]
-    return np.sqrt((diff**2).sum(axis=2))
+    """Euclidean distance matrix of an (n, d) point set.
+
+    Uses the Gram formulation ``||x−y||² = x·x + y·y − 2 x·y`` so peak
+    memory is one (n, n) matrix instead of the (n, n, d) broadcast
+    tensor the naive ``x[:,None,:] − x[None,:,:]`` form materializes —
+    SMACOF calls this every iteration, so at n=619 snapshots the
+    difference is the whole working set.  Cancellation can drive tiny
+    squared distances a hair below zero; they are clamped before the
+    square root and the diagonal is pinned to exactly 0.
+    """
+    squared_norms = np.einsum("ij,ij->i", points, points)
+    gram = points @ points.T
+    squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+    np.maximum(squared, 0.0, out=squared)
+    distances = np.sqrt(squared, out=squared)
+    np.fill_diagonal(distances, 0.0)
+    return distances
 
 
 def _validate(dissimilarities: np.ndarray) -> np.ndarray:
@@ -89,6 +103,13 @@ def smacof(
         np.fill_diagonal(b, -b.sum(axis=1))
         points = b @ points / n
 
+        # Convergence: the *relative* stress decrease over one Guttman
+        # step fell below ``tolerance``.  The stress recorded above was
+        # measured before this iteration's transform, so on the breaking
+        # iteration the returned embedding is one step newer than the
+        # returned stress — the standard SMACOF accounting (sklearn's
+        # ``MDS`` does the same).  The max(..., 1e-12) guard keeps the
+        # test meaningful when stress is already ~0 (perfect embedding).
         if previous_stress - stress < tolerance * max(previous_stress, 1e-12):
             converged = True
             previous_stress = stress

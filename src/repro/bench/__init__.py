@@ -1,0 +1,15 @@
+"""Performance-regression harness.
+
+:mod:`repro.bench.perf` times the hot paths this repository promises to
+keep fast — vectorized distance matrices, SMACOF, interned certificate
+parsing, parallel collection — and serializes the measurements to
+``BENCH_ordination.json`` so future changes have a trajectory to not
+regress.  Reachable three ways: the ``repro-roots bench`` CLI
+subcommand, ``benchmarks/bench_perf.py`` under pytest-benchmark, and a
+tier-1 smoke test (``REPRO_BENCH_SMOKE=1``) that keeps the harness from
+rotting.
+"""
+
+from repro.bench.perf import PerfSuite, is_smoke_mode, run_perf_suite
+
+__all__ = ["PerfSuite", "is_smoke_mode", "run_perf_suite"]

@@ -16,6 +16,7 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots publish PROVIDER DIR # write native artifacts to disk
     repro-roots scrape PROVIDER DIR  # parse artifacts back
     repro-roots collect              # end-to-end collection (+ fault injection)
+    repro-roots bench                # perf-regression harness (BENCH_ordination.json)
 
 Every experiment regenerates deterministically from the built-in seed.
 """
@@ -139,6 +140,32 @@ def _build_parser() -> argparse.ArgumentParser:
     collect.add_argument(
         "--providers", nargs="+", default=None, choices=sorted(PROVIDERS), metavar="P",
         help="restrict collection to these providers",
+    )
+    collect.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="scrape each provider's tags on a pool of N threads "
+        "(output is deterministic and identical to serial)",
+    )
+    bench = sub.add_parser(
+        "bench",
+        help="time the hot paths (distance matrix, MDS, interning, scraping) "
+        "and write a perf-regression baseline",
+    )
+    bench.add_argument(
+        "--output", type=Path, default=Path("BENCH_ordination.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_ordination.json)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="thread-pool width for the parallel-scrape section",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="rounds per measurement (best-of-R is reported)",
     )
     return parser
 
@@ -512,7 +539,9 @@ def _cmd_collect(args) -> None:
         if plan is not None:
             origin = plan.instrument(origin, provider)
         collected.add_history(
-            scrape_history(provider, origin, strict=args.strict, report=report)
+            scrape_history(
+                provider, origin, strict=args.strict, report=report, workers=args.workers
+            )
         )
     print(render_table(
         ("Provider", "Tags", "OK", "Salvaged", "Quarantined", "Retried", "Skipped entries"),
@@ -529,6 +558,21 @@ def _cmd_collect(args) -> None:
     if args.report is not None:
         args.report.write_text(report.to_json())
         print(f"report written to {args.report}")
+
+
+def _cmd_bench(args) -> None:
+    from repro.bench import run_perf_suite
+
+    suite = run_perf_suite(
+        smoke=True if args.smoke else None,
+        workers=args.workers,
+        rounds=args.rounds,
+        output=args.output,
+    )
+    print("Perf-regression harness")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
 
 
 def _cmd_scrape(args) -> None:

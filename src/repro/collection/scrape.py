@@ -20,7 +20,9 @@ keeps every snapshot that could be collected or salvaged.
 
 from __future__ import annotations
 
-from typing import Callable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.collection.publish import ARTIFACT_PATHS
 from repro.collection.report import (
@@ -51,6 +53,86 @@ from repro.store.snapshot import RootStoreSnapshot
 Origin = SourceRepository | DockerRegistry | UpdateFeed
 
 
+@dataclass
+class _TagResult:
+    """What one per-tag worker produced: an outcome or a failure, plus
+    the diagnostics of the final attempt.  Pure data, so results can be
+    computed on any thread and merged deterministically on the caller's."""
+
+    tag: str
+    fault: str | None
+    log: DiagnosticLog
+    outcome: object = None  # RetryOutcome on success
+    error: BaseException | None = None
+
+
+def _collect_tag(
+    provider_key: str,
+    tagged,
+    *,
+    policy: RetryPolicy,
+    strict: bool,
+    sleep: Callable[[float], None] | None,
+) -> _TagResult:
+    """Fetch + parse one origin tag under the retry policy.
+
+    Never raises a salvageable error itself — failures travel back as
+    data so strict-mode re-raising happens in deterministic tag order
+    even when tags were scraped concurrently.
+    """
+    tag = tagged.tag
+    fault = getattr(tagged, "fault_name", None)
+    result = _TagResult(tag=tag, fault=fault, log=DiagnosticLog())
+
+    def attempt(tagged=tagged):
+        result.log = DiagnosticLog()  # diagnostics must not accumulate across retries
+        return scrape_snapshot(
+            provider_key, tagged, lenient=not strict, diagnostics=result.log
+        )
+
+    try:
+        result.outcome = call_with_retry(
+            attempt, policy=policy, key=f"{provider_key}:{tag}", sleep=sleep
+        )
+    except SALVAGEABLE as exc:
+        result.error = exc
+    return result
+
+
+def _tag_results(
+    provider_key: str,
+    origin,
+    *,
+    policy: RetryPolicy,
+    strict: bool,
+    sleep: Callable[[float], None] | None,
+    workers: int,
+) -> Iterable[_TagResult]:
+    """Per-tag results in origin order, scraped serially or on a pool.
+
+    The serial path stays lazy (a generator), so strict mode still
+    touches nothing past the first failing tag.  The parallel path
+    fans tags out over ``workers`` threads; ``pool.map`` yields results
+    in submission order, so downstream merging is order-identical to
+    serial regardless of which thread finished first.
+    """
+    if workers <= 1:
+        return (
+            _collect_tag(provider_key, tagged, policy=policy, strict=strict, sleep=sleep)
+            for tagged in origin
+        )
+    tagged_list = list(origin)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(
+                lambda tagged: _collect_tag(
+                    provider_key, tagged, policy=policy, strict=strict, sleep=sleep
+                ),
+                tagged_list,
+            )
+        )
+
+
 def scrape_history(
     provider_key: str,
     origin,
@@ -59,6 +141,7 @@ def scrape_history(
     retry: RetryPolicy | None = None,
     sleep: Callable[[float], None] | None = None,
     report: CollectionReport | None = None,
+    workers: int = 1,
 ) -> StoreHistory:
     """Scrape every version at an origin into a provider history.
 
@@ -71,55 +154,53 @@ def scrape_history(
     as ``ok``, tags with individually skipped entries as ``salvaged``,
     and unscrapable tags as ``quarantined`` — the provider's history
     always completes.
+
+    ``workers`` > 1 fans per-tag fetch+parse out over a thread pool
+    (the right shape for real origins, where scraping is network
+    bound).  Output is deterministic for any ``workers`` value: tag
+    results are merged — history membership, quarantine decisions,
+    report record order, strict-mode raise point — strictly in origin
+    tag order.  A shared ``sleep`` callable must be thread-safe when
+    ``workers`` > 1 (the default no-op is).
     """
     policy = retry or RetryPolicy()
     history = StoreHistory(provider_key)
-    for tagged in origin:
-        tag = tagged.tag
-        fault = getattr(tagged, "fault_name", None)
-        log = DiagnosticLog()
-
-        def attempt(tagged=tagged):
-            nonlocal log
-            log = DiagnosticLog()  # diagnostics must not accumulate across retries
-            return scrape_snapshot(
-                provider_key, tagged, lenient=not strict, diagnostics=log
-            )
-
-        try:
-            outcome = call_with_retry(
-                attempt, policy=policy, key=f"{provider_key}:{tag}", sleep=sleep
-            )
-        except SALVAGEABLE as exc:
+    results = _tag_results(
+        provider_key, origin, policy=policy, strict=strict, sleep=sleep, workers=workers
+    )
+    for result in results:
+        if result.error is not None:
+            exc = result.error
             if strict:
-                raise
+                raise exc
             if report is not None:
                 report.add(
                     CollectionRecord(
                         provider=provider_key,
-                        tag=tag,
+                        tag=result.tag,
                         status=QUARANTINED,
                         attempts=getattr(exc, "attempts", 1),
                         error=str(exc) or exc.__class__.__name__,
                         error_class=exc.__class__.__name__,
-                        fault=fault,
-                        diagnostics=log.as_dicts(),
+                        fault=result.fault,
+                        diagnostics=result.log.as_dicts(),
                     )
                 )
             continue
 
+        outcome = result.outcome
         snapshot: RootStoreSnapshot = outcome.value
         if not strict and history.contains_version(snapshot.version, snapshot.taken_at):
             if report is not None:
                 report.add(
                     CollectionRecord(
                         provider=provider_key,
-                        tag=tag,
+                        tag=result.tag,
                         status=QUARANTINED,
                         attempts=outcome.attempts,
                         error=f"duplicate snapshot {snapshot.version} @ {snapshot.taken_at}",
                         error_class="DuplicateSnapshot",
-                        fault=fault,
+                        fault=result.fault,
                         waited=outcome.waited,
                     )
                 )
@@ -129,14 +210,14 @@ def scrape_history(
             report.add(
                 CollectionRecord(
                     provider=provider_key,
-                    tag=tag,
-                    status=SALVAGED if log else OK,
+                    tag=result.tag,
+                    status=SALVAGED if result.log else OK,
                     attempts=outcome.attempts,
                     entries=len(snapshot),
-                    skipped_entries=len(log),
-                    fault=fault,
+                    skipped_entries=len(result.log),
+                    fault=result.fault,
                     waited=outcome.waited,
-                    diagnostics=log.as_dicts(),
+                    diagnostics=result.log.as_dicts(),
                 )
             )
     return history

@@ -21,6 +21,12 @@ class StoreHistory:
 
     provider: str
     snapshots: list[RootStoreSnapshot] = field(default_factory=list)
+    #: (version, taken_at) of every held snapshot, for O(1) duplicate
+    #: checks; lenient collection probes this once per visited tag.
+    _version_index: set = field(default_factory=set, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._version_index = {(s.version, s.taken_at) for s in self.snapshots}
 
     def add(self, snapshot: RootStoreSnapshot) -> None:
         if snapshot.provider != self.provider:
@@ -29,6 +35,7 @@ class StoreHistory:
             )
         self.snapshots.append(snapshot)
         self.snapshots.sort(key=lambda s: (s.taken_at, s.version))
+        self._version_index.add((snapshot.version, snapshot.taken_at))
 
     def __len__(self) -> int:
         return len(self.snapshots)
@@ -52,7 +59,7 @@ class StoreHistory:
         Lenient collection uses this to quarantine duplicate origin tags
         instead of silently double-adding them.
         """
-        return any(s.version == version and s.taken_at == taken_at for s in self.snapshots)
+        return (version, taken_at) in self._version_index
 
     def at(self, when: date) -> RootStoreSnapshot | None:
         """The snapshot in force at ``when`` (latest taken on or before)."""

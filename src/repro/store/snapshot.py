@@ -63,27 +63,51 @@ class RootStoreSnapshot:
 
     def __contains__(self, item: object) -> bool:
         if isinstance(item, Certificate):
-            return item.fingerprint_sha256 in self.fingerprints()
+            return item.fingerprint_sha256 in self._entry_index
         if isinstance(item, str):
-            return item in self.fingerprints()
+            return item in self._entry_index
         return False
 
+    @property
+    def _entry_index(self) -> dict[str, TrustEntry]:
+        """Lazily-built fingerprint -> entry map (entries are immutable,
+        so the index is built at most once; a benign double-build under
+        concurrent first access is idempotent)."""
+        try:
+            return self.__dict__["_index"]
+        except KeyError:
+            index = {e.fingerprint: e for e in self.entries}
+            object.__setattr__(self, "_index", index)
+            return index
+
     def get(self, fingerprint: str) -> TrustEntry | None:
-        """Entry by SHA-256 fingerprint, or None."""
-        for entry in self.entries:
-            if entry.fingerprint == fingerprint:
-                return entry
-        return None
+        """Entry by SHA-256 fingerprint, or None (O(1) via the index)."""
+        return self._entry_index.get(fingerprint)
 
     def fingerprints(self, purpose: TrustPurpose | None = None) -> frozenset[str]:
         """SHA-256 fingerprints, optionally only those trusted for a purpose.
 
         ``fingerprints(TrustPurpose.SERVER_AUTH)`` is the set the
-        paper's Jaccard ordination uses.
+        paper's Jaccard ordination uses.  Results are memoized per
+        purpose — diff, hygiene, and ordination paths ask for the same
+        sets thousands of times over an immutable snapshot.
         """
-        if purpose is None:
-            return frozenset(e.fingerprint for e in self.entries)
-        return frozenset(e.fingerprint for e in self.entries if e.is_trusted_for(purpose))
+        try:
+            cache = self.__dict__["_fingerprint_cache"]
+        except KeyError:
+            cache = {}
+            object.__setattr__(self, "_fingerprint_cache", cache)
+        try:
+            return cache[purpose]
+        except KeyError:
+            if purpose is None:
+                result = frozenset(self._entry_index)
+            else:
+                result = frozenset(
+                    e.fingerprint for e in self.entries if e.is_trusted_for(purpose)
+                )
+            cache[purpose] = result
+            return result
 
     def tls_fingerprints(self) -> frozenset[str]:
         """Shorthand for the TLS-server-auth trusted set."""

@@ -8,7 +8,13 @@ root stores and the paper's analyses exercise.  See
 
 from repro.x509.algorithms import AlgorithmIdentifier, PublicKey, decode_spki, encode_spki
 from repro.x509.builder import CertificateBuilder, PrivateKey, key_identifier, signature_oid_for
-from repro.x509.certificate import Certificate, Validity
+from repro.x509.certificate import (
+    Certificate,
+    InternPoolStats,
+    Validity,
+    certificate_intern_stats,
+    clear_certificate_intern_pool,
+)
 from repro.x509.extensions import (
     AuthorityKeyIdentifier,
     BasicConstraints,
@@ -32,6 +38,7 @@ __all__ = [
     "CertificatePolicies",
     "ExtendedKeyUsage",
     "Extension",
+    "InternPoolStats",
     "KeyUsage",
     "KeyUsageBit",
     "Name",
@@ -42,6 +49,8 @@ __all__ = [
     "SubjectAltName",
     "SubjectKeyIdentifier",
     "Validity",
+    "certificate_intern_stats",
+    "clear_certificate_intern_pool",
     "decode_spki",
     "encode_spki",
     "key_identifier",

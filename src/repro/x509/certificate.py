@@ -10,6 +10,8 @@ fingerprint, which is how the whole analysis layer identifies roots.
 from __future__ import annotations
 
 import hashlib
+import threading
+import weakref
 from dataclasses import dataclass
 from datetime import datetime
 from functools import cached_property
@@ -38,6 +40,85 @@ class Validity:
     @property
     def lifetime_days(self) -> int:
         return (self.not_after - self.not_before).days
+
+
+@dataclass(frozen=True)
+class InternPoolStats:
+    """Observability snapshot of the certificate intern pool."""
+
+    size: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _CertificateInternPool:
+    """Content-addressed pool of parsed certificates, keyed by DER bytes.
+
+    Root stores share most of their certificates — the same NSS root
+    appears in hundreds of snapshots across ten providers — so without
+    interning, collection re-parses (and re-hashes) identical DER over
+    and over.  The pool maps DER bytes to the one live
+    :class:`Certificate` parsed from them.
+
+    Lifetime: entries are weakly referenced, so the pool never extends a
+    certificate's lifetime — it only deduplicates parses while some
+    owner (a snapshot, a dataset) keeps the object alive.  Thread
+    safety: all map accesses happen under one lock; a race on first
+    parse can parse the same DER twice, but ``setdefault`` under the
+    lock guarantees every caller receives the same canonical instance.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_der: weakref.WeakValueDictionary[bytes, "Certificate"] = (
+            weakref.WeakValueDictionary()
+        )
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, der: bytes) -> "Certificate | None":
+        with self._lock:
+            cached = self._by_der.get(der)
+            if cached is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+            return cached
+
+    def store(self, der: bytes, certificate: "Certificate") -> "Certificate":
+        with self._lock:
+            return self._by_der.setdefault(der, certificate)
+
+    def stats(self) -> InternPoolStats:
+        with self._lock:
+            return InternPoolStats(
+                size=len(self._by_der), hits=self._hits, misses=self._misses
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._by_der.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+_INTERN_POOL = _CertificateInternPool()
+
+
+def certificate_intern_stats() -> InternPoolStats:
+    """Size / hit / miss counters of the process-wide intern pool."""
+    return _INTERN_POOL.stats()
+
+
+def clear_certificate_intern_pool() -> None:
+    """Drop every pooled certificate and reset the counters (benchmarks
+    use this to measure cold-parse cost)."""
+    _INTERN_POOL.clear()
 
 
 class Certificate:
@@ -77,14 +158,29 @@ class Certificate:
     # -- construction --------------------------------------------------
 
     @classmethod
-    def from_der(cls, der: bytes) -> "Certificate":
-        """Parse a DER certificate."""
+    def from_der(cls, der: bytes, *, intern: bool = True) -> "Certificate":
+        """Parse a DER certificate.
+
+        With ``intern=True`` (the default) identical DER bytes across
+        the whole process share one parsed instance through the
+        content-addressed intern pool, so a root that appears in
+        hundreds of snapshots is parsed and fingerprinted exactly once.
+        Pass ``intern=False`` to force a fresh parse (benchmarks do).
+        """
+        der = bytes(der)
+        if intern:
+            cached = _INTERN_POOL.lookup(der)
+            if cached is not None:
+                return cached
         try:
-            return cls._parse(der)
+            certificate = cls._parse(der)
         except X509Error:
             raise
         except Exception as exc:  # noqa: BLE001 - normalize parse failures
             raise CertificateParseError(f"cannot parse certificate: {exc}") from exc
+        if intern:
+            return _INTERN_POOL.store(der, certificate)
+        return certificate
 
     @classmethod
     def _parse(cls, der: bytes) -> "Certificate":

@@ -1,0 +1,100 @@
+"""Determinism of ``scrape_history(workers=N)``.
+
+The parallel path must be observably identical to serial for any
+worker count: same snapshots in the same order, the same
+:class:`CollectionReport` records in the same order (including attempt
+counts, waited time, and diagnostics), and the same strict-mode
+failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection import (
+    CollectionReport,
+    FaultPlan,
+    publish_history,
+    scrape_history,
+)
+from repro.errors import ReproError
+from repro.store import StoreHistory
+
+
+PROVIDER = "nss"
+#: Tags kept from the NSS history — enough for the fault plan to hit
+#: both quarantine and retry paths while the runs stay fast.
+TRIM = 30
+#: A seed/rate chosen so the plan injects a mix of transient and
+#: permanent faults into the trimmed history (asserted below).
+FAULT_SEED = "parallel-determinism"
+FAULT_RATE = 0.3
+
+
+@pytest.fixture(scope="module")
+def trimmed_history(dataset):
+    return StoreHistory(PROVIDER, snapshots=list(dataset[PROVIDER].snapshots)[:TRIM])
+
+
+def _faulted_origin(trimmed_history):
+    plan = FaultPlan(seed=FAULT_SEED, rate=FAULT_RATE)
+    return plan.instrument(publish_history(trimmed_history), PROVIDER)
+
+
+def _lenient_run(trimmed_history, workers: int):
+    report = CollectionReport()
+    history = scrape_history(
+        PROVIDER,
+        _faulted_origin(trimmed_history),
+        strict=False,
+        report=report,
+        workers=workers,
+    )
+    return history, report
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4, 9])
+    def test_lenient_identical_to_serial(self, trimmed_history, workers):
+        serial_history, serial_report = _lenient_run(trimmed_history, workers=1)
+        parallel_history, parallel_report = _lenient_run(trimmed_history, workers=workers)
+
+        assert parallel_history.snapshots == serial_history.snapshots
+        assert [s.version for s in parallel_history] == [
+            s.version for s in serial_history
+        ]
+        # Full record equality, order included: status, attempts,
+        # waited backoff, diagnostics, fault attribution.
+        assert parallel_report.as_dict() == serial_report.as_dict()
+
+    def test_plan_actually_injected_faults(self, trimmed_history):
+        """Guard: the fixture plan must exercise the quarantine path."""
+        _, report = _lenient_run(trimmed_history, workers=1)
+        assert report.quarantined(), "fault plan produced no quarantines; pick a new seed"
+        assert report.retried(), "fault plan produced no retries; pick a new seed"
+
+    def test_strict_parallel_equals_serial(self, trimmed_history):
+        """Clean origin: strict scrape is identical at any width."""
+        serial = scrape_history(PROVIDER, publish_history(trimmed_history))
+        parallel = scrape_history(PROVIDER, publish_history(trimmed_history), workers=4)
+        assert serial.snapshots == parallel.snapshots
+
+    def test_strict_raises_same_failure(self, trimmed_history):
+        """Strict mode surfaces the same (first-in-tag-order) failure
+        whether tags were scraped serially or concurrently."""
+        with pytest.raises(ReproError) as serial_exc:
+            scrape_history(PROVIDER, _faulted_origin(trimmed_history), strict=True)
+        with pytest.raises(ReproError) as parallel_exc:
+            scrape_history(
+                PROVIDER, _faulted_origin(trimmed_history), strict=True, workers=4
+            )
+        assert str(parallel_exc.value) == str(serial_exc.value)
+        assert type(parallel_exc.value) is type(serial_exc.value)
+
+    def test_workers_wider_than_tags(self, dataset):
+        provider = "java"
+        serial = scrape_history(provider, publish_history(dataset[provider]))
+        wide = scrape_history(
+            provider, publish_history(dataset[provider]), workers=64
+        )
+        assert serial.snapshots == wide.snapshots
