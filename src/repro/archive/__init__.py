@@ -1,0 +1,78 @@
+"""Content-addressed trust-store archive with an indexed query engine.
+
+The persistence layer under the ROADMAP's serving goals.  Collected
+root-store histories land on disk exactly once — certificate DER
+deduplicated by SHA-256 into a sharded object store
+(:mod:`repro.archive.cas`), one canonical-JSON manifest per snapshot
+plus an atomically rewritten catalog (:mod:`repro.archive.manifest`),
+incremental ingest straight from ``scrape_history``/``Dataset``
+(:mod:`repro.archive.ingest`) — and are served back through persisted
+inverted indexes and LRU caches (:mod:`repro.archive.index`,
+:mod:`repro.archive.query`): point-in-time trust lookups, snapshot
+reconstruction, cross-provider diffs, removal lags, and archive-backed
+incidence/distance matrices, all in milliseconds instead of a
+full-corpus rebuild.  :mod:`repro.archive.verify` is the integrity
+pass (every object re-hashed, catalog cross-checked, orphans found)
+behind ``archive verify`` / ``archive gc``.
+"""
+
+from repro.archive.cas import ContentStore, PutResult, content_address
+from repro.archive.index import (
+    ArchiveIndex,
+    Posting,
+    TimelineEntry,
+    build_index,
+    load_index,
+    persist_index,
+)
+from repro.archive.ingest import (
+    ArchiveWriter,
+    IngestReport,
+    ingest_dataset,
+    ingest_history,
+    ingest_snapshots,
+)
+from repro.archive.manifest import (
+    Archive,
+    CatalogRow,
+    ManifestEntry,
+    SnapshotManifest,
+)
+from repro.archive.query import (
+    ArchiveDiff,
+    ArchiveQuery,
+    CacheStats,
+    RemovalLag,
+    TrustObservation,
+)
+from repro.archive.verify import GCResult, VerificationReport, gc_archive, verify_archive
+
+__all__ = [
+    "Archive",
+    "ArchiveDiff",
+    "ArchiveIndex",
+    "ArchiveQuery",
+    "ArchiveWriter",
+    "CacheStats",
+    "CatalogRow",
+    "ContentStore",
+    "GCResult",
+    "IngestReport",
+    "ManifestEntry",
+    "Posting",
+    "PutResult",
+    "RemovalLag",
+    "SnapshotManifest",
+    "TimelineEntry",
+    "TrustObservation",
+    "VerificationReport",
+    "build_index",
+    "content_address",
+    "gc_archive",
+    "ingest_dataset",
+    "ingest_history",
+    "ingest_snapshots",
+    "load_index",
+    "persist_index",
+    "verify_archive",
+]

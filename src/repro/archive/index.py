@@ -1,0 +1,212 @@
+"""Persisted inverted indexes over the archive catalog.
+
+Two indexes turn the high-value queries from catalog scans into direct
+lookups:
+
+- **fingerprint postings** (``index/fingerprints.json``): certificate
+  fingerprint → sorted ``(provider, version, taken_at)`` postings — one
+  per snapshot that contains the root.  Answers "who ever shipped X,
+  and in which releases?" without opening a single manifest.
+- **provider timelines** (``index/timelines.json``): provider → the
+  date-ordered ``(taken_at, version, manifest_id)`` release timeline.
+  Point-in-time resolution ("the snapshot in force on date D") is a
+  ``bisect`` over this list.
+
+Both files carry the catalog hash they were built from.  Loading
+compares it against the live catalog and silently rebuilds (and
+re-persists) when stale, so indexes never need manual invalidation:
+ingest rewrites the catalog, and the next query rebuilds exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from bisect import bisect_right
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+
+from repro.archive.manifest import Archive
+from repro.errors import ArchiveError
+
+#: Directory name of the index files inside an archive root.
+INDEX_DIR = "index"
+FINGERPRINTS_FILE = "fingerprints.json"
+TIMELINES_FILE = "timelines.json"
+INDEX_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One appearance of a fingerprint: a (provider, release) pair."""
+
+    provider: str
+    version: str
+    taken_at: date
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One release on a provider's timeline."""
+
+    taken_at: date
+    version: str
+    manifest_id: str
+    entries: int
+
+
+@dataclass(frozen=True)
+class ArchiveIndex:
+    """The loaded (or freshly built) index pair, ready to query."""
+
+    catalog_hash: str
+    postings: dict  # fingerprint -> tuple[Posting, ...]
+    timelines: dict  # provider -> tuple[TimelineEntry, ...] (date-ordered)
+
+    @property
+    def providers(self) -> list[str]:
+        return sorted(self.timelines)
+
+    @property
+    def fingerprint_count(self) -> int:
+        return len(self.postings)
+
+    def postings_for(self, fingerprint: str) -> tuple[Posting, ...]:
+        return self.postings.get(fingerprint, ())
+
+    def timeline(self, provider: str) -> tuple[TimelineEntry, ...]:
+        try:
+            return self.timelines[provider]
+        except KeyError as exc:
+            raise ArchiveError(f"no provider {provider!r} in archive") from exc
+
+    def in_force(self, provider: str, when: date) -> TimelineEntry | None:
+        """The release in force at ``when`` (latest taken on or before)."""
+        timeline = self.timeline(provider)
+        position = bisect_right(timeline, when, key=lambda t: t.taken_at)
+        return timeline[position - 1] if position else None
+
+
+def build_index(archive: Archive) -> ArchiveIndex:
+    """Scan catalog + manifests into a fresh in-memory index."""
+    catalog_hash = archive.catalog_hash()
+    if catalog_hash is None:
+        raise ArchiveError(f"archive {archive.root} has no catalog (nothing ingested?)")
+    postings: dict[str, list[Posting]] = {}
+    timelines: dict[str, list[TimelineEntry]] = {}
+    for row in archive.read_catalog():
+        timelines.setdefault(row.provider, []).append(
+            TimelineEntry(
+                taken_at=row.taken_at,
+                version=row.version,
+                manifest_id=row.manifest_id,
+                entries=row.entries,
+            )
+        )
+        manifest = archive.read_manifest(row.provider, row.manifest_id)
+        for entry in manifest.entries:
+            postings.setdefault(entry.fingerprint, []).append(
+                Posting(provider=row.provider, version=row.version, taken_at=row.taken_at)
+            )
+    for timeline in timelines.values():
+        timeline.sort(key=lambda t: (t.taken_at, t.version))
+    for plist in postings.values():
+        plist.sort(key=lambda p: (p.provider, p.taken_at.isoformat(), p.version))
+    return ArchiveIndex(
+        catalog_hash=catalog_hash,
+        postings={fp: tuple(ps) for fp, ps in postings.items()},
+        timelines={p: tuple(ts) for p, ts in timelines.items()},
+    )
+
+
+def _index_dir(archive: Archive) -> Path:
+    return archive.root / INDEX_DIR
+
+
+def persist_index(archive: Archive, index: ArchiveIndex) -> None:
+    """Write both index files atomically (same pattern as the catalog)."""
+    directory = _index_dir(archive)
+    directory.mkdir(parents=True, exist_ok=True)
+    files = {
+        FINGERPRINTS_FILE: {
+            "schema": INDEX_SCHEMA,
+            "catalog_hash": index.catalog_hash,
+            "postings": {
+                fp: [[p.provider, p.version, p.taken_at.isoformat()] for p in ps]
+                for fp, ps in sorted(index.postings.items())
+            },
+        },
+        TIMELINES_FILE: {
+            "schema": INDEX_SCHEMA,
+            "catalog_hash": index.catalog_hash,
+            "timelines": {
+                provider: [
+                    [t.taken_at.isoformat(), t.version, t.manifest_id, t.entries]
+                    for t in timeline
+                ]
+                for provider, timeline in sorted(index.timelines.items())
+            },
+        },
+    }
+    for name, payload in files.items():
+        path = directory / name
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+
+
+def _load_persisted(archive: Archive, catalog_hash: str) -> ArchiveIndex | None:
+    """The persisted index, or None when missing/stale/unreadable."""
+    directory = _index_dir(archive)
+    try:
+        fp_payload = json.loads((directory / FINGERPRINTS_FILE).read_text())
+        tl_payload = json.loads((directory / TIMELINES_FILE).read_text())
+    except (FileNotFoundError, ValueError):
+        return None
+    if (
+        fp_payload.get("catalog_hash") != catalog_hash
+        or tl_payload.get("catalog_hash") != catalog_hash
+    ):
+        return None  # stale: catalog changed since this index was built
+    try:
+        postings = {
+            fp: tuple(
+                Posting(provider=p, version=v, taken_at=date.fromisoformat(d))
+                for p, v, d in ps
+            )
+            for fp, ps in fp_payload["postings"].items()
+        }
+        timelines = {
+            provider: tuple(
+                TimelineEntry(
+                    taken_at=date.fromisoformat(d),
+                    version=v,
+                    manifest_id=m,
+                    entries=n,
+                )
+                for d, v, m, n in timeline
+            )
+            for provider, timeline in tl_payload["timelines"].items()
+        }
+    except (KeyError, TypeError, ValueError):
+        return None  # malformed on disk: treat as absent and rebuild
+    return ArchiveIndex(catalog_hash=catalog_hash, postings=postings, timelines=timelines)
+
+
+def load_index(archive: Archive, *, rebuild: bool = False) -> ArchiveIndex:
+    """The archive's index: persisted when fresh, rebuilt when stale.
+
+    A rebuild is persisted before returning, so the cost is paid once
+    per catalog version no matter how many query sessions follow.
+    """
+    catalog_hash = archive.catalog_hash()
+    if catalog_hash is None:
+        raise ArchiveError(f"archive {archive.root} has no catalog (nothing ingested?)")
+    if not rebuild:
+        persisted = _load_persisted(archive, catalog_hash)
+        if persisted is not None:
+            return persisted
+    index = build_index(archive)
+    persist_index(archive, index)
+    return index

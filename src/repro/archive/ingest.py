@@ -1,0 +1,145 @@
+"""Incremental ingest: live histories → on-disk archive.
+
+Ingest consumes exactly what collection produces — a
+:class:`~repro.store.history.StoreHistory` from ``scrape_history`` or a
+whole :class:`~repro.store.history.Dataset` — and persists it:
+certificate DER into the content store (deduplicated), one manifest
+per snapshot, and a single atomic catalog rewrite at the end.
+
+Everything is incremental.  Objects and manifests are content-named,
+so a snapshot that is already archived costs two ``exists()`` checks
+and writes nothing; re-ingesting an unchanged corpus leaves the object
+directory untouched and rewrites a byte-identical catalog (same
+:meth:`~repro.archive.manifest.Archive.catalog_hash`).  A changed
+snapshot under an existing ``(provider, version, taken_at)`` key —
+e.g. a re-scrape that salvaged more entries — supersedes the old
+catalog row; the old manifest file stays until ``archive gc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.archive.manifest import Archive, CatalogRow, SnapshotManifest
+from repro.store.history import Dataset, StoreHistory
+from repro.store.snapshot import RootStoreSnapshot
+
+
+@dataclass
+class IngestReport:
+    """What one ingest run actually did to the archive."""
+
+    snapshots_seen: int = 0
+    snapshots_added: int = 0
+    snapshots_replaced: int = 0
+    snapshots_unchanged: int = 0
+    objects_written: int = 0
+    objects_deduplicated: int = 0
+    manifests_written: int = 0
+    providers: set = field(default_factory=set)
+
+    def merge(self, other: "IngestReport") -> None:
+        self.snapshots_seen += other.snapshots_seen
+        self.snapshots_added += other.snapshots_added
+        self.snapshots_replaced += other.snapshots_replaced
+        self.snapshots_unchanged += other.snapshots_unchanged
+        self.objects_written += other.objects_written
+        self.objects_deduplicated += other.objects_deduplicated
+        self.manifests_written += other.manifests_written
+        self.providers |= other.providers
+
+    def summary(self) -> str:
+        return (
+            f"{self.snapshots_seen} snapshots from {len(self.providers)} providers: "
+            f"{self.snapshots_added} added, {self.snapshots_replaced} replaced, "
+            f"{self.snapshots_unchanged} unchanged; "
+            f"{self.objects_written} new objects "
+            f"({self.objects_deduplicated} deduplicated), "
+            f"{self.manifests_written} new manifests"
+        )
+
+
+class ArchiveWriter:
+    """Stateful ingest session over one archive.
+
+    Holds the catalog in memory while snapshots stream in (``collect
+    --archive`` ingests provider by provider as scraping completes) and
+    flushes it atomically on :meth:`commit`.
+    """
+
+    def __init__(self, archive: Archive):
+        self.archive = archive
+        self.report = IngestReport()
+        self._rows: dict[tuple[str, str, str], CatalogRow] = {
+            row.key: row for row in archive.read_catalog()
+        }
+        self._dirty = False
+
+    def add_snapshot(self, snapshot: RootStoreSnapshot) -> None:
+        report = self.report
+        report.snapshots_seen += 1
+        report.providers.add(snapshot.provider)
+
+        manifest = SnapshotManifest.from_snapshot(snapshot)
+        row = CatalogRow(
+            provider=manifest.provider,
+            version=manifest.version,
+            taken_at=manifest.taken_at,
+            manifest_id=manifest.manifest_id,
+            entries=len(manifest),
+        )
+        existing = self._rows.get(row.key)
+        if existing is not None and existing.manifest_id == row.manifest_id:
+            report.snapshots_unchanged += 1
+            return  # manifest content-named and present: nothing to do
+
+        for entry in snapshot.entries:
+            if self.archive.objects.put(entry.certificate.der).created:
+                report.objects_written += 1
+            else:
+                report.objects_deduplicated += 1
+        _, created = self.archive.write_manifest(manifest)
+        if created:
+            report.manifests_written += 1
+        if existing is None:
+            report.snapshots_added += 1
+        else:
+            report.snapshots_replaced += 1
+        self._rows[row.key] = row
+        self._dirty = True
+
+    def add_history(self, history: StoreHistory) -> None:
+        for snapshot in history:
+            self.add_snapshot(snapshot)
+
+    def commit(self) -> IngestReport:
+        """Write the catalog (only when something changed) and report."""
+        if self._dirty or self.archive.catalog_bytes() is None:
+            self.archive.write_catalog(list(self._rows.values()))
+            self._dirty = False
+        return self.report
+
+
+def ingest_snapshots(
+    archive: Archive, snapshots: Iterable[RootStoreSnapshot]
+) -> IngestReport:
+    """Ingest a snapshot stream and commit the catalog once."""
+    writer = ArchiveWriter(archive)
+    for snapshot in snapshots:
+        writer.add_snapshot(snapshot)
+    return writer.commit()
+
+
+def ingest_history(archive: Archive, history: StoreHistory) -> IngestReport:
+    return ingest_snapshots(archive, history)
+
+
+def ingest_dataset(
+    archive: Archive, dataset: Dataset, *, providers: Iterable[str] | None = None
+) -> IngestReport:
+    """Ingest every (selected) provider history in deterministic order."""
+    selected = sorted(providers) if providers is not None else dataset.providers
+    return ingest_snapshots(
+        archive, (s for p in selected for s in dataset[p])
+    )

@@ -1,0 +1,416 @@
+"""The indexed query engine over an on-disk archive.
+
+:class:`ArchiveQuery` answers the workloads the archive exists for —
+point-in-time trust lookups, snapshot reconstruction, cross-provider
+diffs, removal lags, and archive-backed analysis inputs — from disk,
+without ever re-synthesizing or re-scraping the corpus.
+
+Two layers keep repeated queries off the filesystem entirely:
+
+- the persisted inverted indexes (:mod:`repro.archive.index`) resolve
+  *which* manifest a query needs without scanning the catalog, and
+- two LRU caches hold decoded manifests and fully reconstructed
+  snapshots, so the second query touching the same release costs a
+  dictionary hit, not JSON parsing or DER decoding.
+
+Set-level queries (membership, diffs, incidence matrices) run on
+manifests alone — the manifest stores each entry's purpose→level map,
+so no certificate bytes are read until a caller actually asks for a
+reconstructed :class:`~repro.store.snapshot.RootStoreSnapshot`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+
+from repro.archive.index import ArchiveIndex, Posting, TimelineEntry, load_index
+from repro.archive.manifest import Archive, SnapshotManifest
+from repro.errors import ArchiveError
+from repro.store.history import Dataset, StoreHistory
+from repro.store.purposes import TrustLevel, TrustPurpose
+from repro.store.snapshot import RootStoreSnapshot
+
+#: Default LRU capacities: manifests are small JSON, snapshots hold
+#: parsed certificates — size the hot set to the whole corpus's release
+#: count so steady-state serving never thrashes.
+MANIFEST_CACHE_SIZE = 1024
+SNAPSHOT_CACHE_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one LRU cache."""
+
+    size: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _LRUCache:
+    """A plain LRU map with observability counters."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = max(1, maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def stats(self) -> CacheStats:
+        return CacheStats(size=len(self._data), hits=self.hits, misses=self.misses)
+
+
+@dataclass(frozen=True)
+class TrustObservation:
+    """One provider's answer to a point-in-time trust question."""
+
+    provider: str
+    version: str
+    taken_at: date  # release date of the snapshot in force
+    present: bool
+    level: TrustLevel | None  # for the queried purpose; None when absent/silent
+
+
+@dataclass(frozen=True)
+class ArchiveDiff:
+    """Fingerprint-set difference between two archived releases."""
+
+    provider_a: str
+    version_a: str
+    provider_b: str
+    version_b: str
+    only_a: frozenset[str]
+    only_b: frozenset[str]
+    shared: frozenset[str]
+
+    @property
+    def jaccard_distance(self) -> float:
+        union = len(self.only_a) + len(self.only_b) + len(self.shared)
+        if union == 0:
+            return 0.0
+        return 1.0 - len(self.shared) / union
+
+    def describe(self) -> str:
+        return (
+            f"{self.provider_a}@{self.version_a} vs {self.provider_b}@{self.version_b}: "
+            f"{len(self.shared)} shared, +{len(self.only_b)} only-{self.provider_b}, "
+            f"-{len(self.only_a)} only-{self.provider_a} "
+            f"(jaccard {self.jaccard_distance:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class RemovalLag:
+    """When one provider stopped shipping a fingerprint."""
+
+    provider: str
+    last_present: date  # release date of the last snapshot containing it
+    removed_on: date | None  # first release without it (None = still shipped)
+    lag_days: int | None  # vs. a reference date, when one was given
+
+
+class ArchiveQuery:
+    """Indexed, cached reads over one archive directory."""
+
+    def __init__(
+        self,
+        archive: Archive | Path | str,
+        *,
+        manifest_cache: int = MANIFEST_CACHE_SIZE,
+        snapshot_cache: int = SNAPSHOT_CACHE_SIZE,
+    ):
+        self.archive = archive if isinstance(archive, Archive) else Archive(archive)
+        self.index: ArchiveIndex = load_index(self.archive)
+        self._manifests = _LRUCache(manifest_cache)
+        self._snapshots = _LRUCache(snapshot_cache)
+
+    # -- cache plumbing --------------------------------------------------
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        return {"manifest": self._manifests.stats(), "snapshot": self._snapshots.stats()}
+
+    def _manifest(self, provider: str, manifest_id: str) -> SnapshotManifest:
+        cached = self._manifests.get(manifest_id)
+        if cached is not None:
+            return cached
+        manifest = self.archive.read_manifest(provider, manifest_id)
+        self._manifests.put(manifest_id, manifest)
+        return manifest
+
+    def _snapshot(self, provider: str, entry: TimelineEntry) -> RootStoreSnapshot:
+        cached = self._snapshots.get(entry.manifest_id)
+        if cached is not None:
+            return cached
+        snapshot = self.archive.load_snapshot(self._manifest(provider, entry.manifest_id))
+        self._snapshots.put(entry.manifest_id, snapshot)
+        return snapshot
+
+    # -- catalog views ---------------------------------------------------
+
+    @property
+    def providers(self) -> list[str]:
+        return self.index.providers
+
+    def timeline(self, provider: str) -> tuple[TimelineEntry, ...]:
+        return self.index.timeline(provider)
+
+    def release(self, provider: str, version: str) -> TimelineEntry:
+        for entry in self.index.timeline(provider):
+            if entry.version == version:
+                return entry
+        raise ArchiveError(f"no version {version!r} of provider {provider!r} in archive")
+
+    # -- point-in-time trust ---------------------------------------------
+
+    def trusted_on(
+        self,
+        fingerprint: str,
+        when: date,
+        *,
+        purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+        providers: list[str] | None = None,
+    ) -> list[TrustObservation]:
+        """Which providers trusted ``fingerprint`` on date ``when``.
+
+        For each provider the release in force at ``when`` is resolved
+        by timeline bisection and its manifest consulted — no DER is
+        read.  ``purpose=None`` asks about raw presence; otherwise
+        ``present`` means the entry exists *and* is trusted for the
+        purpose, with the raw level reported either way.
+        """
+        observations: list[TrustObservation] = []
+        for provider in providers if providers is not None else self.providers:
+            entry = self.index.in_force(provider, when)
+            if entry is None:
+                continue  # provider had no release yet at `when`
+            manifest = self._manifest(provider, entry.manifest_id)
+            stored = manifest.get(fingerprint)
+            if stored is None:
+                present, level = False, None
+            elif purpose is None:
+                present, level = True, None
+            else:
+                level = stored.level_for(purpose)
+                present = level is TrustLevel.TRUSTED
+            observations.append(
+                TrustObservation(
+                    provider=provider,
+                    version=entry.version,
+                    taken_at=entry.taken_at,
+                    present=present,
+                    level=level,
+                )
+            )
+        return observations
+
+    def ever_shipped(self, fingerprint: str) -> tuple[Posting, ...]:
+        """Every (provider, release) that ever contained the fingerprint."""
+        return self.index.postings_for(fingerprint)
+
+    # -- snapshot reconstruction -----------------------------------------
+
+    def snapshot(self, provider: str, version: str) -> RootStoreSnapshot:
+        """Reconstruct one release as a full snapshot (LRU cached)."""
+        return self._snapshot(provider, self.release(provider, version))
+
+    def snapshot_at(self, provider: str, when: date) -> RootStoreSnapshot | None:
+        """The reconstructed snapshot in force at ``when`` (or None)."""
+        entry = self.index.in_force(provider, when)
+        return self._snapshot(provider, entry) if entry is not None else None
+
+    def history(self, provider: str) -> StoreHistory:
+        """A provider's full history, reconstructed release by release."""
+        history = StoreHistory(provider)
+        for entry in self.index.timeline(provider):
+            history.add(self._snapshot(provider, entry))
+        return history
+
+    def dataset(self, *, providers: list[str] | None = None) -> Dataset:
+        """The whole archived corpus as an in-memory :class:`Dataset`.
+
+        This is the bridge back to every existing analysis: anything
+        that consumes a ``Dataset`` can now run from the archive
+        instead of a freshly synthesized corpus.
+        """
+        dataset = Dataset()
+        for provider in providers if providers is not None else self.providers:
+            dataset.add_history(self.history(provider))
+        return dataset
+
+    # -- diffs and removal lags ------------------------------------------
+
+    def diff(
+        self,
+        provider_a: str,
+        provider_b: str,
+        *,
+        when: date | None = None,
+        version_a: str | None = None,
+        version_b: str | None = None,
+        purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+    ) -> ArchiveDiff:
+        """Pairwise fingerprint diff between two releases (manifests only).
+
+        Pick the releases either by explicit versions or by the shared
+        point-in-time ``when``; exactly one selection style per side.
+        """
+        entry_a = (
+            self.release(provider_a, version_a)
+            if version_a is not None
+            else self._require_in_force(provider_a, when)
+        )
+        entry_b = (
+            self.release(provider_b, version_b)
+            if version_b is not None
+            else self._require_in_force(provider_b, when)
+        )
+        set_a = self._manifest(provider_a, entry_a.manifest_id).fingerprints(purpose)
+        set_b = self._manifest(provider_b, entry_b.manifest_id).fingerprints(purpose)
+        return ArchiveDiff(
+            provider_a=provider_a,
+            version_a=entry_a.version,
+            provider_b=provider_b,
+            version_b=entry_b.version,
+            only_a=frozenset(set_a - set_b),
+            only_b=frozenset(set_b - set_a),
+            shared=frozenset(set_a & set_b),
+        )
+
+    def _require_in_force(self, provider: str, when: date | None) -> TimelineEntry:
+        if when is None:
+            raise ArchiveError(f"need either a version or a date for provider {provider!r}")
+        entry = self.index.in_force(provider, when)
+        if entry is None:
+            raise ArchiveError(f"provider {provider!r} has no release on or before {when}")
+        return entry
+
+    def removal_lags(
+        self, fingerprint: str, *, reference: date | None = None
+    ) -> list[RemovalLag]:
+        """Per provider: when the fingerprint was last shipped and first dropped.
+
+        Mirrors :meth:`StoreHistory.trusted_until` but runs on manifests
+        via the posting index — only providers that ever shipped the
+        root are visited.  ``reference`` (e.g. an incident's disclosure
+        date) turns removal dates into response lags in days.
+        """
+        by_provider: dict[str, list[Posting]] = {}
+        for posting in self.index.postings_for(fingerprint):
+            by_provider.setdefault(posting.provider, []).append(posting)
+        lags: list[RemovalLag] = []
+        for provider in sorted(by_provider):
+            present_dates = {(p.taken_at, p.version) for p in by_provider[provider]}
+            last_present = max(d for d, _ in present_dates)
+            removed_on = None
+            for entry in self.index.timeline(provider):
+                if entry.taken_at > last_present:
+                    removed_on = entry.taken_at
+                    break
+            lag = (removed_on - reference).days if removed_on and reference else None
+            lags.append(
+                RemovalLag(
+                    provider=provider,
+                    last_present=last_present,
+                    removed_on=removed_on,
+                    lag_days=lag,
+                )
+            )
+        return lags
+
+    # -- archive-backed analysis inputs ----------------------------------
+
+    def collect_labels(
+        self, *, since: date | None = None, providers: list[str] | None = None
+    ) -> list[tuple[str, TimelineEntry]]:
+        """(provider, release) pairs in the analysis layer's canonical order."""
+        result = []
+        for provider in providers if providers is not None else self.providers:
+            for entry in self.index.timeline(provider):
+                if since is not None and entry.taken_at < since:
+                    continue
+                result.append((provider, entry))
+        return result
+
+    def incidence(
+        self,
+        *,
+        purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+        since: date | None = None,
+        providers: list[str] | None = None,
+    ):
+        """The snapshots × fingerprints incidence matrix, from manifests.
+
+        Feeds the vectorized analysis substrate
+        (:mod:`repro.analysis.incidence`) directly from the archive: no
+        corpus synthesis, no scraping, no certificate parsing — the
+        purpose filter runs on the trust bits stored in each manifest.
+        """
+        from repro.analysis.incidence import IncidenceMatrix
+
+        selected = self.collect_labels(since=since, providers=providers)
+        if not selected:
+            raise ArchiveError("no archived snapshots match the selection")
+        sets = [
+            self._manifest(provider, entry.manifest_id).fingerprints(purpose)
+            for provider, entry in selected
+        ]
+        universe = sorted(frozenset().union(*sets))
+        column = {fingerprint: k for k, fingerprint in enumerate(universe)}
+        matrix = np.zeros((len(sets), len(universe)), dtype=bool)
+        for row, fingerprints in enumerate(sets):
+            if fingerprints:
+                matrix[row, [column[f] for f in fingerprints]] = True
+        labels = tuple(
+            (provider, entry.taken_at, entry.version) for provider, entry in selected
+        )
+        return IncidenceMatrix(labels=labels, fingerprints=tuple(universe), matrix=matrix)
+
+    def distance_matrix(
+        self,
+        *,
+        metric: str = "jaccard",
+        purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+        since: date | None = None,
+        providers: list[str] | None = None,
+    ):
+        """The pairwise distance matrix over archived snapshots.
+
+        Equivalent to ``repro.analysis.distance_matrix`` over the live
+        corpus (the equivalence tests assert element-wise identity) but
+        sourced purely from the archive.
+        """
+        from repro.analysis.incidence import jaccard_distances, overlap_distances
+        from repro.analysis.jaccard import LabelledMatrix
+
+        vectorized = {"jaccard": jaccard_distances, "overlap": overlap_distances}
+        if metric not in vectorized:
+            raise ArchiveError(f"unknown metric {metric!r}")
+        incidence = self.incidence(purpose=purpose, since=since, providers=providers)
+        return LabelledMatrix(
+            labels=incidence.labels, matrix=vectorized[metric](incidence)
+        )

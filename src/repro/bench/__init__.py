@@ -10,6 +10,13 @@ tier-1 smoke test (``REPRO_BENCH_SMOKE=1``) that keeps the harness from
 rotting.
 """
 
+from repro.bench.archive import ArchiveSuite, run_archive_suite
 from repro.bench.perf import PerfSuite, is_smoke_mode, run_perf_suite
 
-__all__ = ["PerfSuite", "is_smoke_mode", "run_perf_suite"]
+__all__ = [
+    "ArchiveSuite",
+    "PerfSuite",
+    "is_smoke_mode",
+    "run_archive_suite",
+    "run_perf_suite",
+]

@@ -1,0 +1,265 @@
+"""Archive ingest/read benchmarks — the numbers behind ``BENCH_archive.json``.
+
+The archive's reason to exist is replacing full-corpus rebuilds with
+indexed disk reads, so the suite times both sides of that trade:
+
+- **ingest**: cold ingest of the dataset into a fresh archive, then a
+  re-ingest of the identical corpus (which must be byte-idempotent:
+  zero new objects/manifests, unchanged catalog hash).
+- **query**: a batch of point-in-time trust lookups, cold (fresh
+  engine, untouched caches) vs. warm (same engine, LRU-served) — the
+  workload the ROADMAP's serving goal cares about.
+- **reconstruct**: rebuilding every archived snapshot into full
+  :class:`RootStoreSnapshot` objects, cold vs. warm, with an equality
+  check against the live dataset.
+- **scrape_analyze**: the path the archive replaces — publish + scrape
+  every provider and compute the distance matrix from scratch.  The
+  committed floor (``benchmarks/bench_perf.py``) demands the warm query
+  batch beat this by ≥ 10x.
+- **distance**: the archive-backed distance matrix vs. the live one
+  (must agree element-wise) and what it costs from manifests alone.
+- **verify**: the full integrity pass, which must report a healthy
+  archive.
+
+Like :mod:`repro.bench.perf`, wall clock is the measurand here, and
+``REPRO_BENCH_SMOKE=1`` shrinks everything to ride inside tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.jaccard import collect_snapshots, distance_matrix
+from repro.archive import Archive, ArchiveQuery, ingest_dataset, verify_archive
+from repro.bench.perf import _timed, is_smoke_mode
+from repro.collection.publish import publish_history
+from repro.collection.scrape import scrape_history
+from repro.store.history import Dataset, StoreHistory
+
+#: Smoke trims: providers kept, snapshots per provider, queries issued.
+SMOKE_PROVIDERS = 2
+SMOKE_SNAPSHOTS_PER_PROVIDER = 6
+#: How many (fingerprint, date) probes the query batch issues.
+QUERY_BATCH = 16
+
+
+@dataclass(frozen=True)
+class ArchiveSuite:
+    """One run of the archive harness: results plus output location."""
+
+    results: dict
+    output_path: Path | None
+
+    def summary_lines(self) -> list[str]:
+        r = self.results
+        return [
+            f"mode                : {r['mode']} ({r['snapshots']} snapshots, "
+            f"{r['providers']} providers)",
+            f"cold ingest         : {r['ingest']['cold_s']:.4f} s "
+            f"({r['ingest']['objects_written']} objects, "
+            f"{r['ingest']['manifests_written']} manifests)",
+            f"re-ingest           : {r['ingest']['reingest_s']:.4f} s "
+            f"(idempotent={r['ingest']['idempotent']})",
+            f"query cold          : {r['query']['cold_s']:.4f} s "
+            f"({r['query']['batch']} point-in-time lookups)",
+            f"query warm          : {r['query']['warm_s']:.6f} s "
+            f"({r['query']['per_query_us']:.0f} us/query, "
+            f"{r['query']['warm_speedup']:.1f}x over cold)",
+            f"scrape+analyze      : {r['scrape_analyze']['total_s']:.4f} s "
+            f"(the path the archive replaces)",
+            f"warm query vs scrape: {r['query']['speedup_vs_scrape']:.0f}x",
+            f"reconstruct cold    : {r['reconstruct']['cold_s']:.4f} s "
+            f"({r['reconstruct']['snapshots']} snapshots, "
+            f"identical={r['reconstruct']['identical']})",
+            f"reconstruct warm    : {r['reconstruct']['warm_s']:.4f} s "
+            f"({r['reconstruct']['warm_speedup']:.1f}x)",
+            f"archive distance    : {r['distance']['archive_s']:.4f} s "
+            f"(max |diff| vs live {r['distance']['max_abs_diff']:.2e})",
+            f"verify              : {r['verify']['verify_s']:.4f} s "
+            f"(ok={r['verify']['ok']})",
+        ]
+
+
+def _smoke_dataset(dataset: Dataset) -> Dataset:
+    """A tiny sub-corpus: the first providers, a few snapshots each."""
+    trimmed = Dataset()
+    for provider in dataset.providers[:SMOKE_PROVIDERS]:
+        snapshots = list(dataset[provider].snapshots)[:SMOKE_SNAPSHOTS_PER_PROVIDER]
+        trimmed.add_history(StoreHistory(provider, snapshots=snapshots))
+    return trimmed
+
+
+def _query_batch(query: ArchiveQuery, size: int) -> list[tuple[str, object]]:
+    """A deterministic probe set spread across fingerprints and dates."""
+    fingerprints = sorted(query.index.postings)
+    dates = sorted(
+        entry.taken_at
+        for timeline in query.index.timelines.values()
+        for entry in timeline
+    )
+    probes = []
+    for k in range(size):
+        fp = fingerprints[(k * len(fingerprints)) // size]
+        when = dates[(k * len(dates)) // size]
+        probes.append((fp, when))
+    return probes
+
+
+def _bench_ingest(archive_root: Path, dataset: Dataset, *, rounds: int) -> dict:
+    # Cold ingest must start from nothing each round: use per-round dirs.
+    counter = iter(range(1_000_000))
+
+    def cold():
+        target = Archive(archive_root / f"cold-{next(counter)}", create=True)
+        return target, ingest_dataset(target, dataset)
+
+    cold_s, (archive, report) = _timed(cold, rounds=rounds)
+    hash_before = archive.catalog_hash()
+    reingest_s, reingest = _timed(lambda: ingest_dataset(archive, dataset), rounds=1)
+    idempotent = (
+        reingest.objects_written == 0
+        and reingest.manifests_written == 0
+        and archive.catalog_hash() == hash_before
+    )
+    return archive, {
+        "cold_s": cold_s,
+        "objects_written": report.objects_written,
+        "objects_deduplicated": report.objects_deduplicated,
+        "manifests_written": report.manifests_written,
+        "reingest_s": reingest_s,
+        "idempotent": idempotent,
+        "catalog_hash": hash_before,
+    }
+
+
+def _bench_query(archive: Archive, *, rounds: int) -> dict:
+    probes = _query_batch(ArchiveQuery(archive), QUERY_BATCH)
+
+    def run(query: ArchiveQuery):
+        return [query.trusted_on(fp, when) for fp, when in probes]
+
+    # Cold: a fresh engine per round — index load plus first-touch I/O.
+    cold_s, _ = _timed(lambda: run(ArchiveQuery(archive)), rounds=rounds)
+    # Warm: one engine, caches populated by a priming pass.
+    engine = ArchiveQuery(archive)
+    run(engine)
+    warm_s, observations = _timed(lambda: run(engine), rounds=max(rounds, 3))
+    return engine, {
+        "batch": len(probes),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "per_query_us": warm_s / len(probes) * 1e6,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "answers": sum(len(obs) for obs in observations),
+    }
+
+
+def _bench_scrape_analyze(dataset: Dataset, *, rounds: int) -> dict:
+    """The full no-archive pipeline: re-scrape everything, then analyze."""
+
+    def run():
+        collected = Dataset()
+        for provider in dataset.providers:
+            collected.add_history(
+                scrape_history(provider, publish_history(dataset[provider]))
+            )
+        return distance_matrix(collect_snapshots(collected))
+
+    total_s, _ = _timed(run, rounds=rounds)
+    return {"total_s": total_s}
+
+
+def _bench_reconstruct(archive: Archive, dataset: Dataset, *, rounds: int) -> dict:
+    def run(query: ArchiveQuery) -> Dataset:
+        return query.dataset()
+
+    cold_s, _ = _timed(lambda: run(ArchiveQuery(archive)), rounds=rounds)
+    engine = ArchiveQuery(archive)
+    run(engine)
+    warm_s, rebuilt = _timed(lambda: run(engine), rounds=rounds)
+    identical = all(
+        rebuilt[provider].snapshots == dataset[provider].snapshots
+        for provider in dataset.providers
+    )
+    return {
+        "snapshots": rebuilt.total_snapshots(),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+def _bench_distance(
+    engine: ArchiveQuery, dataset: Dataset, *, rounds: int
+) -> dict:
+    live = distance_matrix(collect_snapshots(dataset))
+    archive_s, archived = _timed(lambda: engine.distance_matrix(), rounds=rounds)
+    return {
+        "archive_s": archive_s,
+        "max_abs_diff": float(np.abs(archived.matrix - live.matrix).max()),
+        "labels_match": archived.labels == live.labels,
+    }
+
+
+def _bench_verify(archive: Archive) -> dict:
+    verify_s, report = _timed(lambda: verify_archive(archive), rounds=1)
+    return {
+        "verify_s": verify_s,
+        "ok": report.ok,
+        "objects_checked": report.objects_checked,
+        "manifests_checked": report.manifests_checked,
+    }
+
+
+def run_archive_suite(
+    dataset: Dataset | None = None,
+    *,
+    smoke: bool | None = None,
+    rounds: int | None = None,
+    output: Path | str | None = None,
+) -> ArchiveSuite:
+    """Run every archive section and optionally write ``BENCH_archive.json``."""
+    if smoke is None:
+        smoke = is_smoke_mode()
+    if rounds is None:
+        rounds = 1
+    if dataset is None:
+        from repro.simulation import default_corpus
+
+        dataset = default_corpus().dataset
+    if smoke:
+        dataset = _smoke_dataset(dataset)
+
+    with tempfile.TemporaryDirectory(prefix="repro-archive-bench-") as tmp:
+        root = Path(tmp)
+        archive, ingest = _bench_ingest(root, dataset, rounds=rounds)
+        engine, query = _bench_query(archive, rounds=rounds)
+        scrape_analyze = _bench_scrape_analyze(dataset, rounds=rounds)
+        query["speedup_vs_scrape"] = (
+            scrape_analyze["total_s"] / query["warm_s"]
+            if query["warm_s"] > 0
+            else float("inf")
+        )
+        results = {
+            "schema": 1,
+            "mode": "smoke" if smoke else "full",
+            "snapshots": dataset.total_snapshots(),
+            "providers": len(dataset.providers),
+            "ingest": ingest,
+            "query": query,
+            "scrape_analyze": scrape_analyze,
+            "reconstruct": _bench_reconstruct(archive, dataset, rounds=rounds),
+            "distance": _bench_distance(engine, dataset, rounds=rounds),
+            "verify": _bench_verify(archive),
+        }
+
+    output_path = Path(output) if output is not None else None
+    if output_path is not None:
+        output_path.write_text(json.dumps(results, indent=2) + "\n")
+    return ArchiveSuite(results=results, output_path=output_path)

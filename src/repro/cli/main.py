@@ -17,8 +17,11 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots scrape PROVIDER DIR  # parse artifacts back
     repro-roots collect              # end-to-end collection (+ fault injection)
     repro-roots bench                # perf-regression harness (BENCH_ordination.json)
+    repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|bench
 
 Every experiment regenerates deterministically from the built-in seed.
+Errors from the collection, validation, store, and archive layers exit
+with status 1 and a one-line ``error:`` message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -47,8 +50,9 @@ from repro.analysis import (
 )
 from repro.collection import scrape_history, write_tree
 from repro.collection.sources import SourceRepository, read_tree
+from repro.errors import ArchiveError, CollectionError, StoreError, ValidationError
 from repro.simulation import default_corpus
-from repro.store import NSS_DERIVATIVES, PROVIDERS
+from repro.store import NSS_DERIVATIVES, PROVIDERS, TrustPurpose
 from repro.useragents import (
     POPULATION,
     coverage_fraction,
@@ -66,8 +70,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 1
     handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
-    handler(args)
-    return 0
+    try:
+        result = handler(args)
+    except (ArchiveError, CollectionError, StoreError, ValidationError) as exc:
+        # Operational failures (unscrapable origin, corrupt archive,
+        # invalid chain input) are user-facing outcomes, not bugs: one
+        # line on stderr and a nonzero exit, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return result if isinstance(result, int) else 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -146,6 +157,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scrape each provider's tags on a pool of N threads "
         "(output is deterministic and identical to serial)",
     )
+    collect.add_argument(
+        "--archive", type=Path, default=None, metavar="DIR",
+        help="persist collected histories into the on-disk archive at DIR "
+        "as scraping completes (created if missing)",
+    )
     bench = sub.add_parser(
         "bench",
         help="time the hot paths (distance matrix, MDS, interning, scraping) "
@@ -167,7 +183,81 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rounds", type=int, default=1, metavar="R",
         help="rounds per measurement (best-of-R is reported)",
     )
+    _add_archive_parser(sub)
     return parser
+
+
+def _add_archive_parser(sub) -> None:
+    archive = sub.add_parser(
+        "archive",
+        help="content-addressed on-disk archive: ingest, query, diff, verify, gc, bench",
+    )
+    asub = archive.add_subparsers(dest="archive_command", required=True)
+
+    ingest = asub.add_parser(
+        "ingest", help="ingest the seeded corpus (or a provider subset) into DIR"
+    )
+    ingest.add_argument("directory", type=Path, metavar="DIR")
+    ingest.add_argument(
+        "--providers", nargs="+", default=None, choices=sorted(PROVIDERS), metavar="P",
+        help="restrict ingest to these providers",
+    )
+
+    query = asub.add_parser(
+        "query", help="point-in-time trust lookups and snapshot reconstruction from DIR"
+    )
+    query.add_argument("directory", type=Path, metavar="DIR")
+    query.add_argument(
+        "--fingerprint", default=None, metavar="F",
+        help="certificate SHA-256 (hex); a unique prefix is accepted",
+    )
+    query.add_argument(
+        "--provider", default=None, metavar="P",
+        help="reconstruct this provider's snapshot instead of a trust lookup",
+    )
+    query.add_argument(
+        "--date", default=None, metavar="YYYY-MM-DD",
+        help="the point in time to resolve (default: each provider's latest)",
+    )
+    query.add_argument(
+        "--purpose", default="server-auth",
+        choices=[p.value for p in TrustPurpose] + ["any"],
+        help="trust purpose for membership (default: server-auth; 'any' = raw presence)",
+    )
+
+    diff = asub.add_parser("diff", help="fingerprint-set diff between two archived stores")
+    diff.add_argument("directory", type=Path, metavar="DIR")
+    diff.add_argument("provider_a", metavar="PROVIDER_A")
+    diff.add_argument("provider_b", metavar="PROVIDER_B")
+    diff.add_argument(
+        "--date", default=None, metavar="YYYY-MM-DD",
+        help="compare the snapshots in force at this date (default: latest)",
+    )
+
+    verify = asub.add_parser(
+        "verify", help="integrity pass: re-hash objects, cross-check catalog, list orphans"
+    )
+    verify.add_argument("directory", type=Path, metavar="DIR")
+
+    gc = asub.add_parser("gc", help="delete orphan objects and manifests")
+    gc.add_argument("directory", type=Path, metavar="DIR")
+    gc.add_argument("--dry-run", action="store_true", help="report only, delete nothing")
+
+    bench = asub.add_parser(
+        "bench", help="archive ingest/read benchmarks (BENCH_archive.json)"
+    )
+    bench.add_argument(
+        "--output", type=Path, default=Path("BENCH_archive.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_archive.json)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="rounds per measurement (best-of-R is reported)",
+    )
 
 
 def _cmd_dataset(_args) -> None:
@@ -534,15 +624,21 @@ def _cmd_collect(args) -> None:
     plan = FaultPlan(seed=args.fault_seed, rate=args.fault_rate) if args.fault_rate > 0 else None
     report = CollectionReport()
     collected = Dataset()
+    writer = None
+    if args.archive is not None:
+        from repro.archive import Archive, ArchiveWriter
+
+        writer = ArchiveWriter(Archive(args.archive, create=True))
     for provider in providers:
         origin = publish_history(corpus.dataset[provider])
         if plan is not None:
             origin = plan.instrument(origin, provider)
-        collected.add_history(
-            scrape_history(
-                provider, origin, strict=args.strict, report=report, workers=args.workers
-            )
+        history = scrape_history(
+            provider, origin, strict=args.strict, report=report, workers=args.workers
         )
+        collected.add_history(history)
+        if writer is not None:
+            writer.add_history(history)
     print(render_table(
         ("Provider", "Tags", "OK", "Salvaged", "Quarantined", "Retried", "Skipped entries"),
         report.summary_rows(),
@@ -555,9 +651,149 @@ def _cmd_collect(args) -> None:
         f"{len(providers)} providers in {mode} mode "
         f"({counts['salvaged']} salvaged, {counts['quarantined']} quarantined)."
     )
+    if writer is not None:
+        ingested = writer.commit()
+        print(f"archived to {args.archive}: {ingested.summary()}")
     if args.report is not None:
         args.report.write_text(report.to_json())
         print(f"report written to {args.report}")
+
+
+def _cmd_archive(args) -> int | None:
+    handler = globals()[f"_cmd_archive_{args.archive_command.replace('-', '_')}"]
+    return handler(args)
+
+
+def _cmd_archive_ingest(args) -> None:
+    from repro.archive import Archive, ingest_dataset
+
+    corpus = default_corpus()
+    archive = Archive(args.directory, create=True)
+    report = ingest_dataset(archive, corpus.dataset, providers=args.providers)
+    print(f"ingested into {args.directory}: {report.summary()}")
+    print(f"catalog hash: {archive.catalog_hash()}")
+
+
+def _parse_purpose(value: str) -> TrustPurpose | None:
+    return None if value == "any" else TrustPurpose(value)
+
+
+def _resolve_fingerprint(query, prefix: str) -> str:
+    """Expand a unique fingerprint prefix against the archive index."""
+    matches = [fp for fp in query.index.postings if fp.startswith(prefix)]
+    if not matches:
+        raise ArchiveError(f"no archived certificate matches fingerprint {prefix!r}")
+    if len(matches) > 1:
+        raise ArchiveError(
+            f"fingerprint prefix {prefix!r} is ambiguous ({len(matches)} matches)"
+        )
+    return matches[0]
+
+
+def _cmd_archive_query(args) -> None:
+    from repro.archive import ArchiveQuery
+
+    if (args.fingerprint is None) == (args.provider is None):
+        raise ArchiveError("archive query needs exactly one of --fingerprint or --provider")
+    query = ArchiveQuery(args.directory)
+    when = date.fromisoformat(args.date) if args.date else None
+
+    if args.provider is not None:
+        snapshot = (
+            query.snapshot_at(args.provider, when)
+            if when is not None
+            else query.snapshot(args.provider, query.timeline(args.provider)[-1].version)
+        )
+        if snapshot is None:
+            raise ArchiveError(f"provider {args.provider!r} has no release on or before {when}")
+        print(snapshot.describe())
+        return
+
+    fingerprint = _resolve_fingerprint(query, args.fingerprint)
+    purpose = _parse_purpose(args.purpose)
+    print(f"fingerprint {fingerprint}")
+    if when is None:
+        rows = [
+            (p.provider, p.version, f"{p.taken_at:%Y-%m-%d}")
+            for p in query.ever_shipped(fingerprint)
+        ]
+        print(render_table(
+            ("Provider", "Version", "Released"), rows,
+            title=f"Shipped in {len(rows)} archived snapshots",
+        ))
+        return
+    observations = query.trusted_on(fingerprint, when, purpose=purpose)
+    rows = [
+        (
+            o.provider,
+            o.version,
+            f"{o.taken_at:%Y-%m-%d}",
+            "yes" if o.present else "no",
+            str(o.level) if o.level is not None else "-",
+        )
+        for o in observations
+    ]
+    print(render_table(
+        ("Provider", "In force", "Released", "Trusted?", "Level"), rows,
+        title=f"Trust on {when} (purpose: {args.purpose})",
+    ))
+    trusted = sum(1 for o in observations if o.present)
+    print(f"\n{trusted}/{len(observations)} providers trusted it on {when}")
+
+
+def _cmd_archive_diff(args) -> None:
+    from repro.archive import ArchiveQuery
+
+    query = ArchiveQuery(args.directory)
+    when = date.fromisoformat(args.date) if args.date else None
+    if when is None:
+        diff = query.diff(
+            args.provider_a,
+            args.provider_b,
+            version_a=query.timeline(args.provider_a)[-1].version,
+            version_b=query.timeline(args.provider_b)[-1].version,
+        )
+    else:
+        diff = query.diff(args.provider_a, args.provider_b, when=when)
+    print(diff.describe())
+    for label, fingerprints in (
+        (f"only {diff.provider_a}@{diff.version_a}", diff.only_a),
+        (f"only {diff.provider_b}@{diff.version_b}", diff.only_b),
+    ):
+        print(f"\n{label} ({len(fingerprints)}):")
+        for fp in sorted(fingerprints):
+            print(f"  {fp[:16]}")
+
+
+def _cmd_archive_verify(args) -> int:
+    from repro.archive import Archive, verify_archive
+
+    report = verify_archive(Archive(args.directory))
+    print(report.summary())
+    for line in report.problem_lines():
+        print(f"  {line}")
+    return 0 if report.ok else 1
+
+
+def _cmd_archive_gc(args) -> None:
+    from repro.archive import Archive, gc_archive
+
+    result = gc_archive(Archive(args.directory), dry_run=args.dry_run)
+    print(result.summary())
+
+
+def _cmd_archive_bench(args) -> None:
+    from repro.bench import run_archive_suite
+
+    suite = run_archive_suite(
+        smoke=True if args.smoke else None,
+        rounds=args.rounds,
+        output=args.output,
+    )
+    print("Archive benchmark")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
 
 
 def _cmd_bench(args) -> None:
@@ -577,6 +813,8 @@ def _cmd_bench(args) -> None:
 
 def _cmd_scrape(args) -> None:
     directory: Path = args.directory
+    if not directory.is_dir():
+        raise CollectionError(f"scrape directory {directory} does not exist")
     repo = SourceRepository(name=args.provider)
     versions = sorted(p for p in directory.iterdir() if p.is_dir())
     for path in versions:

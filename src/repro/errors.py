@@ -97,6 +97,24 @@ class TransientCollectionError(CollectionError):
     """
 
 
+class ArchiveError(ReproError):
+    """The on-disk trust-store archive is missing, inconsistent, or unusable."""
+
+
+class ArchiveCorruptionError(ArchiveError):
+    """Stored archive bytes fail their content-address integrity check.
+
+    Carries the offending object ``fingerprint`` and on-disk ``path`` so
+    ``archive verify`` and query-time integrity failures can name the
+    damaged file instead of just failing.
+    """
+
+    def __init__(self, message: str, *, fingerprint: str | None = None, path: str | None = None):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.path = path
+
+
 class AnalysisError(ReproError):
     """An analysis routine received unusable input."""
 

@@ -7,6 +7,7 @@ paper's Table 2 summary.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from datetime import date
 from typing import Iterable, Iterator
@@ -26,6 +27,8 @@ class StoreHistory:
     _version_index: set = field(default_factory=set, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        # Normalize once so add() can rely on sorted order and insort.
+        self.snapshots.sort(key=lambda s: (s.taken_at, s.version))
         self._version_index = {(s.version, s.taken_at) for s in self.snapshots}
 
     def add(self, snapshot: RootStoreSnapshot) -> None:
@@ -33,8 +36,10 @@ class StoreHistory:
             raise StoreError(
                 f"snapshot provider {snapshot.provider!r} != history provider {self.provider!r}"
             )
-        self.snapshots.append(snapshot)
-        self.snapshots.sort(key=lambda s: (s.taken_at, s.version))
+        # O(log n) position + O(n) shift beats the old full re-sort:
+        # archive ingest and collection replay histories one snapshot at
+        # a time, which paid O(n log n) sorting per insert.
+        insort(self.snapshots, snapshot, key=lambda s: (s.taken_at, s.version))
         self._version_index.add((snapshot.version, snapshot.taken_at))
 
     def __len__(self) -> int:

@@ -1,0 +1,339 @@
+"""The content-addressed archive: ingest, query, verify, corruption.
+
+Round-trip coverage ingests the full simulated corpus once (session
+scope), reconstructs every snapshot, and checks fingerprint-set
+equality against the in-memory dataset.  Corruption coverage works on
+throwaway copies: flip one byte in a stored object and assert that
+``archive verify`` names the damaged object and that queries touching
+it fail loudly instead of returning plausible garbage.
+"""
+
+from __future__ import annotations
+
+import shutil
+from datetime import date
+
+import pytest
+
+from repro.archive import (
+    Archive,
+    ArchiveQuery,
+    ContentStore,
+    SnapshotManifest,
+    gc_archive,
+    ingest_dataset,
+    ingest_history,
+    load_index,
+    verify_archive,
+)
+from repro.errors import ArchiveCorruptionError, ArchiveError
+from repro.store.purposes import TrustPurpose
+
+
+@pytest.fixture(scope="session")
+def archive_dir(dataset, tmp_path_factory):
+    """The full corpus, ingested once for every read-only test."""
+    root = tmp_path_factory.mktemp("archive") / "corpus"
+    archive = Archive(root, create=True)
+    ingest_dataset(archive, dataset)
+    return root
+
+
+@pytest.fixture(scope="session")
+def query(archive_dir):
+    return ArchiveQuery(archive_dir)
+
+
+def _copy_archive(archive_dir, tmp_path) -> Archive:
+    """A disposable clone for tests that damage or mutate the archive."""
+    clone = tmp_path / "clone"
+    shutil.copytree(archive_dir, clone)
+    return Archive(clone)
+
+
+class TestContentStore:
+    def test_put_is_idempotent_and_sharded(self, tmp_path):
+        store = ContentStore(tmp_path / "objects")
+        first = store.put(b"hello world")
+        again = store.put(b"hello world")
+        assert first.created and not again.created
+        assert first.fingerprint == again.fingerprint
+        assert store.path_for(first.fingerprint).parent.name == first.fingerprint[:2]
+        assert store.get(first.fingerprint) == b"hello world"
+        assert len(store) == 1
+
+    def test_get_verifies_content_address(self, tmp_path):
+        store = ContentStore(tmp_path / "objects")
+        fingerprint = store.put(b"payload").fingerprint
+        path = store.path_for(fingerprint)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArchiveCorruptionError) as excinfo:
+            store.get(fingerprint)
+        assert fingerprint in str(excinfo.value)
+        assert excinfo.value.fingerprint == fingerprint
+        # verify=False is the escape hatch for forensics, not queries
+        assert store.get(fingerprint, verify=False) == bytes(data)
+
+    def test_missing_object_raises(self, tmp_path):
+        store = ContentStore(tmp_path / "objects")
+        with pytest.raises(ArchiveError, match="missing"):
+            store.get("ab" * 32)
+
+    def test_rejects_non_fingerprint_names(self, tmp_path):
+        store = ContentStore(tmp_path / "objects")
+        with pytest.raises(ArchiveError, match="not a SHA-256"):
+            store.path_for("../../etc/passwd")
+
+
+class TestIngest:
+    def test_full_corpus_roundtrip(self, dataset, query):
+        """Every snapshot reconstructs with identical fingerprint sets."""
+        for provider in dataset.providers:
+            rebuilt_history = query.history(provider)
+            originals = dataset[provider].snapshots
+            assert len(rebuilt_history) == len(originals)
+            for original, rebuilt in zip(originals, rebuilt_history):
+                assert rebuilt.fingerprints() == original.fingerprints()
+                assert rebuilt.tls_fingerprints() == original.tls_fingerprints()
+                assert rebuilt == original  # full equality: trust bits too
+
+    def test_reingest_is_byte_idempotent(self, dataset, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        before = archive.catalog_hash()
+        report = ingest_dataset(archive, dataset)
+        assert report.objects_written == 0
+        assert report.manifests_written == 0
+        assert report.snapshots_unchanged == report.snapshots_seen
+        assert archive.catalog_hash() == before
+
+    def test_incremental_ingest_only_writes_new(self, dataset, tmp_path):
+        archive = Archive(tmp_path / "incremental", create=True)
+        first_provider = dataset.providers[0]
+        initial = ingest_history(archive, dataset[first_provider])
+        assert initial.snapshots_added == len(dataset[first_provider])
+        full = ingest_dataset(archive, dataset)
+        assert full.snapshots_unchanged == len(dataset[first_provider])
+        assert full.snapshots_added == dataset.total_snapshots() - len(dataset[first_provider])
+
+    def test_objects_deduplicate_across_providers(self, dataset, archive_dir):
+        archive = Archive(archive_dir)
+        unique = {
+            e.certificate.fingerprint_sha256
+            for p in dataset.providers
+            for s in dataset[p]
+            for e in s
+        }
+        assert set(archive.objects.fingerprints()) == unique
+        assert len(archive.objects) < dataset.total_snapshots()  # massive dedup
+
+
+class TestManifest:
+    def test_manifest_preserves_trust_context(self, dataset):
+        snapshot = dataset["nss"].latest()
+        manifest = SnapshotManifest.from_snapshot(snapshot)
+        restored = SnapshotManifest.from_payload(manifest.to_payload())
+        assert restored == manifest
+        assert restored.manifest_id == manifest.manifest_id
+        assert restored.fingerprints() == snapshot.fingerprints()
+        assert restored.fingerprints(TrustPurpose.SERVER_AUTH) == snapshot.tls_fingerprints()
+
+    def test_manifest_id_is_content_address(self, dataset):
+        a = SnapshotManifest.from_snapshot(dataset["nss"].latest())
+        b = SnapshotManifest.from_snapshot(dataset["nss"].snapshots[0])
+        assert a.manifest_id != b.manifest_id
+        assert a.manifest_id == SnapshotManifest.from_payload(a.to_payload()).manifest_id
+
+
+class TestQuery:
+    def test_point_in_time_matches_live_histories(self, dataset, query):
+        """trusted_on agrees with StoreHistory.at() on every probe."""
+        when = date(2018, 6, 1)
+        fingerprint = next(iter(dataset["nss"].at(when).tls_fingerprints()))
+        observations = {o.provider: o for o in query.trusted_on(fingerprint, when)}
+        for provider in dataset.providers:
+            live = dataset[provider].at(when)
+            if live is None:
+                assert provider not in observations
+                continue
+            expected = fingerprint in live.tls_fingerprints()
+            assert observations[provider].present == expected, provider
+            assert observations[provider].version == live.version
+
+    def test_snapshot_at_resolves_in_force_release(self, dataset, query):
+        when = date(2016, 3, 15)
+        for provider in dataset.providers:
+            live = dataset[provider].at(when)
+            rebuilt = query.snapshot_at(provider, when)
+            if live is None:
+                assert rebuilt is None
+            else:
+                assert rebuilt == live
+
+    def test_ever_shipped_covers_all_occurrences(self, dataset, query):
+        fingerprint = next(iter(dataset["nss"].latest().fingerprints()))
+        postings = query.ever_shipped(fingerprint)
+        expected = sum(
+            1
+            for p in dataset.providers
+            for s in dataset[p]
+            if fingerprint in s.fingerprints()
+        )
+        assert len(postings) == expected
+
+    def test_diff_matches_live_sets(self, dataset, query):
+        when = date(2019, 1, 1)
+        diff = query.diff("nss", "microsoft", when=when)
+        live_a = dataset["nss"].at(when).tls_fingerprints()
+        live_b = dataset["microsoft"].at(when).tls_fingerprints()
+        assert diff.only_a == live_a - live_b
+        assert diff.only_b == live_b - live_a
+        assert diff.shared == live_a & live_b
+        assert 0.0 <= diff.jaccard_distance <= 1.0
+
+    def test_removal_lags_match_trusted_until(self, dataset, query, slug_fingerprints):
+        fingerprint = slug_fingerprints["diginotar-root"]
+        lags = {lag.provider: lag for lag in query.removal_lags(fingerprint)}
+        for provider, lag in lags.items():
+            assert dataset[provider].trusted_until(fingerprint) == lag.removed_on
+        reference = date(2011, 9, 1)
+        with_lag = query.removal_lags(fingerprint, reference=reference)
+        for lag in with_lag:
+            if lag.removed_on is not None:
+                assert lag.lag_days == (lag.removed_on - reference).days
+
+    def test_dataset_reconstruction_is_identity(self, dataset, query):
+        rebuilt = query.dataset(providers=["alpine"])
+        assert rebuilt["alpine"].snapshots == dataset["alpine"].snapshots
+
+    def test_distance_matrix_matches_live(self, dataset, query):
+        import numpy as np
+
+        from repro.analysis import collect_snapshots, distance_matrix
+
+        since = date(2011, 1, 1)
+        live = distance_matrix(collect_snapshots(dataset, since=since))
+        archived = query.distance_matrix(since=since)
+        assert archived.labels == live.labels
+        assert float(np.abs(archived.matrix - live.matrix).max()) == 0.0
+
+    def test_warm_queries_hit_caches(self, archive_dir):
+        engine = ArchiveQuery(archive_dir)
+        when = date(2018, 6, 1)
+        fingerprint = sorted(engine.index.postings)[0]
+        engine.trusted_on(fingerprint, when)
+        misses = engine.cache_stats()["manifest"].misses
+        engine.trusted_on(fingerprint, when)
+        stats = engine.cache_stats()["manifest"]
+        assert stats.misses == misses  # second pass never touched disk
+        assert stats.hits > 0
+        assert 0.0 < stats.hit_rate <= 1.0
+
+    def test_unknown_provider_and_version_raise(self, query):
+        with pytest.raises(ArchiveError, match="no provider"):
+            query.timeline("no-such-provider")
+        with pytest.raises(ArchiveError, match="no version"):
+            query.release("nss", "v999.999")
+
+
+class TestIndex:
+    def test_index_is_persisted_and_reloaded(self, archive_dir):
+        archive = Archive(archive_dir)
+        index_dir = archive.root / "index"
+        assert (index_dir / "fingerprints.json").exists()
+        assert (index_dir / "timelines.json").exists()
+        loaded = load_index(archive)
+        assert loaded.catalog_hash == archive.catalog_hash()
+        assert loaded.providers == sorted(loaded.timelines)
+
+    def test_stale_index_rebuilds_after_new_ingest(self, dataset, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        stale = load_index(archive)
+        # Simulate new data arriving: drop one provider's rows and re-ingest.
+        rows = [r for r in archive.read_catalog() if r.provider != "alpine"]
+        archive.write_catalog(rows)
+        rebuilt = load_index(archive)
+        assert rebuilt.catalog_hash != stale.catalog_hash
+        assert "alpine" not in rebuilt.timelines
+        ingest_dataset(archive, dataset)
+        full = load_index(archive)
+        assert "alpine" in full.timelines
+
+    def test_in_force_before_first_release_is_none(self, query):
+        assert query.index.in_force("nss", date(1999, 1, 1)) is None
+
+
+class TestCorruption:
+    def test_verify_names_single_flipped_byte(self, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        victim = next(iter(archive.objects.fingerprints()))
+        path = archive.objects.path_for(victim)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01  # a single flipped bit mid-file
+        path.write_bytes(bytes(data))
+
+        report = verify_archive(archive)
+        assert not report.ok
+        assert [fp for fp, _ in report.corrupt_objects] == [victim]
+        assert any(victim in line for line in report.problem_lines())
+        assert "CORRUPT" in report.summary()
+
+    def test_query_fails_loudly_on_corrupt_object(self, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        engine = ArchiveQuery(archive)
+        # Corrupt an object that the latest NSS snapshot references.
+        fingerprint = sorted(
+            engine._manifest("nss", engine.timeline("nss")[-1].manifest_id).entry_index
+        )[0]
+        path = archive.objects.path_for(fingerprint)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x80
+        path.write_bytes(bytes(data))
+
+        with pytest.raises(ArchiveCorruptionError) as excinfo:
+            engine.snapshot("nss", engine.timeline("nss")[-1].version)
+        assert excinfo.value.fingerprint == fingerprint
+
+    def test_verify_detects_catalog_manifest_mismatch(self, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        rows = archive.read_catalog()
+        rows[0] = type(rows[0])(
+            provider=rows[0].provider,
+            version=rows[0].version,
+            taken_at=rows[0].taken_at,
+            manifest_id=rows[0].manifest_id,
+            entries=rows[0].entries + 5,  # catalog now lies about the count
+        )
+        archive.write_catalog(rows)
+        report = verify_archive(archive)
+        assert not report.ok
+        assert len(report.mismatched_rows) == 1
+
+    def test_verify_detects_missing_manifest(self, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        row = archive.read_catalog()[0]
+        archive.manifest_path(row.provider, row.manifest_id).unlink()
+        report = verify_archive(archive)
+        assert not report.ok
+        assert (row.provider, row.manifest_id) in report.missing_manifests
+
+
+class TestGC:
+    def test_gc_removes_only_orphans(self, dataset, archive_dir, tmp_path):
+        archive = _copy_archive(archive_dir, tmp_path)
+        orphan = archive.objects.put(b"not referenced by any manifest")
+        assert orphan.created
+        healthy = verify_archive(archive)
+        assert healthy.orphan_objects == [orphan.fingerprint]
+
+        dry = gc_archive(archive, dry_run=True)
+        assert dry.objects_removed == 1 and dry.dry_run
+        assert orphan.fingerprint in archive.objects  # dry run deleted nothing
+
+        result = gc_archive(archive)
+        assert result.objects_removed == 1
+        assert orphan.fingerprint not in archive.objects
+        # Nothing reachable was touched: the archive still verifies clean.
+        after = verify_archive(archive)
+        assert after.ok and after.orphan_count == 0

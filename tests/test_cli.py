@@ -154,3 +154,129 @@ class TestCollect:
     def test_collect_strict_and_lenient_exclusive(self):
         with pytest.raises(SystemExit):
             main(["collect", "--strict", "--lenient"])
+
+    def test_collect_archive_persists_histories(self, tmp_path, capsys):
+        target = tmp_path / "arch"
+        assert main(["collect", "--providers", "alpine", "--archive", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert f"archived to {target}" in out
+        assert main(["archive", "verify", str(target)]) == 0
+        assert capsys.readouterr().out.startswith("OK")
+
+
+class TestErrorExits:
+    """Operational failures exit 1 with a one-line error, no traceback."""
+
+    def test_collect_strict_fault_exits_nonzero(self, capsys):
+        rc = main([
+            "collect", "--providers", "alpine",
+            "--fault-rate", "0.5", "--fault-seed", "cli-error-test",
+        ])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1  # no traceback
+
+    def test_scrape_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["scrape", "java", str(tmp_path / "nowhere")])
+        assert rc == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_archive_query_missing_archive_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["archive", "query", str(tmp_path / "no-archive"), "--provider", "nss"])
+        assert rc == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+@pytest.fixture(scope="module")
+def archive_dir(tmp_path_factory):
+    """One full-corpus archive, built through the CLI, shared read-only."""
+    target = tmp_path_factory.mktemp("cli-archive") / "arch"
+    assert main(["archive", "ingest", str(target)]) == 0
+    return target
+
+
+class TestArchive:
+    def test_ingest_reports_and_is_idempotent(self, archive_dir, capsys):
+        capsys.readouterr()
+        assert main(["archive", "ingest", str(archive_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 added" in out and "unchanged" in out
+        assert "0 new objects" in out
+        assert "catalog hash: " in out
+
+    def test_query_provider_latest(self, archive_dir, capsys):
+        capsys.readouterr()
+        assert main(["archive", "query", str(archive_dir), "--provider", "nss"]) == 0
+        assert "nss@" in capsys.readouterr().out
+
+    def test_query_fingerprint_point_in_time(self, archive_dir, slug_fingerprints, capsys):
+        fingerprint = slug_fingerprints["diginotar-root"]
+        capsys.readouterr()
+        assert main([
+            "archive", "query", str(archive_dir),
+            "--fingerprint", fingerprint[:16], "--date", "2011-01-01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"fingerprint {fingerprint}" in out  # prefix expanded
+        assert "providers trusted it on 2011-01-01" in out
+
+    def test_query_fingerprint_without_date_lists_postings(
+        self, archive_dir, slug_fingerprints, capsys
+    ):
+        fingerprint = slug_fingerprints["diginotar-root"]
+        capsys.readouterr()
+        assert main(["archive", "query", str(archive_dir), "--fingerprint", fingerprint]) == 0
+        assert "archived snapshots" in capsys.readouterr().out
+
+    def test_query_unknown_fingerprint_exits_nonzero(self, archive_dir, capsys):
+        rc = main(["archive", "query", str(archive_dir), "--fingerprint", "f" * 64])
+        assert rc == 1
+        assert "no archived certificate" in capsys.readouterr().err
+
+    def test_query_needs_exactly_one_selector(self, archive_dir, capsys):
+        assert main(["archive", "query", str(archive_dir)]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_diff(self, archive_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "archive", "diff", str(archive_dir), "nss", "microsoft",
+            "--date", "2019-01-01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nss@" in out and "microsoft@" in out and "jaccard" in out
+
+    def test_verify_clean_archive(self, archive_dir, capsys):
+        capsys.readouterr()
+        assert main(["archive", "verify", str(archive_dir)]) == 0
+        assert capsys.readouterr().out.startswith("OK")
+
+    def test_verify_corrupt_object_exits_nonzero(self, archive_dir, tmp_path, capsys):
+        import shutil
+
+        clone = tmp_path / "clone"
+        shutil.copytree(archive_dir, clone)
+        shard = next(p for p in sorted((clone / "objects").iterdir()) if p.is_dir())
+        victim = sorted(shard.glob("*.der"))[0]
+        data = bytearray(victim.read_bytes())
+        data[0] ^= 0x01
+        victim.write_bytes(bytes(data))
+
+        capsys.readouterr()
+        assert main(["archive", "verify", str(clone)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert f"corrupt object {victim.stem}" in out
+
+    def test_gc_dry_run(self, archive_dir, capsys):
+        capsys.readouterr()
+        assert main(["archive", "gc", str(archive_dir), "--dry-run"]) == 0
+        assert "would remove 0 objects" in capsys.readouterr().out
+
+    def test_bench_smoke(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_archive.json"
+        assert main(["archive", "bench", "--smoke", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "Archive benchmark" in out and "idempotent=True" in out
+        assert output.exists()
