@@ -1,0 +1,60 @@
+"""Robustness harness — the full-size run behind ``archive bench-robustness``.
+
+Runs :func:`repro.bench.run_robustness_suite` on the complete seeded
+corpus and enforces the crash-consistency claims of the archive layer:
+
+- the write-ahead journal + writer lock cost ≤ 10% over the unjournaled
+  baseline on a cold ingest (measured with fsync off on both sides, so
+  the gate isolates the journal from the disk),
+- the seeded kill-point matrix converges at every cell: crash at each
+  write site, ``repair``, clean ``verify``, and a re-ingest that lands
+  on the byte-identical undamaged catalog hash,
+- ``repair`` on a realistically damaged corpus (bit-flipped objects, a
+  deleted manifest, stray temp debris) leaves ``verify`` clean, serves
+  the intact remainder in degraded mode, and is fully restored by a
+  re-ingest.
+
+Correctness gates are enforced unconditionally; timing ratios only in
+full mode.  The committed ``BENCH_robustness.json`` is the perf
+record; regenerate it with ``repro-roots archive bench-robustness``
+after changes to the write path.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench import is_smoke_mode, run_robustness_suite
+
+
+def test_robustness_suite(benchmark, dataset, capsys, tmp_path):
+    output = tmp_path / "BENCH_robustness.json"
+    suite = benchmark.pedantic(
+        run_robustness_suite,
+        args=(dataset,),
+        kwargs={"output": output},
+        rounds=1,
+        iterations=1,
+    )
+    results = suite.results
+
+    emit(capsys, "\n".join(suite.summary_lines()))
+
+    # Correctness gates hold in every mode.
+    matrix = results["kill_matrix"]
+    assert matrix["all_converged"] is True, f"kill matrix failures: {matrix['failures']}"
+    damaged = results["repair_damaged"]
+    assert damaged["verify_ok"] is True
+    assert damaged["restored"] is True
+    assert damaged["served_snapshots"] + damaged["snapshots_quarantined"] == (
+        damaged["total_snapshots"]
+    )
+    assert damaged["tmp_swept"] >= damaged["tmp_scattered"]
+    assert output.exists()
+
+    if is_smoke_mode():
+        return  # tiny inputs: timing ratios are noise, stop at correctness
+
+    assert results["overhead"]["within_budget"] is True, (
+        "journal overhead broke its <=10% budget: "
+        f"{results['overhead']['journal_overhead_pct']:+.1f}%"
+    )

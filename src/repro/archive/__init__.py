@@ -14,9 +14,27 @@ incidence/distance matrices, all in milliseconds instead of a
 full-corpus rebuild.  :mod:`repro.archive.verify` is the integrity
 pass (every object re-hashed, catalog cross-checked, orphans found)
 behind ``archive verify`` / ``archive gc``.
+
+The archive is crash-consistent and self-healing end to end: every
+write is durable and atomic with a unique per-writer temp name
+(:mod:`repro.archive.io`), every ingest runs under the single-writer
+lock (:mod:`repro.archive.lock`) with its intent in a write-ahead
+journal (:mod:`repro.archive.journal`), a seeded fault harness can
+kill a writer at every write site (:mod:`repro.archive.chaos`), and
+``archive repair`` (:mod:`repro.archive.repair`) rolls interrupted
+ingests forward or back and quarantines bitrot, leaving ``verify``
+clean while degraded queries keep serving the intact snapshots.
 """
 
 from repro.archive.cas import ContentStore, PutResult, content_address
+from repro.archive.chaos import (
+    ChaosPlan,
+    CrashInjector,
+    CrashPoint,
+    SimulatedCrash,
+    crash_at,
+    record_sites,
+)
 from repro.archive.index import (
     ArchiveIndex,
     Posting,
@@ -32,11 +50,26 @@ from repro.archive.ingest import (
     ingest_history,
     ingest_snapshots,
 )
+from repro.archive.io import (
+    atomic_write_bytes,
+    fsync_enabled,
+    set_crash_hook,
+    set_fsync,
+    stray_tmp_files,
+)
+from repro.archive.journal import (
+    IngestJournal,
+    JournalState,
+    pending_transactions,
+    read_journal,
+)
+from repro.archive.lock import LockInfo, WriterLock, break_lock, read_lock
 from repro.archive.manifest import (
     Archive,
     CatalogRow,
     ManifestEntry,
     SnapshotManifest,
+    serialize_catalog,
 )
 from repro.archive.query import (
     ArchiveDiff,
@@ -44,6 +77,12 @@ from repro.archive.query import (
     CacheStats,
     RemovalLag,
     TrustObservation,
+)
+from repro.archive.repair import (
+    QuarantinedSnapshot,
+    RepairReport,
+    read_quarantine,
+    repair_archive,
 )
 from repro.archive.verify import GCResult, VerificationReport, gc_archive, verify_archive
 
@@ -55,24 +94,48 @@ __all__ = [
     "ArchiveWriter",
     "CacheStats",
     "CatalogRow",
+    "ChaosPlan",
     "ContentStore",
+    "CrashInjector",
+    "CrashPoint",
     "GCResult",
+    "IngestJournal",
     "IngestReport",
+    "JournalState",
+    "LockInfo",
     "ManifestEntry",
     "Posting",
     "PutResult",
+    "QuarantinedSnapshot",
     "RemovalLag",
+    "RepairReport",
+    "SimulatedCrash",
     "SnapshotManifest",
     "TimelineEntry",
     "TrustObservation",
     "VerificationReport",
+    "WriterLock",
+    "atomic_write_bytes",
+    "break_lock",
     "build_index",
     "content_address",
+    "crash_at",
+    "fsync_enabled",
     "gc_archive",
     "ingest_dataset",
     "ingest_history",
     "ingest_snapshots",
     "load_index",
+    "pending_transactions",
     "persist_index",
+    "read_journal",
+    "read_lock",
+    "read_quarantine",
+    "record_sites",
+    "repair_archive",
+    "serialize_catalog",
+    "set_crash_hook",
+    "set_fsync",
+    "stray_tmp_files",
     "verify_archive",
 ]

@@ -24,11 +24,11 @@ damaged file rather than as silently wrong analysis output.
 from __future__ import annotations
 
 import hashlib
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from repro.archive.io import atomic_write_bytes
 from repro.errors import ArchiveCorruptionError, ArchiveError
 
 #: Directory name of the object store inside an archive root.
@@ -73,9 +73,7 @@ class ContentStore:
         if path.exists():
             return PutResult(fingerprint=fingerprint, created=False)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(OBJECT_SUFFIX + ".tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
+        atomic_write_bytes(path, data, site="object")
         return PutResult(fingerprint=fingerprint, created=True)
 
     def remove(self, fingerprint: str) -> bool:
@@ -103,8 +101,10 @@ class ContentStore:
         try:
             data = path.read_bytes()
         except FileNotFoundError as exc:
-            raise ArchiveError(
-                f"object {fingerprint} missing from content store ({path})"
+            raise ArchiveCorruptionError(
+                f"object {fingerprint} missing from content store ({path})",
+                fingerprint=fingerprint,
+                path=str(path),
             ) from exc
         if verify:
             actual = content_address(data)

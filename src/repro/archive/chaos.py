@@ -1,0 +1,165 @@
+"""Seeded crash and fault injection for the archive's write path.
+
+The spiritual sibling of :class:`repro.collection.faults.FaultPlan`,
+one layer down: where the collection plan damages what an origin
+*serves*, the chaos plan kills the archive writer itself, at any of
+the named write sites :mod:`repro.archive.io` announces (journal
+appends, object/manifest/catalog replaces, and the windows just after
+each rename).  Everything is deterministic: the kill-point matrix for
+a given site trace is a pure function, and the per-point injection
+style (clean kill, torn write, flipped bytes) is a hash of
+``(seed, site, hit)`` — two runs with the same seed crash identically.
+
+Usage shape, mirroring the tests and the robustness bench::
+
+    sites = record_sites(lambda: ingest_dataset(archive, dataset))
+    for point, style in ChaosPlan(seed="pr4").matrix(sites):
+        with crash_at(point.site, hit=point.hit, style=style):
+            with pytest.raises(SimulatedCrash):
+                ingest_dataset(fresh_archive, dataset)
+        repair_archive(fresh_archive, force_unlock=True)
+
+:class:`SimulatedCrash` derives from :class:`BaseException` on
+purpose: a real ``kill -9`` is not catchable, so no ``except
+Exception`` cleanup handler in the write path may observe it — the
+lock stays held, the journal stays open, exactly as a dead process
+would leave them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.archive.io import clear_crash_hook, set_crash_hook
+
+
+class SimulatedCrash(BaseException):
+    """The writer was killed at a named write site (uncatchable on purpose)."""
+
+    def __init__(self, site: str, hit: int, style: str = "kill"):
+        super().__init__(f"simulated crash at write site {site!r} (hit {hit}, {style})")
+        self.site = site
+        self.hit = hit
+        self.style = style
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One cell of the kill matrix: the Nth firing of a write site."""
+
+    site: str
+    hit: int = 1  # 1-based occurrence within the instrumented run
+
+
+#: Injection styles: die cleanly; die after writing a torn prefix of the
+#: pending bytes to the *final* name (modelling a non-atomic sector
+#: tear); die after writing the bytes with their head flipped (bitrot).
+STYLES = ("kill", "torn", "flip")
+
+
+def _fraction(key: str) -> float:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class CrashInjector:
+    """The installed hook: counts firings of one site, then crashes."""
+
+    def __init__(
+        self,
+        point: CrashPoint,
+        *,
+        style: str = "kill",
+        keep_fraction: float = 0.5,
+        flip_window: int = 16,
+        flip_mask: int = 0xA5,
+    ):
+        if style not in STYLES:
+            raise ValueError(f"unknown crash style {style!r}")
+        self.point = point
+        self.style = style
+        self.keep_fraction = keep_fraction
+        self.flip_window = flip_window
+        self.flip_mask = flip_mask
+        self.seen = 0
+        self.fired = False
+
+    def __call__(self, site: str, path: Path | None, data: bytes | None) -> None:
+        if site != self.point.site:
+            return
+        self.seen += 1
+        if self.seen != self.point.hit:
+            return
+        self.fired = True
+        if path is not None and data is not None and self.style != "kill":
+            if self.style == "torn":
+                damaged = data[: max(1, int(len(data) * self.keep_fraction))]
+            else:  # flip
+                head = bytes(b ^ self.flip_mask for b in data[: self.flip_window])
+                damaged = head + data[self.flip_window :]
+            # Journal-style sites are appends to a growing file; replace
+            # sites pend a whole file.  Damaging an append must not
+            # truncate the records already on disk.
+            if site.startswith("journal:"):
+                with open(path, "ab") as handle:
+                    handle.write(damaged)
+            else:
+                path.write_bytes(damaged)
+        raise SimulatedCrash(site, self.point.hit, self.style)
+
+
+@contextmanager
+def crash_at(site: str, *, hit: int = 1, style: str = "kill") -> Iterator[CrashInjector]:
+    """Install a :class:`CrashInjector` for the duration of the block."""
+    injector = CrashInjector(CrashPoint(site, hit), style=style)
+    set_crash_hook(injector)
+    try:
+        yield injector
+    finally:
+        clear_crash_hook()
+
+
+def record_sites(operation: Callable[[], object]) -> list[str]:
+    """Run ``operation`` once, returning every write-site firing in order."""
+    sites: list[str] = []
+    set_crash_hook(lambda site, path, data: sites.append(site))
+    try:
+        operation()
+    finally:
+        clear_crash_hook()
+    return sites
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded kill-matrix builder over a recorded site trace.
+
+    For each distinct site the matrix covers the first, middle, and
+    last occurrence (deduplicated when the site fires fewer than three
+    times), and assigns each point an injection style by hashing
+    ``(seed, site, hit)`` — so the matrix is exhaustive over site
+    *types* and deterministic over *styles* without enumerating every
+    one of a large ingest's thousands of object writes.
+    """
+
+    seed: str = "chaos"
+    styles: tuple[str, ...] = STYLES
+
+    def style_for(self, site: str, hit: int) -> str:
+        choice = _fraction(f"{self.seed}:{site}:{hit}:style")
+        return self.styles[int(choice * len(self.styles)) % len(self.styles)]
+
+    def matrix(self, sites: list[str]) -> list[tuple[CrashPoint, str]]:
+        counts: dict[str, int] = {}
+        for site in sites:
+            counts[site] = counts.get(site, 0) + 1
+        points: list[tuple[CrashPoint, str]] = []
+        for site in sorted(counts):
+            total = counts[site]
+            for hit in sorted({1, (total + 1) // 2, total}):
+                points.append((CrashPoint(site, hit), self.style_for(site, hit)))
+        return points

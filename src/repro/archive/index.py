@@ -21,12 +21,12 @@ ingest rewrites the catalog, and the next query rebuilds exactly once.
 from __future__ import annotations
 
 import json
-import os
 from bisect import bisect_right
 from dataclasses import dataclass
 from datetime import date
 from pathlib import Path
 
+from repro.archive.io import atomic_write_bytes
 from repro.archive.manifest import Archive
 from repro.errors import ArchiveError
 
@@ -150,10 +150,8 @@ def persist_index(archive: Archive, index: ArchiveIndex) -> None:
         },
     }
     for name, payload in files.items():
-        path = directory / name
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
-        os.replace(tmp, path)
+        data = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
+        atomic_write_bytes(directory / name, data, site="index")
 
 
 def _load_persisted(archive: Archive, catalog_hash: str) -> ArchiveIndex | None:

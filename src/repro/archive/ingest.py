@@ -14,14 +14,32 @@ directory untouched and rewrites a byte-identical catalog (same
 snapshot under an existing ``(provider, version, taken_at)`` key —
 e.g. a re-scrape that salvaged more entries — supersedes the old
 catalog row; the old manifest file stays until ``archive gc``.
+
+Everything is also crash-consistent.  Each writer holds the archive's
+single-writer lock (:class:`~repro.archive.lock.WriterLock`) for its
+whole session, and records every snapshot's intent in the write-ahead
+journal (:class:`~repro.archive.journal.IngestJournal`) *before*
+touching objects or manifests, finishing with the hash the new catalog
+will have just before the atomic catalog replace.  A writer that dies
+at any instant leaves a journal file behind; ``archive repair`` uses
+it to roll the ingest forward (catalog landed) or back (it did not).
+Cleanup on *graceful* failure uses ``except Exception`` deliberately —
+a simulated crash (:class:`~repro.archive.chaos.SimulatedCrash`
+derives from :class:`BaseException`) must leave the lock held and the
+journal on disk, exactly like ``kill -9``.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
-from repro.archive.manifest import Archive, CatalogRow, SnapshotManifest
+from repro.archive.journal import IngestJournal, pending_transactions
+from repro.archive.lock import WriterLock
+from repro.archive.manifest import Archive, CatalogRow, SnapshotManifest, serialize_catalog
+from repro.collection.retry import RetryPolicy
+from repro.errors import ArchiveError
 from repro.store.history import Dataset, StoreHistory
 from repro.store.snapshot import RootStoreSnapshot
 
@@ -68,13 +86,74 @@ class ArchiveWriter:
     flushes it atomically on :meth:`commit`.
     """
 
-    def __init__(self, archive: Archive):
+    def __init__(
+        self,
+        archive: Archive,
+        *,
+        lock: bool = True,
+        journal: bool = True,
+        owner: str = "ingest",
+        lock_policy: RetryPolicy | None = None,
+        lock_sleep: Callable[[float], None] | None = None,
+    ):
         self.archive = archive
         self.report = IngestReport()
-        self._rows: dict[tuple[str, str, str], CatalogRow] = {
-            row.key: row for row in archive.read_catalog()
-        }
+        self._lock = (
+            WriterLock(archive.root, owner=owner, policy=lock_policy, sleep=lock_sleep)
+            if lock
+            else None
+        )
+        self._journal = IngestJournal(archive.root) if journal else None
+        if self._lock is not None:
+            self._lock.acquire()
+        try:
+            pending = pending_transactions(archive.root)
+            if pending:
+                names = ", ".join(state.txn_id for state in pending)
+                raise ArchiveError(
+                    f"archive {archive.root} has {len(pending)} uncommitted ingest "
+                    f"journal(s) ({names}) from a crashed writer; run "
+                    "`repro-roots archive repair` before ingesting"
+                )
+            self._rows: dict[tuple[str, str, str], CatalogRow] = {
+                row.key: row for row in archive.read_catalog()
+            }
+        except Exception:
+            self._release_lock()
+            raise
         self._dirty = False
+
+    # -- crash-consistency plumbing --------------------------------------
+
+    def _release_lock(self) -> None:
+        if self._lock is not None:
+            self._lock.release()
+
+    def _journal_snapshot(self, manifest: SnapshotManifest) -> None:
+        """Record the snapshot's intent before any of its bytes land."""
+        if self._journal is None:
+            return
+        if not self._journal.active:
+            self._journal.begin(self.archive.catalog_hash())
+        self._journal.record_snapshot(
+            manifest.provider,
+            manifest.manifest_id,
+            [e.fingerprint for e in manifest.entries],
+        )
+
+    def abort(self) -> None:
+        """Retire this writer after a *graceful* failure, without committing.
+
+        Anything already written is a content-named orphan (``gc``-able)
+        and the catalog was never replaced, so the journal can be
+        retired too — only an actual crash leaves one behind for
+        ``archive repair``.
+        """
+        if self._journal is not None and self._journal.active:
+            self._journal.close()
+            if self._journal.path is not None:
+                self._journal.path.unlink(missing_ok=True)
+        self._release_lock()
 
     def add_snapshot(self, snapshot: RootStoreSnapshot) -> None:
         report = self.report
@@ -94,6 +173,7 @@ class ArchiveWriter:
             report.snapshots_unchanged += 1
             return  # manifest content-named and present: nothing to do
 
+        self._journal_snapshot(manifest)
         for entry in snapshot.entries:
             if self.archive.objects.put(entry.certificate.der).created:
                 report.objects_written += 1
@@ -114,32 +194,60 @@ class ArchiveWriter:
             self.add_snapshot(snapshot)
 
     def commit(self) -> IngestReport:
-        """Write the catalog (only when something changed) and report."""
-        if self._dirty or self.archive.catalog_bytes() is None:
-            self.archive.write_catalog(list(self._rows.values()))
-            self._dirty = False
+        """Write the catalog (only when something changed), release, report.
+
+        The catalog intent — the SHA-256 the replaced catalog will have
+        — is journaled first, so recovery can tell whether the replace
+        landed; the journal itself is retired only after it did.
+        """
+        try:
+            if self._dirty or self.archive.catalog_bytes() is None:
+                rows = list(self._rows.values())
+                if self._journal is not None:
+                    if not self._journal.active:
+                        self._journal.begin(self.archive.catalog_hash())
+                    intent = hashlib.sha256(serialize_catalog(rows)).hexdigest()
+                    self._journal.record_catalog(intent)
+                self.archive.write_catalog(rows)
+                if self._journal is not None:
+                    self._journal.commit()
+                self._dirty = False
+            elif self._journal is not None and self._journal.active:
+                self._journal.commit()  # intents that turned out to be no-ops
+        except Exception:
+            self.abort()
+            raise
+        self._release_lock()
         return self.report
 
 
 def ingest_snapshots(
-    archive: Archive, snapshots: Iterable[RootStoreSnapshot]
+    archive: Archive, snapshots: Iterable[RootStoreSnapshot], **writer_options
 ) -> IngestReport:
     """Ingest a snapshot stream and commit the catalog once."""
-    writer = ArchiveWriter(archive)
-    for snapshot in snapshots:
-        writer.add_snapshot(snapshot)
+    writer = ArchiveWriter(archive, **writer_options)
+    try:
+        for snapshot in snapshots:
+            writer.add_snapshot(snapshot)
+    except Exception:
+        writer.abort()
+        raise
     return writer.commit()
 
 
-def ingest_history(archive: Archive, history: StoreHistory) -> IngestReport:
-    return ingest_snapshots(archive, history)
+def ingest_history(archive: Archive, history: StoreHistory, **writer_options) -> IngestReport:
+    return ingest_snapshots(archive, history, **writer_options)
 
 
 def ingest_dataset(
-    archive: Archive, dataset: Dataset, *, providers: Iterable[str] | None = None
+    archive: Archive,
+    dataset: Dataset,
+    *,
+    providers: Iterable[str] | None = None,
+    **writer_options,
 ) -> IngestReport:
     """Ingest every (selected) provider history in deterministic order."""
     selected = sorted(providers) if providers is not None else dataset.providers
     return ingest_snapshots(
-        archive, (s for p in selected for s in dataset[p])
+        archive, (s for p in selected for s in dataset[p]), **writer_options
     )

@@ -1,0 +1,195 @@
+"""The write-ahead ingest journal: crash-consistent intent logging.
+
+Every ingest transaction records its *intent* before touching the
+archive, so a crash at any instant leaves enough on disk to either
+finish the ingest or undo it — never a silently half-written archive.
+One append-only JSONL file per transaction lives under ``journal/``
+inside the archive root; each record is fsync'd before the action it
+describes happens::
+
+    journal/txn-<pid>-<n>.jsonl
+      {"record": "begin",    "txn": ..., "catalog_hash": <before|null>}
+      {"record": "snapshot", "provider": ..., "manifest_id": ...,
+       "objects": [<fingerprints the snapshot may write>]}
+      {"record": "catalog",  "catalog_hash": <hash the new catalog will have>}
+      {"record": "commit"}
+
+The ``snapshot`` intent is written *before* its objects and manifest,
+and may over-approximate (it lists every object the snapshot
+references, including ones already present from deduplication) —
+recovery only ever removes intent-listed files the current catalog
+does not reach, so an over-approximation is always safe.  The
+``catalog`` record carries the hash the new catalog *will* have, which
+is what lets :func:`repro.archive.repair.repair_archive` distinguish
+roll-forward (the catalog replace landed: the ingest is complete,
+journal can be retired) from roll-back (it did not: remove the
+transaction's unreachable objects and manifests).
+
+A committed journal is deleted immediately; the ``journal/`` directory
+is therefore exactly the set of in-flight or crashed transactions.
+Torn trailing lines (a crash mid-append) are tolerated and ignored on
+read.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.archive.io import AppendFile, fire_site, fsync_dir
+from repro.errors import ArchiveError
+
+#: Directory name of the journal inside an archive root.
+JOURNAL_DIR = "journal"
+JOURNAL_SCHEMA = 1
+
+
+def journal_dir(archive_root: Path) -> Path:
+    return archive_root / JOURNAL_DIR
+
+
+@dataclass
+class JournalState:
+    """One transaction's journal, as read back during recovery."""
+
+    txn_id: str
+    path: Path
+    committed: bool = False
+    catalog_hash_before: str | None = None
+    catalog_intent: str | None = None  # hash the new catalog would have
+    snapshots: list = field(default_factory=list)  # (provider, manifest_id, objects)
+    torn_tail: bool = False  # the final line was cut off mid-append
+
+    @property
+    def objects(self) -> set[str]:
+        return {fp for _, _, objects in self.snapshots for fp in objects}
+
+    @property
+    def manifests(self) -> set[tuple[str, str]]:
+        return {(provider, manifest_id) for provider, manifest_id, _ in self.snapshots}
+
+
+class IngestJournal:
+    """The writer side: append intents with per-record durability."""
+
+    def __init__(self, archive_root: Path):
+        self.directory = journal_dir(archive_root)
+        self.txn_id: str | None = None
+        self.path: Path | None = None
+        self._file: AppendFile | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._file is not None
+
+    def begin(self, catalog_hash: str | None) -> str:
+        """Open a fresh transaction file and record the starting state."""
+        if self.active:
+            raise ArchiveError("ingest journal transaction already begun")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for n in itertools.count():
+            txn_id = f"txn-{os.getpid()}-{n:04d}"
+            path = self.directory / f"{txn_id}.jsonl"
+            try:
+                self._file = AppendFile(path, exclusive=True)
+            except FileExistsError:
+                continue
+            self.txn_id, self.path = txn_id, path
+            break
+        self._append(
+            {
+                "record": "begin",
+                "schema": JOURNAL_SCHEMA,
+                "txn": self.txn_id,
+                "catalog_hash": catalog_hash,
+            },
+            site="journal:begin",
+        )
+        return self.txn_id
+
+    def record_snapshot(self, provider: str, manifest_id: str, objects: list[str]) -> None:
+        """Intent: this snapshot's manifest and objects are about to land."""
+        self._append(
+            {
+                "record": "snapshot",
+                "provider": provider,
+                "manifest_id": manifest_id,
+                "objects": sorted(objects),
+            },
+            site="journal:snapshot",
+        )
+
+    def record_catalog(self, catalog_hash: str) -> None:
+        """Intent: the catalog is about to be replaced by bytes hashing so."""
+        self._append(
+            {"record": "catalog", "catalog_hash": catalog_hash},
+            site="journal:catalog",
+        )
+
+    def commit(self) -> None:
+        """Mark the transaction durable, then retire its journal file."""
+        self._append({"record": "commit"}, site="journal:commit")
+        self.close()
+        fire_site("journal:cleanup", self.path, None)
+        self.path.unlink(missing_ok=True)
+        fsync_dir(self.directory)
+
+    def close(self) -> None:
+        """Drop the file handle (the file itself stays for recovery)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def _append(self, record: dict, *, site: str) -> None:
+        if self._file is None:
+            raise ArchiveError("ingest journal transaction not begun")
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("ascii")
+        self._file.append(line, site=site)
+
+
+def read_journal(path: Path) -> JournalState:
+    """Parse one journal file leniently — a torn tail is not an error."""
+    state = JournalState(txn_id=path.stem, path=path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError as exc:
+        raise ArchiveError(f"journal {path} vanished while being read") from exc
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    elif lines:
+        state.torn_tail = True  # no trailing newline: the append was cut off
+        lines.pop()
+    for line in lines:
+        try:
+            record = json.loads(line)
+            kind = record["record"]
+        except (ValueError, KeyError, TypeError):
+            state.torn_tail = True
+            break  # damage mid-file: trust nothing after it
+        if kind == "begin":
+            state.catalog_hash_before = record.get("catalog_hash")
+        elif kind == "snapshot":
+            state.snapshots.append(
+                (
+                    record.get("provider", ""),
+                    record.get("manifest_id", ""),
+                    list(record.get("objects", [])),
+                )
+            )
+        elif kind == "catalog":
+            state.catalog_intent = record.get("catalog_hash")
+        elif kind == "commit":
+            state.committed = True
+    return state
+
+
+def pending_transactions(archive_root: Path) -> list[JournalState]:
+    """Every journal file still on disk, oldest first (by name)."""
+    directory = journal_dir(archive_root)
+    if not directory.is_dir():
+        return []
+    return [read_journal(path) for path in sorted(directory.glob("*.jsonl"))]

@@ -1,0 +1,167 @@
+"""Advisory single-writer locking for the archive.
+
+Two concurrent ingests into the same archive would interleave catalog
+rewrites and journal transactions; the :class:`WriterLock` serializes
+them with an O_EXCL lockfile (``.writer.lock`` in the archive root)
+holding the owner's pid and label as JSON.
+
+Acquisition reuses the collection layer's retry machinery
+(:mod:`repro.collection.retry`): a held lock raises
+:class:`~repro.errors.TransientCollectionError` internally so
+``call_with_retry`` applies its exponential backoff with deterministic
+jitter, and only after the policy's budget is exhausted does the
+caller see :class:`~repro.errors.ArchiveLockError`.  Sleeping goes
+through an injectable callable (``SimulatedClock`` in tests), honoring
+the no-wall-clock rule.
+
+A lock whose holder is no longer alive (``os.kill(pid, 0)`` fails) is
+*stale* — the writer crashed without releasing — and is broken
+automatically during acquisition and by ``archive repair``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.collection.retry import RetryPolicy, call_with_retry
+from repro.errors import ArchiveLockError, TransientCollectionError
+
+#: File name of the writer lock inside an archive root.
+LOCK_FILE = ".writer.lock"
+
+#: Default acquisition budget: 5 attempts with fast exponential backoff.
+LOCK_POLICY = RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=1.0, seed="archive-lock")
+
+
+def lock_path(archive_root: Path) -> Path:
+    return Path(archive_root) / LOCK_FILE
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """The recorded holder of a writer lock."""
+
+    pid: int
+    owner: str
+
+    @property
+    def alive(self) -> bool:
+        return _pid_alive(self.pid)
+
+
+def read_lock(archive_root: Path) -> LockInfo | None:
+    """The current lock holder, or None when absent/unreadable.
+
+    An unreadable lockfile (torn write from a crash at exactly the
+    wrong moment) reports pid 0, which is never alive — so it is
+    treated as stale and broken on the next acquisition.
+    """
+    try:
+        payload = json.loads(lock_path(archive_root).read_text())
+        return LockInfo(pid=int(payload["pid"]), owner=str(payload.get("owner", "?")))
+    except FileNotFoundError:
+        return None
+    except (ValueError, KeyError, TypeError, OSError):
+        return LockInfo(pid=0, owner="<unreadable>")
+
+
+def break_lock(archive_root: Path) -> bool:
+    """Remove the lockfile unconditionally; True when one was removed."""
+    try:
+        lock_path(archive_root).unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+class WriterLock:
+    """The advisory single-writer lock over one archive directory."""
+
+    def __init__(
+        self,
+        archive_root: Path,
+        *,
+        owner: str = "ingest",
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        self.root = Path(archive_root)
+        self.owner = owner
+        self.policy = policy or LOCK_POLICY
+        self._sleep = sleep
+        self.held = False
+
+    @property
+    def path(self) -> Path:
+        return lock_path(self.root)
+
+    def acquire(self) -> None:
+        """Take the lock, backing off behind a live holder, breaking a stale one."""
+        if self.held:
+            raise ArchiveLockError(f"writer lock on {self.root} already held by this writer")
+        try:
+            call_with_retry(
+                self._try_acquire,
+                policy=self.policy,
+                key=str(self.root),
+                sleep=self._sleep,
+            )
+        except TransientCollectionError as exc:
+            raise ArchiveLockError(
+                f"could not acquire writer lock on {self.root} after "
+                f"{self.policy.max_attempts} attempts: {exc}"
+            ) from exc
+        self.held = True
+
+    def _try_acquire(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"pid": os.getpid(), "owner": self.owner}) + "\n"
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            info = read_lock(self.root)
+            if info is None:
+                # Holder released between our open and our read: retry.
+                raise TransientCollectionError(f"writer lock on {self.root} contended")
+            if not info.alive:
+                break_lock(self.root)  # crashed writer: break and retry
+                raise TransientCollectionError(
+                    f"stale writer lock on {self.root} (dead pid {info.pid}) broken"
+                )
+            raise TransientCollectionError(
+                f"writer lock on {self.root} held by pid {info.pid} ({info.owner})"
+            )
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self.held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass  # broken by force while we held it: nothing to release
+
+    def __enter__(self) -> "WriterLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from datetime import date, datetime
 from pathlib import Path
 
 from repro.archive.cas import ContentStore, OBJECTS_DIR
-from repro.errors import ArchiveError
+from repro.archive.io import atomic_write_bytes
+from repro.errors import ArchiveCorruptionError, ArchiveError
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.store.snapshot import RootStoreSnapshot
@@ -193,6 +193,31 @@ class CatalogRow:
         return (self.provider, self.version, self.taken_at.isoformat())
 
 
+def serialize_catalog(rows: list[CatalogRow]) -> bytes:
+    """The catalog's canonical bytes for a row set (sorted, stable JSON).
+
+    Exposed separately from :meth:`Archive.write_catalog` so the ingest
+    journal can record the hash the new catalog *will* have before the
+    replace happens — the intent that lets ``repair`` tell a completed
+    ingest from an interrupted one.
+    """
+    ordered = sorted(rows, key=lambda r: (r.provider, r.taken_at.isoformat(), r.version))
+    payload = {
+        "schema": CATALOG_SCHEMA,
+        "snapshots": [
+            {
+                "provider": r.provider,
+                "version": r.version,
+                "taken_at": r.taken_at.isoformat(),
+                "manifest": r.manifest_id,
+                "entries": r.entries,
+            }
+            for r in ordered
+        ],
+    }
+    return (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
+
+
 class Archive:
     """An on-disk trust-store archive: object store + manifests + catalog.
 
@@ -248,25 +273,8 @@ class Archive:
         return rows
 
     def write_catalog(self, rows: list[CatalogRow]) -> None:
-        """Atomically replace the catalog (sorted, canonical JSON)."""
-        ordered = sorted(rows, key=lambda r: (r.provider, r.taken_at.isoformat(), r.version))
-        payload = {
-            "schema": CATALOG_SCHEMA,
-            "snapshots": [
-                {
-                    "provider": r.provider,
-                    "version": r.version,
-                    "taken_at": r.taken_at.isoformat(),
-                    "manifest": r.manifest_id,
-                    "entries": r.entries,
-                }
-                for r in ordered
-            ],
-        }
-        data = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
-        tmp = self.catalog_path.with_suffix(".json.tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, self.catalog_path)
+        """Durably, atomically replace the catalog (sorted, canonical JSON)."""
+        atomic_write_bytes(self.catalog_path, serialize_catalog(rows), site="catalog")
 
     # -- manifests -------------------------------------------------------
 
@@ -284,9 +292,7 @@ class Archive:
         if path.exists():
             return manifest_id, False
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_bytes(manifest.serialize())
-        os.replace(tmp, path)
+        atomic_write_bytes(path, manifest.serialize(), site="manifest")
         return manifest_id, True
 
     def read_manifest(self, provider: str, manifest_id: str) -> SnapshotManifest:
@@ -294,11 +300,17 @@ class Archive:
         try:
             data = path.read_bytes()
         except FileNotFoundError as exc:
-            raise ArchiveError(f"manifest {provider}/{manifest_id} missing ({path})") from exc
+            raise ArchiveCorruptionError(
+                f"manifest {provider}/{manifest_id} missing ({path})",
+                fingerprint=manifest_id,
+                path=str(path),
+            ) from exc
         actual = hashlib.sha256(data).hexdigest()
         if actual != manifest_id:
-            raise ArchiveError(
-                f"manifest {provider}/{manifest_id} is corrupt: bytes hash to {actual} ({path})"
+            raise ArchiveCorruptionError(
+                f"manifest {provider}/{manifest_id} is corrupt: bytes hash to {actual} ({path})",
+                fingerprint=manifest_id,
+                path=str(path),
             )
         try:
             payload = json.loads(data)

@@ -13,6 +13,16 @@ Two layers keep repeated queries off the filesystem entirely:
   snapshots, so the second query touching the same release costs a
   dictionary hit, not JSON parsing or DER decoding.
 
+With ``allow_degraded=True`` the engine keeps serving a damaged
+archive: corpus-level queries (``history``, ``dataset``,
+``trusted_on``) skip snapshots whose storage raises
+:class:`~repro.errors.ArchiveCorruptionError` — recording each skip in
+:attr:`ArchiveQuery.skipped` — and :attr:`ArchiveQuery.quarantined`
+reports what ``archive repair`` pulled out of the catalog, so callers
+see intact data *and* an explicit account of what is missing.
+Point lookups (``snapshot``, ``snapshot_at``) still raise: an
+explicitly requested release is never silently absent.
+
 Set-level queries (membership, diffs, incidence matrices) run on
 manifests alone — the manifest stores each entry's purpose→level map,
 so no certificate bytes are read until a caller actually asks for a
@@ -30,7 +40,8 @@ import numpy as np
 
 from repro.archive.index import ArchiveIndex, Posting, TimelineEntry, load_index
 from repro.archive.manifest import Archive, SnapshotManifest
-from repro.errors import ArchiveError
+from repro.archive.repair import QuarantinedSnapshot, read_quarantine
+from repro.errors import ArchiveCorruptionError, ArchiveError
 from repro.store.history import Dataset, StoreHistory
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.store.snapshot import RootStoreSnapshot
@@ -143,11 +154,36 @@ class ArchiveQuery:
         *,
         manifest_cache: int = MANIFEST_CACHE_SIZE,
         snapshot_cache: int = SNAPSHOT_CACHE_SIZE,
+        allow_degraded: bool = False,
     ):
         self.archive = archive if isinstance(archive, Archive) else Archive(archive)
         self.index: ArchiveIndex = load_index(self.archive)
         self._manifests = _LRUCache(manifest_cache)
         self._snapshots = _LRUCache(snapshot_cache)
+        self.allow_degraded = allow_degraded
+        #: (provider, version, reason) for every snapshot a degraded
+        #: corpus query had to skip in this session.
+        self.skipped: list[tuple[str, str, str]] = []
+
+    # -- degraded-mode accounting ----------------------------------------
+
+    @property
+    def quarantined(self) -> list[QuarantinedSnapshot]:
+        """What ``archive repair`` removed and has not been re-ingested.
+
+        Records whose snapshot key is back in the catalog (a later
+        re-ingest restored them) are filtered out, so this is always
+        the *currently* unavailable set.
+        """
+        in_catalog = {
+            (provider, entry.version, entry.taken_at.isoformat())
+            for provider, timeline in self.index.timelines.items()
+            for entry in timeline
+        }
+        return [r for r in read_quarantine(self.archive.root) if r.key not in in_catalog]
+
+    def _skip(self, provider: str, version: str, exc: ArchiveCorruptionError) -> None:
+        self.skipped.append((provider, version, str(exc)))
 
     # -- cache plumbing --------------------------------------------------
 
@@ -208,7 +244,13 @@ class ArchiveQuery:
             entry = self.index.in_force(provider, when)
             if entry is None:
                 continue  # provider had no release yet at `when`
-            manifest = self._manifest(provider, entry.manifest_id)
+            try:
+                manifest = self._manifest(provider, entry.manifest_id)
+            except ArchiveCorruptionError as exc:
+                if not self.allow_degraded:
+                    raise
+                self._skip(provider, entry.version, exc)
+                continue
             stored = manifest.get(fingerprint)
             if stored is None:
                 present, level = False, None
@@ -244,10 +286,20 @@ class ArchiveQuery:
         return self._snapshot(provider, entry) if entry is not None else None
 
     def history(self, provider: str) -> StoreHistory:
-        """A provider's full history, reconstructed release by release."""
+        """A provider's full history, reconstructed release by release.
+
+        In degraded mode, releases whose storage is damaged are skipped
+        (and recorded in :attr:`skipped`) instead of failing the whole
+        history.
+        """
         history = StoreHistory(provider)
         for entry in self.index.timeline(provider):
-            history.add(self._snapshot(provider, entry))
+            try:
+                history.add(self._snapshot(provider, entry))
+            except ArchiveCorruptionError as exc:
+                if not self.allow_degraded:
+                    raise
+                self._skip(provider, entry.version, exc)
         return history
 
     def dataset(self, *, providers: list[str] | None = None) -> Dataset:

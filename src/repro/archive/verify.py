@@ -8,12 +8,19 @@ dangling references are reported — objects/manifests on disk that
 nothing references (*orphans*, from superseded ingests) and references
 whose target is missing.  ``archive gc`` deletes exactly the orphans
 ``verify`` reports; nothing reachable from the catalog is ever touched.
+
+Both passes also sweep for stale ``*.tmp`` files — the debris a writer
+killed between its temp write and its ``os.replace`` leaves behind.
+``verify`` counts and names them (they never make an archive CORRUPT:
+the final name was untouched); ``gc`` deletes them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.archive.io import remove_all, stray_tmp_files
 from repro.archive.manifest import Archive
 from repro.errors import ArchiveCorruptionError, ArchiveError
 
@@ -32,6 +39,7 @@ class VerificationReport:
     missing_manifests: list = field(default_factory=list)  # (provider, manifest_id)
     mismatched_rows: list = field(default_factory=list)  # (provider, manifest_id, detail)
     orphan_manifests: list = field(default_factory=list)  # (provider, manifest_id)
+    stale_tmp: list = field(default_factory=list)  # str paths of crashed-writer temp files
     catalog_hash: str | None = None
 
     @property
@@ -67,15 +75,18 @@ class VerificationReport:
             lines.append(f"orphan object {fingerprint} (unreferenced; gc-able)")
         for provider, manifest_id in self.orphan_manifests:
             lines.append(f"orphan manifest {provider}/{manifest_id} (not in catalog; gc-able)")
+        for path in self.stale_tmp:
+            lines.append(f"stale temp file {path} (crashed writer; gc-able)")
         return lines
 
     def summary(self) -> str:
         state = "OK" if self.ok else "CORRUPT"
+        problems = len(self.problem_lines()) - self.orphan_count - len(self.stale_tmp)
         return (
             f"{state}: {self.objects_checked} objects, "
             f"{self.manifests_checked} manifests, {self.catalog_rows} catalog rows "
-            f"checked; {len(self.problem_lines()) - self.orphan_count} problems, "
-            f"{self.orphan_count} orphans"
+            f"checked; {problems} problems, {self.orphan_count} orphans, "
+            f"{len(self.stale_tmp)} stale temp files"
         )
 
 
@@ -135,6 +146,9 @@ def verify_archive(archive: Archive) -> VerificationReport:
         if (provider, manifest_id) not in cataloged:
             report.orphan_manifests.append((provider, manifest_id))
 
+    # Debris of writers killed mid-write (before their os.replace).
+    report.stale_tmp = [str(path) for path in stray_tmp_files(archive.root)]
+
     return report
 
 
@@ -145,22 +159,28 @@ class GCResult:
     objects_removed: int
     manifests_removed: int
     dry_run: bool
+    tmp_removed: int = 0
 
     def summary(self) -> str:
         verb = "would remove" if self.dry_run else "removed"
-        return f"{verb} {self.objects_removed} objects, {self.manifests_removed} manifests"
+        return (
+            f"{verb} {self.objects_removed} objects, {self.manifests_removed} manifests, "
+            f"{self.tmp_removed} stale temp files"
+        )
 
 
 def gc_archive(archive: Archive, *, dry_run: bool = False) -> GCResult:
-    """Delete orphan objects and manifests (everything else is kept)."""
+    """Delete orphan objects, manifests, and stale temp files."""
     report = verify_archive(archive)
     if not dry_run:
         for fingerprint in report.orphan_objects:
             archive.objects.remove(fingerprint)
         for provider, manifest_id in report.orphan_manifests:
             archive.manifest_path(provider, manifest_id).unlink(missing_ok=True)
+        remove_all(Path(path) for path in report.stale_tmp)
     return GCResult(
         objects_removed=len(report.orphan_objects),
         manifests_removed=len(report.orphan_manifests),
         dry_run=dry_run,
+        tmp_removed=len(report.stale_tmp),
     )

@@ -17,7 +17,8 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots scrape PROVIDER DIR  # parse artifacts back
     repro-roots collect              # end-to-end collection (+ fault injection)
     repro-roots bench                # perf-regression harness (BENCH_ordination.json)
-    repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|bench
+    repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|
+                                     #   repair|bench|bench-robustness
 
 Every experiment regenerates deterministically from the built-in seed.
 Errors from the collection, validation, store, and archive layers exit
@@ -190,7 +191,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _add_archive_parser(sub) -> None:
     archive = sub.add_parser(
         "archive",
-        help="content-addressed on-disk archive: ingest, query, diff, verify, gc, bench",
+        help="content-addressed on-disk archive: ingest, query, diff, verify, gc, "
+        "repair, bench, bench-robustness",
     )
     asub = archive.add_subparsers(dest="archive_command", required=True)
 
@@ -224,6 +226,10 @@ def _add_archive_parser(sub) -> None:
         choices=[p.value for p in TrustPurpose] + ["any"],
         help="trust purpose for membership (default: server-auth; 'any' = raw presence)",
     )
+    query.add_argument(
+        "--degraded", action="store_true",
+        help="serve what is intact from a damaged archive, reporting what is not",
+    )
 
     diff = asub.add_parser("diff", help="fingerprint-set diff between two archived stores")
     diff.add_argument("directory", type=Path, metavar="DIR")
@@ -239,9 +245,20 @@ def _add_archive_parser(sub) -> None:
     )
     verify.add_argument("directory", type=Path, metavar="DIR")
 
-    gc = asub.add_parser("gc", help="delete orphan objects and manifests")
+    gc = asub.add_parser("gc", help="delete orphan objects, manifests, and stale temp files")
     gc.add_argument("directory", type=Path, metavar="DIR")
     gc.add_argument("--dry-run", action="store_true", help="report only, delete nothing")
+
+    repair = asub.add_parser(
+        "repair",
+        help="recover from a crashed ingest: roll journaled transactions forward or "
+        "back, quarantine corruption, rebuild indexes",
+    )
+    repair.add_argument("directory", type=Path, metavar="DIR")
+    repair.add_argument(
+        "--force-unlock", action="store_true",
+        help="break the writer lock even if its holder appears alive",
+    )
 
     bench = asub.add_parser(
         "bench", help="archive ingest/read benchmarks (BENCH_archive.json)"
@@ -255,6 +272,23 @@ def _add_archive_parser(sub) -> None:
         help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
     )
     bench.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="rounds per measurement (best-of-R is reported)",
+    )
+
+    robustness = asub.add_parser(
+        "bench-robustness",
+        help="crash/recovery robustness benchmarks (BENCH_robustness.json)",
+    )
+    robustness.add_argument(
+        "--output", type=Path, default=Path("BENCH_robustness.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_robustness.json)",
+    )
+    robustness.add_argument(
+        "--smoke", action="store_true",
+        help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
+    )
+    robustness.add_argument(
         "--rounds", type=int, default=1, metavar="R",
         help="rounds per measurement (best-of-R is reported)",
     )
@@ -690,12 +724,25 @@ def _resolve_fingerprint(query, prefix: str) -> str:
     return matches[0]
 
 
+def _report_degraded(query) -> None:
+    """After a degraded-mode query: say what could not be served."""
+    if not query.allow_degraded:
+        return
+    for provider, version, reason in query.skipped:
+        print(f"skipped {provider}@{version}: {reason}")
+    for record in query.quarantined:
+        print(
+            f"quarantined {record.provider}@{record.version} "
+            f"({record.taken_at}): {record.reason}"
+        )
+
+
 def _cmd_archive_query(args) -> None:
     from repro.archive import ArchiveQuery
 
     if (args.fingerprint is None) == (args.provider is None):
         raise ArchiveError("archive query needs exactly one of --fingerprint or --provider")
-    query = ArchiveQuery(args.directory)
+    query = ArchiveQuery(args.directory, allow_degraded=args.degraded)
     when = date.fromisoformat(args.date) if args.date else None
 
     if args.provider is not None:
@@ -707,6 +754,7 @@ def _cmd_archive_query(args) -> None:
         if snapshot is None:
             raise ArchiveError(f"provider {args.provider!r} has no release on or before {when}")
         print(snapshot.describe())
+        _report_degraded(query)
         return
 
     fingerprint = _resolve_fingerprint(query, args.fingerprint)
@@ -739,6 +787,7 @@ def _cmd_archive_query(args) -> None:
     ))
     trusted = sum(1 for o in observations if o.present)
     print(f"\n{trusted}/{len(observations)} providers trusted it on {when}")
+    _report_degraded(query)
 
 
 def _cmd_archive_diff(args) -> None:
@@ -780,6 +829,33 @@ def _cmd_archive_gc(args) -> None:
 
     result = gc_archive(Archive(args.directory), dry_run=args.dry_run)
     print(result.summary())
+
+
+def _cmd_archive_repair(args) -> int:
+    from repro.archive import Archive, repair_archive, verify_archive
+
+    archive = Archive(args.directory)
+    report = repair_archive(archive, force_unlock=args.force_unlock)
+    print(report.summary())
+    verification = verify_archive(archive)
+    print(verification.summary())
+    for line in verification.problem_lines():
+        print(f"  {line}")
+    return 0 if verification.ok else 1
+
+
+def _cmd_archive_bench_robustness(args) -> None:
+    from repro.bench import run_robustness_suite
+
+    suite = run_robustness_suite(
+        smoke=True if args.smoke else None,
+        rounds=args.rounds,
+        output=args.output,
+    )
+    print("Robustness harness")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
 
 
 def _cmd_archive_bench(args) -> None:

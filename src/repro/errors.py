@@ -102,17 +102,28 @@ class ArchiveError(ReproError):
 
 
 class ArchiveCorruptionError(ArchiveError):
-    """Stored archive bytes fail their content-address integrity check.
+    """Stored archive bytes fail their content-address integrity check,
+    or a catalogued object/manifest is missing from disk entirely.
 
     Carries the offending object ``fingerprint`` and on-disk ``path`` so
     ``archive verify`` and query-time integrity failures can name the
-    damaged file instead of just failing.
+    damaged file instead of just failing.  Messages end with the
+    remediation hint (run ``repro-roots archive repair``) because every
+    corruption this class reports is one ``repair`` knows how to roll
+    back or quarantine.
     """
 
+    #: The remediation every corruption message points at.
+    REMEDIATION = "run `repro-roots archive repair` to quarantine and recover"
+
     def __init__(self, message: str, *, fingerprint: str | None = None, path: str | None = None):
-        super().__init__(message)
+        super().__init__(f"{message}; {self.REMEDIATION}")
         self.fingerprint = fingerprint
         self.path = path
+
+
+class ArchiveLockError(ArchiveError):
+    """The archive's single-writer lock could not be acquired."""
 
 
 class AnalysisError(ReproError):
