@@ -30,6 +30,7 @@ from datetime import date
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.instrument import stage_timer
 from repro.store.purposes import TrustPurpose
 from repro.store.snapshot import RootStoreSnapshot
 
@@ -78,15 +79,21 @@ def build_incidence(
     """
     if not snapshots:
         raise AnalysisError("no snapshots to index")
-    sets = [s.fingerprints(purpose) for s in snapshots]
-    universe = sorted(frozenset().union(*sets))
-    column = {fingerprint: k for k, fingerprint in enumerate(universe)}
-    matrix = np.zeros((len(sets), len(universe)), dtype=bool)
-    for row, fingerprints in enumerate(sets):
-        if fingerprints:
-            matrix[row, [column[f] for f in fingerprints]] = True
-    labels = tuple((s.provider, s.taken_at, s.version) for s in snapshots)
-    return IncidenceMatrix(labels=labels, fingerprints=tuple(universe), matrix=matrix)
+    with stage_timer(
+        "analysis.incidence",
+        "repro_analysis_stage_seconds",
+        metric_labels={"stage": "incidence"},
+        snapshots=len(snapshots),
+    ):
+        sets = [s.fingerprints(purpose) for s in snapshots]
+        universe = sorted(frozenset().union(*sets))
+        column = {fingerprint: k for k, fingerprint in enumerate(universe)}
+        matrix = np.zeros((len(sets), len(universe)), dtype=bool)
+        for row, fingerprints in enumerate(sets):
+            if fingerprints:
+                matrix[row, [column[f] for f in fingerprints]] = True
+        labels = tuple((s.provider, s.taken_at, s.version) for s in snapshots)
+        return IncidenceMatrix(labels=labels, fingerprints=tuple(universe), matrix=matrix)
 
 
 def intersection_counts(incidence: IncidenceMatrix) -> np.ndarray:

@@ -27,6 +27,7 @@ from repro.analysis.incidence import (
     overlap_distances,
 )
 from repro.errors import AnalysisError
+from repro.obs.instrument import stage_timer
 from repro.store.history import Dataset
 from repro.store.purposes import TrustPurpose
 from repro.store.snapshot import RootStoreSnapshot
@@ -139,17 +140,31 @@ def distance_matrix(
     labels = tuple((s.provider, s.taken_at, s.version) for s in snapshots)
 
     if metric.endswith("-naive"):
-        fn = _PAIRWISE[base]
-        sets = [s.fingerprints(purpose) for s in snapshots]
-        n = len(sets)
-        matrix = np.zeros((n, n), dtype=np.float64)
-        for i in range(n):
-            for j in range(i + 1, n):
-                d = fn(sets[i], sets[j])
-                matrix[i, j] = d
-                matrix[j, i] = d
-        return LabelledMatrix(labels=labels, matrix=matrix)
+        with stage_timer(
+            "analysis.distance",
+            "repro_analysis_stage_seconds",
+            metric_labels={"stage": "distance"},
+            metric_name=metric,
+            snapshots=len(snapshots),
+        ):
+            fn = _PAIRWISE[base]
+            sets = [s.fingerprints(purpose) for s in snapshots]
+            n = len(sets)
+            matrix = np.zeros((n, n), dtype=np.float64)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    d = fn(sets[i], sets[j])
+                    matrix[i, j] = d
+                    matrix[j, i] = d
+            return LabelledMatrix(labels=labels, matrix=matrix)
 
     incidence = build_incidence(snapshots, purpose=purpose)
-    matrix = _VECTORIZED[base](incidence)
+    with stage_timer(
+        "analysis.distance",
+        "repro_analysis_stage_seconds",
+        metric_labels={"stage": "distance"},
+        metric_name=metric,
+        snapshots=len(snapshots),
+    ):
+        matrix = _VECTORIZED[base](incidence)
     return LabelledMatrix(labels=labels, matrix=matrix)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.instrument import stage_timer
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,29 @@ def smacof(
     if n < 2:
         raise AnalysisError("need at least two points to embed")
 
+    with stage_timer(
+        "analysis.smacof",
+        "repro_analysis_stage_seconds",
+        metric_labels={"stage": "smacof"},
+        points=n,
+        dims=dims,
+    ):
+        return _smacof_iterate(
+            delta, n, dims=dims, max_iterations=max_iterations, tolerance=tolerance,
+            seed=seed, init=init,
+        )
+
+
+def _smacof_iterate(
+    delta: np.ndarray,
+    n: int,
+    *,
+    dims: int,
+    max_iterations: int,
+    tolerance: float,
+    seed: int,
+    init: np.ndarray | None,
+) -> MDSResult:
     rng = np.random.default_rng(seed)
     points = init.copy() if init is not None else rng.uniform(-0.5, 0.5, size=(n, dims))
 

@@ -82,10 +82,21 @@ class ArchiveIndex:
             raise ArchiveError(f"no provider {provider!r} in archive") from exc
 
     def in_force(self, provider: str, when: date) -> TimelineEntry | None:
-        """The release in force at ``when`` (latest taken on or before)."""
+        """The release in force at ``when`` (latest taken on or before).
+
+        Both edges answer "no snapshot" (None) explicitly rather than
+        falling through to the bisect arithmetic: an empty timeline has
+        nothing to resolve, and a ``when`` before the first release
+        must *not* index ``position - 1 == -1`` (which would silently
+        wrap to the provider's *last* snapshot).
+        """
         timeline = self.timeline(provider)
+        if not timeline:
+            return None  # provider known, but no snapshots on record
         position = bisect_right(timeline, when, key=lambda t: t.taken_at)
-        return timeline[position - 1] if position else None
+        if position == 0:
+            return None  # `when` predates the first release
+        return timeline[position - 1]
 
 
 def build_index(archive: Archive) -> ArchiveIndex:

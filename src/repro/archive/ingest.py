@@ -40,6 +40,8 @@ from repro.archive.lock import WriterLock
 from repro.archive.manifest import Archive, CatalogRow, SnapshotManifest, serialize_catalog
 from repro.collection.retry import RetryPolicy
 from repro.errors import ArchiveError
+from repro.obs.instrument import count, observe, stage_timer
+from repro.obs.runtime import get_telemetry
 from repro.store.history import Dataset, StoreHistory
 from repro.store.snapshot import RootStoreSnapshot
 
@@ -133,6 +135,8 @@ class ArchiveWriter:
         """Record the snapshot's intent before any of its bytes land."""
         if self._journal is None:
             return
+        clock = get_telemetry().clock
+        start = clock()
         if not self._journal.active:
             self._journal.begin(self.archive.catalog_hash())
         self._journal.record_snapshot(
@@ -140,6 +144,7 @@ class ArchiveWriter:
             manifest.manifest_id,
             [e.fingerprint for e in manifest.entries],
         )
+        observe("repro_archive_journal_seconds", clock() - start, phase="snapshot")
 
     def abort(self) -> None:
         """Retire this writer after a *graceful* failure, without committing.
@@ -171,21 +176,31 @@ class ArchiveWriter:
         existing = self._rows.get(row.key)
         if existing is not None and existing.manifest_id == row.manifest_id:
             report.snapshots_unchanged += 1
+            count("repro_archive_snapshots_total", outcome="unchanged")
             return  # manifest content-named and present: nothing to do
 
         self._journal_snapshot(manifest)
+        written = deduplicated = 0
         for entry in snapshot.entries:
             if self.archive.objects.put(entry.certificate.der).created:
-                report.objects_written += 1
+                written += 1
             else:
-                report.objects_deduplicated += 1
+                deduplicated += 1
+        report.objects_written += written
+        report.objects_deduplicated += deduplicated
+        if written:
+            count("repro_archive_objects_total", written, outcome="written")
+        if deduplicated:
+            count("repro_archive_objects_total", deduplicated, outcome="deduplicated")
         _, created = self.archive.write_manifest(manifest)
         if created:
             report.manifests_written += 1
         if existing is None:
             report.snapshots_added += 1
+            count("repro_archive_snapshots_total", outcome="added")
         else:
             report.snapshots_replaced += 1
+            count("repro_archive_snapshots_total", outcome="replaced")
         self._rows[row.key] = row
         self._dirty = True
 
@@ -201,19 +216,27 @@ class ArchiveWriter:
         landed; the journal itself is retired only after it did.
         """
         try:
-            if self._dirty or self.archive.catalog_bytes() is None:
-                rows = list(self._rows.values())
-                if self._journal is not None:
-                    if not self._journal.active:
-                        self._journal.begin(self.archive.catalog_hash())
-                    intent = hashlib.sha256(serialize_catalog(rows)).hexdigest()
-                    self._journal.record_catalog(intent)
-                self.archive.write_catalog(rows)
-                if self._journal is not None:
-                    self._journal.commit()
-                self._dirty = False
-            elif self._journal is not None and self._journal.active:
-                self._journal.commit()  # intents that turned out to be no-ops
+            with stage_timer(
+                "archive.commit", "repro_archive_commit_seconds", archive=str(self.archive.root)
+            ):
+                if self._dirty or self.archive.catalog_bytes() is None:
+                    rows = list(self._rows.values())
+                    if self._journal is not None:
+                        clock = get_telemetry().clock
+                        start = clock()
+                        if not self._journal.active:
+                            self._journal.begin(self.archive.catalog_hash())
+                        intent = hashlib.sha256(serialize_catalog(rows)).hexdigest()
+                        self._journal.record_catalog(intent)
+                        observe(
+                            "repro_archive_journal_seconds", clock() - start, phase="catalog"
+                        )
+                    self.archive.write_catalog(rows)
+                    if self._journal is not None:
+                        self._journal.commit()
+                    self._dirty = False
+                elif self._journal is not None and self._journal.active:
+                    self._journal.commit()  # intents that turned out to be no-ops
         except Exception:
             self.abort()
             raise

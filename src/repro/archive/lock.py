@@ -42,6 +42,14 @@ def lock_path(archive_root: Path) -> Path:
 
 
 def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process.
+
+    Only :class:`ProcessLookupError` means dead.  A
+    :class:`PermissionError` means the pid exists but belongs to
+    another user — a *live* foreign writer whose lock must not be
+    broken; conflating the two failure modes is exactly the bug that
+    let a stale-lock sweep kill a foreign writer's lock.
+    """
     if pid <= 0:
         return False
     try:
@@ -59,24 +67,34 @@ class LockInfo:
 
     pid: int
     owner: str
+    #: Treat the holder as alive regardless of the pid probe — set when
+    #: the lockfile itself could not be *read* for permission reasons,
+    #: which proves a foreign owner exists even though their pid is
+    #: unknown.
+    presumed_alive: bool = False
 
     @property
     def alive(self) -> bool:
-        return _pid_alive(self.pid)
+        return self.presumed_alive or _pid_alive(self.pid)
 
 
 def read_lock(archive_root: Path) -> LockInfo | None:
     """The current lock holder, or None when absent/unreadable.
 
-    An unreadable lockfile (torn write from a crash at exactly the
-    wrong moment) reports pid 0, which is never alive — so it is
-    treated as stale and broken on the next acquisition.
+    A *corrupt* lockfile (torn write from a crash at exactly the wrong
+    moment) reports pid 0, which is never alive — so it is treated as
+    stale and broken on the next acquisition.  A lockfile we lack
+    permission to read is the opposite case: some other user's writer
+    owns it, so it reports ``presumed_alive=True`` and is never
+    broken automatically.
     """
     try:
         payload = json.loads(lock_path(archive_root).read_text())
         return LockInfo(pid=int(payload["pid"]), owner=str(payload.get("owner", "?")))
     except FileNotFoundError:
         return None
+    except PermissionError:
+        return LockInfo(pid=0, owner="<foreign>", presumed_alive=True)
     except (ValueError, KeyError, TypeError, OSError):
         return LockInfo(pid=0, owner="<unreadable>")
 

@@ -95,6 +95,11 @@ class SnapshotManifest:
     entries: tuple[ManifestEntry, ...]
     #: Fingerprint → entry map, built lazily for point lookups.
     _index: dict = field(default=None, init=False, repr=False, compare=False)
+    #: Canonical serialization, computed once — the ingest path asks for
+    #: ``manifest_id`` several times per snapshot (catalog row, journal
+    #: intent, store name) and each recompute is a full JSON encode.
+    _serialized: bytes = field(default=None, init=False, repr=False, compare=False)
+    _manifest_id: str = field(default=None, init=False, repr=False, compare=False)
 
     @classmethod
     def from_snapshot(cls, snapshot: RootStoreSnapshot) -> "SnapshotManifest":
@@ -143,12 +148,22 @@ class SnapshotManifest:
             raise ArchiveError(f"malformed manifest payload: {exc}") from exc
 
     def serialize(self) -> bytes:
-        return (json.dumps(self.to_payload(), sort_keys=True, indent=1) + "\n").encode("ascii")
+        serialized = self._serialized
+        if serialized is None:
+            serialized = (
+                json.dumps(self.to_payload(), sort_keys=True, indent=1) + "\n"
+            ).encode("ascii")
+            object.__setattr__(self, "_serialized", serialized)
+        return serialized
 
     @property
     def manifest_id(self) -> str:
         """SHA-256 of the canonical serialization — the manifest's name."""
-        return hashlib.sha256(self.serialize()).hexdigest()
+        manifest_id = self._manifest_id
+        if manifest_id is None:
+            manifest_id = hashlib.sha256(self.serialize()).hexdigest()
+            object.__setattr__(self, "_manifest_id", manifest_id)
+        return manifest_id
 
     # -- views -----------------------------------------------------------
 

@@ -27,10 +27,20 @@ Set-level queries (membership, diffs, incidence matrices) run on
 manifests alone — the manifest stores each entry's purpose→level map,
 so no certificate bytes are read until a caller actually asks for a
 reconstructed :class:`~repro.store.snapshot.RootStoreSnapshot`.
+
+Every engine pins the catalog hash it was constructed against and
+checks (via a cheap ``stat`` of the catalog file) that it still holds
+on each query; a re-ingest under a live engine raises
+:class:`~repro.errors.ArchiveStaleError` instead of silently serving
+point-in-time answers from the superseded catalog
+(``refresh_on_stale=True`` reloads instead).  Cache traffic, degraded
+skips, and stale detections are all reported to the active
+:mod:`repro.obs` registry.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from datetime import date
@@ -41,7 +51,9 @@ import numpy as np
 from repro.archive.index import ArchiveIndex, Posting, TimelineEntry, load_index
 from repro.archive.manifest import Archive, SnapshotManifest
 from repro.archive.repair import QuarantinedSnapshot, read_quarantine
-from repro.errors import ArchiveCorruptionError, ArchiveError
+from repro.errors import ArchiveCorruptionError, ArchiveError, ArchiveStaleError
+from repro.obs.instrument import count
+from repro.obs.runtime import get_telemetry
 from repro.store.history import Dataset, StoreHistory
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.store.snapshot import RootStoreSnapshot
@@ -68,10 +80,18 @@ class CacheStats:
 
 
 class _LRUCache:
-    """A plain LRU map with observability counters."""
+    """A plain LRU map with observability counters.
+
+    ``maxsize=0`` disables caching entirely: every ``get`` is a miss
+    and ``put`` stores nothing.  (It used to be silently clamped to a
+    size-1 cache, which is the opposite of what a caller asking for 0
+    wants.)  Negative sizes are a caller bug and raise.
+    """
 
     def __init__(self, maxsize: int):
-        self.maxsize = max(1, maxsize)
+        if maxsize < 0:
+            raise ArchiveError(f"cache maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
         self._data: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -87,10 +107,15 @@ class _LRUCache:
         return value
 
     def put(self, key, value) -> None:
+        if self.maxsize == 0:
+            return  # caching disabled
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
 
     def stats(self) -> CacheStats:
         return CacheStats(size=len(self._data), hits=self.hits, misses=self.misses)
@@ -155,15 +180,71 @@ class ArchiveQuery:
         manifest_cache: int = MANIFEST_CACHE_SIZE,
         snapshot_cache: int = SNAPSHOT_CACHE_SIZE,
         allow_degraded: bool = False,
+        refresh_on_stale: bool = False,
     ):
         self.archive = archive if isinstance(archive, Archive) else Archive(archive)
-        self.index: ArchiveIndex = load_index(self.archive)
+        with get_telemetry().span("archive.query.load_index", archive=str(self.archive.root)):
+            self.index: ArchiveIndex = load_index(self.archive)
         self._manifests = _LRUCache(manifest_cache)
         self._snapshots = _LRUCache(snapshot_cache)
         self.allow_degraded = allow_degraded
+        #: Refresh the index and drop the caches when the catalog
+        #: changes under us, instead of raising ArchiveStaleError.
+        self.refresh_on_stale = refresh_on_stale
+        #: The catalog hash every answer from this engine refers to.
+        self.catalog_hash: str = self.index.catalog_hash
+        self._catalog_stamp = self._stat_catalog()
         #: (provider, version, reason) for every snapshot a degraded
         #: corpus query had to skip in this session.
         self.skipped: list[tuple[str, str, str]] = []
+
+    # -- staleness detection ---------------------------------------------
+
+    def _stat_catalog(self):
+        """A cheap change stamp of the catalog file (no hashing)."""
+        try:
+            stat = os.stat(self.archive.catalog_path)
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def _ensure_fresh(self) -> None:
+        """Detect a catalog rewritten while this engine is alive.
+
+        The manifest/snapshot LRU caches are keyed by content hash, so
+        their *entries* never go stale — but the pinned index does: a
+        re-ingest under a live engine would silently answer
+        point-in-time lookups from the superseded catalog.  A cheap
+        ``stat`` guards the common case; only a stamp change pays for
+        re-hashing.  On a real hash change this raises
+        :class:`~repro.errors.ArchiveStaleError` (or, with
+        ``refresh_on_stale=True``, reloads the index, drops the caches,
+        and keeps serving the new catalog).
+        """
+        stamp = self._stat_catalog()
+        if stamp == self._catalog_stamp:
+            return
+        current = self.archive.catalog_hash()
+        if current == self.catalog_hash:
+            self._catalog_stamp = stamp  # byte-identical rewrite (e.g. re-ingest)
+            return
+        if not self.refresh_on_stale:
+            count("repro_archive_stale_detected_total", action="raise")
+            raise ArchiveStaleError(
+                f"archive {self.archive.root} catalog changed under a live query "
+                f"(pinned {self.catalog_hash[:12]}…, now "
+                f"{(current or '<missing>')[:12]}…); construct a new ArchiveQuery "
+                "or pass refresh_on_stale=True",
+                pinned=self.catalog_hash,
+                current=current,
+            )
+        count("repro_archive_stale_detected_total", action="refresh")
+        with get_telemetry().span("archive.query.refresh", archive=str(self.archive.root)):
+            self.index = load_index(self.archive)
+        self._manifests.clear()
+        self._snapshots.clear()
+        self.catalog_hash = self.index.catalog_hash
+        self._catalog_stamp = stamp
 
     # -- degraded-mode accounting ----------------------------------------
 
@@ -183,6 +264,7 @@ class ArchiveQuery:
         return [r for r in read_quarantine(self.archive.root) if r.key not in in_catalog]
 
     def _skip(self, provider: str, version: str, exc: ArchiveCorruptionError) -> None:
+        count("repro_archive_degraded_skips_total", provider=provider)
         self.skipped.append((provider, version, str(exc)))
 
     # -- cache plumbing --------------------------------------------------
@@ -193,7 +275,9 @@ class ArchiveQuery:
     def _manifest(self, provider: str, manifest_id: str) -> SnapshotManifest:
         cached = self._manifests.get(manifest_id)
         if cached is not None:
+            count("repro_archive_cache_total", cache="manifest", outcome="hit")
             return cached
+        count("repro_archive_cache_total", cache="manifest", outcome="miss")
         manifest = self.archive.read_manifest(provider, manifest_id)
         self._manifests.put(manifest_id, manifest)
         return manifest
@@ -201,7 +285,9 @@ class ArchiveQuery:
     def _snapshot(self, provider: str, entry: TimelineEntry) -> RootStoreSnapshot:
         cached = self._snapshots.get(entry.manifest_id)
         if cached is not None:
+            count("repro_archive_cache_total", cache="snapshot", outcome="hit")
             return cached
+        count("repro_archive_cache_total", cache="snapshot", outcome="miss")
         snapshot = self.archive.load_snapshot(self._manifest(provider, entry.manifest_id))
         self._snapshots.put(entry.manifest_id, snapshot)
         return snapshot
@@ -213,9 +299,11 @@ class ArchiveQuery:
         return self.index.providers
 
     def timeline(self, provider: str) -> tuple[TimelineEntry, ...]:
+        self._ensure_fresh()
         return self.index.timeline(provider)
 
     def release(self, provider: str, version: str) -> TimelineEntry:
+        self._ensure_fresh()
         for entry in self.index.timeline(provider):
             if entry.version == version:
                 return entry
@@ -239,6 +327,15 @@ class ArchiveQuery:
         ``present`` means the entry exists *and* is trusted for the
         purpose, with the raw level reported either way.
         """
+        self._ensure_fresh()
+        observations: list[TrustObservation] = []
+        with get_telemetry().span(
+            "archive.query.trusted_on", fingerprint=fingerprint[:16], when=when.isoformat()
+        ):
+            observations = self._trusted_on(fingerprint, when, purpose, providers)
+        return observations
+
+    def _trusted_on(self, fingerprint, when, purpose, providers) -> list[TrustObservation]:
         observations: list[TrustObservation] = []
         for provider in providers if providers is not None else self.providers:
             entry = self.index.in_force(provider, when)
@@ -272,6 +369,7 @@ class ArchiveQuery:
 
     def ever_shipped(self, fingerprint: str) -> tuple[Posting, ...]:
         """Every (provider, release) that ever contained the fingerprint."""
+        self._ensure_fresh()
         return self.index.postings_for(fingerprint)
 
     # -- snapshot reconstruction -----------------------------------------
@@ -282,6 +380,7 @@ class ArchiveQuery:
 
     def snapshot_at(self, provider: str, when: date) -> RootStoreSnapshot | None:
         """The reconstructed snapshot in force at ``when`` (or None)."""
+        self._ensure_fresh()
         entry = self.index.in_force(provider, when)
         return self._snapshot(provider, entry) if entry is not None else None
 
@@ -292,6 +391,7 @@ class ArchiveQuery:
         (and recorded in :attr:`skipped`) instead of failing the whole
         history.
         """
+        self._ensure_fresh()
         history = StoreHistory(provider)
         for entry in self.index.timeline(provider):
             try:
@@ -354,6 +454,7 @@ class ArchiveQuery:
         )
 
     def _require_in_force(self, provider: str, when: date | None) -> TimelineEntry:
+        self._ensure_fresh()
         if when is None:
             raise ArchiveError(f"need either a version or a date for provider {provider!r}")
         entry = self.index.in_force(provider, when)
@@ -371,6 +472,7 @@ class ArchiveQuery:
         root are visited.  ``reference`` (e.g. an incident's disclosure
         date) turns removal dates into response lags in days.
         """
+        self._ensure_fresh()
         by_provider: dict[str, list[Posting]] = {}
         for posting in self.index.postings_for(fingerprint):
             by_provider.setdefault(posting.provider, []).append(posting)
@@ -400,6 +502,7 @@ class ArchiveQuery:
         self, *, since: date | None = None, providers: list[str] | None = None
     ) -> list[tuple[str, TimelineEntry]]:
         """(provider, release) pairs in the analysis layer's canonical order."""
+        self._ensure_fresh()
         result = []
         for provider in providers if providers is not None else self.providers:
             for entry in self.index.timeline(provider):

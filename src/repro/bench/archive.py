@@ -118,9 +118,16 @@ def _bench_ingest(archive_root: Path, dataset: Dataset, *, rounds: int) -> dict:
         target = Archive(archive_root / f"cold-{next(counter)}", create=True)
         return target, ingest_dataset(target, dataset)
 
-    cold_s, (archive, report) = _timed(cold, rounds=rounds)
+    cold_s, (archive, report) = _timed(
+        cold, rounds=rounds, suite="archive", section="ingest_cold"
+    )
     hash_before = archive.catalog_hash()
-    reingest_s, reingest = _timed(lambda: ingest_dataset(archive, dataset), rounds=1)
+    reingest_s, reingest = _timed(
+        lambda: ingest_dataset(archive, dataset),
+        rounds=1,
+        suite="archive",
+        section="ingest_reingest",
+    )
     idempotent = (
         reingest.objects_written == 0
         and reingest.manifests_written == 0
@@ -144,11 +151,18 @@ def _bench_query(archive: Archive, *, rounds: int) -> dict:
         return [query.trusted_on(fp, when) for fp, when in probes]
 
     # Cold: a fresh engine per round — index load plus first-touch I/O.
-    cold_s, _ = _timed(lambda: run(ArchiveQuery(archive)), rounds=rounds)
+    cold_s, _ = _timed(
+        lambda: run(ArchiveQuery(archive)),
+        rounds=rounds,
+        suite="archive",
+        section="query_cold",
+    )
     # Warm: one engine, caches populated by a priming pass.
     engine = ArchiveQuery(archive)
     run(engine)
-    warm_s, observations = _timed(lambda: run(engine), rounds=max(rounds, 3))
+    warm_s, observations = _timed(
+        lambda: run(engine), rounds=max(rounds, 3), suite="archive", section="query_warm"
+    )
     return engine, {
         "batch": len(probes),
         "cold_s": cold_s,
@@ -170,7 +184,7 @@ def _bench_scrape_analyze(dataset: Dataset, *, rounds: int) -> dict:
             )
         return distance_matrix(collect_snapshots(collected))
 
-    total_s, _ = _timed(run, rounds=rounds)
+    total_s, _ = _timed(run, rounds=rounds, suite="archive", section="scrape_analyze")
     return {"total_s": total_s}
 
 
@@ -178,10 +192,17 @@ def _bench_reconstruct(archive: Archive, dataset: Dataset, *, rounds: int) -> di
     def run(query: ArchiveQuery) -> Dataset:
         return query.dataset()
 
-    cold_s, _ = _timed(lambda: run(ArchiveQuery(archive)), rounds=rounds)
+    cold_s, _ = _timed(
+        lambda: run(ArchiveQuery(archive)),
+        rounds=rounds,
+        suite="archive",
+        section="reconstruct_cold",
+    )
     engine = ArchiveQuery(archive)
     run(engine)
-    warm_s, rebuilt = _timed(lambda: run(engine), rounds=rounds)
+    warm_s, rebuilt = _timed(
+        lambda: run(engine), rounds=rounds, suite="archive", section="reconstruct_warm"
+    )
     identical = all(
         rebuilt[provider].snapshots == dataset[provider].snapshots
         for provider in dataset.providers
@@ -199,7 +220,12 @@ def _bench_distance(
     engine: ArchiveQuery, dataset: Dataset, *, rounds: int
 ) -> dict:
     live = distance_matrix(collect_snapshots(dataset))
-    archive_s, archived = _timed(lambda: engine.distance_matrix(), rounds=rounds)
+    archive_s, archived = _timed(
+        lambda: engine.distance_matrix(),
+        rounds=rounds,
+        suite="archive",
+        section="distance_archive",
+    )
     return {
         "archive_s": archive_s,
         "max_abs_diff": float(np.abs(archived.matrix - live.matrix).max()),
@@ -208,7 +234,9 @@ def _bench_distance(
 
 
 def _bench_verify(archive: Archive) -> dict:
-    verify_s, report = _timed(lambda: verify_archive(archive), rounds=1)
+    verify_s, report = _timed(
+        lambda: verify_archive(archive), rounds=1, suite="archive", section="verify"
+    )
     return {
         "verify_s": verify_s,
         "ok": report.ok,

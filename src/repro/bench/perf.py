@@ -41,6 +41,7 @@ from repro.analysis.jaccard import collect_snapshots, distance_matrix
 from repro.analysis.mds import smacof
 from repro.collection.publish import publish_history
 from repro.collection.scrape import scrape_history
+from repro.obs.instrument import set_gauge
 from repro.store.history import Dataset
 from repro.x509.certificate import (
     Certificate,
@@ -97,23 +98,45 @@ class PerfSuite:
         return lines
 
 
-def _timed(fn: Callable[[], object], *, rounds: int) -> tuple[float, object]:
-    """Best-of-``rounds`` wall time plus the last return value."""
+def _timed(
+    fn: Callable[[], object],
+    *,
+    rounds: int,
+    suite: str | None = None,
+    section: str | None = None,
+) -> tuple[float, object]:
+    """Best-of-``rounds`` wall time plus the last return value.
+
+    When ``suite``/``section`` are given, the best time is also
+    recorded in the active telemetry registry as the
+    ``repro_bench_section_seconds`` gauge, so bench runs surface
+    through ``obs report`` exactly like production timings.
+    """
     best = float("inf")
     value: object = None
     for _ in range(max(rounds, 1)):
         start = time.perf_counter()
         value = fn()
         best = min(best, time.perf_counter() - start)
+    if section is not None:
+        set_gauge(
+            "repro_bench_section_seconds", best, suite=suite or "bench", section=section
+        )
     return best, value
 
 
 def _bench_distance(snapshots, *, rounds: int) -> dict:
     naive_s, naive = _timed(
-        lambda: distance_matrix(snapshots, metric="jaccard-naive"), rounds=rounds
+        lambda: distance_matrix(snapshots, metric="jaccard-naive"),
+        rounds=rounds,
+        suite="perf",
+        section="distance_naive",
     )
     vectorized_s, vectorized = _timed(
-        lambda: distance_matrix(snapshots, metric="jaccard"), rounds=rounds
+        lambda: distance_matrix(snapshots, metric="jaccard"),
+        rounds=rounds,
+        suite="perf",
+        section="distance_vectorized",
     )
     max_abs_diff = float(np.abs(naive.matrix - vectorized.matrix).max())
     return {
@@ -126,7 +149,9 @@ def _bench_distance(snapshots, *, rounds: int) -> dict:
 
 
 def _bench_mds(matrix: np.ndarray, *, rounds: int) -> dict:
-    smacof_s, result = _timed(lambda: smacof(matrix, dims=2), rounds=rounds)
+    smacof_s, result = _timed(
+        lambda: smacof(matrix, dims=2), rounds=rounds, suite="perf", section="mds_smacof"
+    )
     return {
         "smacof_s": smacof_s,
         "iterations": result.iterations,
@@ -152,8 +177,8 @@ def _bench_intern(snapshots, *, rounds: int) -> dict:
         clear_certificate_intern_pool()
         return [Certificate.from_der(der, intern=True) for der in ders]
 
-    fresh_s, _ = _timed(fresh, rounds=rounds)
-    interned_s, _ = _timed(interned, rounds=rounds)
+    fresh_s, _ = _timed(fresh, rounds=rounds, suite="perf", section="intern_fresh")
+    interned_s, _ = _timed(interned, rounds=rounds, suite="perf", section="intern_interned")
     stats = certificate_intern_stats()
     return {
         "certificates": len(ders),
@@ -222,11 +247,22 @@ def _bench_scrape(
             for p in providers
         }
 
-    serial_s, serial = _timed(lambda: run(1), rounds=rounds)
-    parallel_s, parallel = _timed(lambda: run(workers), rounds=rounds)
+    serial_s, serial = _timed(
+        lambda: run(1), rounds=rounds, suite="perf", section="scrape_serial"
+    )
+    parallel_s, parallel = _timed(
+        lambda: run(workers), rounds=rounds, suite="perf", section="scrape_parallel"
+    )
     latency_s = latency_ms / 1000.0
-    latent_serial_s, _ = _timed(lambda: run(1, latency_s), rounds=rounds)
-    latent_parallel_s, latent = _timed(lambda: run(workers, latency_s), rounds=rounds)
+    latent_serial_s, _ = _timed(
+        lambda: run(1, latency_s), rounds=rounds, suite="perf", section="scrape_latent_serial"
+    )
+    latent_parallel_s, latent = _timed(
+        lambda: run(workers, latency_s),
+        rounds=rounds,
+        suite="perf",
+        section="scrape_latent_parallel",
+    )
     identical = all(
         serial[p].snapshots == parallel[p].snapshots == latent[p].snapshots
         for p in providers

@@ -19,6 +19,10 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots bench                # perf-regression harness (BENCH_ordination.json)
     repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|
                                      #   repair|bench|bench-robustness
+    repro-roots obs report FILE      # render a --metrics-out telemetry dump
+
+Every subcommand accepts ``--metrics-out PATH`` to capture the run's
+telemetry (metrics + trace spans) as JSON for ``obs report``.
 
 Every experiment regenerates deterministically from the built-in seed.
 Errors from the collection, validation, store, and archive layers exit
@@ -28,6 +32,7 @@ with status 1 and a one-line ``error:`` message instead of a traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from datetime import date
 from pathlib import Path
@@ -51,7 +56,15 @@ from repro.analysis import (
 )
 from repro.collection import scrape_history, write_tree
 from repro.collection.sources import SourceRepository, read_tree
-from repro.errors import ArchiveError, CollectionError, StoreError, ValidationError
+from repro.errors import (
+    ArchiveError,
+    CollectionError,
+    ObservabilityError,
+    StoreError,
+    ValidationError,
+)
+from repro.obs.export import InMemoryExporter
+from repro.obs.runtime import telemetry_session
 from repro.simulation import default_corpus
 from repro.store import NSS_DERIVATIVES, PROVIDERS, TrustPurpose
 from repro.useragents import (
@@ -72,14 +85,34 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
     try:
-        result = handler(args)
-    except (ArchiveError, CollectionError, StoreError, ValidationError) as exc:
+        result = _run_with_telemetry(handler, args)
+    except (ArchiveError, CollectionError, ObservabilityError, StoreError, ValidationError) as exc:
         # Operational failures (unscrapable origin, corrupt archive,
         # invalid chain input) are user-facing outcomes, not bugs: one
         # line on stderr and a nonzero exit, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return result if isinstance(result, int) else 0
+
+
+def _run_with_telemetry(handler, args):
+    """Run a subcommand, capturing its telemetry when ``--metrics-out`` asks.
+
+    The whole handler runs inside an isolated :func:`telemetry_session`
+    with an in-memory trace exporter; the session dump is written even
+    when the handler fails, so a crashed run still leaves its metrics
+    behind for ``obs report``.
+    """
+    metrics_out: Path | None = getattr(args, "metrics_out", None)
+    if metrics_out is None:
+        return handler(args)
+    with telemetry_session(exporter=InMemoryExporter()) as telemetry:
+        try:
+            return handler(args)
+        finally:
+            metrics_out.write_text(
+                json.dumps(telemetry.dump(), indent=2, sort_keys=True) + "\n"
+            )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -185,7 +218,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rounds per measurement (best-of-R is reported)",
     )
     _add_archive_parser(sub)
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry dumps written by --metrics-out"
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = osub.add_parser(
+        "report", help="render a telemetry dump as human-readable tables"
+    )
+    obs_report.add_argument("path", type=Path, metavar="FILE")
+    _add_metrics_out_flags(parser)
     return parser
+
+
+def _add_metrics_out_flags(parser: argparse.ArgumentParser) -> None:
+    """Give every leaf subcommand the ``--metrics-out`` flag.
+
+    Walks the subparser tree so a command added later is covered
+    automatically — the flag is a property of the CLI, not of any one
+    handler.
+    """
+    subparser_actions = [
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    if not subparser_actions:
+        parser.add_argument(
+            "--metrics-out", type=Path, default=None, metavar="PATH",
+            help="write this run's telemetry (metrics + trace spans) as JSON to PATH",
+        )
+        return
+    for action in subparser_actions:
+        seen: set[int] = set()
+        for child in action.choices.values():
+            if id(child) in seen:  # aliases share one parser object
+                continue
+            seen.add(id(child))
+            _add_metrics_out_flags(child)
 
 
 def _add_archive_parser(sub) -> None:
@@ -885,6 +953,18 @@ def _cmd_bench(args) -> None:
     for line in suite.summary_lines():
         print(f"  {line}")
     print(f"baseline written to {suite.output_path}")
+
+
+def _cmd_obs(args) -> int | None:
+    handler = globals()[f"_cmd_obs_{args.obs_command.replace('-', '_')}"]
+    return handler(args)
+
+
+def _cmd_obs_report(args) -> None:
+    from repro.obs.report import load_dump, report_lines
+
+    for line in report_lines(load_dump(args.path)):
+        print(line)
 
 
 def _cmd_scrape(args) -> None:

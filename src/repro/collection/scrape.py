@@ -41,6 +41,7 @@ from repro.formats.certdata import parse_certdata
 from repro.formats.certdir import parse_cert_dir
 from repro.formats.diagnostics import SALVAGEABLE, DiagnosticLog
 from repro.formats.jks import parse_jks
+from repro.obs.instrument import count, stage_timer
 from repro.formats.nodeheader import parse_node_header
 from repro.formats.pem_bundle import parse_pem_bundle
 from repro.store.entry import TrustEntry
@@ -165,12 +166,44 @@ def scrape_history(
     """
     policy = retry or RetryPolicy()
     history = StoreHistory(provider_key)
-    results = _tag_results(
-        provider_key, origin, policy=policy, strict=strict, sleep=sleep, workers=workers
-    )
+    with stage_timer(
+        "collection.scrape_history",
+        "repro_collection_scrape_seconds",
+        metric_labels={"provider": provider_key},
+        provider=provider_key,
+        strict=strict,
+        workers=workers,
+    ):
+        results = _tag_results(
+            provider_key, origin, policy=policy, strict=strict, sleep=sleep, workers=workers
+        )
+        _merge_tag_results(
+            provider_key, results, history=history, strict=strict, report=report
+        )
+    return history
+
+
+def _merge_tag_results(
+    provider_key: str,
+    results: Iterable[_TagResult],
+    *,
+    history: StoreHistory,
+    strict: bool,
+    report: CollectionReport | None,
+) -> None:
+    """Fold per-tag results into the history, report, and metrics.
+
+    Runs on the caller's thread in origin tag order, so counter series
+    are deterministic for any worker count.
+    """
     for result in results:
         if result.error is not None:
             exc = result.error
+            attempts = getattr(exc, "attempts", 1)
+            count("repro_collection_attempts_total", attempts, provider=provider_key)
+            if attempts > 1:
+                count("repro_collection_retries_total", attempts - 1, provider=provider_key)
+            count("repro_collection_tags_total", provider=provider_key, status="quarantined")
             if strict:
                 raise exc
             if report is not None:
@@ -189,8 +222,14 @@ def scrape_history(
             continue
 
         outcome = result.outcome
+        count("repro_collection_attempts_total", outcome.attempts, provider=provider_key)
+        if outcome.attempts > 1:
+            count(
+                "repro_collection_retries_total", outcome.attempts - 1, provider=provider_key
+            )
         snapshot: RootStoreSnapshot = outcome.value
         if not strict and history.contains_version(snapshot.version, snapshot.taken_at):
+            count("repro_collection_tags_total", provider=provider_key, status="duplicate")
             if report is not None:
                 report.add(
                     CollectionRecord(
@@ -206,6 +245,11 @@ def scrape_history(
                 )
             continue
         history.add(snapshot)
+        count(
+            "repro_collection_tags_total",
+            provider=provider_key,
+            status="salvaged" if result.log else "ok",
+        )
         if report is not None:
             report.add(
                 CollectionRecord(
@@ -220,7 +264,6 @@ def scrape_history(
                     diagnostics=result.log.as_dicts(),
                 )
             )
-    return history
 
 
 def scrape_snapshot(

@@ -126,6 +126,28 @@ class ArchiveLockError(ArchiveError):
     """The archive's single-writer lock could not be acquired."""
 
 
+class ArchiveStaleError(ArchiveError):
+    """The archive catalog changed under a live :class:`ArchiveQuery`.
+
+    A query engine pins the catalog hash it was constructed against; a
+    concurrent re-ingest rewrites the catalog, so continuing to answer
+    from the pinned index would serve point-in-time lookups from a
+    superseded catalog without any error.  Construct a fresh
+    ``ArchiveQuery`` (or pass ``refresh_on_stale=True`` to have the
+    engine reload its index and caches transparently).
+    """
+
+    def __init__(self, message: str, *, pinned: str | None = None, current: str | None = None):
+        super().__init__(message)
+        self.pinned = pinned
+        self.current = current
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was used inconsistently (e.g. two
+    registrations of one metric name with conflicting types or labels)."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received unusable input."""
 

@@ -18,6 +18,7 @@ from xml.etree import ElementTree
 
 from repro.errors import FormatError
 from repro.formats.diagnostics import SALVAGEABLE, DiagnosticLog, salvage
+from repro.obs.instrument import instrumented_codec
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -94,6 +95,7 @@ def _render_plist(rows: list[tuple[str, list[str], bool]]) -> bytes:
     return "\n".join(lines).encode("utf-8")
 
 
+@instrumented_codec("apple-store")
 def parse_apple_store(
     tree: dict[str, bytes],
     *,

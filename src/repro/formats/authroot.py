@@ -45,6 +45,7 @@ from repro.asn1.oid import (
 )
 from repro.errors import FormatError
 from repro.formats.diagnostics import DiagnosticLog, salvage
+from repro.obs.instrument import instrumented_codec
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -164,6 +165,7 @@ def _entry_attributes(entry: TrustEntry) -> list[bytes]:
     return attributes
 
 
+@instrumented_codec("authroot")
 def parse_authroot(
     artifact: AuthrootArtifact,
     *,

@@ -24,6 +24,7 @@ from datetime import datetime, timezone
 
 from repro.errors import FormatError
 from repro.formats.diagnostics import DiagnosticLog, salvage
+from repro.obs.instrument import instrumented_codec
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -249,6 +250,7 @@ def _parse_objects(
     return objects
 
 
+@instrumented_codec("certdata")
 def parse_certdata(
     text: str,
     *,

@@ -18,6 +18,7 @@ import re
 from repro.encoding.pem import encode_pem, split_bundle
 from repro.errors import FormatError
 from repro.formats.diagnostics import DiagnosticLog, salvage
+from repro.obs.instrument import instrumented_codec
 from repro.store.entry import TrustEntry
 from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -69,6 +70,7 @@ def serialize_cert_dir(entries: list[TrustEntry], *, style: str = "debian") -> d
     return tree
 
 
+@instrumented_codec("cert-dir")
 def parse_cert_dir(
     tree: dict[str, bytes],
     *,

@@ -31,6 +31,7 @@ from datetime import datetime, timezone
 
 from repro.errors import FormatError
 from repro.formats.diagnostics import SALVAGEABLE, DiagnosticLog
+from repro.obs.instrument import instrumented_codec
 from repro.store.entry import TrustEntry
 from repro.store.purposes import TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -86,6 +87,7 @@ def serialize_jks(
     return bytes(body) + digest
 
 
+@instrumented_codec("jks")
 def parse_jks(
     data: bytes,
     *,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.encoding.pem import encode_pem, split_bundle
 from repro.formats.diagnostics import DiagnosticLog, salvage
+from repro.obs.instrument import instrumented_codec
 from repro.store.entry import TrustEntry
 from repro.store.purposes import BUNDLE_PURPOSES, TrustLevel, TrustPurpose
 from repro.x509.certificate import Certificate
@@ -34,6 +35,7 @@ def serialize_pem_bundle(
     return "".join(chunks)
 
 
+@instrumented_codec("pem-bundle")
 def parse_pem_bundle(
     text: str,
     *,

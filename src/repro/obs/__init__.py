@@ -1,0 +1,68 @@
+"""``repro.obs`` — the dependency-free tracing/metrics subsystem.
+
+Three layers, all deterministic under an injected clock:
+
+- :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  of counters, gauges, and fixed-bucket histograms.
+- :mod:`repro.obs.trace` — ``span(name, **attrs)`` context managers
+  building nested trace trees, exported as JSON lines on root
+  completion (:mod:`repro.obs.export`: stderr / file / in-memory).
+- :mod:`repro.obs.instrument` — the helpers the hot paths call, bound
+  to the closed metric-name catalog (:mod:`repro.obs.catalog`).
+
+The active context lives in :mod:`repro.obs.runtime`; swap it with
+:func:`telemetry_session` for a test or a ``--metrics-out`` CLI run.
+``repro-roots obs report FILE`` renders a dump
+(:mod:`repro.obs.report`).
+"""
+
+from repro.obs.catalog import METRICS, SPECS, MetricSpec, duplicate_names
+from repro.obs.export import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    StderrExporter,
+    read_json_lines,
+    tree_to_json_line,
+)
+from repro.obs.instrument import (
+    count,
+    instrumented_codec,
+    observe,
+    set_gauge,
+    stage_timer,
+)
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, MetricFamily, MetricsRegistry
+from repro.obs.runtime import (
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.obs.trace import Span, Tracer, clock_of
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "METRICS",
+    "MetricFamily",
+    "MetricSpec",
+    "MetricsRegistry",
+    "SPECS",
+    "Span",
+    "StderrExporter",
+    "Telemetry",
+    "Tracer",
+    "clock_of",
+    "count",
+    "duplicate_names",
+    "get_telemetry",
+    "instrumented_codec",
+    "observe",
+    "read_json_lines",
+    "set_gauge",
+    "set_telemetry",
+    "stage_timer",
+    "telemetry_session",
+    "tree_to_json_line",
+]

@@ -1,0 +1,125 @@
+"""The single declaration point for every public metric name.
+
+Naming convention: ``repro_<layer>_<what>_<unit-or-total>`` —
+``repro_formats_parse_total``, ``repro_archive_commit_seconds``.
+Counters end in ``_total``, histograms in their unit (``_seconds``),
+gauges in a noun.  Labels are closed vocabularies (provider keys,
+codec names, fixed outcome sets), never free-form strings, so series
+cardinality stays bounded.
+
+Product code never calls ``registry.counter(...)`` with an ad-hoc
+name; it goes through :mod:`repro.obs.instrument`, which looks specs
+up here.  That gives two guarantees the tier-1 check asserts:
+
+- every public metric name is declared exactly once (``METRICS`` has
+  no duplicate names), and
+- an instrumentation site cannot drift from the declared type/labels —
+  the registry raises :class:`~repro.errors.ObservabilityError` on any
+  conflicting registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import COUNTER, DEFAULT_SECONDS_BUCKETS, GAUGE, HISTOGRAM
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared public metric."""
+
+    name: str
+    type: str
+    help: str
+    labels: tuple[str, ...] = ()
+    buckets: tuple[float, ...] | None = None
+
+
+METRICS: tuple[MetricSpec, ...] = (
+    # -- formats: per-codec parse outcomes and latency -------------------
+    MetricSpec(
+        "repro_formats_parse_total", COUNTER,
+        "Codec parse calls by outcome (ok|error).", ("codec", "outcome"),
+    ),
+    MetricSpec(
+        "repro_formats_parse_seconds", HISTOGRAM,
+        "Wall time of one codec parse call.", ("codec",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    # -- collection: per-provider scrape accounting ----------------------
+    MetricSpec(
+        "repro_collection_scrape_seconds", HISTOGRAM,
+        "Wall time of scrape_history per provider.", ("provider",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "repro_collection_tags_total", COUNTER,
+        "Visited origin tags by final status (ok|salvaged|quarantined|duplicate).",
+        ("provider", "status"),
+    ),
+    MetricSpec(
+        "repro_collection_attempts_total", COUNTER,
+        "Per-tag scrape attempts, including retries.", ("provider",),
+    ),
+    MetricSpec(
+        "repro_collection_retries_total", COUNTER,
+        "Retried (transient-failure) scrape attempts.", ("provider",),
+    ),
+    # -- archive writer: journal/commit phases ---------------------------
+    MetricSpec(
+        "repro_archive_journal_seconds", HISTOGRAM,
+        "Write-ahead journal record latency by phase (snapshot|catalog).",
+        ("phase",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "repro_archive_commit_seconds", HISTOGRAM,
+        "Atomic catalog commit latency (journal intent through replace).",
+        (), DEFAULT_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "repro_archive_snapshots_total", COUNTER,
+        "Ingested snapshots by outcome (added|replaced|unchanged).", ("outcome",),
+    ),
+    MetricSpec(
+        "repro_archive_objects_total", COUNTER,
+        "Certificate objects by write outcome (written|deduplicated).", ("outcome",),
+    ),
+    # -- archive query: cache and degraded-mode accounting ---------------
+    MetricSpec(
+        "repro_archive_cache_total", COUNTER,
+        "Query LRU lookups by cache (manifest|snapshot) and outcome (hit|miss).",
+        ("cache", "outcome"),
+    ),
+    MetricSpec(
+        "repro_archive_degraded_skips_total", COUNTER,
+        "Snapshots a degraded corpus query had to skip.", ("provider",),
+    ),
+    MetricSpec(
+        "repro_archive_stale_detected_total", COUNTER,
+        "Catalog-changed-under-live-query detections (raise|refresh).", ("action",),
+    ),
+    # -- analysis: stage latency -----------------------------------------
+    MetricSpec(
+        "repro_analysis_stage_seconds", HISTOGRAM,
+        "Analysis stage wall time (incidence|distance|smacof).",
+        ("stage",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    # -- bench: the regression suites share this registry ----------------
+    MetricSpec(
+        "repro_bench_section_seconds", GAUGE,
+        "Best-of-rounds wall time of one bench suite section.", ("suite", "section"),
+    ),
+)
+
+#: name -> spec, the lookup instrumentation sites use.
+SPECS: dict[str, MetricSpec] = {spec.name: spec for spec in METRICS}
+
+
+def duplicate_names() -> list[str]:
+    """Public metric names declared more than once (must be empty)."""
+    seen: set[str] = set()
+    duplicates: list[str] = []
+    for spec in METRICS:
+        if spec.name in seen:
+            duplicates.append(spec.name)
+        seen.add(spec.name)
+    return duplicates

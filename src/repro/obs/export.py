@@ -1,0 +1,85 @@
+"""Trace exporters: where completed root-span trees go.
+
+Every exporter receives one JSON-serializable dict per completed root
+span (the whole nested tree) via ``export(tree)``:
+
+- :class:`InMemoryExporter` — keeps trees in a list; what tests and
+  ``--metrics-out`` use.
+- :class:`JsonLinesExporter` — appends one JSON line per tree to a
+  file path, opened lazily so constructing it is free.
+- :class:`StderrExporter` — one JSON line per tree to stderr, for
+  ad-hoc debugging of a live run.
+
+``json.dumps(sort_keys=True)`` keeps the line format deterministic, so
+exported traces under a simulated clock are stable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+
+
+def tree_to_json_line(tree: dict) -> str:
+    """One root-span tree as its canonical JSON line (no newline)."""
+    return json.dumps(tree, sort_keys=True, separators=(",", ":"))
+
+
+class InMemoryExporter:
+    """Collects exported trees in memory (bounded to ``capacity``)."""
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self.trees: list[dict] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def export(self, tree: dict) -> None:
+        with self._lock:
+            if len(self.trees) >= self.capacity:
+                self.dropped += 1
+                return
+            self.trees.append(tree)
+
+    def json_lines(self) -> list[str]:
+        with self._lock:
+            return [tree_to_json_line(tree) for tree in self.trees]
+
+
+class JsonLinesExporter:
+    """Appends each tree as one JSON line to ``path``."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def export(self, tree: dict) -> None:
+        line = tree_to_json_line(tree) + "\n"
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+
+
+class StderrExporter:
+    """One JSON line per tree to stderr."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    def export(self, tree: dict) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        with self._lock:
+            print(tree_to_json_line(tree), file=stream)
+
+
+def read_json_lines(path: Path | str) -> list[dict]:
+    """Parse a JSON-lines trace file back into tree dicts."""
+    trees = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            trees.append(json.loads(line))
+    return trees

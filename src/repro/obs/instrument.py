@@ -1,0 +1,106 @@
+"""Instrumentation helpers product code calls on its hot paths.
+
+All helpers route through :func:`~repro.obs.runtime.get_telemetry`
+at call time (the active context may have been swapped by a test or
+``--metrics-out`` session) and resolve metric specs from
+:data:`repro.obs.catalog.SPECS` — using a name not declared there
+raises, which keeps the public metric namespace closed.
+
+The helpers are deliberately tiny:
+
+- :func:`count` / :func:`observe` / :func:`set_gauge` — one series
+  mutation.
+- :func:`stage_timer` — context manager that opens a span *and*
+  observes the elapsed clock time into a histogram; the shape every
+  instrumented stage (codec parse, provider scrape, commit, analysis
+  stage) uses, so traces and histograms can never disagree.
+- :func:`instrumented_codec` — decorator the seven format codecs wrap
+  their ``parse_*`` entry points with.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+
+from repro.errors import ObservabilityError
+from repro.obs.catalog import SPECS, MetricSpec
+from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, MetricFamily
+from repro.obs.runtime import get_telemetry
+
+
+def _family(name: str) -> MetricFamily:
+    spec: MetricSpec | None = SPECS.get(name)
+    if spec is None:
+        raise ObservabilityError(f"metric {name!r} is not declared in repro.obs.catalog")
+    registry = get_telemetry().registry
+    if spec.type == COUNTER:
+        return registry.counter(spec.name, spec.help, spec.labels)
+    if spec.type == GAUGE:
+        return registry.gauge(spec.name, spec.help, spec.labels)
+    if spec.type == HISTOGRAM:
+        return registry.histogram(spec.name, spec.help, spec.labels, spec.buckets)
+    raise ObservabilityError(f"unknown metric type {spec.type!r}")  # pragma: no cover
+
+
+def count(name: str, amount: float = 1, **labels: str) -> None:
+    """Increment a declared counter series."""
+    _family(name).labels(**labels).inc(amount)
+
+
+def observe(name: str, value: float, **labels: str) -> None:
+    """Record one observation into a declared histogram series."""
+    _family(name).labels(**labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels: str) -> None:
+    """Set a declared gauge series."""
+    _family(name).labels(**labels).set(value)
+
+
+@contextmanager
+def stage_timer(span_name: str, metric: str | None = None, *, metric_labels: dict | None = None, **attrs):
+    """Span + histogram in one: the canonical instrumented-stage shape.
+
+    Opens span ``span_name`` with ``attrs``; on exit (including the
+    error path — failed stages are exactly the ones worth timing)
+    observes the elapsed clock time into histogram ``metric`` under
+    ``metric_labels``.
+    """
+    telemetry = get_telemetry()
+    start = telemetry.clock()
+    try:
+        with telemetry.span(span_name, **attrs) as span:
+            yield span
+    finally:
+        if metric is not None:
+            observe(metric, telemetry.clock() - start, **(metric_labels or {}))
+
+
+def instrumented_codec(codec: str):
+    """Wrap a ``parse_*`` codec entry point with parse count + latency.
+
+    Records ``repro_formats_parse_total{codec, outcome}`` and (on
+    success and failure alike) ``repro_formats_parse_seconds{codec}``,
+    inside a ``formats.parse`` span carrying the codec name.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            telemetry = get_telemetry()
+            start = telemetry.clock()
+            try:
+                with telemetry.span("formats.parse", codec=codec):
+                    result = fn(*args, **kwargs)
+            except Exception:
+                count("repro_formats_parse_total", codec=codec, outcome="error")
+                observe("repro_formats_parse_seconds", telemetry.clock() - start, codec=codec)
+                raise
+            count("repro_formats_parse_total", codec=codec, outcome="ok")
+            observe("repro_formats_parse_seconds", telemetry.clock() - start, codec=codec)
+            return result
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,269 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+Dependency-free and deliberately Prometheus-shaped: a *family* is a
+named metric with a fixed label-name tuple; a *series* is one child of
+a family, keyed by its label values.  Families are created through the
+registry and are idempotent — asking twice for the same (name, type,
+labels, buckets) spec returns the same object, while asking for a
+conflicting spec raises :class:`~repro.errors.ObservabilityError`.
+That invariant is what the tier-1 "every public metric name registered
+exactly once" check leans on: all product metrics are declared in
+:data:`repro.obs.catalog.METRICS` and instantiated only through
+:mod:`repro.obs.instrument`, so a name can never mean two things.
+
+Histograms use fixed, declared bucket bounds (upper-inclusive, like
+Prometheus ``le``) so exported values are deterministic: the same
+observations produce the same buckets on every run, including under
+:class:`~repro.collection.retry.SimulatedClock` where every duration
+is exact.
+
+Everything is thread-safe (collection scrapes on a worker pool); one
+lock per registry serializes mutation, which is far below noise for
+the artifact-sized operations being counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from repro.errors import ObservabilityError
+
+#: Default histogram bounds for second-valued durations: sub-ms parses
+#: up through multi-second full-corpus stages.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class _Series:
+    """One labeled child of a family; the object callers mutate."""
+
+    __slots__ = ("family", "labels")
+
+    def __init__(self, family: "MetricFamily", labels: tuple[str, ...]):
+        self.family = family
+        self.labels = labels
+
+    # -- counter / gauge -------------------------------------------------
+
+    def inc(self, amount: float = 1) -> None:
+        if self.family.type == GAUGE:
+            raise ObservabilityError(f"inc() on gauge {self.family.name!r}; use set()/add()")
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.family.name!r} cannot decrease")
+        self._add(amount)
+
+    def add(self, amount: float) -> None:
+        """Gauge-only signed adjustment."""
+        if self.family.type != GAUGE:
+            raise ObservabilityError(f"add() is gauge-only (metric {self.family.name!r})")
+        self._add(amount)
+
+    def set(self, value: float) -> None:
+        if self.family.type != GAUGE:
+            raise ObservabilityError(f"set() is gauge-only (metric {self.family.name!r})")
+        with self.family.registry._lock:
+            self.family._values[self.labels] = value
+
+    def _add(self, amount: float) -> None:
+        with self.family.registry._lock:
+            values = self.family._values
+            values[self.labels] = values.get(self.labels, 0) + amount
+
+    @property
+    def value(self) -> float:
+        with self.family.registry._lock:
+            return self.family._values.get(self.labels, 0)
+
+    # -- histogram -------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if self.family.type != HISTOGRAM:
+            raise ObservabilityError(f"observe() needs a histogram (metric {self.family.name!r})")
+        bounds = self.family.buckets
+        # Upper-inclusive buckets: value <= bounds[i] lands in bucket i,
+        # anything beyond the last bound lands in the implicit +Inf slot.
+        slot = bisect_left(bounds, value)
+        with self.family.registry._lock:
+            state = self.family._values.get(self.labels)
+            if state is None:
+                state = {"count": 0, "sum": 0.0, "buckets": [0] * (len(bounds) + 1)}
+                self.family._values[self.labels] = state
+            state["count"] += 1
+            state["sum"] += value
+            state["buckets"][slot] += 1
+
+    @property
+    def count(self) -> int:
+        with self.family.registry._lock:
+            state = self.family._values.get(self.labels)
+            return state["count"] if state else 0
+
+    @property
+    def sum(self) -> float:
+        with self.family.registry._lock:
+            state = self.family._values.get(self.labels)
+            return state["sum"] if state else 0.0
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts, +Inf slot last."""
+        with self.family.registry._lock:
+            state = self.family._values.get(self.labels)
+            if state is None:
+                return tuple([0] * (len(self.family.buckets) + 1))
+            return tuple(state["buckets"])
+
+
+class MetricFamily:
+    """A named metric with fixed label names; parent of its series."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        type_: str,
+        help_: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] | None,
+    ):
+        self.registry = registry
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.label_names = label_names
+        self.buckets = buckets or ()
+        self._values: dict = {}  # label values tuple -> scalar | histogram state
+        self._series: dict[tuple[str, ...], _Series] = {}
+
+    def spec(self) -> tuple:
+        return (self.type, self.label_names, self.buckets)
+
+    def labels(self, **labels: str) -> _Series:
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self.registry._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Series(self, key)
+        return series
+
+    # Label-free families can be used directly as a series.
+    def inc(self, amount: float = 1) -> None:
+        self.labels().inc(amount)
+
+    def add(self, amount: float) -> None:
+        self.labels().add(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    def series(self) -> list[_Series]:
+        with self.registry._lock:
+            return [self._series[key] for key in sorted(self._series)]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every series."""
+        entry: dict = {
+            "name": self.name,
+            "type": self.type,
+            "help": self.help,
+            "label_names": list(self.label_names),
+            "series": [],
+        }
+        if self.type == HISTOGRAM:
+            entry["buckets"] = list(self.buckets)
+        with self.registry._lock:
+            for key in sorted(self._values):
+                labels = dict(zip(self.label_names, key))
+                value = self._values[key]
+                if self.type == HISTOGRAM:
+                    entry["series"].append(
+                        {
+                            "labels": labels,
+                            "count": value["count"],
+                            "sum": value["sum"],
+                            "bucket_counts": list(value["buckets"]),
+                        }
+                    )
+                else:
+                    entry["series"].append({"labels": labels, "value": value})
+        return entry
+
+
+class MetricsRegistry:
+    """All of one process's (or one test's) metric families."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        labels: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        labels = tuple(labels)
+        if buckets is not None:
+            buckets = tuple(buckets)
+            if list(buckets) != sorted(set(buckets)):
+                raise ObservabilityError(
+                    f"histogram {name!r} bucket bounds must be strictly increasing"
+                )
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.spec() != (type_, labels, buckets or ()):
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as {existing.spec()}, "
+                        f"conflicting registration {(type_, labels, buckets or ())}"
+                    )
+                return existing
+            family = MetricFamily(self, name, type_, help_, labels, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, COUNTER, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, GAUGE, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, HISTOGRAM, help, labels, buckets)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def to_dict(self) -> list[dict]:
+        """Snapshot of every family, sorted by name (JSON-serializable)."""
+        return [self._families[name].to_dict() for name in self.names()]

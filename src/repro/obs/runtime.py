@@ -1,0 +1,95 @@
+"""The process-local telemetry context.
+
+One :class:`Telemetry` (registry + tracer + clock) is active per
+process.  Product code reaches it through :func:`get_telemetry` —
+never by holding a reference across calls, so a test or a CLI run can
+swap in a fresh context and see exactly its own signals.
+
+:func:`telemetry_session` is the swap: a context manager installing a
+fresh ``Telemetry`` (optionally with a simulated clock and/or a trace
+exporter) and restoring the previous one on exit.  The CLI uses it for
+``--metrics-out``; tier-1 tests use it with
+:class:`~repro.collection.retry.SimulatedClock` so every duration and
+span in the session is deterministic.
+
+The default context has no exporter (root spans are dropped on
+completion) and a live registry — instrumentation is always on, and
+costs only a few dict operations per already-chunky operation
+(artifact parse, snapshot ingest, catalog commit).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Clock, Tracer, clock_of
+
+
+class Telemetry:
+    """One observability context: metrics registry, tracer, clock."""
+
+    def __init__(self, *, clock: Clock | None = None, exporter=None):
+        self.clock: Clock = clock or time.perf_counter
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock, exporter=exporter)
+
+    @property
+    def exporter(self):
+        return self.tracer.exporter
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def dump(self) -> dict:
+        """The whole session as one JSON-serializable document.
+
+        ``metrics`` is the registry snapshot; ``spans`` the completed
+        root-span trees when the exporter kept them (in-memory
+        exporter), else an empty list.
+        """
+        trees = getattr(self.exporter, "trees", None)
+        return {
+            "schema": 1,
+            "metrics": self.registry.to_dict(),
+            "spans": list(trees) if trees is not None else [],
+        }
+
+
+_lock = threading.Lock()
+_active = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The currently active telemetry context."""
+    return _active
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the active context; returns the previous one."""
+    global _active
+    with _lock:
+        previous = _active
+        _active = telemetry
+    return previous
+
+
+@contextmanager
+def telemetry_session(*, clock: Clock | None = None, simulated=None, exporter=None):
+    """A fresh, isolated telemetry context for one CLI run or test.
+
+    ``simulated`` accepts anything with a ``now`` attribute (a
+    ``SimulatedClock``) as shorthand for ``clock=clock_of(simulated)``.
+    """
+    if simulated is not None:
+        if clock is not None:
+            raise ValueError("pass either clock or simulated, not both")
+        clock = clock_of(simulated)
+    session = Telemetry(clock=clock, exporter=exporter)
+    previous = set_telemetry(session)
+    try:
+        yield session
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,114 @@
+"""Nested spans: the tracing half of the observability layer.
+
+A :class:`Tracer` hands out ``span(name, **attrs)`` context managers.
+Spans nest per thread (a worker-pool scrape produces one independent
+tree per worker); when a *root* span closes, the completed tree is
+handed to the tracer's exporter as one JSON-serializable dict — the
+JSON-lines shape the exporters in :mod:`repro.obs.export` write.
+
+Time comes from an injectable monotonic clock (``time.perf_counter``
+by default).  Under a simulated clock (wrap a
+:class:`~repro.collection.retry.SimulatedClock` with
+:func:`clock_of`), durations are exactly the simulated sleeps, so
+tier-1 tests can assert whole trace trees byte-for-byte.
+
+Span status is ``ok`` unless the body raised, in which case the span
+records ``error`` plus the exception class name and propagates — error
+attribution per stage is the point of the layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+Clock = Callable[[], float]
+
+
+def clock_of(simulated) -> Clock:
+    """Adapt anything with a ``now`` attribute (e.g. ``SimulatedClock``)
+    into the zero-argument clock callable tracers and timers take."""
+    return lambda: simulated.now
+
+
+class Span:
+    """One timed, attributed operation; a node in a trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "status", "error", "children")
+
+    def __init__(self, name: str, attrs: dict, start: float):
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self) -> dict:
+        entry: dict = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attrs:
+            entry["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            entry["error"] = self.error
+        if self.children:
+            entry["children"] = [child.to_dict() for child in self.children]
+        return entry
+
+    def iter(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find(self, name: str) -> list["Span"]:
+        return [span for span in self.iter() if span.name == name]
+
+
+class Tracer:
+    """Per-thread span stacks over one clock, feeding one exporter."""
+
+    def __init__(self, *, clock: Clock | None = None, exporter=None):
+        self.clock: Clock = clock or time.perf_counter
+        self.exporter = exporter
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        stack = self._stack()
+        span = Span(name, attrs, self.clock())
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{exc.__class__.__name__}: {exc}"
+            raise
+        finally:
+            span.end = self.clock()
+            stack.pop()
+            if not stack and self.exporter is not None:
+                self.exporter.export(span.to_dict())

@@ -26,7 +26,9 @@ from repro.archive import (
     load_index,
     verify_archive,
 )
-from repro.errors import ArchiveCorruptionError, ArchiveError
+from repro.archive.index import ArchiveIndex, TimelineEntry
+from repro.archive.query import _LRUCache
+from repro.errors import ArchiveCorruptionError, ArchiveError, ArchiveStaleError
 from repro.store.purposes import TrustPurpose
 
 
@@ -262,6 +264,96 @@ class TestIndex:
 
     def test_in_force_before_first_release_is_none(self, query):
         assert query.index.in_force("nss", date(1999, 1, 1)) is None
+
+    def test_in_force_empty_timeline_is_none(self):
+        """A provider with zero snapshots resolves to no release — the
+        empty timeline must never reach the bisect arithmetic."""
+        index = ArchiveIndex(catalog_hash="0" * 64, postings={}, timelines={"p": ()})
+        assert index.in_force("p", date(2020, 1, 1)) is None
+
+    def test_in_force_predating_first_release_never_wraps_to_last(self):
+        """``when`` before the first release must be None, not silently
+        index ``-1`` and serve the provider's *latest* snapshot."""
+        timeline = (
+            TimelineEntry(taken_at=date(2020, 1, 1), version="v1", manifest_id="m1", entries=1),
+            TimelineEntry(taken_at=date(2021, 1, 1), version="v2", manifest_id="m2", entries=1),
+        )
+        index = ArchiveIndex(catalog_hash="0" * 64, postings={}, timelines={"p": timeline})
+        assert index.in_force("p", date(2019, 12, 31)) is None
+        assert index.in_force("p", date(2020, 1, 1)).version == "v1"  # on-date inclusive
+        assert index.in_force("p", date(2020, 6, 1)).version == "v1"
+        assert index.in_force("p", date(2022, 1, 1)).version == "v2"
+
+
+class TestLRUCache:
+    def test_zero_maxsize_disables_caching(self):
+        cache = _LRUCache(0)
+        cache.put("key", "value")
+        assert cache.get("key") is None  # nothing was stored
+        stats = cache.stats()
+        assert stats.size == 0 and stats.hits == 0 and stats.misses == 1
+
+    def test_negative_maxsize_is_a_caller_bug(self):
+        with pytest.raises(ArchiveError, match="maxsize must be >= 0"):
+            _LRUCache(-1)
+
+    def test_positive_maxsize_evicts_least_recent(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_query_with_caches_disabled_still_answers(self, dataset, archive_dir):
+        engine = ArchiveQuery(archive_dir, manifest_cache=0, snapshot_cache=0)
+        provider = dataset.providers[0]
+        version = engine.timeline(provider)[-1].version
+        first = engine.snapshot(provider, version)
+        second = engine.snapshot(provider, version)
+        assert first.tls_fingerprints() == second.tls_fingerprints()
+        stats = engine.cache_stats()
+        assert stats["snapshot"].hits == 0 and stats["snapshot"].misses == 2
+
+
+class TestStaleCatalogDetection:
+    def _seeded(self, dataset, tmp_path, **query_options):
+        archive = Archive(tmp_path / "staleness", create=True)
+        providers = dataset.providers
+        ingest_dataset(archive, dataset, providers=providers[:1])
+        return archive, providers, ArchiveQuery(archive, **query_options)
+
+    def test_reingest_under_live_query_raises_stale(self, dataset, tmp_path):
+        archive, providers, engine = self._seeded(dataset, tmp_path)
+        pinned = engine.catalog_hash
+        assert engine.timeline(providers[0])  # fresh: served normally
+        ingest_dataset(archive, dataset, providers=providers[:2])
+        with pytest.raises(ArchiveStaleError) as excinfo:
+            engine.timeline(providers[0])
+        assert excinfo.value.pinned == pinned
+        assert excinfo.value.current == archive.catalog_hash()
+        assert excinfo.value.current != pinned
+
+    def test_refresh_on_stale_reloads_and_serves_new_catalog(self, dataset, tmp_path):
+        archive, providers, engine = self._seeded(
+            dataset, tmp_path, refresh_on_stale=True
+        )
+        assert engine.providers == [providers[0]]
+        ingest_dataset(archive, dataset, providers=providers[:2])
+        # The next query transparently reloads instead of raising.
+        assert engine.timeline(providers[1])
+        assert engine.catalog_hash == archive.catalog_hash()
+        assert sorted(engine.providers) == sorted(providers[:2])
+
+    def test_byte_identical_rewrite_is_not_stale(self, dataset, tmp_path):
+        archive, providers, engine = self._seeded(dataset, tmp_path)
+        pinned = engine.catalog_hash
+        # Rewrite the same rows: a new file (stat stamp changes) with the
+        # same bytes — the rehash path must conclude "not stale".
+        archive.write_catalog(list(archive.read_catalog()))
+        assert engine.timeline(providers[0])
+        assert engine.catalog_hash == pinned
 
 
 class TestCorruption:

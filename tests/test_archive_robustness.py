@@ -24,6 +24,7 @@ cycle.
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 from datetime import date
 from pathlib import Path
@@ -222,6 +223,57 @@ class TestWriterLock:
         assert info.owner == "<unreadable>" and not info.alive
         assert break_lock(tmp_path) is True
         assert break_lock(tmp_path) is False
+
+    def test_foreign_live_holder_pid_counts_as_alive(self, tmp_path, monkeypatch):
+        """PermissionError from ``os.kill(pid, 0)`` means the pid *exists*
+        (another user's process); that lock must back off, never break."""
+        (tmp_path / LOCK_FILE).write_text(json.dumps({"pid": 12345, "owner": "other"}))
+
+        def deny(pid, sig):
+            raise PermissionError(f"kill {pid} not permitted")
+
+        monkeypatch.setattr(os, "kill", deny)
+        info = read_lock(tmp_path)
+        assert info is not None and info.alive
+        contender = WriterLock(tmp_path, policy=FAST_POLICY, sleep=lambda _: None)
+        with pytest.raises(ArchiveLockError, match="could not acquire"):
+            contender.acquire()
+        assert (tmp_path / LOCK_FILE).exists()  # the foreign lock survived
+        assert json.loads((tmp_path / LOCK_FILE).read_text())["owner"] == "other"
+
+    def test_dead_pid_is_distinguished_from_foreign_live_pid(self, tmp_path, monkeypatch):
+        (tmp_path / LOCK_FILE).write_text(json.dumps({"pid": 12345, "owner": "ghost"}))
+
+        def gone(pid, sig):
+            raise ProcessLookupError(pid)
+
+        monkeypatch.setattr(os, "kill", gone)
+        info = read_lock(tmp_path)
+        assert info is not None and not info.alive
+        # Only ProcessLookupError means stale: the lock is broken and taken.
+        with WriterLock(tmp_path, policy=FAST_POLICY, sleep=lambda _: None):
+            assert read_lock(tmp_path).owner == "ingest"
+
+    def test_permission_denied_lockfile_is_presumed_alive(self, tmp_path, monkeypatch):
+        """A lockfile we cannot even *read* proves a foreign owner exists;
+        it must read as alive instead of the pid-0 stale placeholder."""
+        lockfile = tmp_path / LOCK_FILE
+        lockfile.write_text(json.dumps({"pid": 1, "owner": "other"}))
+        real_read_text = Path.read_text
+
+        def deny(self, *args, **kwargs):
+            if self == lockfile:
+                raise PermissionError(f"Permission denied: {self}")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", deny)
+        info = read_lock(tmp_path)
+        assert info is not None
+        assert info.presumed_alive and info.alive and info.owner == "<foreign>"
+        contender = WriterLock(tmp_path, policy=FAST_POLICY, sleep=lambda _: None)
+        with pytest.raises(ArchiveLockError, match="could not acquire"):
+            contender.acquire()
+        assert lockfile.exists()
 
 
 class TestJournal:

@@ -164,6 +164,68 @@ class TestCollect:
         assert capsys.readouterr().out.startswith("OK")
 
 
+class TestObs:
+    def test_collect_metrics_out_then_obs_report(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "collect", "--providers", "alpine", "--archive", str(tmp_path / "arch"),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        dump = json.loads(metrics.read_text())
+        assert dump["schema"] == 1 and dump["metrics"] and dump["spans"]
+        assert main(["obs", "report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-provider scrape latency" in out
+        assert "Collection outcomes" in out
+        assert "Codec parses" in out
+        assert "Archive journal/commit" in out
+        assert "Trace spans" in out
+
+    def test_every_subcommand_accepts_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main(["dataset", "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert metrics.exists()  # written even for an uninstrumented command
+
+    def test_metrics_are_written_when_the_command_fails(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        rc = main([
+            "collect", "--providers", "alpine",
+            "--fault-rate", "0.5", "--fault-seed", "cli-error-test",
+            "--metrics-out", str(metrics),
+        ])
+        assert rc == 1
+        assert metrics.exists()
+        capsys.readouterr()
+
+    def test_obs_report_missing_file_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["obs", "report", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_bench_smoke_feeds_obs_report(self, tmp_path, capsys, monkeypatch):
+        """The REPRO_BENCH_SMOKE=1 path ends in ``obs report``: bench
+        sections land in the shared registry and render from the dump."""
+        from repro.bench.perf import SMOKE_ENV
+
+        monkeypatch.setenv(SMOKE_ENV, "1")
+        metrics = tmp_path / "bench-metrics.json"
+        assert main([
+            "bench", "--output", str(tmp_path / "BENCH_ordination.json"),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Bench sections" in out
+        for section in ("distance_naive", "distance_vectorized", "mds_smacof"):
+            assert section in out
+        assert "Analysis stages" in out  # instrumented stages fired too
+
+
 class TestErrorExits:
     """Operational failures exit 1 with a one-line error, no traceback."""
 

@@ -1,0 +1,357 @@
+"""The observability layer: metrics, spans, exporters, instrumentation.
+
+Determinism is the backbone: every timing test runs inside a
+``telemetry_session`` driven by :class:`SimulatedClock`, so span
+durations and histogram contents are exact values, not ranges.  The
+end-to-end test drives collect → archive ingest → archive query under
+one session and asserts the whole pipeline left its trace behind.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.archive import Archive, ArchiveQuery, ingest_history
+from repro.collection import publish_history, scrape_history
+from repro.collection.retry import SimulatedClock
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    InMemoryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    Tracer,
+    clock_of,
+    count,
+    duplicate_names,
+    get_telemetry,
+    instrumented_codec,
+    observe,
+    read_json_lines,
+    set_gauge,
+    stage_timer,
+    telemetry_session,
+    tree_to_json_line,
+)
+from repro.obs.catalog import METRICS, SPECS
+from repro.obs.report import load_dump, report_lines
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labels=("code",))
+        family.labels(code="200").inc()
+        family.labels(code="200").inc(2)
+        family.labels(code="500").inc()
+        assert family.labels(code="200").value == 3
+        assert family.labels(code="500").value == 1
+
+    def test_counter_rejects_decrease_and_gauge_allows_it(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            registry.counter("ops_total").inc(-1)
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_family_creation_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", labels=("a",))
+        again = registry.counter("x_total", labels=("a",))
+        assert first is again
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ObservabilityError, match="conflicting"):
+            registry.gauge("x_total", labels=("a",))
+        with pytest.raises(ObservabilityError, match="conflicting"):
+            registry.counter("x_total", labels=("b",))
+
+    def test_wrong_label_names_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("a",))
+        with pytest.raises(ObservabilityError, match="takes labels"):
+            family.labels(b="1")
+
+    def test_histogram_bucket_edges_are_upper_inclusive(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t_seconds", buckets=(0.1, 1.0, 10.0))
+        # Exactly on a bound lands in that bound's bucket (Prometheus le).
+        for value in (0.1, 0.05):
+            hist.observe(value)
+        hist.observe(0.5)
+        hist.observe(1.0)
+        hist.observe(10.0001)  # past the last bound: the +Inf slot
+        series = hist.labels()
+        assert series.bucket_counts() == (2, 2, 0, 1)
+        assert series.count == 5
+        assert series.sum == pytest.approx(0.1 + 0.05 + 0.5 + 1.0 + 10.0001)
+
+    def test_histogram_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            registry.histogram("bad_seconds", buckets=(1.0, 1.0, 2.0))
+
+    def test_to_dict_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("k",)).labels(k="v").inc(7)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = json.loads(json.dumps(registry.to_dict()))
+        by_name = {family["name"]: family for family in snapshot}
+        assert by_name["c_total"]["series"] == [{"labels": {"k": "v"}, "value": 7}]
+        assert by_name["h_seconds"]["series"][0]["count"] == 1
+        assert by_name["h_seconds"]["series"][0]["bucket_counts"] == [1, 0]
+
+
+class TestTracer:
+    def test_span_nesting_attributes_and_simulated_durations(self):
+        clock = SimulatedClock()
+        exporter = InMemoryExporter()
+        tracer = Tracer(clock=clock_of(clock), exporter=exporter)
+        with tracer.span("outer", job="demo"):
+            clock.sleep(1.0)
+            with tracer.span("inner", step=1):
+                clock.sleep(0.25)
+            with tracer.span("inner", step=2):
+                clock.sleep(0.5)
+        assert len(exporter.trees) == 1
+        tree = exporter.trees[0]
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"job": "demo"}
+        assert tree["duration"] == pytest.approx(1.75)
+        inner = tree["children"]
+        assert [span["attrs"]["step"] for span in inner] == [1, 2]
+        assert [span["duration"] for span in inner] == [pytest.approx(0.25), pytest.approx(0.5)]
+
+    def test_error_span_records_status_and_propagates(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(clock=clock_of(SimulatedClock()), exporter=exporter)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("stage"):
+                raise ValueError("boom")
+        tree = exporter.trees[0]
+        assert tree["status"] == "error"
+        assert tree["error"] == "ValueError: boom"
+
+    def test_only_root_completion_exports(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(clock=clock_of(SimulatedClock()), exporter=exporter)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            assert exporter.trees == []  # child closed, root still open
+        assert [tree["name"] for tree in exporter.trees] == ["root"]
+
+    def test_in_memory_exporter_caps_and_counts_drops(self):
+        exporter = InMemoryExporter(capacity=2)
+        for k in range(5):
+            exporter.export({"name": f"t{k}"})
+        assert len(exporter.trees) == 2
+        assert exporter.dropped == 3
+
+
+class TestExporters:
+    def test_json_lines_round_trip(self, tmp_path):
+        clock = SimulatedClock()
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonLinesExporter(path)
+        tracer = Tracer(clock=clock_of(clock), exporter=exporter)
+        with tracer.span("a", n=1):
+            clock.sleep(2.0)
+        with tracer.span("b"):
+            pass
+        trees = read_json_lines(path)
+        assert [tree["name"] for tree in trees] == ["a", "b"]
+        assert trees[0]["duration"] == pytest.approx(2.0)
+        # The line format is canonical: re-serializing reproduces the file.
+        lines = path.read_text().splitlines()
+        assert lines == [tree_to_json_line(tree) for tree in trees]
+
+
+class TestCatalog:
+    def test_every_public_metric_name_declared_exactly_once(self):
+        assert duplicate_names() == []
+        assert len({spec.name for spec in METRICS}) == len(METRICS)
+
+    def test_every_declared_metric_registers_exactly_once(self):
+        """All specs instantiate cleanly into one registry — and a second
+        instantiation is the same family, never a duplicate."""
+        with telemetry_session(simulated=SimulatedClock()) as telemetry:
+            for spec in METRICS:
+                if spec.labels:
+                    first_kwargs = {name: "probe" for name in spec.labels}
+                else:
+                    first_kwargs = {}
+                if spec.type == "counter":
+                    count(spec.name, 0, **first_kwargs)
+                    count(spec.name, 0, **first_kwargs)
+                elif spec.type == "gauge":
+                    set_gauge(spec.name, 0.0, **first_kwargs)
+                elif spec.type == "histogram":
+                    observe(spec.name, 0.0, **first_kwargs)
+            assert telemetry.registry.names() == sorted(SPECS)
+
+    def test_undeclared_metric_name_raises(self):
+        with telemetry_session(simulated=SimulatedClock()):
+            with pytest.raises(ObservabilityError, match="not declared"):
+                count("repro_not_a_real_metric_total")
+
+
+class TestInstrument:
+    def test_stage_timer_spans_and_observes_simulated_time(self):
+        clock = SimulatedClock()
+        exporter = InMemoryExporter()
+        with telemetry_session(simulated=clock, exporter=exporter) as telemetry:
+            with stage_timer(
+                "analysis.incidence",
+                "repro_analysis_stage_seconds",
+                metric_labels={"stage": "incidence"},
+                snapshots=3,
+            ):
+                clock.sleep(0.3)
+            series = telemetry.registry.get("repro_analysis_stage_seconds").labels(
+                stage="incidence"
+            )
+            assert series.count == 1
+            assert series.sum == pytest.approx(0.3)
+        tree = exporter.trees[0]
+        assert tree["name"] == "analysis.incidence"
+        assert tree["attrs"] == {"snapshots": 3}
+
+    def test_stage_timer_observes_on_the_error_path(self):
+        clock = SimulatedClock()
+        with telemetry_session(simulated=clock) as telemetry:
+            with pytest.raises(RuntimeError):
+                with stage_timer(
+                    "analysis.smacof",
+                    "repro_analysis_stage_seconds",
+                    metric_labels={"stage": "smacof"},
+                ):
+                    clock.sleep(0.1)
+                    raise RuntimeError("diverged")
+            series = telemetry.registry.get("repro_analysis_stage_seconds").labels(
+                stage="smacof"
+            )
+            assert series.count == 1 and series.sum == pytest.approx(0.1)
+
+    def test_instrumented_codec_counts_both_outcomes(self):
+        @instrumented_codec("demo")
+        def parse(payload: str):
+            if payload == "bad":
+                raise ValueError("unparseable")
+            return payload.upper()
+
+        with telemetry_session(simulated=SimulatedClock()) as telemetry:
+            assert parse("ok") == "OK"
+            with pytest.raises(ValueError):
+                parse("bad")
+            totals = telemetry.registry.get("repro_formats_parse_total")
+            assert totals.labels(codec="demo", outcome="ok").value == 1
+            assert totals.labels(codec="demo", outcome="error").value == 1
+            seconds = telemetry.registry.get("repro_formats_parse_seconds")
+            assert seconds.labels(codec="demo").count == 2
+
+
+class TestTelemetrySession:
+    def test_session_isolates_and_restores(self):
+        before = get_telemetry()
+        with telemetry_session(simulated=SimulatedClock()) as session:
+            assert get_telemetry() is session
+            assert session is not before
+            count("repro_archive_snapshots_total", outcome="added")
+            family = session.registry.get("repro_archive_snapshots_total")
+            assert family.labels(outcome="added").value == 1
+        assert get_telemetry() is before
+
+    def test_dump_shape(self):
+        exporter = InMemoryExporter()
+        clock = SimulatedClock()
+        with telemetry_session(simulated=clock, exporter=exporter) as telemetry:
+            with telemetry.span("work"):
+                clock.sleep(1.0)
+            count("repro_archive_objects_total", 4, outcome="written")
+            dump = telemetry.dump()
+        assert dump["schema"] == 1
+        assert [tree["name"] for tree in dump["spans"]] == ["work"]
+        names = [family["name"] for family in dump["metrics"]]
+        assert names == ["repro_archive_objects_total"]
+        # The dump is plain JSON all the way down.
+        json.dumps(dump)
+
+
+class TestEndToEnd:
+    def test_collect_ingest_query_under_one_session(self, dataset, tmp_path):
+        provider = dataset.providers[0]
+        exporter = InMemoryExporter()
+        with telemetry_session(exporter=exporter) as telemetry:
+            history = scrape_history(provider, publish_history(dataset[provider]))
+            archive = Archive(tmp_path / "archive", create=True)
+            ingest_history(archive, history)
+            query = ArchiveQuery(archive)
+            entry = query.timeline(provider)[-1]
+            query.snapshot(provider, entry.version)
+            query.snapshot(provider, entry.version)  # second hit: cached
+            dump = telemetry.dump()
+
+        registry = telemetry.registry
+        tags = registry.get("repro_collection_tags_total")
+        assert tags.labels(provider=provider, status="ok").value == len(history)
+        scrape_hist = registry.get("repro_collection_scrape_seconds")
+        assert scrape_hist.labels(provider=provider).count == 1
+        assert registry.get("repro_archive_snapshots_total").labels(
+            outcome="added"
+        ).value == len(history)
+        assert registry.get("repro_archive_commit_seconds").labels().count == 1
+        caches = registry.get("repro_archive_cache_total")
+        assert caches.labels(cache="snapshot", outcome="hit").value >= 1
+
+        roots = {tree["name"] for tree in dump["spans"]}
+        assert "collection.scrape_history" in roots
+        assert "archive.commit" in roots
+        scrape_tree = next(
+            tree for tree in dump["spans"] if tree["name"] == "collection.scrape_history"
+        )
+        parse_spans = [
+            span
+            for span in _iter_tree(scrape_tree)
+            if span["name"] == "formats.parse"
+        ]
+        assert len(parse_spans) == len(history)
+
+    def test_obs_report_renders_a_real_dump(self, dataset, tmp_path):
+        provider = dataset.providers[0]
+        exporter = InMemoryExporter()
+        with telemetry_session(exporter=exporter) as telemetry:
+            scrape_history(provider, publish_history(dataset[provider]))
+            dump = telemetry.dump()
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(dump))
+        lines = report_lines(load_dump(path))
+        text = "\n".join(lines)
+        assert "Per-provider scrape latency" in text
+        assert "Codec parses" in text
+        assert provider in text
+
+    def test_load_dump_rejects_garbage(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ObservabilityError, match="no metrics file"):
+            load_dump(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ObservabilityError, match="not valid JSON"):
+            load_dump(bad)
+        shapeless = tmp_path / "shapeless.json"
+        shapeless.write_text('{"schema": 1}')
+        with pytest.raises(ObservabilityError, match="no 'metrics' section"):
+            load_dump(shapeless)
+
+
+def _iter_tree(tree: dict):
+    yield tree
+    for child in tree.get("children", ()):
+        yield from _iter_tree(child)
