@@ -1,0 +1,54 @@
+"""Incremental-ingest benchmark — the full-size run behind
+``archive bench-ingest``.
+
+Runs :func:`repro.bench.run_ingest_suite` on the complete seeded corpus
+(every provider plus a simulated CT accepted-roots feed) and enforces
+the continuous-ingestion promise: a watch cycle that picks up one new
+tag per origin must beat a from-scratch full ingest by ≥ 10x, because
+it scrapes only the delta and patches the persisted index instead of
+rebuilding it.
+
+Correctness gates are enforced unconditionally — the delta-maintained
+archive converges to the same catalog hash and byte-identical index as
+the from-scratch one — while the speedup floor applies in full mode
+only.  The committed ``BENCH_ingest.json`` is the perf record;
+regenerate it with ``repro-roots archive bench-ingest`` after changes
+to the watch or index-maintenance paths.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench import is_smoke_mode, run_ingest_suite
+from repro.bench.ingest import MIN_DELTA_SPEEDUP
+
+
+def test_ingest_suite(benchmark, dataset, capsys, tmp_path):
+    output = tmp_path / "BENCH_ingest.json"
+    suite = benchmark.pedantic(
+        run_ingest_suite,
+        args=(dataset,),
+        kwargs={"output": output},
+        rounds=1,
+        iterations=1,
+    )
+    results = suite.results
+
+    emit(capsys, "\n".join(suite.summary_lines()))
+
+    # Correctness gates hold in every mode.
+    correctness = results["correctness"]
+    assert correctness["catalog_match"] is True
+    assert correctness["index_identical"] is True
+    assert correctness["index_fresh"] is True
+    assert correctness["verify_ok"] is True
+    assert correctness["delta_is_one_tag_per_origin"] is True
+    assert output.exists()
+
+    if is_smoke_mode():
+        return  # tiny inputs: the timing ratio is noise, stop at correctness
+
+    assert results["floor"]["met"] is True, (
+        f"delta ingest speedup {results['speedup']:.1f}x fell below the "
+        f"{MIN_DELTA_SPEEDUP:.0f}x floor"
+    )

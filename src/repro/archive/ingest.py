@@ -35,6 +35,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.archive.index import _load_persisted, apply_index_delta, load_index, persist_index
 from repro.archive.journal import IngestJournal, pending_transactions
 from repro.archive.lock import WriterLock
 from repro.archive.manifest import Archive, CatalogRow, SnapshotManifest, serialize_catalog
@@ -124,6 +125,14 @@ class ArchiveWriter:
             self._release_lock()
             raise
         self._dirty = False
+        # Incremental-index bookkeeping: the catalog hash this session
+        # started from, plus one (old_row, old_fingerprints, manifest)
+        # record per snapshot that actually changed.  commit() patches
+        # the persisted index with these instead of rescanning every
+        # manifest — unless something forces a full rebuild.
+        self._base_hash = archive.catalog_hash()
+        self._index_changes: list[tuple] = []
+        self._index_rebuild_needed = False
 
     # -- crash-consistency plumbing --------------------------------------
 
@@ -179,6 +188,19 @@ class ArchiveWriter:
             count("repro_archive_snapshots_total", outcome="unchanged")
             return  # manifest content-named and present: nothing to do
 
+        if existing is not None:
+            try:
+                old = self.archive.read_manifest(existing.provider, existing.manifest_id)
+                old_fingerprints = frozenset(e.fingerprint for e in old.entries)
+            except ArchiveError:
+                # Superseded manifest unreadable: the delta is unknowable,
+                # so commit() falls back to a full index rebuild.
+                self._index_rebuild_needed = True
+                old_fingerprints = frozenset()
+        else:
+            old_fingerprints = frozenset()
+        self._index_changes.append((existing, old_fingerprints, manifest))
+
         self._journal_snapshot(manifest)
         written = deduplicated = 0
         for entry in snapshot.entries:
@@ -203,6 +225,33 @@ class ArchiveWriter:
             count("repro_archive_snapshots_total", outcome="replaced")
         self._rows[row.key] = row
         self._dirty = True
+
+    def _update_index(self) -> None:
+        """Bring the persisted index to the just-written catalog.
+
+        The cheap path patches the index that matched this session's
+        *starting* catalog with the session's recorded deltas; anything
+        that breaks the delta invariant (no persisted index, it was
+        stale already, or a superseded manifest was unreadable) falls
+        back to the full rebuild.  Runs after the catalog replace and
+        before the journal retires, so a crash mid-update leaves a
+        pending journal for ``archive repair`` to finish the job.
+        """
+        new_hash = self.archive.catalog_hash()
+        if new_hash is None:  # pragma: no cover - write_catalog just ran
+            return
+        base = None
+        if not self._index_rebuild_needed and self._base_hash is not None:
+            base = _load_persisted(self.archive, self._base_hash)
+        if base is not None:
+            updated = apply_index_delta(base, self._index_changes, new_hash)
+            persist_index(self.archive, updated)
+            count("repro_archive_index_updates_total", mode="delta")
+        else:
+            load_index(self.archive, rebuild=True)
+            count("repro_archive_index_updates_total", mode="rebuild")
+        self._index_changes = []
+        self._base_hash = new_hash
 
     def add_history(self, history: StoreHistory) -> None:
         for snapshot in history:
@@ -232,6 +281,7 @@ class ArchiveWriter:
                             "repro_archive_journal_seconds", clock() - start, phase="catalog"
                         )
                     self.archive.write_catalog(rows)
+                    self._update_index()
                     if self._journal is not None:
                         self._journal.commit()
                     self._dirty = False

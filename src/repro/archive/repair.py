@@ -43,7 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.archive.cas import OBJECT_SUFFIX
-from repro.archive.index import load_index
+from repro.archive.checkpoint import WATCH_DIR, CheckpointStore
+from repro.archive.index import INDEX_DIR, _load_persisted, load_index
 from repro.archive.io import atomic_write_bytes, remove_all, stray_tmp_files
 from repro.archive.journal import JournalState, pending_transactions
 from repro.archive.lock import WriterLock, break_lock, read_lock
@@ -129,6 +130,8 @@ class RepairReport:
     snapshots_quarantined: int = 0
     rows_healed: int = 0
     index_rebuilt: bool = False
+    index_healed: bool = False  # torn/stale incremental index rebuilt
+    checkpoints_reset: bool = False  # damaged watch cursor/intent quarantined
 
     @property
     def clean(self) -> bool:
@@ -142,6 +145,8 @@ class RepairReport:
             or self.objects_quarantined
             or self.snapshots_quarantined
             or self.rows_healed
+            or self.index_healed
+            or self.checkpoints_reset
         )
 
     def action_lines(self) -> list[str]:
@@ -171,6 +176,10 @@ class RepairReport:
             lines.append(f"healed {self.rows_healed} catalog rows from manifests")
         if self.index_rebuilt:
             lines.append("rebuilt query indexes")
+        if self.index_healed:
+            lines.append("healed torn incremental index update (rebuilt)")
+        if self.checkpoints_reset:
+            lines.append("quarantined damaged watch checkpoint state")
         return lines
 
     def summary(self) -> str:
@@ -382,5 +391,51 @@ def repair_archive(archive: Archive, *, force_unlock: bool = False) -> RepairRep
         if (catalog_changed or report.catalog_salvaged) and archive.catalog_hash() is not None:
             load_index(archive, rebuild=True)
             report.index_rebuilt = True
+        else:
+            _heal_index(archive, report)
+
+        _heal_checkpoints(archive, report)
 
     return report
+
+
+def _heal_index(archive: Archive, report: RepairReport) -> None:
+    """Rebuild an index pair a crashed incremental update left behind.
+
+    ``ArchiveWriter.commit`` patches the persisted index *after* the
+    catalog replace, so a kill in that window (or a torn/flipped write
+    landing on either index file) leaves index files that do not match
+    the committed catalog.  Absent index files are fine — queries build
+    lazily — but *present-and-wrong* ones are crash damage: rebuild so
+    the archive converges to the same bytes as an uninterrupted run.
+    """
+    catalog_hash = archive.catalog_hash()
+    if catalog_hash is None:
+        return
+    directory = archive.root / INDEX_DIR
+    if not any(directory.glob("*.json")):
+        return
+    if _load_persisted(archive, catalog_hash) is None:
+        load_index(archive, rebuild=True)
+        report.index_healed = True
+
+
+def _heal_checkpoints(archive: Archive, report: RepairReport) -> None:
+    """Quarantine watch cursor/intent files a crash left unreadable.
+
+    A damaged cursor file only costs a re-walk (ingest is idempotent),
+    but leaving it in place would make every future load pay the
+    lenient-decode path; parking it under ``quarantine/watch/`` gives
+    the next cycle a clean slate and keeps the bytes for forensics.
+    """
+    store = CheckpointStore(archive.root)
+    for path, loader in ((store.checkpoints_path, store.load), (store.intent_path, store.read_intent)):
+        if not path.exists():
+            continue
+        store.damaged = False
+        loader()
+        if store.damaged:
+            destination = quarantine_root(archive.root) / WATCH_DIR / f"{path.stem}.corrupt.json"
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            path.replace(destination)
+            report.checkpoints_reset = True

@@ -16,9 +16,10 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots publish PROVIDER DIR # write native artifacts to disk
     repro-roots scrape PROVIDER DIR  # parse artifacts back
     repro-roots collect              # end-to-end collection (+ fault injection)
+    repro-roots watch DIR            # continuous ingestion: checkpointed watch loop
     repro-roots bench                # perf-regression harness (BENCH_ordination.json)
     repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|
-                                     #   repair|bench|bench-robustness
+                                     #   repair|bench|bench-ingest|bench-robustness
     repro-roots obs report FILE      # render a --metrics-out telemetry dump
 
 Every subcommand accepts ``--metrics-out PATH`` to capture the run's
@@ -196,6 +197,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist collected histories into the on-disk archive at DIR "
         "as scraping completes (created if missing)",
     )
+    watch = sub.add_parser(
+        "watch",
+        help="supervised continuous ingestion: poll every origin, ingest new tags "
+        "into the archive at DIR, checkpoint, repeat for a bounded cycle count",
+    )
+    watch.add_argument("directory", type=Path, metavar="DIR")
+    watch.add_argument(
+        "--cycles", type=int, default=3, metavar="N",
+        help="bounded number of watch cycles to run (default: 3)",
+    )
+    watch.add_argument(
+        "--hold-back", type=int, default=2, metavar="K",
+        help="tags per origin initially unpublished; one more is revealed "
+        "before each later cycle (default: 2)",
+    )
+    watch.add_argument(
+        "--providers", nargs="+", default=None, choices=sorted(PROVIDERS), metavar="P",
+        help="restrict the watch to these providers",
+    )
+    watch.add_argument(
+        "--ct-logs", nargs="+", default=["argon"], metavar="LOG",
+        help="also watch these simulated CT accepted-roots feeds (default: argon)",
+    )
+    watch.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="R",
+        help="inject seeded faults into this fraction of tags (0 disables)",
+    )
+    watch.add_argument(
+        "--fault-seed", default="watch", metavar="SEED",
+        help="seed for the deterministic fault plan",
+    )
+    watch.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the WatchReport as JSON to PATH",
+    )
+    watch.add_argument(
+        "--force-unlock", action="store_true",
+        help="break a stale writer lock during startup repair even if its "
+        "holder appears alive",
+    )
     bench = sub.add_parser(
         "bench",
         help="time the hot paths (distance matrix, MDS, interning, scraping) "
@@ -340,6 +381,23 @@ def _add_archive_parser(sub) -> None:
         help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
     )
     bench.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="rounds per measurement (best-of-R is reported)",
+    )
+
+    ingest_bench = asub.add_parser(
+        "bench-ingest",
+        help="incremental vs. full ingest benchmarks (BENCH_ingest.json)",
+    )
+    ingest_bench.add_argument(
+        "--output", type=Path, default=Path("BENCH_ingest.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_ingest.json)",
+    )
+    ingest_bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
+    )
+    ingest_bench.add_argument(
         "--rounds", type=int, default=1, metavar="R",
         help="rounds per measurement (best-of-R is reported)",
     )
@@ -761,6 +819,63 @@ def _cmd_collect(args) -> None:
         print(f"report written to {args.report}")
 
 
+def _cmd_watch(args) -> None:
+    from repro.archive import Archive
+    from repro.collection import FaultPlan
+    from repro.collection.faults import SimulatedClock
+    from repro.collection.watch import Watcher, build_watch_world
+
+    corpus = default_corpus()
+    clock = SimulatedClock()
+    plan = (
+        FaultPlan(seed=args.fault_seed, rate=args.fault_rate, clock=clock)
+        if args.fault_rate > 0
+        else None
+    )
+    world = build_watch_world(
+        corpus.dataset,
+        providers=args.providers,
+        ct_logs=tuple(args.ct_logs),
+        hold_back=args.hold_back,
+        fault_plan=plan,
+    )
+    archive = Archive(args.directory, create=True)
+    watcher = Watcher(
+        archive, world.origins, clock=clock, force_unlock=args.force_unlock
+    )
+    for number in range(args.cycles):
+        if number:
+            clock.sleep(watcher.policy.cycle_interval)
+            world.advance()
+        cycle = watcher.run_cycle()
+        active = ", ".join(
+            f"{o.origin}={o.status}" for o in cycle.outcomes if o.status != "idle"
+        )
+        print(
+            f"cycle {cycle.number}: +{cycle.snapshots_ingested} snapshots"
+            + (f"  [{active}]" if active else "  [all idle]")
+        )
+    report = watcher.report
+    print(render_table(
+        ("Origin", "Ingested", "Quarantined", "Deferred", "Last status"),
+        report.summary_rows(),
+        title="Watch report",
+    ))
+    print(
+        f"\ntotal ingested: {report.total_ingested()} snapshots "
+        f"over {len(report)} cycles"
+    )
+    print(f"catalog hash: {archive.catalog_hash()}")
+    transitions = report.transitions()
+    if transitions:
+        print("breaker transitions:")
+        for t in transitions:
+            print(f"  t={t.at:.0f}s {t.from_state} -> {t.to_state} ({t.reason})")
+    if args.report is not None:
+        args.report.write_text(report.to_json() + "\n")
+        print(f"report written to {args.report}")
+
+
 def _cmd_archive(args) -> int | None:
     handler = globals()[f"_cmd_archive_{args.archive_command.replace('-', '_')}"]
     return handler(args)
@@ -910,6 +1025,20 @@ def _cmd_archive_repair(args) -> int:
     for line in verification.problem_lines():
         print(f"  {line}")
     return 0 if verification.ok else 1
+
+
+def _cmd_archive_bench_ingest(args) -> None:
+    from repro.bench import run_ingest_suite
+
+    suite = run_ingest_suite(
+        smoke=True if args.smoke else None,
+        rounds=args.rounds,
+        output=args.output,
+    )
+    print("Incremental-ingest benchmark")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
 
 
 def _cmd_archive_bench_robustness(args) -> None:

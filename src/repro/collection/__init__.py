@@ -13,6 +13,11 @@ quarantines what it cannot salvage into a
 :class:`~repro.collection.report.CollectionReport` instead of aborting.
 """
 
+from repro.collection.breaker import (
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+)
 from repro.collection.faults import (
     DEFAULT_FAULTS,
     CorruptedDER,
@@ -48,6 +53,9 @@ from repro.collection.sources import (
 
 __all__ = [
     "ARTIFACT_PATHS",
+    "BreakerPolicy",
+    "BreakerTransition",
+    "CircuitBreaker",
     "CollectionRecord",
     "CollectionReport",
     "CorruptedDER",
@@ -61,9 +69,11 @@ __all__ = [
     "InjectedFault",
     "MissingArtifact",
     "OK",
+    "OriginOutcome",
     "QUARANTINED",
     "RetryOutcome",
     "RetryPolicy",
+    "RevealingOrigin",
     "SALVAGED",
     "SimulatedClock",
     "SlowOrigin",
@@ -71,6 +81,13 @@ __all__ = [
     "TaggedTree",
     "TruncatedArtifact",
     "UpdateFeed",
+    "WatchCycle",
+    "WatchPolicy",
+    "WatchReport",
+    "WatchWorld",
+    "WatchedOrigin",
+    "Watcher",
+    "build_watch_world",
     "call_with_retry",
     "extract_entries",
     "plan_for_origins",
@@ -81,3 +98,26 @@ __all__ = [
     "snapshot_tree",
     "write_tree",
 ]
+
+#: Watch-loop names resolved lazily (PEP 562): :mod:`repro.collection.watch`
+#: imports the archive layer, which imports back into collection submodules,
+#: so an eager import here would be circular.
+_WATCH_EXPORTS = {
+    "OriginOutcome",
+    "RevealingOrigin",
+    "WatchCycle",
+    "WatchPolicy",
+    "WatchReport",
+    "WatchWorld",
+    "WatchedOrigin",
+    "Watcher",
+    "build_watch_world",
+}
+
+
+def __getattr__(name: str):
+    if name in _WATCH_EXPORTS:
+        from repro.collection import watch
+
+        return getattr(watch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

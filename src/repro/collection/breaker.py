@@ -1,0 +1,111 @@
+"""Per-origin circuit breakers for the continuous-ingestion loop.
+
+A breaker keeps one persistently-failing origin from burning the whole
+cycle's retry budget every cycle.  The state machine is the classic
+three-state one, driven entirely by the injectable simulated clock so
+every transition is deterministic and testable:
+
+- **closed** — requests flow; consecutive transient failures are
+  counted.  At ``failure_threshold`` the breaker opens.
+- **open** — requests are skipped outright until ``cooldown`` seconds
+  of simulated time have passed since opening.
+- **half-open** — after cooldown one probe request is allowed through.
+  Success closes the breaker (counter reset); failure re-opens it for
+  another full cooldown.
+
+Only *transient* failures (:class:`~repro.errors.TransientCollectionError`
+surviving retry) trip the breaker; permanent scrape errors are
+quarantine material for :mod:`repro.collection.scrape`, not outage
+evidence.  Transitions are recorded as :class:`BreakerTransition`
+values so :class:`~repro.collection.watch.WatchReport` can replay the
+exact state history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding used by ``repro_watch_breaker_state``.
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open, and how long to stay open."""
+
+    failure_threshold: int = 3
+    cooldown: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change, timestamped on the simulated clock."""
+
+    from_state: str
+    to_state: str
+    at: float
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "from": self.from_state,
+            "to": self.to_state,
+            "at": self.at,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class CircuitBreaker:
+    """The per-origin breaker instance the watcher drives."""
+
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    state: str = CLOSED
+    failures: int = 0
+    opened_at: float = 0.0
+    transitions: list[BreakerTransition] = field(default_factory=list)
+
+    def _move(self, to_state: str, at: float, reason: str) -> None:
+        self.transitions.append(
+            BreakerTransition(from_state=self.state, to_state=to_state, at=at, reason=reason)
+        )
+        self.state = to_state
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may proceed at simulated time ``now``.
+
+        An open breaker whose cooldown has elapsed moves to half-open
+        and admits exactly this one probe.
+        """
+        if self.state == OPEN:
+            if now - self.opened_at >= self.policy.cooldown:
+                self._move(HALF_OPEN, now, "cooldown elapsed, admitting probe")
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        self.failures = 0
+        if self.state != CLOSED:
+            self._move(CLOSED, now, "request succeeded")
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self.opened_at = now
+            self._move(OPEN, now, "half-open probe failed")
+        elif self.state == CLOSED and self.failures >= self.policy.failure_threshold:
+            self.opened_at = now
+            self._move(
+                OPEN, now, f"{self.failures} consecutive transient failures"
+            )

@@ -59,10 +59,18 @@ class RetryPolicy:
     max_delay: float = 5.0
     jitter: float = 0.5
     seed: str = "retry"
+    #: Optional total-elapsed budget (seconds of backoff) across *all*
+    #: attempts.  Backoff caps bound one pause; without this, worst-case
+    #: retry time is still max_attempts * max_delay per tag.  When the
+    #: next pause would push cumulative waiting past the deadline, the
+    #: transient error is re-raised instead of sleeping.
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
 
     def delay(self, key: str, attempt: int) -> float:
         """The backoff delay after failed attempt number ``attempt`` (1-based)."""
@@ -93,7 +101,9 @@ def call_with_retry(
     :class:`TransientCollectionError` is retried up to
     ``policy.max_attempts`` total attempts (backing off via ``sleep``,
     a no-op when not injected); the last one is re-raised with
-    ``attempts`` attached once the budget is exhausted.  Any other
+    ``attempts`` attached once the budget is exhausted.  A policy
+    ``deadline`` bounds cumulative backoff: when the next pause would
+    exceed it, the transient error is re-raised immediately.  Any other
     :class:`CollectionError` (or unrelated exception) is permanent and
     propagates immediately with ``attempts`` attached when possible.
     """
@@ -109,6 +119,8 @@ def call_with_retry(
             if attempt == policy.max_attempts:
                 raise
             pause = policy.delay(key, attempt)
+            if policy.deadline is not None and waited + pause > policy.deadline:
+                raise
             waited += pause
             if sleep is not None:
                 sleep(pause)

@@ -1,0 +1,551 @@
+"""Supervised continuous ingestion: the checkpointed watch loop.
+
+ROADMAP item 3: the paper's corpus is *living* — root store programs
+cut new releases and CT logs grow their accepted-roots lists on their
+own cadence — so instead of batch re-scrapes, a :class:`Watcher` polls
+every registered origin each cycle, detects tags newer than the
+durable per-origin cursor, and ingests only that delta through
+:class:`~repro.archive.ingest.ArchiveWriter`.  Robustness is the
+headline:
+
+- **Durable checkpoints** (:mod:`repro.archive.checkpoint`): cursors
+  advance only after the delta's catalog commit, and a journal-style
+  intent record written *before* ingest means a ``kill -9`` at any
+  instant resumes exactly where it stopped — re-ingest of an already
+  committed delta is byte-idempotent, so resume converges to the same
+  archive bytes as an uninterrupted run (the kill-matrix test).
+- **Per-origin circuit breakers** (:mod:`repro.collection.breaker`):
+  an origin that keeps failing transiently is skipped outright for a
+  deterministic cooldown on the injectable clock, then probed
+  half-open.
+- **Per-origin deadline budgets**: each origin gets at most
+  ``WatchPolicy.origin_budget`` simulated seconds per cycle — retry
+  backoff included, via :class:`~repro.collection.retry.RetryPolicy`'s
+  total-elapsed ``deadline`` — so one slow origin cannot starve the
+  rest.
+- **Graceful degradation**: a cycle that loses origins still commits
+  the healthy deltas, and every cycle emits a structured
+  :class:`WatchReport` mirroring
+  :class:`~repro.collection.report.CollectionReport`.
+
+Everything runs on the simulated clock — no wall-clock anywhere — and
+the loop is bounded (``run(cycles=N)``), so the CLI's ``watch``
+command is deterministic and test-friendly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.archive.checkpoint import CheckpointStore, Cursor
+from repro.archive.ingest import ArchiveWriter
+from repro.archive.io import fire_site
+from repro.archive.journal import pending_transactions
+from repro.archive.manifest import Archive
+from repro.archive.repair import repair_archive
+from repro.collection.breaker import (
+    STATE_VALUES,
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.collection.faults import FaultPlan
+from repro.collection.publish import publish_history
+from repro.collection.retry import RetryPolicy, SimulatedClock, call_with_retry
+from repro.collection.scrape import scrape_snapshot
+from repro.collection.sources import TaggedTree
+from repro.ct.rootfeed import accepted_roots_snapshot, simulated_root_feeds
+from repro.errors import TransientCollectionError
+from repro.formats.diagnostics import SALVAGEABLE
+from repro.obs.instrument import count, observe, set_gauge, stage_timer
+from repro.store.history import Dataset
+from repro.store.snapshot import RootStoreSnapshot
+
+#: Per-origin statuses a cycle can report.
+IDLE = "idle"  # no new tags
+OK = "ok"  # every new tag ingested
+DEGRADED = "degraded"  # some tags quarantined this cycle
+DEADLINE = "deadline"  # budget exhausted, tags deferred to next cycle
+OPEN = "open"  # breaker open: origin skipped outright
+
+
+@dataclass(frozen=True)
+class WatchPolicy:
+    """Cadence, budgets, and sub-policies of the watch loop."""
+
+    cycle_interval: float = 60.0
+    origin_budget: float = 30.0
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(max_attempts=3))
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+
+
+@dataclass
+class WatchedOrigin:
+    """One origin under watch: a name, the origin, and its snapshot parser.
+
+    ``collect`` turns one :class:`~repro.collection.sources.TaggedTree`
+    into a snapshot; the default is the registry-driven
+    :func:`~repro.collection.scrape.scrape_snapshot` (lenient, so
+    partially damaged artifacts salvage instead of failing), and CT
+    accepted-roots origins pass
+    :func:`~repro.ct.rootfeed.accepted_roots_snapshot` instead.
+    """
+
+    name: str
+    origin: object
+    collect: Callable[[str, TaggedTree], RootStoreSnapshot] | None = None
+
+    def parse(self, tagged: TaggedTree) -> RootStoreSnapshot:
+        if self.collect is not None:
+            return self.collect(self.name, tagged)
+        return scrape_snapshot(self.name, tagged, lenient=True)
+
+
+@dataclass
+class QuarantinedTag:
+    """One tag a cycle could not collect, with the final error."""
+
+    tag: str
+    error: str
+    error_class: str
+    attempts: int = 1
+
+    def as_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "error": self.error,
+            "error_class": self.error_class,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class OriginOutcome:
+    """What one cycle did (or could not do) at one origin."""
+
+    origin: str
+    status: str
+    ingested: list[str] = field(default_factory=list)  # tags committed
+    quarantined: list[QuarantinedTag] = field(default_factory=list)
+    deferred: int = 0  # new tags left for a later cycle
+    breaker_state: str = "closed"
+    cursor: str | None = None  # tag of the committed high-water mark
+
+    def as_dict(self) -> dict:
+        return {
+            "origin": self.origin,
+            "status": self.status,
+            "ingested": list(self.ingested),
+            "quarantined": [q.as_dict() for q in self.quarantined],
+            "deferred": self.deferred,
+            "breaker_state": self.breaker_state,
+            "cursor": self.cursor,
+        }
+
+
+@dataclass
+class WatchCycle:
+    """One complete pass over every origin."""
+
+    number: int
+    started_at: float
+    duration: float = 0.0
+    outcomes: list[OriginOutcome] = field(default_factory=list)
+    snapshots_ingested: int = 0
+    transitions: list[BreakerTransition] = field(default_factory=list)
+
+    def outcome_for(self, origin: str) -> OriginOutcome | None:
+        for outcome in self.outcomes:
+            if outcome.origin == origin:
+                return outcome
+        return None
+
+    def as_dict(self) -> dict:
+        return {
+            "number": self.number,
+            "started_at": self.started_at,
+            "duration": round(self.duration, 6),
+            "snapshots_ingested": self.snapshots_ingested,
+            "outcomes": [o.as_dict() for o in self.outcomes],
+            "breaker_transitions": [t.as_dict() for t in self.transitions],
+        }
+
+
+@dataclass
+class WatchReport:
+    """Every cycle of one watch run — the ``CollectionReport`` of watching."""
+
+    cycles: list[WatchCycle] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def add(self, cycle: WatchCycle) -> WatchCycle:
+        self.cycles.append(cycle)
+        return cycle
+
+    def origins(self) -> list[str]:
+        return sorted({o.origin for c in self.cycles for o in c.outcomes})
+
+    def total_ingested(self) -> int:
+        return sum(c.snapshots_ingested for c in self.cycles)
+
+    def quarantined(self, origin: str | None = None) -> list[QuarantinedTag]:
+        return [
+            q
+            for c in self.cycles
+            for o in c.outcomes
+            if origin is None or o.origin == origin
+            for q in o.quarantined
+        ]
+
+    def transitions(self) -> list[BreakerTransition]:
+        return [t for c in self.cycles for t in c.transitions]
+
+    def statuses(self, origin: str) -> list[str]:
+        """The per-cycle status history of one origin."""
+        return [
+            o.status for c in self.cycles for o in c.outcomes if o.origin == origin
+        ]
+
+    def summary_rows(self) -> list[tuple]:
+        """Per-origin (origin, ingested, quarantined, deferred, last status)."""
+        rows = []
+        for origin in self.origins():
+            outcomes = [o for c in self.cycles for o in c.outcomes if o.origin == origin]
+            rows.append(
+                (
+                    origin,
+                    sum(len(o.ingested) for o in outcomes),
+                    sum(len(o.quarantined) for o in outcomes),
+                    outcomes[-1].deferred if outcomes else 0,
+                    outcomes[-1].status if outcomes else "-",
+                )
+            )
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": [c.as_dict() for c in self.cycles],
+            "total_ingested": self.total_ingested(),
+            "quarantined": len(self.quarantined()),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+
+class Watcher:
+    """The supervised poll loop over a set of watched origins.
+
+    One instance owns the archive's checkpoint store and one circuit
+    breaker per origin; :meth:`run` executes a bounded number of cycles
+    on the injectable clock.  A :class:`SimulatedCrash` from the chaos
+    harness propagates like ``kill -9`` (it derives from
+    ``BaseException`` precisely so nothing here can swallow it); on the
+    next construction, ``auto_repair`` rolls the archive forward or
+    back before the first cycle touches it.
+    """
+
+    def __init__(
+        self,
+        archive: Archive,
+        origins: Iterable[WatchedOrigin],
+        *,
+        policy: WatchPolicy | None = None,
+        clock: SimulatedClock | None = None,
+        auto_repair: bool = True,
+        force_unlock: bool = False,
+    ):
+        self.archive = archive
+        self.origins = sorted(origins, key=lambda o: o.name)
+        self.policy = policy or WatchPolicy()
+        self.clock = clock or SimulatedClock()
+        self.checkpoints = CheckpointStore(archive.root)
+        self.breakers: dict[str, CircuitBreaker] = {
+            origin.name: CircuitBreaker(policy=self.policy.breaker)
+            for origin in self.origins
+        }
+        self.report = WatchReport()
+        if auto_repair and self._needs_repair():
+            repair_archive(archive, force_unlock=force_unlock)
+
+    def _needs_repair(self) -> bool:
+        """Whether crash debris would block (or skew) the first cycle."""
+        from repro.archive.io import stray_tmp_files
+        from repro.archive.lock import read_lock
+
+        return bool(
+            pending_transactions(self.archive.root)
+            or read_lock(self.archive.root) is not None
+            or stray_tmp_files(self.archive.root)
+        )
+
+    # -- one cycle --------------------------------------------------------
+
+    def run_cycle(self) -> WatchCycle:
+        """Walk every origin once, commit the healthy delta, checkpoint."""
+        cycle = WatchCycle(number=len(self.report.cycles) + 1, started_at=self.clock.now)
+        fire_site("watch:cycle-start")
+        with stage_timer("watch.cycle", cycle=cycle.number):
+            cursors = self.checkpoints.load()
+            delta: list[RootStoreSnapshot] = []
+            advanced: dict[str, Cursor] = dict(cursors)
+            transition_marks = {
+                name: len(b.transitions) for name, b in self.breakers.items()
+            }
+
+            for watched in self.origins:
+                outcome = self._visit_origin(
+                    watched, cursors.get(watched.name), advanced, delta
+                )
+                cycle.outcomes.append(outcome)
+
+            fire_site("watch:scraped")
+            if delta:
+                self.checkpoints.write_intent(advanced)
+                writer = ArchiveWriter(self.archive, owner="watch")
+                try:
+                    for snapshot in delta:
+                        writer.add_snapshot(snapshot)
+                except Exception:
+                    writer.abort()
+                    raise
+                writer.commit()
+                cycle.snapshots_ingested = len(delta)
+                fire_site("watch:ingested")
+                self.checkpoints.save(advanced)
+                self.checkpoints.clear_intent()
+            elif self.checkpoints.intent_path.exists():
+                # Debris of a cycle killed between the checkpoint save
+                # and the intent retire: an empty delta proves the saved
+                # cursors already cover the intent, so retiring it now
+                # is the only step that was lost.
+                self.checkpoints.clear_intent()
+
+            for watched in self.origins:
+                breaker = self.breakers[watched.name]
+                cycle.transitions.extend(
+                    breaker.transitions[transition_marks[watched.name]:]
+                )
+                set_gauge(
+                    "repro_watch_breaker_state",
+                    STATE_VALUES[breaker.state],
+                    origin=watched.name,
+                )
+            cycle.duration = self.clock.now - cycle.started_at
+            observe("repro_watch_cycle_seconds", cycle.duration)
+        fire_site("watch:cycle-end")
+        return self.report.add(cycle)
+
+    def _visit_origin(
+        self,
+        watched: WatchedOrigin,
+        cursor: Cursor | None,
+        advanced: dict[str, Cursor],
+        delta: list[RootStoreSnapshot],
+    ) -> OriginOutcome:
+        """Scrape one origin's new tags into ``delta``, budget permitting.
+
+        The cursor in ``advanced`` moves only over the *contiguous*
+        successful prefix of new tags: a failed or deferred tag stops
+        the walk, so the next cycle re-enumerates from exactly there and
+        idempotent re-ingest absorbs any overlap.
+        """
+        breaker = self.breakers[watched.name]
+        outcome = OriginOutcome(
+            origin=watched.name,
+            status=IDLE,
+            breaker_state=breaker.state,
+            cursor=cursor.tag if cursor else None,
+        )
+        pending = self._new_tags(watched.origin, cursor)
+        if not pending:
+            outcome.breaker_state = breaker.state
+            return outcome
+        if not breaker.allow(self.clock.now):
+            outcome.status = OPEN
+            outcome.deferred = len(pending)
+            outcome.breaker_state = breaker.state
+            count(
+                "repro_watch_delta_snapshots_total",
+                len(pending), origin=watched.name, outcome="deferred",
+            )
+            return outcome
+
+        budget_start = self.clock.now
+        position = 0
+        for position, tagged in enumerate(pending):
+            remaining = self.policy.origin_budget - (self.clock.now - budget_start)
+            if remaining <= 0:
+                outcome.status = DEADLINE
+                break
+            per_tag = dataclasses.replace(self.policy.retry, deadline=remaining)
+            try:
+                result = call_with_retry(
+                    lambda tagged=tagged: watched.parse(tagged),
+                    policy=per_tag,
+                    key=f"{watched.name}:{tagged.tag}",
+                    sleep=self.clock.sleep,
+                )
+            except SALVAGEABLE as exc:
+                outcome.quarantined.append(
+                    QuarantinedTag(
+                        tag=tagged.tag,
+                        error=str(exc) or exc.__class__.__name__,
+                        error_class=exc.__class__.__name__,
+                        attempts=getattr(exc, "attempts", 1),
+                    )
+                )
+                if isinstance(exc, TransientCollectionError):
+                    breaker.record_failure(self.clock.now)
+                outcome.status = DEGRADED
+                break
+            snapshot: RootStoreSnapshot = result.value
+            delta.append(snapshot)
+            outcome.ingested.append(tagged.tag)
+            advanced[watched.name] = Cursor(released=tagged.released, tag=tagged.tag)
+            outcome.cursor = tagged.tag
+            breaker.record_success(self.clock.now)
+        else:
+            position = len(pending)
+
+        if outcome.status == IDLE and outcome.ingested:
+            outcome.status = OK
+        outcome.deferred = self._deferred_count(pending, position, outcome.status)
+        outcome.breaker_state = breaker.state
+        if outcome.ingested:
+            count(
+                "repro_watch_delta_snapshots_total",
+                len(outcome.ingested), origin=watched.name, outcome="ingested",
+            )
+        if outcome.quarantined:
+            count(
+                "repro_watch_delta_snapshots_total",
+                len(outcome.quarantined), origin=watched.name, outcome="quarantined",
+            )
+        if outcome.deferred:
+            count(
+                "repro_watch_delta_snapshots_total",
+                outcome.deferred, origin=watched.name, outcome="deferred",
+            )
+        return outcome
+
+    @staticmethod
+    def _deferred_count(pending: list, position: int, status: str) -> int:
+        """Tags neither ingested nor quarantined this cycle."""
+        if status == DEADLINE:
+            return len(pending) - position  # position itself was never attempted
+        if status == DEGRADED:
+            return len(pending) - position - 1  # position was quarantined
+        return 0
+
+    def _new_tags(self, origin, cursor: Cursor | None) -> list:
+        """Origin tags strictly after the cursor, in (released, tag) order.
+
+        Pure metadata: faulted handles are *not* fetched here (faults
+        fire on ``tree`` access), so enumeration is safe even for an
+        origin whose breaker is open.
+        """
+        tags = sorted(origin, key=lambda t: (t.released, t.tag))
+        if cursor is None:
+            return tags
+        return [t for t in tags if (t.released, t.tag) > cursor.key]
+
+    # -- the loop ---------------------------------------------------------
+
+    def run(self, cycles: int) -> WatchReport:
+        """Run ``cycles`` bounded cycles, sleeping the interval between."""
+        for number in range(cycles):
+            if number:
+                self.clock.sleep(self.policy.cycle_interval)
+            self.run_cycle()
+        return self.report
+
+
+# -- simulation substrate for the CLI and tests ---------------------------
+
+
+@dataclass
+class RevealingOrigin:
+    """An origin that exposes only its first ``revealed`` tags.
+
+    Wraps a fully-published origin and plays it back incrementally, so
+    a bounded watch run sees "new tags appeared" between cycles without
+    any wall-clock involvement.
+    """
+
+    name: str
+    tags: list
+    revealed: int
+
+    def __iter__(self):
+        return iter(self.tags[: self.revealed])
+
+    def __len__(self) -> int:
+        return min(self.revealed, len(self.tags))
+
+    def advance(self, by: int = 1) -> int:
+        """Reveal ``by`` more tags; returns the new visible count."""
+        self.revealed = min(len(self.tags), self.revealed + by)
+        return self.revealed
+
+
+@dataclass
+class WatchWorld:
+    """A set of revealing origins a test/CLI run advances between cycles."""
+
+    origins: list[WatchedOrigin]
+    reveals: list[RevealingOrigin]
+
+    def advance(self, by: int = 1) -> None:
+        for reveal in self.reveals:
+            reveal.advance(by)
+
+    def advance_fully(self) -> None:
+        for reveal in self.reveals:
+            reveal.revealed = len(reveal.tags)
+
+
+def build_watch_world(
+    dataset: Dataset,
+    *,
+    providers: Iterable[str] | None = None,
+    ct_logs: tuple[str, ...] = ("argon",),
+    hold_back: int = 2,
+    fault_plan: FaultPlan | None = None,
+) -> WatchWorld:
+    """Publish a dataset (plus CT accepted-roots feeds) as watchable origins.
+
+    Each origin initially reveals all but its last ``hold_back`` tags;
+    :meth:`WatchWorld.advance` releases one more per origin, simulating
+    the corpus evolving between cycles.  A ``fault_plan`` wraps every
+    origin so seeded faults (flaky origins, torn artifacts, ...) hit
+    the watch loop exactly as they hit batch collection.
+    """
+    selected = sorted(providers) if providers is not None else dataset.providers
+    watched: list[WatchedOrigin] = []
+    reveals: list[RevealingOrigin] = []
+
+    def add(name: str, tags: list, collect=None) -> None:
+        reveal = RevealingOrigin(
+            name=name, tags=tags, revealed=max(0, len(tags) - hold_back)
+        )
+        reveals.append(reveal)
+        origin = fault_plan.instrument(reveal, name) if fault_plan is not None else reveal
+        watched.append(WatchedOrigin(name=name, origin=origin, collect=collect))
+
+    for provider in selected:
+        published = publish_history(dataset[provider])
+        add(provider, sorted(published, key=lambda t: (t.released, t.tag)))
+    if ct_logs:
+        for feed in simulated_root_feeds(dataset, logs=ct_logs):
+            add(
+                feed.provider_key,
+                sorted(feed, key=lambda t: (t.released, t.tag)),
+                collect=lambda key, tagged: accepted_roots_snapshot(key, tagged, lenient=True),
+            )
+    return WatchWorld(origins=watched, reveals=reveals)

@@ -29,6 +29,12 @@ from repro.ct.merkle import (
     verify_inclusion,
 )
 from repro.ct.monitor import EquivocationError, LogMonitor
+from repro.ct.rootfeed import (
+    ACCEPTED_ROOTS_PATH,
+    CTRootFeed,
+    accepted_roots_snapshot,
+    simulated_root_feeds,
+)
 from repro.ct.sct import (
     CTPolicy,
     POISON_OID,
@@ -44,7 +50,9 @@ from repro.ct.sct import (
 )
 
 __all__ = [
+    "ACCEPTED_ROOTS_PATH",
     "CTError",
+    "CTRootFeed",
     "CTLog",
     "CTPolicy",
     "CensusRow",
@@ -58,6 +66,7 @@ __all__ = [
     "SignedCertificateTimestamp",
     "MerkleTree",
     "SignedTreeHead",
+    "accepted_roots_snapshot",
     "embedded_scts",
     "is_precertificate",
     "issuance_census",
@@ -65,6 +74,7 @@ __all__ = [
     "poison_extension",
     "populate_log",
     "sct_list_extension",
+    "simulated_root_feeds",
     "submit_precertificate",
     "verify_sct",
     "verify_certificate_inclusion",

@@ -1,0 +1,138 @@
+"""CT accepted-roots lists as watchable, archivable origins.
+
+"Characterizing the Root Landscape of Certificate Transparency Logs"
+treats each CT log's accepted-roots list (the ``get-roots`` endpoint)
+as a trust anchor set that evolves independently of the classic root
+store programs.  This module models that: a :class:`CTRootFeed` is an
+origin in the :mod:`repro.collection.sources` sense — dated, tagged
+revisions of a PEM bundle — so the continuous-ingestion watcher can
+poll CT logs exactly like it polls source repositories, and archive
+their accepted-roots history under a ``ct-<log>`` provider key.
+
+CT providers are deliberately *not* registered in
+:data:`repro.store.provider.PROVIDERS` (that registry mirrors the
+paper's Table 2 programs); :func:`accepted_roots_snapshot` therefore
+parses the bundle directly rather than routing through
+``scrape_snapshot``'s registry lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.collection.sources import TaggedTree
+from repro.errors import CollectionError
+from repro.formats.diagnostics import DiagnosticLog
+from repro.formats.pem_bundle import parse_pem_bundle, serialize_pem_bundle
+from repro.store.entry import TrustEntry
+from repro.store.history import Dataset
+from repro.store.snapshot import RootStoreSnapshot
+
+#: Path of the accepted-roots artifact inside a feed revision's tree.
+ACCEPTED_ROOTS_PATH = "ct/accepted-roots.pem"
+
+
+@dataclass
+class CTRootFeed:
+    """One CT log's accepted-roots list as a dated revision sequence.
+
+    Iterating yields :class:`~repro.collection.sources.TaggedTree`
+    values — the same origin protocol the scrapers and the watcher
+    already speak.
+    """
+
+    name: str
+    revisions: list[TaggedTree] = field(default_factory=list)
+
+    @property
+    def provider_key(self) -> str:
+        return f"ct-{self.name}"
+
+    def publish_revision(self, released: date, entries: list[TrustEntry]) -> TaggedTree:
+        """Append the accepted-roots list as of ``released``."""
+        number = len(self.revisions) + 1
+        tag = f"roots-{number:03d}+{released:%Y%m%d}"
+        bundle = serialize_pem_bundle(
+            entries, header_comment=f"accepted roots of CT log {self.name!r}"
+        )
+        tagged = TaggedTree(
+            tag=tag, released=released, tree={ACCEPTED_ROOTS_PATH: bundle.encode("ascii")}
+        )
+        self.revisions.append(tagged)
+        self.revisions.sort(key=lambda t: (t.released, t.tag))
+        return tagged
+
+    def __iter__(self):
+        return iter(self.revisions)
+
+    def __len__(self) -> int:
+        return len(self.revisions)
+
+
+def accepted_roots_snapshot(
+    provider_key: str,
+    tagged: TaggedTree,
+    *,
+    lenient: bool = False,
+    diagnostics: DiagnosticLog | None = None,
+) -> RootStoreSnapshot:
+    """Parse one accepted-roots revision into an archivable snapshot."""
+    try:
+        data = tagged.tree[ACCEPTED_ROOTS_PATH]
+    except KeyError as exc:
+        raise CollectionError(
+            f"artifact {ACCEPTED_ROOTS_PATH!r} missing from tree", provider=provider_key
+        ) from exc
+    try:
+        text = data.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise CollectionError(
+            f"artifact {ACCEPTED_ROOTS_PATH!r} is not valid ascii: {exc}",
+            provider=provider_key,
+        ) from exc
+    entries = parse_pem_bundle(text, lenient=lenient, diagnostics=diagnostics)
+    version = tagged.tag.split("+", 1)[0]
+    return RootStoreSnapshot.build(provider_key, tagged.released, version, entries)
+
+
+def simulated_root_feeds(
+    dataset: Dataset,
+    *,
+    logs: tuple[str, ...] = ("argon", "xenon"),
+    revisions: int = 4,
+) -> list[CTRootFeed]:
+    """Grow accepted-roots feeds out of a dataset's certificate corpus.
+
+    Each log starts from an early slice of the dataset's distinct roots
+    and accepts more with every revision — the "union of what submitters
+    needed" growth pattern real logs show.  Deterministic: roots are
+    ordered by fingerprint and sliced by revision number, and revision
+    dates step yearly from the dataset's first snapshot.
+    """
+    by_fingerprint: dict[str, TrustEntry] = {}
+    first_date: date | None = None
+    for snapshot in dataset.all_snapshots():
+        if first_date is None or snapshot.taken_at < first_date:
+            first_date = snapshot.taken_at
+        for entry in snapshot.entries:
+            by_fingerprint.setdefault(entry.fingerprint, entry)
+    if first_date is None:
+        raise CollectionError("dataset has no snapshots to grow CT root feeds from")
+    roots = [by_fingerprint[fp] for fp in sorted(by_fingerprint)]
+
+    feeds: list[CTRootFeed] = []
+    for offset, log in enumerate(logs):
+        feed = CTRootFeed(log)
+        for revision in range(1, revisions + 1):
+            # Later logs start smaller and catch up; every revision is a
+            # superset of the previous one (accepted-roots lists only
+            # shrink via log shutdown, which the sim does not model).
+            fraction = revision / (revisions + offset)
+            accepted = roots[: max(1, int(len(roots) * min(1.0, fraction)))]
+            released = date(first_date.year + revision - 1, 3 + offset, 1)
+            feed.publish_revision(released, [
+                TrustEntry.make(entry.certificate) for entry in accepted
+            ])
+        feeds.append(feed)
+    return feeds

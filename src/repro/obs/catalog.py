@@ -97,6 +97,25 @@ METRICS: tuple[MetricSpec, ...] = (
         "repro_archive_stale_detected_total", COUNTER,
         "Catalog-changed-under-live-query detections (raise|refresh).", ("action",),
     ),
+    # -- watch: continuous-ingestion loop --------------------------------
+    MetricSpec(
+        "repro_watch_cycle_seconds", HISTOGRAM,
+        "Simulated-clock duration of one watch cycle.", (), DEFAULT_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "repro_watch_breaker_state", GAUGE,
+        "Per-origin circuit breaker state (0 closed, 1 half-open, 2 open).",
+        ("origin",),
+    ),
+    MetricSpec(
+        "repro_watch_delta_snapshots_total", COUNTER,
+        "Delta snapshots per origin by outcome (ingested|quarantined|deferred).",
+        ("origin", "outcome"),
+    ),
+    MetricSpec(
+        "repro_archive_index_updates_total", COUNTER,
+        "Index maintenance at commit by mode (delta|rebuild).", ("mode",),
+    ),
     # -- analysis: stage latency -----------------------------------------
     MetricSpec(
         "repro_analysis_stage_seconds", HISTOGRAM,

@@ -27,6 +27,16 @@ def load_dump(path: Path | str) -> dict:
         payload = {"schema": 1, "metrics": payload, "spans": []}
     if not isinstance(payload, dict) or "metrics" not in payload:
         raise ObservabilityError(f"metrics file {path} has no 'metrics' section")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, list) or not all(isinstance(f, dict) for f in metrics):
+        raise ObservabilityError(
+            f"metrics file {path} is malformed: 'metrics' must be a list of metric families"
+        )
+    spans = payload.get("spans", [])
+    if not isinstance(spans, list):
+        raise ObservabilityError(
+            f"metrics file {path} is malformed: 'spans' must be a list of span trees"
+        )
     return payload
 
 
@@ -84,7 +94,23 @@ def _span_aggregate(spans: list[dict]) -> dict[str, tuple[int, float, int]]:
 
 
 def report_lines(dump: dict) -> list[str]:
-    """The full ``obs report`` rendering, one output line per entry."""
+    """The full ``obs report`` rendering, one output line per entry.
+
+    A structurally-malformed dump (series entries missing ``count`` /
+    ``labels``, non-dict spans, ...) surfaces as
+    :class:`~repro.errors.ObservabilityError` — the CLI's central error
+    mapping turns that into a one-line stderr message instead of a
+    traceback.
+    """
+    try:
+        return _report_lines(dump)
+    except (KeyError, TypeError, AttributeError, IndexError, ValueError) as exc:
+        raise ObservabilityError(
+            f"metrics dump is malformed ({exc.__class__.__name__}: {exc})"
+        ) from exc
+
+
+def _report_lines(dump: dict) -> list[str]:
     from repro.analysis.report import render_table
 
     metrics = dump["metrics"]

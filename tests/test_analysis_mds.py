@@ -84,6 +84,31 @@ class TestSmacofRecovery:
         assert result.iterations <= 3  # already optimal
         assert result.stress < 1e-9
 
+    def test_default_init_converges_on_large_flat_matrix(self):
+        """Regression: the bench corpus (hundreds of points, Jaccard
+        distances crowded near 1.0) left random-init SMACOF unconverged
+        at the default 300 iterations.  The classical (Torgerson)
+        default start must converge within the default budget — and
+        beat a random start on both speed and final stress."""
+        rng = np.random.default_rng(9)
+        n = 300
+        delta = rng.uniform(0.7, 1.0, size=(n, n))
+        # A little cluster structure, like the provider families.
+        for lo in range(0, n, 50):
+            block = slice(lo, lo + 50)
+            delta[block, block] = rng.uniform(0.05, 0.3, size=(50, 50))
+        delta = (delta + delta.T) / 2
+        np.fill_diagonal(delta, 0.0)
+
+        result = smacof(delta, dims=2)  # default max_iterations=300
+        assert result.converged, (
+            f"classical-init SMACOF still unconverged after "
+            f"{result.iterations} iterations (stress {result.stress:.2f})"
+        )
+        random_start = np.random.default_rng(0).uniform(-0.5, 0.5, size=(n, 2))
+        random_result = smacof(delta, dims=2, init=random_start)
+        assert result.stress <= random_result.stress
+
 
 class TestClassical:
     def test_exact_on_euclidean_input(self):

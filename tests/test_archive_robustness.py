@@ -79,6 +79,8 @@ INGEST_SITES = (
     "journal:catalog",
     "catalog:replace",
     "catalog:replaced",
+    "index:replace",
+    "index:replaced",
     "journal:commit",
     "journal:cleanup",
 )
@@ -386,6 +388,74 @@ class TestKillMatrix:
         assert matrix == plan.matrix(sites)
         assert {point.site for point, _ in matrix} == set(INGEST_SITES)
         assert all(style in STYLES for _, style in matrix)
+
+
+class TestRepairRefusesLiveWriter:
+    def test_repair_vs_live_lock_raises_archive_lock_error(self, tmp_path, tiny_dataset):
+        """Regression: repair must never run under a live writer.
+
+        The lock holder here is this very test process — indisputably
+        alive — so ``repair_archive`` without ``--force-unlock`` has to
+        refuse with :class:`ArchiveLockError`, naming the pid and the
+        remedy, and leave the lock untouched.
+        """
+        archive = Archive(tmp_path / "arch", create=True)
+        ingest_dataset(archive, tiny_dataset)
+        lock = WriterLock(archive.root, owner="live-writer")
+        lock.acquire()
+        try:
+            with pytest.raises(ArchiveLockError, match="live writer") as excinfo:
+                repair_archive(archive)
+            assert str(os.getpid()) in str(excinfo.value)
+            assert "--force-unlock" in str(excinfo.value)
+            info = read_lock(archive.root)
+            assert info is not None and info.owner == "live-writer"
+        finally:
+            lock.release()
+
+
+class TestRepairHealsWatchState:
+    def test_stale_index_is_rebuilt(self, tmp_path, tiny_dataset):
+        """An index left behind by an older catalog is torn state: repair
+        must rebuild it to match the current catalog hash."""
+        from repro.archive.index import _load_persisted
+
+        archive = Archive(tmp_path / "arch", create=True)
+        ingest_dataset(archive, tiny_dataset)
+        ArchiveQuery(archive)  # persist a fresh index
+        index_files = list((archive.root / "index").glob("*.json"))
+        assert index_files
+        for path in index_files:
+            payload = json.loads(path.read_text())
+            payload["catalog_hash"] = "0" * 64  # now stale
+            path.write_text(json.dumps(payload))
+        assert _load_persisted(archive, archive.catalog_hash()) is None
+
+        report = repair_archive(archive)
+        assert report.index_healed
+        assert _load_persisted(archive, archive.catalog_hash()) is not None
+        assert repair_archive(archive).clean  # idempotent
+
+    def test_damaged_checkpoints_are_quarantined(self, tmp_path, tiny_dataset):
+        from repro.archive import CheckpointStore
+        from repro.archive.repair import QUARANTINE_DIR
+
+        archive = Archive(tmp_path / "arch", create=True)
+        ingest_dataset(archive, tiny_dataset)
+        store = CheckpointStore(archive.root)
+        store.checkpoints_path.parent.mkdir(parents=True, exist_ok=True)
+        store.checkpoints_path.write_bytes(b'{"schema": 1, "cursors": [tor')
+
+        report = repair_archive(archive)
+        assert report.checkpoints_reset
+        assert not store.checkpoints_path.exists()
+        parked = archive.root / QUARANTINE_DIR / "watch" / "checkpoints.corrupt.json"
+        assert parked.exists()
+        # A watcher starting now sees clean (empty) checkpoints.
+        fresh = CheckpointStore(archive.root)
+        assert fresh.load() == {}
+        assert fresh.damaged is False
+        assert repair_archive(archive).clean
 
 
 class TestBitrotQuarantine:

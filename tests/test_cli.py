@@ -206,6 +206,36 @@ class TestObs:
         assert rc == 1
         assert capsys.readouterr().err.startswith("error: ")
 
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            pytest.param('{"schema": 1, "metr', id="truncated-json"),
+            pytest.param('{"schema": 1}', id="no-metrics-section"),
+            pytest.param('{"schema": 1, "metrics": {"a": 1}}', id="metrics-not-a-list"),
+            pytest.param(
+                '{"schema": 1, "metrics": [42], "spans": []}', id="family-not-a-dict"
+            ),
+            pytest.param(
+                '{"schema": 1, "metrics": [], "spans": 7}', id="spans-not-a-list"
+            ),
+            pytest.param(
+                '{"schema": 1, "spans": [], "metrics": [{"name": '
+                '"repro_collection_scrape_seconds", "series": [{"labels": {}}]}]}',
+                id="series-missing-count",
+            ),
+        ],
+    )
+    def test_obs_report_malformed_dump_one_line_error(self, tmp_path, capsys, payload):
+        """Any structurally-broken dump exits 1 with a single ``error:``
+        line via the central CLI error mapping — never a traceback."""
+        dump = tmp_path / "broken.json"
+        dump.write_text(payload)
+        rc = main(["obs", "report", str(dump)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+
     def test_bench_smoke_feeds_obs_report(self, tmp_path, capsys, monkeypatch):
         """The REPRO_BENCH_SMOKE=1 path ends in ``obs report``: bench
         sections land in the shared registry and render from the dump."""
@@ -341,4 +371,52 @@ class TestArchive:
         assert main(["archive", "bench", "--smoke", "--output", str(output)]) == 0
         out = capsys.readouterr().out
         assert "Archive benchmark" in out and "idempotent=True" in out
+
+
+class TestWatch:
+    @pytest.fixture(autouse=True)
+    def _no_fsync(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARCHIVE_FSYNC", "0")
+
+    def test_watch_ingests_then_goes_idle(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "arch"
+        report_path = tmp_path / "watch.json"
+        assert main([
+            "watch", str(target),
+            "--cycles", "3", "--providers", "alpine",
+            "--report", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cycle 1: +" in out
+        assert "Watch report" in out
+        assert "catalog hash: " in out
+        payload = json.loads(report_path.read_text())
+        assert len(payload["cycles"]) == 3
+        assert payload["total_ingested"] > 0
+        # The archive the loop grew passes a full integrity verify.
+        assert main(["archive", "verify", str(target)]) == 0
+        capsys.readouterr()
+        # Re-running over the same revealed world is pure idle.
+        assert main(["watch", str(target), "--cycles", "1", "--hold-back", "0",
+                     "--providers", "alpine"]) == 0
+        assert "+0 snapshots" in capsys.readouterr().out
+
+    def test_watch_with_faults_degrades_not_dies(self, tmp_path, capsys):
+        assert main([
+            "watch", str(tmp_path / "arch"),
+            "--cycles", "2", "--providers", "alpine",
+            "--fault-rate", "0.4", "--fault-seed", "cli-watch",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Watch report" in out  # the loop survived the faults
+
+    def test_bench_ingest_smoke(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_ingest.json"
+        assert main(["archive", "bench-ingest", "--smoke", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "Incremental-ingest benchmark" in out
+        assert "catalog_match=True" in out
+        assert output.exists()
         assert output.exists()

@@ -103,6 +103,66 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)
 
+    def test_negative_deadline_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=-1.0)
+
+    def test_deadline_cuts_retries_short(self):
+        """A deadline re-raises once the *next* backoff would overrun it,
+        even with attempts left in the budget."""
+        attempts = []
+
+        def doomed():
+            attempts.append(1)
+            raise TransientCollectionError("always down")
+
+        clock = SimulatedClock()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=2.0, jitter=0.0, deadline=4.0
+        )
+        with pytest.raises(TransientCollectionError) as excinfo:
+            call_with_retry(doomed, policy=policy, key="k", sleep=clock.sleep)
+        # Backoff 1s + 2s = 3s fits; pausing 4s more would exceed 4.0.
+        assert clock.sleeps == [1.0, 2.0]
+        assert excinfo.value.attempts == len(attempts) == 3
+
+    def test_zero_deadline_means_single_attempt(self):
+        attempts = []
+
+        def doomed():
+            attempts.append(1)
+            raise TransientCollectionError("down")
+
+        clock = SimulatedClock()
+        with pytest.raises(TransientCollectionError):
+            call_with_retry(
+                doomed,
+                policy=RetryPolicy(max_attempts=5, deadline=0.0),
+                key="k",
+                sleep=clock.sleep,
+            )
+        assert len(attempts) == 1
+        assert clock.sleeps == []
+
+    def test_generous_deadline_changes_nothing(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientCollectionError("blip")
+            return "done"
+
+        clock = SimulatedClock()
+        outcome = call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=5, deadline=1e9),
+            key="k",
+            sleep=clock.sleep,
+        )
+        assert outcome.value == "done"
+        assert outcome.attempts == 3
+
 
 class TestFaultPlan:
     def test_deterministic(self):

@@ -1,0 +1,83 @@
+"""Tier-1 lint: no wall-clock reads anywhere in ``src/``.
+
+Determinism is a load-bearing property of this repository — retries,
+circuit breakers, the watch loop, and the chaos harness all run on the
+injectable :class:`~repro.collection.retry.SimulatedClock`, and the
+kill-matrix tests depend on byte-identical replays.  One stray
+``datetime.now()`` breaks all of that silently, so this test greps the
+source tree for the wall-clock API surface and fails on any hit.
+
+Two sanctioned exceptions:
+
+- the bench layer (``repro/bench/``), where wall clock *is* the
+  measurand, and
+- the telemetry runtime's default monotonic clock
+  (``repro/obs/runtime.py``, ``repro/obs/trace.py``), which is
+  injectable and only measures durations, never dates.
+
+Both are allowed ``time.perf_counter`` only; the calendar-reading
+calls (``time.time``, ``datetime.now``, ``date.today``, ``utcnow``)
+are banned everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Calendar reads: banned in every source module, no exceptions.
+BANNED_EVERYWHERE = (
+    re.compile(r"\btime\.time\s*\("),
+    re.compile(r"\bdatetime\.now\s*\("),
+    re.compile(r"\bdate\.today\s*\("),
+    re.compile(r"\butcnow\s*\("),
+)
+
+#: Monotonic reads: allowed only where duration is the measurand.
+MONOTONIC = re.compile(r"\bperf_counter\b|\btime\.monotonic\s*\(")
+MONOTONIC_ALLOWED = (
+    "repro/bench/",
+    "repro/obs/runtime.py",
+    "repro/obs/trace.py",
+)
+
+
+def _source_files() -> list[Path]:
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources under {SRC}"
+    return files
+
+
+def _strip_comments(line: str) -> str:
+    return line.split("#", 1)[0]
+
+
+def test_no_calendar_clock_reads_in_src():
+    violations = []
+    for path in _source_files():
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            code = _strip_comments(line)
+            for pattern in BANNED_EVERYWHERE:
+                if pattern.search(code):
+                    violations.append(f"{path.relative_to(SRC)}:{number}: {line.strip()}")
+    assert violations == [], (
+        "wall-clock reads in src/ (route them through SimulatedClock or "
+        "an injectable clock):\n" + "\n".join(violations)
+    )
+
+
+def test_monotonic_clock_only_in_sanctioned_modules():
+    violations = []
+    for path in _source_files():
+        rel = path.relative_to(SRC).as_posix()
+        if any(rel.startswith(prefix) or rel == prefix for prefix in MONOTONIC_ALLOWED):
+            continue
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            if MONOTONIC.search(_strip_comments(line)):
+                violations.append(f"{rel}:{number}: {line.strip()}")
+    assert violations == [], (
+        "monotonic clock reads outside the bench/telemetry allowlist:\n"
+        + "\n".join(violations)
+    )
