@@ -26,6 +26,14 @@ ingests forward or back and quarantines bitrot, leaving ``verify``
 clean while degraded queries keep serving the intact snapshots.
 """
 
+from repro.archive.binindex import (
+    BinaryIndex,
+    check_binary_index,
+    encode_binary_index,
+    load_binary_index,
+    persist_binary_index,
+    read_binary_index,
+)
 from repro.archive.cas import ContentStore, PutResult, content_address
 from repro.archive.checkpoint import CheckpointStore, Cursor
 from repro.archive.chaos import (
@@ -94,6 +102,7 @@ __all__ = [
     "ArchiveIndex",
     "ArchiveQuery",
     "ArchiveWriter",
+    "BinaryIndex",
     "CacheStats",
     "CatalogRow",
     "ChaosPlan",
@@ -123,16 +132,21 @@ __all__ = [
     "atomic_write_bytes",
     "break_lock",
     "build_index",
+    "check_binary_index",
     "content_address",
     "crash_at",
+    "encode_binary_index",
     "fsync_enabled",
+    "load_binary_index",
     "gc_archive",
     "ingest_dataset",
     "ingest_history",
     "ingest_snapshots",
     "load_index",
     "pending_transactions",
+    "persist_binary_index",
     "persist_index",
+    "read_binary_index",
     "read_journal",
     "read_lock",
     "read_quarantine",

@@ -16,6 +16,15 @@ Both files carry the catalog hash they were built from.  Loading
 compares it against the live catalog and silently rebuilds (and
 re-persists) when stale, so indexes never need manual invalidation:
 ingest rewrites the catalog, and the next query rebuilds exactly once.
+
+Payloads are compact canonical JSON (sorted keys, no whitespace):
+byte-determinism is load-bearing — the kill-matrix tests require a
+delta-maintained index to be byte-identical to a rebuilt one — and the
+pretty-printed form only made the files bigger and the legacy parse
+path slower.  ``persist_index`` additionally installs the mmap-able
+binary form (:mod:`repro.archive.binindex`) so the two formats can
+never drift: every writer path (full rebuild, incremental delta,
+repair) lands all three files under the same ``index`` crash site.
 """
 
 from __future__ import annotations
@@ -199,7 +208,13 @@ def _index_dir(archive: Archive) -> Path:
 
 
 def persist_index(archive: Archive, index: ArchiveIndex) -> None:
-    """Write both index files atomically (same pattern as the catalog)."""
+    """Write every index file atomically (same pattern as the catalog).
+
+    Three files land, all under the ``index`` crash site: the two
+    compact-JSON payloads and the binary ``trust.bin`` the serving
+    layer mmaps.  A crash between any two of them leaves a stale or
+    missing sibling that ``repair`` (and lazy query loads) rebuild.
+    """
     directory = _index_dir(archive)
     directory.mkdir(parents=True, exist_ok=True)
     files = {
@@ -224,8 +239,14 @@ def persist_index(archive: Archive, index: ArchiveIndex) -> None:
         },
     }
     for name, payload in files.items():
-        data = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
+        data = (
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("ascii")
         atomic_write_bytes(directory / name, data, site="index")
+
+    from repro.archive.binindex import persist_binary_index  # circular at module scope
+
+    persist_binary_index(archive, index)
 
 
 def _load_persisted(archive: Archive, catalog_hash: str) -> ArchiveIndex | None:

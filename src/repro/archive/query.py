@@ -45,6 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from datetime import date
 from pathlib import Path
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -181,10 +182,17 @@ class ArchiveQuery:
         snapshot_cache: int = SNAPSHOT_CACHE_SIZE,
         allow_degraded: bool = False,
         refresh_on_stale: bool = False,
+        index_loader: Callable[[Archive], ArchiveIndex] | None = None,
     ):
         self.archive = archive if isinstance(archive, Archive) else Archive(archive)
+        #: How this engine materializes its index — the default parses
+        #: the persisted JSON pair; the serving layer passes
+        #: :func:`repro.archive.binindex.load_binary_index` for the
+        #: zero-parse mmap form.  Loaders must return an object with
+        #: the ``ArchiveIndex`` query surface and ``catalog_hash``.
+        self._index_loader = index_loader if index_loader is not None else load_index
         with get_telemetry().span("archive.query.load_index", archive=str(self.archive.root)):
-            self.index: ArchiveIndex = load_index(self.archive)
+            self.index: ArchiveIndex = self._index_loader(self.archive)
         self._manifests = _LRUCache(manifest_cache)
         self._snapshots = _LRUCache(snapshot_cache)
         self.allow_degraded = allow_degraded
@@ -240,7 +248,7 @@ class ArchiveQuery:
             )
         count("repro_archive_stale_detected_total", action="refresh")
         with get_telemetry().span("archive.query.refresh", archive=str(self.archive.root)):
-            self.index = load_index(self.archive)
+            self.index = self._index_loader(self.archive)
         self._manifests.clear()
         self._snapshots.clear()
         self.catalog_hash = self.index.catalog_hash
@@ -335,8 +343,9 @@ class ArchiveQuery:
             observations = self._trusted_on(fingerprint, when, purpose, providers)
         return observations
 
-    def _trusted_on(self, fingerprint, when, purpose, providers) -> list[TrustObservation]:
-        observations: list[TrustObservation] = []
+    def _resolve_in_force(self, when, providers) -> list[tuple[str, TimelineEntry, SnapshotManifest]]:
+        """One timeline bisect + manifest fetch per provider at ``when``."""
+        resolved = []
         for provider in providers if providers is not None else self.providers:
             entry = self.index.in_force(provider, when)
             if entry is None:
@@ -348,24 +357,64 @@ class ArchiveQuery:
                     raise
                 self._skip(provider, entry.version, exc)
                 continue
-            stored = manifest.get(fingerprint)
-            if stored is None:
-                present, level = False, None
-            elif purpose is None:
-                present, level = True, None
-            else:
-                level = stored.level_for(purpose)
-                present = level is TrustLevel.TRUSTED
-            observations.append(
-                TrustObservation(
-                    provider=provider,
-                    version=entry.version,
-                    taken_at=entry.taken_at,
-                    present=present,
-                    level=level,
-                )
-            )
-        return observations
+            resolved.append((provider, entry, manifest))
+        return resolved
+
+    @staticmethod
+    def _observe(provider, entry, manifest, fingerprint, purpose) -> TrustObservation:
+        stored = manifest.get(fingerprint)
+        if stored is None:
+            present, level = False, None
+        elif purpose is None:
+            present, level = True, None
+        else:
+            level = stored.level_for(purpose)
+            present = level is TrustLevel.TRUSTED
+        return TrustObservation(
+            provider=provider,
+            version=entry.version,
+            taken_at=entry.taken_at,
+            present=present,
+            level=level,
+        )
+
+    def _trusted_on(self, fingerprint, when, purpose, providers) -> list[TrustObservation]:
+        return [
+            self._observe(provider, entry, manifest, fingerprint, purpose)
+            for provider, entry, manifest in self._resolve_in_force(when, providers)
+        ]
+
+    def trusted_on_many(
+        self,
+        fingerprints: Iterable[str],
+        when: date,
+        *,
+        purpose: TrustPurpose | None = TrustPurpose.SERVER_AUTH,
+        providers: list[str] | None = None,
+    ) -> list[list[TrustObservation]]:
+        """Batch :meth:`trusted_on`: many fingerprints, one timeline walk.
+
+        The per-provider work — timeline bisection and the manifest
+        fetch — is resolved exactly once for the whole batch instead of
+        once per fingerprint; each fingerprint then costs a dictionary
+        probe per provider.  Returns one observation list per input
+        fingerprint, in input order, element-wise identical to calling
+        :meth:`trusted_on` in a loop.  This is the library-level
+        primitive behind the serving daemon's batch endpoint.
+        """
+        self._ensure_fresh()
+        batch = list(fingerprints)
+        with get_telemetry().span(
+            "archive.query.trusted_on_many", batch=len(batch), when=when.isoformat()
+        ):
+            resolved = self._resolve_in_force(when, providers)
+            return [
+                [
+                    self._observe(provider, entry, manifest, fingerprint, purpose)
+                    for provider, entry, manifest in resolved
+                ]
+                for fingerprint in batch
+            ]
 
     def ever_shipped(self, fingerprint: str) -> tuple[Posting, ...]:
         """Every (provider, release) that ever contained the fingerprint."""

@@ -400,24 +400,51 @@ def repair_archive(archive: Archive, *, force_unlock: bool = False) -> RepairRep
 
 
 def _heal_index(archive: Archive, report: RepairReport) -> None:
-    """Rebuild an index pair a crashed incremental update left behind.
+    """Rebuild index files a crashed incremental update left behind.
 
     ``ArchiveWriter.commit`` patches the persisted index *after* the
     catalog replace, so a kill in that window (or a torn/flipped write
-    landing on either index file) leaves index files that do not match
-    the committed catalog.  Absent index files are fine — queries build
+    landing on any index file) leaves index files that do not match the
+    committed catalog.  Absent index files are fine — queries build
     lazily — but *present-and-wrong* ones are crash damage: rebuild so
     the archive converges to the same bytes as an uninterrupted run.
+
+    The binary ``trust.bin`` is held to the same bar as the JSON pair:
+    stale (older catalog hash) or missing alongside fresh JSON means a
+    crash landed between the sibling writes, and a torn header or
+    payload-checksum mismatch is damage whose bytes are parked under
+    ``quarantine/index/`` before the rebuild replaces the file.
     """
+    from repro.archive.binindex import (
+        BINARY_FILE,
+        binary_index_path,
+        check_binary_index,
+        read_binary_index,
+    )
+
     catalog_hash = archive.catalog_hash()
     if catalog_hash is None:
         return
     directory = archive.root / INDEX_DIR
-    if not any(directory.glob("*.json")):
+    if not any(directory.glob("*.json")) and not any(directory.glob("*.bin")):
         return
-    if _load_persisted(archive, catalog_hash) is None:
-        load_index(archive, rebuild=True)
-        report.index_healed = True
+    json_fresh = _load_persisted(archive, catalog_hash) is not None
+    damage = check_binary_index(archive)
+    binary_fresh = False
+    if damage is None:
+        binary = read_binary_index(archive, catalog_hash)
+        if binary is not None:
+            binary_fresh = True
+            binary.close()
+    if json_fresh and binary_fresh:
+        return
+    if damage is not None:
+        source = binary_index_path(archive)
+        destination = quarantine_root(archive.root) / INDEX_DIR / f"{BINARY_FILE}.corrupt"
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        source.replace(destination)
+    load_index(archive, rebuild=True)
+    report.index_healed = True
 
 
 def _heal_checkpoints(archive: Archive, report: RepairReport) -> None:

@@ -40,6 +40,7 @@ class VerificationReport:
     mismatched_rows: list = field(default_factory=list)  # (provider, manifest_id, detail)
     orphan_manifests: list = field(default_factory=list)  # (provider, manifest_id)
     stale_tmp: list = field(default_factory=list)  # str paths of crashed-writer temp files
+    damaged_index: list = field(default_factory=list)  # (file, detail) — torn/flipped index
     catalog_hash: str | None = None
 
     @property
@@ -50,6 +51,7 @@ class VerificationReport:
             or self.corrupt_manifests
             or self.missing_manifests
             or self.mismatched_rows
+            or self.damaged_index
         )
 
     @property
@@ -71,6 +73,8 @@ class VerificationReport:
             lines.append(f"catalog references missing manifest {provider}/{manifest_id}")
         for provider, manifest_id, detail in self.mismatched_rows:
             lines.append(f"catalog row disagrees with manifest {provider}/{manifest_id}: {detail}")
+        for name, detail in self.damaged_index:
+            lines.append(f"damaged index file {name}: {detail} (repair rebuilds it)")
         for fingerprint in self.orphan_objects:
             lines.append(f"orphan object {fingerprint} (unreferenced; gc-able)")
         for provider, manifest_id in self.orphan_manifests:
@@ -148,6 +152,15 @@ def verify_archive(archive: Archive) -> VerificationReport:
 
     # Debris of writers killed mid-write (before their os.replace).
     report.stale_tmp = [str(path) for path in stray_tmp_files(archive.root)]
+
+    # The binary query index: a torn header or checksum mismatch is
+    # crash damage a serve/ingest must never keep answering from
+    # (stale-but-valid is fine — queries rebuild it lazily).
+    from repro.archive.binindex import check_binary_index
+
+    finding = check_binary_index(archive)
+    if finding is not None:
+        report.damaged_index.append(finding)
 
     return report
 

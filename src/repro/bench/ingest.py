@@ -66,8 +66,14 @@ class IngestSuite:
 
 
 def _index_bytes(archive: Archive) -> bytes:
-    """The persisted index payload, or ``b''`` when none exists."""
-    files = sorted((archive.root / INDEX_DIR).glob("*.json"))
+    """Every persisted index payload (JSON + binary), or ``b''``.
+
+    The byte-identity gate covers the binary ``trust.bin`` too: a
+    delta-maintained archive must land on exactly the bytes a rebuild
+    produces in *both* formats.
+    """
+    directory = archive.root / INDEX_DIR
+    files = sorted([*directory.glob("*.json"), *directory.glob("*.bin")])
     return b"".join(path.read_bytes() for path in files)
 
 

@@ -17,9 +17,11 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots scrape PROVIDER DIR  # parse artifacts back
     repro-roots collect              # end-to-end collection (+ fault injection)
     repro-roots watch DIR            # continuous ingestion: checkpointed watch loop
+    repro-roots serve DIR            # batched trust-query daemon over the archive
     repro-roots bench                # perf-regression harness (BENCH_ordination.json)
     repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|
-                                     #   repair|bench|bench-ingest|bench-robustness
+                                     #   repair|bench|bench-ingest|bench-robustness|
+                                     #   bench-serving
     repro-roots obs report FILE      # render a --metrics-out telemetry dump
 
 Every subcommand accepts ``--metrics-out PATH`` to capture the run's
@@ -237,6 +239,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="break a stale writer lock during startup repair even if its "
         "holder appears alive",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="serve batched trust queries over the archive at DIR from "
+        "pre-forked workers sharing the mmap'd binary index",
+    )
+    serve.add_argument("directory", type=Path, metavar="DIR")
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="port to bind (default: 0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="pre-forked worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--batch-limit", type=int, default=1024, metavar="N",
+        help="most fingerprints one batch request may probe (default: 1024)",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="start, verify /healthz, print the address, and exit "
+        "(CI smoke instead of serving forever)",
+    )
     bench = sub.add_parser(
         "bench",
         help="time the hot paths (distance matrix, MDS, interning, scraping) "
@@ -301,7 +330,7 @@ def _add_archive_parser(sub) -> None:
     archive = sub.add_parser(
         "archive",
         help="content-addressed on-disk archive: ingest, query, diff, verify, gc, "
-        "repair, bench, bench-robustness",
+        "repair, bench, bench-robustness, bench-serving",
     )
     asub = archive.add_subparsers(dest="archive_command", required=True)
 
@@ -400,6 +429,28 @@ def _add_archive_parser(sub) -> None:
     ingest_bench.add_argument(
         "--rounds", type=int, default=1, metavar="R",
         help="rounds per measurement (best-of-R is reported)",
+    )
+
+    serving_bench = asub.add_parser(
+        "bench-serving",
+        help="binary-index cold start + daemon latency benchmarks "
+        "(BENCH_serving.json)",
+    )
+    serving_bench.add_argument(
+        "--output", type=Path, default=Path("BENCH_serving.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_serving.json)",
+    )
+    serving_bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
+    )
+    serving_bench.add_argument(
+        "--rounds", type=int, default=None, metavar="R",
+        help="rounds per cold-start measurement (best-of-R is reported)",
+    )
+    serving_bench.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="pre-forked daemon workers for the load section (default: 2)",
     )
 
     robustness = asub.add_parser(
@@ -876,6 +927,37 @@ def _cmd_watch(args) -> None:
         print(f"report written to {args.report}")
 
 
+def _cmd_serve(args) -> int | None:
+    from repro.serving import ServingClient, ServingConfig, ServingDaemon
+
+    daemon = ServingDaemon(
+        ServingConfig(
+            root=args.directory,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            batch_limit=args.batch_limit,
+        )
+    )
+    host, port = daemon.start()
+    try:
+        with ServingClient(host, port) as client:
+            health = client.health()
+        print(f"serving {args.directory} at http://{host}:{port}")
+        print(f"workers: {args.workers} (pids {' '.join(map(str, daemon.pids))})")
+        print(f"catalog hash: {health['catalog_hash']}")
+        if args.check:
+            print("health check ok")
+            return 0
+        print("endpoints: POST /v1/query, GET /healthz, GET /metrics (Ctrl-C stops)")
+        daemon.wait()
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        daemon.stop()
+    return 0
+
+
 def _cmd_archive(args) -> int | None:
     handler = globals()[f"_cmd_archive_{args.archive_command.replace('-', '_')}"]
     return handler(args)
@@ -1036,6 +1118,21 @@ def _cmd_archive_bench_ingest(args) -> None:
         output=args.output,
     )
     print("Incremental-ingest benchmark")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
+
+
+def _cmd_archive_bench_serving(args) -> None:
+    from repro.bench import run_serving_suite
+
+    suite = run_serving_suite(
+        smoke=True if args.smoke else None,
+        rounds=args.rounds,
+        workers=args.workers,
+        output=args.output,
+    )
+    print("Serving-layer benchmark")
     for line in suite.summary_lines():
         print(f"  {line}")
     print(f"baseline written to {suite.output_path}")

@@ -116,6 +116,34 @@ METRICS: tuple[MetricSpec, ...] = (
         "repro_archive_index_updates_total", COUNTER,
         "Index maintenance at commit by mode (delta|rebuild).", ("mode",),
     ),
+    # -- serving: the trust-query daemon ---------------------------------
+    MetricSpec(
+        "repro_serving_request_seconds", HISTOGRAM,
+        "Wall time of one served operation (trusted_on|ever_shipped|"
+        "snapshot_at|diff|batch).", ("op",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "repro_serving_requests_total", COUNTER,
+        "Served operations by outcome (ok|error).", ("op", "outcome"),
+    ),
+    MetricSpec(
+        "repro_serving_batch_fingerprints", HISTOGRAM,
+        "Fingerprints per trusted_on batch request.", ("op",),
+        (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0),
+    ),
+    MetricSpec(
+        "repro_serving_in_flight", GAUGE,
+        "Requests currently being handled by this worker.", (),
+    ),
+    MetricSpec(
+        "repro_serving_remaps_total", COUNTER,
+        "Catalog-hash staleness detections that remapped the index "
+        "mid-serve (no restart).", (),
+    ),
+    MetricSpec(
+        "repro_serving_worker_requests_total", COUNTER,
+        "Requests handled per pre-forked worker.", ("worker",),
+    ),
     # -- analysis: stage latency -----------------------------------------
     MetricSpec(
         "repro_analysis_stage_seconds", HISTOGRAM,

@@ -1,0 +1,170 @@
+"""A tiny stdlib client for the serving daemon.
+
+:class:`ServingClient` wraps :mod:`http.client` with one persistent
+keep-alive connection (re-established transparently if a worker drops
+it), JSON encode/decode, and one method per daemon op.  It exists for
+three callers: the load-generator bench
+(:mod:`repro.bench.serving`), the end-to-end tests, and anyone
+scripting against ``repro-roots serve`` without wanting a real HTTP
+dependency.
+
+The batch surface mirrors the wire format exactly — ``batch()``
+returns the raw response document (catalog hash + one slot per
+request), while the convenience wrappers unwrap single-request
+batches and raise :class:`ServingRequestError` on per-slot errors.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from datetime import date
+from http.client import HTTPConnection, HTTPException
+
+from repro.errors import ReproError
+
+
+class ServingError(ReproError):
+    """Transport-level failure talking to the daemon."""
+
+
+class ServingRequestError(ServingError):
+    """The daemon answered, but this request's slot carried an error."""
+
+
+class ServingClient:
+    """One persistent HTTP/1.1 connection to a serving worker."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: HTTPConnection | None = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            self._conn.connect()
+            # Request headers and body go out as separate segments;
+            # without TCP_NODELAY, Nagle + delayed ACK turns every
+            # round trip into ~40 ms of idle wire.
+            self._conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> ServingClient:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, document: dict | None = None) -> dict:
+        body = (
+            json.dumps(document, separators=(",", ":")).encode("utf-8")
+            if document is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):  # one transparent reconnect on a dropped conn
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                break
+            except (HTTPException, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise ServingError(
+                        f"serving daemon at {self.host}:{self.port} unreachable: {exc}"
+                    ) from exc
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"daemon sent non-JSON ({payload[:80]!r})") from exc
+        if response.status >= 400:
+            raise ServingError(
+                f"{method} {path} -> {response.status}: {decoded.get('error', decoded)}"
+            )
+        return decoded
+
+    # -- raw surface -------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def batch(self, requests: list[dict]) -> dict:
+        """POST a batch; returns ``{"catalog_hash", "responses"}``."""
+        return self._request("POST", "/v1/query", {"requests": requests})
+
+    # -- one-request conveniences -----------------------------------------
+
+    def _single(self, request: dict) -> dict:
+        document = self.batch([request])
+        slot = document["responses"][0]
+        if "error" in slot:
+            raise ServingRequestError(f"{request.get('op')}: {slot['error']}")
+        return slot
+
+    def trusted_on(
+        self,
+        fingerprints: list[str],
+        when: date | str,
+        *,
+        purpose: str | None = None,
+        providers: list[str] | None = None,
+    ) -> list[list[dict]]:
+        request: dict = {
+            "op": "trusted_on",
+            "fingerprints": fingerprints,
+            "when": when.isoformat() if isinstance(when, date) else when,
+        }
+        if purpose is not None:
+            request["purpose"] = purpose
+        if providers is not None:
+            request["providers"] = providers
+        return self._single(request)["observations"]
+
+    def ever_shipped(self, fingerprint: str) -> list[dict]:
+        return self._single({"op": "ever_shipped", "fingerprint": fingerprint})[
+            "postings"
+        ]
+
+    def snapshot_at(self, provider: str, when: date | str) -> dict | None:
+        return self._single(
+            {
+                "op": "snapshot_at",
+                "provider": provider,
+                "when": when.isoformat() if isinstance(when, date) else when,
+            }
+        )["release"]
+
+    def diff(
+        self,
+        provider_a: str,
+        provider_b: str,
+        *,
+        when: date | str | None = None,
+        version_a: str | None = None,
+        version_b: str | None = None,
+        purpose: str | None = None,
+    ) -> dict:
+        request: dict = {"op": "diff", "provider_a": provider_a, "provider_b": provider_b}
+        if when is not None:
+            request["when"] = when.isoformat() if isinstance(when, date) else when
+        if version_a is not None:
+            request["version_a"] = version_a
+        if version_b is not None:
+            request["version_b"] = version_b
+        if purpose is not None:
+            request["purpose"] = purpose
+        return self._single(request)

@@ -1,0 +1,260 @@
+"""The batched multi-worker trust-query daemon (stdlib only).
+
+``repro-roots serve`` runs this: a parent process binds one listening
+socket, pre-forks N workers, and each worker serves HTTP/1.1 over the
+*shared* socket — the kernel load-balances ``accept`` across workers.
+Every worker holds a :class:`~repro.serving.service.QueryService` over
+the mmap-able binary index, so N workers share the index *pages*
+(one ``trust.bin`` mapped N times) instead of N parsed JSON copies,
+and cold start per worker is O(header read).
+
+Endpoints (JSON in, JSON out):
+
+- ``POST /v1/query`` — a batch payload for
+  :meth:`QueryService.handle_batch`.
+- ``GET /healthz`` — ``{"ok", "worker", "pid", "catalog_hash"}``;
+  what the parent polls for readiness and load generators use to
+  observe remaps.
+- ``GET /metrics`` — the worker's :mod:`repro.obs` registry snapshot.
+
+Staleness is handled per request, not per process: a watch-loop
+commit changes the catalog hash, the next query's freshness check
+remaps the index (``repro_serving_remaps_total``), and the worker
+keeps serving — no restart, no dropped connections.
+
+This module is deliberately the only serving file on the monotonic
+allowlist (``tests/test_no_wallclock.py``): readiness polling and
+socket timeouts are real-wall-clock concerns that
+:func:`time.monotonic` legitimately measures.  Everything above it
+times itself through ``get_telemetry().clock()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.errors import ArchiveError
+from repro.obs.instrument import count, set_gauge
+from repro.obs.runtime import get_telemetry
+from repro.serving.service import DEFAULT_BATCH_LIMIT, QueryService, RequestError
+
+#: How long the parent waits for every worker to answer /healthz.
+DEFAULT_STARTUP_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything a daemon run needs, CLI-mappable one flag per field."""
+
+    root: Path
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it back from start()
+    workers: int = 2
+    batch_limit: int = DEFAULT_BATCH_LIMIT
+    startup_timeout: float = DEFAULT_STARTUP_TIMEOUT
+
+
+class _WorkerHandler(BaseHTTPRequestHandler):
+    """One worker's HTTP surface over the shared socket."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: batches amortize connects
+    disable_nagle_algorithm = True  # header+body segments must not stall 40ms
+    server: _WorkerServer
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # metrics, not stderr lines, are the observability surface
+
+    def _respond(self, status: int, document: dict) -> None:
+        body = json.dumps(document, separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        server = self.server
+        if self.path == "/healthz":
+            self._respond(
+                200,
+                {
+                    "ok": True,
+                    "worker": server.worker,
+                    "pid": os.getpid(),
+                    "catalog_hash": server.service.catalog_hash,
+                },
+            )
+        elif self.path == "/metrics":
+            self._respond(200, get_telemetry().dump())
+        else:
+            self._respond(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        server = self.server
+        if self.path != "/v1/query":
+            self._respond(404, {"error": f"no route {self.path!r}"})
+            return
+        count("repro_serving_worker_requests_total", worker=server.worker)
+        with server.track_in_flight():
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length))
+            except (ValueError, json.JSONDecodeError):
+                self._respond(400, {"error": "body must be a JSON document"})
+                return
+            try:
+                document = server.service.handle_batch(payload)
+            except RequestError as exc:
+                self._respond(400, {"error": str(exc)})
+                return
+        self._respond(200, document)
+
+
+class _WorkerServer(ThreadingHTTPServer):
+    """A threading HTTP server over an inherited, already-bound socket."""
+
+    daemon_threads = True
+
+    def __init__(self, sock: socket.socket, service: QueryService, worker: str):
+        super().__init__(sock.getsockname()[:2], _WorkerHandler, bind_and_activate=False)
+        self.socket.close()  # the unbound one the base class made
+        self.socket = sock
+        self.service = service
+        self.worker = worker
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+
+    @contextmanager
+    def track_in_flight(self):
+        with self._in_flight_lock:
+            self._in_flight += 1
+            set_gauge("repro_serving_in_flight", self._in_flight)
+        try:
+            yield
+        finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
+                set_gauge("repro_serving_in_flight", self._in_flight)
+
+
+def _run_worker(sock: socket.socket, config: ServingConfig, worker: str) -> None:
+    """A forked child's whole life: serve until SIGTERM."""
+    signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+    signal.signal(signal.SIGINT, lambda *_: os._exit(0))
+    service = QueryService(config.root, batch_limit=config.batch_limit)
+    server = _WorkerServer(sock, service, worker)
+    server.serve_forever(poll_interval=0.1)
+
+
+def worker_rss_bytes(pid: int) -> int | None:
+    """Resident set size of one worker via ``/proc`` (None off-Linux)."""
+    try:
+        status = Path(f"/proc/{pid}/status").read_text()
+    except OSError:
+        return None
+    for line in status.splitlines():
+        if line.startswith("VmRSS:"):
+            return int(line.split()[1]) * 1024  # kB → bytes
+    return None  # pragma: no cover - VmRSS always present on Linux
+
+
+@dataclass
+class ServingDaemon:
+    """Pre-forked serving: bind once, fork N, poll ready, SIGTERM to stop."""
+
+    config: ServingConfig
+    pids: list[int] = field(default_factory=list)
+    host: str = ""
+    port: int = 0
+
+    def start(self) -> tuple[str, int]:
+        """Bind, fork the workers, and block until all answer /healthz."""
+        if self.pids:
+            raise ArchiveError("daemon already started")
+        sock = socket.create_server(
+            (self.config.host, self.config.port), backlog=128
+        )
+        self.host, self.port = sock.getsockname()[:2]
+        for k in range(self.config.workers):
+            pid = os.fork()
+            if pid == 0:  # child: never returns
+                try:
+                    _run_worker(sock, self.config, str(k))
+                except BaseException:
+                    os._exit(1)
+                os._exit(0)  # pragma: no cover - serve_forever never returns
+            self.pids.append(pid)
+        # The children inherited the bound socket; the parent's handle
+        # is only a refcount now.
+        sock.close()
+        self._await_ready()
+        return self.host, self.port
+
+    def _await_ready(self) -> None:
+        """Poll /healthz until a worker answers (or a worker died)."""
+        deadline = time.monotonic() + self.config.startup_timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            for pid in self.pids:
+                done, status = os.waitpid(pid, os.WNOHANG)
+                if done:
+                    self.stop()
+                    raise ArchiveError(
+                        f"serving worker {pid} exited during startup "
+                        f"(status {status}); archive unreadable?"
+                    )
+            try:
+                conn = HTTPConnection(self.host, self.port, timeout=1.0)
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                body = response.read()
+                conn.close()
+                if response.status == 200 and json.loads(body).get("ok"):
+                    return
+            except OSError as exc:
+                last_error = exc
+            time.sleep(0.05)
+        self.stop()
+        raise ArchiveError(
+            f"serving daemon not ready after {self.config.startup_timeout}s "
+            f"(last error: {last_error})"
+        )
+
+    def stop(self) -> None:
+        """SIGTERM every worker and reap it."""
+        for pid in self.pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        for pid in self.pids:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+        self.pids.clear()
+
+    def wait(self) -> None:
+        """Block until the workers exit (foreground ``repro-roots serve``)."""
+        for pid in list(self.pids):
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+
+    def __enter__(self) -> ServingDaemon:
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
