@@ -1,0 +1,61 @@
+"""Scenario-engine benchmark — the full-size run behind
+``scenario bench``.
+
+Runs :func:`repro.bench.run_scenario_suite` — the Symantec phased
+removal swept over a (provider, date) grid with a simulated per-cell
+snapshot fetch — and enforces both performance promises of the engine:
+
+- the 4-worker process pool beats the serial sweep by ≥ 2x when fetch
+  latency dominates (the overlap a pool exists to buy), and
+- a warm result-cache sweep beats a cold one by ≥ 5x, because cached
+  cells skip validation and the fetch entirely.
+
+Correctness gates are enforced unconditionally — serial, parallel,
+cold, and warm sweeps must serialize to byte-identical canonical run
+JSON, the warm sweep must be 100% cache hits, and the scenario must
+produce nonzero population impact — while the speedup floors apply in
+full mode only.  The committed ``BENCH_scenario.json`` is the perf
+record; regenerate it with ``repro-roots scenario bench`` after
+changes to the engine, edits, or cache paths.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench import is_smoke_mode, run_scenario_suite
+from repro.bench.scenario import MIN_PARALLEL_SPEEDUP, MIN_WARM_SPEEDUP
+
+
+def test_scenario_suite(benchmark, corpus, capsys, tmp_path):
+    output = tmp_path / "BENCH_scenario.json"
+    suite = benchmark.pedantic(
+        run_scenario_suite,
+        args=(corpus,),
+        kwargs={"output": output},
+        rounds=1,
+        iterations=1,
+    )
+    results = suite.results
+
+    emit(capsys, "\n".join(suite.summary_lines()))
+
+    # Correctness gates hold in every mode.
+    correctness = results["correctness"]
+    assert correctness["serial_parallel_identical"] is True
+    assert correctness["cold_warm_identical"] is True
+    assert correctness["serial_cold_identical"] is True
+    assert correctness["warm_all_hits"] is True
+    assert correctness["impact_nonzero"] is True
+    assert output.exists()
+
+    if is_smoke_mode():
+        return  # tiny grid: the timing ratios are noise, stop at correctness
+
+    assert results["floor"]["parallel_met"] is True, (
+        f"pool speedup {results['parallel']['speedup']:.2f}x fell below "
+        f"the {MIN_PARALLEL_SPEEDUP:.0f}x floor"
+    )
+    assert results["floor"]["warm_met"] is True, (
+        f"warm-cache speedup {results['warm']['speedup']:.2f}x fell below "
+        f"the {MIN_WARM_SPEEDUP:.0f}x floor"
+    )

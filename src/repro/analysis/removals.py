@@ -146,7 +146,7 @@ def measure_response(
             provider=provider,
             certs_ever_trusted=ever,
             trusted_until=None,
-            lag_days=(reference - incident.nss_removal).days,
+            lag_days=incident.lag_from(reference),
             revoked_on=revoked_on,
             still_trusted=True,
         )
@@ -157,7 +157,7 @@ def measure_response(
         provider=provider,
         certs_ever_trusted=ever,
         trusted_until=last,
-        lag_days=(last - incident.nss_removal).days,
+        lag_days=incident.lag_from(last),
         still_trusted=False,
     )
 

@@ -1,0 +1,100 @@
+"""A keyed result cache living beside the archive's object store.
+
+The scenario engine sweeps (provider, date) grids whose per-cell answer
+is fully determined by content hashes: the snapshot manifest in force,
+the scenario definition, and the engine version.  :class:`ResultCache`
+stores those answers as JSON blobs under ``<archive>/cache/<namespace>/``
+using the same two-hex sharding and atomic-write discipline as the CAS,
+so repeated sweeps, phased-schedule steps, and baseline re-runs are
+disk reads instead of recomputation.
+
+The cache is strictly an accelerator: entries are keyed by a SHA-256
+the *caller* derives from content hashes, damaged or truncated entries
+read as misses, and ``archive gc``-style deletion of the whole
+directory is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.archive.io import atomic_write_bytes
+
+#: Directory (under the archive root) holding all result caches.
+CACHE_DIR = "cache"
+
+_KEY_LENGTH = 64  # hex sha256
+
+
+def cache_key(payload: dict) -> str:
+    """Derive a cache key from a dict of content hashes / parameters.
+
+    The payload must be JSON-serializable with deterministic content
+    (hashes, names, ISO dates — not floats of measured time).
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Sharded JSON blob cache under ``<archive>/cache/<namespace>/``."""
+
+    def __init__(self, archive_root: Path | str, namespace: str):
+        if not namespace or "/" in namespace:
+            raise ValueError(f"bad cache namespace {namespace!r}")
+        self.root = Path(archive_root) / CACHE_DIR / namespace
+        self.namespace = namespace
+
+    def _path(self, key: str) -> Path:
+        if len(key) != _KEY_LENGTH or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys are lowercase hex sha256, got {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached value for ``key``, or None on miss/damage."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            return None  # torn or corrupted entry: treat as a miss
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` (JSON-serializable) under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+        atomic_write_bytes(path, data, site=f"cache.{self.namespace}.put")
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for entry in shard.iterdir()
+            if entry.suffix == ".json"
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.suffix == ".json":
+                    entry.unlink()
+                    removed += 1
+        return removed

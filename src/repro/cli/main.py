@@ -22,6 +22,9 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|
                                      #   repair|bench|bench-ingest|bench-robustness|
                                      #   bench-serving
+    repro-roots scenario ...         # what-if engine: run|diff|report|bench over an
+                                     #   archive (distrust/remove/revoke edits ->
+                                     #   population impact)
     repro-roots obs report FILE      # render a --metrics-out telemetry dump
 
 Every subcommand accepts ``--metrics-out PATH`` to capture the run's
@@ -288,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rounds per measurement (best-of-R is reported)",
     )
     _add_archive_parser(sub)
+    _add_scenario_parser(sub)
     obs = sub.add_parser(
         "obs", help="inspect telemetry dumps written by --metrics-out"
     )
@@ -466,6 +470,109 @@ def _add_archive_parser(sub) -> None:
         help="tiny dataset, one round (also via REPRO_BENCH_SMOKE=1)",
     )
     robustness.add_argument(
+        "--rounds", type=int, default=1, metavar="R",
+        help="rounds per measurement (best-of-R is reported)",
+    )
+
+
+def _add_scenario_parser(sub) -> None:
+    scenario = sub.add_parser(
+        "scenario",
+        help="what-if incident engine: evaluate store edits (remove, "
+        "distrust-after, revoke) against an archive and roll the broken "
+        "chains up into population impact",
+    )
+    ssub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    def add_selection(parser) -> None:
+        source = parser.add_mutually_exclusive_group(required=True)
+        source.add_argument(
+            "--scenario", type=Path, default=None, metavar="FILE",
+            help="load the scenario from a JSON file",
+        )
+        source.add_argument(
+            "--incident", default=None, metavar="KEY",
+            help="replay a registered incident's recorded response schedule "
+            "(e.g. certinomis, wosign)",
+        )
+        source.add_argument(
+            "--symantec", action="store_true",
+            help="the built-in Symantec phased removal (distrust-after "
+            "marking, then both removal batches)",
+        )
+        parser.add_argument(
+            "--providers", nargs="+", default=None, metavar="P",
+            help="evaluate only these providers (default: the scenario's, "
+            "else every provider in the archive)",
+        )
+        parser.add_argument(
+            "--dates", nargs="+", default=None, metavar="YYYY-MM-DD",
+            help="evaluate on these dates (default: the scenario's, else "
+            "offsets around each edit)",
+        )
+
+    def add_execution(parser) -> None:
+        parser.add_argument("directory", type=Path, metavar="DIR")
+        parser.add_argument(
+            "--ingest", action="store_true",
+            help="create DIR and ingest the seeded corpus first if the "
+            "archive does not exist yet",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="evaluate grid cells on a pool of N processes "
+            "(output is deterministic and identical to serial)",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the per-cell result cache under DIR/cache/scenario",
+        )
+
+    run = ssub.add_parser(
+        "run", help="evaluate a scenario over the archive's (provider, date) grid"
+    )
+    add_execution(run)
+    add_selection(run)
+    run.add_argument(
+        "--output", type=Path, default=None, metavar="PATH",
+        help="write the canonical run JSON to PATH (for `scenario report`)",
+    )
+    run.add_argument(
+        "--cells", action="store_true",
+        help="also print the per-cell verdict table",
+    )
+
+    diff = ssub.add_parser(
+        "diff",
+        help="run baseline and scenario over the same grid and name which "
+        "edits broke (or fixed) which chains",
+    )
+    add_execution(diff)
+    add_selection(diff)
+
+    report = ssub.add_parser(
+        "report", help="render a run file written by `scenario run --output`"
+    )
+    report.add_argument("path", type=Path, metavar="FILE")
+    report.add_argument(
+        "--cells", action="store_true",
+        help="also print the per-cell verdict table",
+    )
+
+    bench = ssub.add_parser(
+        "bench",
+        help="scenario-engine benchmarks: pool speedup + cache speedup "
+        "(BENCH_scenario.json)",
+    )
+    bench.add_argument(
+        "--output", type=Path, default=Path("BENCH_scenario.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_scenario.json)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny grid and workload, one round (also via REPRO_BENCH_SMOKE=1)",
+    )
+    bench.add_argument(
         "--rounds", type=int, default=1, metavar="R",
         help="rounds per measurement (best-of-R is reported)",
     )
@@ -1161,6 +1268,117 @@ def _cmd_archive_bench(args) -> None:
         output=args.output,
     )
     print("Archive benchmark")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
+
+
+def _cmd_scenario(args) -> int | None:
+    handler = globals()[f"_cmd_scenario_{args.scenario_command.replace('-', '_')}"]
+    return handler(args)
+
+
+def _load_scenario(args):
+    """Resolve the run/diff scenario selection flags to a Scenario."""
+    from dataclasses import replace
+
+    from repro.scenario import Scenario
+    from repro.simulation.incidents import incident_by_key, symantec_phased_scenario
+
+    if args.scenario is not None:
+        try:
+            text = args.scenario.read_text()
+        except OSError as exc:
+            raise ValidationError(f"cannot read scenario file: {exc}") from exc
+        scenario = Scenario.from_json(text)
+    elif args.incident is not None:
+        try:
+            incident = incident_by_key(args.incident)
+        except KeyError as exc:
+            raise ValidationError(str(exc.args[0])) from exc
+        scenario = incident.as_scenario()
+    else:
+        scenario = symantec_phased_scenario()
+    if args.providers is not None:
+        scenario = replace(scenario, providers=tuple(args.providers))
+    if args.dates is not None:
+        scenario = replace(
+            scenario, dates=tuple(date.fromisoformat(d) for d in args.dates)
+        )
+    return scenario
+
+
+def _scenario_engine(args):
+    from repro.archive import Archive, ingest_dataset
+    from repro.scenario import ScenarioEngine
+
+    corpus = default_corpus()
+    archive = Archive(args.directory, create=args.ingest)
+    if args.ingest and archive.catalog_bytes() is None:
+        report = ingest_dataset(archive, corpus.dataset)
+        print(f"ingested into {args.directory}: {report.summary()}")
+    return ScenarioEngine(
+        archive,
+        corpus=corpus,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+
+
+def _cmd_scenario_run(args) -> None:
+    from repro.scenario import population_impact, render_impact, render_run, run_to_json, summarize
+
+    engine = _scenario_engine(args)
+    scenario = _load_scenario(args)
+    run = engine.run(scenario)
+    if args.cells:
+        print(render_run(run))
+        print()
+    print(render_impact(population_impact(run)))
+    print(f"\n{summarize(run)}")
+    if args.output is not None:
+        args.output.write_text(run_to_json(run))
+        print(f"run written to {args.output}")
+
+
+def _cmd_scenario_diff(args) -> None:
+    from repro.scenario import diff_runs, render_diff
+
+    engine = _scenario_engine(args)
+    scenario = _load_scenario(args)
+    baseline, run = engine.run_with_baseline(scenario)
+    diff = diff_runs(baseline, run)
+    print(render_diff(diff))
+    print(
+        f"\n{len(diff.broken)} chain-cells broke, {len(diff.fixed)} fixed "
+        f"across {len(run.cells)} cells"
+    )
+
+
+def _cmd_scenario_report(args) -> None:
+    from repro.scenario import population_impact, render_impact, render_run, run_from_json, summarize
+
+    try:
+        text = args.path.read_text()
+    except OSError as exc:
+        raise ValidationError(f"cannot read run file: {exc}") from exc
+    run = run_from_json(text)
+    if args.cells:
+        print(render_run(run))
+        print()
+    print(render_impact(population_impact(run)))
+    print(f"\n{summarize(run)}")
+
+
+def _cmd_scenario_bench(args) -> None:
+    from repro.bench import run_scenario_suite
+
+    suite = run_scenario_suite(
+        smoke=True if args.smoke else None,
+        rounds=args.rounds,
+        output=args.output,
+    )
+    print("Scenario-engine benchmark")
     for line in suite.summary_lines():
         print(f"  {line}")
     print(f"baseline written to {suite.output_path}")

@@ -150,6 +150,25 @@ METRICS: tuple[MetricSpec, ...] = (
         "Analysis stage wall time (incidence|distance|smacof).",
         ("stage",), DEFAULT_SECONDS_BUCKETS,
     ),
+    # -- scenario: the what-if incident engine ---------------------------
+    MetricSpec(
+        "repro_scenario_chains_total", COUNTER,
+        "Workload chains verified across the grid by outcome (valid|invalid).",
+        ("outcome",),
+    ),
+    MetricSpec(
+        "repro_scenario_cache_total", COUNTER,
+        "Per-cell result-cache lookups by outcome (hit|miss|skip).", ("outcome",),
+    ),
+    MetricSpec(
+        "repro_scenario_stage_seconds", HISTOGRAM,
+        "Scenario engine stage wall time (compile|grid|validate).",
+        ("stage",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "repro_scenario_pool_workers", GAUGE,
+        "Process-pool size of the last scenario sweep (1 = serial).", (),
+    ),
     # -- bench: the regression suites share this registry ----------------
     MetricSpec(
         "repro_bench_section_seconds", GAUGE,

@@ -213,6 +213,31 @@ def _report_lines(dump: dict) -> list[str]:
             title="Analysis stages",
         ))
 
+    scenario_stages = _series(metrics, "repro_scenario_stage_seconds")
+    if scenario_stages:
+        lines.append(render_table(
+            ("Stage", "Runs", "Mean", "Total"),
+            _histogram_rows(scenario_stages, "stage"),
+            title="Scenario stages",
+        ))
+    chains = _counter_matrix(_series(metrics, "repro_scenario_chains_total"), "outcome", "outcome")
+    if chains:
+        summary = ", ".join(
+            f"{int(values.get(outcome, 0))} {outcome}"
+            for outcome, values in sorted(chains.items())
+        )
+        lines.append(f"scenario chains: {summary}")
+    scenario_cache = _counter_matrix(_series(metrics, "repro_scenario_cache_total"), "outcome", "outcome")
+    if scenario_cache:
+        summary = ", ".join(
+            f"{int(values.get(outcome, 0))} {outcome}"
+            for outcome, values in sorted(scenario_cache.items())
+        )
+        lines.append(f"scenario cell cache: {summary}")
+    pool = _series(metrics, "repro_scenario_pool_workers")
+    for entry in pool:
+        lines.append(f"scenario pool workers: {int(entry['value'])}")
+
     bench = _series(metrics, "repro_bench_section_seconds")
     if bench:
         rows = [

@@ -1,0 +1,72 @@
+"""What-if incident engine: ecosystem edits, bulk verification, impact.
+
+The paper measures how root stores *did* respond to incidents; this
+subsystem answers the forward-looking question — given an edit to the
+ecosystem (a distrust, a phased removal, a revocation push), which
+chains stop verifying on which providers, and what fraction of the
+user-agent population is affected, over time.
+
+- :mod:`repro.scenario.model` — the declarative :class:`Scenario`
+  (edits + workload + grid) with its JSON file format.
+- :mod:`repro.scenario.edits` — applying compiled edits to snapshots
+  and materializing date-gated revocation state.
+- :mod:`repro.scenario.engine` — bulk grid evaluation: process pool,
+  archive-adjacent result cache, full-path validation.
+- :mod:`repro.scenario.impact` — Table-1 population roll-up and
+  baseline diffing with edit attribution.
+- :mod:`repro.scenario.report` — canonical run bytes + CLI tables.
+"""
+
+from repro.scenario.engine import (
+    ENGINE_VERSION,
+    CompiledScenario,
+    RunStats,
+    ScenarioEngine,
+    ScenarioRun,
+)
+from repro.scenario.impact import (
+    ChainImpactSeries,
+    Flip,
+    ImpactPoint,
+    ImpactReport,
+    RunDiff,
+    diff_runs,
+    population_impact,
+)
+from repro.scenario.model import (
+    ChainSpec,
+    Edit,
+    Scenario,
+)
+from repro.scenario.report import (
+    render_diff,
+    render_impact,
+    render_run,
+    run_from_json,
+    run_to_json,
+    summarize,
+)
+
+__all__ = [
+    "ChainImpactSeries",
+    "ChainSpec",
+    "CompiledScenario",
+    "ENGINE_VERSION",
+    "Edit",
+    "Flip",
+    "ImpactPoint",
+    "ImpactReport",
+    "RunDiff",
+    "RunStats",
+    "Scenario",
+    "ScenarioEngine",
+    "ScenarioRun",
+    "diff_runs",
+    "population_impact",
+    "render_diff",
+    "render_impact",
+    "render_run",
+    "run_from_json",
+    "run_to_json",
+    "summarize",
+]

@@ -1,0 +1,193 @@
+"""Applying compiled scenario edits to snapshots and revocation feeds.
+
+The model layer (:mod:`repro.scenario.model`) names roots by catalog
+slug or fingerprint; the engine resolves those to SHA-256 fingerprints
+at compile time and hands this module :class:`CompiledEdit` records.
+Two things happen here:
+
+- **Store edits** (``remove`` / ``distrust-after``) are applied to a
+  :class:`~repro.store.snapshot.RootStoreSnapshot` for one (provider,
+  date) cell, producing an edited in-memory snapshot — the archive
+  itself is never mutated.  When no edit touches a root the snapshot
+  actually contains, the original snapshot object is returned
+  unchanged, so the common baseline path pays nothing.
+
+- **Revocation edits** (``revoke`` via onecrl/crlset/ocsp) are
+  materialized into a :class:`~repro.revocation.checker.RevocationChecker`
+  per evaluation date.  Clients learn of a revocation when their feed
+  updates, so only edits with ``effective <= date`` are present in the
+  checker for that date — which is what lets a single scenario flip a
+  chain from valid to ``revoked:<mechanism>`` as the grid crosses the
+  effective date.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, timezone
+
+from repro.revocation.checker import RevocationChecker
+from repro.revocation.crlset import CRLSet
+from repro.revocation.ocsp import OCSPResponder
+from repro.revocation.onecrl import OneCRL
+from repro.scenario.model import (
+    EDIT_DISTRUST_AFTER,
+    EDIT_REMOVE,
+    EDIT_REVOKE,
+    Edit,
+)
+from repro.store.snapshot import RootStoreSnapshot
+from repro.x509.builder import PrivateKey
+from repro.x509.certificate import Certificate
+
+
+def to_moment(when: date) -> datetime:
+    """Calendar date -> the UTC midnight datetime the validators use."""
+    return datetime(when.year, when.month, when.day, tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True)
+class CompiledEdit:
+    """A scenario edit with its root resolved to a SHA-256 fingerprint."""
+
+    kind: str
+    root: str  # the name used in the scenario (slug or fingerprint)
+    fingerprint: str
+    effective: date
+    providers: tuple[str, ...] | None
+    distrust_after: date | None
+    mechanism: str | None
+    label: str
+
+    @classmethod
+    def from_edit(cls, edit: Edit, fingerprint: str) -> "CompiledEdit":
+        return cls(
+            kind=edit.kind,
+            root=edit.root,
+            fingerprint=fingerprint,
+            effective=edit.effective,
+            providers=edit.providers,
+            distrust_after=edit.distrust_after,
+            mechanism=edit.mechanism,
+            label=edit.label(),
+        )
+
+    def applies(self, provider: str, when: date) -> bool:
+        if when < self.effective:
+            return False
+        return self.providers is None or provider in self.providers
+
+
+def apply_edits(
+    snapshot: RootStoreSnapshot,
+    edits: tuple[CompiledEdit, ...],
+    when: date,
+) -> RootStoreSnapshot:
+    """The snapshot as the scenario's store edits leave it at ``when``.
+
+    Only ``remove`` and ``distrust-after`` edits touch the store;
+    ``revoke`` edits live in the revocation feeds.  Returns the input
+    snapshot object itself when no active edit matches a present root.
+    """
+    active = [
+        e
+        for e in edits
+        if e.kind in (EDIT_REMOVE, EDIT_DISTRUST_AFTER)
+        and e.applies(snapshot.provider, when)
+        and snapshot.get(e.fingerprint) is not None
+    ]
+    if not active:
+        return snapshot
+
+    removed = {e.fingerprint for e in active if e.kind == EDIT_REMOVE}
+    # Latest-effective distrust-after wins when several stamp one root.
+    cutoffs: dict[str, date] = {}
+    for e in sorted(active, key=lambda e: e.effective):
+        if e.kind == EDIT_DISTRUST_AFTER:
+            cutoffs[e.fingerprint] = e.distrust_after
+
+    entries = []
+    for entry in snapshot.entries:
+        if entry.fingerprint in removed:
+            continue
+        cutoff = cutoffs.get(entry.fingerprint)
+        if cutoff is not None:
+            entry = entry.with_distrust_after(to_moment(cutoff))
+        entries.append(entry)
+    return RootStoreSnapshot.build(
+        provider=snapshot.provider,
+        taken_at=snapshot.taken_at,
+        version=snapshot.version,
+        entries=entries,
+    )
+
+
+@dataclass(frozen=True)
+class RevocationMaterial:
+    """What a revoke edit needs to materialize, per edited root.
+
+    ``issued`` holds every workload certificate chained under the root
+    (leaves and intermediates), so serial-keyed mechanisms (OneCRL,
+    OCSP) can name them; SPKI-keyed blocks (CRLSet) only need the root.
+    The root key signs OCSP responses.
+    """
+
+    root: Certificate
+    root_key: PrivateKey
+    issued: tuple[Certificate, ...] = ()
+
+
+def materialize_revocation(
+    edits: tuple[CompiledEdit, ...],
+    material: dict[str, RevocationMaterial],
+    provider: str,
+    when: date,
+) -> RevocationChecker | None:
+    """The revocation state a client sees at (provider, when).
+
+    Returns ``None`` when no revoke edit is in effect — the engine then
+    runs the validator without a checker at all, keeping the baseline
+    path identical to plain chain validation.
+    """
+    active = [
+        e
+        for e in edits
+        if e.kind == EDIT_REVOKE
+        and e.applies(provider, when)
+        and e.fingerprint in material
+    ]
+    if not active:
+        return None
+
+    onecrl: OneCRL | None = None
+    crlset: CRLSet | None = None
+    responders: dict[str, OCSPResponder] = {}
+    for edit in active:
+        mat = material[edit.fingerprint]
+        if edit.mechanism == "onecrl":
+            if onecrl is None:
+                onecrl = OneCRL()
+            for cert in mat.issued:
+                onecrl.add(cert, added=edit.effective, comment=edit.label)
+        elif edit.mechanism == "crlset":
+            if crlset is None:
+                crlset = CRLSet()
+            crlset.block_spki(mat.root)
+        elif edit.mechanism == "ocsp":
+            responder = responders.get(edit.fingerprint)
+            if responder is None:
+                responder = OCSPResponder(
+                    issuer_certificate=mat.root, issuer_key=mat.root_key
+                )
+                responders[edit.fingerprint] = responder
+            moment = to_moment(edit.effective)
+            for cert in mat.issued:
+                # Only certificates the root itself issued are in this
+                # responder's authority (issuer-keyed CertID hashes).
+                if cert.issuer == mat.root.subject:
+                    responder.revoke(cert, moment)
+    return RevocationChecker(
+        onecrl=onecrl,
+        crlset=crlset,
+        ocsp_responders=list(responders.values()),
+    )

@@ -1,0 +1,228 @@
+"""Population impact: from grid outcomes to affected user-agent shares.
+
+A :class:`~repro.scenario.engine.ScenarioRun` says which chains fail on
+which providers on which dates; this module rolls that up through the
+Table-1 user-agent weights (:mod:`repro.useragents.population`) into a
+per-chain, per-date time series — "on 2020-07-01, 23.4% of the
+attributable agent population cannot reach hosts on this chain" — and
+diffs a scenario run against its baseline so the report names exactly
+which edit broke what.
+
+Providers in the evaluation grid that have no Table-1 weight (e.g.
+derivative stores like ``debian``) still show up in per-provider
+outcomes; they simply carry zero population weight, mirroring how the
+paper's coverage analysis treats unattributable agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.scenario.engine import NO_SNAPSHOT, ScenarioRun
+from repro.scenario.model import (
+    EDIT_DISTRUST_AFTER,
+    EDIT_REMOVE,
+    EDIT_REVOKE,
+    Edit,
+)
+from repro.useragents.population import ImpactBreakdown, impact_breakdown
+
+#: Validation failure reasons each edit kind can inflict.  Used to
+#: attribute a baseline->scenario flip to the edit that caused it.
+_REASONS_BY_KIND = {
+    EDIT_REMOVE: ("no-anchor", "anchor-not-trusted"),
+    EDIT_DISTRUST_AFTER: ("server-distrust-after",),
+}
+
+
+@dataclass(frozen=True)
+class ImpactPoint:
+    """One (date, chain) sample of the population time series."""
+
+    when: date
+    chain: str
+    #: provider -> True when the chain fails to validate there
+    provider_outcomes: tuple[tuple[str, bool], ...]
+    breakdown: ImpactBreakdown
+
+    @property
+    def fraction(self) -> float:
+        return self.breakdown.fraction
+
+
+@dataclass(frozen=True)
+class ChainImpactSeries:
+    """The population-impact time series for one workload chain."""
+
+    chain: str
+    points: tuple[ImpactPoint, ...]
+
+    def fraction_on(self, when: date) -> float | None:
+        for point in self.points:
+            if point.when == when:
+                return point.fraction
+        return None
+
+    @property
+    def peak_fraction(self) -> float:
+        return max((p.fraction for p in self.points), default=0.0)
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """Per-chain population impact over the whole evaluation grid."""
+
+    scenario: str
+    dates: tuple[date, ...]
+    series: tuple[ChainImpactSeries, ...]
+
+    def for_chain(self, chain: str) -> ChainImpactSeries | None:
+        for entry in self.series:
+            if entry.chain == chain:
+                return entry
+        return None
+
+
+def population_impact(run: ScenarioRun) -> ImpactReport:
+    """Roll a run's grid up through the Table-1 population weights.
+
+    A chain counts as *lost* on a provider when validation failed for
+    any reason except ``no-snapshot`` (no store release in force means
+    no evidence either way, matching how the removal-lag analysis
+    treats pre-first-release dates).
+    """
+    series = []
+    for chain in run.chain_keys:
+        points = []
+        for when in run.dates:
+            outcomes: dict[str, bool] = {}
+            for provider in run.providers:
+                cell = run.outcomes(provider, when)
+                verdict = cell.get(chain) if cell else None
+                if verdict is None or verdict["reason"] == NO_SNAPSHOT:
+                    continue
+                outcomes[provider] = not verdict["valid"]
+            points.append(
+                ImpactPoint(
+                    when=when,
+                    chain=chain,
+                    provider_outcomes=tuple(sorted(outcomes.items())),
+                    breakdown=impact_breakdown(outcomes),
+                )
+            )
+        series.append(ChainImpactSeries(chain=chain, points=tuple(points)))
+    return ImpactReport(
+        scenario=run.scenario.name, dates=run.dates, series=tuple(series)
+    )
+
+
+@dataclass(frozen=True)
+class Flip:
+    """One chain that changed verdict between baseline and scenario."""
+
+    provider: str
+    when: date
+    chain: str
+    baseline_reason: str
+    scenario_reason: str
+    #: True when the scenario broke it (False = the scenario fixed it)
+    broke: bool
+    #: labels of the edits whose failure signature matches (may be
+    #: empty when the flip is a side effect no single edit explains)
+    caused_by: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Baseline-vs-scenario comparison over an identical grid."""
+
+    scenario: str
+    flips: tuple[Flip, ...]
+    baseline_impact: ImpactReport
+    scenario_impact: ImpactReport
+
+    @property
+    def broken(self) -> tuple[Flip, ...]:
+        return tuple(f for f in self.flips if f.broke)
+
+    @property
+    def fixed(self) -> tuple[Flip, ...]:
+        return tuple(f for f in self.flips if not f.broke)
+
+    def impact_delta(self, chain: str, when: date) -> float:
+        """Scenario-minus-baseline affected fraction for one sample."""
+        base = self.baseline_impact.for_chain(chain)
+        scen = self.scenario_impact.for_chain(chain)
+        before = base.fraction_on(when) if base else None
+        after = scen.fraction_on(when) if scen else None
+        return (after or 0.0) - (before or 0.0)
+
+
+def _attribute(
+    reason: str, chain: str, edits: tuple[Edit, ...], provider: str, when: date
+):
+    """The edits whose in-effect failure signature matches ``reason``.
+
+    When any signature-matching edit also names the chain's issuing
+    root (chain keys are ``<issuer-slug>/<domain>``), attribution is
+    narrowed to those; edits that target roots by raw fingerprint fall
+    back to the signature match alone.
+    """
+    issuer = chain.split("/", 1)[0]
+    matched = []
+    for edit in edits:
+        if not edit.applies(provider, when):
+            continue
+        if edit.kind == EDIT_REVOKE:
+            expected = (f"revoked:{edit.mechanism}",)
+        else:
+            expected = _REASONS_BY_KIND[edit.kind]
+        if reason in expected:
+            matched.append(edit)
+    by_issuer = [e for e in matched if e.root == issuer]
+    return tuple(e.label() for e in (by_issuer or matched))
+
+
+def diff_runs(baseline: ScenarioRun, scenario: ScenarioRun) -> RunDiff:
+    """Every verdict flip between two runs of the same grid/workload.
+
+    Flips that the scenario *caused* carry the labels of the matching
+    edits, derived from the validation failure reason — a removal shows
+    up as ``no-anchor``/``anchor-not-trusted``, a partial distrust as
+    ``server-distrust-after``, a revocation as ``revoked:<mechanism>``.
+    """
+    flips = []
+    edits = scenario.scenario.edits
+    for provider in scenario.providers:
+        for when in scenario.dates:
+            after = scenario.outcomes(provider, when)
+            before = baseline.outcomes(provider, when)
+            if after is None or before is None:
+                continue
+            for chain, verdict in after.items():
+                base = before.get(chain)
+                if base is None or base["valid"] == verdict["valid"]:
+                    continue
+                broke = base["valid"] and not verdict["valid"]
+                flips.append(
+                    Flip(
+                        provider=provider,
+                        when=when,
+                        chain=chain,
+                        baseline_reason=base["reason"],
+                        scenario_reason=verdict["reason"],
+                        broke=broke,
+                        caused_by=(
+                            _attribute(verdict["reason"], chain, edits, provider, when)
+                            if broke
+                            else ()
+                        ),
+                    )
+                )
+    return RunDiff(
+        scenario=scenario.scenario.name,
+        flips=tuple(flips),
+        baseline_impact=population_impact(baseline),
+        scenario_impact=population_impact(scenario),
+    )

@@ -1,0 +1,326 @@
+"""The declarative scenario model: ecosystem edits as data.
+
+A :class:`Scenario` describes a *what-if* intervention in the trust
+anchor ecosystem — "distrust CA Z on date D", a Symantec-style phased
+removal schedule, a ``server-distrust-after`` marking, a revocation
+push — as an ordered list of :class:`Edit` records plus the workload of
+leaf chains whose fate the question is about.  The model is pure data:
+it knows nothing about archives, corpora, or validators, so the
+incident registry (:mod:`repro.simulation.incidents`) can compile its
+historical removals into scenarios without an import cycle, and
+scenario files round-trip through canonical JSON
+(:meth:`Scenario.to_json` / :meth:`Scenario.from_json`).
+
+Roots are named by catalog slug (``symantec-class3-g1``) or full hex
+SHA-256 fingerprint; the engine resolves slugs against the corpus at
+compile time.  Dates are calendar dates — an edit is *in effect* on
+every evaluation date on or after ``effective`` for every provider it
+names (``providers=None`` means all providers in the grid).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from datetime import date, timedelta
+
+from repro.errors import ValidationError
+
+#: Edit kinds (the closed vocabulary scenario files may use).
+EDIT_REMOVE = "remove"
+EDIT_DISTRUST_AFTER = "distrust-after"
+EDIT_REVOKE = "revoke"
+EDIT_KINDS = (EDIT_REMOVE, EDIT_DISTRUST_AFTER, EDIT_REVOKE)
+
+#: Revocation channels an ``EDIT_REVOKE`` may push through.
+REVOKE_MECHANISMS = ("onecrl", "crlset", "ocsp")
+
+#: Scenario file schema version.
+SCENARIO_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One ecosystem edit.
+
+    Attributes:
+        kind: ``remove`` (drop the root from the store),
+            ``distrust-after`` (stamp NSS-style partial distrust), or
+            ``revoke`` (push the root's issuance through a client
+            revocation channel).
+        root: catalog slug or hex SHA-256 fingerprint of the target root.
+        effective: first date the edit is in effect.
+        providers: provider keys the edit applies to (None = all).
+        distrust_after: the issuance cutoff stamped by
+            ``distrust-after`` edits — leaves issued after it stop
+            validating for TLS server auth.
+        mechanism: revocation channel for ``revoke`` edits
+            (``onecrl`` | ``crlset`` | ``ocsp``).
+        comment: free-form note carried into reports.
+    """
+
+    kind: str
+    root: str
+    effective: date
+    providers: tuple[str, ...] | None = None
+    distrust_after: date | None = None
+    mechanism: str | None = None
+    comment: str = ""
+
+    def __post_init__(self):
+        if self.kind not in EDIT_KINDS:
+            raise ValidationError(
+                f"unknown edit kind {self.kind!r} (expected one of {EDIT_KINDS})"
+            )
+        if self.kind == EDIT_DISTRUST_AFTER and self.distrust_after is None:
+            raise ValidationError("distrust-after edits need a distrust_after date")
+        if self.kind == EDIT_REVOKE and self.mechanism not in REVOKE_MECHANISMS:
+            raise ValidationError(
+                f"revoke edits need a mechanism from {REVOKE_MECHANISMS}, "
+                f"got {self.mechanism!r}"
+            )
+        if self.providers is not None:
+            object.__setattr__(self, "providers", tuple(self.providers))
+
+    def applies(self, provider: str, when: date) -> bool:
+        """Whether this edit is in effect for ``provider`` at ``when``."""
+        if when < self.effective:
+            return False
+        return self.providers is None or provider in self.providers
+
+    def label(self) -> str:
+        """Stable human-readable identity for diff attribution."""
+        mechanism = f":{self.mechanism}" if self.mechanism else ""
+        return f"{self.kind}{mechanism} {self.root} @ {self.effective.isoformat()}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "root": self.root,
+            "effective": self.effective.isoformat(),
+            "providers": list(self.providers) if self.providers is not None else None,
+            "distrust_after": (
+                self.distrust_after.isoformat() if self.distrust_after else None
+            ),
+            "mechanism": self.mechanism,
+            "comment": self.comment,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Edit":
+        try:
+            return cls(
+                kind=payload["kind"],
+                root=payload["root"],
+                effective=date.fromisoformat(payload["effective"]),
+                providers=(
+                    tuple(payload["providers"])
+                    if payload.get("providers") is not None
+                    else None
+                ),
+                distrust_after=(
+                    date.fromisoformat(payload["distrust_after"])
+                    if payload.get("distrust_after")
+                    else None
+                ),
+                mechanism=payload.get("mechanism"),
+                comment=payload.get("comment", ""),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed scenario edit: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """One workload chain: a server leaf minted under a catalog root."""
+
+    issuer: str  # catalog slug of the issuing root
+    domain: str
+    not_before: date
+    lifetime_days: int = 398
+    #: chain through a deterministic intermediate CA instead of
+    #: issuing the leaf directly from the root
+    via_intermediate: bool = False
+
+    def __post_init__(self):
+        if self.lifetime_days <= 0:
+            raise ValidationError("chain lifetime_days must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "issuer": self.issuer,
+            "domain": self.domain,
+            "not_before": self.not_before.isoformat(),
+            "lifetime_days": self.lifetime_days,
+            "via_intermediate": self.via_intermediate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChainSpec":
+        try:
+            return cls(
+                issuer=payload["issuer"],
+                domain=payload["domain"],
+                not_before=date.fromisoformat(payload["not_before"]),
+                lifetime_days=payload.get("lifetime_days", 398),
+                via_intermediate=payload.get("via_intermediate", False),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed workload chain: {exc}") from exc
+
+
+#: Default evaluation offsets around each edit's effective date.
+DEFAULT_DATE_OFFSETS = (-7, 0, 30, 90)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named intervention: edits + workload + evaluation grid."""
+
+    name: str
+    description: str = ""
+    edits: tuple[Edit, ...] = ()
+    workload: tuple[ChainSpec, ...] = ()
+    #: provider grid (None = every provider the engine's archive holds)
+    providers: tuple[str, ...] | None = None
+    #: evaluation dates (None = derived around the edit schedule)
+    dates: tuple[date, ...] | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("a scenario needs a name")
+        object.__setattr__(self, "edits", tuple(self.edits))
+        object.__setattr__(self, "workload", tuple(self.workload))
+        if self.providers is not None:
+            object.__setattr__(self, "providers", tuple(self.providers))
+        if self.dates is not None:
+            object.__setattr__(self, "dates", tuple(sorted(set(self.dates))))
+
+    # -- derived grids ----------------------------------------------------
+
+    def dates_or_default(self) -> tuple[date, ...]:
+        """Explicit dates, or a grid bracketing every edit's schedule."""
+        if self.dates is not None:
+            if not self.dates:
+                raise ValidationError(f"scenario {self.name!r} has an empty date grid")
+            return self.dates
+        if not self.edits:
+            raise ValidationError(
+                f"scenario {self.name!r} has neither dates nor edits to derive them from"
+            )
+        derived: set[date] = set()
+        for edit in self.edits:
+            for offset in DEFAULT_DATE_OFFSETS:
+                derived.add(edit.effective + timedelta(days=offset))
+        return tuple(sorted(derived))
+
+    def edited_roots(self) -> tuple[str, ...]:
+        """Distinct roots named by the edit list, in first-seen order."""
+        seen: list[str] = []
+        for edit in self.edits:
+            if edit.root not in seen:
+                seen.append(edit.root)
+        return tuple(seen)
+
+    def workload_or_default(self) -> tuple[ChainSpec, ...]:
+        """Explicit workload, or one leaf per edited root.
+
+        The default leaf is issued 180 days before the root's first
+        edit with a 398-day lifetime, so it is valid across the default
+        evaluation window and — for ``distrust-after`` edits with a
+        cutoff in the past — issued *after* the cutoff, which is the
+        population the marking actually breaks.
+        """
+        if self.workload:
+            return self.workload
+        chains: list[ChainSpec] = []
+        for root in self.edited_roots():
+            first = min(e.effective for e in self.edits if e.root == root)
+            chains.append(
+                ChainSpec(
+                    issuer=root,
+                    domain=f"{root}.example",
+                    not_before=first - timedelta(days=180),
+                )
+            )
+        if not chains:
+            raise ValidationError(
+                f"scenario {self.name!r} has neither workload nor edits to derive one from"
+            )
+        return tuple(chains)
+
+    def baseline(self) -> "Scenario":
+        """The same grid and workload with every edit removed.
+
+        The derived date grid and workload are materialized first (they
+        are functions of the edit list, which is about to be emptied),
+        so the baseline evaluates exactly the cells the scenario does.
+        """
+        return replace(
+            self,
+            name=f"{self.name}-baseline",
+            edits=(),
+            dates=self.dates_or_default(),
+            workload=self.workload_or_default(),
+        )
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "edits": [edit.to_dict() for edit in self.edits],
+            "workload": [chain.to_dict() for chain in self.workload],
+            "providers": list(self.providers) if self.providers is not None else None,
+            "dates": (
+                [d.isoformat() for d in self.dates] if self.dates is not None else None
+            ),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        schema = payload.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ValidationError(f"unsupported scenario schema {schema!r}")
+        try:
+            return cls(
+                name=payload["name"],
+                description=payload.get("description", ""),
+                edits=tuple(Edit.from_dict(e) for e in payload.get("edits", ())),
+                workload=tuple(
+                    ChainSpec.from_dict(c) for c in payload.get("workload", ())
+                ),
+                providers=(
+                    tuple(payload["providers"])
+                    if payload.get("providers") is not None
+                    else None
+                ),
+                dates=(
+                    tuple(date.fromisoformat(d) for d in payload["dates"])
+                    if payload.get("dates") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed scenario: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"scenario file is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValidationError("a scenario file must hold a JSON object")
+        return cls.from_dict(payload)
+
+    def digest(self) -> str:
+        """Content hash of the scenario definition (cache-key component)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,161 @@
+"""Scenario run serialization and human-readable reports.
+
+Two jobs:
+
+- **Canonical bytes.**  :func:`run_to_json` serializes a
+  :class:`~repro.scenario.engine.ScenarioRun` deterministically
+  (sorted keys, compact separators, no execution stats) — the form the
+  bench suite compares byte-for-byte across serial/parallel/cached
+  executions, and what ``repro-roots scenario run --output`` writes.
+  :func:`run_from_json` round-trips it for offline diffing.
+
+- **Tables.**  :func:`render_run` / :func:`render_impact` /
+  :func:`render_diff` produce the aligned monospace tables the CLI
+  prints, via the shared :func:`repro.analysis.report.render_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+
+from repro.analysis.report import render_table
+from repro.errors import ValidationError
+from repro.scenario.engine import RunStats, ScenarioRun
+from repro.scenario.impact import ImpactReport, RunDiff, population_impact
+from repro.scenario.model import Scenario
+
+#: Version of the run-file format.
+RUN_SCHEMA = 1
+
+
+def run_to_dict(run: ScenarioRun) -> dict:
+    """The canonical (stats-free) JSON shape of a run."""
+    return {
+        "schema": RUN_SCHEMA,
+        "scenario": run.scenario.to_dict(),
+        "digest": run.digest,
+        "providers": list(run.providers),
+        "dates": [d.isoformat() for d in run.dates],
+        "chains": list(run.chain_keys),
+        "cells": list(run.cells),
+    }
+
+
+def run_to_json(run: ScenarioRun) -> str:
+    return json.dumps(run_to_dict(run), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def run_from_dict(payload: dict) -> ScenarioRun:
+    schema = payload.get("schema")
+    if schema != RUN_SCHEMA:
+        raise ValidationError(f"unsupported scenario run schema {schema!r}")
+    try:
+        return ScenarioRun(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            digest=payload["digest"],
+            providers=tuple(payload["providers"]),
+            dates=tuple(date.fromisoformat(d) for d in payload["dates"]),
+            chain_keys=tuple(payload["chains"]),
+            cells=tuple(payload["cells"]),
+            stats=RunStats(),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed scenario run file: {exc}") from exc
+
+
+def run_from_json(text: str) -> ScenarioRun:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"run file is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValidationError("a run file must hold a JSON object")
+    return run_from_dict(payload)
+
+
+# -- tables ---------------------------------------------------------------
+
+
+def render_run(run: ScenarioRun) -> str:
+    """Per-cell verdicts: one row per (provider, date, chain)."""
+    rows = []
+    for cell in run.cells:
+        for chain, verdict in sorted(cell["chains"].items()):
+            rows.append(
+                (
+                    cell["provider"],
+                    cell["date"],
+                    cell["version"] or "-",
+                    chain,
+                    "valid" if verdict["valid"] else "INVALID",
+                    verdict["reason"],
+                )
+            )
+    return render_table(
+        ("provider", "date", "release", "chain", "verdict", "reason"),
+        rows,
+        title=f"scenario {run.scenario.name} ({len(run.cells)} cells)",
+    )
+
+
+def render_impact(report: ImpactReport) -> str:
+    """The population time series: chain x date affected fractions."""
+    rows = []
+    for series in report.series:
+        for point in series.points:
+            affected = ", ".join(p for p, lost in point.provider_outcomes if lost)
+            rows.append(
+                (
+                    series.chain,
+                    point.when.isoformat(),
+                    f"{point.fraction * 100:.1f}%",
+                    point.breakdown.affected_versions,
+                    point.breakdown.included_versions,
+                    point.breakdown.excluded_versions,
+                    affected or "-",
+                )
+            )
+    return render_table(
+        ("chain", "date", "impact", "affected", "included", "excluded", "providers hit"),
+        rows,
+        title=f"population impact: {report.scenario}",
+    )
+
+
+def render_diff(diff: RunDiff) -> str:
+    """Baseline-vs-scenario flips with their causing edits."""
+    rows = []
+    for flip in diff.flips:
+        rows.append(
+            (
+                flip.provider,
+                flip.when.isoformat(),
+                flip.chain,
+                "broke" if flip.broke else "fixed",
+                flip.scenario_reason if flip.broke else flip.baseline_reason,
+                f"{diff.impact_delta(flip.chain, flip.when) * 100:+.1f}%",
+                "; ".join(flip.caused_by) or "-",
+            )
+        )
+    if not rows:
+        return f"scenario {diff.scenario}: no verdict changes vs baseline\n"
+    return render_table(
+        ("provider", "date", "chain", "change", "reason", "impact delta", "caused by"),
+        rows,
+        title=f"diff vs baseline: {diff.scenario}",
+    )
+
+
+def summarize(run: ScenarioRun) -> str:
+    """One-paragraph run summary for CLI output."""
+    impact = population_impact(run)
+    peak = max((s.peak_fraction for s in impact.series), default=0.0)
+    stats = run.stats
+    return (
+        f"scenario {run.scenario.name}: {len(run.cells)} cells "
+        f"({len(run.providers)} providers x {len(run.dates)} dates), "
+        f"{len(run.chain_keys)} chains, peak population impact "
+        f"{peak * 100:.1f}% | workers={stats.workers} "
+        f"cache hit/miss/skip={stats.cache_hits}/{stats.cache_misses}/{stats.cache_skips}"
+    )

@@ -30,6 +30,67 @@ class Incident:
     #: provider key -> trusted-until date (None = still trusted at study end)
     responses: dict[str, date | None] = field(default_factory=dict)
 
+    def lag_from(self, when: date) -> int:
+        """Days from the NSS removal to ``when`` (negative = earlier).
+
+        The one place Table-4 lag arithmetic lives; the removal
+        analysis and the scenario replay both call it.
+        """
+        return (when - self.nss_removal).days
+
+    def response_lag(self, provider: str) -> int | None:
+        """The provider's recorded removal lag vs. NSS, in days.
+
+        ``None`` when the registry records no dated response — either
+        the provider still trusted the roots at study end, or it never
+        carried them at all.
+        """
+        response = self.responses.get(provider)
+        if response is None:
+            return None
+        return self.lag_from(response)
+
+    def as_scenario(
+        self,
+        *,
+        providers: tuple[str, ...] | None = None,
+        dates: tuple[date, ...] | None = None,
+    ):
+        """Replay this incident through the scenario engine.
+
+        Compiles the registry's recorded response schedule into a
+        :class:`~repro.scenario.model.Scenario`: one ``remove`` edit
+        per (root, provider) on the date that provider acted (NSS on
+        ``nss_removal``, every other store on its dated response).
+        Providers with no dated response get no edit — they keep
+        trusting, which is exactly the lag picture the engine then
+        re-measures.
+        """
+        from repro.scenario.model import Edit, Scenario
+
+        schedule: list[tuple[str, date]] = [("nss", self.nss_removal)]
+        for provider, response in sorted(self.responses.items()):
+            if response is not None:
+                schedule.append((provider, response))
+        edits = tuple(
+            Edit(
+                kind="remove",
+                root=slug,
+                effective=when,
+                providers=(provider,),
+                comment=f"{self.key}: {provider} removal",
+            )
+            for provider, when in schedule
+            for slug in self.root_slugs
+        )
+        return Scenario(
+            name=self.key,
+            description=self.description,
+            edits=edits,
+            providers=providers,
+            dates=dates,
+        )
+
 
 DIGINOTAR = Incident(
     key="diginotar",
@@ -193,6 +254,54 @@ DEBIAN_SYMANTEC_READD = date(2020, 7, 20)
 #: NodeJS skipped that update and kept both.
 TWCA_REMOVAL = date(2020, 6, 26)
 SK_ID_REMOVAL = date(2020, 6, 26)
+
+
+def symantec_phased_scenario(
+    *,
+    providers: tuple[str, ...] | None = None,
+    dates: tuple[date, ...] | None = None,
+):
+    """The Symantec distrust as a phased scenario (Section 6.2's arc).
+
+    Three waves over all thirteen Symantec roots: the NSS v53
+    ``server-distrust-after`` marking (cutting off post-2019-04-16
+    issuance while the roots stay shipped), then the two removal
+    batches.  Running it against an archive reproduces the Table-7
+    style picture: which providers lose which chains at each phase.
+    """
+    from repro.scenario.model import Edit, Scenario
+
+    slugs = SYMANTEC_BATCH_1.root_slugs + SYMANTEC_BATCH_2.root_slugs
+    edits = [
+        Edit(
+            kind="distrust-after",
+            root=slug,
+            effective=SYMANTEC_DISTRUST_MARKING,
+            distrust_after=SYMANTEC_DISTRUST_AFTER,
+            comment="NSS v53 server-distrust-after marking",
+        )
+        for slug in slugs
+    ]
+    for batch in (SYMANTEC_BATCH_1, SYMANTEC_BATCH_2):
+        edits.extend(
+            Edit(
+                kind="remove",
+                root=slug,
+                effective=batch.nss_removal,
+                comment=f"{batch.key} removal (bug {batch.bugzilla_id})",
+            )
+            for slug in batch.root_slugs
+        )
+    return Scenario(
+        name="symantec-phased-removal",
+        description=(
+            "Symantec distrust replayed as a phased schedule: "
+            "server-distrust-after marking, then two removal batches"
+        ),
+        edits=tuple(edits),
+        providers=providers,
+        dates=dates,
+    )
 
 
 def incident_by_key(key: str) -> Incident:

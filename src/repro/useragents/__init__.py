@@ -12,8 +12,11 @@ from repro.useragents.attribution import (
 )
 from repro.useragents.population import (
     POPULATION,
+    ImpactBreakdown,
     PopulationRow,
     coverage_fraction,
+    impact_breakdown,
+    impact_fraction,
     included_user_agents,
     total_user_agents,
 )
@@ -22,6 +25,7 @@ from repro.useragents.strings import ParsedUA, parse, sample_top_200, synthesize
 
 __all__ = [
     "EcosystemShares",
+    "ImpactBreakdown",
     "POPULATION",
     "ParsedUA",
     "PopulationRow",
@@ -31,6 +35,8 @@ __all__ = [
     "attribute",
     "coverage_fraction",
     "family_of",
+    "impact_breakdown",
+    "impact_fraction",
     "included_user_agents",
     "parse",
     "sample_top_200",

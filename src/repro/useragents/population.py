@@ -82,3 +82,59 @@ def included_user_agents() -> int:
 def coverage_fraction() -> float:
     """The paper's 77.0% coverage figure."""
     return included_user_agents() / total_user_agents()
+
+
+@dataclass(frozen=True)
+class ImpactBreakdown:
+    """A weighted-impact answer with its exclusions accounted for.
+
+    ``fraction`` weighs affected providers over the *included* versions
+    (the 154 of 200 the paper can attribute to a store); ``excluded``
+    reports the remainder separately rather than silently folding it
+    into either side.
+    """
+
+    fraction: float
+    affected_versions: int
+    included_versions: int
+    excluded_versions: int
+    #: provider -> versions contributed to ``affected_versions``
+    by_provider: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def total_versions(self) -> int:
+        return self.included_versions + self.excluded_versions
+
+
+def impact_breakdown(provider_outcomes: dict[str, bool]) -> ImpactBreakdown:
+    """Weigh per-provider outcomes over the Table-1 version sample.
+
+    ``provider_outcomes`` maps provider key -> affected? (True = this
+    provider's agents lose the chain).  Providers absent from the
+    mapping count as unaffected; rows with no provider attribution are
+    the excluded remainder.
+    """
+    affected = 0
+    included = 0
+    excluded = 0
+    by_provider: dict[str, int] = {}
+    for row in POPULATION:
+        if row.provider is None:
+            excluded += row.versions
+            continue
+        included += row.versions
+        if provider_outcomes.get(row.provider, False):
+            affected += row.versions
+            by_provider[row.provider] = by_provider.get(row.provider, 0) + row.versions
+    return ImpactBreakdown(
+        fraction=affected / included if included else 0.0,
+        affected_versions=affected,
+        included_versions=included,
+        excluded_versions=excluded,
+        by_provider=tuple(sorted(by_provider.items())),
+    )
+
+
+def impact_fraction(provider_outcomes: dict[str, bool]) -> float:
+    """Fraction of the attributable population affected (0.0 - 1.0)."""
+    return impact_breakdown(provider_outcomes).fraction

@@ -49,7 +49,16 @@ class ValidationResult:
 
 @dataclass
 class ChainValidator:
-    """Validates leaf certificates against one root store snapshot."""
+    """Validates leaf certificates against one root store snapshot.
+
+    Issuer lookups run on subject-keyed indexes built lazily, exactly
+    once per validator (bulk workloads — the scenario engine validates
+    thousands of leaves per snapshot — used to pay a full store scan
+    with trial signature verification per ``validate()`` call).
+    Signature checks are memoized per (child, parent) pair, so the
+    re-verification of a path the DFS already explored is a dictionary
+    hit, not another RSA exponentiation.
+    """
 
     store: RootStoreSnapshot
     #: extra (non-anchor) intermediates available for chain building
@@ -58,6 +67,18 @@ class ChainValidator:
     max_depth: int = 8
     #: optional client revocation channel (CRL / OneCRL / CRLSet / Apple feed)
     revocation: "RevocationChecker | None" = None
+    #: how many times the subject->candidates indexes were built; stays
+    #: at 1 for any number of validate() calls against one snapshot
+    index_builds: int = field(default=0, init=False, repr=False, compare=False)
+    _anchor_index: "dict[bytes, list] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _intermediate_index: "dict[bytes, list[Certificate]] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _signature_memo: "dict[tuple[str, str], bool]" = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def validate(self, leaf: Certificate, at: datetime) -> ValidationResult:
         """Build and validate a path from ``leaf`` to a trust anchor.
@@ -114,16 +135,14 @@ class ChainValidator:
             )
 
         # Signatures: each certificate signed by the next one's key.
+        # The DFS verified every link while extending, so these are
+        # memo hits (the "verified-subpath" memo), not repeat crypto.
         for child, parent in zip(full_path, full_path[1:]):
-            try:
-                child.verify_signature(parent.public_key)
-            except SignatureError:
+            if not self._signature_ok(child, parent):
                 return ValidationResult(
                     valid=False, chain=tuple(chain), anchor=anchor, reason="bad-signature"
                 )
-        try:
-            anchor.verify_signature(anchor.public_key)
-        except SignatureError:
+        if not self._signature_ok(anchor, anchor):
             # Self-signature failures on anchors are tolerated by real
             # validators (trust is by membership), but ours always signs
             # its anchors, so surface the anomaly.
@@ -165,22 +184,44 @@ class ChainValidator:
                 continue  # issuer loop
             yield from self._extend([*chain, parent])
 
-    def _anchors_for(self, cert: Certificate):
+    def _build_indexes(self) -> None:
+        """Subject -> candidates maps, built once per validator."""
+        anchors: dict[bytes, list] = {}
         for entry in self.store.entries:
-            if entry.certificate.subject == cert.issuer:
-                try:
-                    cert.verify_signature(entry.certificate.public_key)
-                except SignatureError:
-                    continue
+            anchors.setdefault(entry.certificate.subject.encode(), []).append(entry)
+        parents: dict[bytes, list[Certificate]] = {}
+        for candidate in self.intermediates:
+            parents.setdefault(candidate.subject.encode(), []).append(candidate)
+        self._anchor_index = anchors
+        self._intermediate_index = parents
+        self.index_builds += 1
+
+    def _signature_ok(self, child: Certificate, parent: Certificate) -> bool:
+        """Memoized ``child`` signed-by ``parent`` check."""
+        key = (child.fingerprint_sha256, parent.fingerprint_sha256)
+        cached = self._signature_memo.get(key)
+        if cached is None:
+            try:
+                child.verify_signature(parent.public_key)
+            except SignatureError:
+                cached = False
+            else:
+                cached = True
+            self._signature_memo[key] = cached
+        return cached
+
+    def _anchors_for(self, cert: Certificate):
+        if self._anchor_index is None:
+            self._build_indexes()
+        for entry in self._anchor_index.get(cert.issuer.encode(), ()):
+            if self._signature_ok(cert, entry.certificate):
                 yield entry
 
     def _intermediates_for(self, cert: Certificate):
-        for candidate in self.intermediates:
-            if candidate.subject == cert.issuer and candidate != cert:
-                try:
-                    cert.verify_signature(candidate.public_key)
-                except SignatureError:
-                    continue
+        if self._intermediate_index is None:
+            self._build_indexes()
+        for candidate in self._intermediate_index.get(cert.issuer.encode(), ()):
+            if candidate != cert and self._signature_ok(cert, candidate):
                 yield candidate
 
     def _ca_ok(self, cert: Certificate) -> bool:

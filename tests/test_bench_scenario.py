@@ -1,0 +1,68 @@
+"""Smoke-mode wiring of the scenario-engine benchmark into tier-1.
+
+``REPRO_BENCH_SMOKE=1`` trims :func:`repro.bench.run_scenario_suite` to
+a two-provider, three-date grid with a two-chain workload and a 15 ms
+simulated fetch; the full-size run — and the ≥2x pool / ≥5x warm-cache
+floors it enforces — lives in ``benchmarks/bench_scenario.py``.  The
+determinism gates hold unconditionally here: serial, parallel, cold,
+and warm sweeps must serialize to byte-identical canonical run JSON
+and the warm sweep must be pure cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import run_scenario_suite
+from repro.bench.perf import SMOKE_ENV
+from repro.bench.scenario import MIN_PARALLEL_SPEEDUP, MIN_WARM_SPEEDUP
+
+
+@pytest.fixture
+def smoke_env(monkeypatch):
+    monkeypatch.setenv(SMOKE_ENV, "1")
+    monkeypatch.setenv("REPRO_ARCHIVE_FSYNC", "0")
+
+
+class TestScenarioSmoke:
+    def test_smoke_suite_runs_and_writes(self, smoke_env, corpus, tmp_path):
+        output = tmp_path / "BENCH_scenario.json"
+        suite = run_scenario_suite(corpus, output=output)
+
+        results = suite.results
+        assert results["mode"] == "smoke"
+        assert set(results) == {
+            "schema",
+            "mode",
+            "grid",
+            "serial",
+            "parallel",
+            "cold",
+            "warm",
+            "floor",
+            "correctness",
+        }
+
+        correctness = results["correctness"]
+        assert correctness["serial_parallel_identical"] is True
+        assert correctness["cold_warm_identical"] is True
+        assert correctness["serial_cold_identical"] is True
+        assert correctness["warm_all_hits"] is True
+        assert correctness["impact_nonzero"] is True
+
+        # Shape sanity: the grid matches the smoke configuration and
+        # the warm sweep really was answered from the cache.
+        grid = results["grid"]
+        assert grid["cells"] == len(grid["providers"]) * len(grid["dates"])
+        assert results["warm"]["cache_hits"] == grid["cells"]
+        assert results["cold"]["cache_misses"] == grid["cells"]
+        assert results["floor"]["min_parallel_speedup"] == MIN_PARALLEL_SPEEDUP
+        assert results["floor"]["min_warm_speedup"] == MIN_WARM_SPEEDUP
+
+        payload = json.loads(output.read_text())
+        assert payload == results
+
+        lines = "\n".join(suite.summary_lines())
+        assert "smoke" in lines and "speedup" in lines

@@ -420,3 +420,110 @@ class TestWatch:
         assert "catalog_match=True" in out
         assert output.exists()
         assert output.exists()
+
+
+@pytest.fixture()
+def scenario_file(tmp_path):
+    """A minimal one-edit scenario: drop a long-lived common root from nss."""
+    from datetime import date
+
+    from repro.scenario import ChainSpec, Edit, Scenario
+
+    scenario = Scenario(
+        name="drop-common-d2",
+        edits=(
+            Edit(
+                kind="remove", root="common-d2",
+                effective=date(2020, 6, 26), providers=("nss",),
+            ),
+        ),
+        workload=(
+            ChainSpec(
+                issuer="common-d2", domain="victim.example",
+                not_before=date(2020, 1, 1),
+            ),
+        ),
+        providers=("nss",),
+        dates=(date(2020, 5, 1), date(2021, 1, 15)),
+    )
+    path = tmp_path / "scenario.json"
+    path.write_text(scenario.to_json())
+    return path
+
+
+class TestScenario:
+    @pytest.fixture(autouse=True)
+    def _no_fsync(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARCHIVE_FSYNC", "0")
+
+    def test_run_report_round_trip(self, archive_dir, scenario_file, tmp_path, capsys):
+        run_file = tmp_path / "run.json"
+        metrics_file = tmp_path / "metrics.json"
+        capsys.readouterr()
+        assert main([
+            "scenario", "run", str(archive_dir),
+            "--scenario", str(scenario_file),
+            "--cells", "--output", str(run_file),
+            "--metrics-out", str(metrics_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "population impact: drop-common-d2" in out
+        assert "no-anchor" in out or "anchor-not-trusted" in out  # the removal bit
+        assert "peak population impact" in out
+        assert f"run written to {run_file}" in out
+
+        assert main(["scenario", "report", str(run_file)]) == 0
+        out = capsys.readouterr().out
+        assert "population impact: drop-common-d2" in out
+        assert "peak population impact" in out
+
+        # The run's telemetry renders through obs report: stage table,
+        # chain/cache outcome lines, pool gauge.
+        assert main(["obs", "report", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario stages" in out
+        assert "scenario chains:" in out and "invalid" in out
+        assert "scenario cell cache:" in out
+        assert "scenario pool workers: 1" in out
+
+    def test_diff_names_the_causing_edit(self, archive_dir, scenario_file, capsys):
+        capsys.readouterr()
+        assert main([
+            "scenario", "diff", str(archive_dir), "--scenario", str(scenario_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "remove common-d2 @ 2020-06-26" in out
+        assert "broke" in out and "0 fixed" in out
+
+    def test_symantec_with_grid_overrides(self, archive_dir, capsys):
+        capsys.readouterr()
+        assert main([
+            "scenario", "run", str(archive_dir), "--symantec",
+            "--providers", "nss",
+            "--dates", "2020-05-01", "2021-01-15",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "symantec-phased-removal" in out
+        assert "1 providers x 2 dates" in out
+
+    def test_unknown_incident_exits_nonzero(self, archive_dir, capsys):
+        rc = main(["scenario", "run", str(archive_dir), "--incident", "nonesuch"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ") and "nonesuch" in err
+
+    def test_missing_scenario_file_exits_nonzero(self, archive_dir, tmp_path, capsys):
+        rc = main([
+            "scenario", "run", str(archive_dir),
+            "--scenario", str(tmp_path / "nope.json"),
+        ])
+        assert rc == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_bench_smoke(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_scenario.json"
+        assert main(["scenario", "bench", "--smoke", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario-engine benchmark" in out
+        assert f"baseline written to {output}" in out
+        assert output.exists()

@@ -201,6 +201,16 @@ class TestCatalog:
             with pytest.raises(ObservabilityError, match="not declared"):
                 count("repro_not_a_real_metric_total")
 
+    def test_scenario_engine_metrics_declared(self):
+        """The what-if engine's instrumentation sites are all cataloged."""
+        assert SPECS["repro_scenario_chains_total"].type == "counter"
+        assert SPECS["repro_scenario_chains_total"].labels == ("outcome",)
+        assert SPECS["repro_scenario_cache_total"].type == "counter"
+        assert SPECS["repro_scenario_cache_total"].labels == ("outcome",)
+        assert SPECS["repro_scenario_stage_seconds"].type == "histogram"
+        assert SPECS["repro_scenario_stage_seconds"].labels == ("stage",)
+        assert SPECS["repro_scenario_pool_workers"].type == "gauge"
+
 
 class TestInstrument:
     def test_stage_timer_spans_and_observes_simulated_time(self):

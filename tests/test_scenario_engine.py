@@ -1,0 +1,349 @@
+"""The scenario engine against a real (temporary) archive.
+
+One module-scoped archive holds the NSS and Microsoft histories; every
+test evaluates scenarios against it through :class:`ScenarioEngine` —
+edits applied in memory, never mutating the archive.  Covers the edit
+semantics end to end (remove, distrust-after, all three revocation
+mechanisms flipping verdicts across their effective dates), the
+determinism contract (serial == parallel bytes), the per-cell result
+cache, and baseline diffing with edit attribution.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+
+import pytest
+
+from repro.archive import Archive, ArchiveQuery, ingest_dataset
+from repro.errors import ValidationError
+from repro.scenario import (
+    ScenarioEngine,
+    ScenarioRun,
+    diff_runs,
+    population_impact,
+    run_from_json,
+    run_to_json,
+)
+from repro.scenario.engine import NO_SNAPSHOT
+from repro.scenario.model import ChainSpec, Edit, Scenario
+
+PROVIDERS = ("microsoft", "nss")
+DATES = (date(2020, 5, 1), date(2020, 7, 1), date(2021, 1, 15))
+
+#: A root both stores carry throughout the evaluation window and that
+#: the simulated histories never remove on their own — so any flip a
+#: test observes was caused by a scenario edit, not by replayed history.
+ROOT = "common-d2"
+CHAIN = ChainSpec(issuer=ROOT, domain="victim.example", not_before=date(2020, 1, 1))
+CHAIN_KEY = f"{ROOT}/victim.example"
+
+
+@pytest.fixture(scope="module")
+def archive(corpus, tmp_path_factory):
+    root = tmp_path_factory.mktemp("scenario-archive")
+    archive = Archive(root / "archive", create=True)
+    ingest_dataset(archive, corpus.dataset, providers=PROVIDERS)
+    return archive
+
+
+@pytest.fixture
+def engine(archive, corpus):
+    return ScenarioEngine(archive, corpus=corpus, use_cache=False)
+
+
+def scenario(*edits, workload=(CHAIN,), dates=DATES, providers=PROVIDERS) -> Scenario:
+    return Scenario(
+        name="test",
+        edits=tuple(edits),
+        workload=tuple(workload),
+        providers=providers,
+        dates=dates,
+    )
+
+
+def verdict(run: ScenarioRun, provider: str, when: date, chain: str = CHAIN_KEY) -> dict:
+    outcomes = run.outcomes(provider, when)
+    assert outcomes is not None
+    return outcomes[chain]
+
+
+class TestEditSemantics:
+    def test_baseline_chain_validates_everywhere(self, engine):
+        run = engine.run(scenario())
+        for provider in PROVIDERS:
+            for when in DATES:
+                assert verdict(run, provider, when)["valid"] is True
+
+    def test_remove_flips_invalid_from_effective_date(self, engine):
+        run = engine.run(
+            scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+        )
+        before = verdict(run, "nss", date(2020, 5, 1))
+        after = verdict(run, "nss", date(2020, 7, 1))
+        assert before["valid"] is True
+        assert after["valid"] is False
+        assert after["reason"] in ("no-anchor", "anchor-not-trusted")
+
+    def test_remove_scoped_to_one_provider(self, engine):
+        run = engine.run(
+            scenario(
+                Edit(
+                    kind="remove",
+                    root=ROOT,
+                    effective=date(2020, 6, 26),
+                    providers=("nss",),
+                )
+            )
+        )
+        assert verdict(run, "nss", date(2020, 7, 1))["valid"] is False
+        assert verdict(run, "microsoft", date(2020, 7, 1))["valid"] is True
+
+    def test_distrust_after_breaks_only_late_issuance(self, engine):
+        late = CHAIN  # issued 2019-12-01, after the cutoff
+        early = ChainSpec(
+            issuer=ROOT, domain="early.example", not_before=date(2018, 6, 1),
+            lifetime_days=1200,
+        )
+        run = engine.run(
+            scenario(
+                Edit(
+                    kind="distrust-after",
+                    root=ROOT,
+                    effective=date(2020, 5, 15),
+                    distrust_after=date(2019, 4, 16),
+                ),
+                workload=(late, early),
+            )
+        )
+        # Before the marking lands, both validate.
+        assert verdict(run, "nss", date(2020, 5, 1))["valid"] is True
+        # After: the post-cutoff leaf dies, the pre-cutoff leaf survives.
+        late_verdict = verdict(run, "nss", date(2020, 7, 1))
+        assert late_verdict["valid"] is False
+        assert late_verdict["reason"] == "server-distrust-after"
+        early_verdict = verdict(run, "nss", date(2020, 7, 1), f"{ROOT}/early.example")
+        assert early_verdict["valid"] is True
+
+    @pytest.mark.parametrize("mechanism", ["onecrl", "crlset", "ocsp"])
+    def test_revocation_matrix_flips_on_effective_date(self, engine, mechanism):
+        """Satellite: every mechanism, dates straddling the push."""
+        run = engine.run(
+            scenario(
+                Edit(
+                    kind="revoke",
+                    root=ROOT,
+                    effective=date(2020, 6, 1),
+                    mechanism=mechanism,
+                )
+            )
+        )
+        for provider in PROVIDERS:
+            before = verdict(run, provider, date(2020, 5, 1))
+            assert before["valid"] is True, (provider, mechanism)
+            for when in (date(2020, 7, 1), date(2021, 1, 15)):
+                after = verdict(run, provider, when)
+                assert after["valid"] is False, (provider, mechanism, when)
+                assert after["reason"] == f"revoked:{mechanism}"
+
+    def test_revoke_edit_scoped_by_provider(self, engine):
+        run = engine.run(
+            scenario(
+                Edit(
+                    kind="revoke",
+                    root=ROOT,
+                    effective=date(2020, 6, 1),
+                    mechanism="onecrl",
+                    providers=("microsoft",),
+                )
+            )
+        )
+        assert verdict(run, "nss", date(2020, 7, 1))["valid"] is True
+        assert verdict(run, "microsoft", date(2020, 7, 1))["valid"] is False
+
+    def test_no_snapshot_cells_are_reported_not_guessed(self, engine):
+        run = engine.run(scenario(dates=(date(2000, 1, 1),) + DATES))
+        early = verdict(run, "nss", date(2000, 1, 1))
+        assert early == {"valid": False, "reason": NO_SNAPSHOT}
+        assert run.cell("nss", date(2000, 1, 1))["version"] is None
+
+    def test_archive_is_never_mutated(self, engine, archive):
+        catalog_before = archive.catalog_hash()
+        engine.run(
+            scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+        )
+        assert archive.catalog_hash() == catalog_before
+        # The archived snapshot still carries the root.
+        query = ArchiveQuery(archive)
+        snapshot = query.snapshot_at("nss", date(2020, 7, 1))
+        assert any(
+            entry.fingerprint == engine.corpus.fingerprint(ROOT)
+            for entry in snapshot.entries
+        )
+
+
+class TestDeterminismAndCache:
+    def test_parallel_matches_serial_byte_for_byte(self, archive, corpus):
+        sc = scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+        serial = ScenarioEngine(archive, corpus=corpus, use_cache=False).run(sc)
+        pooled = ScenarioEngine(
+            archive, corpus=corpus, workers=3, use_cache=False
+        ).run(sc)
+        assert run_to_json(serial) == run_to_json(pooled)
+        assert pooled.stats.workers == 3
+
+    def test_warm_cache_serves_identical_bytes(self, archive, corpus, tmp_path):
+        sc = scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+        engine = ScenarioEngine(archive, corpus=corpus, use_cache=True)
+        engine.cache.clear()
+        try:
+            cold = engine.run(sc)
+            assert cold.stats.cache_misses == len(cold.cells)
+            warm = engine.run(sc)
+            assert warm.stats.cache_hits == len(warm.cells)
+            assert warm.stats.cache_misses == 0
+            assert run_to_json(cold) == run_to_json(warm)
+        finally:
+            engine.cache.clear()
+
+    def test_cache_keys_differ_per_scenario(self, archive, corpus):
+        engine = ScenarioEngine(archive, corpus=corpus, use_cache=True)
+        engine.cache.clear()
+        try:
+            engine.run(
+                scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+            )
+            other = engine.run(
+                scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 12, 11)))
+            )
+            # A different edit schedule must not hit the first run's cells.
+            assert other.stats.cache_hits == 0
+            assert other.stats.cache_misses == len(other.cells)
+        finally:
+            engine.cache.clear()
+
+    def test_no_snapshot_cells_skip_the_cache(self, archive, corpus):
+        engine = ScenarioEngine(archive, corpus=corpus, use_cache=True)
+        engine.cache.clear()
+        try:
+            run = engine.run(scenario(dates=(date(2000, 1, 1),) + DATES))
+            assert run.stats.cache_skips == len(PROVIDERS)  # one dead date each
+            assert run.stats.cache_misses == len(PROVIDERS) * len(DATES)
+        finally:
+            engine.cache.clear()
+
+    def test_run_file_round_trip(self, engine):
+        run = engine.run(
+            scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+        )
+        text = run_to_json(run)
+        restored = run_from_json(text)
+        assert run_to_json(restored) == text
+        assert restored.chain_keys == run.chain_keys
+        payload = json.loads(text)
+        assert "stats" not in payload  # execution accounting is not canonical
+
+
+class TestDiffAndImpact:
+    def test_diff_names_the_breaking_edit(self, engine):
+        sc = scenario(
+            Edit(
+                kind="remove",
+                root=ROOT,
+                effective=date(2020, 6, 26),
+                comment="batch 1",
+            )
+        )
+        baseline, run = engine.run_with_baseline(sc)
+        diff = diff_runs(baseline, run)
+        assert diff.fixed == ()
+        # 2 providers x 2 post-removal dates.
+        assert len(diff.broken) == 4
+        for flip in diff.broken:
+            assert flip.chain == CHAIN_KEY
+            assert flip.caused_by == (f"remove {ROOT} @ 2020-06-26",)
+            assert flip.baseline_reason == "ok"
+
+    def test_population_impact_rises_after_removal(self, engine):
+        run = engine.run(
+            scenario(Edit(kind="remove", root=ROOT, effective=date(2020, 6, 26)))
+        )
+        report = population_impact(run)
+        series = report.for_chain(CHAIN_KEY)
+        assert series.fraction_on(date(2020, 5, 1)) == 0.0
+        # nss + microsoft lose the chain: their Table-1 weight.
+        assert series.fraction_on(date(2020, 7, 1)) == pytest.approx(45 / 154)
+        assert series.peak_fraction == pytest.approx(45 / 154)
+
+    def test_identical_runs_diff_empty(self, engine):
+        run = engine.run(scenario())
+        diff = diff_runs(run, run)
+        assert diff.flips == ()
+
+
+class TestResultCache:
+    def test_round_trip_sharded_layout(self, tmp_path):
+        from repro.archive.cache import ResultCache, cache_key
+
+        cache = ResultCache(tmp_path, "scenario")
+        key = cache_key({"cell": 1})
+        assert key not in cache
+        assert cache.get(key) is None
+        cache.put(key, {"chains": {"a": True}})
+        assert key in cache
+        assert cache.get(key) == {"chains": {"a": True}}
+        assert len(cache) == 1
+        # Sharded by the first two hex digits under <root>/cache/scenario.
+        assert (tmp_path / "cache" / "scenario" / key[:2] / f"{key}.json").exists()
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_damaged_entry_reads_as_miss(self, tmp_path):
+        from repro.archive.cache import ResultCache, cache_key
+
+        cache = ResultCache(tmp_path, "scenario")
+        key = cache_key({"cell": 2})
+        cache.put(key, {"ok": True})
+        path = tmp_path / "cache" / "scenario" / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_invalid_key_rejected(self, tmp_path):
+        from repro.archive.cache import ResultCache
+
+        cache = ResultCache(tmp_path, "scenario")
+        with pytest.raises(ValueError, match="cache keys"):
+            cache.get("../../escape")
+        with pytest.raises(ValueError, match="namespace"):
+            ResultCache(tmp_path, "a/b")
+
+
+class TestCompileErrors:
+    def test_unknown_root_rejected(self, engine):
+        with pytest.raises(ValidationError, match="unknown root"):
+            engine.run(
+                scenario(Edit(kind="remove", root="nonesuch", effective=DATES[0]))
+            )
+
+    def test_unknown_workload_issuer_rejected(self, engine):
+        bad = ChainSpec(issuer="nonesuch", domain="x.example", not_before=DATES[0])
+        with pytest.raises(ValidationError, match="not a catalog root"):
+            engine.run(scenario(workload=(bad,)))
+
+    def test_revoke_by_raw_fingerprint_needs_catalog_key(self, engine):
+        with pytest.raises(ValidationError, match="no key to sign"):
+            engine.run(
+                scenario(
+                    Edit(
+                        kind="revoke",
+                        root="ab" * 32,
+                        effective=DATES[0],
+                        mechanism="onecrl",
+                    )
+                )
+            )
+
+    def test_workers_must_be_positive(self, archive, corpus):
+        with pytest.raises(ValidationError, match="workers"):
+            ScenarioEngine(archive, corpus=corpus, workers=0)

@@ -1,0 +1,217 @@
+"""The declarative scenario model and the incident-registry bridge.
+
+Pure-data tests: edit validation and effectivity, canonical JSON
+round-trips, derived grids/workloads, and the helpers that compile the
+historical incident registry (Table 4/7) into runnable scenarios.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenario.model import (
+    DEFAULT_DATE_OFFSETS,
+    ChainSpec,
+    Edit,
+    Scenario,
+)
+from repro.simulation.incidents import (
+    CERTINOMIS,
+    CNNIC,
+    SYMANTEC_BATCH_1,
+    SYMANTEC_BATCH_2,
+    SYMANTEC_DISTRUST_AFTER,
+    SYMANTEC_DISTRUST_MARKING,
+    symantec_phased_scenario,
+)
+
+
+def _remove(root="symantec-class3-g1", effective=date(2020, 6, 26), **kw) -> Edit:
+    return Edit(kind="remove", root=root, effective=effective, **kw)
+
+
+class TestEdit:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown edit kind"):
+            Edit(kind="nuke", root="r", effective=date(2020, 1, 1))
+
+    def test_distrust_after_needs_cutoff(self):
+        with pytest.raises(ValidationError, match="distrust_after"):
+            Edit(kind="distrust-after", root="r", effective=date(2020, 1, 1))
+
+    def test_revoke_needs_known_mechanism(self):
+        with pytest.raises(ValidationError, match="mechanism"):
+            Edit(kind="revoke", root="r", effective=date(2020, 1, 1))
+        with pytest.raises(ValidationError, match="mechanism"):
+            Edit(kind="revoke", root="r", effective=date(2020, 1, 1), mechanism="fax")
+
+    def test_applies_respects_effective_date_and_providers(self):
+        edit = _remove(providers=("nss",))
+        assert not edit.applies("nss", date(2020, 6, 25))
+        assert edit.applies("nss", date(2020, 6, 26))
+        assert not edit.applies("microsoft", date(2020, 7, 1))
+        everywhere = _remove()
+        assert everywhere.applies("microsoft", date(2020, 7, 1))
+
+    def test_label_is_stable_and_names_mechanism(self):
+        assert _remove().label() == "remove symantec-class3-g1 @ 2020-06-26"
+        revoke = Edit(
+            kind="revoke", root="r", effective=date(2020, 1, 2), mechanism="onecrl"
+        )
+        assert revoke.label() == "revoke:onecrl r @ 2020-01-02"
+
+    def test_round_trip(self):
+        edit = Edit(
+            kind="distrust-after",
+            root="symantec-legacy-1",
+            effective=date(2020, 5, 15),
+            providers=("nss", "microsoft"),
+            distrust_after=date(2019, 4, 16),
+            comment="NSS v53",
+        )
+        assert Edit.from_dict(edit.to_dict()) == edit
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValidationError, match="malformed scenario edit"):
+            Edit.from_dict({"kind": "remove", "root": "r"})
+
+
+class TestChainSpec:
+    def test_lifetime_must_be_positive(self):
+        with pytest.raises(ValidationError, match="lifetime_days"):
+            ChainSpec(issuer="r", domain="d.example", not_before=date(2020, 1, 1),
+                      lifetime_days=0)
+
+    def test_round_trip_with_defaults(self):
+        spec = ChainSpec(issuer="r", domain="d.example", not_before=date(2020, 1, 1))
+        restored = ChainSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.lifetime_days == 398
+        assert restored.via_intermediate is False
+
+
+class TestScenario:
+    def test_needs_a_name(self):
+        with pytest.raises(ValidationError, match="needs a name"):
+            Scenario(name="")
+
+    def test_dates_sorted_and_deduped(self):
+        scenario = Scenario(
+            name="s",
+            dates=(date(2020, 2, 1), date(2020, 1, 1), date(2020, 2, 1)),
+        )
+        assert scenario.dates == (date(2020, 1, 1), date(2020, 2, 1))
+
+    def test_derived_dates_bracket_every_edit(self):
+        scenario = Scenario(name="s", edits=(_remove(),))
+        expected = tuple(
+            sorted(date(2020, 6, 26) + timedelta(days=o) for o in DEFAULT_DATE_OFFSETS)
+        )
+        assert scenario.dates_or_default() == expected
+
+    def test_no_dates_and_no_edits_is_an_error(self):
+        with pytest.raises(ValidationError, match="neither dates nor edits"):
+            Scenario(name="s").dates_or_default()
+
+    def test_default_workload_one_leaf_per_edited_root(self):
+        scenario = Scenario(
+            name="s",
+            edits=(
+                Edit(
+                    kind="distrust-after",
+                    root="symantec-legacy-1",
+                    effective=date(2020, 5, 15),
+                    distrust_after=date(2019, 4, 16),
+                ),
+                _remove(root="symantec-legacy-1", effective=date(2020, 12, 11)),
+                _remove(root="symantec-class3-g1"),
+            ),
+        )
+        workload = scenario.workload_or_default()
+        assert [c.issuer for c in workload] == [
+            "symantec-legacy-1",
+            "symantec-class3-g1",
+        ]
+        # Issued 180 days before the root's *first* edit.
+        assert workload[0].not_before == date(2019, 11, 17)
+        assert workload[0].domain == "symantec-legacy-1.example"
+
+    def test_baseline_keeps_grid_and_workload_but_drops_edits(self):
+        scenario = Scenario(name="s", edits=(_remove(),), providers=("nss",))
+        baseline = scenario.baseline()
+        assert baseline.edits == ()
+        assert baseline.name == "s-baseline"
+        assert baseline.dates == scenario.dates_or_default()
+        assert baseline.workload == scenario.workload_or_default()
+        assert baseline.providers == ("nss",)
+
+    def test_json_round_trip_and_digest_stability(self):
+        scenario = Scenario(
+            name="s",
+            description="d",
+            edits=(_remove(providers=("nss",)),),
+            workload=(
+                ChainSpec(issuer="r", domain="d.example", not_before=date(2020, 1, 1)),
+            ),
+            providers=("nss", "microsoft"),
+            dates=(date(2020, 7, 1),),
+        )
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        assert restored.digest() == scenario.digest()
+        # The digest is a content hash: any edit changes it.
+        renamed = Scenario.from_dict({**scenario.to_dict(), "name": "other"})
+        assert renamed.digest() != scenario.digest()
+
+    def test_bad_json_and_bad_schema_rejected(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            Scenario.from_json("{nope")
+        with pytest.raises(ValidationError, match="JSON object"):
+            Scenario.from_json("[1]")
+        with pytest.raises(ValidationError, match="unsupported scenario schema"):
+            Scenario.from_dict({"schema": 99, "name": "s"})
+
+
+class TestIncidentBridge:
+    def test_response_lag_matches_registry(self):
+        # CNNIC: Apple acted 2015-06-30, NSS removed 2017-07-27.
+        assert CNNIC.response_lag("apple") == -758
+        assert CNNIC.response_lag("android") == 131
+
+    def test_response_lag_none_for_still_trusted_or_never_carried(self):
+        assert CERTINOMIS.response_lag("microsoft") is None  # still trusted
+        assert CNNIC.response_lag("alpine") is None  # never carried
+
+    def test_as_scenario_one_remove_per_provider_response(self):
+        scenario = CNNIC.as_scenario()
+        # nss + 7 dated responses, times 2 roots.
+        assert len(scenario.edits) == (1 + 7) * 2
+        assert all(e.kind == "remove" for e in scenario.edits)
+        nss_edits = [e for e in scenario.edits if e.providers == ("nss",)]
+        assert {e.effective for e in nss_edits} == {CNNIC.nss_removal}
+        assert scenario.edited_roots() == ("cnnic-root", "cnnic-ev-root")
+
+    def test_as_scenario_skips_undated_responses(self):
+        scenario = CERTINOMIS.as_scenario()
+        named = {p for e in scenario.edits for p in e.providers}
+        assert "microsoft" not in named  # None response = no edit
+        assert "apple" not in named
+        assert "nss" in named
+
+    def test_symantec_phased_scenario_shape(self):
+        scenario = symantec_phased_scenario(providers=("nss",))
+        slugs = SYMANTEC_BATCH_1.root_slugs + SYMANTEC_BATCH_2.root_slugs
+        markings = [e for e in scenario.edits if e.kind == "distrust-after"]
+        removals = [e for e in scenario.edits if e.kind == "remove"]
+        assert len(markings) == len(slugs) == 13
+        assert all(e.effective == SYMANTEC_DISTRUST_MARKING for e in markings)
+        assert all(e.distrust_after == SYMANTEC_DISTRUST_AFTER for e in markings)
+        assert len(removals) == 13
+        assert {e.effective for e in removals} == {
+            SYMANTEC_BATCH_1.nss_removal,
+            SYMANTEC_BATCH_2.nss_removal,
+        }
+        assert scenario.providers == ("nss",)

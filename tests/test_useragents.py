@@ -143,3 +143,50 @@ class TestSoftwareSurvey:
         for entry in SOFTWARE:
             if entry.provider is not None:
                 assert entry.provider in PROVIDERS
+
+
+class TestImpactWeights:
+    def test_all_providers_affected_is_full_included_share(self):
+        from repro.useragents import impact_breakdown, impact_fraction
+
+        providers = {r.provider for r in POPULATION if r.provider is not None}
+        outcome = {p: True for p in providers}
+        breakdown = impact_breakdown(outcome)
+        assert breakdown.affected_versions == 154
+        assert breakdown.included_versions == 154
+        assert breakdown.excluded_versions == 46
+        assert breakdown.total_versions == 200
+        assert breakdown.fraction == 1.0
+        assert impact_fraction(outcome) == 1.0
+
+    def test_excluded_rows_reported_not_folded_in(self):
+        from repro.useragents import impact_breakdown
+
+        breakdown = impact_breakdown({})
+        assert breakdown.fraction == 0.0
+        assert breakdown.affected_versions == 0
+        # The paper's 77% split: 154 attributable, 46 not.
+        assert breakdown.included_versions == 154
+        assert breakdown.excluded_versions == 46
+
+    def test_single_provider_weights(self):
+        from repro.useragents import impact_breakdown, impact_fraction
+
+        nss = impact_breakdown({"nss": True})
+        assert nss.affected_versions == 11  # Firefox on 4 platforms
+        assert nss.by_provider == (("nss", 11),)
+        assert impact_fraction({"nss": True}) == pytest.approx(11 / 154)
+
+        microsoft = impact_breakdown({"microsoft": True})
+        assert microsoft.affected_versions == 34
+        assert impact_fraction({"nss": True, "microsoft": True}) == pytest.approx(
+            45 / 154
+        )
+
+    def test_false_and_unknown_providers_ignored(self):
+        from repro.useragents import impact_breakdown
+
+        breakdown = impact_breakdown({"nss": False, "debian": True})
+        # debian carries no Table-1 weight; False outcomes do not count.
+        assert breakdown.affected_versions == 0
+        assert breakdown.by_provider == ()

@@ -251,3 +251,29 @@ class TestRealStoreScenarios:
         debian_result = ChainValidator(store=debian_store).validate(late, at)
         assert not nss_result.valid and nss_result.reason == "server-distrust-after"
         assert debian_result.valid
+
+
+class TestIssuerIndexReuse:
+    def test_index_built_once_for_many_leaves(self, corpus, root_spec, store):
+        """Bulk validation builds the subject index exactly once.
+
+        The scenario engine validates whole workloads against one
+        validator; this pins the O(1)-builds contract that makes that
+        cheap, instead of a per-validate() store scan.
+        """
+        validator = ChainValidator(store=store)
+        assert validator.index_builds == 0  # lazy until first validate
+        for i in range(12):
+            leaf = issue_server_leaf(
+                root_spec, corpus.mint, f"bulk-{i}.example.com", not_before=_ISSUED
+            )
+            assert validator.validate(leaf, _AT).valid
+        assert validator.index_builds == 1
+
+    def test_each_validator_indexes_its_own_store(self, store, leaf):
+        first = ChainValidator(store=store)
+        second = ChainValidator(store=store)
+        assert first.validate(leaf, _AT).valid
+        assert second.validate(leaf, _AT).valid
+        assert first.index_builds == 1
+        assert second.index_builds == 1
