@@ -12,7 +12,13 @@ corpus and enforces the crash-consistency claims of the archive layer:
 - ``repair`` on a realistically damaged corpus (bit-flipped objects, a
   deleted manifest, stray temp debris) leaves ``verify`` clean, serves
   the intact remainder in degraded mode, and is fully restored by a
-  re-ingest.
+  re-ingest,
+- the process-fleet gates (PR 9): a supervised serving fleet rides out
+  a SIGKILL storm with zero failed requests and heals to full
+  strength, a drained SIGTERM answers every accepted in-flight
+  request, over-capacity workers shed with ``503 + Retry-After``
+  inside the latency ceiling, and a scenario sweep whose pool worker
+  is killed mid-chunk re-dispatches to a byte-identical result.
 
 Correctness gates are enforced unconditionally; timing ratios only in
 full mode.  The committed ``BENCH_robustness.json`` is the perf
@@ -49,6 +55,8 @@ def test_robustness_suite(benchmark, dataset, capsys, tmp_path):
         damaged["total_snapshots"]
     )
     assert damaged["tmp_swept"] >= damaged["tmp_scattered"]
+    fleet = results["fleet"]
+    assert fleet["gates"]["all_met"] is True, f"fleet gates: {fleet['gates']}"
     assert output.exists()
 
     if is_smoke_mode():

@@ -12,6 +12,13 @@ The cache is strictly an accelerator: entries are keyed by a SHA-256
 the *caller* derives from content hashes, damaged or truncated entries
 read as misses, and ``archive gc``-style deletion of the whole
 directory is always safe.
+
+Damage **self-heals**: a torn or corrupted entry is not just a miss —
+on first read it is moved into the archive quarantine
+(``<archive>/quarantine/cache/<namespace>/``) so the next sweep's
+recompute-and-``put`` rewrites a clean entry instead of tripping over
+the same broken bytes forever.  Heals are counted in
+``repro_archive_cache_heal_total`` per namespace.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import json
 from pathlib import Path
 
 from repro.archive.io import atomic_write_bytes
+from repro.obs.instrument import count
 
 #: Directory (under the archive root) holding all result caches.
 CACHE_DIR = "cache"
@@ -44,7 +52,8 @@ class ResultCache:
     def __init__(self, archive_root: Path | str, namespace: str):
         if not namespace or "/" in namespace:
             raise ValueError(f"bad cache namespace {namespace!r}")
-        self.root = Path(archive_root) / CACHE_DIR / namespace
+        self.archive_root = Path(archive_root)
+        self.root = self.archive_root / CACHE_DIR / namespace
         self.namespace = namespace
 
     def _path(self, key: str) -> Path:
@@ -53,7 +62,13 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str):
-        """The cached value for ``key``, or None on miss/damage."""
+        """The cached value for ``key``, or None on miss/damage.
+
+        A damaged entry is quarantined on the way out (self-heal): the
+        miss triggers a recompute, the recompute's ``put`` writes clean
+        bytes, and the broken original is preserved for forensics under
+        the archive quarantine instead of shadowing every future read.
+        """
         path = self._path(key)
         try:
             raw = path.read_bytes()
@@ -62,7 +77,21 @@ class ResultCache:
         try:
             return json.loads(raw)
         except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
             return None  # torn or corrupted entry: treat as a miss
+
+    def _quarantine(self, path: Path) -> None:
+        # Lazy import: repair is a higher layer (it imports the catalog
+        # machinery); only the directory-name constant is shared.
+        from repro.archive.repair import QUARANTINE_DIR
+
+        target_dir = self.archive_root / QUARANTINE_DIR / CACHE_DIR / self.namespace
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(target_dir / f"{path.name}.corrupt")
+        except OSError:
+            return  # racing reader already healed it (or FS is read-only)
+        count("repro_archive_cache_heal_total", namespace=self.namespace)
 
     def put(self, key: str, value) -> None:
         """Store ``value`` (JSON-serializable) under ``key`` atomically."""

@@ -17,18 +17,31 @@ wrong and effective when everything does; this suite measures both:
   — bit-flipped objects, a deleted manifest, stray temp files — timed
   through one ``repair`` pass, then served in degraded mode and
   finally restored by re-ingest.
+- **fleet**: the PR-9 serving/pool kill matrix — the same chaos
+  discipline one layer up, at the *process fleet*.  A supervised
+  daemon rides out a worker kill storm (availability + back to full
+  strength + restarts accounted), a drained SIGTERM loses zero
+  accepted in-flight requests, an over-capacity worker sheds with
+  ``503 + Retry-After`` inside a latency ceiling (and the shed client
+  retries to success), and a scenario sweep whose chunk worker is
+  killed mid-block re-dispatches to a byte-identical result.
 
 Like the other harnesses, wall clock is the measurand and
 ``REPRO_BENCH_SMOKE=1`` shrinks everything to ride inside tier-1; the
 correctness gates (``within_budget``, ``all_converged``, ``verify_ok``,
-``restored``) are asserted by ``benchmarks/bench_robustness.py`` and
-the smoke test regardless of mode.
+``restored``, and every ``fleet.gates`` entry) are asserted by
+``benchmarks/bench_robustness.py`` and the smoke test regardless of
+mode.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import signal
 import tempfile
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -44,9 +57,18 @@ from repro.archive import (
     set_fsync,
     verify_archive,
 )
+from repro.archive.index import load_index
 from repro.bench.archive import _smoke_dataset
 from repro.bench.perf import _timed, is_smoke_mode
 from repro.obs.instrument import set_gauge
+from repro.serving import (
+    ServingClient,
+    ServingConfig,
+    ServingDaemon,
+    ServingError,
+    ServingOverloadError,
+    SupervisorPolicy,
+)
 from repro.store.history import Dataset, StoreHistory
 
 #: The kill matrix runs on a deliberately tiny sub-corpus in every
@@ -60,6 +82,9 @@ OVERHEAD_BUDGET = 0.10
 DAMAGE_OBJECTS = 4
 #: Stray temp files scattered by the damage scenario.
 DAMAGE_TMP_FILES = 3
+#: Shed responses must come back within this ceiling — shedding that
+#: takes as long as serving defeats its purpose.
+SHED_LATENCY_CEILING_S = 0.10
 
 
 @dataclass(frozen=True)
@@ -93,6 +118,22 @@ class RobustnessSuite:
             f"{r['repair_damaged']['reported_quarantined']} reported quarantined",
             f"re-ingest restore : {r['repair_damaged']['reingest_s']:.4f} s "
             f"(restored={r['repair_damaged']['restored']})",
+            f"fleet kill storm  : {r['fleet']['kill_storm']['kills']} kills, "
+            f"{r['fleet']['kill_storm']['failed']}/{r['fleet']['kill_storm']['requests']} "
+            f"failed, {r['fleet']['kill_storm']['restarts']} restarts "
+            f"(recovered={r['fleet']['kill_storm']['recovered_full_strength']})",
+            f"fleet drain       : {r['fleet']['drain']['completed']}"
+            f"/{r['fleet']['drain']['in_flight_target']} in-flight answered, "
+            f"{r['fleet']['drain']['force_killed']} force-killed "
+            f"(zero_dropped={r['fleet']['drain']['zero_dropped']})",
+            f"fleet shed        : {r['fleet']['shed']['sheds']} sheds, "
+            f"p99 {r['fleet']['shed']['shed_p99_s'] * 1e3:.1f} ms "
+            f"(ceiling {r['fleet']['shed']['ceiling_s'] * 1e3:.0f} ms, "
+            f"retried_succeeded={r['fleet']['shed']['retried_succeeded']})",
+            f"fleet re-dispatch : {r['fleet']['redispatch']['redispatches']} "
+            f"re-dispatches over {r['fleet']['redispatch']['cells']} cells "
+            f"(identical={r['fleet']['redispatch']['identical']})",
+            f"fleet gates       : all_met={r['fleet']['gates']['all_met']}",
         ]
 
 
@@ -265,6 +306,291 @@ def _bench_repair_damaged(root: Path, dataset: Dataset) -> dict:
     }
 
 
+# -- the fleet kill matrix (PR 9) ----------------------------------------
+
+
+def _first_fingerprint(root: Path) -> str:
+    return sorted(ArchiveQuery(root).index.postings)[0]
+
+
+def _bench_kill_storm(root: Path, *, smoke: bool) -> dict:
+    """SIGKILL workers under live traffic; supervision must heal."""
+    config = ServingConfig(
+        root=root,
+        workers=2,
+        supervise=True,
+        policy=SupervisorPolicy(
+            backoff_base_s=0.01,
+            poll_interval_s=0.005,
+            restart_budget=100,  # the storm is the point; don't trip
+            budget_window_s=60.0,
+        ),
+    )
+    payload = [{"op": "ever_shipped", "fingerprint": _first_fingerprint(root)}]
+    kills = 2 if smoke else 6
+    requests = 40 if smoke else 240
+    stride = max(requests // kills, 1)
+    ok = failed = killed = 0
+    daemon = ServingDaemon(config)
+    host, port = daemon.start()
+    try:
+        with ServingClient(host, port) as client:
+            for k in range(requests):
+                if killed < kills and k % stride == stride // 2:
+                    pids = daemon.pids
+                    if pids:
+                        try:
+                            os.kill(pids[killed % len(pids)], signal.SIGKILL)
+                            killed += 1
+                        except ProcessLookupError:
+                            pass
+                try:
+                    client.batch(payload, retries=8, backoff_s=0.02)
+                    ok += 1
+                except ServingError:
+                    failed += 1
+        deadline = time.monotonic() + 10.0
+        health = daemon.fleet_health()
+        while time.monotonic() < deadline:
+            health = daemon.fleet_health()
+            if health["live"] == health["target"] and not health["degraded"]:
+                break
+            time.sleep(0.01)
+        restarts = daemon.supervisor.restarts_total
+    finally:
+        daemon.stop()
+    return {
+        "workers": config.workers,
+        "kills": killed,
+        "requests": requests,
+        "ok": ok,
+        "failed": failed,
+        "availability": ok / requests if requests else 1.0,
+        "restarts": restarts,
+        "live": health["live"],
+        "target": health["target"],
+        "degraded": health["degraded"],
+        "recovered_full_strength": health["live"] == health["target"],
+    }
+
+
+def _bench_drain(root: Path, *, smoke: bool) -> dict:
+    """SIGTERM with requests in flight; every accepted request answers."""
+    latency = 0.10 if smoke else 0.25
+    config = ServingConfig(
+        root=root,
+        workers=1,
+        simulated_latency_s=latency,
+        drain_timeout=max(5.0, latency * 10),
+    )
+    payload = [{"op": "ever_shipped", "fingerprint": _first_fingerprint(root)}]
+    in_flight_target = 3 if smoke else 8
+    outcomes: list[str] = []
+    lock = threading.Lock()
+    daemon = ServingDaemon(config)
+    host, port = daemon.start()
+
+    def drive() -> None:
+        try:
+            with ServingClient(host, port) as client:
+                client.batch(payload)
+            result = "ok"
+        except ServingError:
+            result = "failed"
+        with lock:
+            outcomes.append(result)
+
+    threads = [threading.Thread(target=drive) for _ in range(in_flight_target)]
+    observed = 0
+    try:
+        for thread in threads:
+            thread.start()
+        # Only drain once every request is CONFIRMED accepted (the
+        # worker's own /healthz reports them in flight) — otherwise the
+        # gate would measure racing connects, not drain semantics.
+        with ServingClient(host, port) as probe:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                observed = probe.health()["in_flight"]
+                if observed >= in_flight_target:
+                    break
+                time.sleep(0.005)
+    finally:
+        daemon.stop()  # the drain under test
+    for thread in threads:
+        thread.join(timeout=10.0)
+    completed = outcomes.count("ok")
+    return {
+        "in_flight_target": in_flight_target,
+        "observed_in_flight": observed,
+        "completed": completed,
+        "dropped": in_flight_target - completed,
+        "force_killed": daemon.supervisor.force_killed,
+        "drain_s": daemon.supervisor.drain_seconds,
+        "drain_timeout_s": config.drain_timeout,
+        "zero_dropped": completed == in_flight_target
+        and daemon.supervisor.force_killed == 0,
+    }
+
+
+def _bench_shed(root: Path, *, smoke: bool) -> dict:
+    """Over the admission limit the worker sheds fast, with Retry-After."""
+    latency = 0.20 if smoke else 0.40
+    config = ServingConfig(
+        root=root,
+        workers=1,
+        max_in_flight=1,
+        simulated_latency_s=latency,
+        retry_after=0.05,
+    )
+    payload = [{"op": "ever_shipped", "fingerprint": _first_fingerprint(root)}]
+    probes = 4 if smoke else 16
+    daemon = ServingDaemon(config)
+    host, port = daemon.start()
+    blocker_outcome: list[str] = []
+
+    def blocker() -> None:
+        try:
+            with ServingClient(host, port) as client:
+                client.batch(payload)
+            blocker_outcome.append("ok")
+        except ServingError:
+            blocker_outcome.append("failed")
+
+    shed_latencies: list[float] = []
+    retry_afters: list[float | None] = []
+    unexpected_ok = 0
+    retried_succeeded = False
+    thread = threading.Thread(target=blocker)
+    try:
+        thread.start()
+        with ServingClient(host, port) as probe:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if probe.health()["in_flight"] >= 1:
+                    break
+                time.sleep(0.002)
+        with ServingClient(host, port) as client:
+            for _ in range(probes):
+                start = time.perf_counter()
+                try:
+                    client.batch(payload)
+                    unexpected_ok += 1
+                except ServingOverloadError as exc:
+                    shed_latencies.append(time.perf_counter() - start)
+                    retry_afters.append(exc.retry_after)
+            # The typed retry loop must ride the shed out: once the
+            # blocker finishes, a Retry-After-paced replay succeeds.
+            try:
+                client.batch(payload, retries=50)
+                retried_succeeded = True
+            except ServingError:
+                retried_succeeded = False
+        thread.join(timeout=10.0)
+    finally:
+        daemon.stop()
+    shed_p99 = _fleet_percentile(shed_latencies, 0.99)
+    return {
+        "probes": probes,
+        "sheds": len(shed_latencies),
+        "unexpected_ok": unexpected_ok,
+        "retry_after_s": config.retry_after,
+        "retry_after_all_present": bool(retry_afters)
+        and all(value is not None for value in retry_afters),
+        "shed_p99_s": shed_p99,
+        "ceiling_s": SHED_LATENCY_CEILING_S,
+        "within_ceiling": bool(shed_latencies) and shed_p99 <= SHED_LATENCY_CEILING_S,
+        "blocker_completed": blocker_outcome == ["ok"],
+        "retried_succeeded": retried_succeeded,
+    }
+
+
+def _fleet_percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def _bench_redispatch(root: Path) -> dict:
+    """Kill a chunk worker mid-sweep; re-dispatch must stay byte-identical.
+
+    This is a correctness gate, not a timing: the grid stays small in
+    every mode (the smoke-shape Symantec scenario), because what is
+    measured is identity under re-dispatch, which does not improve with
+    cell count.
+    """
+    from repro.bench.scenario import _bench_scenario
+    from repro.scenario.engine import PoolChaos, ScenarioEngine
+    from repro.scenario.report import run_to_json
+    from repro.simulation import default_corpus
+
+    corpus = default_corpus()
+    scenario = _bench_scenario(True)
+    archive = Archive(root / "redispatch-archive", create=True)
+    ingest_dataset(archive, corpus.dataset, providers=scenario.providers)
+
+    serial_run = ScenarioEngine(
+        archive, corpus=corpus, workers=1, use_cache=False
+    ).run(scenario)
+
+    kill_cell = f"{scenario.providers[0]}@{scenario.dates[0].isoformat()}"
+    marker_dir = root / "redispatch-markers"
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    killed_engine = ScenarioEngine(
+        archive,
+        corpus=corpus,
+        workers=4,
+        use_cache=False,
+        chaos=PoolChaos(kill_cells=(kill_cell,), marker_dir=str(marker_dir)),
+    )
+    killed_run = killed_engine.run(scenario)
+    return {
+        "cells": len(serial_run.cells),
+        "workers": 4,
+        "kill_cell": kill_cell,
+        "redispatches": killed_run.stats.redispatches,
+        "identical": run_to_json(serial_run) == run_to_json(killed_run),
+    }
+
+
+def _bench_fleet(root: Path, dataset: Dataset, *, smoke: bool) -> dict:
+    """The serving/pool kill matrix: storm, drain, shed, re-dispatch."""
+    serving_root = root / "fleet-archive"
+    archive = Archive(serving_root, create=True)
+    # The serving fleet runs on the matrix sub-corpus: fleet gates are
+    # about process lifecycles, not query throughput.
+    ingest_dataset(archive, dataset)
+    load_index(archive)  # persist both index formats (workers mmap trust.bin)
+    kill_storm = _bench_kill_storm(serving_root, smoke=smoke)
+    drain = _bench_drain(serving_root, smoke=smoke)
+    shed = _bench_shed(serving_root, smoke=smoke)
+    redispatch = _bench_redispatch(root)
+    gates = {
+        "kill_storm_zero_failed": kill_storm["failed"] == 0,
+        "kill_storm_recovered": kill_storm["recovered_full_strength"],
+        "kill_storm_restarts_cover_kills": kill_storm["restarts"]
+        >= kill_storm["kills"]
+        > 0,
+        "drain_zero_dropped": drain["zero_dropped"],
+        "drain_within_deadline": (drain["drain_s"] or 0.0)
+        <= drain["drain_timeout_s"],
+        "shed_retry_after_present": shed["retry_after_all_present"],
+        "shed_within_ceiling": shed["within_ceiling"],
+        "shed_retried_succeeded": shed["retried_succeeded"],
+        "redispatch_identical": redispatch["identical"],
+        "redispatch_nonzero": redispatch["redispatches"] > 0,
+    }
+    gates["all_met"] = all(gates.values())
+    return {
+        "kill_storm": kill_storm,
+        "drain": drain,
+        "shed": shed,
+        "redispatch": redispatch,
+        "gates": gates,
+    }
+
+
 def run_robustness_suite(
     dataset: Dataset | None = None,
     *,
@@ -296,6 +622,7 @@ def run_robustness_suite(
                 root, _matrix_dataset(dataset), smoke=smoke
             ),
             "repair_damaged": _bench_repair_damaged(root, dataset),
+            "fleet": _bench_fleet(root, _matrix_dataset(dataset), smoke=smoke),
         }
 
     output_path = Path(output) if output is not None else None

@@ -269,6 +269,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="start, verify /healthz, print the address, and exit "
         "(CI smoke instead of serving forever)",
     )
+    serve.add_argument(
+        "--supervise", action="store_true",
+        help="restart dead workers (per-slot backoff and a restart budget; "
+        "a crash storm trips the slot and /healthz reports degraded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long a SIGTERM drain may spend finishing in-flight "
+        "requests before stragglers are force-killed (default: 5)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=0, metavar="N",
+        help="per-worker in-flight admission limit; over it requests are "
+        "shed with 503 + Retry-After (default: 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--request-deadline", type=float, default=0.0, metavar="SECONDS",
+        help="per-request batch deadline budget; slots past it answer a "
+        "typed error instead of stalling the batch (default: 0 = none)",
+    )
     bench = sub.add_parser(
         "bench",
         help="time the hot paths (distance matrix, MDS, interning, scraping) "
@@ -526,6 +546,12 @@ def _add_scenario_parser(sub) -> None:
         parser.add_argument(
             "--no-cache", action="store_true",
             help="skip the per-cell result cache under DIR/cache/scenario",
+        )
+        parser.add_argument(
+            "--chunk-retries", type=int, default=2, metavar="N",
+            help="how many times a grid block whose pool worker died is "
+            "re-dispatched (split in half per retry) before the sweep "
+            "fails; output stays byte-identical to serial (default: 2)",
         )
 
     run = ssub.add_parser(
@@ -1044,6 +1070,10 @@ def _cmd_serve(args) -> int | None:
             port=args.port,
             workers=args.workers,
             batch_limit=args.batch_limit,
+            supervise=args.supervise,
+            drain_timeout=args.drain_timeout,
+            max_in_flight=args.max_in_flight,
+            request_deadline=args.request_deadline,
         )
     )
     host, port = daemon.start()
@@ -1051,7 +1081,11 @@ def _cmd_serve(args) -> int | None:
         with ServingClient(host, port) as client:
             health = client.health()
         print(f"serving {args.directory} at http://{host}:{port}")
-        print(f"workers: {args.workers} (pids {' '.join(map(str, daemon.pids))})")
+        supervised = " supervised" if args.supervise else ""
+        print(
+            f"workers: {args.workers}{supervised} "
+            f"(pids {' '.join(map(str, daemon.pids))})"
+        )
         print(f"catalog hash: {health['catalog_hash']}")
         if args.check:
             print("health check ok")
@@ -1322,6 +1356,7 @@ def _scenario_engine(args):
         corpus=corpus,
         workers=args.workers,
         use_cache=not args.no_cache,
+        chunk_retries=args.chunk_retries,
     )
 
 

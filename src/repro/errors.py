@@ -158,3 +158,8 @@ class ValidationError(ReproError):
     def __init__(self, message: str, *, reason: str = "unspecified"):
         super().__init__(message)
         self.reason = reason
+
+
+class ScenarioPoolError(ReproError):
+    """A scenario sweep's chunk re-dispatch budget was exhausted: some
+    grid block kept killing every pool worker sent to evaluate it."""

@@ -97,6 +97,11 @@ METRICS: tuple[MetricSpec, ...] = (
         "repro_archive_stale_detected_total", COUNTER,
         "Catalog-changed-under-live-query detections (raise|refresh).", ("action",),
     ),
+    MetricSpec(
+        "repro_archive_cache_heal_total", COUNTER,
+        "Damaged result-cache entries quarantined on first read, per "
+        "namespace.", ("namespace",),
+    ),
     # -- watch: continuous-ingestion loop --------------------------------
     MetricSpec(
         "repro_watch_cycle_seconds", HISTOGRAM,
@@ -144,6 +149,31 @@ METRICS: tuple[MetricSpec, ...] = (
         "repro_serving_worker_requests_total", COUNTER,
         "Requests handled per pre-forked worker.", ("worker",),
     ),
+    MetricSpec(
+        "repro_serving_shed_total", COUNTER,
+        "Requests shed (503 + Retry-After) over the in-flight admission "
+        "limit, per worker.", ("worker",),
+    ),
+    MetricSpec(
+        "repro_serving_deadline_total", COUNTER,
+        "Batch slots answered 'deadline budget exhausted' instead of "
+        "running.", ("op",),
+    ),
+    MetricSpec(
+        "repro_serving_worker_restarts_total", COUNTER,
+        "Dead workers re-forked by the fleet supervisor, per slot.",
+        ("slot",),
+    ),
+    MetricSpec(
+        "repro_serving_fleet_degraded", GAUGE,
+        "1 while any worker slot has tripped its restart budget "
+        "(crash storm), else 0.", (),
+    ),
+    MetricSpec(
+        "repro_serving_drain_seconds", HISTOGRAM,
+        "Wall time of the drain -> reap -> force-kill stop sequence.",
+        (), DEFAULT_SECONDS_BUCKETS,
+    ),
     # -- analysis: stage latency -----------------------------------------
     MetricSpec(
         "repro_analysis_stage_seconds", HISTOGRAM,
@@ -168,6 +198,11 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(
         "repro_scenario_pool_workers", GAUGE,
         "Process-pool size of the last scenario sweep (1 = serial).", (),
+    ),
+    MetricSpec(
+        "repro_scenario_redispatch_total", COUNTER,
+        "Chunk re-dispatches after pool-worker death by outcome "
+        "(requeued|exhausted).", ("outcome",),
     ),
     # -- bench: the regression suites share this registry ----------------
     MetricSpec(

@@ -20,6 +20,7 @@ user-agent population is affected, over time.
 from repro.scenario.engine import (
     ENGINE_VERSION,
     CompiledScenario,
+    PoolChaos,
     RunStats,
     ScenarioEngine,
     ScenarioRun,
@@ -56,6 +57,7 @@ __all__ = [
     "Flip",
     "ImpactPoint",
     "ImpactReport",
+    "PoolChaos",
     "RunDiff",
     "RunStats",
     "Scenario",

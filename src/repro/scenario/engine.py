@@ -38,18 +38,21 @@ I/O-bound shape, and it defaults to 0 (no sleep) for real runs.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from datetime import date, timedelta
 from multiprocessing import get_context
+from pathlib import Path
 
 from repro.archive.cache import ResultCache, cache_key
 from repro.archive.manifest import Archive
 from repro.archive.query import ArchiveQuery
 from repro.crypto.rng import DeterministicRandom
 from repro.crypto.rsa import generate_rsa_key
-from repro.errors import ValidationError
+from repro.errors import ScenarioPoolError, ValidationError
 from repro.obs.instrument import count, set_gauge, stage_timer
 from repro.scenario.edits import (
     CompiledEdit,
@@ -127,6 +130,42 @@ class RunStats:
     cache_misses: int = 0
     cache_skips: int = 0
     chains_validated: int = 0
+    #: Chunk re-dispatches after a pool worker died mid-block.
+    redispatches: int = 0
+
+
+@dataclass(frozen=True)
+class PoolChaos:
+    """Deterministic pool-worker kill injection (test/bench device).
+
+    The same philosophy as :mod:`repro.archive.chaos`, one layer up:
+    instead of crashing a write at a named site, kill the *process*
+    evaluating a named grid cell.  ``kill_cells`` are ``provider@iso``
+    labels; with ``die_once`` each label kills only the first worker
+    that reaches it (a marker file on disk survives the re-dispatch, so
+    the retried chunk completes), without it the cell is lethal every
+    time — how the bench proves the retry budget actually bounds.
+
+    Only the *pool* path arms this: a serial run evaluates chunks
+    inline, where ``os._exit`` would take the caller down with it.
+    """
+
+    kill_cells: tuple[str, ...]
+    marker_dir: str
+    die_once: bool = True
+    exit_code: int = 113
+
+    def maybe_kill(self, provider: str, when: date) -> None:
+        label = f"{provider}@{when.isoformat()}"
+        if label not in self.kill_cells:
+            return
+        if self.die_once:
+            marker = Path(self.marker_dir) / f"{label}.killed"
+            try:
+                marker.touch(exist_ok=False)
+            except OSError:
+                return  # this cell already claimed its kill: survive
+        os._exit(self.exit_code)
 
 
 @dataclass(frozen=True)
@@ -167,6 +206,7 @@ def _run_chunk(
     compiled: CompiledScenario,
     cells: list[tuple[str, date]],
     fetch_latency_s: float,
+    chaos: PoolChaos | None = None,
 ) -> list[dict]:
     """Evaluate a contiguous block of grid cells against the archive.
 
@@ -192,6 +232,8 @@ def _run_chunk(
     validators: dict[tuple, ChainValidator] = {}
     results: list[dict] = []
     for provider, when in cells:
+        if chaos is not None:
+            chaos.maybe_kill(provider, when)
         if fetch_latency_s > 0:
             time.sleep(fetch_latency_s)  # simulated remote snapshot fetch
         snapshot = query.snapshot_at(provider, when)
@@ -259,6 +301,10 @@ class ScenarioEngine:
         workers: process-pool size; 1 means serial (same code path).
         use_cache: consult/populate the archive-adjacent result cache.
         fetch_latency_s: simulated per-cell snapshot fetch latency.
+        chunk_retries: how many times a grid block whose pool worker
+            died may be re-dispatched (split in half per retry) before
+            the sweep fails with :class:`ScenarioPoolError`.
+        chaos: deterministic pool-worker kill injection (tests/bench).
     """
 
     CACHE_NAMESPACE = "scenario"
@@ -271,14 +317,20 @@ class ScenarioEngine:
         workers: int = 1,
         use_cache: bool = True,
         fetch_latency_s: float = 0.0,
+        chunk_retries: int = 2,
+        chaos: PoolChaos | None = None,
     ):
         self.archive = archive if isinstance(archive, Archive) else Archive(archive)
         self._corpus = corpus
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if chunk_retries < 0:
+            raise ValidationError(f"chunk_retries must be >= 0, got {chunk_retries}")
         self.workers = workers
         self.use_cache = use_cache
         self.fetch_latency_s = fetch_latency_s
+        self.chunk_retries = chunk_retries
+        self.chaos = chaos
         self.query = ArchiveQuery(self.archive)
         self.cache = ResultCache(self.archive.root, self.CACHE_NAMESPACE)
         #: minted workload chains, memoized per spec — a baseline and
@@ -503,7 +555,7 @@ class ScenarioEngine:
             pending=str(len(pending)),
             workers=str(self.workers),
         ):
-            computed = self._evaluate(compiled, pending)
+            computed = self._evaluate(compiled, pending, stats)
         set_gauge("repro_scenario_pool_workers", float(self.workers))
 
         by_cell = dict(cached)
@@ -533,30 +585,86 @@ class ScenarioEngine:
         )
 
     def _evaluate(
-        self, compiled: CompiledScenario, cells: list[tuple[str, date]]
+        self,
+        compiled: CompiledScenario,
+        cells: list[tuple[str, date]],
+        stats: RunStats | None = None,
     ) -> list[dict]:
         """Run pending cells serially or across the fork pool.
 
-        Blocks are contiguous in provider-major order and merged in
-        block order, so output is invariant in ``workers``.
+        Results merge by their unique (provider, date) cell into the
+        original grid order, so output is invariant in ``workers`` *and*
+        in how blocks were re-chunked by retries.
+
+        A pool worker that dies mid-block breaks the whole
+        ``ProcessPoolExecutor`` (one shared result pipe), so each retry
+        round builds a fresh pool; the failed block's *uncomputed* cells
+        are split in half and re-dispatched with an inherited retry
+        counter, and a block that exhausts ``chunk_retries`` fails the
+        sweep with :class:`ScenarioPoolError` instead of spinning.
         """
         if not cells:
             return []
         root = str(self.archive.root)
         if self.workers == 1:
+            # Inline evaluation: no process to lose, chaos stays unarmed
+            # (maybe_kill here would take the engine down with it).
             return _run_chunk(root, compiled, cells, self.fetch_latency_s)
-        blocks = _split(cells, self.workers)
-        with ProcessPoolExecutor(
-            max_workers=len(blocks), mp_context=get_context("fork")
-        ) as pool:
-            futures = [
-                pool.submit(_run_chunk, root, compiled, block, self.fetch_latency_s)
-                for block in blocks
-            ]
-            merged: list[dict] = []
-            for future in futures:  # submission order == grid order
-                merged.extend(future.result())
-        return merged
+        by_cell: dict[tuple[str, date], dict] = {}
+        work = [(block, 0) for block in _split(cells, self.workers)]
+        while work:
+            failed: list[tuple[list[tuple[str, date]], int]] = []
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(work)),
+                mp_context=get_context("fork"),
+            ) as pool:
+                futures = [
+                    (
+                        block,
+                        retries,
+                        pool.submit(
+                            _run_chunk,
+                            root,
+                            compiled,
+                            block,
+                            self.fetch_latency_s,
+                            self.chaos,
+                        ),
+                    )
+                    for block, retries in work
+                ]
+                for block, retries, future in futures:
+                    try:
+                        results = future.result()
+                    except BrokenProcessPool:
+                        # This block's worker died (or the broken pool
+                        # cancelled it before it ran): re-dispatch.
+                        failed.append((block, retries))
+                        continue
+                    for cell, payload in zip(block, results):
+                        by_cell[cell] = payload
+            work = []
+            for block, retries in failed:
+                remaining = [cell for cell in block if cell not in by_cell]
+                if not remaining:
+                    continue
+                if retries >= self.chunk_retries:
+                    count("repro_scenario_redispatch_total", outcome="exhausted")
+                    raise ScenarioPoolError(
+                        f"grid block of {len(remaining)} cells starting at "
+                        f"{remaining[0][0]}@{remaining[0][1].isoformat()} killed "
+                        f"its pool worker {retries + 1} times "
+                        f"(chunk_retries={self.chunk_retries})"
+                    )
+                if stats is not None:
+                    stats.redispatches += 1
+                count("repro_scenario_redispatch_total", outcome="requeued")
+                # Split on retry: if one poisonous cell keeps killing
+                # workers, halving isolates it while the healthy half
+                # completes.
+                for half in _split(remaining, 2):
+                    work.append((half, retries + 1))
+        return [by_cell[cell] for cell in cells]
 
     def run_with_baseline(self, scenario: Scenario) -> tuple[ScenarioRun, ScenarioRun]:
         """(baseline, scenario) runs over the identical grid/workload."""

@@ -13,17 +13,28 @@ queries in-process; this package makes those answers *servable*:
   ``ever_shipped``, ``snapshot_at``, ``diff``; per-slot errors;
   staleness remap accounting.
 - :mod:`repro.serving.daemon` — ``repro-roots serve``: one bound
-  socket, N forked workers, /healthz readiness, /metrics, SIGTERM
-  shutdown.
+  socket, N forked workers, /healthz readiness, /metrics, graceful
+  SIGTERM drain, bounded in-flight admission with 503 + Retry-After
+  shedding, and per-request deadline budgets.
+- :mod:`repro.serving.supervisor` — the self-healing fleet layer:
+  waitpid supervision with per-slot backoff and restart budgets
+  (crash storms trip to a degraded state on /healthz), plus the
+  drain → reap → force-kill stop sequence.
 - :mod:`repro.serving.client` — the stdlib client the bench and tests
-  drive it with.
+  drive it with (typed overload/reconnect handling, bounded batch
+  retries).
 
 Capacity numbers live in ``BENCH_serving.json``
 (:mod:`repro.bench.serving`); operational notes in
 ``docs/serving.md``.
 """
 
-from repro.serving.client import ServingClient, ServingError, ServingRequestError
+from repro.serving.client import (
+    ServingClient,
+    ServingError,
+    ServingOverloadError,
+    ServingRequestError,
+)
 from repro.serving.daemon import (
     ServingConfig,
     ServingDaemon,
@@ -35,16 +46,25 @@ from repro.serving.service import (
     QueryService,
     RequestError,
 )
+from repro.serving.supervisor import (
+    FleetState,
+    FleetSupervisor,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "DEFAULT_BATCH_LIMIT",
     "OPS",
+    "FleetState",
+    "FleetSupervisor",
     "QueryService",
     "RequestError",
     "ServingClient",
     "ServingConfig",
     "ServingDaemon",
     "ServingError",
+    "ServingOverloadError",
     "ServingRequestError",
+    "SupervisorPolicy",
     "worker_rss_bytes",
 ]

@@ -12,16 +12,38 @@ The batch surface mirrors the wire format exactly — ``batch()``
 returns the raw response document (catalog hash + one slot per
 request), while the convenience wrappers unwrap single-request
 batches and raise :class:`ServingRequestError` on per-slot errors.
+
+Failure handling is *typed*, matching the fleet's failure modes:
+
+- A recycled keep-alive connection the worker already closed (idle
+  timeout, worker death, drain) surfaces as ``BadStatusLine`` /
+  ``ECONNRESET`` on the next use — the client reconnects and replays
+  **exactly once**, and only when the connection was actually reused
+  (a fresh connection failing the same way is a real outage, not a
+  stale socket).
+- A shedding worker answers ``503 + Retry-After`` — raised as
+  :class:`ServingOverloadError` with the parsed ``retry_after`` so
+  callers can back off precisely.
+- ``batch(..., retries=N)`` layers a bounded retry of the (idempotent,
+  read-only) batch on top, honoring ``Retry-After`` on overload and
+  exponential backoff on transport errors — enough to ride out a
+  supervised worker restart without hand-rolled loops in every caller.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from datetime import date
-from http.client import HTTPConnection, HTTPException
+from http.client import BadStatusLine, HTTPConnection, HTTPException
 
 from repro.errors import ReproError
+
+#: What a worker-closed keep-alive connection looks like on next use.
+#: (RemoteDisconnected subclasses BadStatusLine; ECONNRESET/EPIPE are
+#: the kernel-level spellings of the same event.)
+_REUSE_ERRORS = (BadStatusLine, ConnectionResetError, BrokenPipeError)
 
 
 class ServingError(ReproError):
@@ -30,6 +52,14 @@ class ServingError(ReproError):
 
 class ServingRequestError(ServingError):
     """The daemon answered, but this request's slot carried an error."""
+
+
+class ServingOverloadError(ServingError):
+    """The worker shed this request (503); retry after ``retry_after``s."""
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServingClient:
@@ -71,23 +101,43 @@ class ServingClient:
             else None
         )
         headers = {"Content-Type": "application/json"} if body else {}
-        for attempt in (0, 1):  # one transparent reconnect on a dropped conn
+        reused = self._conn is not None
+        for attempt in (0, 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 payload = response.read()
                 break
+            except _REUSE_ERRORS as exc:
+                # A recycled keep-alive connection the worker closed
+                # under us: reconnect and replay exactly once.  On a
+                # FRESH connection the same error is a real failure.
+                self.close()
+                if attempt or not reused:
+                    raise ServingError(
+                        f"serving daemon at {self.host}:{self.port} dropped "
+                        f"the connection: {exc}"
+                    ) from exc
             except (HTTPException, OSError) as exc:
                 self.close()
-                if attempt:
-                    raise ServingError(
-                        f"serving daemon at {self.host}:{self.port} unreachable: {exc}"
-                    ) from exc
+                raise ServingError(
+                    f"serving daemon at {self.host}:{self.port} unreachable: {exc}"
+                ) from exc
         try:
             decoded = json.loads(payload)
         except json.JSONDecodeError as exc:
             raise ServingError(f"daemon sent non-JSON ({payload[:80]!r})") from exc
+        if response.status == 503:
+            header = response.getheader("Retry-After")
+            try:
+                retry_after = float(header) if header is not None else None
+            except ValueError:
+                retry_after = None
+            raise ServingOverloadError(
+                f"{method} {path} -> 503: {decoded.get('error', decoded)}",
+                retry_after=retry_after,
+            )
         if response.status >= 400:
             raise ServingError(
                 f"{method} {path} -> {response.status}: {decoded.get('error', decoded)}"
@@ -102,9 +152,30 @@ class ServingClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
-    def batch(self, requests: list[dict]) -> dict:
-        """POST a batch; returns ``{"catalog_hash", "responses"}``."""
-        return self._request("POST", "/v1/query", {"requests": requests})
+    def batch(
+        self, requests: list[dict], *, retries: int = 0, backoff_s: float = 0.05
+    ) -> dict:
+        """POST a batch; returns ``{"catalog_hash", "responses"}``.
+
+        ``retries`` bounds how many times the (idempotent) batch is
+        replayed after a transport failure or shed: overload waits the
+        server's ``Retry-After`` (falling back to ``backoff_s``),
+        transport errors back off exponentially from ``backoff_s`` —
+        enough to ride out a supervised worker restart.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/v1/query", {"requests": requests})
+            except ServingOverloadError as exc:
+                if attempt >= retries:
+                    raise
+                time.sleep(exc.retry_after if exc.retry_after else backoff_s)
+            except ServingError:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff_s * (2**attempt))
+            attempt += 1
 
     # -- one-request conveniences -----------------------------------------
 

@@ -42,6 +42,7 @@ from repro.archive.manifest import Archive
 from repro.archive.query import ArchiveQuery, TrustObservation
 from repro.errors import ArchiveError, StoreError
 from repro.obs.instrument import count, observe, stage_timer
+from repro.obs.runtime import get_telemetry
 from repro.store.purposes import TrustPurpose
 
 #: Ops a batch request may carry.
@@ -113,20 +114,39 @@ class QueryService:
 
     # -- the batch entry point --------------------------------------------
 
-    def handle_batch(self, payload) -> dict:
+    def handle_batch(self, payload, *, budget_s: float | None = None) -> dict:
         """Answer one wire payload: ``{"requests": [...]}`` → responses.
 
         Each response slot is either the op's result object or
         ``{"error": "..."}``.  The catalog hash every answer refers to
         rides along; comparing it across calls is how load generators
         observe remaps.
+
+        ``budget_s`` is the per-request deadline budget: once the batch
+        has spent that long (telemetry clock), every *remaining* slot
+        answers ``{"error": "deadline budget exhausted"}`` instead of
+        running — the slots already computed still return, so a client
+        gets partial results plus an explicit signal, never an
+        unbounded stall.  Exhausted slots count toward
+        ``repro_serving_deadline_total`` per op.
         """
         if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
             raise RequestError('payload must be {"requests": [...]}')
         requests = payload["requests"]
+        clock = get_telemetry().clock
         with self._lock:
             before = self.query.catalog_hash
-            responses = [self._handle_one(request) for request in requests]
+            started = clock()
+            responses = []
+            for request in requests:
+                if budget_s is not None and clock() - started >= budget_s:
+                    op = request.get("op") if isinstance(request, dict) else None
+                    op = op if op in OPS else "unknown"
+                    count("repro_serving_deadline_total", op=op)
+                    count("repro_serving_requests_total", op=op, outcome="deadline")
+                    responses.append({"error": "deadline budget exhausted"})
+                    continue
+                responses.append(self._handle_one(request))
             after = self.query.catalog_hash
             if after != before:
                 self.remaps += 1

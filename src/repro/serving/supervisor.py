@@ -1,0 +1,328 @@
+"""Self-healing supervision for the pre-forked worker fleet.
+
+:mod:`repro.serving.daemon` forks N workers over one shared socket;
+before this module, a worker that died silently shrank the fleet
+forever and SIGTERM dropped in-flight requests on the floor.  The
+supervisor closes both gaps with the same discipline PR 4 brought to
+the archive write path:
+
+- **Supervision loop.**  :class:`FleetSupervisor` owns every worker
+  slot.  A ``waitpid``-driven poll detects death, and a dead slot is
+  re-forked after a per-slot exponential backoff — so one crash heals
+  in milliseconds while a crash *storm* cannot flap the fleet: each
+  slot carries a restart budget over a sliding window, and a slot that
+  exhausts it **trips** (no more respawns until the window passes).
+  While any slot is tripped the fleet is *degraded*, surfaced on every
+  worker's ``/healthz`` — monitoring sees the incident instead of a
+  silently smaller fleet.
+- **Graceful drain.**  Stopping is sequenced drain → reap →
+  force-kill: the parent marks the shared state ``draining``, SIGTERMs
+  every worker (workers stop accepting, finish in-flight requests
+  within the drain deadline, then exit), reaps exits as they land, and
+  only force-kills workers that outlive the deadline.  The bench
+  asserts zero accepted requests are dropped across a drained SIGTERM.
+- **Shared fleet state.**  Parent and workers share one anonymous
+  ``mmap`` created before the first fork (so respawned workers inherit
+  it too).  The parent is the single writer; workers read it to answer
+  ``/healthz`` with ``{"fleet": {"live", "target", "restarts",
+  "degraded", "draining"}}``.
+
+Like :mod:`repro.serving.daemon`, this file is deliberately on the
+monotonic-clock allowlist (``tests/test_no_wallclock.py``): restart
+backoff, budget windows, and drain deadlines measure real elapsed time
+on real processes.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import signal
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.instrument import count, observe, set_gauge
+
+#: Exit code a worker uses when its drain deadline expired with
+#: requests still in flight (distinguishable from a clean drain).
+DRAIN_TIMEOUT_EXIT = 3
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart discipline for one worker fleet, CLI-mappable.
+
+    A dead slot respawns after ``backoff_base_s`` doubling per rapid
+    death up to ``backoff_max_s``; surviving ``stable_after_s`` resets
+    the backoff.  ``restart_budget`` restarts inside a sliding
+    ``budget_window_s`` trip the slot: no respawns until the window
+    passes, and the fleet reports *degraded* while any slot is tripped.
+    """
+
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    restart_budget: int = 5
+    budget_window_s: float = 30.0
+    stable_after_s: float = 5.0
+    poll_interval_s: float = 0.02
+
+
+class FleetState:
+    """One page of parent-written, worker-read shared fleet state.
+
+    Created over an anonymous ``mmap`` *before* the first fork so every
+    worker generation inherits the same mapping.  The parent is the
+    single writer; each field is a 4-byte aligned write, so readers see
+    torn-free values without a lock.
+    """
+
+    _FMT = "<6I"
+    _FIELDS = ("draining", "target", "live", "restarts", "degraded", "force_killed")
+
+    def __init__(self, buf: mmap.mmap):
+        self._buf = buf
+
+    @classmethod
+    def create(cls) -> FleetState:
+        return cls(mmap.mmap(-1, struct.calcsize(cls._FMT)))
+
+    def _read(self) -> dict:
+        values = struct.unpack_from(self._FMT, self._buf, 0)
+        return dict(zip(self._FIELDS, values))
+
+    def update(self, **fields: int) -> None:
+        state = self._read()
+        unknown = set(fields) - set(self._FIELDS)
+        if unknown:
+            raise ValueError(f"unknown fleet-state fields {sorted(unknown)}")
+        state.update({name: int(value) for name, value in fields.items()})
+        struct.pack_into(self._FMT, self._buf, 0, *(state[f] for f in self._FIELDS))
+
+    def snapshot(self) -> dict:
+        """What ``/healthz`` reports: bools decoded, counters raw."""
+        state = self._read()
+        return {
+            "draining": bool(state["draining"]),
+            "degraded": bool(state["degraded"]),
+            "target": state["target"],
+            "live": state["live"],
+            "restarts": state["restarts"],
+        }
+
+    def close(self) -> None:
+        self._buf.close()
+
+
+@dataclass
+class _Slot:
+    """One worker position: its pid, restart history, and trip state."""
+
+    index: int
+    pid: int | None = None
+    started_at: float = 0.0
+    backoff_s: float = 0.0
+    respawn_at: float = 0.0  # monotonic moment a dead slot may re-fork
+    deaths: list = field(default_factory=list)  # monotonic stamps in window
+    tripped_until: float = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.pid is not None
+
+    @property
+    def tripped(self) -> bool:
+        return self.tripped_until > 0.0
+
+
+class FleetSupervisor:
+    """Owns the worker slots of one daemon: spawn, reap, restart, drain.
+
+    ``spawn`` is the daemon's fork closure ``slot_index -> pid``; the
+    supervisor never touches sockets or HTTP itself.  Drive it either
+    synchronously (:meth:`poll_once` / :meth:`drain`) or as the target
+    of a background thread (:meth:`run`), which is what
+    ``ServingDaemon(supervise=True)`` does.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int], int],
+        workers: int,
+        state: FleetState,
+        *,
+        policy: SupervisorPolicy | None = None,
+        drain_timeout_s: float = 5.0,
+    ):
+        self._spawn = spawn
+        self.policy = policy or SupervisorPolicy()
+        self.state = state
+        self.drain_timeout_s = drain_timeout_s
+        self.slots = [_Slot(index) for index in range(workers)]
+        self.restarts_total = 0
+        self.force_killed = 0
+        self.drain_seconds: float | None = None
+        self._drain_requested = False
+        self._drained = False
+        state.update(target=workers, live=0)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def pids(self) -> list[int]:
+        """Live worker pids, slot order."""
+        return [slot.pid for slot in self.slots if slot.pid is not None]
+
+    @property
+    def degraded(self) -> bool:
+        return any(slot.tripped for slot in self.slots)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Fork every slot once (the initial fleet)."""
+        now = time.monotonic()
+        for slot in self.slots:
+            slot.pid = self._spawn(slot.index)
+            slot.started_at = now
+        self.state.update(live=len(self.pids))
+
+    def check_startup_deaths(self) -> list[tuple[int, int]]:
+        """Non-restarting reap for the readiness window.
+
+        A worker that dies *during startup* is a configuration problem
+        (unreadable archive, no catalog), not a crash to heal — the
+        daemon raises instead of entering a fork storm.
+        """
+        deaths: list[tuple[int, int]] = []
+        for slot in self.slots:
+            if slot.pid is None:
+                continue
+            done, status = os.waitpid(slot.pid, os.WNOHANG)
+            if done:
+                deaths.append((slot.pid, status))
+                slot.pid = None
+        if deaths:
+            self.state.update(live=len(self.pids))
+        return deaths
+
+    def poll_once(self) -> None:
+        """One supervision step: reap deaths, trip budgets, respawn due slots."""
+        now = time.monotonic()
+        changed = False
+        for slot in self.slots:
+            if slot.alive:
+                if self._reap_slot(slot, now):
+                    changed = True
+            elif not self._drain_requested:
+                if slot.tripped and now >= slot.tripped_until:
+                    # Window passed: half-open — forget the storm, try once.
+                    slot.tripped_until = 0.0
+                    slot.deaths.clear()
+                    slot.respawn_at = now
+                    changed = True
+                if not slot.tripped and now >= slot.respawn_at:
+                    self._respawn(slot, now)
+                    changed = True
+        if changed:
+            self.state.update(
+                live=len(self.pids),
+                restarts=self.restarts_total,
+                degraded=int(self.degraded),
+            )
+            set_gauge("repro_serving_fleet_degraded", float(self.degraded))
+
+    def _reap_slot(self, slot: _Slot, now: float) -> bool:
+        done, _status = os.waitpid(slot.pid, os.WNOHANG)
+        if not done:
+            return False
+        slot.pid = None
+        if slot.started_at and now - slot.started_at >= self.policy.stable_after_s:
+            slot.backoff_s = 0.0  # it ran long enough: not a crash loop
+        slot.deaths = [
+            stamp for stamp in slot.deaths if now - stamp < self.policy.budget_window_s
+        ]
+        slot.deaths.append(now)
+        if len(slot.deaths) >= self.policy.restart_budget:
+            # Crash storm: trip this slot instead of flapping it.
+            slot.tripped_until = now + self.policy.budget_window_s
+            slot.respawn_at = slot.tripped_until
+            return True
+        slot.backoff_s = (
+            self.policy.backoff_base_s
+            if slot.backoff_s == 0.0
+            else min(slot.backoff_s * 2, self.policy.backoff_max_s)
+        )
+        slot.respawn_at = now + slot.backoff_s
+        return True
+
+    def _respawn(self, slot: _Slot, now: float) -> None:
+        slot.pid = self._spawn(slot.index)
+        slot.started_at = now
+        self.restarts_total += 1
+        count("repro_serving_worker_restarts_total", slot=str(slot.index))
+
+    def run(self) -> None:
+        """Supervise until a requested drain completes (thread target)."""
+        while not self._drain_requested:
+            self.poll_once()
+            time.sleep(self.policy.poll_interval_s)
+        self.drain()
+
+    # -- drain -------------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Ask the supervision loop to stop restarting and drain."""
+        self._drain_requested = True
+        self.state.update(draining=1)
+
+    def drain(self) -> None:
+        """Sequence drain → reap → force-kill; idempotent."""
+        if self._drained:
+            return
+        self._drain_requested = True
+        self._drained = True
+        self.state.update(draining=1)
+        started = time.monotonic()
+        for pid in self.pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        deadline = started + self.drain_timeout_s
+        while self.pids and time.monotonic() < deadline:
+            self._reap_exits()
+            if self.pids:
+                time.sleep(0.005)
+        for slot in self.slots:  # stragglers outlived the deadline
+            if slot.pid is None:
+                continue
+            try:
+                os.kill(slot.pid, signal.SIGKILL)
+                self.force_killed += 1
+            except ProcessLookupError:
+                pass
+            try:
+                os.waitpid(slot.pid, 0)
+            except ChildProcessError:
+                pass
+            slot.pid = None
+        self.drain_seconds = time.monotonic() - started
+        observe("repro_serving_drain_seconds", self.drain_seconds)
+        self.state.update(live=0, force_killed=self.force_killed)
+
+    def _reap_exits(self) -> None:
+        changed = False
+        for slot in self.slots:
+            if slot.pid is None:
+                continue
+            try:
+                done, _ = os.waitpid(slot.pid, os.WNOHANG)
+            except ChildProcessError:
+                done = slot.pid
+            if done:
+                slot.pid = None
+                changed = True
+        if changed:
+            self.state.update(live=len(self.pids))

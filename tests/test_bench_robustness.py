@@ -20,6 +20,8 @@ from repro.bench import run_robustness_suite
 from repro.bench.perf import SMOKE_ENV
 from repro.bench.robustness import DAMAGE_OBJECTS, DAMAGE_TMP_FILES
 
+pytestmark = pytest.mark.chaos  # crashes writers, kills workers
+
 
 @pytest.fixture
 def smoke_env(monkeypatch):
@@ -43,6 +45,7 @@ class TestRobustnessSmoke:
             "overhead",
             "kill_matrix",
             "repair_damaged",
+            "fleet",
         }
 
         # Every kill-matrix cell crashed, repaired, and converged.
@@ -63,6 +66,19 @@ class TestRobustnessSmoke:
             == damaged["total_snapshots"]
         )
         assert damaged["reported_quarantined"] == damaged["snapshots_quarantined"]
+
+        # The fleet kill matrix: every availability/drain/shed/re-dispatch
+        # gate holds even at smoke size.
+        fleet = results["fleet"]
+        assert fleet["gates"]["all_met"] is True, fleet["gates"]
+        assert fleet["kill_storm"]["kills"] > 0
+        assert fleet["kill_storm"]["failed"] == 0
+        assert fleet["drain"]["dropped"] == 0
+        assert fleet["drain"]["force_killed"] == 0
+        assert fleet["shed"]["sheds"] > 0
+        assert fleet["shed"]["retry_after_all_present"] is True
+        assert fleet["redispatch"]["identical"] is True
+        assert fleet["redispatch"]["redispatches"] > 0
 
         # Timings exist and are positive — ratios are noise at this size.
         for section, key in (

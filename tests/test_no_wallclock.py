@@ -46,6 +46,9 @@ MONOTONIC_ALLOWED = (
     # file-by-file (NOT the whole repro/serving/ package: the service
     # and client layers must keep timing themselves through telemetry).
     "repro/serving/daemon.py",
+    # Restart backoff, budget windows, and drain deadlines measure real
+    # elapsed time on real child processes — same rationale as daemon.py.
+    "repro/serving/supervisor.py",
 )
 
 

@@ -211,6 +211,52 @@ class TestCatalog:
         assert SPECS["repro_scenario_stage_seconds"].labels == ("stage",)
         assert SPECS["repro_scenario_pool_workers"].type == "gauge"
 
+    def test_fleet_robustness_metrics_declared(self):
+        """The self-healing fleet's instrumentation sites are cataloged."""
+        assert SPECS["repro_serving_shed_total"].type == "counter"
+        assert SPECS["repro_serving_shed_total"].labels == ("worker",)
+        assert SPECS["repro_serving_deadline_total"].type == "counter"
+        assert SPECS["repro_serving_deadline_total"].labels == ("op",)
+        assert SPECS["repro_serving_worker_restarts_total"].type == "counter"
+        assert SPECS["repro_serving_worker_restarts_total"].labels == ("slot",)
+        assert SPECS["repro_serving_fleet_degraded"].type == "gauge"
+        assert SPECS["repro_serving_drain_seconds"].type == "histogram"
+        assert SPECS["repro_scenario_redispatch_total"].type == "counter"
+        assert SPECS["repro_scenario_redispatch_total"].labels == ("outcome",)
+        assert SPECS["repro_archive_cache_heal_total"].type == "counter"
+        assert SPECS["repro_archive_cache_heal_total"].labels == ("namespace",)
+
+    def test_every_emitted_metric_literal_is_declared(self):
+        """Source scan: no instrumentation site can outrun the catalog.
+
+        Every string literal passed to ``count`` / ``observe`` /
+        ``set_gauge`` (or as ``stage_timer``'s metric argument) anywhere
+        in ``src/repro`` must be a declared spec — emitting an
+        undeclared name would raise at runtime, but only on the code
+        path that reaches it; this catches the miss statically.
+        """
+        import re
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        # The lookbehind skips method calls like ``outcomes.count("ok")``.
+        helper = re.compile(
+            r'(?<![.\w])(?:count|observe|set_gauge)\(\s*"([a-z0-9_]+)"', re.S
+        )
+        timer = re.compile(r'\bstage_timer\(\s*"[^"]+",\s*"([a-z0-9_]+)"', re.S)
+        undeclared: dict[str, list[str]] = {}
+        emitted: set[str] = set()
+        for path in sorted(src.rglob("*.py")):
+            text = path.read_text()
+            for name in helper.findall(text) + timer.findall(text):
+                emitted.add(name)
+                if name not in SPECS:
+                    undeclared.setdefault(name, []).append(
+                        str(path.relative_to(src))
+                    )
+        assert undeclared == {}
+        assert len(emitted) > 20  # the scan found the real sites
+
 
 class TestInstrument:
     def test_stage_timer_spans_and_observes_simulated_time(self):
