@@ -1,0 +1,80 @@
+"""Scale-regression harness — the full-size run behind ``repro-roots bench-scale``.
+
+Runs :func:`repro.bench.run_scale_suite` end-to-end (population →
+ingest → equivalence → memory → landmark MDS) and enforces the floors
+the 10–100× scale work claims:
+
+- the synthetic population clears ≥5k snapshots and survives a full
+  archive round trip (every synthesized snapshot archived),
+- the blocked sparse-slab distance products are **element-wise exact**
+  against the dense oracle on the seeded corpus,
+- at population scale the blocked path's peak allocation beyond the
+  output buffer undercuts the dense path's (n, n) temporaries by ≥8×,
+  and the CSR index stores the incidence in ≤½ the dense float64 bytes,
+- landmark MDS beats iteration-matched full SMACOF by ≥10× while
+  staying within 0.15 stress-1 of it on the full matrix.
+
+Correctness gates (exact blocked/dense agreement, complete round trip)
+are enforced unconditionally.  ``BENCH_scale.json`` is the committed
+record; regenerate it with ``repro-roots bench-scale`` after changes
+to the sparse, population, or ordination layers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench import is_smoke_mode, run_scale_suite
+from repro.bench.scale import FULL_TARGET_SNAPSHOTS
+
+
+def test_scale_suite(benchmark, capsys, tmp_path):
+    output = tmp_path / "BENCH_scale.json"
+    suite = benchmark.pedantic(
+        run_scale_suite,
+        kwargs={"output": output},
+        rounds=1,
+        iterations=1,
+    )
+    results = suite.results
+
+    emit(capsys, "\n".join(suite.summary_lines()))
+
+    # Correctness gates hold in every mode.
+    assert results["equivalence"]["max_abs_diff"] == 0.0, (
+        "blocked distance products drifted from the dense oracle: "
+        f"max |diff| {results['equivalence']['max_abs_diff']:.2e}"
+    )
+    assert results["ingest"]["round_trip_complete"] is True
+    assert results["landmark_mds"]["landmark_stress1"] < 1.0
+    assert output.exists()
+
+    if is_smoke_mode():
+        return  # tiny inputs: timing ratios are noise, stop at correctness
+
+    population, ingest = results["population"], results["ingest"]
+    memory, mds = results["memory"], results["landmark_mds"]
+
+    assert population["total_snapshots"] >= FULL_TARGET_SNAPSHOTS, (
+        "synthetic population fell below the scale target: "
+        f"{population['total_snapshots']} < {FULL_TARGET_SNAPSHOTS}"
+    )
+    assert ingest["archived_snapshots"] >= FULL_TARGET_SNAPSHOTS, (
+        "archive round trip lost snapshots at scale: "
+        f"{ingest['archived_snapshots']} archived"
+    )
+    assert memory["sparse_vs_dense_float"] <= 0.5, (
+        "CSR incidence stopped paying for itself vs the dense float64 "
+        f"matrix: {memory['sparse_vs_dense_float']:.2f}x"
+    )
+    assert memory["overhead_ratio"] >= 8.0, (
+        "blocked distance path lost its >=8x peak-allocation margin over "
+        f"the dense temporaries: {memory['overhead_ratio']:.1f}x"
+    )
+    assert mds["speedup"] >= 10.0, (
+        "landmark MDS lost its >=10x margin over iteration-matched full "
+        f"SMACOF: {mds['speedup']:.1f}x"
+    )
+    assert mds["stress1_excess"] <= 0.15, (
+        "landmark embedding drifted out of stress tolerance: "
+        f"stress1 excess {mds['stress1_excess']:+.4f} over full SMACOF"
+    )

@@ -77,7 +77,24 @@ from repro.analysis.constraints import (
     infer_constraints,
     issuance_profile,
 )
-from repro.analysis.mds import MDSResult, classical_mds, kruskal_stress, smacof
+from repro.analysis.mds import (
+    LandmarkMDSResult,
+    MDSResult,
+    classical_mds,
+    kruskal_stress,
+    landmark_mds,
+    select_landmarks,
+    smacof,
+)
+from repro.analysis.sparse import (
+    SparseIncidence,
+    blocked_jaccard_distances,
+    blocked_overlap_distances,
+    build_sparse_incidence,
+    cross_distances,
+    maxmin_landmarks,
+    sparse_from_sets,
+)
 from repro.analysis.timeseries import chart, resample, sparkline
 from repro.analysis.minimization import (
     MinimizationResult,
@@ -128,6 +145,7 @@ __all__ = [
     "InferredConstraints",
     "IssuanceProfile",
     "LabelledMatrix",
+    "LandmarkMDSResult",
     "LineageMatch",
     "MDSResult",
     "MinimizationResult",
@@ -141,13 +159,17 @@ __all__ = [
     "PyramidStats",
     "RemovalRow",
     "ResponseRow",
+    "SparseIncidence",
     "StalenessSeries",
     "TrafficModel",
     "agility_profile",
     "agility_report",
     "attack_surface",
+    "blocked_jaccard_distances",
+    "blocked_overlap_distances",
     "build_ecosystem_graph",
     "build_incidence",
+    "build_sparse_incidence",
     "chart",
     "conflation_timeline",
     "constraints_extension",
@@ -156,6 +178,7 @@ __all__ = [
     "cluster_families",
     "collect_snapshots",
     "corpus_classifier",
+    "cross_distances",
     "deviation_report",
     "deviation_series",
     "distance_matrix",
@@ -170,9 +193,11 @@ __all__ = [
     "jaccard_distance",
     "jaccard_distances",
     "kruskal_stress",
+    "landmark_mds",
     "lineage_accuracy",
     "match_history",
     "match_snapshot",
+    "maxmin_landmarks",
     "measure_removal",
     "measure_response",
     "minimal_root_set",
@@ -193,7 +218,9 @@ __all__ = [
     "rank_by_hygiene",
     "render_table",
     "response_report",
+    "select_landmarks",
     "smacof",
+    "sparse_from_sets",
     "sparkline",
     "staleness_report",
     "staleness_series",

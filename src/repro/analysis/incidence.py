@@ -107,12 +107,22 @@ def jaccard_distances(incidence: IncidenceMatrix) -> np.ndarray:
 
     Two empty sets are at distance 0.0, matching
     :func:`repro.analysis.jaccard.jaccard_distance`.
+
+    Peak memory is two (n, n) float64 buffers plus one boolean mask —
+    the ``np.where`` chain this replaces allocated 3–4 extra float64
+    temporaries, which at corpus scale was most of the working set.
+    Every count is a small exact integer, so the in-place arithmetic is
+    bit-identical to the expression form.
     """
-    intersections = intersection_counts(incidence)
-    sizes = intersections.diagonal().copy()
-    unions = sizes[:, None] + sizes[None, :] - intersections
-    safe = np.where(unions > 0.0, unions, 1.0)
-    distances = np.where(unions > 0.0, 1.0 - intersections / safe, 0.0)
+    distances = intersection_counts(incidence)  # reused in place as the result
+    sizes = distances.diagonal().copy()
+    unions = np.add.outer(sizes, sizes)
+    unions -= distances  # |A| + |B| − |A∩B|, in place
+    empty = unions == 0.0  # both sets empty (intersection is 0 there too)
+    np.maximum(unions, 1.0, out=unions)  # safe divisor; numerator is 0 where it mattered
+    distances /= unions
+    np.subtract(1.0, distances, out=distances)
+    distances[empty] = 0.0
     np.fill_diagonal(distances, 0.0)
     return distances
 
@@ -123,16 +133,21 @@ def overlap_distances(incidence: IncidenceMatrix) -> np.ndarray:
     When the smaller set is empty the distance is 0.0 for two empty
     sets and 1.0 otherwise, matching
     :func:`repro.analysis.jaccard.overlap_distance`.
+
+    Same in-place discipline as :func:`jaccard_distances`: two (n, n)
+    float64 buffers plus two boolean masks, element-wise identical to
+    the expression form it replaces.
     """
-    intersections = intersection_counts(incidence)
-    sizes = intersections.diagonal().copy()
-    smaller = np.minimum(sizes[:, None], sizes[None, :])
-    both_empty = (sizes[:, None] == 0.0) & (sizes[None, :] == 0.0)
-    safe = np.where(smaller > 0.0, smaller, 1.0)
-    distances = np.where(
-        smaller > 0.0,
-        1.0 - intersections / safe,
-        np.where(both_empty, 0.0, 1.0),
-    )
+    distances = intersection_counts(incidence)  # reused in place as the result
+    sizes = distances.diagonal().copy()
+    empty_row = sizes == 0.0  # length-n, not (n, n)
+    smaller = np.minimum.outer(sizes, sizes)
+    some_empty = smaller == 0.0
+    both_empty = np.logical_and.outer(empty_row, empty_row)
+    np.maximum(smaller, 1.0, out=smaller)
+    distances /= smaller
+    np.subtract(1.0, distances, out=distances)
+    distances[some_empty] = 1.0
+    distances[both_empty] = 0.0
     np.fill_diagonal(distances, 0.0)
     return distances

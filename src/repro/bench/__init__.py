@@ -14,6 +14,7 @@ from repro.bench.archive import ArchiveSuite, run_archive_suite
 from repro.bench.ingest import IngestSuite, run_ingest_suite
 from repro.bench.perf import PerfSuite, is_smoke_mode, run_perf_suite
 from repro.bench.robustness import RobustnessSuite, run_robustness_suite
+from repro.bench.scale import ScaleSuite, run_scale_suite
 from repro.bench.scenario import ScenarioSuite, run_scenario_suite
 from repro.bench.serving import ServingSuite, run_serving_suite
 
@@ -22,6 +23,7 @@ __all__ = [
     "IngestSuite",
     "PerfSuite",
     "RobustnessSuite",
+    "ScaleSuite",
     "ScenarioSuite",
     "ServingSuite",
     "is_smoke_mode",
@@ -29,6 +31,7 @@ __all__ = [
     "run_ingest_suite",
     "run_perf_suite",
     "run_robustness_suite",
+    "run_scale_suite",
     "run_scenario_suite",
     "run_serving_suite",
 ]

@@ -19,6 +19,9 @@ Subcommands map one-to-one onto the paper's experiments::
     repro-roots watch DIR            # continuous ingestion: checkpointed watch loop
     repro-roots serve DIR            # batched trust-query daemon over the archive
     repro-roots bench                # perf-regression harness (BENCH_ordination.json)
+    repro-roots bench-scale          # population-scale harness (BENCH_scale.json):
+                                     #   synthetic corpus, blocked distances,
+                                     #   landmark MDS
     repro-roots archive ...          # on-disk archive: ingest|query|diff|verify|gc|
                                      #   repair|bench|bench-ingest|bench-robustness|
                                      #   bench-serving
@@ -309,6 +312,28 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--rounds", type=int, default=1, metavar="R",
         help="rounds per measurement (best-of-R is reported)",
+    )
+    bench_scale = sub.add_parser(
+        "bench-scale",
+        help="population-scale benchmarks: synthesize + ingest a ≥5k-snapshot "
+        "corpus, blocked-vs-dense distance equivalence and memory, "
+        "landmark MDS vs full SMACOF (BENCH_scale.json)",
+    )
+    bench_scale.add_argument(
+        "--output", type=Path, default=Path("BENCH_scale.json"), metavar="PATH",
+        help="where to write the JSON baseline (default: BENCH_scale.json)",
+    )
+    bench_scale.add_argument(
+        "--smoke", action="store_true",
+        help="tiny population, cheap sections (also via REPRO_BENCH_SMOKE=1)",
+    )
+    bench_scale.add_argument(
+        "--providers", type=int, default=None, metavar="N",
+        help="synthetic-provider count override (default: 3 smoke / 260 full)",
+    )
+    bench_scale.add_argument(
+        "--landmarks", type=int, default=None, metavar="K",
+        help="landmark count for the MDS comparison (default: 8 smoke / 96 full)",
     )
     _add_archive_parser(sub)
     _add_scenario_parser(sub)
@@ -1429,6 +1454,21 @@ def _cmd_bench(args) -> None:
         output=args.output,
     )
     print("Perf-regression harness")
+    for line in suite.summary_lines():
+        print(f"  {line}")
+    print(f"baseline written to {suite.output_path}")
+
+
+def _cmd_bench_scale(args) -> None:
+    from repro.bench import run_scale_suite
+
+    suite = run_scale_suite(
+        smoke=True if args.smoke else None,
+        providers=args.providers,
+        landmarks=args.landmarks,
+        output=args.output,
+    )
+    print("Scale harness")
     for line in suite.summary_lines():
         print(f"  {line}")
     print(f"baseline written to {suite.output_path}")

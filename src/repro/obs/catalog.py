@@ -177,7 +177,14 @@ METRICS: tuple[MetricSpec, ...] = (
     # -- analysis: stage latency -----------------------------------------
     MetricSpec(
         "repro_analysis_stage_seconds", HISTOGRAM,
-        "Analysis stage wall time (incidence|distance|smacof).",
+        "Analysis stage wall time (incidence|sparse_incidence|distance|"
+        "blocked_distance|smacof|landmark_mds).",
+        ("stage",), DEFAULT_SECONDS_BUCKETS,
+    ),
+    # -- simulation: corpus/population synthesis -------------------------
+    MetricSpec(
+        "repro_simulation_stage_seconds", HISTOGRAM,
+        "Simulation stage wall time (population).",
         ("stage",), DEFAULT_SECONDS_BUCKETS,
     ),
     # -- scenario: the what-if incident engine ---------------------------

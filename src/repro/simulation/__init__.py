@@ -16,6 +16,15 @@ from repro.simulation.minting import Mint
 from repro.simulation.model import Override, RootSpec, month_add, months_between
 from repro.simulation.programs import POLICIES, ProgramPolicy, compute_membership
 from repro.simulation.derivatives import DERIVATIVE_POLICIES, DerivativePolicy
+from repro.simulation.population import (
+    POPULATION_FAMILIES,
+    POPULATION_TEMPLATES,
+    PopulationSpec,
+    spec_for_snapshot_target,
+    synthesize_policies,
+    synthesize_policy,
+    synthesize_population,
+)
 
 __all__ = [
     "Corpus",
@@ -28,7 +37,10 @@ __all__ = [
     "Mint",
     "Override",
     "POLICIES",
+    "POPULATION_FAMILIES",
+    "POPULATION_TEMPLATES",
     "PROGRAMS",
+    "PopulationSpec",
     "ProgramPolicy",
     "RootSpec",
     "build_catalog",
@@ -40,4 +52,8 @@ __all__ = [
     "month_add",
     "months_between",
     "shared_pool",
+    "spec_for_snapshot_target",
+    "synthesize_policies",
+    "synthesize_policy",
+    "synthesize_population",
 ]

@@ -217,19 +217,26 @@ def build_derivative_history(
     }
     fingerprint_slug = {fp: slug for slug, fp in slug_fingerprint.items()}
 
-    # First NSS appearance per fingerprint, for incident force-inclusion.
+    # Incident bookkeeping is only consulted when responses are pinned;
+    # organic (and synthetic-population) providers skip the precompute.
     nss_first_seen: dict[str, date] = {}
-    for snapshot in nss_history:
-        for fp in snapshot.fingerprints():
-            nss_first_seen.setdefault(fp, snapshot.taken_at)
-
-    # Incident-response removal dates for this provider.
     responses: dict[str, date] = {}
-    for incident in incidents.INCIDENTS:
-        response = incident.responses.get(provider)
-        if response is not None:
-            for slug in incident.root_slugs:
-                responses[slug] = response
+    if not policy.organic_responses:
+        # First NSS appearance per fingerprint, for incident force-inclusion.
+        for snapshot in nss_history:
+            for fp in snapshot.fingerprints():
+                nss_first_seen.setdefault(fp, snapshot.taken_at)
+        # Incident-response removal dates for this provider.
+        for incident in incidents.INCIDENTS:
+            response = incident.responses.get(provider)
+            if response is not None:
+                for slug in incident.root_slugs:
+                    responses[slug] = response
+
+    # Flattened-entry cache: every copied root gets the identical plain
+    # bundle entry, so build it once per certificate instead of once per
+    # (snapshot, certificate) — the hot allocation at population scale.
+    bundle_cache: dict[str, TrustEntry] = {}
 
     snapshots: list[RootStoreSnapshot] = []
     for when in derivative_schedule(policy):
@@ -249,7 +256,11 @@ def build_derivative_history(
             if conflating and entry.is_trusted_for(TrustPurpose.EMAIL_PROTECTION):
                 include = True
             if include:
-                members[entry.fingerprint] = _bundle_entry(entry.certificate)
+                flattened = bundle_cache.get(entry.fingerprint)
+                if flattened is None:
+                    flattened = _bundle_entry(entry.certificate)
+                    bundle_cache[entry.fingerprint] = flattened
+                members[entry.fingerprint] = flattened
 
         if not policy.organic_responses:
             _apply_incident_windows(

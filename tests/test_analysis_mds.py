@@ -1,12 +1,18 @@
-"""Unit and property tests for the SMACOF / classical MDS implementations."""
+"""Unit and property tests for the SMACOF / classical / landmark MDS."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import classical_mds, kruskal_stress, smacof
-from repro.analysis.mds import _pairwise_distances
+from repro.analysis import (
+    classical_mds,
+    kruskal_stress,
+    landmark_mds,
+    select_landmarks,
+    smacof,
+)
+from repro.analysis.mds import _cross_point_distances, _pairwise_distances
 from repro.errors import AnalysisError
 
 
@@ -138,6 +144,143 @@ class TestKruskalStress:
         points = np.random.default_rng(8).normal(size=(8, 2))
         delta = _distances(points)
         assert kruskal_stress(delta, points * [1.0, 0.0]) > 0.01
+
+
+class TestStressAccounting:
+    """Regression tests for the two historical stress bugs.
+
+    ``MDSResult.stress1`` used to alias raw stress, and ``stress`` was
+    measured one Guttman step behind the returned embedding.  Both
+    numbers must now describe exactly the returned points.
+    """
+
+    def _jaccard_like(self, n=40, seed=13):
+        rng = np.random.default_rng(seed)
+        delta = rng.uniform(0.3, 1.0, size=(n, n))
+        delta = (delta + delta.T) / 2
+        np.fill_diagonal(delta, 0.0)
+        return delta
+
+    def test_smacof_stress_matches_returned_embedding(self):
+        delta = self._jaccard_like()
+        result = smacof(delta, dims=2, max_iterations=40)
+        distances = _pairwise_distances(result.embedding)
+        raw = float(((distances - delta) ** 2).sum() / 2.0)
+        assert result.stress == pytest.approx(raw, abs=1e-12)
+
+    def test_smacof_stress1_is_kruskal_of_embedding(self):
+        delta = self._jaccard_like(seed=17)
+        result = smacof(delta, dims=2, max_iterations=40)
+        assert result.stress1 == pytest.approx(
+            kruskal_stress(delta, result.embedding), abs=1e-12
+        )
+        # stress1 is a normalized ratio, not the raw sum.
+        assert result.stress1 != pytest.approx(result.stress, abs=1e-9)
+
+    def test_classical_stress1_is_kruskal_of_embedding(self):
+        delta = self._jaccard_like(seed=19)
+        result = classical_mds(delta, dims=2)
+        assert result.stress1 == pytest.approx(
+            kruskal_stress(delta, result.embedding), abs=1e-12
+        )
+
+    def test_stress1_zero_on_perfect_embedding(self):
+        points = np.random.default_rng(23).normal(size=(9, 2))
+        result = smacof(_distances(points), init=points)
+        assert result.stress1 < 1e-9
+
+    def test_interrupted_run_still_reports_final_configuration(self):
+        """Even when the iteration budget cuts the run mid-descent, the
+        reported stress belongs to the returned points (the historical
+        bug reported the previous iteration's)."""
+        delta = self._jaccard_like(seed=29)
+        result = smacof(delta, dims=2, max_iterations=3)
+        assert not result.converged
+        distances = _pairwise_distances(result.embedding)
+        raw = float(((distances - delta) ** 2).sum() / 2.0)
+        assert result.stress == pytest.approx(raw, abs=1e-12)
+
+
+class TestLandmarkMDS:
+    def _cross_from_points(self, points, landmarks):
+        return _cross_point_distances(points[list(landmarks)], points)
+
+    def test_select_landmarks_strided(self):
+        picked = select_landmarks(100, 10)
+        assert len(picked) == 10
+        assert picked == tuple(sorted(set(picked)))
+        assert picked[0] == 0
+        with pytest.raises(AnalysisError):
+            select_landmarks(5, 1)
+        with pytest.raises(AnalysisError):
+            select_landmarks(5, 6)
+
+    def test_recovers_euclidean_configuration(self):
+        """On Euclidean-consistent input the triangulation is exact, so
+        the landmark embedding matches full-pair quality."""
+        rng = np.random.default_rng(31)
+        points = rng.normal(size=(120, 2))
+        landmarks = select_landmarks(120, 20)
+        cross = self._cross_from_points(points, landmarks)
+        result = landmark_mds(cross, landmarks, dims=2, max_iterations=500)
+        delta = _distances(points)
+        assert kruskal_stress(delta, result.embedding) < 0.05
+        assert result.cross_stress1 < 0.05
+
+    def test_landmark_rows_pinned_to_smacof_positions(self):
+        rng = np.random.default_rng(37)
+        points = rng.normal(size=(30, 2))
+        landmarks = (0, 7, 13, 22, 29)
+        cross = self._cross_from_points(points, landmarks)
+        result = landmark_mds(cross, landmarks, dims=2)
+        assert np.array_equal(
+            result.embedding[list(landmarks)], result.landmark_result.embedding
+        )
+        assert result.landmark_indices == landmarks
+        assert result.dims == 2
+
+    def test_landmark_smacof_stress_consistent(self):
+        """The inner MDSResult obeys the same stress contract."""
+        rng = np.random.default_rng(41)
+        points = rng.normal(size=(25, 3))
+        landmarks = select_landmarks(25, 8)
+        cross = self._cross_from_points(points, landmarks)
+        result = landmark_mds(cross, landmarks, dims=2, max_iterations=60)
+        inner = result.landmark_result
+        landmark_delta = cross[:, list(landmarks)]
+        assert inner.stress1 == pytest.approx(
+            kruskal_stress(landmark_delta, inner.embedding), abs=1e-12
+        )
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(43)
+        points = rng.normal(size=(40, 2))
+        landmarks = select_landmarks(40, 10)
+        cross = self._cross_from_points(points, landmarks)
+        a = landmark_mds(cross, landmarks)
+        b = landmark_mds(cross, landmarks)
+        assert np.array_equal(a.embedding, b.embedding)
+        assert a.cross_stress1 == b.cross_stress1
+
+    def test_validation(self):
+        good = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0]])
+        landmark_mds(good, (0, 1))  # sanity: this shape is accepted
+        with pytest.raises(AnalysisError, match="2-D"):
+            landmark_mds(np.zeros(3), (0,))
+        with pytest.raises(AnalysisError, match="landmark indices"):
+            landmark_mds(good, (0,))
+        with pytest.raises(AnalysisError, match="two landmarks"):
+            landmark_mds(good[:1], (0,))
+        with pytest.raises(AnalysisError, match="distinct"):
+            landmark_mds(good, (0, 0))
+        with pytest.raises(AnalysisError, match="out of range"):
+            landmark_mds(good, (0, 9))
+        with pytest.raises(AnalysisError, match="non-negative"):
+            landmark_mds(np.array([[0.0, -1.0], [1.0, 0.0]]), (0, 1))
+        with pytest.raises(AnalysisError, match="distance zero"):
+            landmark_mds(np.array([[0.5, 1.0, 1.0], [1.0, 0.0, 1.0]]), (0, 1))
+        with pytest.raises(AnalysisError, match="more landmarks"):
+            landmark_mds(np.zeros((3, 2)), (0, 1, 2))
 
 
 class TestProperties:

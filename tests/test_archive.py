@@ -220,6 +220,33 @@ class TestQuery:
         assert archived.labels == live.labels
         assert float(np.abs(archived.matrix - live.matrix).max()) == 0.0
 
+    def test_sparse_incidence_matches_dense(self, query):
+        import numpy as np
+
+        since = date(2015, 1, 1)
+        dense = query.incidence(since=since)
+        sparse = query.incidence(since=since, sparse=True)
+        assert sparse.labels == dense.labels
+        assert sparse.fingerprints == dense.fingerprints
+        assert np.array_equal(sparse.to_dense().matrix, dense.matrix)
+        # CSR invariants: monotone row pointers, sorted in-row columns.
+        assert (np.diff(sparse.indptr) >= 0).all()
+        for row in range(min(sparse.n_rows, 5)):
+            columns = sparse.indices[sparse.indptr[row] : sparse.indptr[row + 1]]
+            assert (np.diff(columns) > 0).all()
+
+    def test_blocked_distance_matrix_matches_dense(self, query):
+        import numpy as np
+
+        since = date(2015, 1, 1)
+        for metric in ("jaccard", "overlap"):
+            dense = query.distance_matrix(metric=metric, since=since)
+            blocked = query.distance_matrix(
+                metric=metric, since=since, blocked=True, block_rows=37
+            )
+            assert blocked.labels == dense.labels
+            assert float(np.abs(blocked.matrix - dense.matrix).max()) == 0.0
+
     def test_warm_queries_hit_caches(self, archive_dir):
         engine = ArchiveQuery(archive_dir)
         when = date(2018, 6, 1)
